@@ -1,0 +1,212 @@
+//! The hardware dispatch unit: assigns ready tasks to idle geometry cores.
+//!
+//! Modeled as deterministic list scheduling: tasks become ready at known
+//! times (their sync counters' firing times plus the dispatch latency) and
+//! are placed on the earliest-available core, FIFO among simultaneously
+//! ready tasks. This is exactly how the machine model converts a step's
+//! task DAG into per-task start/finish times.
+
+use anton2_des::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A task to schedule: ready time and duration.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadyTask {
+    pub ready: SimTime,
+    pub duration: SimTime,
+}
+
+/// Resulting schedule entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Placement {
+    pub start: SimTime,
+    pub finish: SimTime,
+    pub core: u32,
+}
+
+/// Greedy list scheduler over `n_cores` identical cores.
+///
+/// Tasks are processed in order of `(ready, submission index)` and each is
+/// placed on the core that frees earliest; the task starts at
+/// `max(ready, core_free)`. Returns one [`Placement`] per task, in the
+/// input order.
+///
+/// ```
+/// use anton2_asic::{list_schedule, makespan, ReadyTask};
+/// use anton2_des::SimTime;
+///
+/// let tasks: Vec<ReadyTask> = (0..4)
+///     .map(|_| ReadyTask { ready: SimTime::ZERO, duration: SimTime::from_ns(10) })
+///     .collect();
+/// let placements = list_schedule(2, &tasks);
+/// assert_eq!(makespan(&placements), SimTime::from_ns(20)); // 4 tasks / 2 cores
+/// ```
+pub fn list_schedule(n_cores: u32, tasks: &[ReadyTask]) -> Vec<Placement> {
+    assert!(n_cores > 0);
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by_key(|&i| (tasks[i].ready, i));
+
+    // Min-heap of (free_time, core_id).
+    let mut cores: BinaryHeap<Reverse<(SimTime, u32)>> =
+        (0..n_cores).map(|c| Reverse((SimTime::ZERO, c))).collect();
+    let mut out = vec![
+        Placement {
+            start: SimTime::ZERO,
+            finish: SimTime::ZERO,
+            core: 0
+        };
+        tasks.len()
+    ];
+    for &i in &order {
+        let Reverse((free, core)) = cores.pop().expect("nonempty heap");
+        let start = tasks[i].ready.max(free);
+        let finish = start + tasks[i].duration;
+        out[i] = Placement {
+            start,
+            finish,
+            core,
+        };
+        cores.push(Reverse((finish, core)));
+    }
+    out
+}
+
+/// Completion time (makespan) of a schedule.
+pub fn makespan(placements: &[Placement]) -> SimTime {
+    placements
+        .iter()
+        .map(|p| p.finish)
+        .max()
+        .unwrap_or(SimTime::ZERO)
+}
+
+/// Total core-busy time of a schedule.
+pub fn busy_time(placements: &[Placement]) -> SimTime {
+    SimTime::from_ps(
+        placements
+            .iter()
+            .map(|p| (p.finish - p.start).as_ps())
+            .sum(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    #[test]
+    fn single_core_serializes() {
+        let tasks = vec![
+            ReadyTask {
+                ready: t(0),
+                duration: t(10),
+            },
+            ReadyTask {
+                ready: t(0),
+                duration: t(20),
+            },
+            ReadyTask {
+                ready: t(0),
+                duration: t(5),
+            },
+        ];
+        let p = list_schedule(1, &tasks);
+        assert_eq!(makespan(&p), t(35));
+        // FIFO among simultaneously ready tasks.
+        assert_eq!(p[0].start, t(0));
+        assert_eq!(p[1].start, t(10));
+        assert_eq!(p[2].start, t(30));
+    }
+
+    #[test]
+    fn parallel_cores_overlap() {
+        let tasks: Vec<ReadyTask> = (0..8)
+            .map(|_| ReadyTask {
+                ready: t(0),
+                duration: t(10),
+            })
+            .collect();
+        let p = list_schedule(8, &tasks);
+        assert_eq!(makespan(&p), t(10));
+        assert_eq!(busy_time(&p), t(80));
+    }
+
+    #[test]
+    fn respects_ready_times() {
+        let tasks = vec![
+            ReadyTask {
+                ready: t(100),
+                duration: t(10),
+            },
+            ReadyTask {
+                ready: t(0),
+                duration: t(10),
+            },
+        ];
+        let p = list_schedule(4, &tasks);
+        assert_eq!(p[0].start, t(100));
+        assert_eq!(p[1].start, t(0));
+    }
+
+    #[test]
+    fn two_cores_three_tasks() {
+        let tasks = vec![
+            ReadyTask {
+                ready: t(0),
+                duration: t(30),
+            },
+            ReadyTask {
+                ready: t(0),
+                duration: t(10),
+            },
+            ReadyTask {
+                ready: t(0),
+                duration: t(10),
+            },
+        ];
+        let p = list_schedule(2, &tasks);
+        // Third task goes to the core that frees at 10.
+        assert_eq!(p[2].start, t(10));
+        assert_eq!(makespan(&p), t(30));
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let p = list_schedule(4, &[]);
+        assert!(p.is_empty());
+        assert_eq!(makespan(&p), SimTime::ZERO);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let tasks: Vec<ReadyTask> = (0..100)
+            .map(|i| ReadyTask {
+                ready: t(i % 3),
+                duration: t(7 + i % 5),
+            })
+            .collect();
+        let a = list_schedule(8, &tasks);
+        let b = list_schedule(8, &tasks);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn makespan_lower_bounds() {
+        // Makespan ≥ total work / cores and ≥ longest task.
+        let tasks: Vec<ReadyTask> = (1..=20)
+            .map(|i| ReadyTask {
+                ready: t(0),
+                duration: t(i),
+            })
+            .collect();
+        let p = list_schedule(4, &tasks);
+        let total: u64 = (1..=20u64).sum();
+        assert!(makespan(&p) >= SimTime::from_ns(total.div_ceil(4)));
+        assert!(makespan(&p) >= t(20));
+    }
+}

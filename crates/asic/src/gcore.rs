@@ -1,0 +1,173 @@
+//! Geometry-core (flexible subsystem) task cost model.
+
+use crate::params::NodeParams;
+use anton2_des::{cycles_to_time, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The kinds of work a geometry-core task performs, in machine-visible
+/// units. Each kind maps to a cycles-per-unit constant in [`NodeParams`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkKind {
+    /// Bonded force terms (count of bond+angle+dihedral evaluations).
+    Bonded,
+    /// Charge spreading or force interpolation (grid points touched).
+    GridPoints,
+    /// FFT butterflies.
+    FftButterflies,
+    /// Integration (atoms advanced).
+    Integration,
+    /// Constraint solving (constrained bonds).
+    Constraints,
+    /// Raw geometry-core cycles (escape hatch for modeled phases).
+    RawCycles,
+}
+
+/// A unit of schedulable work for one geometry core.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GcTask {
+    pub kind: WorkKind,
+    pub units: u64,
+}
+
+/// Cycles one geometry core spends on `task` (including SIMD speedup and
+/// the fixed launch overhead).
+pub fn task_cycles(p: &NodeParams, task: GcTask) -> u64 {
+    let per_unit = match task.kind {
+        WorkKind::Bonded => p.cycles_per_bonded_term,
+        WorkKind::GridPoints => p.cycles_per_grid_point,
+        WorkKind::FftButterflies => p.cycles_per_fft_butterfly,
+        WorkKind::Integration => p.cycles_per_integration_atom,
+        WorkKind::Constraints => p.cycles_per_constraint,
+        WorkKind::RawCycles => 1.0,
+    };
+    let simd = if task.kind == WorkKind::RawCycles {
+        1.0
+    } else {
+        p.gc_simd_width as f64
+    };
+    let work = (task.units as f64 * per_unit / simd).ceil() as u64;
+    p.task_overhead_cycles as u64 + work
+}
+
+/// Wall time for one geometry core to run `task`.
+pub fn task_time(p: &NodeParams, task: GcTask) -> SimTime {
+    cycles_to_time(task_cycles(p, task), p.gc_clock_ghz)
+}
+
+/// Wall time for the whole flexible subsystem to chew through a bag of
+/// identical-kind work, split evenly across cores (the common data-parallel
+/// case: integration, spreading, constraints).
+pub fn parallel_time(p: &NodeParams, kind: WorkKind, total_units: u64) -> SimTime {
+    if total_units == 0 {
+        return SimTime::ZERO;
+    }
+    let per_core = total_units.div_ceil(p.geometry_cores as u64);
+    task_time(
+        p,
+        GcTask {
+            kind,
+            units: per_core,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_dominates_tiny_tasks() {
+        let p = NodeParams::anton2();
+        let t = task_cycles(
+            &p,
+            GcTask {
+                kind: WorkKind::Bonded,
+                units: 1,
+            },
+        );
+        assert!(t >= p.task_overhead_cycles as u64);
+        assert!(t <= p.task_overhead_cycles as u64 + p.cycles_per_bonded_term.ceil() as u64);
+    }
+
+    #[test]
+    fn simd_speeds_up_vectorizable_work() {
+        let p = NodeParams::anton2(); // 4-wide
+        let n = 100_000;
+        let vec = task_cycles(
+            &p,
+            GcTask {
+                kind: WorkKind::Integration,
+                units: n,
+            },
+        );
+        let mut scalar_p = p;
+        scalar_p.gc_simd_width = 1;
+        let scalar = task_cycles(
+            &scalar_p,
+            GcTask {
+                kind: WorkKind::Integration,
+                units: n,
+            },
+        );
+        let speedup = scalar as f64 / vec as f64;
+        assert!((3.5..=4.1).contains(&speedup), "SIMD speedup {speedup}");
+    }
+
+    #[test]
+    fn raw_cycles_bypass_simd() {
+        let p = NodeParams::anton2();
+        let t = task_cycles(
+            &p,
+            GcTask {
+                kind: WorkKind::RawCycles,
+                units: 1000,
+            },
+        );
+        assert_eq!(t, p.task_overhead_cycles as u64 + 1000);
+    }
+
+    #[test]
+    fn parallel_time_scales_down_with_cores() {
+        let p = NodeParams::anton2();
+        let serial = task_time(
+            &p,
+            GcTask {
+                kind: WorkKind::Constraints,
+                units: 64_000,
+            },
+        );
+        let par = parallel_time(&p, WorkKind::Constraints, 64_000);
+        let speedup = serial.as_ns_f64() / par.as_ns_f64();
+        assert!(speedup > 40.0, "speedup {speedup} on 64 cores");
+    }
+
+    #[test]
+    fn parallel_time_zero_work_is_free() {
+        let p = NodeParams::anton2();
+        assert_eq!(parallel_time(&p, WorkKind::Bonded, 0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn anton1_pays_more_per_task() {
+        let a2 = NodeParams::anton2();
+        let a1 = NodeParams::anton1();
+        let t2 = task_time(
+            &a2,
+            GcTask {
+                kind: WorkKind::Bonded,
+                units: 10_000,
+            },
+        );
+        let t1 = task_time(
+            &a1,
+            GcTask {
+                kind: WorkKind::Bonded,
+                units: 10_000,
+            },
+        );
+        assert!(
+            t1.as_ns_f64() > 4.0 * t2.as_ns_f64(),
+            "anton1 {t1} vs anton2 {t2}"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! High-throughput interaction subsystem timing model.
+//!
+//! The HTIS streams "tower" atoms into match units, pairs them against
+//! "plate" atoms, and pushes matched pairs through the PPIM arithmetic
+//! pipelines. The timing model accounts for atom streaming (match-unit
+//! occupancy), pipeline fill, and steady-state throughput across all PPIMs.
+
+use crate::params::NodeParams;
+use anton2_des::{cycles_to_time, SimTime};
+
+/// Timing for one HTIS batch: `atoms_streamed` positions loaded/matched and
+/// `interactions` pair evaluations retired, including pipeline fill/drain
+/// (the first batch of a step pays this; see [`htis_steady_time`]).
+pub fn htis_batch_time(p: &NodeParams, atoms_streamed: u64, interactions: u64) -> SimTime {
+    if atoms_streamed == 0 && interactions == 0 {
+        return SimTime::ZERO;
+    }
+    let cycles = htis_work_cycles(p, atoms_streamed, interactions) + p.ppim_pipeline_depth as u64;
+    cycles_to_time(cycles, p.ppim_clock_ghz)
+}
+
+/// Timing for a follow-on batch while the pipelines are already primed
+/// (event-driven steady streaming: no fill/drain between batches).
+pub fn htis_steady_time(p: &NodeParams, atoms_streamed: u64, interactions: u64) -> SimTime {
+    if atoms_streamed == 0 && interactions == 0 {
+        return SimTime::ZERO;
+    }
+    cycles_to_time(
+        htis_work_cycles(p, atoms_streamed, interactions),
+        p.ppim_clock_ghz,
+    )
+}
+
+fn htis_work_cycles(p: &NodeParams, atoms_streamed: u64, interactions: u64) -> u64 {
+    let stream_cycles = (atoms_streamed as f64 * p.match_cycles_per_atom).ceil() as u64;
+    let eval_cycles =
+        (interactions as f64 / (p.ppims as f64 * p.ppim_throughput_per_cycle)).ceil() as u64;
+    // Streaming and evaluation overlap (the pipelines consume pairs while
+    // later atoms stream in).
+    stream_cycles.max(eval_cycles)
+}
+
+/// Peak sustained interaction rate (interactions per ns), for reporting.
+pub fn htis_peak_rate(p: &NodeParams) -> f64 {
+    p.htis_rate_per_ns()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_batch_is_free() {
+        let p = NodeParams::anton2();
+        assert_eq!(htis_batch_time(&p, 0, 0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn large_batches_hit_peak_throughput() {
+        let p = NodeParams::anton2();
+        let n = 10_000_000u64;
+        let t = htis_batch_time(&p, 100, n);
+        let rate = n as f64 / t.as_ns_f64();
+        let peak = htis_peak_rate(&p);
+        assert!(rate > 0.95 * peak, "rate {rate} vs peak {peak}");
+        assert!(rate <= peak * 1.001);
+    }
+
+    #[test]
+    fn small_batches_pay_pipeline_fill() {
+        let p = NodeParams::anton2();
+        let one = htis_batch_time(&p, 1, 1);
+        // Must be at least the pipeline depth in cycles.
+        let fill = cycles_to_time(p.ppim_pipeline_depth as u64, p.ppim_clock_ghz);
+        assert!(one >= fill);
+    }
+
+    #[test]
+    fn streaming_bound_applies_when_few_interactions() {
+        let p = NodeParams::anton2();
+        // Many atoms, few interactions: time scales with streaming.
+        let t = htis_batch_time(&p, 100_000, 10);
+        let stream_cycles = (100_000.0 * p.match_cycles_per_atom) as u64;
+        let lower = cycles_to_time(stream_cycles, p.ppim_clock_ghz);
+        assert!(t >= lower);
+    }
+
+    #[test]
+    fn anton2_faster_than_anton1_per_batch() {
+        let a2 = htis_batch_time(&NodeParams::anton2(), 500, 100_000);
+        let a1 = htis_batch_time(&NodeParams::anton1(), 500, 100_000);
+        let ratio = a1.as_ns_f64() / a2.as_ns_f64();
+        assert!(ratio > 3.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn monotone_in_work() {
+        let p = NodeParams::anton2();
+        let mut last = SimTime::ZERO;
+        for n in [10u64, 100, 1_000, 10_000, 100_000] {
+            let t = htis_batch_time(&p, 50, n);
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! # anton2-asic — node microarchitecture model
+//!
+//! The building blocks of one Anton ASIC, as timing models driven by the
+//! machine-level simulator in `anton2-core`:
+//!
+//! * [`params`] — parameter sets for the Anton 2 and Anton 1 nodes
+//!   (published unit counts; calibrated rates documented per-field);
+//! * [`htis`] — the high-throughput interaction subsystem (PPIM arrays
+//!   with match units and deep arithmetic pipelines);
+//! * [`gcore`] — geometry-core task cost model with SIMD;
+//! * [`sync`] — hardware synchronization counters (the event-driven
+//!   trigger mechanism at the heart of the paper);
+//! * [`dispatch`] — the hardware dispatch unit as deterministic list
+//!   scheduling onto geometry cores;
+//! * [`node`] — an assembled node with busy-time accounting and an SRAM
+//!   capacity check.
+
+pub mod dispatch;
+pub mod gcore;
+pub mod htis;
+pub mod node;
+pub mod params;
+pub mod sync;
+
+pub use dispatch::{busy_time, list_schedule, makespan, Placement, ReadyTask};
+pub use gcore::{parallel_time, task_cycles, task_time, GcTask, WorkKind};
+pub use htis::{htis_batch_time, htis_peak_rate};
+pub use node::{Node, NodeUsage, StepWork};
+pub use params::NodeParams;
+pub use sync::{CounterBank, SyncCounter};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use anton2_des::SimTime;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The list scheduler never starts a task before it is ready and
+        /// never overlaps two tasks on one core.
+        #[test]
+        fn schedule_is_valid(
+            n_cores in 1u32..16,
+            raw in proptest::collection::vec((0u64..1000, 1u64..500), 0..60)
+        ) {
+            let tasks: Vec<ReadyTask> = raw
+                .iter()
+                .map(|&(r, d)| ReadyTask {
+                    ready: SimTime::from_ns(r),
+                    duration: SimTime::from_ns(d),
+                })
+                .collect();
+            let placements = list_schedule(n_cores, &tasks);
+            for (t, p) in tasks.iter().zip(&placements) {
+                prop_assert!(p.start >= t.ready);
+                prop_assert_eq!(p.finish, p.start + t.duration);
+                prop_assert!(p.core < n_cores);
+            }
+            // No overlap per core.
+            let mut by_core: std::collections::HashMap<u32, Vec<(SimTime, SimTime)>> =
+                Default::default();
+            for p in &placements {
+                by_core.entry(p.core).or_default().push((p.start, p.finish));
+            }
+            for intervals in by_core.values_mut() {
+                intervals.sort();
+                for w in intervals.windows(2) {
+                    prop_assert!(w[0].1 <= w[1].0, "overlap {w:?}");
+                }
+            }
+        }
+
+        /// More cores never increase the makespan.
+        #[test]
+        fn more_cores_never_slower(
+            raw in proptest::collection::vec((0u64..100, 1u64..200), 1..40)
+        ) {
+            let tasks: Vec<ReadyTask> = raw
+                .iter()
+                .map(|&(r, d)| ReadyTask {
+                    ready: SimTime::from_ns(r),
+                    duration: SimTime::from_ns(d),
+                })
+                .collect();
+            let m1 = makespan(&list_schedule(2, &tasks));
+            let m2 = makespan(&list_schedule(8, &tasks));
+            prop_assert!(m2 <= m1);
+        }
+
+        /// Sync counters fire exactly at the max of the first `threshold`
+        /// causally ordered arrivals.
+        #[test]
+        fn counter_fire_time(times in proptest::collection::vec(0u64..10_000, 1..50)) {
+            let threshold = times.len() as u32;
+            let mut sorted = times.clone();
+            sorted.sort_unstable();
+            let mut c = SyncCounter::new(threshold);
+            for &t in &sorted {
+                c.increment(SimTime::from_ns(t));
+            }
+            prop_assert!(c.fired());
+            prop_assert_eq!(c.fire_time(), Some(SimTime::from_ns(*sorted.last().unwrap())));
+        }
+
+        /// HTIS batch time is monotone in both atoms and interactions.
+        #[test]
+        fn htis_monotone(a1 in 0u64..10_000, a2 in 0u64..10_000, i1 in 0u64..1_000_000, i2 in 0u64..1_000_000) {
+            let p = NodeParams::anton2();
+            let (alo, ahi) = (a1.min(a2), a1.max(a2));
+            let (ilo, ihi) = (i1.min(i2), i1.max(i2));
+            prop_assert!(htis_batch_time(&p, alo, ilo) <= htis_batch_time(&p, ahi, ihi));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! One assembled ASIC node: parameters plus per-step accounting of work and
+//! memory.
+
+use crate::gcore::{parallel_time, WorkKind};
+use crate::htis::htis_batch_time;
+use crate::params::NodeParams;
+use anton2_des::{BusyTracker, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The machine-visible work one node performs in one timestep (counts
+/// produced by the decomposition in `anton2-core`).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct StepWork {
+    /// Atoms streamed through the HTIS (owned + imported).
+    pub htis_atoms: u64,
+    /// Pair interactions the node's PPIMs evaluate.
+    pub pair_interactions: u64,
+    /// Bonded terms evaluated on geometry cores.
+    pub bonded_terms: u64,
+    /// Grid points touched for charge spreading + force interpolation.
+    pub grid_points: u64,
+    /// FFT butterflies executed locally.
+    pub fft_butterflies: u64,
+    /// Atoms integrated.
+    pub integrated_atoms: u64,
+    /// Constrained bonds solved.
+    pub constraints: u64,
+}
+
+impl StepWork {
+    /// Merge two work tallies.
+    pub fn add(&mut self, o: &StepWork) {
+        self.htis_atoms += o.htis_atoms;
+        self.pair_interactions += o.pair_interactions;
+        self.bonded_terms += o.bonded_terms;
+        self.grid_points += o.grid_points;
+        self.fft_butterflies += o.fft_butterflies;
+        self.integrated_atoms += o.integrated_atoms;
+        self.constraints += o.constraints;
+    }
+}
+
+/// Busy-time breakdown of one node over a simulated window.
+#[derive(Clone, Debug, Default)]
+pub struct NodeUsage {
+    pub htis: BusyTracker,
+    pub flex: BusyTracker,
+}
+
+/// An ASIC node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    pub id: u32,
+    pub params: NodeParams,
+    pub usage: NodeUsage,
+}
+
+impl Node {
+    pub fn new(id: u32, params: NodeParams) -> Self {
+        Node {
+            id,
+            params,
+            usage: NodeUsage::default(),
+        }
+    }
+
+    /// Time for this node's HTIS to process a batch, recording busy time
+    /// starting at `now`. Returns the finish time.
+    pub fn run_htis(&mut self, now: SimTime, atoms: u64, interactions: u64) -> SimTime {
+        let dur = htis_batch_time(&self.params, atoms, interactions);
+        let end = now + dur;
+        if dur > SimTime::ZERO {
+            self.usage.htis.record(now, end);
+        }
+        end
+    }
+
+    /// Time for the flexible subsystem to complete `units` of `kind`,
+    /// data-parallel across geometry cores. Returns the finish time.
+    pub fn run_flex(&mut self, now: SimTime, kind: WorkKind, units: u64) -> SimTime {
+        let dur = parallel_time(&self.params, kind, units);
+        let end = now + dur;
+        if dur > SimTime::ZERO {
+            self.usage.flex.record(now, end);
+        }
+        end
+    }
+
+    /// Estimated on-chip memory needed for `atoms` resident atoms plus
+    /// `grid_points` of the local k-space grid. Positions/velocities/forces
+    /// plus topology references ≈ 128 B/atom; 16 B/grid point.
+    pub fn memory_needed(atoms: u64, grid_points: u64) -> u64 {
+        atoms * 128 + grid_points * 16
+    }
+
+    /// Whether a workload of `atoms` + `grid_points` fits in SRAM.
+    pub fn fits_in_memory(&self, atoms: u64, grid_points: u64) -> bool {
+        Self::memory_needed(atoms, grid_points) <= self.params.sram_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_tracks_busy_intervals() {
+        let mut n = Node::new(0, NodeParams::anton2());
+        let t1 = n.run_htis(SimTime::ZERO, 100, 10_000);
+        assert!(t1 > SimTime::ZERO);
+        let t2 = n.run_flex(t1, WorkKind::Integration, 5_000);
+        assert!(t2 > t1);
+        assert_eq!(n.usage.htis.intervals(), 1);
+        assert_eq!(n.usage.flex.intervals(), 1);
+        assert!(n.usage.htis.utilization(t2) > 0.0);
+    }
+
+    #[test]
+    fn zero_work_records_nothing() {
+        let mut n = Node::new(0, NodeParams::anton2());
+        let t = n.run_flex(SimTime::from_ns(5), WorkKind::Bonded, 0);
+        assert_eq!(t, SimTime::from_ns(5));
+        assert_eq!(n.usage.flex.intervals(), 0);
+    }
+
+    #[test]
+    fn memory_model() {
+        let n = Node::new(0, NodeParams::anton2());
+        // 46 atoms/node (DHFR @512) trivially fits.
+        assert!(n.fits_in_memory(46, 64 * 64));
+        // 100M atoms on one node does not.
+        assert!(!n.fits_in_memory(100_000_000, 0));
+    }
+
+    #[test]
+    fn step_work_merges() {
+        let mut a = StepWork {
+            pair_interactions: 10,
+            ..Default::default()
+        };
+        let b = StepWork {
+            pair_interactions: 5,
+            bonded_terms: 3,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.pair_interactions, 15);
+        assert_eq!(a.bonded_terms, 3);
+    }
+}

@@ -1,0 +1,158 @@
+//! Node microarchitecture parameter sets.
+//!
+//! Counts and rates follow the published Anton 1/2 architecture where
+//! public (PPIM counts, geometry-core counts, subsystem roles); quantities
+//! marked `calibrated:` were fitted so the whole-machine model lands on the
+//! abstract's performance endpoints (see DESIGN.md §6).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one ASIC node.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NodeParams {
+    /// Human-readable name of the parameter set.
+    pub name: &'static str,
+
+    // --- High-throughput interaction subsystem (HTIS) ---
+    /// Number of pairwise point interaction modules.
+    pub ppims: u32,
+    /// HTIS clock, GHz.
+    pub ppim_clock_ghz: f64,
+    /// Pair interactions retired per PPIM per cycle at steady state.
+    pub ppim_throughput_per_cycle: f64,
+    /// Pipeline fill/drain latency, cycles.
+    pub ppim_pipeline_depth: u32,
+    /// Match-unit overhead per *atom streamed* through the HTIS, cycles
+    /// (amortized: position loading + pair matching).
+    pub match_cycles_per_atom: f64,
+
+    // --- Flexible subsystem (geometry cores) ---
+    /// Number of general-purpose geometry cores.
+    pub geometry_cores: u32,
+    /// Geometry-core clock, GHz.
+    pub gc_clock_ghz: f64,
+    /// SIMD lanes per geometry core.
+    pub gc_simd_width: u32,
+
+    // --- Fine-grained machinery ---
+    /// Latency from a synchronization counter reaching threshold to the
+    /// dependent task starting on a core, ns. On Anton 2 this is hardware
+    /// (sync counters + dispatch unit); on Anton 1 equivalent transitions
+    /// went through software.
+    pub dispatch_latency_ns: f64,
+    /// Fixed per-task software/launch overhead on a geometry core, cycles.
+    pub task_overhead_cycles: u32,
+
+    // --- Work cost table (geometry-core cycles per unit of work) ---
+    /// Cycles per bonded interaction (bond/angle/dihedral averaged).
+    pub cycles_per_bonded_term: f64,
+    /// Cycles per charge-spread (or force-interpolation) grid point touched.
+    pub cycles_per_grid_point: f64,
+    /// Cycles per FFT butterfly (complex multiply-add pair).
+    pub cycles_per_fft_butterfly: f64,
+    /// Cycles per atom for integration (kick+drift+bookkeeping).
+    pub cycles_per_integration_atom: f64,
+    /// Cycles per constrained bond (SETTLE is 3 of these per water).
+    pub cycles_per_constraint: f64,
+
+    /// On-chip memory per node, bytes (capacity check for large systems).
+    pub sram_bytes: u64,
+}
+
+impl NodeParams {
+    /// The Anton 2 ASIC: 76 PPIMs, 64 geometry cores with 4-wide SIMD,
+    /// hardware sync counters + dispatch unit (fine-grained event-driven).
+    pub fn anton2() -> Self {
+        NodeParams {
+            name: "Anton 2",
+            ppims: 76,
+            ppim_clock_ghz: 1.6, // calibrated: HTIS clock class
+            ppim_throughput_per_cycle: 1.0,
+            ppim_pipeline_depth: 40,
+            match_cycles_per_atom: 1.5, // calibrated
+            geometry_cores: 64,
+            gc_clock_ghz: 1.3, // calibrated
+            gc_simd_width: 4,
+            dispatch_latency_ns: 10.0, // hardware dispatch: ~ns class
+            task_overhead_cycles: 30,
+            cycles_per_bonded_term: 12.0,
+            cycles_per_grid_point: 1.0,
+            cycles_per_fft_butterfly: 2.0,
+            cycles_per_integration_atom: 10.0,
+            cycles_per_constraint: 18.0,
+            sram_bytes: 200 * 1024 * 1024 / 8, // 25 MB class on-chip storage
+        }
+    }
+
+    /// The Anton 1 ASIC: 32 PPIMs, an 8-core flexible subsystem without
+    /// SIMD of Anton 2's width, and software-mediated (coarse-grained)
+    /// synchronization: dispatch costs microseconds-class software time
+    /// rather than nanoseconds-class hardware time.
+    pub fn anton1() -> Self {
+        NodeParams {
+            name: "Anton 1",
+            ppims: 32,
+            ppim_clock_ghz: 0.8,
+            ppim_throughput_per_cycle: 1.0,
+            ppim_pipeline_depth: 30,
+            match_cycles_per_atom: 2.0,
+            geometry_cores: 12, // 4 Tensilica + 8 geometry cores
+            gc_clock_ghz: 0.8,
+            gc_simd_width: 1,
+            dispatch_latency_ns: 250.0, // software-coordinated transitions
+            task_overhead_cycles: 200,
+            cycles_per_bonded_term: 16.0,
+            cycles_per_grid_point: 1.5,
+            cycles_per_fft_butterfly: 3.0,
+            cycles_per_integration_atom: 14.0,
+            cycles_per_constraint: 24.0,
+            sram_bytes: 16 * 1024 * 1024 / 8,
+        }
+    }
+
+    /// Peak pair-interaction rate of the HTIS, interactions/ns.
+    pub fn htis_rate_per_ns(&self) -> f64 {
+        self.ppims as f64 * self.ppim_throughput_per_cycle * self.ppim_clock_ghz
+    }
+
+    /// Aggregate geometry-core throughput in SIMD-cycles/ns.
+    pub fn flex_rate_per_ns(&self) -> f64 {
+        self.geometry_cores as f64 * self.gc_clock_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anton2_beats_anton1_on_paper_ratios() {
+        let a2 = NodeParams::anton2();
+        let a1 = NodeParams::anton1();
+        // HTIS throughput ratio ~4-5×: (76·1.6)/(32·0.8) = 4.75.
+        let ratio = a2.htis_rate_per_ns() / a1.htis_rate_per_ns();
+        assert!((4.0..6.0).contains(&ratio), "HTIS ratio {ratio}");
+        // Flexible subsystem (with SIMD): (64·1.3·4)/(12·0.8·1) ≈ 35×.
+        let flex = (a2.flex_rate_per_ns() * a2.gc_simd_width as f64)
+            / (a1.flex_rate_per_ns() * a1.gc_simd_width as f64);
+        assert!(flex > 20.0, "flex ratio {flex}");
+        // Fine-grained dispatch is more than an order of magnitude faster.
+        assert!(a1.dispatch_latency_ns / a2.dispatch_latency_ns >= 10.0);
+    }
+
+    #[test]
+    fn published_unit_counts() {
+        assert_eq!(NodeParams::anton2().ppims, 76);
+        assert_eq!(NodeParams::anton2().geometry_cores, 64);
+        assert_eq!(NodeParams::anton1().ppims, 32);
+    }
+
+    #[test]
+    fn rates_positive_and_finite() {
+        for p in [NodeParams::anton2(), NodeParams::anton1()] {
+            assert!(p.htis_rate_per_ns() > 0.0);
+            assert!(p.flex_rate_per_ns() > 0.0);
+            assert!(p.sram_bytes > 0);
+        }
+    }
+}

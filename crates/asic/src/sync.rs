@@ -1,0 +1,161 @@
+//! Hardware synchronization counters.
+//!
+//! The key fine-grained mechanism of Anton 2: every remote write can
+//! increment a counter, and a task launches the moment its counter reaches
+//! a preset threshold — no polling, no barriers. The model tracks increment
+//! timestamps and reports the exact firing time.
+
+use anton2_des::SimTime;
+
+/// One synchronization counter with a firing threshold.
+#[derive(Clone, Debug)]
+pub struct SyncCounter {
+    threshold: u32,
+    count: u32,
+    /// Time of the increment that reached the threshold.
+    fire_time: Option<SimTime>,
+    latest: SimTime,
+}
+
+impl SyncCounter {
+    /// A counter that fires after `threshold` increments. A zero threshold
+    /// fires immediately (time zero) — used for tasks with no inputs.
+    pub fn new(threshold: u32) -> Self {
+        SyncCounter {
+            threshold,
+            count: 0,
+            fire_time: if threshold == 0 {
+                Some(SimTime::ZERO)
+            } else {
+                None
+            },
+            latest: SimTime::ZERO,
+        }
+    }
+
+    /// Record an increment arriving at `at`.
+    ///
+    /// Increments may be recorded out of order; the firing time is the
+    /// threshold-th smallest would be the hardware-exact answer, but the
+    /// machine model always delivers in causal order, so the max of the
+    /// first `threshold` arrivals equals the max seen when the count hits
+    /// the threshold.
+    pub fn increment(&mut self, at: SimTime) {
+        self.count += 1;
+        if at > self.latest {
+            self.latest = at;
+        }
+        if self.count == self.threshold {
+            self.fire_time = Some(self.latest);
+        }
+    }
+
+    /// Current count.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// When the counter fired, if it has.
+    pub fn fire_time(&self) -> Option<SimTime> {
+        self.fire_time
+    }
+
+    /// Whether the counter has reached its threshold.
+    pub fn fired(&self) -> bool {
+        self.fire_time.is_some()
+    }
+}
+
+/// A bank of counters, addressed by dense ids — one per schedulable task in
+/// the machine model.
+#[derive(Clone, Debug, Default)]
+pub struct CounterBank {
+    counters: Vec<SyncCounter>,
+}
+
+impl CounterBank {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a counter; returns its id.
+    pub fn alloc(&mut self, threshold: u32) -> usize {
+        self.counters.push(SyncCounter::new(threshold));
+        self.counters.len() - 1
+    }
+
+    pub fn increment(&mut self, id: usize, at: SimTime) -> bool {
+        self.counters[id].increment(at);
+        self.counters[id].fired()
+    }
+
+    pub fn get(&self, id: usize) -> &SyncCounter {
+        &self.counters[id]
+    }
+
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// All counters fired?
+    pub fn all_fired(&self) -> bool {
+        self.counters.iter().all(|c| c.fired())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_at_threshold_with_max_arrival() {
+        let mut c = SyncCounter::new(3);
+        c.increment(SimTime::from_ns(10));
+        assert!(!c.fired());
+        c.increment(SimTime::from_ns(30));
+        assert!(!c.fired());
+        c.increment(SimTime::from_ns(20));
+        assert!(c.fired());
+        assert_eq!(c.fire_time(), Some(SimTime::from_ns(30)));
+    }
+
+    #[test]
+    fn zero_threshold_fires_immediately() {
+        let c = SyncCounter::new(0);
+        assert!(c.fired());
+        assert_eq!(c.fire_time(), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn extra_increments_do_not_move_fire_time() {
+        let mut c = SyncCounter::new(2);
+        c.increment(SimTime::from_ns(5));
+        c.increment(SimTime::from_ns(7));
+        let fired_at = c.fire_time();
+        c.increment(SimTime::from_ns(100));
+        assert_eq!(c.fire_time(), fired_at);
+        assert_eq!(c.count(), 3);
+    }
+
+    #[test]
+    fn bank_allocation_and_firing() {
+        let mut bank = CounterBank::new();
+        let a = bank.alloc(1);
+        let b = bank.alloc(2);
+        assert_eq!(bank.len(), 2);
+        assert!(!bank.all_fired());
+        assert!(bank.increment(a, SimTime::from_ns(1)));
+        assert!(!bank.increment(b, SimTime::from_ns(2)));
+        assert!(bank.increment(b, SimTime::from_ns(3)));
+        assert!(bank.all_fired());
+        assert_eq!(bank.get(b).fire_time(), Some(SimTime::from_ns(3)));
+    }
+}

@@ -1,0 +1,57 @@
+//! Serial reference-engine benchmarks: the full MD step and its dominant
+//! component (the grid-based k-space solve).
+
+use anton2_md::builders::water_box;
+use anton2_md::engine::{Engine, EngineConfig};
+use anton2_md::gse::{Gse, GseParams};
+use anton2_md::vec3::Vec3;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_engine_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_step");
+    g.sample_size(20);
+    for side in [4usize, 6] {
+        let mut sys = water_box(side, side, side, 1);
+        sys.thermalize(300.0, 2);
+        let mut engine = Engine::new(sys, EngineConfig::quick());
+        engine.minimize(100, 1.0);
+        engine.system.thermalize(300.0, 3);
+        g.throughput(Throughput::Elements(engine.system.n_atoms() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(engine.system.n_atoms()),
+            &side,
+            |b, _| {
+                b.iter(|| {
+                    engine.step();
+                    black_box(engine.energies().total())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_gse_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gse_energy_forces");
+    g.sample_size(20);
+    for side in [4usize, 6] {
+        let s = water_box(side, side, side, 4);
+        let gse = Gse::new(
+            s.nb.ewald_alpha,
+            s.pbc,
+            GseParams::for_box(s.nb.ewald_alpha, &s.pbc),
+        );
+        g.throughput(Throughput::Elements(s.n_atoms() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(s.n_atoms()), &s, |b, s| {
+            let mut forces = vec![Vec3::ZERO; s.n_atoms()];
+            b.iter(|| {
+                forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
+                black_box(gse.energy_forces(&s.positions, &s.topology.charges, &mut forces))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_step, bench_gse_solve);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! FFT substrate benchmarks: planned 1D transforms, dense 3D grids of the
+//! k-space sizes the machine uses, and the pencil-decomposed distributed
+//! transform.
+
+use anton2_fft::{Fft, Fft3, Grid3, PencilFft, C64};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn signal(n: usize) -> Vec<C64> {
+    (0..n)
+        .map(|i| C64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+        .collect()
+}
+
+fn bench_fft_1d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_1d");
+    for n in [64usize, 256, 1024, 4096] {
+        let plan = Fft::new(n);
+        let input = signal(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = input.clone();
+                plan.forward(&mut buf);
+                black_box(buf)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft_3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_3d");
+    g.sample_size(20);
+    for n in [16usize, 32, 64] {
+        let plan = Fft3::new(n, n, n);
+        let mut base = Grid3::zeros(n, n, n);
+        for (i, v) in base.data.iter_mut().enumerate() {
+            *v = C64::new((i as f64 * 0.7).sin(), 0.0);
+        }
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut grid = base.clone();
+                plan.forward(&mut grid);
+                black_box(grid)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_pencil_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pencil_fft_32cubed");
+    g.sample_size(20);
+    for (px, py) in [(1usize, 1usize), (2, 2), (4, 8)] {
+        let plan = PencilFft::new(32, 32, 32, px, py);
+        let mut base = Grid3::zeros(32, 32, 32);
+        for (i, v) in base.data.iter_mut().enumerate() {
+            *v = C64::real((i as f64 * 0.3).cos());
+        }
+        let dist = plan.scatter(&base);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{px}x{py}")),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    let mut d = dist.clone();
+                    black_box(plan.forward(&mut d))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft_1d, bench_fft_3d, bench_pencil_fft);
+criterion_main!(benches);

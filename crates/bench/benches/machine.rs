@@ -1,0 +1,99 @@
+//! Whole-machine co-simulator benchmarks: plan construction and full-step
+//! simulation at the paper's node counts — these are the operations every
+//! experiment in the harness repeats.
+
+use anton2_core::{Machine, MachineConfig, StepPlan};
+use anton2_des::SimTime;
+use anton2_md::builders::dhfr_benchmark;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_plan_build(c: &mut Criterion) {
+    let s = dhfr_benchmark(1);
+    let mut g = c.benchmark_group("plan_build_dhfr");
+    g.sample_size(20);
+    for nodes in [64u32, 512] {
+        let cfg = MachineConfig::anton2(nodes);
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &cfg, |b, cfg| {
+            b.iter(|| black_box(StepPlan::build(&s, cfg)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_step_simulation(c: &mut Criterion) {
+    let s = dhfr_benchmark(1);
+    let mut g = c.benchmark_group("simulate_step_dhfr");
+    g.sample_size(20);
+    for nodes in [64u32, 512] {
+        let cfg = MachineConfig::anton2(nodes);
+        let plan = StepPlan::build(&s, &cfg);
+        let ready = vec![SimTime::ZERO; nodes as usize];
+        g.bench_with_input(
+            BenchmarkId::new("outer_event_driven", nodes),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    let mut m = Machine::new(cfg);
+                    black_box(m.simulate_step(plan, true, &ready))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_respa_cycle(c: &mut Criterion) {
+    let s = dhfr_benchmark(1);
+    let cfg = MachineConfig::anton2(512);
+    let plan = StepPlan::build(&s, &cfg);
+    let mut g = c.benchmark_group("respa_cycle_512");
+    g.sample_size(20);
+    g.bench_function("interval_2", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(cfg);
+            black_box(m.simulate_respa_cycle(&plan, 2))
+        });
+    });
+    g.finish();
+}
+
+fn bench_dag_executor(c: &mut Criterion) {
+    use anton2_core::schedule::{build_step_graph, execute};
+    let s = dhfr_benchmark(1);
+    let cfg = MachineConfig::anton2(64);
+    let plan = StepPlan::build(&s, &cfg);
+    let graph = build_step_graph(&plan, &cfg.node, true);
+    let mut g = c.benchmark_group("schedule_dag");
+    g.sample_size(20);
+    g.bench_function("outer_step_64_nodes", |b| {
+        b.iter(|| {
+            let mut net = anton2_net::Network::new(cfg.torus, cfg.link);
+            black_box(execute(&graph, &mut net, &cfg.node))
+        });
+    });
+    g.finish();
+}
+
+fn bench_match_units(c: &mut Criterion) {
+    use anton2_core::matchunit::{gather_zones, match_pairs};
+    use anton2_core::Decomposition;
+    let s = anton2_md::builders::water_box(6, 6, 6, 1);
+    let decomp = Decomposition::new(anton2_net::Torus::for_nodes(8), s.pbc);
+    let zones = gather_zones(&s, &decomp);
+    let mut g = c.benchmark_group("htis_match_units");
+    g.sample_size(20);
+    g.bench_function("tower_x_plate_scan_node0", |b| {
+        b.iter(|| black_box(match_pairs(&s, &decomp, 0, &zones[0])));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_plan_build,
+    bench_step_simulation,
+    bench_respa_cycle,
+    bench_dag_executor,
+    bench_match_units
+);
+criterion_main!(benches);

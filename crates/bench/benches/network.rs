@@ -1,0 +1,99 @@
+//! Interconnect-model benchmarks: event-queue throughput, routing, batch
+//! delivery at machine scale, and multicast tree construction.
+
+use anton2_des::{EventQueue, SimTime};
+use anton2_net::{anton2_class_link, Coord, Network, Torus};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_event_queue");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("schedule_pop_100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.schedule(SimTime::from_ps(i * 7919 % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let torus = Torus::new(8, 8, 8);
+    c.bench_function("torus_route_512", |b| {
+        b.iter(|| {
+            let mut hops = 0usize;
+            for src in (0..512).step_by(13) {
+                for dst in (0..512).step_by(17) {
+                    hops += torus.route(src, dst).len();
+                }
+            }
+            black_box(hops)
+        });
+    });
+}
+
+fn bench_batch_delivery(c: &mut Criterion) {
+    // The FFT-transpose pattern at 512 nodes: the heaviest single batch of
+    // a DHFR step.
+    let torus = Torus::new(8, 8, 8);
+    let mut msgs = Vec::new();
+    for rank in 0..512u32 {
+        for k in 1..64u32 {
+            let dst = (rank + k * 8) % 512;
+            msgs.push((SimTime::ZERO, rank, dst, 256u32));
+        }
+    }
+    let mut g = c.benchmark_group("network_batch");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(msgs.len() as u64));
+    g.bench_function("transpose_pattern_32k_msgs", |b| {
+        b.iter(|| {
+            let mut net = Network::new(torus, anton2_class_link());
+            black_box(net.run_batch(&msgs))
+        });
+    });
+    g.finish();
+}
+
+fn bench_multicast(c: &mut Criterion) {
+    let torus = Torus::new(8, 8, 8);
+    // 26-neighbor import region multicast from the torus center.
+    let src = torus.id(Coord { x: 4, y: 4, z: 4 });
+    let mut dsts = Vec::new();
+    for dx in -1i32..=1 {
+        for dy in -1i32..=1 {
+            for dz in -1i32..=1 {
+                if (dx, dy, dz) != (0, 0, 0) {
+                    dsts.push(torus.id(Coord {
+                        x: (4 + dx) as u32,
+                        y: (4 + dy) as u32,
+                        z: (4 + dz) as u32,
+                    }));
+                }
+            }
+        }
+    }
+    c.bench_function("multicast_26_neighbors", |b| {
+        b.iter(|| {
+            let mut net = Network::new(torus, anton2_class_link());
+            black_box(net.multicast(SimTime::ZERO, src, &dsts, 1_200))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_routing,
+    bench_batch_delivery,
+    bench_multicast
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! `paper` — regenerate the tables and figures of the Anton 2 evaluation.
+//!
+//! ```text
+//! paper <id>        run one experiment (T1, T2, F1..F10)
+//! paper all         run everything in DESIGN.md order
+//! paper all --json  also emit machine-readable JSON per experiment
+//! ```
+
+use anton2_bench::{run, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let ids: Vec<String> = args.into_iter().filter(|a| a != "--json").collect();
+    let ids: Vec<&str> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        ids.iter().map(|s| s.as_str()).collect::<Vec<_>>()
+    };
+    for id in ids {
+        match run(id) {
+            Some(result) => {
+                println!("{}", result.render());
+                if json {
+                    println!("--- json {} ---", result.id);
+                    println!("{}", serde_json::to_string_pretty(&result.data).unwrap());
+                }
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'; known: {ALL_EXPERIMENTS:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! # anton2-bench — the paper harness
+//!
+//! One function per table/figure of the reconstructed evaluation (see
+//! DESIGN.md §4 for the experiment index and §0 for why the numbering is
+//! ours). Each experiment returns a machine-readable [`ExperimentResult`]
+//! and renders the paper-style rows; the `paper` binary dispatches on
+//! experiment id, and the workspace integration tests assert the headline
+//! *shapes* directly against these functions.
+
+pub mod experiments;
+
+use serde::Serialize;
+
+/// One reproduced table/figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExperimentResult {
+    /// Experiment id (T1, T2, F1..F10).
+    pub id: &'static str,
+    pub title: &'static str,
+    /// Paper claim the experiment reproduces.
+    pub claim: &'static str,
+    /// Rendered rows, ready to print.
+    pub rows: Vec<String>,
+    /// Machine-readable series for EXPERIMENTS.md.
+    pub data: serde_json::Value,
+}
+
+impl ExperimentResult {
+    /// Render the experiment as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {}\n", self.id, self.title));
+        out.push_str(&format!("   claim: {}\n", self.claim));
+        for r in &self.rows {
+            out.push_str("   ");
+            out.push_str(r);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// All experiment ids in DESIGN.md order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13",
+    "F14", "F15", "F16",
+];
+
+/// Run one experiment by id.
+pub fn run(id: &str) -> Option<ExperimentResult> {
+    match id {
+        "T1" => Some(experiments::t1_machine_table()),
+        "T2" => Some(experiments::t2_benchmark_systems()),
+        "F1" => Some(experiments::f1_strong_scaling()),
+        "F2" => Some(experiments::f2_system_size()),
+        "F3" => Some(experiments::f3_platform_comparison()),
+        "F4" => Some(experiments::f4_event_driven_ablation()),
+        "F5" => Some(experiments::f5_breakdown()),
+        "F6" => Some(experiments::f6_import_methods()),
+        "F7" => Some(experiments::f7_fidelity()),
+        "F8" => Some(experiments::f8_network()),
+        "F9" => Some(experiments::f9_determinism()),
+        "F10" => Some(experiments::f10_respa_sweep()),
+        "F11" => Some(experiments::f11_weak_scaling()),
+        "F12" => Some(experiments::f12_bandwidth_sensitivity()),
+        "F13" => Some(experiments::f13_dispatch_sweep()),
+        "F14" => Some(experiments::f14_routing()),
+        "F15" => Some(experiments::f15_load_imbalance()),
+        "F16" => Some(experiments::f16_torus_shape()),
+        _ => None,
+    }
+}

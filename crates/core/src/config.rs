@@ -1,0 +1,141 @@
+//! Whole-machine configuration: node parameters + torus + link + execution
+//! policy, with constructors for the machines the paper compares.
+
+use anton2_asic::NodeParams;
+use anton2_net::network::RoutingPolicy;
+use anton2_net::{LinkConfig, Torus};
+use serde::{Deserialize, Serialize};
+
+/// How the machine coordinates work across a timestep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecPolicy {
+    /// Anton 2: fine-grained event-driven operation. Tasks launch when
+    /// their synchronization counters fire; computation overlaps
+    /// communication; no global barriers inside a step.
+    EventDriven,
+    /// Anton 1-style: coarse-grained phases separated by global barriers;
+    /// each phase starts only when every node has finished the previous
+    /// one and the barrier has completed.
+    BulkSynchronous,
+}
+
+/// Which import-region geometry the range-limited pair computation uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImportMethod {
+    /// Neutral-territory method (Anton production): tower + plate.
+    NeutralTerritory,
+    /// Traditional half-shell import.
+    HalfShell,
+    /// Naive full-shell import (upper baseline for the F6 ablation).
+    FullShell,
+}
+
+/// A complete machine description.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MachineConfig {
+    pub name: &'static str,
+    pub torus: Torus,
+    pub node: NodeParams,
+    pub link: LinkConfig,
+    pub exec: ExecPolicy,
+    pub import: ImportMethod,
+    /// Routing policy on the torus (Anton uses deterministic
+    /// dimension-order; the randomized variant is an ablation).
+    pub routing: RoutingPolicy,
+}
+
+impl MachineConfig {
+    /// An Anton 2 machine with `nodes` nodes (8×8×8 = 512 for the paper's
+    /// headline machine).
+    pub fn anton2(nodes: u32) -> Self {
+        MachineConfig {
+            name: "Anton 2",
+            torus: Torus::for_nodes(nodes),
+            node: NodeParams::anton2(),
+            link: LinkConfig {
+                // calibrated: Anton-class low-latency, very wide links
+                // with hardware packet injection (no software send path).
+                hop_latency_ns: 35.0,
+                bandwidth_gbps: 50.0,
+                header_bytes: 16,
+                injection_ns: 5.0,
+            },
+            exec: ExecPolicy::EventDriven,
+            import: ImportMethod::NeutralTerritory,
+            routing: RoutingPolicy::DimensionOrder,
+        }
+    }
+
+    /// An Anton 1 machine: slower node, somewhat slower links, and —
+    /// decisive at scale — coarse-grained bulk-synchronous execution.
+    pub fn anton1(nodes: u32) -> Self {
+        MachineConfig {
+            name: "Anton 1",
+            torus: Torus::for_nodes(nodes),
+            node: NodeParams::anton1(),
+            link: LinkConfig {
+                // Anton 1 links: comparable wires, but message initiation
+                // goes through flexible-subsystem software.
+                hop_latency_ns: 50.0,
+                bandwidth_gbps: 25.0,
+                header_bytes: 16,
+                injection_ns: 100.0,
+            },
+            exec: ExecPolicy::BulkSynchronous,
+            import: ImportMethod::NeutralTerritory,
+            routing: RoutingPolicy::DimensionOrder,
+        }
+    }
+
+    pub fn n_nodes(&self) -> u32 {
+        self.torus.n_nodes()
+    }
+
+    /// A variant with a different execution policy (the F4 ablation).
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// A variant with a different import method (the F6 ablation).
+    pub fn with_import(mut self, import: ImportMethod) -> Self {
+        self.import = import;
+        self
+    }
+
+    /// A variant with a different routing policy (the F14 ablation).
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+        self.routing = routing;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_machine_is_512_nodes() {
+        let m = MachineConfig::anton2(512);
+        assert_eq!(m.n_nodes(), 512);
+        assert_eq!((m.torus.nx, m.torus.ny, m.torus.nz), (8, 8, 8));
+        assert_eq!(m.exec, ExecPolicy::EventDriven);
+    }
+
+    #[test]
+    fn anton1_is_coarse_grained() {
+        let m = MachineConfig::anton1(512);
+        assert_eq!(m.exec, ExecPolicy::BulkSynchronous);
+        assert!(m.node.dispatch_latency_ns > MachineConfig::anton2(512).node.dispatch_latency_ns);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let m = MachineConfig::anton2(64)
+            .with_exec(ExecPolicy::BulkSynchronous)
+            .with_import(ImportMethod::HalfShell);
+        assert_eq!(m.exec, ExecPolicy::BulkSynchronous);
+        assert_eq!(m.import, ImportMethod::HalfShell);
+        assert_eq!(m.n_nodes(), 64);
+    }
+}

@@ -1,0 +1,550 @@
+//! Functional co-simulation: the distributed computation the machine model
+//! times, executed for real and verified against the serial engine.
+//!
+//! Two properties are established here (experiments F7 and F9):
+//!
+//! 1. **Fidelity** — pair forces computed per-node (each pair on the node
+//!    that owns its lower-indexed atom, exactly one node per pair) and
+//!    merged through fixed-point accumulators match the serial engine's
+//!    forces to quantization precision; the k-space energy computed through
+//!    the *distributed* pencil FFT matches the serial grid solver.
+//! 2. **Determinism** — because partial forces are fixed-point integers,
+//!    the merged result is bitwise identical for *any* machine size and
+//!    *any* per-node iteration order, the property Anton's hardware
+//!    guarantees and its software stack builds on.
+
+use crate::decomp::Decomposition;
+use anton2_fft::{Layout, PencilFft};
+use anton2_md::fixedpoint::FixedAccumulator;
+use anton2_md::gse::{Gse, GseParams};
+use anton2_md::neighbor::NeighborList;
+use anton2_md::pairkernel::{lj_shift_at, pair_interaction};
+use anton2_md::units::COULOMB;
+use anton2_md::vec3::Vec3;
+use anton2_md::System;
+use anton2_net::Torus;
+
+/// Per-pair assignment by the **neutral-territory rule**: each pair is
+/// computed at the node where the tower of one atom meets the plate of the
+/// other (`ntmethod::nt_node_for_pair`) — exactly how Anton distributes the
+/// range-limited computation.
+pub fn assign_pairs_nt(system: &System, decomp: &Decomposition) -> Vec<Vec<(u32, u32)>> {
+    let nl = NeighborList::build(
+        &system.pbc,
+        &system.positions,
+        system.nb.cutoff,
+        system.nb.skin,
+    );
+    let cutoff_sq = system.nb.cutoff * system.nb.cutoff;
+    let mut per_node = vec![Vec::new(); decomp.torus.n_nodes() as usize];
+    for i in 0..system.n_atoms() {
+        for &j in nl.row(i) {
+            let jj = j as usize;
+            if system
+                .pbc
+                .dist_sq(system.positions[i], system.positions[jj])
+                < cutoff_sq
+                && !system.topology.exclusions.is_excluded(i, jj)
+            {
+                let node = crate::ntmethod::nt_node_for_pair(
+                    decomp,
+                    system.positions[i],
+                    system.positions[jj],
+                );
+                per_node[node as usize].push((i as u32, j));
+            }
+        }
+    }
+    per_node
+}
+
+/// Per-pair assignment: every in-range, non-excluded pair goes to exactly
+/// one node — the owner of its lower-indexed atom.
+pub fn assign_pairs(system: &System, decomp: &Decomposition) -> Vec<Vec<(u32, u32)>> {
+    let nl = NeighborList::build(
+        &system.pbc,
+        &system.positions,
+        system.nb.cutoff,
+        system.nb.skin,
+    );
+    let cutoff_sq = system.nb.cutoff * system.nb.cutoff;
+    let mut per_node = vec![Vec::new(); decomp.torus.n_nodes() as usize];
+    for i in 0..system.n_atoms() {
+        let owner = decomp.owner(system.positions[i]) as usize;
+        for &j in nl.row(i) {
+            let jj = j as usize;
+            if system
+                .pbc
+                .dist_sq(system.positions[i], system.positions[jj])
+                < cutoff_sq
+                && !system.topology.exclusions.is_excluded(i, jj)
+            {
+                per_node[owner].push((i as u32, j));
+            }
+        }
+    }
+    per_node
+}
+
+/// Compute the range-limited nonbonded forces for one node's pair list into
+/// a fixed-point accumulator (the node's partial-force store). The
+/// `scramble` seed permutes iteration order to emulate arbitrary arrival
+/// order on the real machine.
+pub fn node_pair_forces(
+    system: &System,
+    pairs: &[(u32, u32)],
+    scramble: u64,
+    acc: &mut FixedAccumulator,
+) -> u64 {
+    let cutoff_sq = system.nb.cutoff * system.nb.cutoff;
+    let alpha = system.nb.ewald_alpha;
+    let top = &system.topology;
+    let ff = &system.forcefield;
+    // Deterministic pseudo-random iteration order per node.
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    if scramble != 0 {
+        // Simple multiplicative shuffle keyed by the seed.
+        order.sort_by_key(|&k| (k as u64).wrapping_mul(scramble | 1).rotate_left(17));
+    }
+    let mut count = 0;
+    for k in order {
+        let (i, j) = pairs[k];
+        let (i, j) = (i as usize, j as usize);
+        let d = system
+            .pbc
+            .min_image(system.positions[i], system.positions[j]);
+        let r_sq = d.norm_sq();
+        debug_assert!(r_sq < cutoff_sq);
+        let lj = ff.lj(top.lj_types[i], top.lj_types[j]);
+        let shift = lj_shift_at(lj.a, lj.b, cutoff_sq);
+        let (f_over_r, _, _) = pair_interaction(
+            r_sq,
+            lj.a,
+            lj.b,
+            shift,
+            top.charges[i] * top.charges[j],
+            alpha,
+        );
+        let f = d * f_over_r;
+        acc.add(i, f);
+        acc.add(j, -f);
+        count += 1;
+    }
+    count
+}
+
+/// Outcome of a functional verification run.
+#[derive(Clone, Debug)]
+pub struct CosimOutcome {
+    /// Largest per-component deviation between distributed fixed-point and
+    /// serial f64 pair forces, kcal/mol/Å.
+    pub max_force_error: f64,
+    /// Pair interactions each node computed.
+    pub pair_counts: Vec<u64>,
+    /// FNV-1a checksum over the merged fixed-point force bits.
+    pub force_checksum: u64,
+}
+
+/// Which rule distributes pairs across nodes in a verification run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignRule {
+    /// Owner of the lower-indexed atom (simple, decomposition-independent).
+    MinIndexOwner,
+    /// The neutral-territory tower/plate rule (Anton's real distribution).
+    NeutralTerritory,
+}
+
+/// Distributed pair forces on `nodes` nodes, merged; verified against the
+/// serial pair kernel.
+pub fn verify_pair_forces(system: &System, nodes: u32, scramble: u64) -> CosimOutcome {
+    verify_pair_forces_with(system, nodes, scramble, AssignRule::MinIndexOwner)
+}
+
+/// [`verify_pair_forces`] with an explicit distribution rule.
+pub fn verify_pair_forces_with(
+    system: &System,
+    nodes: u32,
+    scramble: u64,
+    rule: AssignRule,
+) -> CosimOutcome {
+    let decomp = Decomposition::new(Torus::for_nodes(nodes), system.pbc);
+    let per_node = match rule {
+        AssignRule::MinIndexOwner => assign_pairs(system, &decomp),
+        AssignRule::NeutralTerritory => assign_pairs_nt(system, &decomp),
+    };
+
+    // Per-node partials, merged (integer adds: order-free).
+    let mut merged = FixedAccumulator::new(system.n_atoms());
+    let mut pair_counts = Vec::with_capacity(per_node.len());
+    for (node, pairs) in per_node.iter().enumerate() {
+        let mut local = FixedAccumulator::new(system.n_atoms());
+        let count = node_pair_forces(system, pairs, scramble ^ node as u64, &mut local);
+        pair_counts.push(count);
+        merged.merge(&local);
+    }
+
+    // Serial reference (pure f64).
+    let nl = NeighborList::build(
+        &system.pbc,
+        &system.positions,
+        system.nb.cutoff,
+        system.nb.skin,
+    );
+    let mut serial = vec![Vec3::ZERO; system.n_atoms()];
+    anton2_md::pairkernel::nonbonded_forces(system, &nl, &mut serial);
+
+    let mut max_err = 0.0f64;
+    for (i, s) in serial.iter().enumerate() {
+        let d = merged.force(i) - *s;
+        max_err = max_err.max(d.max_abs());
+    }
+
+    CosimOutcome {
+        max_force_error: max_err,
+        pair_counts,
+        force_checksum: checksum(&merged),
+    }
+}
+
+/// FNV-1a over the fixed-point force words, in atom order.
+pub fn checksum(acc: &FixedAccumulator) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for i in 0..acc.len() {
+        for w in acc.fixed(i) {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+    }
+    h
+}
+
+/// Bitwise checksum of the distributed pair-force computation on a given
+/// machine size — the determinism witness (F9).
+pub fn force_checksum(system: &System, nodes: u32, scramble: u64) -> u64 {
+    verify_pair_forces(system, nodes, scramble).force_checksum
+}
+
+/// K-space energy computed through the *distributed* pencil FFT (spreading
+/// node by node, transposing between simulated ranks) — must match the
+/// serial grid solver.
+pub fn distributed_kspace_energy(system: &System, nodes: u32) -> f64 {
+    let decomp = Decomposition::new(Torus::for_nodes(nodes), system.pbc);
+    let params = GseParams::for_box(system.nb.ewald_alpha, &system.pbc);
+    let gse = Gse::new(system.nb.ewald_alpha, system.pbc, params);
+
+    // Spread node-by-node (different floating summation order than the
+    // serial atom-ordered spread — the comparison tolerance covers it).
+    let owned = decomp.assign(system);
+    let mut rho = anton2_fft::Grid3::zeros(params.nx, params.ny, params.nz);
+    for list in &owned {
+        let positions: Vec<Vec3> = list.iter().map(|&a| system.positions[a as usize]).collect();
+        let charges: Vec<f64> = list
+            .iter()
+            .map(|&a| system.topology.charges[a as usize])
+            .collect();
+        gse.spread_into(&positions, &charges, &mut rho);
+    }
+
+    // Distributed convolution: pencil forward, influence multiply on the
+    // x-pencil layout, pencil inverse.
+    let layout =
+        crate::plan::PencilLayout::choose(Torus::for_nodes(nodes), params.nx, params.ny, params.nz);
+    let plan = PencilFft::new(
+        params.nx,
+        params.ny,
+        params.nz,
+        layout.px as usize,
+        layout.py as usize,
+    );
+    let mut dist = plan.scatter(&rho);
+    plan.forward(&mut dist);
+    debug_assert_eq!(dist.layout, Layout::XPencil);
+    for block in &mut dist.blocks {
+        let (x0, y0, z0) = (block.x0, block.y0, block.z0);
+        let (x1, y1, z1) = (block.x1, block.y1, block.z1);
+        for gx in x0..x1 {
+            for gy in y0..y1 {
+                for gz in z0..z1 {
+                    let g = gse.influence_at(gx, gy, gz);
+                    let idx = ((gx - x0) * (y1 - y0) + (gy - y0)) * (z1 - z0) + (gz - z0);
+                    block.data[idx] = block.data[idx].scale(g);
+                }
+            }
+        }
+    }
+    plan.inverse(&mut dist);
+    let phi = plan.gather(&dist);
+
+    // E = (C/2)·h³·Σ ρφ.
+    let h = params.spacing(&system.pbc);
+    let cell = h.x * h.y * h.z;
+    let dot: f64 = rho
+        .data
+        .iter()
+        .zip(&phi.data)
+        .map(|(a, b)| a.re * b.re)
+        .sum();
+    0.5 * COULOMB * cell * dot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton2_md::builders::{solvated_protein, water_box};
+
+    #[test]
+    fn every_pair_assigned_exactly_once() {
+        let s = water_box(5, 5, 5, 2);
+        let decomp = Decomposition::new(Torus::for_nodes(8), s.pbc);
+        let per_node = assign_pairs(&s, &decomp);
+        let total: usize = per_node.iter().map(|v| v.len()).sum();
+        // Must equal the serial interaction count.
+        let nl = NeighborList::build(&s.pbc, &s.positions, s.nb.cutoff, s.nb.skin);
+        let serial = anton2_md::pairkernel::count_interactions(&s, &nl, &s.topology.exclusions);
+        assert_eq!(total as u64, serial);
+        // No duplicates across nodes.
+        let mut all: Vec<(u32, u32)> = per_node.into_iter().flatten().collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before);
+    }
+
+    #[test]
+    fn distributed_forces_match_serial() {
+        let s = water_box(5, 5, 5, 3);
+        let out = verify_pair_forces(&s, 8, 12345);
+        // Quantization-limited agreement: each atom receives a few hundred
+        // contributions, each rounded to 2^-24.
+        assert!(out.max_force_error < 1e-4, "err {}", out.max_force_error);
+        assert!(out.pair_counts.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn determinism_across_machine_sizes_and_orders() {
+        let s = solvated_protein(60, 200, 4);
+        let reference = force_checksum(&s, 1, 0);
+        for nodes in [8u32, 27, 64] {
+            for scramble in [0u64, 7, 99999] {
+                assert_eq!(
+                    force_checksum(&s, nodes, scramble),
+                    reference,
+                    "nodes {nodes}, scramble {scramble}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn float_order_sensitivity_is_what_fixed_point_removes() {
+        // The same computation in plain f64 CAN differ across orders; the
+        // fixed-point path must not. (We only check the fixed path here —
+        // the f64 sensitivity is demonstrated in anton2-md::fixedpoint.)
+        let s = water_box(4, 4, 4, 9);
+        let a = force_checksum(&s, 8, 1);
+        let b = force_checksum(&s, 8, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nt_assignment_covers_pairs_and_matches_checksum() {
+        // The NT tower/plate distribution computes the same pair set as the
+        // min-index rule, on different nodes — and because forces merge in
+        // fixed point, the result is *bitwise identical*.
+        let s = water_box(5, 5, 5, 2);
+        let min_index = verify_pair_forces_with(&s, 64, 5, AssignRule::MinIndexOwner);
+        let nt = verify_pair_forces_with(&s, 64, 17, AssignRule::NeutralTerritory);
+        assert_eq!(
+            min_index.pair_counts.iter().sum::<u64>(),
+            nt.pair_counts.iter().sum::<u64>(),
+            "same total pair count"
+        );
+        assert_eq!(
+            min_index.force_checksum, nt.force_checksum,
+            "bitwise identical forces"
+        );
+        assert!(nt.max_force_error < 1e-4);
+        // The NT rule spreads work across more nodes than atom ownership
+        // alone when boxes are small (neutral territory!): some pairs land
+        // on nodes owning neither atom.
+        let busy_nodes = nt.pair_counts.iter().filter(|&&c| c > 0).count();
+        assert!(busy_nodes > 32, "only {busy_nodes} nodes busy under NT");
+    }
+
+    #[test]
+    fn distributed_kspace_matches_serial_gse() {
+        let s = water_box(4, 4, 4, 5);
+        let serial = {
+            let params = GseParams::for_box(s.nb.ewald_alpha, &s.pbc);
+            let gse = Gse::new(s.nb.ewald_alpha, s.pbc, params);
+            let mut f = vec![Vec3::ZERO; s.n_atoms()];
+            gse.energy_forces(&s.positions, &s.topology.charges, &mut f)
+        };
+        for nodes in [1u32, 8] {
+            let dist = distributed_kspace_energy(&s, nodes);
+            assert!(
+                (dist - serial).abs() < 1e-8 * serial.abs().max(1.0),
+                "nodes {nodes}: {dist} vs {serial}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_load_roughly_balanced_on_uniform_system() {
+        let s = water_box(6, 6, 6, 6);
+        let out = verify_pair_forces(&s, 8, 0);
+        let max = *out.pair_counts.iter().max().unwrap() as f64;
+        let mean = out.pair_counts.iter().sum::<u64>() as f64 / 8.0;
+        assert!(max / mean < 1.6, "imbalance {}", max / mean);
+    }
+}
+
+/// One RESPA cycle of a timed trajectory.
+#[derive(Clone, Debug)]
+pub struct CycleRecord {
+    /// Simulated physical time at the cycle start, fs.
+    pub time_fs: f64,
+    /// Average machine wall time per step in this cycle, µs.
+    pub step_time_us: f64,
+    /// Atom load imbalance (max/mean over nodes) at the cycle start.
+    pub imbalance: f64,
+    /// Total potential energy at the cycle end, kcal/mol.
+    pub potential: f64,
+    /// Atoms that changed owning node during this cycle (measured from the
+    /// real trajectory — validates the plan's kinetic-theory estimate).
+    pub migrated_atoms: u32,
+}
+
+/// Timing of a real trajectory on the simulated machine.
+#[derive(Clone, Debug)]
+pub struct TrajectoryTiming {
+    pub cycles: Vec<CycleRecord>,
+    /// Sustained throughput over the whole run, µs/day.
+    pub sustained_us_per_day: f64,
+}
+
+/// Full co-simulation: advance the *serial reference engine* through real
+/// dynamics while the machine model times every RESPA cycle against the
+/// *current* atom distribution — the plan is rebuilt each cycle, so load
+/// drift from diffusion and migration shows up in the timing, exactly as it
+/// would on the real machine.
+pub fn timed_trajectory(
+    engine: &mut anton2_md::engine::Engine,
+    machine_cfg: crate::config::MachineConfig,
+    cycles: u32,
+    respa_interval: u32,
+) -> TrajectoryTiming {
+    let mut records = Vec::with_capacity(cycles as usize);
+    let mut total_wall_us = 0.0;
+    for _ in 0..cycles {
+        let decomp = Decomposition::new(machine_cfg.torus, engine.system.pbc);
+        let imbalance = decomp.imbalance(&engine.system);
+        let plan =
+            crate::plan::StepPlan::build_with_dt(&engine.system, &machine_cfg, engine.cfg.dt_fs);
+        let mut machine = crate::machine::Machine::new(machine_cfg);
+        let (avg_step, _) = machine.simulate_respa_cycle(&plan, respa_interval);
+        let time_fs = engine.time_fs();
+        let owners_before: Vec<u32> = engine
+            .system
+            .positions
+            .iter()
+            .map(|&p| decomp.owner(p))
+            .collect();
+        engine.run(respa_interval as usize);
+        let migrated_atoms = engine
+            .system
+            .positions
+            .iter()
+            .zip(&owners_before)
+            .filter(|(&p, &before)| decomp.owner(p) != before)
+            .count() as u32;
+        records.push(CycleRecord {
+            time_fs,
+            step_time_us: avg_step.as_us_f64(),
+            imbalance,
+            potential: engine.energies().potential(),
+            migrated_atoms,
+        });
+        total_wall_us += avg_step.as_us_f64() * respa_interval as f64;
+    }
+    let simulated_fs = cycles as f64 * respa_interval as f64 * engine.cfg.dt_fs;
+    let sustained = anton2_md::units::us_per_day(
+        simulated_fs / (cycles * respa_interval).max(1) as f64,
+        total_wall_us * 1e-6 / (cycles * respa_interval).max(1) as f64,
+    );
+    TrajectoryTiming {
+        cycles: records,
+        sustained_us_per_day: sustained,
+    }
+}
+
+#[cfg(test)]
+mod trajectory_tests {
+    use super::*;
+    use anton2_md::builders::water_box;
+    use anton2_md::engine::{Engine, EngineConfig};
+
+    #[test]
+    fn timed_trajectory_advances_physics_and_reports_timing() {
+        let mut sys = water_box(4, 4, 4, 3);
+        sys.thermalize(300.0, 4);
+        let mut cfg = EngineConfig::quick();
+        cfg.dt_fs = 2.0;
+        cfg.respa = anton2_md::integrate::RespaSchedule { kspace_interval: 2 };
+        let mut engine = Engine::new(sys, cfg);
+        engine.minimize(100, 1.0);
+        engine.system.thermalize(300.0, 5);
+        let t = timed_trajectory(&mut engine, crate::config::MachineConfig::anton2(8), 4, 2);
+        assert_eq!(t.cycles.len(), 4);
+        assert!(t.sustained_us_per_day > 0.0);
+        // The engine really moved: 4 cycles × 2 steps × 2 fs.
+        assert!((engine.time_fs() - 16.0).abs() < 1e-9);
+        for c in &t.cycles {
+            assert!(c.step_time_us > 0.0);
+            assert!(c.imbalance >= 1.0);
+            assert!(c.potential.is_finite());
+        }
+        // Cycle timestamps advance by the cycle length.
+        assert!((t.cycles[1].time_fs - t.cycles[0].time_fs - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_migration_matches_kinetic_theory_scale() {
+        // The plan sizes migration traffic from the one-way kinetic flux;
+        // the real trajectory's measured owner changes must land in the
+        // same decade.
+        let mut sys = water_box(6, 6, 6, 13);
+        sys.thermalize(300.0, 14);
+        let mut cfg = EngineConfig::quick();
+        cfg.dt_fs = 2.0;
+        cfg.respa = anton2_md::integrate::RespaSchedule { kspace_interval: 2 };
+        let mut engine = Engine::new(sys, cfg);
+        engine.minimize(120, 1.0);
+        engine.system.thermalize(300.0, 15);
+        engine.run(100); // settle the lattice start into a fluid
+        let machine = crate::config::MachineConfig::anton2(8);
+        let t = timed_trajectory(&mut engine, machine, 10, 2);
+        let measured: u32 = t.cycles.iter().map(|c| c.migrated_atoms).sum();
+        let steps = 10.0 * 2.0;
+        let per_step = measured as f64 / steps;
+        // Kinetic-theory estimate summed over the machine (the plan stores
+        // per-face bytes; recompute atoms/step here).
+        let plan = crate::plan::StepPlan::build_with_dt(&engine.system, &machine, 2.0);
+        let model_bytes: u64 = plan
+            .comm
+            .migrations
+            .iter()
+            .flatten()
+            .map(|&(_, b)| b as u64)
+            .sum();
+        let model_atoms_per_step = model_bytes as f64 / crate::plan::BYTES_PER_MIGRATED_ATOM;
+        assert!(per_step > 0.0, "a 300 K fluid must migrate");
+        let ratio = per_step / model_atoms_per_step;
+        assert!(
+            (0.1..10.0).contains(&ratio),
+            "measured {per_step:.2} vs modeled {model_atoms_per_step:.2} atoms/step (ratio {ratio:.2})"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # anton2-core — the machine co-simulator (the paper's contribution)
+//!
+//! Ties the substrates together: the MD workload (`anton2-md`), the node
+//! model (`anton2-asic`), and the torus network (`anton2-net`) combine into
+//! a whole-machine simulator for Anton 2 (event-driven, fine-grained) and
+//! Anton 1 (bulk-synchronous) plus commodity baselines.
+//!
+//! * [`config`] — machine descriptions ([`MachineConfig::anton2`],
+//!   [`MachineConfig::anton1`]), execution policies, import methods;
+//! * [`decomp`] — spatial decomposition onto the torus;
+//! * [`ntmethod`] — neutral-territory vs half-shell import geometry;
+//! * [`plan`] — per-step work and message planning;
+//! * [`machine`] — the step timing simulator (event-driven vs BSP);
+//! * [`cosim`] — functional verification: the distributed computation the
+//!   machine performs, checked against the serial engine, with Anton's
+//!   fixed-point determinism;
+//! * [`baseline`] — 2014 commodity platform models;
+//! * [`report`] — µs/day reporting and experiment records.
+
+pub mod baseline;
+pub mod config;
+pub mod cosim;
+pub mod decomp;
+pub mod machine;
+pub mod matchunit;
+pub mod ntmethod;
+pub mod plan;
+#[cfg(test)]
+mod proptests;
+pub mod report;
+pub mod schedule;
+
+pub use config::{ExecPolicy, ImportMethod, MachineConfig};
+pub use decomp::Decomposition;
+pub use machine::{Machine, PhaseBreakdown, StepResult};
+pub use plan::{NodeWork, PencilLayout, StepPlan};
+pub use report::PerfReport;

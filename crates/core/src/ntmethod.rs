@@ -1,0 +1,362 @@
+//! Import-region geometry: the neutral-territory (NT) method versus
+//! half-shell and full-shell imports.
+//!
+//! Anton's range-limited pair computation uses the NT zonal method: a node
+//! imports a "tower" (the column over its box footprint, ±cutoff) and a
+//! "plate" (a half-ring around its box at its own z), and each pair is
+//! computed at the node where the tower of one atom meets the plate of the
+//! other — often a node owning *neither* atom, hence "neutral territory".
+//! The NT import volume scales better than the traditional half-shell as
+//! boxes shrink relative to the cutoff — exactly the regime a 512-node
+//! machine operates in. Experiment F6 reproduces that comparison, and
+//! [`nt_node_for_pair`] implements the actual assignment rule with a
+//! property-tested exactly-once/availability guarantee.
+
+use crate::config::ImportMethod;
+use crate::decomp::Decomposition;
+use anton2_md::vec3::Vec3;
+use anton2_net::{Coord, NodeId};
+
+/// Import volume (Å³) for a node with box dimensions `b` and cutoff `r`.
+///
+/// The neutral-territory region implemented here is the symmetric-tower
+/// variant: a full vertical tower (±r) over the box footprint plus a
+/// half-ring plate at the box's own z-extent. This is the variant whose
+/// pair-assignment rule ([`nt_node_for_pair`]) provably covers every
+/// in-range pair exactly once with only tower+plate imports (see the
+/// coverage property test).
+pub fn import_volume(method: ImportMethod, b: Vec3, r: f64) -> f64 {
+    match method {
+        ImportMethod::FullShell => {
+            (b.x + 2.0 * r) * (b.y + 2.0 * r) * (b.z + 2.0 * r) - b.x * b.y * b.z
+        }
+        ImportMethod::HalfShell => import_volume(ImportMethod::FullShell, b, r) / 2.0,
+        ImportMethod::NeutralTerritory => {
+            // Tower: the box footprint extended by r both up and down.
+            let tower = 2.0 * b.x * b.y * r;
+            // Plate: half of the xy-ring around the footprint, at the box's
+            // own z-extent.
+            let ring = (b.x + 2.0 * r) * (b.y + 2.0 * r) - b.x * b.y;
+            tower + 0.5 * ring * b.z
+        }
+    }
+}
+
+/// Ring-signed box-offset between two coordinates on a ring of length `n`
+/// (shorter way around; exact halves resolve positive).
+fn ring_delta(a: u32, b: u32, n: u32) -> i32 {
+    let fwd = (b + n - a) % n;
+    let bwd = n - fwd;
+    if fwd == 0 {
+        0
+    } else if fwd <= bwd {
+        fwd as i32
+    } else {
+        -(bwd as i32)
+    }
+}
+
+/// Whether an xy box-offset lies in the plate half-plane
+/// (`dy > 0`, or `dy == 0 && dx > 0`).
+fn in_half_plane(dx: i32, dy: i32) -> bool {
+    dy > 0 || (dy == 0 && dx > 0)
+}
+
+/// The neutral-territory assignment: the unique node that computes the
+/// interaction of the atoms at `pi` and `pj`.
+///
+/// Rule (symmetric-tower NT):
+/// * same box → that box;
+/// * same xy column → the box of the *lower* atom (ring-signed), whose
+///   upward tower contains the other;
+/// * otherwise, the atom whose xy offset from the other lies in the plate
+///   half-plane plays the **plate** role, the other the **tower** role, and
+///   the interaction node is `(tower.xy, plate.z)`.
+///
+/// Both atoms are then locally available: the tower atom is in the node's
+/// ±r tower, the plate atom in its half-plane plate — the exactly-once and
+/// availability properties are asserted by property tests.
+pub fn nt_node_for_pair(decomp: &Decomposition, pi: Vec3, pj: Vec3) -> NodeId {
+    let torus = decomp.torus;
+    // Canonicalize the pair by owner id so ring-delta ties (offsets of
+    // exactly half a ring, which resolve to the same sign from both sides)
+    // cannot make the rule order-dependent.
+    let (pi, pj) = if decomp.owner(pi) <= decomp.owner(pj) {
+        (pi, pj)
+    } else {
+        (pj, pi)
+    };
+    let bi = torus.coord(decomp.owner(pi));
+    let bj = torus.coord(decomp.owner(pj));
+    if bi == bj {
+        return torus.id(bi);
+    }
+    let dx = ring_delta(bi.x, bj.x, torus.nx);
+    let dy = ring_delta(bi.y, bj.y, torus.ny);
+    let dz = ring_delta(bi.z, bj.z, torus.nz);
+    if dx == 0 && dy == 0 {
+        // Same column: the lower box hosts (its one-sided upward tower
+        // reaches the other atom).
+        return if dz > 0 { torus.id(bi) } else { torus.id(bj) };
+    }
+    if in_half_plane(dx, dy) {
+        // j is the plate atom, i the tower atom: node (i.xy, j.z).
+        torus.id(Coord {
+            x: bi.x,
+            y: bi.y,
+            z: bj.z,
+        })
+    } else {
+        torus.id(Coord {
+            x: bj.x,
+            y: bj.y,
+            z: bi.z,
+        })
+    }
+}
+
+/// Whether the atom in box `atom_box` is locally available (owned or
+/// imported) at `node` under the NT import region with per-axis box reach
+/// `(rx, ry, rz)`.
+pub fn nt_available(
+    torus: anton2_net::Torus,
+    node: Coord,
+    atom_box: Coord,
+    reach: (i32, i32, i32),
+) -> bool {
+    let dx = ring_delta(node.x, atom_box.x, torus.nx);
+    let dy = ring_delta(node.y, atom_box.y, torus.ny);
+    let dz = ring_delta(node.z, atom_box.z, torus.nz);
+    if (dx, dy, dz) == (0, 0, 0) {
+        return true; // owned
+    }
+    // Tower: same column, within ±reach.z.
+    if dx == 0 && dy == 0 && dz.abs() <= reach.2 {
+        return true;
+    }
+    // Plate: own slab, half-plane, within reach.
+    dz == 0 && dx.abs() <= reach.0 && dy.abs() <= reach.1 && in_half_plane(dx, dy)
+}
+
+/// Estimated atoms imported per node at number density `rho` (atoms/Å³).
+pub fn import_atoms(method: ImportMethod, b: Vec3, r: f64, rho: f64) -> f64 {
+    import_volume(method, b, r) * rho
+}
+
+/// Neighbor-node offsets a node imports from (and, symmetrically, exports
+/// to): the source set of the position multicast. Offsets are in node-box
+/// units, `(dx, dy, dz)` with each component in `[-reach, reach]`.
+pub fn import_offsets(method: ImportMethod, b: Vec3, r: f64) -> Vec<(i32, i32, i32)> {
+    let reach = |edge: f64| (r / edge).ceil().max(0.0) as i32;
+    let (rx, ry, rz) = (reach(b.x), reach(b.y), reach(b.z));
+    let mut out = Vec::new();
+    match method {
+        ImportMethod::FullShell => {
+            for dx in -rx..=rx {
+                for dy in -ry..=ry {
+                    for dz in -rz..=rz {
+                        if (dx, dy, dz) != (0, 0, 0) {
+                            out.push((dx, dy, dz));
+                        }
+                    }
+                }
+            }
+        }
+        ImportMethod::HalfShell => {
+            for dx in -rx..=rx {
+                for dy in -ry..=ry {
+                    for dz in -rz..=rz {
+                        // Lexicographically positive half.
+                        if (dz, dy, dx) > (0, 0, 0)
+                            || (dz == 0 && (dy, dx) > (0, 0))
+                            || (dz == 0 && dy == 0 && dx > 0)
+                        {
+                            out.push((dx, dy, dz));
+                        }
+                    }
+                }
+            }
+        }
+        ImportMethod::NeutralTerritory => {
+            // Tower: full column, up and down.
+            for dz in -rz..=rz {
+                if dz != 0 {
+                    out.push((0, 0, dz));
+                }
+            }
+            // Plate: half-plane at own z (dy > 0, or dy == 0 && dx > 0).
+            for dx in -rx..=rx {
+                for dy in -ry..=ry {
+                    if in_half_plane(dx, dy) {
+                        out.push((dx, dy, 0));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Wire bytes per imported atom: fixed-point position (3×4 B) + atom id and
+/// type metadata (8 B) + charge (4 B).
+pub const BYTES_PER_IMPORT_ATOM: f64 = 24.0;
+
+/// Wire bytes per returned partial force (3×8 B fixed-point force + id).
+pub const BYTES_PER_FORCE_RETURN: f64 = 28.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton2_md::vec3::v3;
+
+    #[test]
+    fn nt_imports_less_than_half_shell() {
+        // Across box sizes from much larger than the cutoff to much smaller.
+        for edge in [30.0, 15.0, 9.0, 6.0, 3.0] {
+            let b = v3(edge, edge, edge);
+            let nt = import_volume(ImportMethod::NeutralTerritory, b, 9.0);
+            let hs = import_volume(ImportMethod::HalfShell, b, 9.0);
+            assert!(nt < hs, "edge {edge}: NT {nt} vs HS {hs}");
+        }
+    }
+
+    #[test]
+    fn nt_advantage_grows_as_boxes_shrink() {
+        let r = 9.0;
+        let ratio = |edge: f64| {
+            let b = v3(edge, edge, edge);
+            import_volume(ImportMethod::HalfShell, b, r)
+                / import_volume(ImportMethod::NeutralTerritory, b, r)
+        };
+        assert!(
+            ratio(3.0) > ratio(30.0),
+            "{} vs {}",
+            ratio(3.0),
+            ratio(30.0)
+        );
+    }
+
+    #[test]
+    fn full_shell_is_twice_half_shell() {
+        let b = v3(10.0, 12.0, 8.0);
+        let full = import_volume(ImportMethod::FullShell, b, 9.0);
+        let half = import_volume(ImportMethod::HalfShell, b, 9.0);
+        assert!((full - 2.0 * half).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volumes_positive_and_monotone_in_cutoff() {
+        let b = v3(8.0, 8.0, 8.0);
+        for m in [
+            ImportMethod::FullShell,
+            ImportMethod::HalfShell,
+            ImportMethod::NeutralTerritory,
+        ] {
+            let v1 = import_volume(m, b, 6.0);
+            let v2 = import_volume(m, b, 12.0);
+            assert!(v1 > 0.0 && v2 > v1, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn half_shell_offsets_are_half_of_full() {
+        let b = v3(8.0, 8.0, 8.0);
+        let full = import_offsets(ImportMethod::FullShell, b, 9.0);
+        let half = import_offsets(ImportMethod::HalfShell, b, 9.0);
+        assert_eq!(full.len(), 2 * half.len());
+        // Half-shell offsets plus their negations cover the full shell.
+        let mut covered: Vec<_> = half
+            .iter()
+            .flat_map(|&(x, y, z)| [(x, y, z), (-x, -y, -z)])
+            .collect();
+        covered.sort_unstable();
+        let mut full_sorted = full.clone();
+        full_sorted.sort_unstable();
+        assert_eq!(covered, full_sorted);
+    }
+
+    #[test]
+    fn nt_offsets_fewer_than_half_shell() {
+        let b = v3(7.0, 7.0, 7.0); // reach 2 per dim at r = 9
+        let nt = import_offsets(ImportMethod::NeutralTerritory, b, 9.0);
+        let hs = import_offsets(ImportMethod::HalfShell, b, 9.0);
+        assert!(nt.len() < hs.len(), "NT {} vs HS {}", nt.len(), hs.len());
+        // Tower offsets present both ways.
+        assert!(nt.contains(&(0, 0, 1)));
+        assert!(nt.contains(&(0, 0, -2)));
+        // Off-plane imports are tower-only.
+        assert!(nt
+            .iter()
+            .filter(|&&(_, _, dz)| dz != 0)
+            .all(|&(dx, dy, _)| (dx, dy) == (0, 0)));
+    }
+
+    #[test]
+    fn nt_pair_assignment_exactly_once_and_available() {
+        // The heart of the NT method: every in-range pair gets exactly one
+        // well-defined interaction node, and that node has both atoms in
+        // its import region.
+        use crate::decomp::Decomposition;
+        use anton2_md::pbc::PbcBox;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let torus = anton2_net::Torus::new(4, 4, 4);
+        let pbc = PbcBox::cubic(32.0); // boxes 8 Å
+        let decomp = Decomposition::new(torus, pbc);
+        let rc = 9.0;
+        let reach = (2, 2, 2); // ceil(9/8) = 2
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut checked = 0;
+        while checked < 500 {
+            let pi = v3(
+                rng.gen::<f64>() * 32.0,
+                rng.gen::<f64>() * 32.0,
+                rng.gen::<f64>() * 32.0,
+            );
+            let d = v3(
+                (rng.gen::<f64>() - 0.5) * 2.0 * rc,
+                (rng.gen::<f64>() - 0.5) * 2.0 * rc,
+                (rng.gen::<f64>() - 0.5) * 2.0 * rc,
+            );
+            if d.norm() >= rc {
+                continue;
+            }
+            let pj = pbc.wrap(pi + d);
+            checked += 1;
+            let n_ij = nt_node_for_pair(&decomp, pi, pj);
+            let n_ji = nt_node_for_pair(&decomp, pj, pi);
+            assert_eq!(n_ij, n_ji, "assignment must be symmetric in the pair");
+            let node = torus.coord(n_ij);
+            let bi = torus.coord(decomp.owner(pi));
+            let bj = torus.coord(decomp.owner(pj));
+            assert!(
+                nt_available(torus, node, bi, reach),
+                "atom i box {bi:?} not available at NT node {node:?} (j {bj:?})"
+            );
+            assert!(
+                nt_available(torus, node, bj, reach),
+                "atom j box {bj:?} not available at NT node {node:?} (i {bi:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn no_offset_is_zero() {
+        let b = v3(8.0, 8.0, 8.0);
+        for m in [
+            ImportMethod::FullShell,
+            ImportMethod::HalfShell,
+            ImportMethod::NeutralTerritory,
+        ] {
+            assert!(!import_offsets(m, b, 9.0).contains(&(0, 0, 0)));
+        }
+    }
+
+    #[test]
+    fn import_atoms_scales_with_density() {
+        let b = v3(8.0, 8.0, 8.0);
+        let a1 = import_atoms(ImportMethod::NeutralTerritory, b, 9.0, 0.05);
+        let a2 = import_atoms(ImportMethod::NeutralTerritory, b, 9.0, 0.10);
+        assert!((a2 / a1 - 2.0).abs() < 1e-12);
+    }
+}

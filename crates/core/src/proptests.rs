@@ -1,0 +1,123 @@
+//! Cross-module property tests for the machine co-simulator: plan
+//! invariants and step-simulation sanity over arbitrary machine shapes.
+
+#![cfg(test)]
+
+use crate::config::{ExecPolicy, ImportMethod, MachineConfig};
+use crate::machine::Machine;
+use crate::plan::StepPlan;
+use anton2_des::SimTime;
+use anton2_md::builders::water_box;
+use proptest::prelude::*;
+
+fn arb_nodes() -> impl Strategy<Value = u32> {
+    prop::sample::select(vec![1u32, 2, 4, 8, 16, 32, 64])
+}
+
+fn arb_import() -> impl Strategy<Value = ImportMethod> {
+    prop::sample::select(vec![
+        ImportMethod::NeutralTerritory,
+        ImportMethod::HalfShell,
+        ImportMethod::FullShell,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every message in a plan targets a valid node and never self-targets
+    /// where that would be a network no-op bug.
+    #[test]
+    fn plan_messages_are_well_formed(nodes in arb_nodes(), import in arb_import(), seed in 0u64..50) {
+        let s = water_box(6, 6, 6, seed);
+        let cfg = MachineConfig::anton2(nodes).with_import(import);
+        let plan = StepPlan::build(&s, &cfg);
+        let n = nodes;
+        for (src, dsts) in plan.comm.import_dsts.iter().enumerate() {
+            for &d in dsts {
+                prop_assert!(d < n);
+                prop_assert_ne!(d as usize, src);
+            }
+        }
+        for msgs in plan.comm.force_returns.iter().chain(&plan.comm.spread_msgs) {
+            for &(d, bytes) in msgs {
+                prop_assert!(d < n);
+                prop_assert!(bytes >= 16);
+            }
+        }
+        for phase in &plan.comm.fft_transposes {
+            for &(a, b, bytes) in phase {
+                prop_assert!(a < n && b < n && a != b);
+                prop_assert!(bytes > 0);
+            }
+        }
+    }
+
+    /// Work conservation: per-node integrate/spread/owned sums match the
+    /// system regardless of machine shape or import method.
+    #[test]
+    fn plan_work_conserved(nodes in arb_nodes(), import in arb_import()) {
+        let s = water_box(6, 6, 6, 3);
+        let cfg = MachineConfig::anton2(nodes).with_import(import);
+        let plan = StepPlan::build(&s, &cfg);
+        prop_assert_eq!(plan.total_atoms(), s.n_atoms() as u64);
+        let integrate: u64 = plan.work.iter().map(|w| w.integrate_atoms).sum();
+        prop_assert_eq!(integrate, s.n_atoms() as u64);
+    }
+
+    /// A simulated step always produces positive time, utilization in
+    /// (0, 1], and next-ready times beyond the start, for every execution
+    /// policy and import method.
+    #[test]
+    fn step_simulation_sane(
+        nodes in arb_nodes(),
+        import in arb_import(),
+        bsp in proptest::bool::ANY,
+        kspace in proptest::bool::ANY,
+    ) {
+        let s = water_box(6, 6, 6, 4);
+        let exec = if bsp { ExecPolicy::BulkSynchronous } else { ExecPolicy::EventDriven };
+        let cfg = MachineConfig::anton2(nodes).with_import(import).with_exec(exec);
+        let plan = StepPlan::build(&s, &cfg);
+        let mut machine = Machine::new(cfg);
+        let ready = vec![SimTime::ZERO; nodes as usize];
+        let r = machine.simulate_step(&plan, kspace, &ready);
+        prop_assert!(r.step_time > SimTime::ZERO);
+        prop_assert!(r.compute_utilization > 0.0 && r.compute_utilization <= 1.0);
+        for &t in &r.next_ready {
+            prop_assert!(t > SimTime::ZERO);
+        }
+    }
+
+    /// Import methods order end-to-end exactly as their volumes do:
+    /// NT ≤ half-shell ≤ full-shell communication bytes.
+    #[test]
+    fn import_method_bytes_ordered(nodes in prop::sample::select(vec![8u32, 27, 64])) {
+        let s = water_box(6, 6, 6, 5);
+        let bytes = |m: ImportMethod| {
+            StepPlan::build(&s, &MachineConfig::anton2(nodes).with_import(m)).total_comm_bytes()
+        };
+        let nt = bytes(ImportMethod::NeutralTerritory);
+        let hs = bytes(ImportMethod::HalfShell);
+        let full = bytes(ImportMethod::FullShell);
+        prop_assert!(nt <= hs, "NT {nt} vs HS {hs}");
+        prop_assert!(hs <= full, "HS {hs} vs full {full}");
+    }
+
+    /// The RESPA cycle average never exceeds the outer-step time and the
+    /// whole simulation is deterministic.
+    #[test]
+    fn respa_cycle_invariants(nodes in arb_nodes(), interval in 1u32..4) {
+        let s = water_box(6, 6, 6, 6);
+        let cfg = MachineConfig::anton2(nodes);
+        let plan = StepPlan::build(&s, &cfg);
+        let run = || {
+            let mut m = Machine::new(cfg);
+            m.simulate_respa_cycle(&plan, interval)
+        };
+        let (avg1, outer1) = run();
+        let (avg2, _) = run();
+        prop_assert_eq!(avg1, avg2, "nondeterministic timing");
+        prop_assert!(avg1 <= outer1.step_time);
+    }
+}

@@ -1,0 +1,161 @@
+//! Performance reporting: the µs/day figure of merit and step breakdowns,
+//! in the units the paper uses.
+
+use crate::config::MachineConfig;
+use crate::machine::{Machine, StepResult};
+use crate::plan::StepPlan;
+use anton2_md::units::us_per_day;
+use anton2_md::System;
+use serde::{Deserialize, Serialize};
+
+/// Per-phase step breakdown in microseconds.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct BreakdownUs {
+    pub import_comm: f64,
+    pub htis: f64,
+    pub bonded: f64,
+    pub kspace: f64,
+    pub integrate: f64,
+    pub barriers: f64,
+}
+
+/// The result of one machine-performance simulation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PerfReport {
+    pub machine: String,
+    pub nodes: u32,
+    pub atoms: usize,
+    pub dt_fs: f64,
+    pub respa_interval: u32,
+    /// Average wall time per step, µs.
+    pub step_time_us: f64,
+    /// Simulated physical time per wall-clock day, µs/day — the paper's
+    /// figure of merit.
+    pub us_per_day: f64,
+    /// Outer-step phase breakdown, µs.
+    pub breakdown: BreakdownUs,
+    /// Mean node busy fraction during the outer step.
+    pub compute_utilization: f64,
+    /// Total pair interactions per step.
+    pub pairs_per_step: u64,
+    /// Total bytes of communication on an outer step.
+    pub comm_bytes_per_step: u64,
+}
+
+/// Simulate `system` on `machine_cfg` and report performance.
+///
+/// `dt_fs` is the MD timestep; `respa_interval` the k-space interval
+/// (Anton production: 2.5 fs with long-range every 2–3 steps).
+///
+/// ```
+/// use anton2_core::{report::simulate_performance, MachineConfig};
+/// use anton2_md::builders::water_box;
+///
+/// let system = water_box(6, 6, 6, 1);
+/// let report = simulate_performance(&system, MachineConfig::anton2(8), 2.5, 2);
+/// assert!(report.us_per_day > 0.0);
+/// assert_eq!(report.nodes, 8);
+/// ```
+pub fn simulate_performance(
+    system: &System,
+    machine_cfg: MachineConfig,
+    dt_fs: f64,
+    respa_interval: u32,
+) -> PerfReport {
+    let plan = StepPlan::build(system, &machine_cfg);
+    let mut machine = Machine::new(machine_cfg);
+    let (avg_step, outer) = machine.simulate_respa_cycle(&plan, respa_interval);
+    report_from(
+        system,
+        &machine_cfg,
+        &plan,
+        avg_step.as_us_f64(),
+        &outer,
+        dt_fs,
+        respa_interval,
+    )
+}
+
+fn report_from(
+    system: &System,
+    cfg: &MachineConfig,
+    plan: &StepPlan,
+    step_time_us: f64,
+    outer: &StepResult,
+    dt_fs: f64,
+    respa_interval: u32,
+) -> PerfReport {
+    let b = outer.breakdown;
+    PerfReport {
+        machine: cfg.name.to_string(),
+        nodes: cfg.n_nodes(),
+        atoms: system.n_atoms(),
+        dt_fs,
+        respa_interval,
+        step_time_us,
+        us_per_day: us_per_day(dt_fs, step_time_us * 1e-6),
+        breakdown: BreakdownUs {
+            import_comm: b.import_comm.as_us_f64(),
+            htis: b.htis.as_us_f64(),
+            bonded: b.bonded.as_us_f64(),
+            kspace: b.kspace.as_us_f64(),
+            integrate: b.integrate.as_us_f64(),
+            barriers: b.barriers.as_us_f64(),
+        },
+        compute_utilization: outer.compute_utilization,
+        pairs_per_step: plan.total_pairs(),
+        comm_bytes_per_step: plan.total_comm_bytes(),
+    }
+}
+
+impl PerfReport {
+    /// One row of the paper-style performance table.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<24} {:>5} nodes  {:>9.3} µs/step  {:>9.2} µs/day  util {:>5.1}%",
+            self.machine,
+            self.nodes,
+            self.step_time_us,
+            self.us_per_day,
+            self.compute_utilization * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton2_md::builders::water_box;
+
+    #[test]
+    fn report_has_consistent_units() {
+        let s = water_box(8, 8, 8, 1);
+        let r = simulate_performance(&s, MachineConfig::anton2(8), 2.5, 2);
+        assert!(r.step_time_us > 0.0);
+        assert!(r.us_per_day > 0.0);
+        // µs/day must equal the conversion of step time.
+        let expect = us_per_day(2.5, r.step_time_us * 1e-6);
+        assert!((r.us_per_day - expect).abs() < 1e-9);
+        assert_eq!(r.atoms, s.n_atoms());
+        assert_eq!(r.nodes, 8);
+    }
+
+    #[test]
+    fn row_renders() {
+        let s = water_box(8, 8, 8, 1);
+        let r = simulate_performance(&s, MachineConfig::anton2(8), 2.5, 2);
+        let row = r.row();
+        assert!(row.contains("Anton 2"));
+        assert!(row.contains("µs/day"));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let s = water_box(8, 8, 8, 1);
+        let r = simulate_performance(&s, MachineConfig::anton2(8), 2.5, 2);
+        let j = serde_json::to_string(&r).unwrap();
+        assert!(j.contains("us_per_day"));
+        let back: PerfReport = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.nodes, r.nodes);
+    }
+}

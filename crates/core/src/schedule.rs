@@ -1,0 +1,773 @@
+//! The timestep as an explicit task graph driven by synchronization
+//! counters — the most literal model of Anton 2's event-driven hardware.
+//!
+//! [`crate::machine`] computes step timing with structured per-phase code
+//! (fast, calibrated). This module is the *mechanism-level* counterpart:
+//! every piece of work is a [`TaskSpec`] with a sync-counter threshold, and
+//! completions raise counters locally or through the network, exactly as
+//! counted remote writes do in the silicon. A builder
+//! ([`build_step_graph`]) lowers a [`StepPlan`] into such a graph, and the
+//! tests cross-validate the two models: the DAG executor must land in a
+//! band around the structured model (it is strictly more conservative —
+//! each task waits for *all* of its inputs rather than streaming per
+//! message) while remaining deterministic.
+//!
+//! Because the graph is explicit, this is also the programmability surface:
+//! new algorithms are new graphs, no simulator changes required — the
+//! property the paper's title claims for the machine.
+
+// Indexed loops below walk parallel per-node task arrays in lockstep.
+#![allow(clippy::needless_range_loop)]
+
+use crate::plan::StepPlan;
+use anton2_asic::{CounterBank, NodeParams};
+use anton2_des::{EventQueue, SimTime};
+use anton2_net::{Network, NodeId};
+
+/// Which node engine executes a task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Unit {
+    /// The HTIS (PPIM arrays).
+    Htis,
+    /// The flexible subsystem (geometry cores, data-parallel).
+    Flex,
+}
+
+/// Dense task id within a graph.
+pub type TaskId = u32;
+
+/// One schedulable unit of work.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskSpec {
+    pub node: NodeId,
+    pub unit: Unit,
+    pub duration: SimTime,
+    /// Sync-counter threshold: number of completions/messages that must
+    /// arrive before the task may launch. Zero fires at step start.
+    pub threshold: u32,
+}
+
+/// A completion effect: raise `target`'s counter, either locally (dispatch
+/// latency) or through the network (`bytes` on the wire to the target's
+/// node).
+#[derive(Clone, Copy, Debug)]
+pub struct Effect {
+    pub target: TaskId,
+    /// `Some(bytes)` = counted remote write through the torus;
+    /// `None` = on-chip increment.
+    pub bytes: Option<u32>,
+}
+
+/// An executable task graph.
+#[derive(Clone, Debug, Default)]
+pub struct TaskGraph {
+    pub tasks: Vec<TaskSpec>,
+    pub effects: Vec<Vec<Effect>>,
+}
+
+impl TaskGraph {
+    pub fn add(&mut self, spec: TaskSpec) -> TaskId {
+        self.tasks.push(spec);
+        self.effects.push(Vec::new());
+        (self.tasks.len() - 1) as TaskId
+    }
+
+    pub fn on_complete(&mut self, task: TaskId, effect: Effect) {
+        self.effects[task as usize].push(effect);
+    }
+
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+/// Execution record.
+#[derive(Clone, Debug)]
+pub struct DagOutcome {
+    /// Completion time of every task.
+    pub finish: Vec<SimTime>,
+    /// Latest completion.
+    pub makespan: SimTime,
+    /// Tasks that actually ran (must equal the graph size if the graph is
+    /// well-formed).
+    pub executed: usize,
+}
+
+/// Execute a task graph on `net`, with per-(node, unit) FIFO engines and
+/// `dispatch` latency between a counter firing and the task launching.
+///
+/// # Panics
+/// Panics if the graph deadlocks (some task's counter never reaches its
+/// threshold) — a malformed graph is a bug, not a timing result.
+pub fn execute(graph: &TaskGraph, net: &mut Network, node: &NodeParams) -> DagOutcome {
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Fire(TaskId),
+        Done(TaskId),
+    }
+    let disp = SimTime::from_ns_f64(node.dispatch_latency_ns);
+    let n_nodes = net.torus.n_nodes() as usize;
+    let mut counters = CounterBank::new();
+    for t in &graph.tasks {
+        let id = counters.alloc(t.threshold);
+        debug_assert_eq!(id as u32, counters.len() as u32 - 1);
+    }
+    // Per-(node, unit) engine availability.
+    let mut htis_free = vec![SimTime::ZERO; n_nodes];
+    let mut flex_free = vec![SimTime::ZERO; n_nodes];
+
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    for (id, t) in graph.tasks.iter().enumerate() {
+        if t.threshold == 0 {
+            queue.schedule(SimTime::ZERO, Ev::Fire(id as TaskId));
+        }
+    }
+
+    let mut finish = vec![SimTime::ZERO; graph.len()];
+    let mut executed = 0usize;
+    while let Some((now, ev)) = queue.pop() {
+        match ev {
+            Ev::Fire(id) => {
+                let t = &graph.tasks[id as usize];
+                let free = match t.unit {
+                    Unit::Htis => &mut htis_free[t.node as usize],
+                    Unit::Flex => &mut flex_free[t.node as usize],
+                };
+                let start = (now + disp).max(*free);
+                let end = start + t.duration;
+                *free = end;
+                queue.schedule(end, Ev::Done(id));
+            }
+            Ev::Done(id) => {
+                finish[id as usize] = now;
+                executed += 1;
+                for e in &graph.effects[id as usize] {
+                    let target = &graph.tasks[e.target as usize];
+                    let at = match e.bytes {
+                        None => now,
+                        Some(bytes) => {
+                            let src = graph.tasks[id as usize].node;
+                            net.transmit(now, src, target.node, bytes)
+                        }
+                    };
+                    if counters.increment(e.target as usize, at) {
+                        let fire = counters.get(e.target as usize).fire_time().unwrap();
+                        // Only schedule once: the counter reports `fired`
+                        // on every increment past the threshold; fire
+                        // exactly when the count *reaches* it.
+                        if counters.get(e.target as usize).count()
+                            == counters.get(e.target as usize).threshold()
+                        {
+                            queue.schedule(fire.max(now), Ev::Fire(e.target));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    assert_eq!(
+        executed,
+        graph.len(),
+        "task graph deadlocked: {} of {} tasks ran (unreachable thresholds)",
+        executed,
+        graph.len()
+    );
+    let makespan = finish.iter().copied().max().unwrap_or(SimTime::ZERO);
+    DagOutcome {
+        finish,
+        makespan,
+        executed,
+    }
+}
+
+/// Task-id handles into a step graph, for composing further algorithms
+/// onto the step (the programmability surface: analysis passes, custom
+/// reductions, mid-step exports hang off these).
+#[derive(Clone, Debug)]
+pub struct StepHandles {
+    pub position_export: Vec<TaskId>,
+    pub htis: Vec<TaskId>,
+    pub bonded: Vec<TaskId>,
+    pub integrate: Vec<TaskId>,
+}
+
+/// Lower a [`StepPlan`] into a task graph for one step.
+///
+/// Per node: position export → HTIS (all imports + local positions) →
+/// force returns → integrate; bonded in parallel on flex; on outer steps
+/// the k-space chain (spread → 3 forward FFT stages with transposes →
+/// influence → 3 inverse stages → grid return → interpolation) gates
+/// integration too. Thresholds are exact message counts from the plan.
+pub fn build_step_graph(plan: &StepPlan, node_params: &NodeParams, kspace: bool) -> TaskGraph {
+    build_step_graph_with_handles(plan, node_params, kspace).0
+}
+
+/// [`build_step_graph`], also returning the per-node task handles so
+/// callers can wire additional algorithms onto the step.
+pub fn build_step_graph_with_handles(
+    plan: &StepPlan,
+    node_params: &NodeParams,
+    kspace: bool,
+) -> (TaskGraph, StepHandles) {
+    use anton2_asic::{htis_batch_time, parallel_time, WorkKind};
+    let n = plan.work.len();
+    let ranks = plan.pencil.ranks() as usize;
+    let mut g = TaskGraph::default();
+
+    // Per-node tasks.
+    let pos: Vec<TaskId> = (0..n)
+        .map(|i| {
+            g.add(TaskSpec {
+                node: i as NodeId,
+                unit: Unit::Flex,
+                duration: SimTime::from_ns(1),
+                threshold: 0,
+            })
+        })
+        .collect();
+    let htis: Vec<TaskId> = (0..n)
+        .map(|i| {
+            let w = &plan.work[i];
+            g.add(TaskSpec {
+                node: i as NodeId,
+                unit: Unit::Htis,
+                duration: htis_batch_time(
+                    node_params,
+                    w.owned_atoms + w.imported_atoms,
+                    w.pair_interactions,
+                ),
+                // Own positions + one increment per import message.
+                threshold: 1 + plan.comm.import_msgs_in[i],
+            })
+        })
+        .collect();
+    let bonded: Vec<TaskId> = (0..n)
+        .map(|i| {
+            g.add(TaskSpec {
+                node: i as NodeId,
+                unit: Unit::Flex,
+                duration: parallel_time(node_params, WorkKind::Bonded, plan.work[i].bonded_terms),
+                threshold: 1, // own positions
+            })
+        })
+        .collect();
+    let integrate: Vec<TaskId> = (0..n)
+        .map(|i| {
+            let w = &plan.work[i];
+            let dur = parallel_time(node_params, WorkKind::Integration, w.integrate_atoms)
+                + parallel_time(node_params, WorkKind::Constraints, w.constraints);
+            // htis + bonded + force returns (+ interp on k-space steps).
+            let force_in = plan
+                .comm
+                .force_returns
+                .iter()
+                .flatten()
+                .filter(|&&(dst, _)| dst as usize == i)
+                .count() as u32;
+            g.add(TaskSpec {
+                node: i as NodeId,
+                unit: Unit::Flex,
+                duration: dur,
+                threshold: 2 + force_in + u32::from(kspace),
+            })
+        })
+        .collect();
+
+    // Wiring: positions → local htis/bonded and remote htis.
+    for i in 0..n {
+        g.on_complete(
+            pos[i],
+            Effect {
+                target: htis[i],
+                bytes: None,
+            },
+        );
+        g.on_complete(
+            pos[i],
+            Effect {
+                target: bonded[i],
+                bytes: None,
+            },
+        );
+        for &dst in &plan.comm.import_dsts[i] {
+            g.on_complete(
+                pos[i],
+                Effect {
+                    target: htis[dst as usize],
+                    bytes: Some(plan.comm.import_bytes[i]),
+                },
+            );
+        }
+        g.on_complete(
+            htis[i],
+            Effect {
+                target: integrate[i],
+                bytes: None,
+            },
+        );
+        g.on_complete(
+            bonded[i],
+            Effect {
+                target: integrate[i],
+                bytes: None,
+            },
+        );
+        for &(dst, bytes) in &plan.comm.force_returns[i] {
+            g.on_complete(
+                htis[i],
+                Effect {
+                    target: integrate[dst as usize],
+                    bytes: Some(bytes),
+                },
+            );
+        }
+    }
+
+    if kspace {
+        let spread: Vec<TaskId> = (0..n)
+            .map(|i| {
+                g.add(TaskSpec {
+                    node: i as NodeId,
+                    unit: Unit::Flex,
+                    duration: parallel_time(
+                        node_params,
+                        WorkKind::GridPoints,
+                        plan.work[i].spread_points,
+                    ),
+                    threshold: 1, // own positions
+                })
+            })
+            .collect();
+        for i in 0..n {
+            g.on_complete(
+                pos[i],
+                Effect {
+                    target: spread[i],
+                    bytes: None,
+                },
+            );
+        }
+
+        // FFT stage tasks per rank: fwd z/y/x, influence, inv x/y/z.
+        let stage_dur = parallel_time(
+            node_params,
+            WorkKind::FftButterflies,
+            plan.butterflies_per_rank,
+        );
+        let infl_dur = parallel_time(
+            node_params,
+            WorkKind::GridPoints,
+            plan.influence_points_per_rank,
+        );
+        // Incoming-message counts per rank for each comm phase.
+        let mut spread_in = vec![0u32; ranks];
+        for msgs in &plan.comm.spread_msgs {
+            for &(dst, _) in msgs {
+                spread_in[plan.pencil.rank_of(dst).unwrap() as usize] += 1;
+            }
+        }
+        let transpose_in = |phase: usize| {
+            let mut counts = vec![0u32; ranks];
+            for &(_, dst, _) in &plan.comm.fft_transposes[phase] {
+                counts[plan.pencil.rank_of(dst).unwrap() as usize] += 1;
+            }
+            counts
+        };
+        let mk_stage = |g: &mut TaskGraph, dur: SimTime, thresholds: &[u32]| -> Vec<TaskId> {
+            (0..ranks)
+                .map(|r| {
+                    g.add(TaskSpec {
+                        node: plan.pencil.node_of(r as u32),
+                        unit: Unit::Flex,
+                        duration: dur,
+                        threshold: thresholds[r].max(1),
+                    })
+                })
+                .collect()
+        };
+        // Thresholds: z-stage waits for spread contributions (+1 own spread
+        // if the host also spreads — counted via a local effect below).
+        let z_thr: Vec<u32> = spread_in.iter().map(|&c| c + 1).collect();
+        let fwd_z = mk_stage(&mut g, stage_dur, &z_thr);
+        let t0 = transpose_in(0);
+        let fwd_y = mk_stage(&mut g, stage_dur, &t0);
+        let t1 = transpose_in(1);
+        let fwd_x = mk_stage(&mut g, stage_dur, &t1);
+        let infl = mk_stage(&mut g, infl_dur, &vec![1; ranks]);
+        let inv_x = mk_stage(&mut g, stage_dur, &vec![1; ranks]);
+        let t2 = transpose_in(2);
+        let inv_y = mk_stage(&mut g, stage_dur, &t2);
+        let t3 = transpose_in(3);
+        let inv_z = mk_stage(&mut g, stage_dur, &t3);
+
+        // Interp per node: waits for grid returns destined to it (+1 if a
+        // rank host keeps its own part).
+        let mut grid_in = vec![0u32; n];
+        for (r, msgs) in plan.comm.grid_returns.iter().enumerate() {
+            let host = plan.pencil.node_of(r as u32) as usize;
+            grid_in[host] += 1; // own part, raised locally by inv_z
+            for &(dst, _) in msgs {
+                grid_in[dst as usize] += 1;
+            }
+        }
+        let interp: Vec<TaskId> = (0..n)
+            .map(|i| {
+                g.add(TaskSpec {
+                    node: i as NodeId,
+                    unit: Unit::Flex,
+                    duration: parallel_time(
+                        node_params,
+                        WorkKind::GridPoints,
+                        plan.work[i].interp_points,
+                    ),
+                    threshold: grid_in[i].max(1),
+                })
+            })
+            .collect();
+
+        // Wire the k-space chain.
+        for i in 0..n {
+            // Spread contributions to rank hosts.
+            for &(dst, bytes) in &plan.comm.spread_msgs[i] {
+                let r = plan.pencil.rank_of(dst).unwrap() as usize;
+                g.on_complete(
+                    spread[i],
+                    Effect {
+                        target: fwd_z[r],
+                        bytes: Some(bytes),
+                    },
+                );
+            }
+            // A rank host's own contribution is local.
+            if let Some(r) = plan.pencil.rank_of(i as u32) {
+                g.on_complete(
+                    spread[i],
+                    Effect {
+                        target: fwd_z[r as usize],
+                        bytes: None,
+                    },
+                );
+            }
+        }
+        let wire_transpose = |g: &mut TaskGraph, phase: usize, from: &[TaskId], to: &[TaskId]| {
+            for &(src, dst, bytes) in &plan.comm.fft_transposes[phase] {
+                let sr = plan.pencil.rank_of(src).unwrap() as usize;
+                let dr = plan.pencil.rank_of(dst).unwrap() as usize;
+                g.on_complete(
+                    from[sr],
+                    Effect {
+                        target: to[dr],
+                        bytes: Some(bytes),
+                    },
+                );
+            }
+        };
+        wire_transpose(&mut g, 0, &fwd_z, &fwd_y);
+        wire_transpose(&mut g, 1, &fwd_y, &fwd_x);
+        for r in 0..ranks {
+            g.on_complete(
+                fwd_x[r],
+                Effect {
+                    target: infl[r],
+                    bytes: None,
+                },
+            );
+            g.on_complete(
+                infl[r],
+                Effect {
+                    target: inv_x[r],
+                    bytes: None,
+                },
+            );
+        }
+        wire_transpose(&mut g, 2, &inv_x, &inv_y);
+        wire_transpose(&mut g, 3, &inv_y, &inv_z);
+        for (r, msgs) in plan.comm.grid_returns.iter().enumerate() {
+            let host = plan.pencil.node_of(r as u32) as usize;
+            g.on_complete(
+                inv_z[r],
+                Effect {
+                    target: interp[host],
+                    bytes: None,
+                },
+            );
+            for &(dst, bytes) in msgs {
+                g.on_complete(
+                    inv_z[r],
+                    Effect {
+                        target: interp[dst as usize],
+                        bytes: Some(bytes),
+                    },
+                );
+            }
+        }
+        for i in 0..n {
+            g.on_complete(
+                interp[i],
+                Effect {
+                    target: integrate[i],
+                    bytes: None,
+                },
+            );
+        }
+    }
+
+    let handles = StepHandles {
+        position_export: pos,
+        htis,
+        bonded,
+        integrate: integrate.clone(),
+    };
+    (g, handles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use anton2_md::builders::water_box;
+
+    fn tiny_graph() -> TaskGraph {
+        // a --(10ns)--> c, b --(local)--> c; c needs both.
+        let mut g = TaskGraph::default();
+        let a = g.add(TaskSpec {
+            node: 0,
+            unit: Unit::Flex,
+            duration: SimTime::from_ns(100),
+            threshold: 0,
+        });
+        let b = g.add(TaskSpec {
+            node: 1,
+            unit: Unit::Flex,
+            duration: SimTime::from_ns(50),
+            threshold: 0,
+        });
+        let c = g.add(TaskSpec {
+            node: 1,
+            unit: Unit::Flex,
+            duration: SimTime::from_ns(30),
+            threshold: 2,
+        });
+        g.on_complete(
+            a,
+            Effect {
+                target: c,
+                bytes: Some(256),
+            },
+        );
+        g.on_complete(
+            b,
+            Effect {
+                target: c,
+                bytes: None,
+            },
+        );
+        g
+    }
+
+    #[test]
+    fn hand_built_dag_timing() {
+        let cfg = MachineConfig::anton2(8);
+        let mut net = anton2_net::Network::new(cfg.torus, cfg.link);
+        let g = tiny_graph();
+        let out = execute(&g, &mut net, &cfg.node);
+        assert_eq!(out.executed, 3);
+        // a: disp(10) + 100 = 110 ns; message 0→1: +5 inj +35 hop + ser.
+        // c fires after the message arrives (later than b at 60), runs 30.
+        let a_done = out.finish[0].as_ns_f64();
+        assert!((a_done - 110.0).abs() < 1.0, "a at {a_done}");
+        let c_done = out.finish[2].as_ns_f64();
+        assert!(c_done > a_done + 35.0, "c at {c_done}");
+        assert_eq!(out.makespan, out.finish[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn unreachable_threshold_panics() {
+        let cfg = MachineConfig::anton2(8);
+        let mut net = anton2_net::Network::new(cfg.torus, cfg.link);
+        let mut g = TaskGraph::default();
+        g.add(TaskSpec {
+            node: 0,
+            unit: Unit::Flex,
+            duration: SimTime::from_ns(1),
+            threshold: 5, // nobody raises it
+        });
+        execute(&g, &mut net, &cfg.node);
+    }
+
+    #[test]
+    fn step_graph_executes_completely() {
+        let s = water_box(8, 8, 8, 1);
+        let cfg = MachineConfig::anton2(64);
+        let plan = StepPlan::build(&s, &cfg);
+        for kspace in [false, true] {
+            let g = build_step_graph(&plan, &cfg.node, kspace);
+            let mut net = anton2_net::Network::new(cfg.torus, cfg.link);
+            let out = execute(&g, &mut net, &cfg.node);
+            assert_eq!(out.executed, g.len());
+            assert!(out.makespan > SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn dag_brackets_the_structured_model() {
+        // The counter-driven graph waits for *all* inputs per task, so it is
+        // an upper bound on the structured event-driven model (which
+        // pipelines HTIS per message); both describe the same machine, so
+        // they must agree within a small band.
+        let s = water_box(8, 8, 8, 1);
+        let cfg = MachineConfig::anton2(64);
+        let plan = StepPlan::build(&s, &cfg);
+
+        let g = build_step_graph(&plan, &cfg.node, true);
+        let mut net = anton2_net::Network::new(cfg.torus, cfg.link);
+        let dag = execute(&g, &mut net, &cfg.node).makespan;
+
+        let mut machine = crate::machine::Machine::new(cfg);
+        let ready = vec![SimTime::ZERO; 64];
+        let structured = machine.simulate_step(&plan, true, &ready).step_time;
+
+        let ratio = dag.as_ns_f64() / structured.as_ns_f64();
+        assert!(
+            (0.5..3.0).contains(&ratio),
+            "DAG {dag} vs structured {structured} (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn dag_execution_is_deterministic() {
+        let s = water_box(6, 6, 6, 2);
+        let cfg = MachineConfig::anton2(8);
+        let plan = StepPlan::build(&s, &cfg);
+        let run = || {
+            let g = build_step_graph(&plan, &cfg.node, true);
+            let mut net = anton2_net::Network::new(cfg.torus, cfg.link);
+            execute(&g, &mut net, &cfg.node).makespan.as_ps()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn kspace_graph_is_larger_and_slower() {
+        let s = water_box(8, 8, 8, 3);
+        let cfg = MachineConfig::anton2(64);
+        let plan = StepPlan::build(&s, &cfg);
+        let inner = build_step_graph(&plan, &cfg.node, false);
+        let outer = build_step_graph(&plan, &cfg.node, true);
+        assert!(outer.len() > inner.len());
+        let mut net1 = anton2_net::Network::new(cfg.torus, cfg.link);
+        let t_inner = execute(&inner, &mut net1, &cfg.node).makespan;
+        let mut net2 = anton2_net::Network::new(cfg.torus, cfg.link);
+        let t_outer = execute(&outer, &mut net2, &cfg.node).makespan;
+        assert!(t_outer > t_inner);
+    }
+}
+
+#[cfg(test)]
+mod programmability_tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use anton2_md::builders::water_box;
+
+    /// Compose an on-machine analysis pass (per-node observable + tree
+    /// reduction to node 0) onto the MD step graph and show the overlap
+    /// makes it nearly free — the paper's programmability argument as a
+    /// regression test.
+    #[test]
+    fn analysis_pass_composes_onto_the_step_nearly_free() {
+        let s = water_box(8, 8, 8, 1);
+        let cfg = MachineConfig::anton2(64);
+        let plan = StepPlan::build(&s, &cfg);
+
+        // Baseline: plain outer step.
+        let (base_graph, _) = build_step_graph_with_handles(&plan, &cfg.node, true);
+        let mut net = anton2_net::Network::new(cfg.torus, cfg.link);
+        let base = execute(&base_graph, &mut net, &cfg.node).makespan;
+
+        // Step + analysis: each node computes a local observable after its
+        // HTIS work, partials tree-reduce to node 0.
+        let (mut g, handles) = build_step_graph_with_handles(&plan, &cfg.node, true);
+        let nodes = cfg.n_nodes();
+        let mut wave: Vec<TaskId> = (0..nodes)
+            .map(|node| {
+                let t = g.add(TaskSpec {
+                    node,
+                    unit: Unit::Flex,
+                    duration: SimTime::from_ns(60),
+                    threshold: 1,
+                });
+                g.on_complete(
+                    handles.htis[node as usize],
+                    Effect {
+                        target: t,
+                        bytes: None,
+                    },
+                );
+                t
+            })
+            .collect();
+        let mut stride = 1u32;
+        while stride < nodes {
+            let mut next = Vec::new();
+            for k in (0..nodes).step_by((2 * stride) as usize) {
+                let right_idx = k + stride;
+                let has_right = right_idx < nodes;
+                let combine = g.add(TaskSpec {
+                    node: k,
+                    unit: Unit::Flex,
+                    duration: SimTime::from_ns(20),
+                    threshold: 1 + u32::from(has_right),
+                });
+                g.on_complete(
+                    wave[(k / stride) as usize],
+                    Effect {
+                        target: combine,
+                        bytes: None,
+                    },
+                );
+                if has_right {
+                    g.on_complete(
+                        wave[(right_idx / stride) as usize],
+                        Effect {
+                            target: combine,
+                            bytes: Some(512),
+                        },
+                    );
+                }
+                next.push(combine);
+            }
+            wave = next;
+            stride *= 2;
+        }
+
+        let mut net = anton2_net::Network::new(cfg.torus, cfg.link);
+        let with_analysis = execute(&g, &mut net, &cfg.node).makespan;
+        let overhead = with_analysis.as_ns_f64() / base.as_ns_f64() - 1.0;
+        assert!(
+            overhead < 0.30,
+            "analysis should mostly hide behind the step: {:.1}% overhead \
+             ({base} -> {with_analysis})",
+            overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn handles_index_every_node() {
+        let s = water_box(6, 6, 6, 2);
+        let cfg = MachineConfig::anton2(8);
+        let plan = StepPlan::build(&s, &cfg);
+        let (g, h) = build_step_graph_with_handles(&plan, &cfg.node, false);
+        assert_eq!(h.position_export.len(), 8);
+        assert_eq!(h.htis.len(), 8);
+        assert_eq!(h.integrate.len(), 8);
+        for (node, &t) in h.integrate.iter().enumerate() {
+            assert_eq!(g.tasks[t as usize].node as usize, node);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Deterministic pending-event queue.
+//!
+//! Events scheduled for the same instant are delivered in the order they were
+//! scheduled (FIFO), which makes every simulation in this workspace exactly
+//! reproducible regardless of hash seeds or thread interleavings. The Anton
+//! papers lean heavily on determinism as a debugging and validation property;
+//! the simulator honors that down to its core.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event waiting in the queue. `seq` breaks ties between events scheduled
+/// for the same instant.
+struct Pending<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Pending<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Pending<E> {}
+
+impl<E> PartialOrd for Pending<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Pending<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// Popping always yields the event with the smallest `(time, insertion order)`
+/// key, so the simulation is a pure function of its inputs.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Pending<E>>,
+    next_seq: u64,
+    now: SimTime,
+    scheduled: u64,
+    delivered: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            scheduled: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (or zero before the first pop).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `payload` for absolute time `at`.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `at` is in the past — a component may never
+    /// rewrite history.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at:?} < now {:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Pending {
+            time: at,
+            seq,
+            payload,
+        });
+    }
+
+    /// Schedule `payload` for `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimTime, payload: E) {
+        let at = self.now + delay;
+        self.schedule(at, payload);
+    }
+
+    /// Remove and return the earliest event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let p = self.heap.pop()?;
+        debug_assert!(p.time >= self.now, "time went backwards");
+        self.now = p.time;
+        self.delivered += 1;
+        Some((p.time, p.payload))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|p| p.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total events ever delivered.
+    pub fn total_delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+/// Runs an event loop to completion (or until `limit` events), delivering each
+/// event to `handler` together with a mutable reference to the queue so the
+/// handler can schedule follow-on events.
+///
+/// Returns the number of events delivered.
+pub fn run_until_quiescent<E, W>(
+    queue: &mut EventQueue<E>,
+    world: &mut W,
+    limit: u64,
+    mut handler: impl FnMut(&mut W, &mut EventQueue<E>, SimTime, E),
+) -> u64 {
+    let mut n = 0;
+    while n < limit {
+        let Some((t, ev)) = queue.pop() else { break };
+        handler(world, queue, t, ev);
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ps(30), "c");
+        q.schedule(SimTime::from_ps(10), "a");
+        q.schedule(SimTime::from_ps(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_ps(30));
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_ps(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ps(100), 0u32);
+        q.pop();
+        q.schedule_after(SimTime::from_ps(50), 1u32);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_ps(150));
+        assert_eq!(e, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ps(100), ());
+        q.pop();
+        q.schedule(SimTime::from_ps(50), ());
+    }
+
+    #[test]
+    fn run_until_quiescent_cascades() {
+        // Each event at t < 5 schedules a successor 10 ps later.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 0u32);
+        let mut seen = Vec::new();
+        let n = run_until_quiescent(&mut q, &mut seen, 1_000, |seen, q, t, k| {
+            seen.push((t.as_ps(), k));
+            if k < 5 {
+                q.schedule_after(SimTime::from_ps(10), k + 1);
+            }
+        });
+        assert_eq!(n, 6);
+        assert_eq!(seen.last(), Some(&(50, 5)));
+    }
+
+    #[test]
+    fn run_respects_event_limit() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        let n = run_until_quiescent(&mut q, &mut (), 10, |_, q, _, ()| {
+            q.schedule_after(SimTime::from_ps(1), ());
+        });
+        assert_eq!(n, 10);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        q.schedule(SimTime::ZERO, ());
+        q.pop();
+        assert_eq!(q.total_scheduled(), 2);
+        assert_eq!(q.total_delivered(), 1);
+        assert_eq!(q.len(), 1);
+    }
+}

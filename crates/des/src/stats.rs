@@ -1,0 +1,290 @@
+//! Lightweight measurement utilities shared by the network and ASIC models:
+//! streaming scalar statistics, fixed-bucket histograms, and busy-interval
+//! accounting for computing component utilization and overlap fractions.
+
+use crate::time::SimTime;
+
+/// Streaming mean/min/max/count over f64 samples (Welford for variance).
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+    /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A histogram over geometrically spaced buckets, for latency distributions.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    /// Bucket `i` counts samples in `[base * ratio^i, base * ratio^(i+1))` ns.
+    buckets: Vec<u64>,
+    base_ns: f64,
+    ratio: f64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl LatencyHistogram {
+    /// Histogram from `base_ns` nanoseconds upward with `nbuckets` buckets
+    /// each `ratio`× wider than the last.
+    pub fn new(base_ns: f64, ratio: f64, nbuckets: usize) -> Self {
+        assert!(base_ns > 0.0 && ratio > 1.0 && nbuckets > 0);
+        LatencyHistogram {
+            buckets: vec![0; nbuckets],
+            base_ns,
+            ratio,
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    pub fn record(&mut self, dt: SimTime) {
+        let ns = dt.as_ns_f64();
+        if ns < self.base_ns {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((ns / self.base_ns).ln() / self.ratio.ln()).floor() as usize;
+        if idx >= self.buckets.len() {
+            self.overflow += 1;
+        } else {
+            self.buckets[idx] += 1;
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Approximate p-th percentile (0..=100) using bucket lower edges.
+    pub fn percentile_ns(&self, p: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (p / 100.0 * total as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return 0.0;
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.base_ns * self.ratio.powi(i as i32);
+            }
+        }
+        self.base_ns * self.ratio.powi(self.buckets.len() as i32)
+    }
+}
+
+/// Accumulates the busy time of a component so we can report utilization and
+/// computation/communication overlap. Intervals may be recorded out of order
+/// but must not be nested for the same tracker.
+#[derive(Clone, Debug, Default)]
+pub struct BusyTracker {
+    busy_ps: u64,
+    intervals: u64,
+    last_end: SimTime,
+}
+
+impl BusyTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that the component was busy on `[start, end)`.
+    pub fn record(&mut self, start: SimTime, end: SimTime) {
+        debug_assert!(end >= start);
+        self.busy_ps += (end - start).as_ps();
+        self.intervals += 1;
+        if end > self.last_end {
+            self.last_end = end;
+        }
+    }
+
+    pub fn busy(&self) -> SimTime {
+        SimTime::from_ps(self.busy_ps)
+    }
+
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Busy fraction of the window `[0, horizon)`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon.as_ps() == 0 {
+            0.0
+        } else {
+            self.busy_ps as f64 / horizon.as_ps() as f64
+        }
+    }
+
+    pub fn last_end(&self) -> SimTime {
+        self.last_end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Summary::new();
+        for &x in &data {
+            all.record(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &data[..37] {
+            a.record(x);
+        }
+        for &x in &data[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_monotone() {
+        let mut h = LatencyHistogram::new(1.0, 2.0, 16);
+        for ns in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            h.record(SimTime::from_ns(ns));
+        }
+        assert_eq!(h.total(), 10);
+        let p50 = h.percentile_ns(50.0);
+        let p90 = h.percentile_ns(90.0);
+        assert!(p50 <= p90);
+        assert!(p90 >= 128.0);
+    }
+
+    #[test]
+    fn histogram_under_and_overflow() {
+        let mut h = LatencyHistogram::new(10.0, 2.0, 2);
+        h.record(SimTime::from_ns(1)); // underflow
+        h.record(SimTime::from_ns(15)); // bucket 0
+        h.record(SimTime::from_ns(25)); // bucket 1
+        h.record(SimTime::from_ns(1000)); // overflow
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn busy_tracker_utilization() {
+        let mut b = BusyTracker::new();
+        b.record(SimTime::from_ps(0), SimTime::from_ps(30));
+        b.record(SimTime::from_ps(50), SimTime::from_ps(70));
+        assert_eq!(b.busy().as_ps(), 50);
+        assert_eq!(b.intervals(), 2);
+        assert!((b.utilization(SimTime::from_ps(100)) - 0.5).abs() < 1e-12);
+        assert_eq!(b.last_end().as_ps(), 70);
+    }
+}

@@ -1,0 +1,181 @@
+//! Simulated time.
+//!
+//! The whole machine model runs on a single discrete clock measured in
+//! **picoseconds**. Picoseconds are fine enough to resolve a single ASIC
+//! cycle (625 ps at 1.6 GHz) and coarse enough that a u64 covers ~213 days
+//! of simulated time, far beyond any experiment in this repository.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in integer picoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero: the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Construct from a (possibly fractional) nanosecond count, rounding to
+    /// the nearest picosecond.
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        debug_assert!(ns >= 0.0, "negative simulated time");
+        SimTime((ns * 1_000.0).round() as u64)
+    }
+
+    /// Picoseconds since simulation start.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Nanoseconds since simulation start (lossy).
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Microseconds since simulation start (lossy).
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Seconds since simulation start (lossy).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// Saturating difference; useful for "time since" calculations where an
+    /// event may have been stamped slightly in the future by a component.
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ps", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        } else {
+            write!(f, "{}ps", self.0)
+        }
+    }
+}
+
+/// Converts a cycle count at a given clock frequency (GHz) to simulated time,
+/// rounding up to a whole picosecond so that work never takes zero time.
+#[inline]
+pub fn cycles_to_time(cycles: u64, clock_ghz: f64) -> SimTime {
+    debug_assert!(clock_ghz > 0.0);
+    // period in ps = 1000 / GHz
+    let ps = (cycles as f64 * 1_000.0 / clock_ghz).ceil() as u64;
+    SimTime(ps.max(if cycles > 0 { 1 } else { 0 }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimTime::from_ns(50).as_ps(), 50_000);
+        assert_eq!(SimTime::from_us(2).as_ps(), 2_000_000);
+        assert!((SimTime::from_ns(1500).as_us_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(SimTime::from_ns_f64(0.6255).as_ps(), 626);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ps(100);
+        let b = SimTime::from_ps(40);
+        assert_eq!((a + b).as_ps(), 140);
+        assert_eq!((a - b).as_ps(), 60);
+        assert_eq!(b.saturating_sub(a).as_ps(), 0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_ps(), 140);
+    }
+
+    #[test]
+    fn cycles_to_time_rounds_up_and_never_zero() {
+        // 1 cycle at 1.6 GHz = 625 ps exactly.
+        assert_eq!(cycles_to_time(1, 1.6).as_ps(), 625);
+        // 1 cycle at 3.0 GHz = 333.33 ps, rounds up to 334.
+        assert_eq!(cycles_to_time(1, 3.0).as_ps(), 334);
+        // Zero cycles take zero time.
+        assert_eq!(cycles_to_time(0, 1.6).as_ps(), 0);
+        // Very fast clock still yields at least 1 ps per nonzero cycle count.
+        assert_eq!(cycles_to_time(1, 10_000.0).as_ps(), 1);
+    }
+
+    #[test]
+    fn display_selects_sensible_unit() {
+        assert_eq!(format!("{}", SimTime::from_ps(7)), "7ps");
+        assert_eq!(format!("{}", SimTime::from_ns(50)), "50.000ns");
+        assert_eq!(format!("{}", SimTime::from_us(3)), "3.000us");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![SimTime::from_ps(5), SimTime::ZERO, SimTime::from_ps(2)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![SimTime::ZERO, SimTime::from_ps(2), SimTime::from_ps(5)]
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! A minimal double-precision complex number, implemented here rather than
+//! pulled from a crate so the FFT substrate is fully self-contained.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct C64 {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl C64 {
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Real number as a complex value.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// `e^{i theta}` — the unit phasor at angle `theta` (radians).
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        C64 { re: c, im: s }
+    }
+
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude |z|^2.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude |z|.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Multiply by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Multiplicative inverse; infinite components for zero input.
+    #[inline]
+    #[allow(clippy::suspicious_operation_groupings)]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        C64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, r: C64) -> C64 {
+        C64 {
+            re: self.re + r.re,
+            im: self.im + r.im,
+        }
+    }
+}
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, r: C64) {
+        self.re += r.re;
+        self.im += r.im;
+    }
+}
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, r: C64) -> C64 {
+        C64 {
+            re: self.re - r.re,
+            im: self.im - r.im,
+        }
+    }
+}
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, r: C64) {
+        self.re -= r.re;
+        self.im -= r.im;
+    }
+}
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, r: C64) -> C64 {
+        C64 {
+            re: self.re * r.re - self.im * r.im,
+            im: self.re * r.im + self.im * r.re,
+        }
+    }
+}
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, r: C64) {
+        *self = *self * r;
+    }
+}
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, s: f64) -> C64 {
+        self.scale(s)
+    }
+}
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z·w⁻¹ by definition
+    fn div(self, r: C64) -> C64 {
+        self * r.recip()
+    }
+}
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64 {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(x: f64) -> Self {
+        C64::real(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C64, b: C64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-3.0, 0.5);
+        assert!(close(a + b, b + a));
+        assert!(close(a * b, b * a));
+        assert!(close(a * (b + C64::ONE), a * b + a));
+        assert!(close(a / a, C64::ONE));
+        assert!(close(-a + a, C64::ZERO));
+    }
+
+    #[test]
+    fn cis_is_unit_phasor() {
+        for k in 0..16 {
+            let th = k as f64 * std::f64::consts::PI / 8.0;
+            let z = C64::cis(th);
+            assert!((z.abs() - 1.0).abs() < 1e-14);
+        }
+        assert!(close(C64::cis(0.0), C64::ONE));
+        assert!(close(C64::cis(std::f64::consts::FRAC_PI_2), C64::I));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = C64::new(3.0, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!(close(z * z.conj(), C64::real(25.0)));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(C64::I * C64::I, -C64::ONE));
+    }
+}

@@ -1,0 +1,525 @@
+//! Pencil-decomposed distributed 3D FFT.
+//!
+//! Anton 2 computes k-space electrostatics with a 3D FFT whose grid is
+//! distributed over the nodes of the torus; each 1D transform stage is local
+//! and the stages are separated by structured all-to-all transposes. This
+//! module implements that decomposition *functionally* — every rank holds a
+//! real buffer, every transpose produces explicit messages — so the machine
+//! simulator can replay exactly the messages a real run would generate, and
+//! the test suite can check the distributed result against the serial
+//! [`Fft3`](crate::dim3::Fft3).
+//!
+//! Layout convention: ranks form a `px × py` process grid,
+//! `rank = rx * py + ry`.
+//!
+//! * **Z-pencils** (input): rank `(rx, ry)` owns x-block `rx`, y-block `ry`,
+//!   all z.
+//! * **Y-pencils**: x-block `rx`, z-block `ry`, all y (transpose within a
+//!   process-grid row).
+//! * **X-pencils** (output): y-block `rx`, z-block `ry`, all x (transpose
+//!   within a process-grid column).
+
+use crate::complex::C64;
+use crate::dim3::Grid3;
+use crate::radix::Fft;
+
+/// Bytes of one complex grid point on the wire (two f64).
+pub const BYTES_PER_POINT: u64 = 16;
+
+/// Which pencil orientation a distributed grid currently has.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layout {
+    ZPencil,
+    YPencil,
+    XPencil,
+}
+
+/// One rank's rectangular sub-volume.
+#[derive(Clone, Debug)]
+pub struct LocalBlock {
+    pub x0: usize,
+    pub x1: usize,
+    pub y0: usize,
+    pub y1: usize,
+    pub z0: usize,
+    pub z1: usize,
+    pub data: Vec<C64>,
+}
+
+impl LocalBlock {
+    fn zeros(x0: usize, x1: usize, y0: usize, y1: usize, z0: usize, z1: usize) -> Self {
+        let n = (x1 - x0) * (y1 - y0) * (z1 - z0);
+        LocalBlock {
+            x0,
+            x1,
+            y0,
+            y1,
+            z0,
+            z1,
+            data: vec![C64::ZERO; n],
+        }
+    }
+
+    #[inline]
+    fn dims(&self) -> (usize, usize, usize) {
+        (self.x1 - self.x0, self.y1 - self.y0, self.z1 - self.z0)
+    }
+
+    /// Flat index of global coordinates; caller must ensure containment.
+    #[inline]
+    fn idx(&self, gx: usize, gy: usize, gz: usize) -> usize {
+        let (_, ly, lz) = self.dims();
+        ((gx - self.x0) * ly + (gy - self.y0)) * lz + (gz - self.z0)
+    }
+
+    #[inline]
+    pub fn get(&self, gx: usize, gy: usize, gz: usize) -> C64 {
+        self.data[self.idx(gx, gy, gz)]
+    }
+
+    #[inline]
+    fn set(&mut self, gx: usize, gy: usize, gz: usize, v: C64) {
+        let i = self.idx(gx, gy, gz);
+        self.data[i] = v;
+    }
+}
+
+/// A point-to-point transfer produced by a transpose phase.
+#[derive(Clone, Debug)]
+pub struct Message {
+    pub src: usize,
+    pub dst: usize,
+    pub bytes: u64,
+}
+
+/// Record of communication performed by a distributed transform.
+#[derive(Clone, Debug, Default)]
+pub struct CommLog {
+    /// One entry per transpose phase, each a list of rank-to-rank messages
+    /// (self-copies excluded).
+    pub phases: Vec<Vec<Message>>,
+}
+
+impl CommLog {
+    /// Total bytes moved across all phases.
+    pub fn total_bytes(&self) -> u64 {
+        self.phases.iter().flatten().map(|m| m.bytes).sum()
+    }
+
+    /// Total number of point-to-point messages.
+    pub fn total_messages(&self) -> usize {
+        self.phases.iter().map(|p| p.len()).sum()
+    }
+}
+
+/// A plan for pencil-decomposed transforms of a fixed grid over a fixed
+/// process grid.
+#[derive(Clone, Debug)]
+pub struct PencilFft {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    pub px: usize,
+    pub py: usize,
+    fx: Fft,
+    fy: Fft,
+    fz: Fft,
+}
+
+/// A grid distributed over ranks, with its current orientation.
+#[derive(Clone, Debug)]
+pub struct DistGrid {
+    pub layout: Layout,
+    pub blocks: Vec<LocalBlock>,
+}
+
+fn block_range(n: usize, parts: usize, i: usize) -> (usize, usize) {
+    let w = n / parts;
+    (i * w, (i + 1) * w)
+}
+
+impl PencilFft {
+    /// Plan for an `nx × ny × nz` grid over a `px × py` process grid.
+    ///
+    /// # Panics
+    /// Each grid dimension must be a power of two; `px` must divide `nx` and
+    /// `ny`; `py` must divide `ny` and `nz` (standard pencil divisibility).
+    pub fn new(nx: usize, ny: usize, nz: usize, px: usize, py: usize) -> Self {
+        assert!(px >= 1 && py >= 1);
+        assert!(
+            nx.is_multiple_of(px) && ny.is_multiple_of(px),
+            "px={px} must divide nx={nx} and ny={ny}"
+        );
+        assert!(
+            ny.is_multiple_of(py) && nz.is_multiple_of(py),
+            "py={py} must divide ny={ny} and nz={nz}"
+        );
+        PencilFft {
+            nx,
+            ny,
+            nz,
+            px,
+            py,
+            fx: Fft::new(nx),
+            fy: Fft::new(ny),
+            fz: Fft::new(nz),
+        }
+    }
+
+    pub fn ranks(&self) -> usize {
+        self.px * self.py
+    }
+
+    fn rank(&self, rx: usize, ry: usize) -> usize {
+        rx * self.py + ry
+    }
+
+    /// Distribute a global grid into z-pencils.
+    pub fn scatter(&self, g: &Grid3) -> DistGrid {
+        assert_eq!((g.nx, g.ny, g.nz), (self.nx, self.ny, self.nz));
+        let mut blocks = Vec::with_capacity(self.ranks());
+        for rx in 0..self.px {
+            let (x0, x1) = block_range(self.nx, self.px, rx);
+            for ry in 0..self.py {
+                let (y0, y1) = block_range(self.ny, self.py, ry);
+                let mut b = LocalBlock::zeros(x0, x1, y0, y1, 0, self.nz);
+                for gx in x0..x1 {
+                    for gy in y0..y1 {
+                        for gz in 0..self.nz {
+                            b.set(gx, gy, gz, g.get(gx, gy, gz));
+                        }
+                    }
+                }
+                blocks.push(b);
+            }
+        }
+        DistGrid {
+            layout: Layout::ZPencil,
+            blocks,
+        }
+    }
+
+    /// Collect a distributed grid (any layout) back into a global grid.
+    pub fn gather(&self, d: &DistGrid) -> Grid3 {
+        let mut g = Grid3::zeros(self.nx, self.ny, self.nz);
+        for b in &d.blocks {
+            for gx in b.x0..b.x1 {
+                for gy in b.y0..b.y1 {
+                    for gz in b.z0..b.z1 {
+                        g.set(gx, gy, gz, b.get(gx, gy, gz));
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    fn fft_lines(&self, d: &mut DistGrid, axis: Layout, inverse: bool) {
+        let plan = match axis {
+            Layout::XPencil => &self.fx,
+            Layout::YPencil => &self.fy,
+            Layout::ZPencil => &self.fz,
+        };
+        let n = plan.len();
+        let mut line = vec![C64::ZERO; n];
+        for b in &mut d.blocks {
+            match axis {
+                Layout::ZPencil => {
+                    debug_assert_eq!(b.z1 - b.z0, n);
+                    for gx in b.x0..b.x1 {
+                        for gy in b.y0..b.y1 {
+                            for (i, gz) in (b.z0..b.z1).enumerate() {
+                                line[i] = b.get(gx, gy, gz);
+                            }
+                            if inverse {
+                                plan.inverse_unscaled(&mut line);
+                            } else {
+                                plan.forward(&mut line);
+                            }
+                            for (i, gz) in (b.z0..b.z1).enumerate() {
+                                b.set(gx, gy, gz, line[i]);
+                            }
+                        }
+                    }
+                }
+                Layout::YPencil => {
+                    debug_assert_eq!(b.y1 - b.y0, n);
+                    for gx in b.x0..b.x1 {
+                        for gz in b.z0..b.z1 {
+                            for (i, gy) in (b.y0..b.y1).enumerate() {
+                                line[i] = b.get(gx, gy, gz);
+                            }
+                            if inverse {
+                                plan.inverse_unscaled(&mut line);
+                            } else {
+                                plan.forward(&mut line);
+                            }
+                            for (i, gy) in (b.y0..b.y1).enumerate() {
+                                b.set(gx, gy, gz, line[i]);
+                            }
+                        }
+                    }
+                }
+                Layout::XPencil => {
+                    debug_assert_eq!(b.x1 - b.x0, n);
+                    for gy in b.y0..b.y1 {
+                        for gz in b.z0..b.z1 {
+                            for (i, gx) in (b.x0..b.x1).enumerate() {
+                                line[i] = b.get(gx, gy, gz);
+                            }
+                            if inverse {
+                                plan.inverse_unscaled(&mut line);
+                            } else {
+                                plan.forward(&mut line);
+                            }
+                            for (i, gx) in (b.x0..b.x1).enumerate() {
+                                b.set(gx, gy, gz, line[i]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Transpose between layouts, returning the messages exchanged.
+    fn transpose(&self, d: &mut DistGrid, to: Layout) -> Vec<Message> {
+        let from = d.layout;
+        let mut new_blocks = Vec::with_capacity(self.ranks());
+        for rx in 0..self.px {
+            for ry in 0..self.py {
+                let b = match to {
+                    Layout::ZPencil => {
+                        let (x0, x1) = block_range(self.nx, self.px, rx);
+                        let (y0, y1) = block_range(self.ny, self.py, ry);
+                        LocalBlock::zeros(x0, x1, y0, y1, 0, self.nz)
+                    }
+                    Layout::YPencil => {
+                        let (x0, x1) = block_range(self.nx, self.px, rx);
+                        let (z0, z1) = block_range(self.nz, self.py, ry);
+                        LocalBlock::zeros(x0, x1, 0, self.ny, z0, z1)
+                    }
+                    Layout::XPencil => {
+                        let (y0, y1) = block_range(self.ny, self.px, rx);
+                        let (z0, z1) = block_range(self.nz, self.py, ry);
+                        LocalBlock::zeros(0, self.nx, y0, y1, z0, z1)
+                    }
+                };
+                new_blocks.push(b);
+            }
+        }
+        // Move every point from its old owner to its new owner, recording
+        // inter-rank traffic.
+        let mut volume = vec![vec![0u64; self.ranks()]; self.ranks()];
+        for (src, ob) in d.blocks.iter().enumerate() {
+            for gx in ob.x0..ob.x1 {
+                for gy in ob.y0..ob.y1 {
+                    for gz in ob.z0..ob.z1 {
+                        let dst = self.owner(to, gx, gy, gz);
+                        new_blocks[dst].set(gx, gy, gz, ob.get(gx, gy, gz));
+                        if dst != src {
+                            volume[src][dst] += BYTES_PER_POINT;
+                        }
+                    }
+                }
+            }
+        }
+        let _ = from;
+        d.blocks = new_blocks;
+        d.layout = to;
+        let mut msgs = Vec::new();
+        for (src, row) in volume.iter().enumerate() {
+            for (dst, &bytes) in row.iter().enumerate() {
+                if bytes > 0 {
+                    msgs.push(Message { src, dst, bytes });
+                }
+            }
+        }
+        msgs
+    }
+
+    /// Which rank owns global point `(gx, gy, gz)` under `layout`.
+    pub fn owner(&self, layout: Layout, gx: usize, gy: usize, gz: usize) -> usize {
+        match layout {
+            Layout::ZPencil => {
+                let rx = gx / (self.nx / self.px);
+                let ry = gy / (self.ny / self.py);
+                self.rank(rx, ry)
+            }
+            Layout::YPencil => {
+                let rx = gx / (self.nx / self.px);
+                let ry = gz / (self.nz / self.py);
+                self.rank(rx, ry)
+            }
+            Layout::XPencil => {
+                let rx = gy / (self.ny / self.px);
+                let ry = gz / (self.nz / self.py);
+                self.rank(rx, ry)
+            }
+        }
+    }
+
+    /// Full forward transform: z-pencils in, x-pencils out.
+    pub fn forward(&self, d: &mut DistGrid) -> CommLog {
+        assert_eq!(d.layout, Layout::ZPencil, "forward starts from z-pencils");
+        let mut log = CommLog::default();
+        self.fft_lines(d, Layout::ZPencil, false);
+        log.phases.push(self.transpose(d, Layout::YPencil));
+        self.fft_lines(d, Layout::YPencil, false);
+        log.phases.push(self.transpose(d, Layout::XPencil));
+        self.fft_lines(d, Layout::XPencil, false);
+        log
+    }
+
+    /// Full inverse transform: x-pencils in, z-pencils out, including the
+    /// `1/N` normalization.
+    pub fn inverse(&self, d: &mut DistGrid) -> CommLog {
+        assert_eq!(d.layout, Layout::XPencil, "inverse starts from x-pencils");
+        let mut log = CommLog::default();
+        self.fft_lines(d, Layout::XPencil, true);
+        log.phases.push(self.transpose(d, Layout::YPencil));
+        self.fft_lines(d, Layout::YPencil, true);
+        log.phases.push(self.transpose(d, Layout::ZPencil));
+        self.fft_lines(d, Layout::ZPencil, true);
+        let s = 1.0 / (self.nx * self.ny * self.nz) as f64;
+        for b in &mut d.blocks {
+            for z in b.data.iter_mut() {
+                *z = z.scale(s);
+            }
+        }
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim3::Fft3;
+
+    fn filled(nx: usize, ny: usize, nz: usize) -> Grid3 {
+        let mut g = Grid3::zeros(nx, ny, nz);
+        for ix in 0..nx {
+            for iy in 0..ny {
+                for iz in 0..nz {
+                    g.set(
+                        ix,
+                        iy,
+                        iz,
+                        C64::new(
+                            ((ix * 5 + iy * 3 + iz) as f64).sin(),
+                            (ix + iy + 2 * iz) as f64 * 0.01,
+                        ),
+                    );
+                }
+            }
+        }
+        g
+    }
+
+    fn max_err(a: &Grid3, b: &Grid3) -> f64 {
+        a.data
+            .iter()
+            .zip(&b.data)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn distributed_forward_matches_serial() {
+        for (px, py) in [(1, 1), (2, 2), (4, 2), (2, 4)] {
+            let (nx, ny, nz) = (16, 16, 16);
+            let plan = PencilFft::new(nx, ny, nz, px, py);
+            let g = filled(nx, ny, nz);
+            let mut d = plan.scatter(&g);
+            plan.forward(&mut d);
+            let got = plan.gather(&d);
+            let mut want = g.clone();
+            Fft3::new(nx, ny, nz).forward(&mut want);
+            assert!(max_err(&got, &want) < 1e-8, "px={px} py={py}");
+        }
+    }
+
+    #[test]
+    fn distributed_roundtrip_identity() {
+        let (nx, ny, nz) = (16, 8, 16);
+        let plan = PencilFft::new(nx, ny, nz, 2, 2);
+        let g = filled(nx, ny, nz);
+        let mut d = plan.scatter(&g);
+        plan.forward(&mut d);
+        plan.inverse(&mut d);
+        let back = plan.gather(&d);
+        assert!(max_err(&back, &g) < 1e-10);
+    }
+
+    #[test]
+    fn comm_volume_matches_alltoall_formula() {
+        // In each transpose, a rank keeps the fraction of data that stays
+        // with it; with a p-way transpose within rows, total moved bytes per
+        // phase = N·16·(1 - 1/py) (first transpose) etc.
+        let (nx, ny, nz) = (16, 16, 16);
+        let (px, py) = (2, 4);
+        let plan = PencilFft::new(nx, ny, nz, px, py);
+        let g = filled(nx, ny, nz);
+        let mut d = plan.scatter(&g);
+        let log = plan.forward(&mut d);
+        let n_pts = (nx * ny * nz) as u64;
+        // Phase 1: transpose across y/z within each row of py ranks.
+        let expect1 = n_pts * BYTES_PER_POINT * (py as u64 - 1) / py as u64;
+        // Phase 2: transpose across x/y within each column of px ranks.
+        let expect2 = n_pts * BYTES_PER_POINT * (px as u64 - 1) / px as u64;
+        let got1: u64 = log.phases[0].iter().map(|m| m.bytes).sum();
+        let got2: u64 = log.phases[1].iter().map(|m| m.bytes).sum();
+        assert_eq!(got1, expect1);
+        assert_eq!(got2, expect2);
+        assert_eq!(log.total_bytes(), expect1 + expect2);
+    }
+
+    #[test]
+    fn single_rank_moves_nothing() {
+        let plan = PencilFft::new(8, 8, 8, 1, 1);
+        let g = filled(8, 8, 8);
+        let mut d = plan.scatter(&g);
+        let log = plan.forward(&mut d);
+        assert_eq!(log.total_bytes(), 0);
+        assert_eq!(log.total_messages(), 0);
+    }
+
+    #[test]
+    fn transpose_messages_stay_within_rows_then_columns() {
+        let (px, py) = (2, 2);
+        let plan = PencilFft::new(8, 8, 8, px, py);
+        let g = filled(8, 8, 8);
+        let mut d = plan.scatter(&g);
+        let log = plan.forward(&mut d);
+        for m in &log.phases[0] {
+            // Same process-grid row: same rx.
+            assert_eq!(m.src / py, m.dst / py, "phase 1 message crossed rows");
+        }
+        for m in &log.phases[1] {
+            // Same process-grid column: same ry.
+            assert_eq!(m.src % py, m.dst % py, "phase 2 message crossed columns");
+        }
+    }
+
+    #[test]
+    fn owner_is_consistent_with_scatter() {
+        let plan = PencilFft::new(8, 8, 8, 2, 4);
+        let g = filled(8, 8, 8);
+        let d = plan.scatter(&g);
+        for (r, b) in d.blocks.iter().enumerate() {
+            for gx in b.x0..b.x1 {
+                for gy in b.y0..b.y1 {
+                    for gz in b.z0..b.z1 {
+                        assert_eq!(plan.owner(Layout::ZPencil, gx, gy, gz), r);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn bad_process_grid_rejected() {
+        PencilFft::new(8, 8, 8, 3, 1);
+    }
+}

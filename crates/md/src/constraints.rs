@@ -1,0 +1,286 @@
+//! Iterative holonomic constraints: SHAKE (positions) and RATTLE velocity
+//! projection.
+//!
+//! Anton dedicates geometry-core time to constraint solves every step; the
+//! serial engine and the co-simulator both call these routines. Rigid waters
+//! normally go through the analytic [`crate::settle`] fast path, but SHAKE
+//! handles them too, which the tests exploit for cross-validation.
+
+use crate::pbc::PbcBox;
+use crate::topology::Topology;
+use crate::vec3::Vec3;
+
+/// A compiled set of distance constraints with cached inverse masses.
+#[derive(Clone, Debug, Default)]
+pub struct ConstraintSet {
+    /// `(i, j, target distance)`.
+    pub pairs: Vec<(usize, usize, f64)>,
+    inv_mass: Vec<f64>,
+}
+
+impl ConstraintSet {
+    /// Compile from a topology. `include_waters` expands each rigid water
+    /// into its three distance constraints (used when SETTLE is disabled).
+    pub fn from_topology(top: &Topology, include_waters: bool, d_oh: f64, d_hh: f64) -> Self {
+        let mut pairs: Vec<(usize, usize, f64)> =
+            top.constraints.iter().map(|c| (c.i, c.j, c.r0)).collect();
+        if include_waters {
+            for w in &top.waters {
+                pairs.push((w[0], w[1], d_oh));
+                pairs.push((w[0], w[2], d_oh));
+                pairs.push((w[1], w[2], d_hh));
+            }
+        }
+        let inv_mass = top.masses.iter().map(|&m| 1.0 / m).collect();
+        ConstraintSet { pairs, inv_mass }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// SHAKE: iteratively project `positions` onto the constraint manifold,
+    /// using `reference` (the pre-step, constraint-satisfying positions) for
+    /// the projection directions. Returns the number of sweeps used.
+    ///
+    /// # Panics
+    /// Panics if the solve has not converged after `max_sweeps` sweeps —
+    /// in MD that means the timestep blew up, and continuing silently would
+    /// corrupt the trajectory.
+    pub fn shake_positions(
+        &self,
+        pbc: &PbcBox,
+        reference: &[Vec3],
+        positions: &mut [Vec3],
+        tol: f64,
+        max_sweeps: usize,
+    ) -> usize {
+        for sweep in 0..max_sweeps {
+            let mut worst: f64 = 0.0;
+            for &(i, j, d0) in &self.pairs {
+                let s = pbc.min_image(positions[i], positions[j]);
+                let diff = s.norm_sq() - d0 * d0;
+                worst = worst.max(diff.abs() / (d0 * d0));
+                if diff.abs() <= tol * d0 * d0 {
+                    continue;
+                }
+                let r_ref = pbc.min_image(reference[i], reference[j]);
+                let denom = 2.0 * s.dot(r_ref) * (self.inv_mass[i] + self.inv_mass[j]);
+                // A degenerate geometry (s ⊥ r_ref) cannot be corrected along
+                // r_ref; skip and let the next sweep (with updated s) retry.
+                if denom.abs() < 1e-12 {
+                    continue;
+                }
+                let g = diff / denom;
+                positions[i] -= r_ref * (g * self.inv_mass[i]);
+                positions[j] += r_ref * (g * self.inv_mass[j]);
+            }
+            if worst <= tol {
+                return sweep + 1;
+            }
+        }
+        panic!("SHAKE failed to converge in {max_sweeps} sweeps (tol {tol})");
+    }
+
+    /// RATTLE velocity projection: remove relative velocity components along
+    /// each constrained bond. Returns the number of sweeps used.
+    pub fn rattle_velocities(
+        &self,
+        pbc: &PbcBox,
+        positions: &[Vec3],
+        velocities: &mut [Vec3],
+        tol: f64,
+        max_sweeps: usize,
+    ) -> usize {
+        for sweep in 0..max_sweeps {
+            let mut worst: f64 = 0.0;
+            for &(i, j, d0) in &self.pairs {
+                let r = pbc.min_image(positions[i], positions[j]);
+                let v = velocities[i] - velocities[j];
+                let rv = r.dot(v);
+                worst = worst.max(rv.abs() / d0);
+                let k = rv / (r.norm_sq() * (self.inv_mass[i] + self.inv_mass[j]));
+                velocities[i] -= r * (k * self.inv_mass[i]);
+                velocities[j] += r * (k * self.inv_mass[j]);
+            }
+            if worst <= tol {
+                return sweep + 1;
+            }
+        }
+        panic!("RATTLE velocity projection failed to converge in {max_sweeps} sweeps");
+    }
+
+    /// Maximum relative constraint violation `|r² − d0²| / d0²`.
+    pub fn max_violation(&self, pbc: &PbcBox, positions: &[Vec3]) -> f64 {
+        self.pairs
+            .iter()
+            .map(|&(i, j, d0)| {
+                (pbc.min_image(positions[i], positions[j]).norm_sq() - d0 * d0).abs() / (d0 * d0)
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::DistanceConstraint;
+    use crate::vec3::v3;
+
+    fn pair_topology() -> Topology {
+        Topology {
+            masses: vec![12.0, 1.0],
+            charges: vec![0.0; 2],
+            lj_types: vec![0; 2],
+            constraints: vec![DistanceConstraint {
+                i: 0,
+                j: 1,
+                r0: 1.1,
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shake_restores_bond_length() {
+        let top = pair_topology();
+        let cs = ConstraintSet::from_topology(&top, false, 0.0, 0.0);
+        let pbc = PbcBox::cubic(20.0);
+        let reference = vec![v3(5.0, 5.0, 5.0), v3(6.1, 5.0, 5.0)];
+        let mut pos = vec![v3(5.0, 5.0, 5.0), v3(6.4, 5.2, 4.9)];
+        cs.shake_positions(&pbc, &reference, &mut pos, 1e-10, 100);
+        let d = pbc.min_image(pos[0], pos[1]).norm();
+        assert!((d - 1.1).abs() < 1e-9, "d = {d}");
+    }
+
+    #[test]
+    fn shake_displaces_heavy_atom_less() {
+        let top = pair_topology(); // masses 12 : 1
+        let cs = ConstraintSet::from_topology(&top, false, 0.0, 0.0);
+        let pbc = PbcBox::cubic(20.0);
+        let reference = vec![v3(5.0, 5.0, 5.0), v3(6.1, 5.0, 5.0)];
+        let mut pos = reference.clone();
+        pos[1].x += 0.5; // stretch
+        let before = pos.clone();
+        cs.shake_positions(&pbc, &reference, &mut pos, 1e-12, 100);
+        let moved0 = (pos[0] - before[0]).norm();
+        let moved1 = (pos[1] - before[1]).norm();
+        assert!(moved1 > 10.0 * moved0, "heavy {moved0} vs light {moved1}");
+    }
+
+    #[test]
+    fn shake_preserves_momentum_direction() {
+        // The position corrections applied by SHAKE are equal and opposite
+        // impulses: total mass-weighted displacement stays zero.
+        let top = pair_topology();
+        let cs = ConstraintSet::from_topology(&top, false, 0.0, 0.0);
+        let pbc = PbcBox::cubic(20.0);
+        let reference = vec![v3(5.0, 5.0, 5.0), v3(6.1, 5.0, 5.0)];
+        let mut pos = vec![v3(5.0, 5.1, 4.9), v3(6.5, 5.3, 5.2)];
+        let before = pos.clone();
+        cs.shake_positions(&pbc, &reference, &mut pos, 1e-12, 100);
+        let dp = (pos[0] - before[0]) * 12.0 + (pos[1] - before[1]) * 1.0;
+        assert!(dp.norm() < 1e-9, "momentum change {dp:?}");
+    }
+
+    #[test]
+    fn water_triangle_via_shake() {
+        let top = Topology {
+            masses: vec![15.9994, 1.008, 1.008],
+            charges: vec![0.0; 3],
+            lj_types: vec![0; 3],
+            waters: vec![[0, 1, 2]],
+            ..Default::default()
+        };
+        let d_oh = 0.9572;
+        let d_hh = 2.0 * d_oh * (104.52f64.to_radians() / 2.0).sin();
+        let cs = ConstraintSet::from_topology(&top, true, d_oh, d_hh);
+        assert_eq!(cs.len(), 3);
+        let pbc = PbcBox::cubic(20.0);
+        let reference = vec![
+            v3(5.0, 5.0, 5.0),
+            v3(5.0 + d_oh, 5.0, 5.0),
+            v3(
+                5.0 + d_oh * (104.52f64.to_radians()).cos(),
+                5.0 + d_oh * (104.52f64.to_radians()).sin(),
+                5.0,
+            ),
+        ];
+        let mut pos = reference.clone();
+        // Perturb all three as an integrator drift would.
+        pos[0] += v3(0.03, -0.02, 0.05);
+        pos[1] += v3(-0.06, 0.04, 0.01);
+        pos[2] += v3(0.02, 0.07, -0.04);
+        cs.shake_positions(&pbc, &reference, &mut pos, 1e-10, 500);
+        assert!(cs.max_violation(&pbc, &pos) < 1e-9);
+    }
+
+    #[test]
+    fn rattle_zeroes_bond_rate_of_change() {
+        let top = pair_topology();
+        let cs = ConstraintSet::from_topology(&top, false, 0.0, 0.0);
+        let pbc = PbcBox::cubic(20.0);
+        let pos = vec![v3(5.0, 5.0, 5.0), v3(6.1, 5.0, 5.0)];
+        let mut vel = vec![v3(0.1, 0.2, 0.0), v3(-0.4, 0.1, 0.3)];
+        cs.rattle_velocities(&pbc, &pos, &mut vel, 1e-12, 100);
+        let r = pbc.min_image(pos[0], pos[1]);
+        assert!(r.dot(vel[0] - vel[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rattle_preserves_total_momentum() {
+        let top = pair_topology();
+        let cs = ConstraintSet::from_topology(&top, false, 0.0, 0.0);
+        let pbc = PbcBox::cubic(20.0);
+        let pos = vec![v3(5.0, 5.0, 5.0), v3(6.1, 5.0, 5.0)];
+        let mut vel = vec![v3(0.1, 0.2, 0.0), v3(-0.4, 0.1, 0.3)];
+        let p_before = vel[0] * 12.0 + vel[1] * 1.0;
+        cs.rattle_velocities(&pbc, &pos, &mut vel, 1e-12, 100);
+        let p_after = vel[0] * 12.0 + vel[1] * 1.0;
+        assert!((p_before - p_after).norm() < 1e-12);
+    }
+
+    #[test]
+    fn constraint_across_periodic_boundary() {
+        let top = pair_topology();
+        let cs = ConstraintSet::from_topology(&top, false, 0.0, 0.0);
+        let pbc = PbcBox::cubic(20.0);
+        let reference = vec![v3(0.3, 5.0, 5.0), v3(19.4, 5.0, 5.0)]; // 0.9 through wall
+        let mut pos = vec![v3(0.5, 5.0, 5.0), v3(19.2, 5.0, 5.0)]; // stretched to 1.3
+        cs.shake_positions(&pbc, &reference, &mut pos, 1e-10, 100);
+        assert!((pbc.min_image(pos[0], pos[1]).norm() - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "SHAKE failed to converge")]
+    fn unsatisfiable_constraints_panic() {
+        // Two incompatible constraints on the same pair.
+        let top = Topology {
+            masses: vec![1.0, 1.0],
+            charges: vec![0.0; 2],
+            lj_types: vec![0; 2],
+            constraints: vec![
+                DistanceConstraint {
+                    i: 0,
+                    j: 1,
+                    r0: 1.0,
+                },
+                DistanceConstraint {
+                    i: 0,
+                    j: 1,
+                    r0: 2.0,
+                },
+            ],
+            ..Default::default()
+        };
+        let cs = ConstraintSet::from_topology(&top, false, 0.0, 0.0);
+        let pbc = PbcBox::cubic(20.0);
+        let reference = vec![v3(5.0, 5.0, 5.0), v3(6.0, 5.0, 5.0)];
+        let mut pos = reference.clone();
+        cs.shake_positions(&pbc, &reference, &mut pos, 1e-12, 50);
+    }
+}

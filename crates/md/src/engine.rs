@@ -1,0 +1,829 @@
+//! The serial reference MD engine.
+//!
+//! Composes neighbor lists, the nonbonded pair kernel, bonded terms, GSE (or
+//! classic Ewald) k-space electrostatics, SETTLE/SHAKE constraints, and
+//! velocity-Verlet integration with Anton-style RESPA multiple timestepping.
+//! The machine co-simulator in `anton2-core` runs the same arithmetic
+//! distributed over simulated nodes; this engine is its correctness
+//! reference (experiment F7 in DESIGN.md).
+
+use crate::bonded::all_bonded_forces;
+use crate::constraints::ConstraintSet;
+use crate::ewald::{background_energy, self_energy, EwaldKSpace};
+use crate::gse::{Gse, GseParams};
+use crate::integrate::{langevin_o_step, RespaSchedule};
+use crate::neighbor::NeighborList;
+use crate::observables::EnergyLedger;
+use crate::pairkernel::{
+    excluded_corrections, nonbonded_forces, nonbonded_forces_parallel, scaled14_corrections,
+};
+use crate::pbc::PbcBox;
+use crate::pressure::{bonded_virial, pressure_atm, BerendsenBarostat};
+use crate::settle::{settle_positions, settle_velocities, SettleParams};
+use crate::system::System;
+use crate::thermostat::{Berendsen, NoseHooverChain};
+use crate::units::fs_to_internal;
+use crate::vec3::Vec3;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which long-range electrostatics solver the engine uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KspaceMethod {
+    /// Gaussian-split Ewald on the FFT grid (production, Anton's family).
+    Gse,
+    /// Direct reciprocal sum (slow; for validation).
+    ClassicEwald,
+    /// No k-space term (neutral systems / LJ fluids).
+    None,
+}
+
+/// Thermostat selection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Thermostat {
+    None,
+    Berendsen { t_kelvin: f64, tau_fs: f64 },
+    Langevin { t_kelvin: f64, gamma_per_ps: f64 },
+    NoseHoover { t_kelvin: f64, tau_fs: f64 },
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Timestep, fs.
+    pub dt_fs: f64,
+    pub respa: RespaSchedule,
+    pub kspace: KspaceMethod,
+    pub thermostat: Thermostat,
+    /// Use SETTLE for rigid waters (otherwise SHAKE handles them too).
+    pub use_settle: bool,
+    /// SHAKE/RATTLE relative tolerance.
+    pub shake_tol: f64,
+    /// RNG seed for stochastic thermostats.
+    pub seed: u64,
+    /// Optional pressure coupling, applied every `barostat_period` steps.
+    pub barostat: Option<BerendsenBarostat>,
+    pub barostat_period: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            dt_fs: 2.0,
+            respa: RespaSchedule::default(),
+            kspace: KspaceMethod::Gse,
+            thermostat: Thermostat::None,
+            use_settle: true,
+            shake_tol: 1e-8,
+            seed: 0,
+            barostat: None,
+            barostat_period: 10,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Conservative settings for quick tests: 1 fs, k-space every step.
+    pub fn quick() -> Self {
+        EngineConfig {
+            dt_fs: 1.0,
+            respa: RespaSchedule { kspace_interval: 1 },
+            ..Default::default()
+        }
+    }
+}
+
+/// The serial MD engine.
+///
+/// ```
+/// use anton2_md::builders::water_box;
+/// use anton2_md::engine::{Engine, EngineConfig};
+///
+/// let mut system = water_box(3, 3, 3, 1);
+/// system.thermalize(300.0, 2);
+/// let mut engine = Engine::new(system, EngineConfig::quick());
+/// engine.run(5);
+/// assert_eq!(engine.step_count(), 5);
+/// assert!(engine.energies().total().is_finite());
+/// ```
+pub struct Engine {
+    pub system: System,
+    pub cfg: EngineConfig,
+    nl: NeighborList,
+    gse: Option<Gse>,
+    ewald: Option<EwaldKSpace>,
+    constraints: ConstraintSet,
+    settle: SettleParams,
+    f_short: Vec<Vec3>,
+    f_long: Vec<Vec3>,
+    ledger: EnergyLedger,
+    /// LJ part of the pair virial from the last short-force evaluation.
+    virial_lj: f64,
+    step: u64,
+    nh: Option<NoseHooverChain>,
+    rng: StdRng,
+}
+
+impl Engine {
+    /// Build an engine and compute initial forces.
+    pub fn new(mut system: System, cfg: EngineConfig) -> Self {
+        system.wrap_positions();
+        let nl = NeighborList::build(
+            &system.pbc,
+            &system.positions,
+            system.nb.cutoff,
+            system.nb.skin,
+        );
+        let settle = SettleParams::tip3p();
+        let constraints = ConstraintSet::from_topology(
+            &system.topology,
+            !cfg.use_settle,
+            settle.d_oh,
+            settle.d_hh,
+        );
+        let gse = match cfg.kspace {
+            KspaceMethod::Gse => Some(Gse::new(
+                system.nb.ewald_alpha,
+                system.pbc,
+                GseParams::for_box(system.nb.ewald_alpha, &system.pbc),
+            )),
+            _ => None,
+        };
+        let ewald = match cfg.kspace {
+            KspaceMethod::ClassicEwald => Some(EwaldKSpace::for_box(
+                system.nb.ewald_alpha,
+                &system.pbc,
+                1e-10,
+            )),
+            _ => None,
+        };
+        let nh = match cfg.thermostat {
+            Thermostat::NoseHoover { t_kelvin, tau_fs } => Some(NoseHooverChain::new(
+                t_kelvin,
+                tau_fs,
+                system.topology.degrees_of_freedom(),
+            )),
+            _ => None,
+        };
+        let n = system.n_atoms();
+        let mut engine = Engine {
+            system,
+            cfg,
+            nl,
+            gse,
+            ewald,
+            constraints,
+            settle,
+            f_short: vec![Vec3::ZERO; n],
+            f_long: vec![Vec3::ZERO; n],
+            ledger: EnergyLedger::default(),
+            virial_lj: 0.0,
+            step: 0,
+            nh,
+            rng: StdRng::seed_from_u64(cfg.seed),
+        };
+        engine.compute_short_forces();
+        engine.compute_long_forces();
+        engine.ledger.kinetic = engine.system.kinetic_energy();
+        engine
+    }
+
+    /// Steps completed so far.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Energy decomposition as of the last force evaluation.
+    pub fn energies(&self) -> EnergyLedger {
+        self.ledger
+    }
+
+    /// Simulated time so far, fs.
+    pub fn time_fs(&self) -> f64 {
+        self.step as f64 * self.cfg.dt_fs
+    }
+
+    /// Instantaneous pressure (atm) from the virial decomposition: LJ pair
+    /// virial (tracked by the kernel) + bonded virial + the exact Ewald
+    /// identity `W_coul = U_coul` (see `crate::pressure`).
+    pub fn pressure_atm(&self) -> f64 {
+        let w = self.virial_lj
+            + bonded_virial(
+                &self.system.topology,
+                &self.system.pbc,
+                &self.system.positions,
+            )
+            + self.ledger.coulomb();
+        pressure_atm(self.system.kinetic_energy(), w, self.system.pbc.volume())
+    }
+
+    /// Rebuild the neighbor list if any atom drifted past skin/2.
+    ///
+    /// Positions are deliberately *not* re-wrapped here: every kernel is
+    /// minimum-image-safe, and keeping the coordinate representation
+    /// independent of the (state-dependent) rebuild schedule is what makes
+    /// checkpoint/restart bitwise exact.
+    fn refresh_neighbor_list(&mut self) {
+        if self
+            .nl
+            .needs_rebuild(&self.system.pbc, &self.system.positions)
+        {
+            self.nl = NeighborList::build(
+                &self.system.pbc,
+                &self.system.positions,
+                self.system.nb.cutoff,
+                self.system.nb.skin,
+            );
+        }
+    }
+
+    /// Range-limited + bonded forces into `f_short`, updating the ledger.
+    fn compute_short_forces(&mut self) {
+        self.refresh_neighbor_list();
+        self.f_short.iter_mut().for_each(|f| *f = Vec3::ZERO);
+        // Chunked-parallel kernel for large systems (deterministic: the
+        // chunking is fixed, not thread-count-dependent); serial below the
+        // threshold where the per-chunk buffers would dominate.
+        let nb = if self.system.n_atoms() >= 4096 {
+            nonbonded_forces_parallel(&self.system, &self.nl, &mut self.f_short)
+        } else {
+            nonbonded_forces(&self.system, &self.nl, &mut self.f_short)
+        };
+        self.ledger.lj = nb.lj;
+        self.ledger.coulomb_real = nb.coulomb_real;
+        let (e_excl, _) = excluded_corrections(&self.system, &mut self.f_short);
+        self.ledger.coulomb_excluded = e_excl;
+        let (lj14, coul14, _, v14_lj) = scaled14_corrections(&self.system, &mut self.f_short);
+        self.virial_lj = nb.virial_lj + v14_lj;
+        self.ledger.lj14 = lj14;
+        self.ledger.coulomb14 = coul14;
+        let be = all_bonded_forces(
+            &self.system.topology,
+            &self.system.pbc,
+            &self.system.positions,
+            &mut self.f_short,
+        );
+        self.ledger.bond = be.bond;
+        self.ledger.angle = be.angle;
+        self.ledger.dihedral = be.dihedral;
+        self.ledger.urey_bradley = be.urey_bradley;
+        self.ledger.improper = be.improper;
+    }
+
+    /// K-space forces into `f_long`, updating the ledger.
+    fn compute_long_forces(&mut self) {
+        self.f_long.iter_mut().for_each(|f| *f = Vec3::ZERO);
+        let alpha = self.system.nb.ewald_alpha;
+        let charges = &self.system.topology.charges;
+        match self.cfg.kspace {
+            KspaceMethod::Gse => {
+                let gse = self.gse.as_ref().expect("GSE planned at construction");
+                self.ledger.coulomb_kspace =
+                    gse.energy_forces(&self.system.positions, charges, &mut self.f_long);
+            }
+            KspaceMethod::ClassicEwald => {
+                let ks = self.ewald.as_ref().expect("Ewald planned at construction");
+                self.ledger.coulomb_kspace = ks.energy_forces(
+                    &self.system.pbc,
+                    &self.system.positions,
+                    charges,
+                    &mut self.f_long,
+                );
+            }
+            KspaceMethod::None => {
+                self.ledger.coulomb_kspace = 0.0;
+            }
+        }
+        if self.cfg.kspace != KspaceMethod::None {
+            self.ledger.coulomb_self = self_energy(alpha, charges);
+            self.ledger.coulomb_background = background_energy(alpha, &self.system.pbc, charges);
+        } else {
+            self.ledger.coulomb_self = 0.0;
+            self.ledger.coulomb_background = 0.0;
+        }
+    }
+
+    /// Apply a velocity kick `v += F/m · scale·dt/2`.
+    fn kick_scaled(&mut self, forces: bool, scale: f64) {
+        let dt = fs_to_internal(self.cfg.dt_fs);
+        let f = if forces { &self.f_short } else { &self.f_long };
+        for ((v, fo), &m) in self
+            .system
+            .velocities
+            .iter_mut()
+            .zip(f)
+            .zip(&self.system.topology.masses)
+        {
+            *v += *fo * (0.5 * scale * dt / m);
+        }
+    }
+
+    /// Advance one step of velocity Verlet with RESPA and constraints.
+    pub fn step(&mut self) {
+        let k = self.cfg.respa.kspace_weight();
+        let dt = fs_to_internal(self.cfg.dt_fs);
+
+        if let Some(nh) = self.nh.as_mut() {
+            nh.half_step(
+                &mut self.system.velocities,
+                &self.system.topology.masses,
+                self.cfg.dt_fs,
+            );
+        }
+
+        // Pre-kick: short force every step, long impulse at outer boundaries.
+        self.kick_scaled(true, 1.0);
+        if self.cfg.respa.kspace_due(self.step) {
+            self.kick_scaled(false, k);
+        }
+
+        // Drift with constraint projection.
+        let reference = self.system.positions.clone();
+        let unconstrained: Vec<Vec3> = self
+            .system
+            .positions
+            .iter()
+            .zip(&self.system.velocities)
+            .map(|(p, v)| *p + *v * dt)
+            .collect();
+        self.system.positions = unconstrained.clone();
+        self.apply_position_constraints(&reference);
+        // Velocity correction from the constraint displacement. The
+        // constrained position may sit in a different periodic image than
+        // the unconstrained one (SETTLE works in unwrapped molecule-local
+        // coordinates), so the displacement must be taken minimum-image.
+        let pbc = self.system.pbc;
+        for ((v, pc), pu) in self
+            .system
+            .velocities
+            .iter_mut()
+            .zip(&self.system.positions)
+            .zip(&unconstrained)
+        {
+            *v += pbc.min_image(*pc, *pu) / dt;
+        }
+
+        // New forces.
+        self.compute_short_forces();
+        let outer_boundary = self.cfg.respa.kspace_due(self.step + 1);
+        if outer_boundary {
+            self.compute_long_forces();
+        }
+
+        // Post-kick.
+        self.kick_scaled(true, 1.0);
+        if outer_boundary {
+            self.kick_scaled(false, k);
+        }
+
+        // Constrain velocities along rigid bonds.
+        self.apply_velocity_constraints();
+
+        // Thermostats.
+        match self.cfg.thermostat {
+            Thermostat::Berendsen { t_kelvin, tau_fs } => {
+                let b = Berendsen {
+                    target_kelvin: t_kelvin,
+                    tau_fs,
+                };
+                let t_now = self.system.temperature();
+                b.apply(&mut self.system.velocities, t_now, self.cfg.dt_fs);
+            }
+            Thermostat::Langevin {
+                t_kelvin,
+                gamma_per_ps,
+            } => {
+                langevin_o_step(
+                    &mut self.system.velocities,
+                    &self.system.topology.masses,
+                    t_kelvin,
+                    gamma_per_ps,
+                    self.cfg.dt_fs,
+                    &mut self.rng,
+                );
+                self.apply_velocity_constraints();
+            }
+            Thermostat::NoseHoover { .. } => {
+                if let Some(nh) = self.nh.as_mut() {
+                    nh.half_step(
+                        &mut self.system.velocities,
+                        &self.system.topology.masses,
+                        self.cfg.dt_fs,
+                    );
+                }
+            }
+            Thermostat::None => {}
+        }
+
+        self.ledger.kinetic = self.system.kinetic_energy();
+        self.step += 1;
+
+        if let Some(barostat) = self.cfg.barostat {
+            if self.step.is_multiple_of(self.cfg.barostat_period as u64) {
+                self.apply_barostat(&barostat);
+            }
+        }
+    }
+
+    /// One barostat coupling step: rescale the box, translating each rigid
+    /// water by its center-of-mass displacement (so constraints stay exactly
+    /// satisfied) and scaling all other atoms directly, then rebuild the
+    /// box-dependent machinery (neighbor list, k-space plans).
+    fn apply_barostat(&mut self, barostat: &BerendsenBarostat) {
+        let p_now = self.pressure_atm();
+        let dt_window = self.cfg.dt_fs * self.cfg.barostat_period as f64;
+        let old_box = self.system.pbc;
+        let mu = {
+            // Scale a copy of the box; positions handled per-molecule below.
+            let mut scaled = old_box;
+            let mut dummy: Vec<Vec3> = Vec::new();
+            barostat.apply(&mut scaled, &mut dummy, p_now, dt_window)
+        };
+        if (mu - 1.0).abs() < 1e-12 {
+            return;
+        }
+        let mut is_water_atom = vec![false; self.system.n_atoms()];
+        for w in &self.system.topology.waters {
+            for &a in w {
+                is_water_atom[a] = true;
+            }
+        }
+        // Rigid waters translate by the COM displacement.
+        let masses = &self.system.topology.masses;
+        let waters = self.system.topology.waters.clone();
+        for w in &waters {
+            let m: f64 = w.iter().map(|&a| masses[a]).sum();
+            // Unwrap around the oxygen so the COM is well defined.
+            let o = self.system.positions[w[0]];
+            let com: Vec3 = w
+                .iter()
+                .map(|&a| (o + old_box.min_image(self.system.positions[a], o)) * masses[a])
+                .sum::<Vec3>()
+                / m;
+            let shift = com * (mu - 1.0);
+            for &a in w {
+                self.system.positions[a] += shift;
+            }
+        }
+        for (a, p) in self.system.positions.iter_mut().enumerate() {
+            if !is_water_atom[a] {
+                *p = *p * mu;
+            }
+        }
+        self.system.pbc = PbcBox::new(old_box.lx * mu, old_box.ly * mu, old_box.lz * mu);
+        self.system.wrap_positions();
+
+        // Rebuild box-dependent state.
+        self.nl = NeighborList::build(
+            &self.system.pbc,
+            &self.system.positions,
+            self.system.nb.cutoff,
+            self.system.nb.skin,
+        );
+        if self.gse.is_some() {
+            self.gse = Some(Gse::new(
+                self.system.nb.ewald_alpha,
+                self.system.pbc,
+                GseParams::for_box(self.system.nb.ewald_alpha, &self.system.pbc),
+            ));
+        }
+        if self.ewald.is_some() {
+            self.ewald = Some(EwaldKSpace::for_box(
+                self.system.nb.ewald_alpha,
+                &self.system.pbc,
+                1e-10,
+            ));
+        }
+        self.compute_short_forces();
+        self.compute_long_forces();
+    }
+
+    /// Run `n` steps.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    fn apply_position_constraints(&mut self, reference: &[Vec3]) {
+        if self.cfg.use_settle {
+            let waters = self.system.topology.waters.clone();
+            for w in &waters {
+                let old = [reference[w[0]], reference[w[1]], reference[w[2]]];
+                let mut newp = [
+                    self.system.positions[w[0]],
+                    self.system.positions[w[1]],
+                    self.system.positions[w[2]],
+                ];
+                settle_positions(&self.settle, &self.system.pbc, old, &mut newp);
+                self.system.positions[w[0]] = newp[0];
+                self.system.positions[w[1]] = newp[1];
+                self.system.positions[w[2]] = newp[2];
+            }
+        }
+        if !self.constraints.is_empty() {
+            self.constraints.shake_positions(
+                &self.system.pbc,
+                reference,
+                &mut self.system.positions,
+                self.cfg.shake_tol,
+                500,
+            );
+        }
+    }
+
+    fn apply_velocity_constraints(&mut self) {
+        if self.cfg.use_settle {
+            let waters = self.system.topology.waters.clone();
+            for w in &waters {
+                let pos = [
+                    self.system.positions[w[0]],
+                    self.system.positions[w[1]],
+                    self.system.positions[w[2]],
+                ];
+                let mut vel = [
+                    self.system.velocities[w[0]],
+                    self.system.velocities[w[1]],
+                    self.system.velocities[w[2]],
+                ];
+                settle_velocities(&self.settle, &self.system.pbc, pos, &mut vel);
+                self.system.velocities[w[0]] = vel[0];
+                self.system.velocities[w[1]] = vel[1];
+                self.system.velocities[w[2]] = vel[2];
+            }
+        }
+        if !self.constraints.is_empty() {
+            self.constraints.rattle_velocities(
+                &self.system.pbc,
+                &self.system.positions,
+                &mut self.system.velocities,
+                self.cfg.shake_tol,
+                500,
+            );
+        }
+    }
+
+    /// Relax the system with constraint-projected steepest descent: every
+    /// trial move is projected back onto the rigid-water/SHAKE manifold
+    /// before being evaluated, so minimization never distorts constrained
+    /// geometry. Returns the final potential energy.
+    pub fn minimize(&mut self, max_iter: usize, f_tol: f64) -> f64 {
+        self.compute_short_forces();
+        self.compute_long_forces();
+        let mut energy = self.ledger.potential();
+        let mut step = 0.02; // Å cap on the largest single-atom displacement
+
+        for _ in 0..max_iter {
+            let fmax = self
+                .f_short
+                .iter()
+                .zip(&self.f_long)
+                .map(|(a, b)| (*a + *b).max_abs())
+                .fold(0.0, f64::max);
+            if fmax < f_tol {
+                break;
+            }
+            let reference = self.system.positions.clone();
+            let scale = step / fmax;
+            for (p, (a, b)) in self
+                .system
+                .positions
+                .iter_mut()
+                .zip(self.f_short.iter().zip(&self.f_long))
+            {
+                *p += (*a + *b) * scale;
+            }
+            self.apply_position_constraints(&reference);
+            self.compute_short_forces();
+            self.compute_long_forces();
+            let trial = self.ledger.potential();
+            if trial < energy {
+                energy = trial;
+                step = (step * 1.2).min(0.2);
+            } else {
+                // Reject: restore and shrink the step.
+                self.system.positions = reference;
+                self.compute_short_forces();
+                self.compute_long_forces();
+                step *= 0.5;
+                if step < 1e-8 {
+                    break;
+                }
+            }
+        }
+        energy
+    }
+
+    /// Capture a restartable checkpoint of the dynamic state.
+    pub fn checkpoint(&self) -> crate::trajectory::Checkpoint {
+        crate::trajectory::Checkpoint::capture(&self.system, self.step, self.cfg.dt_fs)
+    }
+
+    /// Restore from a checkpoint (same topology), rebuilding box-dependent
+    /// state and recomputing forces so the next step continues exactly.
+    pub fn restore(&mut self, cp: &crate::trajectory::Checkpoint) {
+        cp.restore(&mut self.system);
+        self.step = cp.step;
+        self.nl = NeighborList::build(
+            &self.system.pbc,
+            &self.system.positions,
+            self.system.nb.cutoff,
+            self.system.nb.skin,
+        );
+        if self.gse.is_some() {
+            self.gse = Some(Gse::new(
+                self.system.nb.ewald_alpha,
+                self.system.pbc,
+                GseParams::for_box(self.system.nb.ewald_alpha, &self.system.pbc),
+            ));
+        }
+        self.compute_short_forces();
+        self.compute_long_forces();
+        self.ledger.kinetic = self.system.kinetic_energy();
+    }
+
+    /// Immutable access to the current short-range forces (testing).
+    pub fn short_forces(&self) -> &[Vec3] {
+        &self.f_short
+    }
+
+    /// Immutable access to the current long-range forces (testing).
+    pub fn long_forces(&self) -> &[Vec3] {
+        &self.f_long
+    }
+
+    /// Current neighbor list (used by the co-simulator for work counting).
+    pub fn neighbor_list(&self) -> &NeighborList {
+        &self.nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{lj_fluid, water_box};
+    use crate::observables::DriftTracker;
+
+    #[test]
+    fn engine_runs_and_counts_steps() {
+        let mut e = Engine::new(water_box(3, 3, 3, 1), EngineConfig::quick());
+        e.run(3);
+        assert_eq!(e.step_count(), 3);
+        assert!((e.time_fs() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forces_are_finite_after_construction() {
+        let e = Engine::new(water_box(3, 3, 3, 1), EngineConfig::quick());
+        for f in e.short_forces().iter().chain(e.long_forces()) {
+            assert!(f.is_finite());
+        }
+    }
+
+    #[test]
+    fn water_stays_rigid_through_dynamics() {
+        let mut sys = water_box(3, 3, 3, 2);
+        sys.thermalize(300.0, 3);
+        let mut e = Engine::new(sys, EngineConfig::quick());
+        e.run(20);
+        let p = SettleParams::tip3p();
+        for w in &e.system.topology.waters {
+            let d = e
+                .system
+                .pbc
+                .min_image(e.system.positions[w[0]], e.system.positions[w[1]])
+                .norm();
+            assert!((d - p.d_oh).abs() < 1e-6, "O-H drifted to {d}");
+        }
+    }
+
+    #[test]
+    fn nve_conserves_energy_water() {
+        let mut sys = water_box(3, 3, 3, 4);
+        sys.thermalize(300.0, 5);
+        let mut e = Engine::new(sys, EngineConfig::quick());
+        // Short relaxation so the lattice start is not pathological.
+        e.minimize(150, 1.0);
+        e.system.thermalize(300.0, 6);
+        let mut tracker = DriftTracker::new();
+        for _ in 0..200 {
+            e.step();
+            tracker.record(e.time_fs(), e.energies().total());
+        }
+        let n = e.system.n_atoms();
+        let drift = tracker.drift_per_atom_per_ns(n).unwrap().abs();
+        // Production MD accepts ~0.01 kT/ns/atom; allow a loose bound here
+        // (short run, fresh synthetic system).
+        assert!(drift < 2.0, "NVE drift {drift} kcal/mol/ns/atom");
+    }
+
+    #[test]
+    fn nve_conserves_energy_lj_fluid() {
+        let mut sys = lj_fluid(125, 0.8, 5);
+        sys.thermalize(120.0, 6);
+        let mut cfg = EngineConfig::quick();
+        cfg.kspace = KspaceMethod::None;
+        let mut e = Engine::new(sys, cfg);
+        e.minimize(100, 1.0);
+        e.system.thermalize(120.0, 7);
+        let mut tracker = DriftTracker::new();
+        for _ in 0..300 {
+            e.step();
+            tracker.record(e.time_fs(), e.energies().total());
+        }
+        let drift = tracker.drift_per_atom_per_ns(125).unwrap().abs();
+        assert!(drift < 1.0, "LJ NVE drift {drift}");
+    }
+
+    #[test]
+    fn respa_matches_every_step_kspace_closely() {
+        // With RESPA interval 2, short trajectories must stay close to the
+        // every-step reference (the MTS impulse is a controlled approximation).
+        let build = || {
+            let mut sys = water_box(3, 3, 3, 8);
+            sys.thermalize(300.0, 9);
+            sys
+        };
+        let mut every = Engine::new(build(), EngineConfig::quick());
+        let mut cfg = EngineConfig::quick();
+        cfg.respa = RespaSchedule { kspace_interval: 2 };
+        let mut mts = Engine::new(build(), cfg);
+        every.run(10);
+        mts.run(10);
+        let mut worst: f64 = 0.0;
+        for (a, b) in every.system.positions.iter().zip(&mts.system.positions) {
+            worst = worst.max(every.system.pbc.min_image(*a, *b).norm());
+        }
+        assert!(worst < 5e-3, "RESPA divergence {worst} Å after 10 fs");
+    }
+
+    #[test]
+    fn berendsen_regulates_temperature() {
+        let mut sys = water_box(3, 3, 3, 10);
+        sys.thermalize(500.0, 11);
+        let mut cfg = EngineConfig::quick();
+        cfg.thermostat = Thermostat::Berendsen {
+            t_kelvin: 300.0,
+            tau_fs: 50.0,
+        };
+        let mut e = Engine::new(sys, cfg);
+        e.minimize(100, 1.0);
+        e.system.thermalize(500.0, 12);
+        e.run(300);
+        let t = e.system.temperature();
+        assert!((t - 300.0).abs() < 60.0, "T = {t}");
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let run = || {
+            let mut sys = water_box(2, 2, 2, 20);
+            sys.thermalize(300.0, 21);
+            let mut e = Engine::new(sys, EngineConfig::quick());
+            e.run(5);
+            e.system
+                .positions
+                .iter()
+                .map(|p| (p.x.to_bits(), p.y.to_bits(), p.z.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn shake_only_matches_settle_trajectory() {
+        // Same water box evolved with SETTLE vs SHAKE-on-waters: identical
+        // physics, so trajectories agree closely over short times.
+        let build = || {
+            let mut sys = water_box(2, 2, 2, 30);
+            sys.thermalize(200.0, 31);
+            sys
+        };
+        let mut with_settle = Engine::new(build(), EngineConfig::quick());
+        let mut cfg = EngineConfig::quick();
+        cfg.use_settle = false;
+        cfg.shake_tol = 1e-12;
+        let mut with_shake = Engine::new(build(), cfg);
+        with_settle.run(5);
+        with_shake.run(5);
+        for (a, b) in with_settle
+            .system
+            .positions
+            .iter()
+            .zip(&with_shake.system.positions)
+        {
+            assert!(
+                with_settle.system.pbc.min_image(*a, *b).norm() < 1e-4,
+                "{a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimize_reduces_potential() {
+        let mut e = Engine::new(water_box(3, 3, 3, 40), EngineConfig::quick());
+        let before = e.energies().potential();
+        let after = e.minimize(100, 0.5);
+        assert!(after <= before, "minimize went uphill: {before} -> {after}");
+    }
+}

@@ -1,0 +1,338 @@
+//! Classic Ewald summation: the k-space reciprocal sum evaluated directly
+//! over k-vectors, plus the self- and background corrections.
+//!
+//! This is the O(N·K) correctness oracle for the grid-based Gaussian-split
+//! Ewald solver in [`crate::gse`]. Production paths (serial engine, machine
+//! co-simulator) use GSE; the test suite checks GSE against this module and
+//! this module against analytic lattice energies (Madelung).
+
+use crate::pbc::PbcBox;
+use crate::units::COULOMB;
+use crate::vec3::{v3, Vec3};
+use anton2_fft::C64;
+use std::f64::consts::PI;
+
+/// Parameters for a direct reciprocal-space sum.
+#[derive(Clone, Copy, Debug)]
+pub struct EwaldKSpace {
+    /// Ewald splitting parameter α, Å⁻¹ (must match the real-space kernel).
+    pub alpha: f64,
+    /// Integer k-vector bounds per axis.
+    pub nmax: [i32; 3],
+}
+
+impl EwaldKSpace {
+    /// Choose `nmax` so that the Gaussian factor at the edge is below `tol`.
+    pub fn for_box(alpha: f64, pbc: &PbcBox, tol: f64) -> Self {
+        assert!(tol > 0.0 && tol < 1.0);
+        // exp(−k²/4α²) < tol  ⇔  k > 2α sqrt(ln 1/tol)
+        let kmax = 2.0 * alpha * (1.0 / tol).ln().sqrt();
+        let nmax = [
+            (kmax * pbc.lx / (2.0 * PI)).ceil() as i32,
+            (kmax * pbc.ly / (2.0 * PI)).ceil() as i32,
+            (kmax * pbc.lz / (2.0 * PI)).ceil() as i32,
+        ];
+        EwaldKSpace { alpha, nmax }
+    }
+
+    /// Reciprocal-space energy and forces.
+    ///
+    /// Returns the k-space energy (kcal/mol) and accumulates forces. This
+    /// term covers **all** pairs (including excluded ones and each ion with
+    /// its own periodic images); combine with the real-space erfc kernel,
+    /// [`self_energy`], [`background_energy`], and the excluded-pair
+    /// corrections for the total.
+    pub fn energy_forces(
+        &self,
+        pbc: &PbcBox,
+        positions: &[Vec3],
+        charges: &[f64],
+        forces: &mut [Vec3],
+    ) -> f64 {
+        let n = positions.len();
+        assert_eq!(charges.len(), n);
+        assert_eq!(forces.len(), n);
+        let vol = pbc.volume();
+        let [nx, ny, nz] = self.nmax;
+
+        // Per-atom complex exponential tables e^{i 2π m x / L} for m = 0..=nmax.
+        let table = |len: usize, axis: usize, l: f64| -> Vec<Vec<C64>> {
+            positions
+                .iter()
+                .map(|p| {
+                    let base = C64::cis(2.0 * PI * p[axis] / l);
+                    let mut row = Vec::with_capacity(len + 1);
+                    let mut cur = C64::ONE;
+                    for _ in 0..=len {
+                        row.push(cur);
+                        cur *= base;
+                    }
+                    row
+                })
+                .collect()
+        };
+        let ex = table(nx as usize, 0, pbc.lx);
+        let ey = table(ny as usize, 1, pbc.ly);
+        let ez = table(nz as usize, 2, pbc.lz);
+        let get = |t: &Vec<Vec<C64>>, j: usize, m: i32| -> C64 {
+            let v = t[j][m.unsigned_abs() as usize];
+            if m < 0 {
+                v.conj()
+            } else {
+                v
+            }
+        };
+
+        let four_alpha_sq_inv = 1.0 / (4.0 * self.alpha * self.alpha);
+
+        let mut energy = 0.0;
+        let mut phase = vec![C64::ZERO; n];
+        // Half-space sum (mx > 0, or mx == 0 && my > 0, or mx == my == 0 &&
+        // mz > 0), doubled — standard trick to halve the work.
+        for mx in 0..=nx {
+            let my_range = if mx == 0 { 0..=ny } else { -ny..=ny };
+            for my in my_range {
+                let mz_range = if mx == 0 && my == 0 { 1..=nz } else { -nz..=nz };
+                for mz in mz_range {
+                    let k = v3(
+                        2.0 * PI * mx as f64 / pbc.lx,
+                        2.0 * PI * my as f64 / pbc.ly,
+                        2.0 * PI * mz as f64 / pbc.lz,
+                    );
+                    let k_sq = k.norm_sq();
+                    // S(k) = Σ q_j e^{i k·r_j}
+                    let mut s = C64::ZERO;
+                    for j in 0..n {
+                        let e = get(&ex, j, mx) * get(&ey, j, my) * get(&ez, j, mz);
+                        phase[j] = e;
+                        s += e.scale(charges[j]);
+                    }
+                    let a_k = (4.0 * PI / k_sq) * (-k_sq * four_alpha_sq_inv).exp();
+                    // Half-space with a factor 2; energy prefactor C/(2V)
+                    // applied at the end.
+                    energy += 2.0 * a_k * s.norm_sqr();
+                    // F_j = −∂E/∂r_j = +(2C q_j / V) a_k k Im[e^{ik·r_j} S*(k)]
+                    // (the 2 covers the omitted −k half-space).
+                    for j in 0..n {
+                        let im = (phase[j] * s.conj()).im;
+                        let f = k * (2.0 * COULOMB * charges[j] / vol * a_k * im);
+                        forces[j] += f;
+                    }
+                }
+            }
+        }
+        energy * COULOMB / (2.0 * vol)
+    }
+}
+
+/// Ewald self-energy `−C α/√π Σ qᵢ²` (independent of positions).
+pub fn self_energy(alpha: f64, charges: &[f64]) -> f64 {
+    -COULOMB * alpha / PI.sqrt() * charges.iter().map(|q| q * q).sum::<f64>()
+}
+
+/// Neutralizing-background energy for a net-charged cell:
+/// `−C π (Σq)² / (2 α² V)`.
+pub fn background_energy(alpha: f64, pbc: &PbcBox, charges: &[f64]) -> f64 {
+    let net: f64 = charges.iter().sum();
+    -COULOMB * PI * net * net / (2.0 * alpha * alpha * pbc.volume())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::erfc::erfc;
+
+    /// Total Ewald electrostatic energy (real + k-space + self + background)
+    /// for a set of point charges with *no* exclusions.
+    fn total_ewald(
+        pbc: &PbcBox,
+        positions: &[Vec3],
+        charges: &[f64],
+        alpha: f64,
+        forces: &mut [Vec3],
+    ) -> f64 {
+        // Real space: direct double loop with minimum image (tests use boxes
+        // where L/2 suffices because erfc decays fast).
+        let mut e_real = 0.0;
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                let d = pbc.min_image(positions[i], positions[j]);
+                let r = d.norm();
+                let qq = charges[i] * charges[j];
+                let ar = alpha * r;
+                e_real += COULOMB * qq * erfc(ar) / r;
+                let f_over_r =
+                    COULOMB * qq * (erfc(ar) / r + 2.0 * alpha / PI.sqrt() * (-ar * ar).exp())
+                        / (r * r);
+                let f = d * f_over_r;
+                forces[i] += f;
+                forces[j] -= f;
+            }
+        }
+        let ks = EwaldKSpace::for_box(alpha, pbc, 1e-12);
+        let e_k = ks.energy_forces(pbc, positions, charges, forces);
+        e_real + e_k + self_energy(alpha, charges) + background_energy(alpha, pbc, charges)
+    }
+
+    #[test]
+    fn nacl_madelung_constant() {
+        // Rock salt: 8 ions in a cube of edge a, alternating charges on a
+        // simple cubic lattice of spacing a/2. The lattice energy is
+        // −M·C/d per ion with d = a/2 and M = 1.7475645946, counting each
+        // pair once (hence ÷2).
+        let a = 5.0;
+        let pbc = PbcBox::cubic(a);
+        let mut positions = Vec::new();
+        let mut charges = Vec::new();
+        for ix in 0..2 {
+            for iy in 0..2 {
+                for iz in 0..2 {
+                    positions.push(v3(
+                        ix as f64 * a / 2.0,
+                        iy as f64 * a / 2.0,
+                        iz as f64 * a / 2.0,
+                    ));
+                    charges.push(if (ix + iy + iz) % 2 == 0 { 1.0 } else { -1.0 });
+                }
+            }
+        }
+        let mut forces = vec![Vec3::ZERO; 8];
+        // α large enough that the nearest-image-only real-space sum is
+        // converged (erfc(2·2.5) = 1.5e-12).
+        let e = total_ewald(&pbc, &positions, &charges, 2.0, &mut forces);
+        let madelung = 1.747_564_594_6;
+        let expect = -madelung * COULOMB * 8.0 / (a / 2.0) / 2.0;
+        assert!(
+            (e - expect).abs() < 1e-4 * expect.abs(),
+            "E = {e}, Madelung expectation {expect}"
+        );
+        // Perfect lattice: forces vanish by symmetry (up to the minimum-image
+        // tie-break for ions at exactly L/2, which leaves a ~1e-5 residual).
+        for f in &forces {
+            assert!(f.norm() < 1e-4, "lattice force {f:?}");
+        }
+    }
+
+    #[test]
+    fn total_energy_independent_of_alpha() {
+        let pbc = PbcBox::cubic(12.0);
+        let positions = vec![
+            v3(1.0, 2.0, 3.0),
+            v3(5.5, 7.0, 2.0),
+            v3(9.0, 4.5, 10.0),
+            v3(3.3, 9.9, 6.1),
+        ];
+        let charges = vec![0.7, -0.4, -0.5, 0.2];
+        let energies: Vec<f64> = [0.8, 1.0, 1.3]
+            .iter()
+            .map(|&alpha| {
+                let mut f = vec![Vec3::ZERO; 4];
+                total_ewald(&pbc, &positions, &charges, alpha, &mut f)
+            })
+            .collect();
+        for w in energies.windows(2) {
+            assert!(
+                (w[0] - w[1]).abs() < 1e-6 * w[0].abs().max(1.0),
+                "α-dependence: {energies:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn forces_independent_of_alpha() {
+        let pbc = PbcBox::cubic(12.0);
+        let positions = vec![v3(1.0, 2.0, 3.0), v3(5.5, 7.0, 2.0), v3(9.0, 4.5, 10.0)];
+        let charges = vec![1.0, -0.6, -0.4];
+        let force_sets: Vec<Vec<Vec3>> = [0.9, 1.2]
+            .iter()
+            .map(|&alpha| {
+                let mut f = vec![Vec3::ZERO; 3];
+                total_ewald(&pbc, &positions, &charges, alpha, &mut f);
+                f
+            })
+            .collect();
+        for (a, b) in force_sets[0].iter().zip(&force_sets[1]) {
+            assert!((*a - *b).norm() < 1e-6 * (1.0 + a.norm()), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn kspace_forces_match_gradient() {
+        let pbc = PbcBox::cubic(10.0);
+        let charges = vec![0.8, -0.8, 0.5, -0.5];
+        let base = vec![
+            v3(1.0, 1.5, 2.0),
+            v3(6.0, 4.0, 8.0),
+            v3(3.0, 9.0, 5.0),
+            v3(8.0, 2.0, 3.0),
+        ];
+        let ks = EwaldKSpace::for_box(1.0, &pbc, 1e-12);
+        let mut forces = vec![Vec3::ZERO; 4];
+        ks.energy_forces(&pbc, &base, &charges, &mut forces);
+        let energy_at = |p: &[Vec3]| {
+            let mut scratch = vec![Vec3::ZERO; 4];
+            ks.energy_forces(&pbc, p, &charges, &mut scratch)
+        };
+        let h = 1e-5;
+        let mut p = base.clone();
+        for a in 0..4 {
+            for c in 0..3 {
+                let orig = p[a][c];
+                p[a][c] = orig + h;
+                let ep = energy_at(&p);
+                p[a][c] = orig - h;
+                let em = energy_at(&p);
+                p[a][c] = orig;
+                let num = -(ep - em) / (2.0 * h);
+                assert!(
+                    (forces[a][c] - num).abs() < 1e-5 * (1.0 + num.abs()),
+                    "atom {a} comp {c}: {} vs {num}",
+                    forces[a][c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kspace_forces_sum_to_zero() {
+        let pbc = PbcBox::cubic(10.0);
+        let positions = vec![v3(1.0, 1.0, 1.0), v3(4.0, 6.0, 2.0), v3(7.0, 3.0, 9.0)];
+        let charges = vec![1.0, -0.3, -0.7];
+        let ks = EwaldKSpace::for_box(1.0, &pbc, 1e-10);
+        let mut f = vec![Vec3::ZERO; 3];
+        ks.energy_forces(&pbc, &positions, &charges, &mut f);
+        let total: Vec3 = f.iter().copied().sum();
+        assert!(total.norm() < 1e-8, "net k-space force {total:?}");
+    }
+
+    #[test]
+    fn self_energy_scales_with_charge_squared() {
+        let a = self_energy(0.35, &[1.0]);
+        let b = self_energy(0.35, &[2.0]);
+        assert!((b / a - 4.0).abs() < 1e-12);
+        assert!(a < 0.0);
+    }
+
+    #[test]
+    fn background_zero_for_neutral_system() {
+        let pbc = PbcBox::cubic(10.0);
+        assert_eq!(background_energy(0.35, &pbc, &[0.5, -0.5]), 0.0);
+        assert!(background_energy(0.35, &pbc, &[1.0, 1.0]) < 0.0);
+    }
+
+    #[test]
+    fn two_charges_match_direct_coulomb_in_big_box() {
+        // In a huge box, periodic images are negligible and the Ewald total
+        // must approach plain Coulomb qq/r.
+        let pbc = PbcBox::cubic(60.0);
+        let positions = vec![v3(28.0, 30.0, 30.0), v3(33.0, 30.0, 30.0)];
+        let charges = vec![1.0, -1.0];
+        let mut f = vec![Vec3::ZERO; 2];
+        let e = total_ewald(&pbc, &positions, &charges, 0.5, &mut f);
+        let direct = -COULOMB / 5.0;
+        assert!(
+            (e - direct).abs() < 2e-3 * direct.abs(),
+            "E={e} vs {direct}"
+        );
+    }
+}

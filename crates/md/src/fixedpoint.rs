@@ -1,0 +1,236 @@
+//! Deterministic fixed-point force accumulation.
+//!
+//! Anton guarantees bitwise-identical trajectories regardless of how work is
+//! distributed, because forces are summed in fixed point — integer addition
+//! is associative and commutative, so the arrival order of partial forces
+//! (which depends on network timing) cannot change the result. This module
+//! provides the same property for the co-simulator: every force produced by
+//! a simulated PPIM or geometry core lands in one of these accumulators.
+
+use crate::vec3::Vec3;
+
+/// Fixed-point scale: 2²⁴ units per kcal/mol/Å ≈ 6e-8 force resolution,
+/// comparable to Anton's on-chip force precision.
+pub const FORCE_SCALE: f64 = (1u64 << 24) as f64;
+
+/// Largest force magnitude representable without risking i64 overflow even
+/// after millions of partial contributions.
+pub const MAX_FORCE: f64 = 1e9;
+
+/// Convert one force component to fixed point (round-to-nearest-even via
+/// `f64::round` semantics is fine here; ties are measure-zero).
+#[inline]
+pub fn to_fixed(x: f64) -> i64 {
+    debug_assert!(
+        x.abs() < MAX_FORCE,
+        "force component {x} out of fixed-point range"
+    );
+    (x * FORCE_SCALE).round() as i64
+}
+
+/// Convert back to floating point.
+#[inline]
+pub fn from_fixed(x: i64) -> f64 {
+    x as f64 / FORCE_SCALE
+}
+
+/// A per-atom fixed-point force accumulator.
+#[derive(Clone, Debug)]
+pub struct FixedAccumulator {
+    acc: Vec<[i64; 3]>,
+}
+
+impl FixedAccumulator {
+    pub fn new(n_atoms: usize) -> Self {
+        FixedAccumulator {
+            acc: vec![[0; 3]; n_atoms],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.acc.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.acc.is_empty()
+    }
+
+    /// Add a force contribution for atom `i`. Each *contribution* is rounded
+    /// once at the producer, exactly like a hardware functional unit
+    /// emitting a fixed-point partial force onto the network.
+    #[inline]
+    pub fn add(&mut self, i: usize, f: Vec3) {
+        let a = &mut self.acc[i];
+        a[0] += to_fixed(f.x);
+        a[1] += to_fixed(f.y);
+        a[2] += to_fixed(f.z);
+    }
+
+    /// Add an already-quantized contribution (partial sums shipped between
+    /// simulated nodes stay in fixed point end to end).
+    #[inline]
+    pub fn add_fixed(&mut self, i: usize, f: [i64; 3]) {
+        let a = &mut self.acc[i];
+        a[0] += f[0];
+        a[1] += f[1];
+        a[2] += f[2];
+    }
+
+    /// Raw fixed-point value for atom `i`.
+    #[inline]
+    pub fn fixed(&self, i: usize) -> [i64; 3] {
+        self.acc[i]
+    }
+
+    /// Final floating-point force for atom `i`.
+    #[inline]
+    pub fn force(&self, i: usize) -> Vec3 {
+        let a = self.acc[i];
+        Vec3::new(from_fixed(a[0]), from_fixed(a[1]), from_fixed(a[2]))
+    }
+
+    /// Materialize all forces.
+    pub fn to_forces(&self) -> Vec<Vec3> {
+        (0..self.acc.len()).map(|i| self.force(i)).collect()
+    }
+
+    /// Reset to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        for a in &mut self.acc {
+            *a = [0; 3];
+        }
+    }
+
+    /// Merge another accumulator (e.g. one per simulated node) into this
+    /// one. Pure integer addition: order of merges cannot matter.
+    pub fn merge(&mut self, other: &FixedAccumulator) {
+        assert_eq!(self.acc.len(), other.acc.len());
+        for (a, b) in self.acc.iter_mut().zip(&other.acc) {
+            a[0] += b[0];
+            a[1] += b[1];
+            a[2] += b[2];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::v3;
+    use rand::rngs::StdRng;
+    use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+    #[test]
+    fn roundtrip_precision() {
+        for &x in &[0.0, 1.0, -3.25, 123.456, -9999.9] {
+            let back = from_fixed(to_fixed(x));
+            assert!((back - x).abs() <= 0.5 / FORCE_SCALE, "{x} -> {back}");
+        }
+    }
+
+    #[test]
+    fn accumulation_is_permutation_invariant() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let contributions: Vec<Vec3> = (0..1000)
+            .map(|_| {
+                v3(
+                    (rng.gen::<f64>() - 0.5) * 200.0,
+                    (rng.gen::<f64>() - 0.5) * 200.0,
+                    (rng.gen::<f64>() - 0.5) * 200.0,
+                )
+            })
+            .collect();
+        let sum_in_order = |order: &[usize]| {
+            let mut acc = FixedAccumulator::new(1);
+            for &k in order {
+                acc.add(0, contributions[k]);
+            }
+            acc.fixed(0)
+        };
+        let base: Vec<usize> = (0..contributions.len()).collect();
+        let reference = sum_in_order(&base);
+        for _ in 0..5 {
+            let mut shuffled = base.clone();
+            shuffled.shuffle(&mut rng);
+            assert_eq!(sum_in_order(&shuffled), reference, "order changed the sum");
+        }
+    }
+
+    #[test]
+    fn float_accumulation_is_not_permutation_invariant_motivation() {
+        // Documents why fixed point is needed at all: the same contributions
+        // summed in f64 in two orders genuinely differ.
+        let mut rng = StdRng::seed_from_u64(6);
+        let xs: Vec<f64> = (0..2000).map(|_| (rng.gen::<f64>() - 0.5) * 1e6).collect();
+        let fwd: f64 = xs.iter().sum();
+        let rev: f64 = xs.iter().rev().sum();
+        // Not asserting inequality (could coincide), but the magnitude of
+        // disagreement bounds what fixed point protects against.
+        let diff = (fwd - rev).abs();
+        assert!(diff < 1e-3, "sanity: {diff}");
+    }
+
+    #[test]
+    fn merge_matches_single_accumulator() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let contributions: Vec<(usize, Vec3)> = (0..500)
+            .map(|_| {
+                (
+                    rng.gen_range(0..10),
+                    v3(
+                        rng.gen::<f64>() * 10.0,
+                        rng.gen::<f64>() * -5.0,
+                        rng.gen::<f64>(),
+                    ),
+                )
+            })
+            .collect();
+        // One big accumulator.
+        let mut all = FixedAccumulator::new(10);
+        for &(i, f) in &contributions {
+            all.add(i, f);
+        }
+        // Split across 4 "nodes", then merge in a scrambled order.
+        let mut parts: Vec<FixedAccumulator> = (0..4).map(|_| FixedAccumulator::new(10)).collect();
+        for (k, &(i, f)) in contributions.iter().enumerate() {
+            parts[k % 4].add(i, f);
+        }
+        let mut merged = FixedAccumulator::new(10);
+        for idx in [2, 0, 3, 1] {
+            merged.merge(&parts[idx]);
+        }
+        for i in 0..10 {
+            assert_eq!(merged.fixed(i), all.fixed(i));
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut acc = FixedAccumulator::new(3);
+        acc.add(1, v3(1.0, 2.0, 3.0));
+        acc.clear();
+        assert_eq!(acc.fixed(1), [0, 0, 0]);
+        assert_eq!(acc.force(1), Vec3::ZERO);
+    }
+
+    #[test]
+    fn quantization_error_bounded() {
+        let mut acc = FixedAccumulator::new(1);
+        let mut exact = Vec3::ZERO;
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 10_000;
+        for _ in 0..n {
+            let f = v3(
+                rng.gen::<f64>() - 0.5,
+                rng.gen::<f64>() - 0.5,
+                rng.gen::<f64>() - 0.5,
+            );
+            acc.add(0, f);
+            exact += f;
+        }
+        // Each contribution adds ≤ half an ulp of error; error grows like
+        // sqrt(n) in practice but is bounded by n/2 ulps.
+        let err = (acc.force(0) - exact).max_abs();
+        assert!(err <= n as f64 * 0.5 / FORCE_SCALE, "err {err}");
+    }
+}

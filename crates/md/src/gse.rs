@@ -1,0 +1,451 @@
+//! Gaussian-split Ewald (GSE): grid-based reciprocal-space electrostatics.
+//!
+//! This is the k-space method family Anton uses (Shan et al., J. Chem. Phys.
+//! 2005): each charge is spread onto a regular grid with a Gaussian, the
+//! grid is convolved with a modified influence function via 3D FFT, and
+//! forces are interpolated back with the same Gaussian. The splitting
+//! algebra: the Ewald reciprocal sum needs a factor `exp(−k²/4α²)`; the two
+//! Gaussian convolutions (spread + interpolate) supply `exp(−σ²k²)` of it
+//! and the influence function supplies the remaining
+//! `exp(−k²(1/4α² − σ²))`, so the grid answer equals classic Ewald up to
+//! spreading truncation error.
+//!
+//! The serial engine evaluates this with [`anton2_fft::Fft3`]; the machine
+//! co-simulator runs the identical arithmetic with the pencil-decomposed FFT
+//! and charges spread by each node.
+
+use crate::pbc::PbcBox;
+use crate::units::COULOMB;
+use crate::vec3::Vec3;
+use anton2_fft::{Fft3, Grid3, C64};
+use std::f64::consts::PI;
+
+/// Geometry and accuracy parameters for a GSE evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct GseParams {
+    /// Grid dimensions (powers of two).
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    /// Spreading Gaussian width σ, Å. Must satisfy `σ² < 1/(4α²)`.
+    pub sigma: f64,
+    /// Gaussian truncation radius, Å (≈ 5σ for ~1e-5 relative accuracy).
+    pub support: f64,
+}
+
+impl GseParams {
+    /// Production-style parameters: `σ = 1/(√8·α)` splits the Ewald Gaussian
+    /// evenly between the convolutions and the influence function; the grid
+    /// is the smallest power of two keeping the spacing at or below 1.25σ
+    /// (Gaussian sampling error at h = 1.25σ is `exp(−2π²σ²/h²)` ≈ 3e-6,
+    /// well below the spreading-truncation error).
+    pub fn for_box(alpha: f64, pbc: &PbcBox) -> Self {
+        let sigma = 1.0 / (8.0f64.sqrt() * alpha);
+        let dim = |l: f64| {
+            ((l / (1.25 * sigma)).ceil() as usize)
+                .next_power_of_two()
+                .max(8)
+        };
+        GseParams {
+            nx: dim(pbc.lx),
+            ny: dim(pbc.ly),
+            nz: dim(pbc.lz),
+            sigma,
+            support: 5.0 * sigma,
+        }
+    }
+
+    /// Grid spacing along each axis for a given box.
+    pub fn spacing(&self, pbc: &PbcBox) -> Vec3 {
+        Vec3::new(
+            pbc.lx / self.nx as f64,
+            pbc.ly / self.ny as f64,
+            pbc.lz / self.nz as f64,
+        )
+    }
+
+    /// Total grid points.
+    pub fn n_points(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+}
+
+/// A planned GSE solver for one box/parameter combination.
+pub struct Gse {
+    pub params: GseParams,
+    pub alpha: f64,
+    pbc: PbcBox,
+    plan: Fft3,
+    /// Influence function per grid frequency (real, symmetric).
+    ghat: Vec<f64>,
+}
+
+impl Gse {
+    /// Plan a solver. `alpha` must match the real-space erfc kernel.
+    pub fn new(alpha: f64, pbc: PbcBox, params: GseParams) -> Self {
+        assert!(
+            params.sigma * params.sigma < 1.0 / (4.0 * alpha * alpha),
+            "spreading Gaussian too wide for α = {alpha}: σ = {}",
+            params.sigma
+        );
+        let plan = Fft3::new(params.nx, params.ny, params.nz);
+        let decay = 1.0 / (4.0 * alpha * alpha) - params.sigma * params.sigma;
+        let freq = |m: usize, n: usize, l: f64| -> f64 {
+            let m_signed = if m <= n / 2 {
+                m as i64
+            } else {
+                m as i64 - n as i64
+            };
+            2.0 * PI * m_signed as f64 / l
+        };
+        let mut ghat = vec![0.0; params.n_points()];
+        for ix in 0..params.nx {
+            let kx = freq(ix, params.nx, pbc.lx);
+            for iy in 0..params.ny {
+                let ky = freq(iy, params.ny, pbc.ly);
+                for iz in 0..params.nz {
+                    let kz = freq(iz, params.nz, pbc.lz);
+                    let k_sq = kx * kx + ky * ky + kz * kz;
+                    let idx = (ix * params.ny + iy) * params.nz + iz;
+                    // k = 0: tinfoil boundary conditions; net charge is
+                    // handled by the analytic background term.
+                    ghat[idx] = if k_sq == 0.0 {
+                        0.0
+                    } else {
+                        4.0 * PI / k_sq * (-k_sq * decay).exp()
+                    };
+                }
+            }
+        }
+        Gse {
+            params,
+            alpha,
+            pbc,
+            plan,
+            ghat,
+        }
+    }
+
+    /// Influence-function value at grid frequency index `(ix, iy, iz)`
+    /// (exposed so the distributed co-simulator can apply the identical
+    /// convolution on pencil-decomposed data).
+    pub fn influence_at(&self, ix: usize, iy: usize, iz: usize) -> f64 {
+        self.ghat[(ix * self.params.ny + iy) * self.params.nz + iz]
+    }
+
+    /// The box this solver was planned for.
+    pub fn pbc(&self) -> &PbcBox {
+        &self.pbc
+    }
+
+    /// Spread charges onto a fresh density grid (charge/Å³).
+    pub fn spread(&self, positions: &[Vec3], charges: &[f64]) -> Grid3 {
+        let mut rho = Grid3::zeros(self.params.nx, self.params.ny, self.params.nz);
+        self.spread_into(positions, charges, &mut rho);
+        rho
+    }
+
+    /// Spread charges into an existing (cleared) grid. Exposed separately so
+    /// the machine co-simulator can spread each node's atoms independently.
+    pub fn spread_into(&self, positions: &[Vec3], charges: &[f64], rho: &mut Grid3) {
+        let p = &self.params;
+        let h = p.spacing(&self.pbc);
+        let norm = (2.0 * PI * p.sigma * p.sigma).powf(-1.5);
+        let inv_2s2 = 1.0 / (2.0 * p.sigma * p.sigma);
+        let sup_sq = p.support * p.support;
+        let reach = [
+            (p.support / h.x).ceil() as i64,
+            (p.support / h.y).ceil() as i64,
+            (p.support / h.z).ceil() as i64,
+        ];
+        for (&pos, &q) in positions.iter().zip(charges) {
+            if q == 0.0 {
+                continue;
+            }
+            let w = self.pbc.wrap(pos);
+            let cx = (w.x / h.x).round() as i64;
+            let cy = (w.y / h.y).round() as i64;
+            let cz = (w.z / h.z).round() as i64;
+            for dx in -reach[0]..=reach[0] {
+                let gx = (cx + dx).rem_euclid(p.nx as i64) as usize;
+                let rx = (cx + dx) as f64 * h.x - w.x;
+                for dy in -reach[1]..=reach[1] {
+                    let gy = (cy + dy).rem_euclid(p.ny as i64) as usize;
+                    let ry = (cy + dy) as f64 * h.y - w.y;
+                    let rxy_sq = rx * rx + ry * ry;
+                    if rxy_sq > sup_sq {
+                        continue;
+                    }
+                    for dz in -reach[2]..=reach[2] {
+                        let gz = (cz + dz).rem_euclid(p.nz as i64) as usize;
+                        let rz = (cz + dz) as f64 * h.z - w.z;
+                        let d_sq = rxy_sq + rz * rz;
+                        if d_sq > sup_sq {
+                            continue;
+                        }
+                        rho.add(gx, gy, gz, C64::real(q * norm * (-d_sq * inv_2s2).exp()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convolve a density grid with the influence function, producing the
+    /// smeared potential grid (in units of C·charge/Å).
+    pub fn solve_potential(&self, rho: &Grid3) -> Grid3 {
+        let mut phi = rho.clone();
+        self.plan.forward(&mut phi);
+        for (v, &g) in phi.data.iter_mut().zip(&self.ghat) {
+            *v = v.scale(g);
+        }
+        self.plan.inverse(&mut phi);
+        phi
+    }
+
+    /// Reciprocal-space energy and forces via the grid. Equivalent to
+    /// [`crate::ewald::EwaldKSpace::energy_forces`] up to spreading accuracy.
+    pub fn energy_forces(&self, positions: &[Vec3], charges: &[f64], forces: &mut [Vec3]) -> f64 {
+        let rho = self.spread(positions, charges);
+        let phi = self.solve_potential(&rho);
+        let energy = self.grid_energy(&rho, &phi);
+        self.interpolate_forces(&phi, positions, charges, forces);
+        energy
+    }
+
+    /// `E = (C/2)·h³·Σ ρ·φ`.
+    pub fn grid_energy(&self, rho: &Grid3, phi: &Grid3) -> f64 {
+        let h = self.params.spacing(&self.pbc);
+        let cell_vol = h.x * h.y * h.z;
+        let dot: f64 = rho
+            .data
+            .iter()
+            .zip(&phi.data)
+            .map(|(a, b)| a.re * b.re)
+            .sum();
+        0.5 * COULOMB * cell_vol * dot
+    }
+
+    /// Gaussian-interpolate forces from the potential grid.
+    ///
+    /// Grid discretization leaves a small spurious net force; as in
+    /// production PME codes, the mean net force is subtracted evenly over
+    /// the charged atoms so the k-space term conserves momentum exactly.
+    pub fn interpolate_forces(
+        &self,
+        phi: &Grid3,
+        positions: &[Vec3],
+        charges: &[f64],
+        forces: &mut [Vec3],
+    ) {
+        let p = &self.params;
+        let h = p.spacing(&self.pbc);
+        let cell_vol = h.x * h.y * h.z;
+        let norm = (2.0 * PI * p.sigma * p.sigma).powf(-1.5);
+        let inv_s2 = 1.0 / (p.sigma * p.sigma);
+        let inv_2s2 = 0.5 * inv_s2;
+        let sup_sq = p.support * p.support;
+        let reach = [
+            (p.support / h.x).ceil() as i64,
+            (p.support / h.y).ceil() as i64,
+            (p.support / h.z).ceil() as i64,
+        ];
+        let mut net = Vec3::ZERO;
+        let mut charged = 0usize;
+        let mut added: Vec<(usize, Vec3)> = Vec::new();
+        for (a, (&pos, &q)) in positions.iter().zip(charges).enumerate() {
+            if q == 0.0 {
+                continue;
+            }
+            let w = self.pbc.wrap(pos);
+            let cx = (w.x / h.x).round() as i64;
+            let cy = (w.y / h.y).round() as i64;
+            let cz = (w.z / h.z).round() as i64;
+            let mut f = Vec3::ZERO;
+            for dx in -reach[0]..=reach[0] {
+                let gx = (cx + dx).rem_euclid(p.nx as i64) as usize;
+                let rx = (cx + dx) as f64 * h.x - w.x;
+                for dy in -reach[1]..=reach[1] {
+                    let gy = (cy + dy).rem_euclid(p.ny as i64) as usize;
+                    let ry = (cy + dy) as f64 * h.y - w.y;
+                    let rxy_sq = rx * rx + ry * ry;
+                    if rxy_sq > sup_sq {
+                        continue;
+                    }
+                    for dz in -reach[2]..=reach[2] {
+                        let gz = (cz + dz).rem_euclid(p.nz as i64) as usize;
+                        let rz = (cz + dz) as f64 * h.z - w.z;
+                        let d_sq = rxy_sq + rz * rz;
+                        if d_sq > sup_sq {
+                            continue;
+                        }
+                        // F_j = −q h³ Σ φ(g) · w(d) · d / σ², d = r_g − r_j.
+                        let wgt = norm * (-d_sq * inv_2s2).exp() * phi.get(gx, gy, gz).re;
+                        f -= Vec3::new(rx, ry, rz) * (wgt * inv_s2);
+                    }
+                }
+            }
+            let f = f * (q * COULOMB * cell_vol);
+            net += f;
+            charged += 1;
+            added.push((a, f));
+        }
+        // Momentum-conserving correction (see doc comment).
+        let correction = if charged > 0 {
+            net / charged as f64
+        } else {
+            Vec3::ZERO
+        };
+        for (a, f) in added {
+            forces[a] += f - correction;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ewald::EwaldKSpace;
+    use crate::vec3::v3;
+
+    fn test_charges() -> (PbcBox, Vec<Vec3>, Vec<f64>) {
+        let pbc = PbcBox::cubic(16.0);
+        let positions = vec![
+            v3(2.0, 3.0, 4.0),
+            v3(9.5, 12.0, 1.0),
+            v3(14.0, 6.0, 8.5),
+            v3(5.0, 15.0, 13.0),
+            v3(7.7, 7.7, 7.7),
+            v3(12.0, 2.0, 15.0),
+        ];
+        let charges = vec![0.8, -0.8, 0.5, -0.5, 0.4, -0.4];
+        (pbc, positions, charges)
+    }
+
+    #[test]
+    fn spread_conserves_charge() {
+        let (pbc, positions, charges) = test_charges();
+        let gse = Gse::new(0.5, pbc, GseParams::for_box(0.5, &pbc));
+        let rho = gse.spread(&positions, &charges);
+        let h = gse.params.spacing(&pbc);
+        let total: f64 = rho.data.iter().map(|z| z.re).sum::<f64>() * h.x * h.y * h.z;
+        let expect: f64 = charges.iter().sum();
+        assert!(
+            (total - expect).abs() < 1e-4,
+            "spread total {total} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn energy_matches_classic_ewald() {
+        let (pbc, positions, charges) = test_charges();
+        let alpha = 0.5;
+        let gse = Gse::new(alpha, pbc, GseParams::for_box(alpha, &pbc));
+        let mut fg = vec![Vec3::ZERO; positions.len()];
+        let e_gse = gse.energy_forces(&positions, &charges, &mut fg);
+        let ks = EwaldKSpace::for_box(alpha, &pbc, 1e-12);
+        let mut fe = vec![Vec3::ZERO; positions.len()];
+        let e_ewald = ks.energy_forces(&pbc, &positions, &charges, &mut fe);
+        assert!(
+            (e_gse - e_ewald).abs() < 2e-3 * e_ewald.abs().max(1.0),
+            "GSE {e_gse} vs Ewald {e_ewald}"
+        );
+    }
+
+    #[test]
+    fn forces_match_classic_ewald() {
+        let (pbc, positions, charges) = test_charges();
+        let alpha = 0.5;
+        let gse = Gse::new(alpha, pbc, GseParams::for_box(alpha, &pbc));
+        let mut fg = vec![Vec3::ZERO; positions.len()];
+        gse.energy_forces(&positions, &charges, &mut fg);
+        let ks = EwaldKSpace::for_box(alpha, &pbc, 1e-12);
+        let mut fe = vec![Vec3::ZERO; positions.len()];
+        ks.energy_forces(&pbc, &positions, &charges, &mut fe);
+        for (i, (a, b)) in fg.iter().zip(&fe).enumerate() {
+            assert!(
+                (*a - *b).norm() < 5e-3 * (1.0 + b.norm()),
+                "atom {i}: GSE {a:?} vs Ewald {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn forces_match_own_gradient() {
+        let (pbc, positions, charges) = test_charges();
+        let alpha = 0.5;
+        let gse = Gse::new(alpha, pbc, GseParams::for_box(alpha, &pbc));
+        let mut forces = vec![Vec3::ZERO; positions.len()];
+        gse.energy_forces(&positions, &charges, &mut forces);
+        let energy_at = |p: &[Vec3]| {
+            let mut scratch = vec![Vec3::ZERO; p.len()];
+            gse.energy_forces(p, &charges, &mut scratch)
+        };
+        // The grid energy carries ~1e-5-relative spreading-truncation noise,
+        // so the finite-difference step must be large enough that the true
+        // energy change dominates that noise.
+        let h = 0.05;
+        let mut p = positions.clone();
+        // Check one atom fully; gradient evaluation is expensive.
+        for c in 0..3 {
+            let orig = p[0][c];
+            p[0][c] = orig + h;
+            let ep = energy_at(&p);
+            p[0][c] = orig - h;
+            let em = energy_at(&p);
+            p[0][c] = orig;
+            let num = -(ep - em) / (2.0 * h);
+            assert!(
+                (forces[0][c] - num).abs() < 2e-2 * (1.0 + num.abs()),
+                "comp {c}: {} vs {num}",
+                forces[0][c]
+            );
+        }
+    }
+
+    #[test]
+    fn forces_sum_to_zero() {
+        let (pbc, positions, charges) = test_charges();
+        let gse = Gse::new(0.5, pbc, GseParams::for_box(0.5, &pbc));
+        let mut f = vec![Vec3::ZERO; positions.len()];
+        gse.energy_forces(&positions, &charges, &mut f);
+        // The mean-net-force correction makes this exact (up to f64
+        // summation noise).
+        let total: Vec3 = f.iter().copied().sum();
+        assert!(total.norm() < 1e-9, "net force {total:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (pbc, positions, charges) = test_charges();
+        let gse = Gse::new(0.5, pbc, GseParams::for_box(0.5, &pbc));
+        let run = || {
+            let mut f = vec![Vec3::ZERO; positions.len()];
+            let e = gse.energy_forces(&positions, &charges, &mut f);
+            (
+                e.to_bits(),
+                f.iter().map(|v| v.x.to_bits()).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn params_for_box_sane() {
+        let pbc = PbcBox::cubic(40.0);
+        let p = GseParams::for_box(0.35, &pbc);
+        assert!(p.nx.is_power_of_two());
+        // Spacing at or below 1.25 sigma.
+        assert!(p.spacing(&pbc).x <= 1.25 * p.sigma + 1e-12);
+        // σ² < 1/(4α²).
+        assert!(p.sigma * p.sigma < 1.0 / (4.0 * 0.35 * 0.35));
+    }
+
+    #[test]
+    #[should_panic(expected = "too wide")]
+    fn oversized_sigma_rejected() {
+        let pbc = PbcBox::cubic(16.0);
+        let mut p = GseParams::for_box(0.5, &pbc);
+        p.sigma = 2.0; // 1/(2α) = 1.0, so 2.0 is invalid
+        Gse::new(0.5, pbc, p);
+    }
+}

@@ -1,0 +1,209 @@
+//! Integrator building blocks: velocity-Verlet kick/drift steps, the RESPA
+//! multiple-timestep schedule, and a BAOAB Langevin step.
+//!
+//! Anton production runs use velocity Verlet with RESPA: range-limited
+//! forces every step, the k-space (long-range) force every 2–3 steps. The
+//! engine composes these primitives; keeping them free functions lets the
+//! machine co-simulator replay the identical arithmetic on simulated
+//! geometry cores.
+
+use crate::units::{fs_to_internal, KB};
+use crate::vec3::Vec3;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Half-kick: `v += (F/m)·dt/2`, with `dt` in femtoseconds.
+pub fn kick(velocities: &mut [Vec3], forces: &[Vec3], masses: &[f64], dt_fs: f64) {
+    let dt = fs_to_internal(dt_fs);
+    for ((v, f), &m) in velocities.iter_mut().zip(forces).zip(masses) {
+        *v += *f * (0.5 * dt / m);
+    }
+}
+
+/// Drift: `x += v·dt`, with `dt` in femtoseconds.
+pub fn drift(positions: &mut [Vec3], velocities: &[Vec3], dt_fs: f64) {
+    let dt = fs_to_internal(dt_fs);
+    for (p, v) in positions.iter_mut().zip(velocities) {
+        *p += *v * dt;
+    }
+}
+
+/// RESPA multiple-timestep schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RespaSchedule {
+    /// Evaluate the k-space (long-range) force every `kspace_interval`
+    /// steps; 1 disables multiple timestepping.
+    pub kspace_interval: u32,
+}
+
+impl Default for RespaSchedule {
+    fn default() -> Self {
+        // Anton production style: long-range every other step.
+        RespaSchedule { kspace_interval: 2 }
+    }
+}
+
+impl RespaSchedule {
+    /// Whether step `step` (0-based) evaluates the k-space force.
+    #[inline]
+    pub fn kspace_due(&self, step: u64) -> bool {
+        self.kspace_interval <= 1 || step.is_multiple_of(self.kspace_interval as u64)
+    }
+
+    /// The impulse weight applied to a k-space force when it fires: the
+    /// long-range force acts once but must cover `kspace_interval` steps
+    /// (impulse/Verlet-I MTS).
+    #[inline]
+    pub fn kspace_weight(&self) -> f64 {
+        self.kspace_interval.max(1) as f64
+    }
+}
+
+/// The O-step of BAOAB Langevin dynamics: an Ornstein–Uhlenbeck velocity
+/// update `v ← c₁v + c₂·σ·ξ` with `c₁ = e^{−γΔt}`, `σ = sqrt(kT/m)`.
+///
+/// `gamma_per_ps` — friction (ps⁻¹); `dt_fs` — the full step.
+pub fn langevin_o_step(
+    velocities: &mut [Vec3],
+    masses: &[f64],
+    t_kelvin: f64,
+    gamma_per_ps: f64,
+    dt_fs: f64,
+    rng: &mut StdRng,
+) {
+    let c1 = (-gamma_per_ps * dt_fs * 1e-3).exp();
+    let c2 = (1.0 - c1 * c1).sqrt();
+    let kt = KB * t_kelvin;
+    for (v, &m) in velocities.iter_mut().zip(masses) {
+        let sigma = (kt / m).sqrt();
+        let xi = Vec3::new(gauss(rng), gauss(rng), gauss(rng));
+        *v = *v * c1 + xi * (c2 * sigma);
+    }
+}
+
+fn gauss(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{internal_to_fs, temperature_from_ke};
+    use crate::vec3::v3;
+    use rand::SeedableRng;
+
+    #[test]
+    fn free_particle_moves_ballistically() {
+        let mut pos = vec![Vec3::ZERO];
+        let mut vel = vec![v3(1.0, 0.0, 0.0)]; // 1 Å per internal time unit
+        let forces = vec![Vec3::ZERO];
+        let masses = vec![1.0];
+        let dt_fs = internal_to_fs(0.01);
+        for _ in 0..100 {
+            kick(&mut vel, &forces, &masses, dt_fs);
+            drift(&mut pos, &vel, dt_fs);
+            kick(&mut vel, &forces, &masses, dt_fs);
+        }
+        assert!((pos[0].x - 1.0).abs() < 1e-12, "moved {}", pos[0].x);
+        assert_eq!(vel[0], v3(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn constant_force_gives_quadratic_trajectory() {
+        // x(t) = ½(F/m)t² under velocity Verlet is exact for constant force.
+        let mut pos = vec![Vec3::ZERO];
+        let mut vel = vec![Vec3::ZERO];
+        let forces = vec![v3(2.0, 0.0, 0.0)];
+        let masses = vec![4.0];
+        let steps = 250;
+        let dt_internal = 0.004;
+        let dt_fs = internal_to_fs(dt_internal);
+        for _ in 0..steps {
+            kick(&mut vel, &forces, &masses, dt_fs);
+            drift(&mut pos, &vel, dt_fs);
+            kick(&mut vel, &forces, &masses, dt_fs);
+        }
+        let t = steps as f64 * dt_internal;
+        let expect = 0.5 * (2.0 / 4.0) * t * t;
+        assert!(
+            (pos[0].x - expect).abs() < 1e-10,
+            "{} vs {expect}",
+            pos[0].x
+        );
+    }
+
+    #[test]
+    fn harmonic_oscillator_energy_bounded() {
+        // 1D oscillator: E fluctuates O(dt²) under Verlet but does not drift.
+        let k = 10.0;
+        let m = 2.0;
+        let mut x = 1.0f64;
+        let mut v = 0.0f64;
+        let dt = 0.01; // internal units
+        let dt_fs = internal_to_fs(dt);
+        let energy = |x: f64, v: f64| 0.5 * k * x * x + 0.5 * m * v * v;
+        let e0 = energy(x, v);
+        let mut worst: f64 = 0.0;
+        for _ in 0..20_000 {
+            let mut vel = vec![v3(v, 0.0, 0.0)];
+            let f = vec![v3(-k * x, 0.0, 0.0)];
+            kick(&mut vel, &f, &[m], dt_fs);
+            let mut pos = vec![v3(x, 0.0, 0.0)];
+            drift(&mut pos, &vel, dt_fs);
+            x = pos[0].x;
+            let f = vec![v3(-k * x, 0.0, 0.0)];
+            kick(&mut vel, &f, &[m], dt_fs);
+            v = vel[0].x;
+            worst = worst.max((energy(x, v) - e0).abs() / e0);
+        }
+        assert!(worst < 1e-3, "energy excursion {worst}");
+    }
+
+    #[test]
+    fn respa_schedule() {
+        let r = RespaSchedule { kspace_interval: 3 };
+        let due: Vec<bool> = (0..7).map(|s| r.kspace_due(s)).collect();
+        assert_eq!(due, vec![true, false, false, true, false, false, true]);
+        assert_eq!(r.kspace_weight(), 3.0);
+        let every = RespaSchedule { kspace_interval: 1 };
+        assert!((0..5).all(|s| every.kspace_due(s)));
+        assert_eq!(every.kspace_weight(), 1.0);
+    }
+
+    #[test]
+    fn langevin_equilibrates_to_target_temperature() {
+        let n = 2000;
+        let masses = vec![18.0; n];
+        let mut vel = vec![Vec3::ZERO; n];
+        let mut rng = StdRng::seed_from_u64(3);
+        // Strong friction, many steps: velocity distribution converges to
+        // Maxwell-Boltzmann regardless of the start.
+        for _ in 0..200 {
+            langevin_o_step(&mut vel, &masses, 300.0, 10.0, 50.0, &mut rng);
+        }
+        let ke: f64 = vel
+            .iter()
+            .zip(&masses)
+            .map(|(v, &m)| 0.5 * m * v.norm_sq())
+            .sum();
+        let t = temperature_from_ke(ke, 3 * n);
+        assert!((t - 300.0).abs() < 15.0, "T = {t}");
+    }
+
+    #[test]
+    fn langevin_zero_friction_is_identity() {
+        let masses = vec![1.0; 4];
+        let mut vel = vec![v3(1.0, -2.0, 0.5); 4];
+        let before = vel.clone();
+        let mut rng = StdRng::seed_from_u64(1);
+        langevin_o_step(&mut vel, &masses, 300.0, 0.0, 2.0, &mut rng);
+        assert_eq!(vel, before);
+    }
+}

@@ -1,0 +1,50 @@
+//! # anton2-md — the molecular dynamics engine substrate
+//!
+//! A real, working all-atom MD engine: the workload that the Anton 2 machine
+//! model executes. Everything is implemented from scratch on `std` + small
+//! utility crates:
+//!
+//! * math & conventions: [`vec3`], [`pbc`], [`units`], [`erfc`];
+//! * chemistry: [`topology`], [`forcefield`], synthetic [`builders`];
+//! * nonbonded machinery: [`cells`], [`neighbor`], [`pairkernel`];
+//! * bonded terms: [`bonded`];
+//! * electrostatics: classic [`ewald`] (the oracle) and grid-based [`gse`]
+//!   (Gaussian-split Ewald, the Anton method family) on `anton2-fft`;
+//! * rigid constraints: [`constraints`] (SHAKE/RATTLE) and [`settle`];
+//! * dynamics: [`integrate`] (velocity Verlet + RESPA), [`thermostat`],
+//!   [`minimize`];
+//! * Anton's determinism property: [`fixedpoint`] force accumulation;
+//! * the serial reference [`engine`] and [`observables`].
+
+pub mod bonded;
+pub mod builders;
+pub mod cells;
+pub mod constraints;
+pub mod engine;
+pub mod erfc;
+pub mod ewald;
+pub mod fixedpoint;
+pub mod forcefield;
+pub mod gse;
+pub mod integrate;
+pub mod minimize;
+pub mod neighbor;
+pub mod observables;
+pub mod pairkernel;
+pub mod pbc;
+pub mod pressure;
+#[cfg(test)]
+mod proptests;
+pub mod settle;
+pub mod system;
+pub mod thermostat;
+pub mod topology;
+pub mod trajectory;
+pub mod units;
+pub mod vec3;
+
+pub use forcefield::{ForceField, NonbondedSettings};
+pub use pbc::PbcBox;
+pub use system::System;
+pub use topology::Topology;
+pub use vec3::{v3, Vec3};

@@ -1,0 +1,236 @@
+//! Energy minimization: steepest descent with backtracking, plus FIRE.
+//!
+//! The synthetic system builders place atoms heuristically; a short
+//! minimization relaxes clashes so that dynamics can start at a production
+//! timestep, the same role minimization plays before an Anton run.
+
+use crate::vec3::Vec3;
+
+/// Result of a minimization run.
+#[derive(Clone, Copy, Debug)]
+pub struct MinimizeReport {
+    pub initial_energy: f64,
+    pub final_energy: f64,
+    pub iterations: usize,
+    /// Largest force component at exit, kcal/mol/Å.
+    pub max_force: f64,
+    pub converged: bool,
+}
+
+/// Steepest descent with adaptive step size.
+///
+/// `eval` fills `forces` for the given positions and returns the potential
+/// energy. Stops when the max force component drops below `f_tol` or after
+/// `max_iter` evaluations.
+pub fn steepest_descent(
+    positions: &mut [Vec3],
+    mut eval: impl FnMut(&[Vec3], &mut [Vec3]) -> f64,
+    f_tol: f64,
+    max_iter: usize,
+) -> MinimizeReport {
+    let n = positions.len();
+    let mut forces = vec![Vec3::ZERO; n];
+    let mut energy = eval(positions, &mut forces);
+    let initial_energy = energy;
+    let mut step = 0.01; // Å along the normalized force direction
+    let mut iterations = 0;
+
+    for _ in 0..max_iter {
+        iterations += 1;
+        let fmax = forces.iter().map(|f| f.max_abs()).fold(0.0, f64::max);
+        if fmax < f_tol {
+            return MinimizeReport {
+                initial_energy,
+                final_energy: energy,
+                iterations,
+                max_force: fmax,
+                converged: true,
+            };
+        }
+        // Trial move along forces, displacement capped at `step`.
+        let scale = step / fmax;
+        let trial: Vec<Vec3> = positions
+            .iter()
+            .zip(&forces)
+            .map(|(p, f)| *p + *f * scale)
+            .collect();
+        let mut trial_forces = vec![Vec3::ZERO; n];
+        let trial_energy = eval(&trial, &mut trial_forces);
+        if trial_energy < energy {
+            positions.copy_from_slice(&trial);
+            forces = trial_forces;
+            energy = trial_energy;
+            step = (step * 1.2).min(0.2);
+        } else {
+            step *= 0.5;
+            if step < 1e-10 {
+                break; // line search exhausted at a (local) minimum
+            }
+        }
+    }
+    let max_force = forces.iter().map(|f| f.max_abs()).fold(0.0, f64::max);
+    MinimizeReport {
+        initial_energy,
+        final_energy: energy,
+        iterations,
+        max_force,
+        converged: max_force < f_tol,
+    }
+}
+
+/// FIRE (fast inertial relaxation engine) — typically several times faster
+/// than steepest descent on condensed systems.
+pub fn fire(
+    positions: &mut [Vec3],
+    mut eval: impl FnMut(&[Vec3], &mut [Vec3]) -> f64,
+    f_tol: f64,
+    max_iter: usize,
+) -> MinimizeReport {
+    let n = positions.len();
+    let mut forces = vec![Vec3::ZERO; n];
+    let mut velocities = vec![Vec3::ZERO; n];
+    let initial_energy = eval(positions, &mut forces);
+
+    let dt_max = 0.1;
+    let mut dt = 0.02;
+    let mut alpha = 0.1;
+    let mut steps_since_negative = 0;
+    let (f_inc, f_dec, alpha_start, f_alpha, n_min) = (1.1f64, 0.5f64, 0.1f64, 0.99f64, 5);
+
+    let mut iterations = 0;
+    for _ in 0..max_iter {
+        iterations += 1;
+        let fmax = forces.iter().map(|f| f.max_abs()).fold(0.0, f64::max);
+        if fmax < f_tol {
+            let final_energy = eval(positions, &mut forces);
+            return MinimizeReport {
+                initial_energy,
+                final_energy,
+                iterations,
+                max_force: fmax,
+                converged: true,
+            };
+        }
+        let power: f64 = velocities.iter().zip(&forces).map(|(v, f)| v.dot(*f)).sum();
+        if power > 0.0 {
+            // Mix velocity toward the force direction.
+            let vnorm = velocities.iter().map(|v| v.norm_sq()).sum::<f64>().sqrt();
+            let fnorm = forces
+                .iter()
+                .map(|f| f.norm_sq())
+                .sum::<f64>()
+                .sqrt()
+                .max(1e-300);
+            for (v, f) in velocities.iter_mut().zip(&forces) {
+                *v = *v * (1.0 - alpha) + *f * (alpha * vnorm / fnorm);
+            }
+            steps_since_negative += 1;
+            if steps_since_negative > n_min {
+                dt = (dt * f_inc).min(dt_max);
+                alpha *= f_alpha;
+            }
+        } else {
+            velocities.iter_mut().for_each(|v| *v = Vec3::ZERO);
+            dt *= f_dec;
+            alpha = alpha_start;
+            steps_since_negative = 0;
+        }
+        // MD half-step with unit mass (relaxation dynamics, not physics).
+        for ((p, v), f) in positions.iter_mut().zip(&mut velocities).zip(&forces) {
+            *v += *f * dt;
+            // Cap displacement to avoid tunneling through repulsive cores.
+            let d = *v * dt;
+            let dmax = d.max_abs();
+            let d = if dmax > 0.2 { d * (0.2 / dmax) } else { d };
+            *p += d;
+        }
+        eval(positions, &mut forces);
+    }
+    let final_energy = eval(positions, &mut forces);
+    let max_force = forces.iter().map(|f| f.max_abs()).fold(0.0, f64::max);
+    MinimizeReport {
+        initial_energy,
+        final_energy,
+        iterations,
+        max_force,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::v3;
+
+    /// Quadratic bowl: E = Σ k|r − c|², force = −2k(r − c).
+    fn bowl(center: Vec3, k: f64) -> impl FnMut(&[Vec3], &mut [Vec3]) -> f64 {
+        move |pos, forces| {
+            let mut e = 0.0;
+            for (p, f) in pos.iter().zip(forces.iter_mut()) {
+                let d = *p - center;
+                e += k * d.norm_sq();
+                *f = d * (-2.0 * k);
+            }
+            e
+        }
+    }
+
+    #[test]
+    fn steepest_descent_finds_quadratic_minimum() {
+        let mut pos = vec![v3(3.0, -2.0, 1.0), v3(0.5, 4.0, -1.0)];
+        let rep = steepest_descent(&mut pos, bowl(v3(1.0, 1.0, 1.0), 5.0), 1e-6, 10_000);
+        assert!(rep.converged, "{rep:?}");
+        for p in &pos {
+            assert!((*p - v3(1.0, 1.0, 1.0)).norm() < 1e-5);
+        }
+        assert!(rep.final_energy < rep.initial_energy);
+    }
+
+    #[test]
+    fn fire_finds_quadratic_minimum() {
+        let mut pos = vec![v3(3.0, -2.0, 1.0), v3(0.5, 4.0, -1.0)];
+        let rep = fire(&mut pos, bowl(v3(1.0, 1.0, 1.0), 5.0), 1e-6, 10_000);
+        assert!(rep.converged, "{rep:?}");
+        for p in &pos {
+            assert!((*p - v3(1.0, 1.0, 1.0)).norm() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fire_relaxes_lj_dimer_to_r_min() {
+        // Two LJ particles: minimum at 2^(1/6)σ.
+        let (eps, sigma): (f64, f64) = (0.5, 3.0);
+        let eval = move |pos: &[Vec3], forces: &mut [Vec3]| {
+            let d = pos[1] - pos[0];
+            let r2 = d.norm_sq();
+            let s6 = sigma.powi(6) / (r2 * r2 * r2);
+            let e = 4.0 * eps * (s6 * s6 - s6);
+            let f_over_r = 4.0 * eps * (12.0 * s6 * s6 - 6.0 * s6) / r2;
+            forces[0] = -d * f_over_r;
+            forces[1] = d * f_over_r;
+            e
+        };
+        let mut pos = vec![Vec3::ZERO, v3(4.5, 0.0, 0.0)];
+        let rep = fire(&mut pos, eval, 1e-8, 50_000);
+        assert!(rep.converged, "{rep:?}");
+        let r = (pos[1] - pos[0]).norm();
+        let r_min = 2f64.powf(1.0 / 6.0) * sigma;
+        assert!((r - r_min).abs() < 1e-4, "r = {r} vs {r_min}");
+        assert!((rep.final_energy + eps).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimizers_monotone_nonincreasing_outcome() {
+        let mut pos = vec![v3(10.0, 0.0, 0.0)];
+        let rep = steepest_descent(&mut pos, bowl(Vec3::ZERO, 1.0), 1e-12, 50);
+        assert!(rep.final_energy <= rep.initial_energy);
+    }
+
+    #[test]
+    fn already_minimized_returns_immediately() {
+        let mut pos = vec![v3(1.0, 1.0, 1.0)];
+        let rep = steepest_descent(&mut pos, bowl(v3(1.0, 1.0, 1.0), 5.0), 1e-6, 100);
+        assert!(rep.converged);
+        assert_eq!(rep.iterations, 1);
+    }
+}

@@ -1,0 +1,251 @@
+//! Verlet neighbor lists with a skin buffer.
+//!
+//! The list stores each unordered pair once, under the lower-indexed atom
+//! (half list, CSR layout). Construction is parallel over atoms with rayon
+//! and produces identical output for any thread count, because each atom's
+//! partner list is computed and sorted independently.
+
+use crate::cells::CellGrid;
+use crate::pbc::PbcBox;
+use crate::vec3::Vec3;
+use rayon::prelude::*;
+
+/// A half neighbor list valid until some atom moves more than `skin/2`.
+#[derive(Clone, Debug)]
+pub struct NeighborList {
+    /// CSR row starts, length `n_atoms + 1`.
+    pub start: Vec<usize>,
+    /// Partner indices `j` (always `> i` for row `i`), sorted within a row.
+    pub partners: Vec<u32>,
+    /// Positions at build time, for the displacement rebuild criterion.
+    ref_positions: Vec<Vec3>,
+    /// Interaction range the list was built for (cutoff + skin).
+    pub range: f64,
+    skin: f64,
+}
+
+impl NeighborList {
+    /// Build a fresh list for `positions` with interaction `cutoff` and
+    /// buffer `skin`.
+    pub fn build(pbc: &PbcBox, positions: &[Vec3], cutoff: f64, skin: f64) -> Self {
+        let range = cutoff + skin;
+        let range_sq = range * range;
+        let n = positions.len();
+
+        let rows: Vec<Vec<u32>> = if CellGrid::dims_for(pbc, range).is_some() {
+            let grid = CellGrid::build(pbc, positions, range);
+            (0..n)
+                .into_par_iter()
+                .map(|i| {
+                    let pi = positions[i];
+                    let mut row = Vec::new();
+                    for c in grid.neighborhood(grid.cell_of(pi)) {
+                        for &j in grid.cell(c) {
+                            if (j as usize) > i && pbc.dist_sq(pi, positions[j as usize]) < range_sq
+                            {
+                                row.push(j);
+                            }
+                        }
+                    }
+                    row.sort_unstable();
+                    row
+                })
+                .collect()
+        } else {
+            // Box too small for cells: all-pairs scan (still parallel).
+            (0..n)
+                .into_par_iter()
+                .map(|i| {
+                    let pi = positions[i];
+                    ((i + 1)..n)
+                        .filter(|&j| pbc.dist_sq(pi, positions[j]) < range_sq)
+                        .map(|j| j as u32)
+                        .collect()
+                })
+                .collect()
+        };
+
+        let mut start = Vec::with_capacity(n + 1);
+        start.push(0usize);
+        let mut total = 0;
+        for r in &rows {
+            total += r.len();
+            start.push(total);
+        }
+        let mut partners = Vec::with_capacity(total);
+        for r in rows {
+            partners.extend(r);
+        }
+        NeighborList {
+            start,
+            partners,
+            ref_positions: positions.to_vec(),
+            range,
+            skin,
+        }
+    }
+
+    /// Number of stored (unordered) pairs.
+    pub fn n_pairs(&self) -> usize {
+        self.partners.len()
+    }
+
+    /// Partners of atom `i` (all with index > `i`).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.partners[self.start[i]..self.start[i + 1]]
+    }
+
+    /// Whether any atom has drifted far enough that the list may now miss a
+    /// pair inside the true cutoff.
+    pub fn needs_rebuild(&self, pbc: &PbcBox, positions: &[Vec3]) -> bool {
+        let limit_sq = (self.skin / 2.0) * (self.skin / 2.0);
+        positions
+            .iter()
+            .zip(&self.ref_positions)
+            .any(|(&p, &r)| pbc.dist_sq(p, r) > limit_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::v3;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_positions(n: usize, l: f64, seed: u64) -> Vec<Vec3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                v3(
+                    rng.gen::<f64>() * l,
+                    rng.gen::<f64>() * l,
+                    rng.gen::<f64>() * l,
+                )
+            })
+            .collect()
+    }
+
+    fn brute_force_pairs(pbc: &PbcBox, pos: &[Vec3], range: f64) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for i in 0..pos.len() {
+            for j in (i + 1)..pos.len() {
+                if pbc.dist_sq(pos[i], pos[j]) < range * range {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    fn list_pairs(nl: &NeighborList) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for i in 0..nl.start.len() - 1 {
+            for &j in nl.row(i) {
+                out.push((i as u32, j));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_large_box() {
+        let pbc = PbcBox::cubic(40.0);
+        let pos = random_positions(300, 40.0, 3);
+        let nl = NeighborList::build(&pbc, &pos, 9.0, 1.0);
+        let mut got = list_pairs(&nl);
+        let mut want = brute_force_pairs(&pbc, &pos, 10.0);
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matches_brute_force_small_box_fallback() {
+        let pbc = PbcBox::cubic(18.0);
+        let pos = random_positions(100, 18.0, 5);
+        let nl = NeighborList::build(&pbc, &pos, 7.0, 1.0); // 18/8 = 2 cells → fallback
+        let mut got = list_pairs(&nl);
+        let mut want = brute_force_pairs(&pbc, &pos, 8.0);
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn half_list_has_each_pair_once() {
+        let pbc = PbcBox::cubic(40.0);
+        let pos = random_positions(200, 40.0, 9);
+        let nl = NeighborList::build(&pbc, &pos, 9.0, 1.0);
+        let mut pairs = list_pairs(&nl);
+        let before = pairs.len();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), before);
+        for &(i, j) in &pairs {
+            assert!(j > i);
+        }
+    }
+
+    #[test]
+    fn rebuild_criterion() {
+        let pbc = PbcBox::cubic(40.0);
+        let mut pos = random_positions(50, 40.0, 11);
+        let nl = NeighborList::build(&pbc, &pos, 9.0, 1.0);
+        assert!(!nl.needs_rebuild(&pbc, &pos));
+        // Move one atom just under skin/2: still fine.
+        pos[7] += v3(0.49, 0.0, 0.0);
+        assert!(!nl.needs_rebuild(&pbc, &pos));
+        // Past skin/2: rebuild required.
+        pos[7] += v3(0.02, 0.0, 0.0);
+        assert!(nl.needs_rebuild(&pbc, &pos));
+    }
+
+    #[test]
+    fn rebuild_criterion_respects_pbc() {
+        // An atom drifting across the boundary is a tiny *periodic*
+        // displacement and must not trigger a rebuild.
+        let pbc = PbcBox::cubic(40.0);
+        let mut pos = vec![v3(0.05, 1.0, 1.0)];
+        let nl = NeighborList::build(&pbc, &pos, 9.0, 1.0);
+        pos[0].x = 39.95; // moved −0.1 through the wall
+        assert!(!nl.needs_rebuild(&pbc, &pos));
+    }
+
+    #[test]
+    fn skin_keeps_list_valid_while_atoms_drift() {
+        let pbc = PbcBox::cubic(40.0);
+        let mut pos = random_positions(150, 40.0, 13);
+        let cutoff = 9.0;
+        let nl = NeighborList::build(&pbc, &pos, cutoff, 1.0);
+        // Drift everything by up to skin/2 in random directions.
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in &mut pos {
+            let d = v3(
+                rng.gen::<f64>() - 0.5,
+                rng.gen::<f64>() - 0.5,
+                rng.gen::<f64>() - 0.5,
+            );
+            *p += d.normalized() * 0.49;
+        }
+        assert!(!nl.needs_rebuild(&pbc, &pos));
+        // Every pair now inside the *true* cutoff must be present in the
+        // stale list.
+        let inside = brute_force_pairs(&pbc, &pos, cutoff);
+        let listed: std::collections::HashSet<_> = list_pairs(&nl).into_iter().collect();
+        for pr in inside {
+            assert!(listed.contains(&pr), "missing pair {pr:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let pbc = PbcBox::cubic(40.0);
+        let pos = random_positions(400, 40.0, 21);
+        let a = NeighborList::build(&pbc, &pos, 9.0, 1.0);
+        let b = NeighborList::build(&pbc, &pos, 9.0, 1.0);
+        assert_eq!(a.start, b.start);
+        assert_eq!(a.partners, b.partners);
+    }
+}

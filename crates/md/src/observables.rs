@@ -1,0 +1,357 @@
+//! Observables and bookkeeping: the per-step energy ledger, NVE drift
+//! measurement, and a radial distribution function.
+
+use crate::pbc::PbcBox;
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Complete energy decomposition of one step, kcal/mol.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    pub kinetic: f64,
+    pub lj: f64,
+    pub lj14: f64,
+    pub coulomb_real: f64,
+    pub coulomb_kspace: f64,
+    pub coulomb_self: f64,
+    pub coulomb_excluded: f64,
+    pub coulomb_background: f64,
+    pub coulomb14: f64,
+    pub bond: f64,
+    pub angle: f64,
+    pub dihedral: f64,
+    pub urey_bradley: f64,
+    pub improper: f64,
+}
+
+impl EnergyLedger {
+    /// Total electrostatic energy.
+    pub fn coulomb(&self) -> f64 {
+        self.coulomb_real
+            + self.coulomb_kspace
+            + self.coulomb_self
+            + self.coulomb_excluded
+            + self.coulomb_background
+            + self.coulomb14
+    }
+
+    /// Total potential energy.
+    pub fn potential(&self) -> f64 {
+        self.lj
+            + self.lj14
+            + self.coulomb()
+            + self.bond
+            + self.angle
+            + self.dihedral
+            + self.urey_bradley
+            + self.improper
+    }
+
+    /// Total (conserved in NVE) energy.
+    pub fn total(&self) -> f64 {
+        self.kinetic + self.potential()
+    }
+}
+
+/// Tracks total energy over time and reports linear drift, the standard
+/// integrator quality metric.
+#[derive(Clone, Debug, Default)]
+pub struct DriftTracker {
+    samples: Vec<(f64, f64)>, // (time fs, total energy)
+}
+
+impl DriftTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, time_fs: f64, total_energy: f64) {
+        self.samples.push((time_fs, total_energy));
+    }
+
+    pub fn n_samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Least-squares slope of E(t), kcal/mol per fs. `None` with fewer than
+    /// two samples.
+    pub fn slope(&self) -> Option<f64> {
+        let n = self.samples.len();
+        if n < 2 {
+            return None;
+        }
+        let nf = n as f64;
+        let (mut st, mut se, mut stt, mut ste) = (0.0, 0.0, 0.0, 0.0);
+        for &(t, e) in &self.samples {
+            st += t;
+            se += e;
+            stt += t * t;
+            ste += t * e;
+        }
+        let denom = nf * stt - st * st;
+        if denom.abs() < 1e-300 {
+            return None;
+        }
+        Some((nf * ste - st * se) / denom)
+    }
+
+    /// Drift normalized per atom per nanosecond — the figure MD papers
+    /// quote. `None` with fewer than two samples.
+    pub fn drift_per_atom_per_ns(&self, n_atoms: usize) -> Option<f64> {
+        self.slope().map(|s| s * 1e6 / n_atoms as f64)
+    }
+
+    /// RMS fluctuation of the total energy around its linear trend.
+    pub fn rms_fluctuation(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let slope = self.slope().unwrap_or(0.0);
+        let mean_t = self.samples.iter().map(|s| s.0).sum::<f64>() / n as f64;
+        let mean_e = self.samples.iter().map(|s| s.1).sum::<f64>() / n as f64;
+        let var = self
+            .samples
+            .iter()
+            .map(|&(t, e)| {
+                let fit = mean_e + slope * (t - mean_t);
+                (e - fit) * (e - fit)
+            })
+            .sum::<f64>()
+            / n as f64;
+        var.sqrt()
+    }
+}
+
+/// Radius of gyration of a group of atoms (mass-weighted RMS distance from
+/// the group's center of mass), the standard compactness observable for a
+/// protein. Coordinates are unwrapped around the first atom, so the group
+/// must be smaller than half the box.
+pub fn radius_of_gyration(
+    pbc: &PbcBox,
+    positions: &[Vec3],
+    masses: &[f64],
+    group: &[usize],
+) -> f64 {
+    assert!(!group.is_empty());
+    let anchor = positions[group[0]];
+    let unwrapped: Vec<Vec3> = group
+        .iter()
+        .map(|&a| anchor + pbc.min_image(positions[a], anchor))
+        .collect();
+    let m_total: f64 = group.iter().map(|&a| masses[a]).sum();
+    let com: Vec3 = unwrapped
+        .iter()
+        .zip(group)
+        .map(|(r, &a)| *r * masses[a])
+        .sum::<Vec3>()
+        / m_total;
+    let msq: f64 = unwrapped
+        .iter()
+        .zip(group)
+        .map(|(r, &a)| masses[a] * (*r - com).norm_sq())
+        .sum::<f64>()
+        / m_total;
+    msq.sqrt()
+}
+
+/// Radial distribution function accumulator (for validating fluid structure
+/// in the LJ-fluid example).
+#[derive(Clone, Debug)]
+pub struct Rdf {
+    pub r_max: f64,
+    pub bins: Vec<u64>,
+    dr: f64,
+    frames: usize,
+    n_atoms: usize,
+}
+
+impl Rdf {
+    pub fn new(r_max: f64, n_bins: usize) -> Self {
+        Rdf {
+            r_max,
+            bins: vec![0; n_bins],
+            dr: r_max / n_bins as f64,
+            frames: 0,
+            n_atoms: 0,
+        }
+    }
+
+    /// Accumulate one frame (O(N²); intended for modest systems).
+    pub fn accumulate(&mut self, pbc: &PbcBox, positions: &[Vec3]) {
+        self.frames += 1;
+        self.n_atoms = positions.len();
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                let r = pbc.min_image(positions[i], positions[j]).norm();
+                if r < self.r_max {
+                    self.bins[(r / self.dr) as usize] += 2; // both directions
+                }
+            }
+        }
+    }
+
+    /// Normalized g(r) bin centers and values.
+    pub fn normalized(&self, pbc: &PbcBox) -> Vec<(f64, f64)> {
+        if self.frames == 0 || self.n_atoms == 0 {
+            return Vec::new();
+        }
+        let density = self.n_atoms as f64 / pbc.volume();
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(k, &count)| {
+                let r_lo = k as f64 * self.dr;
+                let r_hi = r_lo + self.dr;
+                let shell = 4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
+                let ideal = density * shell * self.n_atoms as f64 * self.frames as f64;
+                ((r_lo + r_hi) / 2.0, count as f64 / ideal)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::v3;
+
+    #[test]
+    fn ledger_totals() {
+        let e = EnergyLedger {
+            kinetic: 10.0,
+            lj: -5.0,
+            lj14: 0.5,
+            coulomb_real: -20.0,
+            coulomb_kspace: 3.0,
+            coulomb_self: -40.0,
+            coulomb_excluded: 40.0,
+            coulomb_background: 0.0,
+            coulomb14: -1.0,
+            bond: 2.0,
+            angle: 1.0,
+            dihedral: 0.5,
+            urey_bradley: 0.25,
+            improper: 0.75,
+        };
+        assert!((e.coulomb() - (-18.0)).abs() < 1e-12);
+        assert!((e.potential() - (-18.0)).abs() < 1e-12);
+        assert!((e.total() - (-8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_recovers_linear_trend() {
+        let mut d = DriftTracker::new();
+        for k in 0..100 {
+            let t = k as f64 * 2.0;
+            d.record(t, 100.0 + 0.25 * t);
+        }
+        let slope = d.slope().unwrap();
+        assert!((slope - 0.25).abs() < 1e-12);
+        // per-atom-per-ns for 1000 atoms: 0.25 kcal/mol/fs × 1e6 fs/ns / 1000.
+        let norm = d.drift_per_atom_per_ns(1000).unwrap();
+        assert!((norm - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_zero_for_constant_energy() {
+        let mut d = DriftTracker::new();
+        for k in 0..50 {
+            d.record(k as f64, 42.0);
+        }
+        assert!(d.slope().unwrap().abs() < 1e-12);
+        assert!(d.rms_fluctuation() < 1e-12);
+    }
+
+    #[test]
+    fn drift_needs_two_samples() {
+        let mut d = DriftTracker::new();
+        assert!(d.slope().is_none());
+        d.record(0.0, 1.0);
+        assert!(d.slope().is_none());
+    }
+
+    #[test]
+    fn rms_fluctuation_detects_noise() {
+        let mut d = DriftTracker::new();
+        for k in 0..200 {
+            let noise = if k % 2 == 0 { 1.0 } else { -1.0 };
+            d.record(k as f64, 10.0 + noise);
+        }
+        assert!((d.rms_fluctuation() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn radius_of_gyration_known_geometries() {
+        let pbc = PbcBox::cubic(100.0);
+        // Two unit masses at ±1 along x: Rg = 1.
+        let pos = vec![v3(49.0, 50.0, 50.0), v3(51.0, 50.0, 50.0)];
+        let rg = radius_of_gyration(&pbc, &pos, &[1.0, 1.0], &[0, 1]);
+        assert!((rg - 1.0).abs() < 1e-12);
+        // Mass-weighting: heavy atom pins the COM toward itself.
+        let rg_w = radius_of_gyration(&pbc, &pos, &[3.0, 1.0], &[0, 1]);
+        // COM at 49.5: deviations 0.5 (m 3) and 1.5 (m 1) → sqrt((3·0.25+2.25)/4).
+        assert!((rg_w - (3.0f64 / 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radius_of_gyration_unwraps_across_boundary() {
+        let pbc = PbcBox::cubic(10.0);
+        // A 2-Å dimer straddling the wall must measure Rg = 1, not ~4.
+        let pos = vec![v3(9.5, 5.0, 5.0), v3(1.5, 5.0, 5.0)];
+        let rg = radius_of_gyration(&pbc, &pos, &[1.0, 1.0], &[0, 1]);
+        assert!((rg - 1.0).abs() < 1e-12, "Rg = {rg}");
+    }
+
+    #[test]
+    fn rdf_of_ideal_gas_is_flat() {
+        // Uniform random points: g(r) ≈ 1 away from r → 0.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let pbc = PbcBox::cubic(20.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut rdf = Rdf::new(8.0, 16);
+        for _ in 0..20 {
+            let pos: Vec<Vec3> = (0..400)
+                .map(|_| {
+                    v3(
+                        rng.gen::<f64>() * 20.0,
+                        rng.gen::<f64>() * 20.0,
+                        rng.gen::<f64>() * 20.0,
+                    )
+                })
+                .collect();
+            rdf.accumulate(&pbc, &pos);
+        }
+        for (r, g) in rdf.normalized(&pbc) {
+            if r > 2.0 {
+                assert!((g - 1.0).abs() < 0.15, "g({r}) = {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn rdf_sees_a_lattice_peak() {
+        // Simple cubic lattice, spacing 2: strong peak at r = 2.
+        let pbc = PbcBox::cubic(8.0);
+        let mut pos = Vec::new();
+        for x in 0..4 {
+            for y in 0..4 {
+                for z in 0..4 {
+                    pos.push(v3(x as f64 * 2.0, y as f64 * 2.0, z as f64 * 2.0));
+                }
+            }
+        }
+        // Restrict to below the second shell (√2·2 ≈ 2.83) so the first
+        // peak is unambiguous.
+        let mut rdf = Rdf::new(2.5, 25);
+        rdf.accumulate(&pbc, &pos);
+        let g = rdf.normalized(&pbc);
+        let peak = g
+            .iter()
+            .cloned()
+            .fold((0.0, 0.0), |a, b| if b.1 > a.1 { b } else { a });
+        assert!((peak.0 - 2.0).abs() < 0.1, "peak at {}", peak.0);
+        assert!(peak.1 > 5.0);
+    }
+}

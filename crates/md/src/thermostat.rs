@@ -1,0 +1,208 @@
+//! Thermostats: Berendsen weak coupling and a Nosé–Hoover chain.
+
+use crate::units::{ke_from_temperature, KB};
+use crate::vec3::Vec3;
+
+/// Berendsen weak-coupling thermostat: rescales velocities toward the target
+/// temperature with time constant `tau_fs`.
+#[derive(Clone, Copy, Debug)]
+pub struct Berendsen {
+    pub target_kelvin: f64,
+    pub tau_fs: f64,
+}
+
+impl Berendsen {
+    /// Apply one step of weak coupling given the instantaneous temperature.
+    /// Returns the scale factor used.
+    pub fn apply(&self, velocities: &mut [Vec3], t_now: f64, dt_fs: f64) -> f64 {
+        if t_now <= 0.0 {
+            return 1.0;
+        }
+        let lambda_sq = 1.0 + dt_fs / self.tau_fs * (self.target_kelvin / t_now - 1.0);
+        let lambda = lambda_sq.max(0.0).sqrt().clamp(0.8, 1.25);
+        for v in velocities.iter_mut() {
+            *v = *v * lambda;
+        }
+        lambda
+    }
+}
+
+/// A two-bead Nosé–Hoover chain (Martyna–Klein–Tuckerman), which produces a
+/// correct canonical ensemble where plain Nosé–Hoover can fail ergodically.
+#[derive(Clone, Debug)]
+pub struct NoseHooverChain {
+    pub target_kelvin: f64,
+    /// Characteristic period of the chain, fs.
+    pub tau_fs: f64,
+    /// Thermostat "positions" are not needed; velocities (xi) carry state.
+    xi: [f64; 2],
+    /// Chain masses (Q), set from tau and the system's DoF at first use.
+    q: [f64; 2],
+    dof: usize,
+}
+
+impl NoseHooverChain {
+    pub fn new(target_kelvin: f64, tau_fs: f64, dof: usize) -> Self {
+        // Q1 = N_f kT τ², Q2 = kT τ² (τ in internal time units).
+        let tau = crate::units::fs_to_internal(tau_fs);
+        let kt = KB * target_kelvin;
+        NoseHooverChain {
+            target_kelvin,
+            tau_fs,
+            xi: [0.0; 2],
+            q: [dof as f64 * kt * tau * tau, kt * tau * tau],
+            dof,
+        }
+    }
+
+    /// Propagate the chain for a half-step `dt_fs/2` and rescale velocities.
+    /// Returns the velocity scale applied.
+    pub fn half_step(&mut self, velocities: &mut [Vec3], masses: &[f64], dt_fs: f64) -> f64 {
+        let dt = crate::units::fs_to_internal(dt_fs) / 2.0;
+        let kt = KB * self.target_kelvin;
+        let nf = self.dof as f64;
+        let ke2 = velocities
+            .iter()
+            .zip(masses)
+            .map(|(v, &m)| m * v.norm_sq())
+            .sum::<f64>(); // 2·KE
+                           // Update chain bead 2, then bead 1 (Suzuki-Yoshida order 1 is fine
+                           // for the short half-steps MD uses).
+        let g2 = (self.q[0] * self.xi[0] * self.xi[0] - kt) / self.q[1];
+        self.xi[1] += g2 * dt / 2.0;
+        let g1 = (ke2 - nf * kt) / self.q[0];
+        self.xi[0] = (self.xi[0] + g1 * dt / 2.0) * (-self.xi[1] * dt / 2.0).exp();
+        // Rescale particle velocities.
+        let scale = (-self.xi[0] * dt).exp();
+        for v in velocities.iter_mut() {
+            *v = *v * scale;
+        }
+        // Finish the chain half-step with the scaled kinetic energy.
+        let ke2 = ke2 * scale * scale;
+        let g1 = (ke2 - nf * kt) / self.q[0];
+        self.xi[0] = (self.xi[0] * (-self.xi[1] * dt / 2.0).exp()) + g1 * dt / 2.0;
+        let g2 = (self.q[0] * self.xi[0] * self.xi[0] - kt) / self.q[1];
+        self.xi[1] += g2 * dt / 2.0;
+        scale
+    }
+
+    /// Kinetic target the chain drives toward, kcal/mol.
+    pub fn target_kinetic(&self) -> f64 {
+        ke_from_temperature(self.target_kelvin, self.dof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::temperature_from_ke;
+    use crate::vec3::v3;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn hot_velocities(n: usize, t_kelvin: f64, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let masses = vec![18.0; n];
+        let mut vel: Vec<Vec3> = (0..n)
+            .map(|_| {
+                v3(
+                    rng.gen::<f64>() - 0.5,
+                    rng.gen::<f64>() - 0.5,
+                    rng.gen::<f64>() - 0.5,
+                )
+            })
+            .collect();
+        // Scale to the requested temperature.
+        let ke: f64 = vel
+            .iter()
+            .zip(&masses)
+            .map(|(v, &m)| 0.5 * m * v.norm_sq())
+            .sum();
+        let target = ke_from_temperature(t_kelvin, 3 * n);
+        let s = (target / ke).sqrt();
+        for v in &mut vel {
+            *v = *v * s;
+        }
+        (vel, masses)
+    }
+
+    fn temp(vel: &[Vec3], masses: &[f64]) -> f64 {
+        let ke: f64 = vel
+            .iter()
+            .zip(masses)
+            .map(|(v, &m)| 0.5 * m * v.norm_sq())
+            .sum();
+        temperature_from_ke(ke, 3 * vel.len())
+    }
+
+    #[test]
+    fn berendsen_pulls_toward_target() {
+        let (mut vel, masses) = hot_velocities(100, 500.0, 1);
+        let b = Berendsen {
+            target_kelvin: 300.0,
+            tau_fs: 100.0,
+        };
+        for _ in 0..400 {
+            let t = temp(&vel, &masses);
+            b.apply(&mut vel, t, 2.0);
+        }
+        let t = temp(&vel, &masses);
+        assert!((t - 300.0).abs() < 1.0, "T = {t}");
+    }
+
+    #[test]
+    fn berendsen_no_op_at_target() {
+        let (mut vel, masses) = hot_velocities(50, 300.0, 2);
+        let before = vel.clone();
+        let b = Berendsen {
+            target_kelvin: 300.0,
+            tau_fs: 100.0,
+        };
+        let lambda = b.apply(&mut vel, temp(&before, &masses), 2.0);
+        assert!((lambda - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn berendsen_scale_clamped() {
+        let (mut vel, _masses) = hot_velocities(10, 10_000.0, 3);
+        let b = Berendsen {
+            target_kelvin: 300.0,
+            tau_fs: 1.0,
+        };
+        let lambda = b.apply(&mut vel, 10_000.0, 10.0);
+        assert!((0.8..=1.25).contains(&lambda));
+    }
+
+    #[test]
+    fn nose_hoover_cools_hot_system() {
+        let (mut vel, masses) = hot_velocities(200, 600.0, 4);
+        let mut nh = NoseHooverChain::new(300.0, 50.0, 3 * 200);
+        for _ in 0..5000 {
+            nh.half_step(&mut vel, &masses, 1.0);
+            nh.half_step(&mut vel, &masses, 1.0);
+        }
+        let t = temp(&vel, &masses);
+        // The chain oscillates around the target; accept a generous band.
+        assert!((150.0..450.0).contains(&t), "T = {t}");
+    }
+
+    #[test]
+    fn nose_hoover_average_temperature_correct() {
+        let (mut vel, masses) = hot_velocities(200, 400.0, 5);
+        let mut nh = NoseHooverChain::new(300.0, 25.0, 3 * 200);
+        // Equilibrate, then average.
+        for _ in 0..2000 {
+            nh.half_step(&mut vel, &masses, 1.0);
+            nh.half_step(&mut vel, &masses, 1.0);
+        }
+        let mut acc = 0.0;
+        let samples = 4000;
+        for _ in 0..samples {
+            nh.half_step(&mut vel, &masses, 1.0);
+            nh.half_step(&mut vel, &masses, 1.0);
+            acc += temp(&vel, &masses);
+        }
+        let mean = acc / samples as f64;
+        assert!((mean - 300.0).abs() < 20.0, "mean T = {mean}");
+    }
+}

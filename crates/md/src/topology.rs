@@ -1,0 +1,421 @@
+//! Molecular topology: per-atom properties, bonded terms, exclusions, and
+//! constraint specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Harmonic bond `E = k (r − r0)²` between atoms `i` and `j`
+/// (`k` in kcal/mol/Å², CHARMM convention without the ½).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Bond {
+    pub i: usize,
+    pub j: usize,
+    pub k: f64,
+    pub r0: f64,
+}
+
+/// Harmonic angle `E = k (θ − θ0)²` over atoms `i–j–k` with `j` the vertex
+/// (`k` in kcal/mol/rad², `theta0` in radians).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Angle {
+    pub i: usize,
+    pub j: usize,
+    pub k: usize,
+    pub k_theta: f64,
+    pub theta0: f64,
+}
+
+/// Periodic (proper) dihedral `E = k (1 + cos(nφ − δ))` over atoms
+/// `i–j–k–l` (`k` in kcal/mol, `delta` in radians, `n` ≥ 1).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Dihedral {
+    pub i: usize,
+    pub j: usize,
+    pub k: usize,
+    pub l: usize,
+    pub k_phi: f64,
+    pub n: u32,
+    pub delta: f64,
+}
+
+/// Urey–Bradley 1–3 spring `E = k (r − r0)²` between the outer atoms of an
+/// angle (CHARMM convention).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct UreyBradley {
+    pub i: usize,
+    pub k_atom: usize,
+    pub k_ub: f64,
+    pub r0: f64,
+}
+
+/// Harmonic improper dihedral `E = k (φ − φ0)²` over atoms `i–j–k–l`
+/// (CHARMM convention; keeps planar centers planar and chiral centers
+/// chiral).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Improper {
+    pub i: usize,
+    pub j: usize,
+    pub k: usize,
+    pub l: usize,
+    pub k_imp: f64,
+    pub phi0: f64,
+}
+
+/// A rigid distance constraint between two atoms (SHAKE/RATTLE).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DistanceConstraint {
+    pub i: usize,
+    pub j: usize,
+    pub r0: f64,
+}
+
+/// A rigid three-site water for SETTLE: `[oxygen, hydrogen1, hydrogen2]`.
+pub type WaterTriple = [usize; 3];
+
+/// Nonbonded exclusion table derived from bonded connectivity.
+///
+/// 1–2 and 1–3 neighbors are fully excluded; 1–4 neighbors interact with
+/// scaled parameters (stored separately so the pair kernel can apply the
+/// scaling).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Exclusions {
+    /// For each atom, the sorted list of fully excluded partners.
+    pub full: Vec<Vec<u32>>,
+    /// Unique 1–4 pairs `(i, j)` with `i < j`.
+    pub pairs14: Vec<(u32, u32)>,
+}
+
+impl Exclusions {
+    /// Whether the nonbonded interaction `i`–`j` is fully excluded.
+    /// An empty (never-built) table excludes nothing.
+    #[inline]
+    pub fn is_excluded(&self, i: usize, j: usize) -> bool {
+        self.full
+            .get(i)
+            .is_some_and(|row| row.binary_search(&(j as u32)).is_ok())
+    }
+
+    /// Total number of fully excluded (unordered) pairs.
+    pub fn n_excluded_pairs(&self) -> usize {
+        self.full.iter().map(|v| v.len()).sum::<usize>() / 2
+    }
+}
+
+/// The complete chemical description of a system, independent of coordinates.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Topology {
+    /// Per-atom mass, amu.
+    pub masses: Vec<f64>,
+    /// Per-atom partial charge, e.
+    pub charges: Vec<f64>,
+    /// Per-atom Lennard-Jones type index into the force field tables.
+    pub lj_types: Vec<u32>,
+    pub bonds: Vec<Bond>,
+    pub angles: Vec<Angle>,
+    pub dihedrals: Vec<Dihedral>,
+    /// CHARMM-style 1–3 Urey–Bradley springs.
+    pub urey_bradleys: Vec<UreyBradley>,
+    /// Harmonic improper dihedrals.
+    pub impropers: Vec<Improper>,
+    /// Generic distance constraints handled by SHAKE/RATTLE.
+    pub constraints: Vec<DistanceConstraint>,
+    /// Rigid waters handled analytically by SETTLE.
+    pub waters: Vec<WaterTriple>,
+    pub exclusions: Exclusions,
+}
+
+impl Topology {
+    /// Number of atoms.
+    pub fn n_atoms(&self) -> usize {
+        self.masses.len()
+    }
+
+    /// Kinetic degrees of freedom: `3N − constraints − 3` (center-of-mass
+    /// momentum removed). Each rigid water removes 3 internal DoF.
+    pub fn degrees_of_freedom(&self) -> usize {
+        let n = 3 * self.n_atoms();
+        let c = self.constraints.len() + 3 * self.waters.len();
+        n.saturating_sub(c).saturating_sub(3)
+    }
+
+    /// Total charge of the system, e.
+    pub fn total_charge(&self) -> f64 {
+        self.charges.iter().sum()
+    }
+
+    /// Rebuild the exclusion table from the bonded terms and rigid waters.
+    ///
+    /// Connectivity comes from bonds, constraints, and water triples; 1–2 and
+    /// 1–3 are fully excluded, 1–4 pairs are recorded for scaled
+    /// interactions. Call after all bonded terms are in place.
+    pub fn build_exclusions(&mut self) {
+        let n = self.n_atoms();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let connect = |a: usize, b: usize, adj: &mut Vec<Vec<u32>>| {
+            adj[a].push(b as u32);
+            adj[b].push(a as u32);
+        };
+        for b in &self.bonds {
+            connect(b.i, b.j, &mut adj);
+        }
+        for c in &self.constraints {
+            connect(c.i, c.j, &mut adj);
+        }
+        for w in &self.waters {
+            connect(w[0], w[1], &mut adj);
+            connect(w[0], w[2], &mut adj);
+            // H–H rigidity is implied by SETTLE; exclude it too.
+            connect(w[1], w[2], &mut adj);
+        }
+        for l in adj.iter_mut() {
+            l.sort_unstable();
+            l.dedup();
+        }
+
+        let mut full: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut pairs14: Vec<(u32, u32)> = Vec::new();
+        for i in 0..n {
+            // BFS to depth 3 from atom i.
+            // dist 1 and 2 → full exclusion; dist 3 → 1-4 pair.
+            let mut dist = vec![u8::MAX; n];
+            dist[i] = 0;
+            let mut frontier = vec![i as u32];
+            for d in 1..=3u8 {
+                let mut next = Vec::new();
+                for &u in &frontier {
+                    for &v in &adj[u as usize] {
+                        if dist[v as usize] == u8::MAX {
+                            dist[v as usize] = d;
+                            next.push(v);
+                        }
+                    }
+                }
+                for &v in &next {
+                    let v = v as usize;
+                    if v == i {
+                        continue;
+                    }
+                    match d {
+                        1 | 2 => full[i].push(v as u32),
+                        3 => {
+                            if i < v {
+                                pairs14.push((i as u32, v as u32));
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                frontier = next;
+            }
+            full[i].sort_unstable();
+            full[i].dedup();
+        }
+        pairs14.sort_unstable();
+        pairs14.dedup();
+        // A pair that is both 1-4 (through one path) and 1-2/1-3 (through a
+        // shorter path) must not get the scaled interaction: BFS already
+        // guarantees shortest-path distances, so no filtering is needed.
+        self.exclusions = Exclusions { full, pairs14 };
+    }
+
+    /// Append a second topology, renumbering its atoms after ours.
+    /// Returns the index offset applied.
+    pub fn append(&mut self, other: &Topology) -> usize {
+        let off = self.n_atoms();
+        self.masses.extend_from_slice(&other.masses);
+        self.charges.extend_from_slice(&other.charges);
+        self.lj_types.extend_from_slice(&other.lj_types);
+        self.bonds.extend(other.bonds.iter().map(|b| Bond {
+            i: b.i + off,
+            j: b.j + off,
+            ..*b
+        }));
+        self.angles.extend(other.angles.iter().map(|a| Angle {
+            i: a.i + off,
+            j: a.j + off,
+            k: a.k + off,
+            ..*a
+        }));
+        self.dihedrals
+            .extend(other.dihedrals.iter().map(|d| Dihedral {
+                i: d.i + off,
+                j: d.j + off,
+                k: d.k + off,
+                l: d.l + off,
+                ..*d
+            }));
+        self.urey_bradleys
+            .extend(other.urey_bradleys.iter().map(|u| UreyBradley {
+                i: u.i + off,
+                k_atom: u.k_atom + off,
+                ..*u
+            }));
+        self.impropers
+            .extend(other.impropers.iter().map(|im| Improper {
+                i: im.i + off,
+                j: im.j + off,
+                k: im.k + off,
+                l: im.l + off,
+                ..*im
+            }));
+        self.constraints
+            .extend(other.constraints.iter().map(|c| DistanceConstraint {
+                i: c.i + off,
+                j: c.j + off,
+                r0: c.r0,
+            }));
+        self.waters.extend(
+            other
+                .waters
+                .iter()
+                .map(|w| [w[0] + off, w[1] + off, w[2] + off]),
+        );
+        off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Butane-like chain: 0-1-2-3-4.
+    fn chain(n: usize) -> Topology {
+        let mut t = Topology {
+            masses: vec![12.0; n],
+            charges: vec![0.0; n],
+            lj_types: vec![0; n],
+            ..Default::default()
+        };
+        for i in 0..n - 1 {
+            t.bonds.push(Bond {
+                i,
+                j: i + 1,
+                k: 300.0,
+                r0: 1.5,
+            });
+        }
+        t.build_exclusions();
+        t
+    }
+
+    #[test]
+    fn chain_exclusions() {
+        let t = chain(6);
+        // 1-2 neighbors.
+        assert!(t.exclusions.is_excluded(0, 1));
+        // 1-3 neighbors.
+        assert!(t.exclusions.is_excluded(0, 2));
+        // 1-4 neighbors are NOT fully excluded...
+        assert!(!t.exclusions.is_excluded(0, 3));
+        // ...but are recorded as scaled pairs.
+        assert!(t.exclusions.pairs14.contains(&(0, 3)));
+        assert!(t.exclusions.pairs14.contains(&(1, 4)));
+        assert!(t.exclusions.pairs14.contains(&(2, 5)));
+        assert_eq!(t.exclusions.pairs14.len(), 3);
+        // 1-5 neighbors are plain nonbonded.
+        assert!(!t.exclusions.is_excluded(0, 4));
+    }
+
+    #[test]
+    fn exclusions_are_symmetric() {
+        let t = chain(8);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(
+                    t.exclusions.is_excluded(i, j),
+                    t.exclusions.is_excluded(j, i),
+                    "asymmetry at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_shortest_path_wins() {
+        // 4-ring: 0-1-2-3-0. Every pair is 1-2 or 1-3; no 1-4 pairs exist.
+        let mut t = Topology {
+            masses: vec![12.0; 4],
+            charges: vec![0.0; 4],
+            lj_types: vec![0; 4],
+            ..Default::default()
+        };
+        for (i, j) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            t.bonds.push(Bond {
+                i,
+                j,
+                k: 1.0,
+                r0: 1.0,
+            });
+        }
+        t.build_exclusions();
+        assert!(t.exclusions.pairs14.is_empty());
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert!(t.exclusions.is_excluded(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn water_triples_fully_excluded() {
+        let mut t = Topology {
+            masses: vec![15.999, 1.008, 1.008],
+            charges: vec![-0.834, 0.417, 0.417],
+            lj_types: vec![0, 1, 1],
+            waters: vec![[0, 1, 2]],
+            ..Default::default()
+        };
+        t.build_exclusions();
+        assert!(t.exclusions.is_excluded(0, 1));
+        assert!(t.exclusions.is_excluded(0, 2));
+        assert!(t.exclusions.is_excluded(1, 2));
+        assert!(t.exclusions.pairs14.is_empty());
+        assert_eq!(t.exclusions.n_excluded_pairs(), 3);
+    }
+
+    #[test]
+    fn degrees_of_freedom_accounting() {
+        let mut t = Topology {
+            masses: vec![1.0; 9],
+            charges: vec![0.0; 9],
+            lj_types: vec![0; 9],
+            waters: vec![[0, 1, 2], [3, 4, 5]],
+            constraints: vec![DistanceConstraint {
+                i: 6,
+                j: 7,
+                r0: 1.0,
+            }],
+            ..Default::default()
+        };
+        t.build_exclusions();
+        // 27 − (2 waters × 3) − 1 constraint − 3 COM = 17.
+        assert_eq!(t.degrees_of_freedom(), 17);
+    }
+
+    #[test]
+    fn append_renumbers() {
+        let mut a = chain(3);
+        let b = chain(3);
+        let off = a.append(&b);
+        assert_eq!(off, 3);
+        assert_eq!(a.n_atoms(), 6);
+        assert_eq!(a.bonds.len(), 4);
+        assert_eq!(a.bonds[2].i, 3);
+        assert_eq!(a.bonds[2].j, 4);
+        a.build_exclusions();
+        // The two chains are disconnected.
+        assert!(!a.exclusions.is_excluded(2, 3));
+    }
+
+    #[test]
+    fn total_charge_sums() {
+        let t = Topology {
+            masses: vec![1.0; 3],
+            charges: vec![-0.8, 0.4, 0.4],
+            lj_types: vec![0; 3],
+            ..Default::default()
+        };
+        assert!(t.total_charge().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,298 @@
+//! Trajectory output and simulation checkpoints.
+//!
+//! * [`XyzWriter`] — the ubiquitous XYZ text format, readable by VMD/OVITO
+//!   and trivially diffable in tests;
+//! * [`Checkpoint`] — full dynamic state (positions, velocities, box, step
+//!   counter) serialized with serde, for exact restart;
+//! * [`Msd`] — mean-squared displacement accumulator over unwrapped
+//!   coordinates, yielding the self-diffusion coefficient.
+
+use crate::pbc::PbcBox;
+use crate::system::System;
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+
+/// Streaming XYZ-format writer.
+pub struct XyzWriter<W: Write> {
+    out: W,
+    /// Element label per atom (defaults to LJ-type-derived labels).
+    labels: Vec<&'static str>,
+}
+
+/// Map an LJ type index from [`crate::forcefield::ForceField::standard`] to
+/// an element-ish label.
+pub fn standard_label(lj_type: u32) -> &'static str {
+    match lj_type {
+        0 => "O",
+        1 => "H",
+        2 => "C",
+        3 => "N",
+        4 => "H",
+        5 => "S",
+        6 => "Na",
+        _ => "X",
+    }
+}
+
+impl<W: Write> XyzWriter<W> {
+    /// Writer with labels derived from the system's LJ types.
+    pub fn new(out: W, system: &System) -> Self {
+        let labels = system
+            .topology
+            .lj_types
+            .iter()
+            .map(|&t| standard_label(t))
+            .collect();
+        XyzWriter { out, labels }
+    }
+
+    /// Append one frame. `comment` lands on the XYZ comment line.
+    pub fn write_frame(&mut self, system: &System, comment: &str) -> io::Result<()> {
+        writeln!(self.out, "{}", system.n_atoms())?;
+        writeln!(self.out, "{comment}")?;
+        for (p, label) in system.positions.iter().zip(&self.labels) {
+            writeln!(self.out, "{label} {:.6} {:.6} {:.6}", p.x, p.y, p.z)?;
+        }
+        Ok(())
+    }
+}
+
+/// Parse frames back out of XYZ text (for round-trip tests and analysis).
+pub fn parse_xyz(text: &str) -> Vec<Vec<Vec3>> {
+    let mut frames = Vec::new();
+    let mut lines = text.lines();
+    while let Some(count_line) = lines.next() {
+        let Ok(n) = count_line.trim().parse::<usize>() else {
+            break;
+        };
+        let _comment = lines.next();
+        let mut frame = Vec::with_capacity(n);
+        for _ in 0..n {
+            let Some(l) = lines.next() else { return frames };
+            let mut it = l.split_whitespace();
+            let _label = it.next();
+            let coords: Vec<f64> = it.take(3).filter_map(|t| t.parse().ok()).collect();
+            if coords.len() == 3 {
+                frame.push(Vec3::new(coords[0], coords[1], coords[2]));
+            }
+        }
+        frames.push(frame);
+    }
+    frames
+}
+
+/// Full restartable state of a simulation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Checkpoint {
+    pub step: u64,
+    pub dt_fs: f64,
+    pub pbc: PbcBox,
+    pub positions: Vec<Vec3>,
+    pub velocities: Vec<Vec3>,
+}
+
+impl Checkpoint {
+    pub fn capture(system: &System, step: u64, dt_fs: f64) -> Self {
+        Checkpoint {
+            step,
+            dt_fs,
+            pbc: system.pbc,
+            positions: system.positions.clone(),
+            velocities: system.velocities.clone(),
+        }
+    }
+
+    /// Restore dynamic state into a system built from the same topology.
+    ///
+    /// # Panics
+    /// Panics on an atom-count mismatch — restoring into the wrong topology
+    /// would silently corrupt the run.
+    pub fn restore(&self, system: &mut System) {
+        assert_eq!(
+            system.n_atoms(),
+            self.positions.len(),
+            "checkpoint/topology mismatch"
+        );
+        system.pbc = self.pbc;
+        system.positions = self.positions.clone();
+        system.velocities = self.velocities.clone();
+    }
+}
+
+/// Mean-squared displacement over *unwrapped* trajectories.
+///
+/// Positions handed to [`Msd::record`] are compared to the previous frame
+/// minimum-image, so box wrapping between frames is undone as long as no
+/// atom moves more than half a box edge per recorded frame.
+#[derive(Clone, Debug)]
+pub struct Msd {
+    origin: Vec<Vec3>,
+    unwrapped: Vec<Vec3>,
+    last_wrapped: Vec<Vec3>,
+    samples: Vec<(f64, f64)>, // (time fs, MSD Å²)
+}
+
+impl Msd {
+    pub fn new(system: &System) -> Self {
+        Msd {
+            origin: system.positions.clone(),
+            unwrapped: system.positions.clone(),
+            last_wrapped: system.positions.clone(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Record a frame at `time_fs`.
+    pub fn record(&mut self, system: &System, time_fs: f64) {
+        for ((u, last), &now) in self
+            .unwrapped
+            .iter_mut()
+            .zip(&mut self.last_wrapped)
+            .zip(&system.positions)
+        {
+            *u += system.pbc.min_image(now, *last);
+            *last = now;
+        }
+        let n = self.origin.len() as f64;
+        let msd = self
+            .unwrapped
+            .iter()
+            .zip(&self.origin)
+            .map(|(u, o)| (*u - *o).norm_sq())
+            .sum::<f64>()
+            / n;
+        self.samples.push((time_fs, msd));
+    }
+
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// Self-diffusion coefficient from the Einstein relation
+    /// `MSD = 6 D t`, fitted over the second half of the samples
+    /// (skipping ballistic onset). Returned in Å²/fs; multiply by 1e-1 for
+    /// cm²/s... (1 Å²/fs = 1e-16 cm² / 1e-15 s = 0.1 cm²/s).
+    pub fn diffusion_coefficient(&self) -> Option<f64> {
+        if self.samples.len() < 4 {
+            return None;
+        }
+        let tail = &self.samples[self.samples.len() / 2..];
+        let n = tail.len() as f64;
+        let (mut st, mut sm, mut stt, mut stm) = (0.0, 0.0, 0.0, 0.0);
+        for &(t, m) in tail {
+            st += t;
+            sm += m;
+            stt += t * t;
+            stm += t * m;
+        }
+        let denom = n * stt - st * st;
+        if denom.abs() < 1e-300 {
+            return None;
+        }
+        let slope = (n * stm - st * sm) / denom;
+        Some(slope / 6.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::water_box;
+    use crate::vec3::v3;
+
+    #[test]
+    fn xyz_roundtrip() {
+        let s = water_box(2, 2, 2, 1);
+        let mut buf = Vec::new();
+        {
+            let mut w = XyzWriter::new(&mut buf, &s);
+            w.write_frame(&s, "frame 0").unwrap();
+            w.write_frame(&s, "frame 1").unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let frames = parse_xyz(&text);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].len(), s.n_atoms());
+        for (a, b) in frames[0].iter().zip(&s.positions) {
+            assert!((*a - *b).norm() < 1e-5);
+        }
+        // Labels: first atom of a water is O.
+        assert!(text.lines().nth(2).unwrap().starts_with("O "));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_through_json() {
+        let mut s = water_box(2, 2, 2, 2);
+        s.thermalize(300.0, 3);
+        let cp = Checkpoint::capture(&s, 17, 2.0);
+        let json = serde_json::to_string(&cp).unwrap();
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        let mut restored = water_box(2, 2, 2, 99); // different seed: different state
+        back.restore(&mut restored);
+        assert_eq!(restored.positions, s.positions);
+        assert_eq!(restored.velocities, s.velocities);
+        assert_eq!(back.step, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn checkpoint_rejects_wrong_topology() {
+        let s = water_box(2, 2, 2, 2);
+        let cp = Checkpoint::capture(&s, 0, 1.0);
+        let mut other = water_box(3, 3, 3, 2);
+        cp.restore(&mut other);
+    }
+
+    #[test]
+    fn msd_of_ballistic_motion() {
+        // Atoms moving at constant velocity v: MSD(t) = |v|² t².
+        let mut s = water_box(2, 2, 2, 4);
+        let v = v3(0.01, 0.0, 0.0); // Å per fs of "motion" below
+        let mut msd = Msd::new(&s);
+        for k in 1..=20 {
+            for p in &mut s.positions {
+                *p = s.pbc.wrap(*p + v);
+            }
+            msd.record(&s, k as f64);
+        }
+        for &(t, m) in msd.samples() {
+            let expect = v.norm_sq() * t * t;
+            assert!((m - expect).abs() < 1e-9, "t={t}: {m} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn msd_unwraps_through_boundaries() {
+        // An atom drifting a full box length has MSD = L², not 0.
+        let mut s = water_box(2, 2, 2, 5);
+        let l = s.pbc.lx;
+        let step = l / 50.0;
+        let mut msd = Msd::new(&s);
+        for k in 1..=50 {
+            for p in &mut s.positions {
+                *p = s.pbc.wrap(*p + v3(step, 0.0, 0.0));
+            }
+            msd.record(&s, k as f64);
+        }
+        let (_, final_msd) = *msd.samples().last().unwrap();
+        assert!(
+            (final_msd - l * l).abs() < 1e-6 * l * l,
+            "{final_msd} vs {}",
+            l * l
+        );
+    }
+
+    #[test]
+    fn diffusion_coefficient_of_linear_msd() {
+        // Synthetic MSD = 6 D t with D = 0.002 — the fit must recover it.
+        let s = water_box(2, 2, 2, 6);
+        let mut msd = Msd::new(&s);
+        // Inject fabricated samples directly.
+        msd.samples = (1..=40)
+            .map(|k| (k as f64 * 10.0, 6.0 * 0.002 * k as f64 * 10.0))
+            .collect();
+        let d = msd.diffusion_coefficient().unwrap();
+        assert!((d - 0.002).abs() < 1e-12, "D = {d}");
+    }
+}

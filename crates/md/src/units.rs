@@ -1,0 +1,121 @@
+//! Unit system and physical constants.
+//!
+//! The engine works in AKMA-style units, the convention used by CHARMM and by
+//! the Anton software stack's host-side tooling:
+//!
+//! | quantity | unit |
+//! |---|---|
+//! | length | Å |
+//! | energy | kcal/mol |
+//! | mass | amu (g/mol) |
+//! | charge | elementary charge e |
+//! | temperature | K |
+//! | time (user-facing) | fs |
+//!
+//! Internally, velocities are Å per *internal time unit* where the internal
+//! time unit is chosen so that kinetic energy `½mv²` comes out directly in
+//! kcal/mol: 1 internal time unit = [`AKMA_TIME_FS`] fs ≈ 48.888 fs. All
+//! public APIs take femtoseconds and convert at the boundary.
+
+/// Boltzmann constant, kcal/(mol·K).
+pub const KB: f64 = 0.001987204259;
+
+/// Coulomb constant `1/(4πε₀)` in kcal·Å/(mol·e²).
+pub const COULOMB: f64 = 332.06371;
+
+/// One AKMA internal time unit expressed in femtoseconds:
+/// `sqrt(amu · Å² / (kcal/mol))` = 48.88821 fs.
+pub const AKMA_TIME_FS: f64 = 48.88821;
+
+/// Convert femtoseconds to internal time units.
+#[inline]
+pub fn fs_to_internal(fs: f64) -> f64 {
+    fs / AKMA_TIME_FS
+}
+
+/// Convert internal time units to femtoseconds.
+#[inline]
+pub fn internal_to_fs(t: f64) -> f64 {
+    t * AKMA_TIME_FS
+}
+
+/// Instantaneous temperature (K) from kinetic energy (kcal/mol) and the
+/// number of kinetic degrees of freedom.
+#[inline]
+pub fn temperature_from_ke(kinetic: f64, dof: usize) -> f64 {
+    if dof == 0 {
+        0.0
+    } else {
+        2.0 * kinetic / (dof as f64 * KB)
+    }
+}
+
+/// Kinetic energy (kcal/mol) corresponding to temperature `t_kelvin` over
+/// `dof` degrees of freedom.
+#[inline]
+pub fn ke_from_temperature(t_kelvin: f64, dof: usize) -> f64 {
+    0.5 * dof as f64 * KB * t_kelvin
+}
+
+/// Simulated-time throughput: µs of physical time per wall-clock day, the
+/// figure of merit used throughout the Anton 2 paper.
+///
+/// `dt_fs` — timestep in fs; `wall_secs_per_step` — seconds of wall time per
+/// step.
+#[inline]
+pub fn us_per_day(dt_fs: f64, wall_secs_per_step: f64) -> f64 {
+    debug_assert!(wall_secs_per_step > 0.0);
+    let steps_per_day = 86_400.0 / wall_secs_per_step;
+    steps_per_day * dt_fs * 1e-9 // fs → µs is 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversion_roundtrip() {
+        let fs = 2.5;
+        assert!((internal_to_fs(fs_to_internal(fs)) - fs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn akma_unit_consistency() {
+        // v = 1 Å / internal-time for m = 1 amu gives KE = 0.5 kcal/mol by
+        // construction of the unit system.
+        let ke = 0.5 * 1.0 * 1.0f64;
+        assert!((ke - 0.5).abs() < 1e-15);
+        // And the time unit itself: sqrt(1 amu Å²/(kcal/mol)) in fs.
+        // 1 kcal/mol = 4184 J / N_A per molecule; 1 amu = 1.66054e-27 kg.
+        let t = (1.66054e-27f64 * 1e-20 / (4184.0 / 6.02214076e23)).sqrt(); // seconds
+        assert!((t * 1e15 - AKMA_TIME_FS).abs() < 0.01, "derived {t}");
+    }
+
+    #[test]
+    fn temperature_roundtrip() {
+        let t = 300.0;
+        let dof = 3 * 1000 - 3;
+        let ke = ke_from_temperature(t, dof);
+        assert!((temperature_from_ke(ke, dof) - t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_dof_temperature_is_zero() {
+        assert_eq!(temperature_from_ke(10.0, 0), 0.0);
+    }
+
+    #[test]
+    fn us_per_day_headline_number() {
+        // The paper's headline: 2.5 fs steps at ~2.54 µs wall per step gives
+        // ~85 µs/day.
+        let rate = us_per_day(2.5, 2.541e-6);
+        assert!((rate - 85.0).abs() < 0.1, "got {rate}");
+    }
+
+    #[test]
+    fn us_per_day_scales_inversely_with_step_time() {
+        let a = us_per_day(2.0, 1e-6);
+        let b = us_per_day(2.0, 2e-6);
+        assert!((a / b - 2.0).abs() < 1e-12);
+    }
+}

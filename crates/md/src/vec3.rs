@@ -1,0 +1,267 @@
+//! 3-vector math for positions, velocities, and forces.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A Cartesian 3-vector of `f64`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+/// Shorthand constructor.
+#[inline]
+pub const fn v3(x: f64, y: f64, z: f64) -> Vec3 {
+    Vec3 { x, y, z }
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = v3(0.0, 0.0, 0.0);
+    pub const ONES: Vec3 = v3(1.0, 1.0, 1.0);
+    pub const EX: Vec3 = v3(1.0, 0.0, 0.0);
+    pub const EY: Vec3 = v3(0.0, 1.0, 0.0);
+    pub const EZ: Vec3 = v3(0.0, 0.0, 1.0);
+
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        v3(x, y, z)
+    }
+
+    #[inline]
+    pub const fn splat(s: f64) -> Self {
+        v3(s, s, s)
+    }
+
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        v3(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Unit vector in this direction; panics in debug on zero length.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "normalizing zero vector");
+        self / n
+    }
+
+    /// Componentwise multiplication.
+    #[inline]
+    pub fn hadamard(self, o: Vec3) -> Vec3 {
+        v3(self.x * o.x, self.y * o.y, self.z * o.z)
+    }
+
+    /// Componentwise minimum.
+    #[inline]
+    pub fn min(self, o: Vec3) -> Vec3 {
+        v3(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Componentwise maximum.
+    #[inline]
+    pub fn max(self, o: Vec3) -> Vec3 {
+        v3(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn distance(self, o: Vec3) -> f64 {
+        (self - o).norm()
+    }
+
+    /// Whether every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Largest absolute component.
+    #[inline]
+    pub fn max_abs(self) -> f64 {
+        self.x.abs().max(self.y.abs()).max(self.z.abs())
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        v3(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        self.x += o.x;
+        self.y += o.y;
+        self.z += o.z;
+    }
+}
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        v3(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        self.x -= o.x;
+        self.y -= o.y;
+        self.z -= o.z;
+    }
+}
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        v3(self.x * s, self.y * s, self.z * s)
+    }
+}
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        v3(self.x / s, self.y / s, self.z / s)
+    }
+}
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        v3(-self.x, -self.y, -self.z)
+    }
+}
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+impl IndexMut<usize> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+impl std::iter::Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_cross_identities() {
+        let a = v3(1.0, 2.0, 3.0);
+        let b = v3(-4.0, 5.0, 0.5);
+        // Cross product is perpendicular to both inputs.
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+        // Lagrange identity: |a×b|² = |a|²|b|² − (a·b)².
+        let lhs = c.norm_sq();
+        let rhs = a.norm_sq() * b.norm_sq() - a.dot(b).powi(2);
+        assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn basis_cross_products() {
+        assert_eq!(Vec3::EX.cross(Vec3::EY), Vec3::EZ);
+        assert_eq!(Vec3::EY.cross(Vec3::EZ), Vec3::EX);
+        assert_eq!(Vec3::EZ.cross(Vec3::EX), Vec3::EY);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = v3(1.0, 2.0, 3.0);
+        assert_eq!(a + a, a * 2.0);
+        assert_eq!(a - a, Vec3::ZERO);
+        assert_eq!(-a + a, Vec3::ZERO);
+        assert_eq!(a / 2.0, v3(0.5, 1.0, 1.5));
+        assert_eq!(2.0 * a, a * 2.0);
+        let mut b = a;
+        b += a;
+        b -= a;
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        let a = v3(3.0, 4.0, 0.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert!((a.normalized().norm() - 1.0).abs() < 1e-15);
+        assert_eq!(v3(1.0, 0.0, 0.0).distance(v3(4.0, 4.0, 0.0)), 5.0);
+    }
+
+    #[test]
+    fn indexing_matches_fields() {
+        let mut a = v3(7.0, 8.0, 9.0);
+        assert_eq!(a[0], 7.0);
+        assert_eq!(a[1], 8.0);
+        assert_eq!(a[2], 9.0);
+        a[2] = 1.0;
+        assert_eq!(a.z, 1.0);
+    }
+
+    #[test]
+    fn componentwise_helpers() {
+        let a = v3(1.0, 5.0, -2.0);
+        let b = v3(3.0, 2.0, 0.0);
+        assert_eq!(a.min(b), v3(1.0, 2.0, -2.0));
+        assert_eq!(a.max(b), v3(3.0, 5.0, 0.0));
+        assert_eq!(a.hadamard(b), v3(3.0, 10.0, 0.0));
+        assert_eq!(a.max_abs(), 5.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Vec3 = (0..4).map(|i| v3(i as f64, 1.0, 0.0)).sum();
+        assert_eq!(total, v3(6.0, 4.0, 0.0));
+    }
+}

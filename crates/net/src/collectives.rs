@@ -1,0 +1,183 @@
+//! Communication patterns built on the link-reservation network model:
+//! batched message lists (for FFT transposes), neighbor halos, reductions,
+//! broadcasts, and barriers.
+
+use crate::network::Network;
+use crate::torus::{Dir, NodeId};
+use anton2_des::SimTime;
+
+/// Inject a batch of point-to-point messages at `now` (in the given order)
+/// and return the time the last one is delivered.
+pub fn run_messages(net: &mut Network, now: SimTime, msgs: &[(NodeId, NodeId, u32)]) -> SimTime {
+    let mut done = now;
+    for &(src, dst, bytes) in msgs {
+        done = done.max(net.transmit(now, src, dst, bytes));
+    }
+    done
+}
+
+/// Every node sends `bytes` to each of its six torus neighbors
+/// simultaneously (the halo/import exchange of spatial decomposition).
+/// Returns the completion time.
+pub fn neighbor_exchange(net: &mut Network, now: SimTime, bytes: u32) -> SimTime {
+    let n = net.torus.n_nodes();
+    let mut done = now;
+    for node in 0..n {
+        for dir in Dir::ALL {
+            let dst = net.torus.neighbor(node, dir);
+            if dst != node {
+                done = done.max(net.transmit(now, node, dst, bytes));
+            }
+        }
+    }
+    done
+}
+
+/// Binary-tree reduction of `bytes` from all nodes to node 0: in round `r`,
+/// node `i` with `i mod 2^(r+1) == 2^r` sends its partial to `i − 2^r`.
+/// Returns the completion time at the root.
+pub fn reduce_to_root(net: &mut Network, now: SimTime, bytes: u32) -> SimTime {
+    let n = net.torus.n_nodes();
+    let mut round_done = vec![now; n as usize];
+    let mut stride = 1u32;
+    while stride < n {
+        for receiver in (0..n).step_by((stride * 2) as usize) {
+            let sender = receiver + stride;
+            if sender < n {
+                let ready = round_done[sender as usize].max(round_done[receiver as usize]);
+                let at = net.transmit(ready, sender, receiver, bytes);
+                round_done[receiver as usize] = at;
+            }
+        }
+        stride *= 2;
+    }
+    round_done[0]
+}
+
+/// Binary-tree broadcast of `bytes` from node 0 to all nodes. Returns the
+/// time the slowest node receives it.
+pub fn broadcast(net: &mut Network, now: SimTime, bytes: u32) -> SimTime {
+    let n = net.torus.n_nodes();
+    let mut have = vec![SimTime::ZERO; n as usize];
+    let mut has = vec![false; n as usize];
+    have[0] = now;
+    has[0] = true;
+    let mut stride = n.next_power_of_two() / 2;
+    let mut done = now;
+    while stride >= 1 {
+        for sender in 0..n {
+            if has[sender as usize] && sender + stride < n && !has[(sender + stride) as usize] {
+                let at = net.transmit(have[sender as usize], sender, sender + stride, bytes);
+                have[(sender + stride) as usize] = at;
+                has[(sender + stride) as usize] = true;
+                done = done.max(at);
+            }
+        }
+        if stride == 1 {
+            break;
+        }
+        stride /= 2;
+    }
+    done
+}
+
+/// All-reduce = reduce + broadcast. Returns global completion time.
+pub fn all_reduce(net: &mut Network, now: SimTime, bytes: u32) -> SimTime {
+    let at_root = reduce_to_root(net, now, bytes);
+    broadcast(net, at_root, bytes)
+}
+
+/// A barrier is an all-reduce of an empty payload.
+pub fn barrier(net: &mut Network, now: SimTime) -> SimTime {
+    all_reduce(net, now, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::anton2_class_link;
+    use crate::torus::Torus;
+
+    fn net(n: u32) -> Network {
+        Network::new(Torus::for_nodes(n), anton2_class_link())
+    }
+
+    #[test]
+    fn run_messages_completion_is_max() {
+        let mut n = net(8);
+        let done = run_messages(
+            &mut n,
+            SimTime::ZERO,
+            &[(0, 1, 100), (2, 3, 100_000), (4, 5, 10)],
+        );
+        // The large message dominates.
+        let mut n2 = net(8);
+        let big = n2.transmit(SimTime::ZERO, 2, 3, 100_000);
+        assert_eq!(done, big);
+    }
+
+    #[test]
+    fn neighbor_exchange_completes_and_loads_all_links() {
+        let mut n = net(64);
+        let done = neighbor_exchange(&mut n, SimTime::ZERO, 1024);
+        assert!(done > SimTime::ZERO);
+        // Every node sent 6 messages.
+        assert_eq!(n.messages, 64 * 6);
+        // All used links saw exactly one packet: mean active utilization of
+        // the busy window equals ser/done.
+        assert!(n.mean_active_utilization(done) > 0.0);
+    }
+
+    #[test]
+    fn reduce_has_logarithmic_rounds() {
+        // Tree depth log2(64) = 6: completion ≈ 6 sequential hops’ worth,
+        // far less than 63 sequential sends.
+        let mut n = net(64);
+        let done = reduce_to_root(&mut n, SimTime::ZERO, 64);
+        let mut n_seq = net(64);
+        let mut seq_done = SimTime::ZERO;
+        let mut at = SimTime::ZERO;
+        for s in 1..64u32 {
+            at = n_seq.transmit(at, s, 0, 64);
+            seq_done = seq_done.max(at);
+        }
+        assert!(done < seq_done, "tree {done} vs sequential {seq_done}");
+        assert_eq!(n.messages, 63, "a reduction sends n−1 partials");
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_once() {
+        let mut n = net(32);
+        let done = broadcast(&mut n, SimTime::ZERO, 128);
+        assert!(done > SimTime::ZERO);
+        assert_eq!(n.messages, 31);
+    }
+
+    #[test]
+    fn all_reduce_is_reduce_then_broadcast() {
+        let mut n = net(16);
+        let done = all_reduce(&mut n, SimTime::ZERO, 256);
+        assert_eq!(n.messages, 15 + 15);
+        assert!(done > SimTime::ZERO);
+    }
+
+    #[test]
+    fn barrier_scales_with_node_count() {
+        let mut small = net(8);
+        let mut large = net(512);
+        let t_small = barrier(&mut small, SimTime::ZERO);
+        let t_large = barrier(&mut large, SimTime::ZERO);
+        assert!(
+            t_large > t_small,
+            "barrier(512) {t_large} vs barrier(8) {t_small}"
+        );
+    }
+
+    #[test]
+    fn single_node_collectives_are_trivial() {
+        let mut n = net(1);
+        assert_eq!(reduce_to_root(&mut n, SimTime::ZERO, 100), SimTime::ZERO);
+        assert_eq!(broadcast(&mut n, SimTime::ZERO, 100), SimTime::ZERO);
+        assert_eq!(n.messages, 0);
+    }
+}

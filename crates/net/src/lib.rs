@@ -1,0 +1,106 @@
+//! # anton2-net — the 3D torus interconnect model
+//!
+//! Anton 2's nodes are connected in a 3D torus with very low per-hop
+//! latency and hardware multicast for the import regions of spatial
+//! decomposition. This crate models that fabric:
+//!
+//! * [`torus`] — topology, coordinates, dimension-ordered routing;
+//! * [`network`] — a link-reservation timing model with virtual
+//!   cut-through switching, per-link contention, and multicast trees;
+//! * [`collectives`] — the communication patterns a timestep uses
+//!   (halo/import exchange, FFT transposes via message batches, reductions,
+//!   broadcasts, barriers).
+//!
+//! The model is deterministic: driven with the same message sequence it
+//! produces bit-identical timings, which the machine-level determinism
+//! tests rely on.
+
+pub mod collectives;
+pub mod network;
+pub mod torus;
+
+pub use network::{anton2_class_link, Delivery, LinkConfig, Network};
+pub use torus::{Coord, Dir, NodeId, Torus};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_torus() -> impl Strategy<Value = Torus> {
+        (1u32..6, 1u32..6, 1u32..6).prop_map(|(x, y, z)| Torus::new(x, y, z))
+    }
+
+    proptest! {
+        /// Routes have exactly `hops` links and end at the destination.
+        #[test]
+        fn route_is_shortest(t in arb_torus(), s in 0u32..200, d in 0u32..200) {
+            let n = t.n_nodes();
+            let (src, dst) = (s % n, d % n);
+            let route = t.route(src, dst);
+            prop_assert_eq!(route.len() as u32, t.hops(src, dst));
+            let mut cur = src;
+            for &(node, dir) in &route {
+                prop_assert_eq!(node, cur);
+                cur = t.neighbor(cur, dir);
+            }
+            prop_assert_eq!(cur, dst);
+        }
+
+        /// Hop distance is a metric: symmetric, zero iff equal, triangle
+        /// inequality.
+        #[test]
+        fn hops_is_a_metric(t in arb_torus(), a in 0u32..200, b in 0u32..200, c in 0u32..200) {
+            let n = t.n_nodes();
+            let (a, b, c) = (a % n, b % n, c % n);
+            prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+            prop_assert_eq!(t.hops(a, a), 0);
+            if a != b {
+                prop_assert!(t.hops(a, b) > 0);
+            }
+            prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+        }
+
+        /// Hop distance never exceeds the torus diameter.
+        #[test]
+        fn hops_bounded_by_diameter(t in arb_torus(), a in 0u32..200, b in 0u32..200) {
+            let n = t.n_nodes();
+            prop_assert!(t.hops(a % n, b % n) <= t.diameter());
+        }
+
+        /// Transmit arrival equals the unloaded analytic latency on an idle
+        /// network.
+        #[test]
+        fn transmit_matches_ideal_when_idle(
+            a in 0u32..64, b in 0u32..64, bytes in 1u32..100_000
+        ) {
+            let t = Torus::new(4, 4, 4);
+            let mut net = Network::new(t, anton2_class_link());
+            let (src, dst) = (a % 64, b % 64);
+            let arrive = net.transmit(anton2_des::SimTime::ZERO, src, dst, bytes);
+            if src == dst {
+                return Ok(());
+            }
+            let ideal = net.ideal_latency(t.hops(src, dst), bytes);
+            prop_assert_eq!(arrive, ideal);
+        }
+
+        /// Multicast arrival at each destination is no earlier than a
+        /// unicast on an idle network would be (tree sharing can only delay
+        /// heads, never teleport them).
+        #[test]
+        fn multicast_at_least_unicast_latency(
+            dst_bits in 1u32..255, bytes in 1u32..10_000
+        ) {
+            let t = Torus::new(4, 4, 4);
+            let mut net = Network::new(t, anton2_class_link());
+            let dsts: Vec<u32> = (0..8).filter(|i| dst_bits & (1 << i) != 0).map(|i| i + 1).collect();
+            let deliveries = net.multicast(anton2_des::SimTime::ZERO, 0, &dsts, bytes);
+            let idle = Network::new(t, anton2_class_link());
+            for d in deliveries {
+                let ideal = idle.ideal_latency(t.hops(0, d.node), bytes);
+                prop_assert!(d.at >= ideal, "node {} at {} < ideal {}", d.node, d.at, ideal);
+            }
+        }
+    }
+}

@@ -1,0 +1,587 @@
+//! Link-reservation network timing model.
+//!
+//! Packets route dimension-ordered over the torus with virtual cut-through
+//! switching: a packet occupies each link along its path for its
+//! serialization time, and contention is modeled by per-link reservations —
+//! a packet departing a node waits until the required link is free. Driven
+//! in causal (time-sorted) order by the machine's discrete-event loop, this
+//! reproduces the latency/bandwidth/congestion behavior the scaling
+//! experiments depend on, at a small fraction of a flit-level simulator's
+//! cost.
+
+#[cfg(test)]
+use crate::torus::Dir;
+use crate::torus::{NodeId, Torus};
+use anton2_des::{LatencyHistogram, SimTime, Summary};
+use serde::{Deserialize, Serialize};
+
+/// Physical link and router parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Per-hop router + wire latency, ns.
+    pub hop_latency_ns: f64,
+    /// Usable bandwidth per directed link, GB/s (= bytes/ns).
+    pub bandwidth_gbps: f64,
+    /// Fixed per-packet overhead on the wire (header + CRC), bytes.
+    pub header_bytes: u32,
+    /// Software/injection overhead added once per message at the source, ns.
+    pub injection_ns: f64,
+}
+
+impl LinkConfig {
+    /// Serialization time of a packet of `bytes` payload on one link.
+    #[inline]
+    pub fn serialize_time(&self, bytes: u32) -> SimTime {
+        let wire_bytes = (bytes + self.header_bytes) as f64;
+        SimTime::from_ns_f64(wire_bytes / self.bandwidth_gbps)
+    }
+
+    /// Per-hop latency as simulated time.
+    #[inline]
+    pub fn hop_time(&self) -> SimTime {
+        SimTime::from_ns_f64(self.hop_latency_ns)
+    }
+}
+
+/// How packets pick among the minimal paths of the torus.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Classic deterministic dimension-order (x, then y, then z).
+    #[default]
+    DimensionOrder,
+    /// Minimal routing with a per-packet pseudo-random dimension order
+    /// (keyed on src/dst), spreading hot flows across more links.
+    RandomizedMinimal,
+}
+
+/// The six permutations of the three dimensions.
+const DIM_ORDERS: [[u8; 3]; 6] = [
+    [0, 1, 2],
+    [0, 2, 1],
+    [1, 0, 2],
+    [1, 2, 0],
+    [2, 0, 1],
+    [2, 1, 0],
+];
+
+/// Outcome of a transmit: when the payload fully arrives at each target.
+#[derive(Clone, Debug)]
+pub struct Delivery {
+    pub node: NodeId,
+    pub at: SimTime,
+}
+
+/// The torus network with per-link reservations.
+#[derive(Clone, Debug)]
+pub struct Network {
+    pub torus: Torus,
+    pub cfg: LinkConfig,
+    /// Earliest time each directed link is free.
+    link_free: Vec<SimTime>,
+    /// Cumulative busy time per directed link, for utilization reporting.
+    link_busy_ps: Vec<u64>,
+    pub latency: Summary,
+    pub latency_hist: LatencyHistogram,
+    pub messages: u64,
+    pub payload_bytes: u64,
+    pub policy: RoutingPolicy,
+}
+
+impl Network {
+    pub fn new(torus: Torus, cfg: LinkConfig) -> Self {
+        Network {
+            torus,
+            cfg,
+            link_free: vec![SimTime::ZERO; torus.n_links()],
+            link_busy_ps: vec![0; torus.n_links()],
+            latency: Summary::new(),
+            latency_hist: LatencyHistogram::new(10.0, 1.5, 40),
+            messages: 0,
+            payload_bytes: 0,
+            policy: RoutingPolicy::DimensionOrder,
+        }
+    }
+
+    /// Same network with a different routing policy.
+    pub fn with_policy(mut self, policy: RoutingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The minimal route this network's policy picks for (src, dst).
+    fn policy_route(&self, src: NodeId, dst: NodeId) -> Vec<(NodeId, crate::torus::Dir)> {
+        match self.policy {
+            RoutingPolicy::DimensionOrder => self.torus.route(src, dst),
+            RoutingPolicy::RandomizedMinimal => {
+                let h = (src as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(dst as u64)
+                    .wrapping_mul(0xBF58476D1CE4E5B9);
+                let order = DIM_ORDERS[(h >> 32) as usize % 6];
+                self.torus.route_with_order(src, dst, order)
+            }
+        }
+    }
+
+    /// Reset reservations and statistics (e.g. between benchmark repeats).
+    pub fn reset(&mut self) {
+        self.link_free.fill(SimTime::ZERO);
+        self.link_busy_ps.fill(0);
+        self.latency = Summary::new();
+        self.latency_hist = LatencyHistogram::new(10.0, 1.5, 40);
+        self.messages = 0;
+        self.payload_bytes = 0;
+    }
+
+    /// Claim `link` from `ready` for `dur`; returns the actual start time
+    /// (≥ `ready`, delayed by contention).
+    fn claim(&mut self, link: usize, ready: SimTime, dur: SimTime) -> SimTime {
+        let start = ready.max(self.link_free[link]);
+        self.link_free[link] = start + dur;
+        self.link_busy_ps[link] += dur.as_ps();
+        start
+    }
+
+    /// Transmit `bytes` from `src` to `dst` starting at `now`; returns the
+    /// arrival time of the tail of the packet at `dst`.
+    ///
+    /// A local "transmit" (src == dst) costs only the injection overhead.
+    ///
+    /// ```
+    /// use anton2_net::{anton2_class_link, Network, Torus};
+    /// use anton2_des::SimTime;
+    ///
+    /// let mut net = Network::new(Torus::new(4, 4, 4), anton2_class_link());
+    /// let arrival = net.transmit(SimTime::ZERO, 0, 1, 1024);
+    /// assert_eq!(arrival, net.ideal_latency(1, 1024)); // idle network
+    /// ```
+    pub fn transmit(&mut self, now: SimTime, src: NodeId, dst: NodeId, bytes: u32) -> SimTime {
+        self.messages += 1;
+        self.payload_bytes += bytes as u64;
+        let mut head = now + SimTime::from_ns_f64(self.cfg.injection_ns);
+        if src == dst {
+            self.record_latency(now, head);
+            return head;
+        }
+        let ser = self.cfg.serialize_time(bytes);
+        let hop = self.cfg.hop_time();
+        for (node, dir) in self.policy_route(src, dst) {
+            let link = self.torus.link_index(node, dir);
+            let start = self.claim(link, head, ser);
+            // Cut-through: the head moves on after the hop latency; the tail
+            // arrives a serialization time later. Downstream links can only
+            // be claimed once the head is there.
+            head = start + hop;
+        }
+        let tail_arrival = head + ser;
+        self.record_latency(now, tail_arrival);
+        tail_arrival
+    }
+
+    /// Multicast `bytes` from `src` to `dsts` along a dimension-ordered
+    /// tree: shared route prefixes carry the packet once (the torus routers
+    /// replicate at branch points, as Anton's network does for import
+    /// regions). Returns the arrival time at every destination.
+    pub fn multicast(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dsts: &[NodeId],
+        bytes: u32,
+    ) -> Vec<Delivery> {
+        self.messages += 1;
+        self.payload_bytes += bytes as u64 * dsts.len().max(1) as u64;
+        let inject = now + SimTime::from_ns_f64(self.cfg.injection_ns);
+        let ser = self.cfg.serialize_time(bytes);
+        let hop = self.cfg.hop_time();
+        // head_at[node] = when the packet head is available at that node.
+        let mut head_at: std::collections::HashMap<NodeId, SimTime> =
+            std::collections::HashMap::new();
+        head_at.insert(src, inject);
+        let mut used: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut out = Vec::with_capacity(dsts.len());
+        // Deterministic order: sort destinations.
+        let mut order: Vec<NodeId> = dsts.to_vec();
+        order.sort_unstable();
+        for dst in order {
+            if dst == src {
+                out.push(Delivery {
+                    node: dst,
+                    at: inject,
+                });
+                continue;
+            }
+            let mut head = inject;
+            for (node, dir) in self.torus.route(src, dst) {
+                let next = self.torus.neighbor(node, dir);
+                let link = self.torus.link_index(node, dir);
+                if used.contains(&link) {
+                    // Tree edge already carries the packet; head timing at
+                    // `next` was recorded when the edge was claimed.
+                    head = head_at[&next];
+                    continue;
+                }
+                let ready = head_at[&node];
+                let start = self.claim(link, ready, ser);
+                head = start + hop;
+                head_at.insert(next, head);
+                used.insert(link);
+            }
+            let at = head + ser;
+            self.record_latency(now, at);
+            out.push(Delivery { node: dst, at });
+        }
+        out
+    }
+
+    /// Deliver a batch of messages with proper time-ordered arbitration.
+    ///
+    /// Unlike sequential [`Network::transmit`] calls (which grant link
+    /// reservations in *processing* order and can make late-processed
+    /// packets queue behind reservations made for later instants), this
+    /// drives all packets through a single discrete-event loop: link claims
+    /// are granted in simulated-time order with deterministic FIFO
+    /// tie-breaking. Use it whenever a phase injects many packets.
+    ///
+    /// Returns the tail-arrival time of each message, in input order.
+    pub fn run_batch(&mut self, msgs: &[(SimTime, NodeId, NodeId, u32)]) -> Vec<SimTime> {
+        #[derive(Clone, Copy)]
+        struct Hop {
+            msg: u32,
+            hop: u32,
+        }
+        let inj = SimTime::from_ns_f64(self.cfg.injection_ns);
+        let hop_t = self.cfg.hop_time();
+        let mut paths: Vec<Vec<usize>> = Vec::with_capacity(msgs.len());
+        let mut sers: Vec<SimTime> = Vec::with_capacity(msgs.len());
+        let mut done = vec![SimTime::ZERO; msgs.len()];
+        let mut queue: anton2_des::EventQueue<Hop> = anton2_des::EventQueue::new();
+        for (k, &(at, src, dst, bytes)) in msgs.iter().enumerate() {
+            self.messages += 1;
+            self.payload_bytes += bytes as u64;
+            let path: Vec<usize> = self
+                .policy_route(src, dst)
+                .into_iter()
+                .map(|(node, dir)| self.torus.link_index(node, dir))
+                .collect();
+            sers.push(self.cfg.serialize_time(bytes));
+            if path.is_empty() {
+                done[k] = at + inj;
+                self.record_latency(at, done[k]);
+            } else {
+                queue.schedule(
+                    at + inj,
+                    Hop {
+                        msg: k as u32,
+                        hop: 0,
+                    },
+                );
+            }
+            paths.push(path);
+        }
+        while let Some((t, ev)) = queue.pop() {
+            let m = ev.msg as usize;
+            let link = paths[m][ev.hop as usize];
+            if self.link_free[link] > t {
+                // Busy: retry when the link frees (FIFO tie-break keeps
+                // arbitration deterministic and fair).
+                let retry = self.link_free[link];
+                queue.schedule(retry, ev);
+                continue;
+            }
+            let ser = sers[m];
+            self.link_free[link] = t + ser;
+            self.link_busy_ps[link] += ser.as_ps();
+            let head_next = t + hop_t;
+            if ev.hop as usize + 1 == paths[m].len() {
+                let (at, ..) = msgs[m];
+                done[m] = head_next + ser;
+                self.record_latency(at, done[m]);
+            } else {
+                queue.schedule(
+                    head_next,
+                    Hop {
+                        msg: ev.msg,
+                        hop: ev.hop + 1,
+                    },
+                );
+            }
+        }
+        done
+    }
+
+    fn record_latency(&mut self, sent: SimTime, arrived: SimTime) {
+        let dt = arrived.saturating_sub(sent);
+        self.latency.record(dt.as_ns_f64());
+        self.latency_hist.record(dt);
+    }
+
+    /// Unloaded one-way latency for a payload over `hops` hops (no
+    /// contention): the analytic model the simulator reduces to on an idle
+    /// network.
+    pub fn ideal_latency(&self, hops: u32, bytes: u32) -> SimTime {
+        SimTime::from_ns_f64(self.cfg.injection_ns)
+            + SimTime::from_ps(self.cfg.hop_time().as_ps() * hops as u64)
+            + self.cfg.serialize_time(bytes)
+    }
+
+    /// Mean utilization of links that were used at all, over `[0, horizon)`.
+    pub fn mean_active_utilization(&self, horizon: SimTime) -> f64 {
+        let h = horizon.as_ps().max(1) as f64;
+        let active: Vec<f64> = self
+            .link_busy_ps
+            .iter()
+            .filter(|&&b| b > 0)
+            .map(|&b| b as f64 / h)
+            .collect();
+        if active.is_empty() {
+            0.0
+        } else {
+            active.iter().sum::<f64>() / active.len() as f64
+        }
+    }
+
+    /// Peak link utilization over `[0, horizon)`.
+    pub fn peak_utilization(&self, horizon: SimTime) -> f64 {
+        let h = horizon.as_ps().max(1) as f64;
+        self.link_busy_ps
+            .iter()
+            .map(|&b| b as f64 / h)
+            .fold(0.0, f64::max)
+    }
+
+    /// Earliest time every link is free (network fully drained).
+    pub fn drained_at(&self) -> SimTime {
+        self.link_free
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+/// A convenient Anton-2-class link configuration.
+///
+/// `calibrated:` per-hop latency and bandwidth are set in the class of the
+/// Anton publications (tens of ns per hop, tens of GB/s per link); exact
+/// values are fitted so the DHFR@512 endpoint lands near the abstract's
+/// 85 µs/day (see anton2-core::config for the machine-level constants).
+pub fn anton2_class_link() -> LinkConfig {
+    LinkConfig {
+        hop_latency_ns: 45.0,
+        bandwidth_gbps: 20.0,
+        header_bytes: 16,
+        injection_ns: 25.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::torus::Coord;
+
+    fn net(n: u32) -> Network {
+        Network::new(Torus::new(n, n, n), anton2_class_link())
+    }
+
+    #[test]
+    fn unloaded_latency_matches_analytic_model() {
+        let mut n = net(8);
+        let src = 0;
+        let dst = n.torus.id(Coord { x: 3, y: 2, z: 1 });
+        let hops = n.torus.hops(src, dst);
+        let t = n.transmit(SimTime::ZERO, src, dst, 256);
+        assert_eq!(t, n.ideal_latency(hops, 256));
+    }
+
+    #[test]
+    fn latency_grows_with_hops() {
+        let mut n = net(8);
+        let one_hop = n.transmit(SimTime::ZERO, 0, 1, 64);
+        n.reset();
+        let six_hops = n.transmit(SimTime::ZERO, 0, n.torus.id(Coord { x: 4, y: 2, z: 0 }), 64);
+        assert!(six_hops > one_hop);
+        let extra = (six_hops - one_hop).as_ns_f64();
+        assert!((extra - 5.0 * 45.0).abs() < 1e-6, "extra {extra}");
+    }
+
+    #[test]
+    fn bandwidth_limits_large_messages() {
+        let mut n = net(4);
+        let small = n.transmit(SimTime::ZERO, 0, 1, 64);
+        n.reset();
+        let large = n.transmit(SimTime::ZERO, 0, 1, 1_000_000);
+        // 1 MB at 20 GB/s = 50 µs of serialization.
+        let extra_us = (large - small).as_us_f64();
+        assert!((extra_us - 50.0).abs() < 0.1, "extra {extra_us} µs");
+    }
+
+    #[test]
+    fn contention_serializes_same_link() {
+        let mut n = net(4);
+        // Two messages from node 0 to node 1 injected simultaneously share
+        // the 0→1 link: the second is delayed by one serialization time.
+        let t1 = n.transmit(SimTime::ZERO, 0, 1, 10_000);
+        let t2 = n.transmit(SimTime::ZERO, 0, 1, 10_000);
+        let ser = n.cfg.serialize_time(10_000);
+        assert_eq!(t2, t1 + ser);
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_contend() {
+        let mut n = net(4);
+        let t1 = n.transmit(SimTime::ZERO, 0, 1, 10_000);
+        // 2→3 uses different links entirely.
+        let t2 = n.transmit(SimTime::ZERO, 2, 3, 10_000);
+        assert_eq!(
+            t1.saturating_sub(SimTime::ZERO),
+            t2.saturating_sub(SimTime::ZERO)
+        );
+    }
+
+    #[test]
+    fn local_delivery_costs_injection_only() {
+        let mut n = net(4);
+        let t = n.transmit(SimTime::ZERO, 5, 5, 100_000);
+        assert_eq!(t, SimTime::from_ns_f64(n.cfg.injection_ns));
+    }
+
+    #[test]
+    fn multicast_shares_tree_edges() {
+        let mut n = net(8);
+        // Destinations along one line: 1, 2, 3 hops in +x. A unicast to each
+        // would cross link 0→1 three times; the tree crosses it once.
+        let dsts = [1u32, 2, 3];
+        let deliveries = n.multicast(SimTime::ZERO, 0, &dsts, 5_000);
+        assert_eq!(deliveries.len(), 3);
+        let busy_0_to_1 = n.link_busy_ps[n.torus.link_index(0, Dir::XPlus)];
+        let ser = n.cfg.serialize_time(5_000).as_ps();
+        assert_eq!(busy_0_to_1, ser, "tree edge used once");
+        // Arrival order follows distance.
+        let at: std::collections::HashMap<_, _> =
+            deliveries.iter().map(|d| (d.node, d.at)).collect();
+        assert!(at[&1] < at[&2]);
+        assert!(at[&2] < at[&3]);
+    }
+
+    #[test]
+    fn multicast_beats_sequential_unicast() {
+        let mut n = net(8);
+        let dsts: Vec<NodeId> = (1..8).collect();
+        let mc_done = n
+            .multicast(SimTime::ZERO, 0, &dsts, 20_000)
+            .iter()
+            .map(|d| d.at)
+            .max()
+            .unwrap();
+        let mut n2 = net(8);
+        let mut uc_done = SimTime::ZERO;
+        for &d in &dsts {
+            uc_done = uc_done.max(n2.transmit(SimTime::ZERO, 0, d, 20_000));
+        }
+        assert!(
+            mc_done <= uc_done,
+            "multicast {mc_done} vs unicast {uc_done}"
+        );
+    }
+
+    #[test]
+    fn multicast_to_self_and_one() {
+        let mut n = net(4);
+        let deliveries = n.multicast(SimTime::ZERO, 0, &[0, 1], 100);
+        assert_eq!(deliveries.len(), 2);
+        let self_at = deliveries.iter().find(|d| d.node == 0).unwrap().at;
+        assert_eq!(self_at, SimTime::from_ns_f64(n.cfg.injection_ns));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut n = net(4);
+        n.transmit(SimTime::ZERO, 0, 1, 100);
+        n.transmit(SimTime::from_ns(500), 1, 2, 200);
+        assert_eq!(n.messages, 2);
+        assert_eq!(n.payload_bytes, 300);
+        assert_eq!(n.latency.count(), 2);
+        assert!(n.drained_at() > SimTime::ZERO);
+        assert!(n.mean_active_utilization(SimTime::from_us(1)) > 0.0);
+        assert!(n.peak_utilization(SimTime::from_us(1)) <= 1.0);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut n = net(8);
+            let mut ts = Vec::new();
+            for i in 0..50u32 {
+                let src = i % 64;
+                let dst = (i * 7 + 3) % 64;
+                ts.push(
+                    n.transmit(SimTime::from_ns(i as u64 * 10), src, dst, 1000 + i)
+                        .as_ps(),
+                );
+            }
+            ts
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod routing_policy_tests {
+    use super::*;
+    use crate::torus::Coord;
+
+    #[test]
+    fn randomized_minimal_stays_minimal() {
+        let t = Torus::new(8, 8, 8);
+        let net =
+            Network::new(t, anton2_class_link()).with_policy(RoutingPolicy::RandomizedMinimal);
+        for src in (0..512).step_by(37) {
+            for dst in (0..512).step_by(41) {
+                let path = net.policy_route(src, dst);
+                assert_eq!(path.len() as u32, t.hops(src, dst), "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_routing_beats_dor_on_adversarial_corner_turn() {
+        // Classic DOR pathology: every node in an x-row sends to a
+        // destination in one y-column. DOR routes x-first, funneling all
+        // flows through the corner node's links before turning; randomized
+        // dimension orders split the traffic between x-first and y-first
+        // paths.
+        let t = Torus::new(8, 8, 8);
+        let mut msgs = Vec::new();
+        for x in 1..8u32 {
+            for rep in 0..4u32 {
+                let src = t.id(Coord { x, y: 0, z: rep });
+                let dst = t.id(Coord {
+                    x: 0,
+                    y: (x + rep) % 7 + 1,
+                    z: rep,
+                });
+                msgs.push((SimTime::ZERO, src, dst, 16_384u32));
+            }
+        }
+        let mut dor = Network::new(t, anton2_class_link());
+        let dor_done = dor.run_batch(&msgs).into_iter().max().unwrap();
+        let mut rnd =
+            Network::new(t, anton2_class_link()).with_policy(RoutingPolicy::RandomizedMinimal);
+        let rnd_done = rnd.run_batch(&msgs).into_iter().max().unwrap();
+        assert!(
+            rnd_done < dor_done,
+            "randomized {rnd_done} should beat DOR {dor_done} on the corner-turn pattern"
+        );
+    }
+
+    #[test]
+    fn policy_is_deterministic_per_flow() {
+        let t = Torus::new(4, 4, 4);
+        let net =
+            Network::new(t, anton2_class_link()).with_policy(RoutingPolicy::RandomizedMinimal);
+        let a = net.policy_route(3, 47);
+        let b = net.policy_route(3, 47);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,140 @@
+//! Programmability demo: express a *new* algorithm — on-machine trajectory
+//! analysis with a global reduction — as a sync-counter task graph and time
+//! it on the simulated 512-node machine, no simulator changes required.
+//!
+//! This is the paper's programmability claim in miniature: on Anton 1,
+//! adding an analysis pass meant re-coordinating coarse-grained phases; on
+//! Anton 2, it is just more counters and counted remote writes. Two graph
+//! shapes are compared for the reduction: naive all-to-root versus a
+//! binary tree.
+//!
+//! ```text
+//! cargo run --release --example custom_dag_analysis
+//! ```
+
+use anton2::core::schedule::{execute, Effect, TaskGraph, TaskSpec, Unit};
+use anton2::core::MachineConfig;
+use anton2::des::SimTime;
+use anton2::net::Network;
+
+/// Per-node analysis work: histogram 46 atoms (DHFR@512 loading) — a few
+/// hundred geometry-core cycles.
+const ANALYSIS_NS: u64 = 60;
+/// Partial-result payload (a 64-bin histogram).
+const PARTIAL_BYTES: u32 = 512;
+
+/// Everyone sends its partial straight to node 0.
+fn naive_reduction(nodes: u32) -> TaskGraph {
+    let mut g = TaskGraph::default();
+    let analyze: Vec<_> = (0..nodes)
+        .map(|node| {
+            g.add(TaskSpec {
+                node,
+                unit: Unit::Flex,
+                duration: SimTime::from_ns(ANALYSIS_NS),
+                threshold: 0,
+            })
+        })
+        .collect();
+    // Root combine: waits for every remote partial (and its own).
+    let combine = g.add(TaskSpec {
+        node: 0,
+        unit: Unit::Flex,
+        duration: SimTime::from_ns(ANALYSIS_NS),
+        threshold: nodes,
+    });
+    for (node, &a) in analyze.iter().enumerate() {
+        g.on_complete(
+            a,
+            Effect {
+                target: combine,
+                bytes: if node == 0 { None } else { Some(PARTIAL_BYTES) },
+            },
+        );
+    }
+    g
+}
+
+/// Binary-tree reduction: log2(nodes) rounds of pairwise combines.
+fn tree_reduction(nodes: u32) -> TaskGraph {
+    let mut g = TaskGraph::default();
+    // Leaf analysis tasks.
+    let mut wave: Vec<_> = (0..nodes)
+        .map(|node| {
+            g.add(TaskSpec {
+                node,
+                unit: Unit::Flex,
+                duration: SimTime::from_ns(ANALYSIS_NS),
+                threshold: 0,
+            })
+        })
+        .collect();
+    let mut stride = 1u32;
+    while stride < nodes {
+        let mut next = Vec::new();
+        for k in (0..nodes).step_by((2 * stride) as usize) {
+            let left = wave[(k / stride) as usize];
+            let right_idx = k + stride;
+            // Combine at the left node; waits for its own partial and (if
+            // present) the right child's message.
+            let has_right = right_idx < nodes;
+            let combine = g.add(TaskSpec {
+                node: k,
+                unit: Unit::Flex,
+                duration: SimTime::from_ns(20),
+                threshold: 1 + u32::from(has_right),
+            });
+            g.on_complete(
+                left,
+                Effect {
+                    target: combine,
+                    bytes: None,
+                },
+            );
+            if has_right {
+                let right = wave[(right_idx / stride) as usize];
+                g.on_complete(
+                    right,
+                    Effect {
+                        target: combine,
+                        bytes: Some(PARTIAL_BYTES),
+                    },
+                );
+            }
+            next.push(combine);
+        }
+        wave = next;
+        stride *= 2;
+    }
+    g
+}
+
+fn main() {
+    let cfg = MachineConfig::anton2(512);
+    println!(
+        "custom algorithm on {} ({} nodes): per-node analysis ({} ns) + global reduction\n",
+        cfg.name,
+        cfg.n_nodes(),
+        ANALYSIS_NS
+    );
+    for (name, graph) in [
+        ("naive all-to-root", naive_reduction(512)),
+        ("binary-tree combine", tree_reduction(512)),
+    ] {
+        let mut net = Network::new(cfg.torus, cfg.link);
+        let out = execute(&graph, &mut net, &cfg.node);
+        println!(
+            "{name:>22}: {:>4} tasks, result ready in {:>8.3} µs  ({} messages on the wire)",
+            graph.len(),
+            out.makespan.as_us_f64(),
+            net.messages
+        );
+    }
+    println!(
+        "\nBoth are ordinary task graphs for the same executor that runs the MD step\n\
+         (core::schedule) — adding an algorithm to this machine means wiring counters,\n\
+         not re-coordinating global phases. The tree wins because its messages and\n\
+         combines overlap across rounds, exactly the fine-grained overlap argument\n\
+         the paper makes for MD itself."
+    );
+}

@@ -1,0 +1,58 @@
+//! The paper's headline experiment: the 23,558-atom DHFR benchmark on a
+//! 512-node Anton 2, reported in µs of simulated time per day, compared to
+//! Anton 1 and the 2014 commodity envelope.
+//!
+//! ```text
+//! cargo run --release --example dhfr_headline
+//! ```
+
+use anton2::core::baseline::CommodityModel;
+use anton2::core::report::simulate_performance;
+use anton2::core::MachineConfig;
+use anton2::md::builders::dhfr_benchmark;
+
+fn main() {
+    let system = dhfr_benchmark(1);
+    println!(
+        "DHFR benchmark: {} atoms, box {:.1} Å, cutoff {:.1} Å",
+        system.n_atoms(),
+        system.pbc.lx,
+        system.nb.cutoff
+    );
+    println!("timestep 2.5 fs, k-space every 2 steps\n");
+
+    let a2 = simulate_performance(&system, MachineConfig::anton2(512), 2.5, 2);
+    let a1 = simulate_performance(&system, MachineConfig::anton1(512), 2.5, 2);
+    println!("{}", a2.row());
+    println!("{}", a1.row());
+
+    println!("\nouter-step breakdown (Anton 2, µs):");
+    println!("  import comm  {:.3}", a2.breakdown.import_comm);
+    println!("  HTIS busy    {:.3}", a2.breakdown.htis);
+    println!("  bonded       {:.3}", a2.breakdown.bonded);
+    println!(
+        "  k-space span {:.3} (overlapped with inner steps)",
+        a2.breakdown.kspace
+    );
+    println!("  integrate    {:.3}", a2.breakdown.integrate);
+
+    let (gpu, _) = CommodityModel::gpu_workstation().best_us_per_day(a2.pairs_per_step, 2.5);
+    let (cluster, n) = CommodityModel::cpu_cluster().best_us_per_day(a2.pairs_per_step, 2.5);
+    println!("\n2014 commodity envelope:");
+    println!("  GPU workstation: {gpu:.3} µs/day");
+    println!("  CPU cluster ({n} nodes): {cluster:.3} µs/day");
+
+    println!("\npaper vs measured:");
+    println!(
+        "  85 µs/day @ 512 nodes        → {:.1} µs/day",
+        a2.us_per_day
+    );
+    println!(
+        "  'up to 10×' over Anton 1     → {:.1}×",
+        a2.us_per_day / a1.us_per_day
+    );
+    println!(
+        "  180× over any commodity      → {:.0}×",
+        a2.us_per_day / cluster.max(gpu)
+    );
+}

@@ -1,0 +1,45 @@
+//! The paper's architectural thesis, isolated: identical Anton 2 silicon
+//! running the identical workload under fine-grained event-driven operation
+//! versus coarse-grained bulk-synchronous phases.
+//!
+//! ```text
+//! cargo run --release --example event_driven_vs_bsp
+//! ```
+
+use anton2::core::report::simulate_performance;
+use anton2::core::{ExecPolicy, MachineConfig};
+use anton2::md::builders::dhfr_benchmark;
+
+fn main() {
+    let system = dhfr_benchmark(1);
+    println!("DHFR on Anton 2 silicon, execution policy ablation:\n");
+    println!(
+        "{:>6}  {:>12} {:>9}  |  {:>12} {:>9} {:>9}  |  {:>7}",
+        "nodes", "event-driven", "util", "bulk-sync", "util", "barriers", "ED gain"
+    );
+    for nodes in [8u32, 32, 64, 128, 256, 512] {
+        let ed = simulate_performance(&system, MachineConfig::anton2(nodes), 2.5, 2);
+        let bsp = simulate_performance(
+            &system,
+            MachineConfig::anton2(nodes).with_exec(ExecPolicy::BulkSynchronous),
+            2.5,
+            2,
+        );
+        println!(
+            "{:>6}  {:>9.2} µs/d {:>8.1}%  |  {:>9.2} µs/d {:>8.1}% {:>6.2}µs  |  {:>6.2}x",
+            nodes,
+            ed.us_per_day,
+            ed.compute_utilization * 100.0,
+            bsp.us_per_day,
+            bsp.compute_utilization * 100.0,
+            bsp.breakdown.barriers,
+            ed.us_per_day / bsp.us_per_day
+        );
+    }
+    println!(
+        "\nThe event-driven advantage grows with node count: as boxes shrink to a few\n\
+         dozen atoms, per-phase barriers and unoverlapped communication dominate the\n\
+         bulk-synchronous step, while the event-driven machine hides message latency\n\
+         behind whatever compute is ready — the paper's central architecture claim."
+    );
+}

@@ -1,0 +1,69 @@
+//! Liquid-structure validation: equilibrate an argon-like Lennard-Jones
+//! fluid and measure its radial distribution function. A liquid g(r) with
+//! the first peak near 1.1σ and height ~2.5–3 is the classic signature
+//! that the pair kernel, neighbor machinery, and integrator together
+//! produce a real liquid, not a crystal or a gas.
+//!
+//! ```text
+//! cargo run --release --example lj_fluid_structure
+//! ```
+
+use anton2::md::builders::lj_fluid;
+use anton2::md::engine::{Engine, EngineConfig, KspaceMethod, Thermostat};
+use anton2::md::observables::Rdf;
+
+fn main() {
+    let sigma = 3.405; // argon σ, Å
+                       // ρ* = 0.80, T* = 1.0 (ε/kB for argon ≈ 120 K → 120 K target).
+    let mut system = lj_fluid(500, 0.80, 7);
+    println!(
+        "LJ fluid: {} atoms, box {:.2} Å, ρ* = 0.80, target T* ≈ 1.0 (120 K)",
+        system.n_atoms(),
+        system.pbc.lx
+    );
+    system.thermalize(120.0, 8);
+
+    let mut cfg = EngineConfig::quick();
+    cfg.dt_fs = 4.0; // heavy atoms, no bonds: a long step is fine
+    cfg.kspace = KspaceMethod::None;
+    cfg.thermostat = Thermostat::Berendsen {
+        t_kelvin: 120.0,
+        tau_fs: 400.0,
+    };
+    let mut engine = Engine::new(system, cfg);
+    engine.minimize(200, 0.5);
+    engine.system.thermalize(120.0, 9);
+
+    println!("equilibrating 4 ps…");
+    engine.run(1000);
+
+    println!("sampling g(r) over 2 ps…");
+    let mut rdf = Rdf::new(2.5 * sigma, 60);
+    for _ in 0..20 {
+        engine.run(25);
+        rdf.accumulate(&engine.system.pbc, &engine.system.positions);
+    }
+
+    let g = rdf.normalized(&engine.system.pbc);
+    println!("\n{:>8}  {:>8}  ", "r/σ", "g(r)");
+    let mut peak = (0.0f64, 0.0f64);
+    for &(r, v) in &g {
+        if v > peak.1 {
+            peak = (r, v);
+        }
+        if (r / sigma * 10.0).round() as i64 % 2 == 0 && r / sigma > 0.7 {
+            let bar = "█".repeat((v * 12.0) as usize);
+            println!("{:>8.2}  {:>8.2}  {bar}", r / sigma, v);
+        }
+    }
+    println!(
+        "\nfirst peak: g = {:.2} at r = {:.2}σ  (liquid argon: ~2.5–3.0 near 1.05–1.15σ)",
+        peak.1,
+        peak.0 / sigma
+    );
+    println!(
+        "final T = {:.1} K, LJ energy {:.1} kcal/mol",
+        engine.system.temperature(),
+        engine.energies().lj
+    );
+}

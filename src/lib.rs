@@ -1,0 +1,26 @@
+//! # anton2 — facade crate
+//!
+//! Re-exports the full Anton 2 reproduction stack under one roof. See the
+//! workspace README for the architecture overview and DESIGN.md for the
+//! per-experiment index.
+//!
+//! ```
+//! // The smallest possible end-to-end run: a tiny water box, serial engine.
+//! use anton2::md::builders::water_box;
+//! use anton2::md::engine::{Engine, EngineConfig};
+//!
+//! let system = water_box(3, 3, 3, 42);
+//! let mut engine = Engine::new(system, EngineConfig::quick());
+//! engine.run(2);
+//! assert!(engine.step_count() == 2);
+//! ```
+
+pub use anton2_asic as asic;
+pub use anton2_core as core;
+pub use anton2_des as des;
+pub use anton2_fft as fft;
+pub use anton2_md as md;
+pub use anton2_net as net;
+
+/// Workspace version, for reports.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,316 @@
+//! Cross-crate physics validation: the MD substrate conserves energy,
+//! the two electrostatics solvers agree, and constraints hold through
+//! dynamics — the preconditions for trusting any machine-level result.
+
+use anton2::md::builders::{lj_fluid, water_box};
+use anton2::md::engine::{Engine, EngineConfig, KspaceMethod, Thermostat};
+use anton2::md::observables::DriftTracker;
+use anton2::md::settle::SettleParams;
+
+#[test]
+fn water_nve_energy_conservation() {
+    let mut sys = water_box(3, 3, 3, 4);
+    sys.thermalize(300.0, 5);
+    let mut engine = Engine::new(sys, EngineConfig::quick());
+    engine.minimize(150, 1.0);
+    engine.system.thermalize(300.0, 6);
+    let mut tracker = DriftTracker::new();
+    for _ in 0..250 {
+        engine.step();
+        tracker.record(engine.time_fs(), engine.energies().total());
+    }
+    let n = engine.system.n_atoms();
+    let drift = tracker.drift_per_atom_per_ns(n).unwrap().abs();
+    assert!(drift < 2.0, "NVE drift {drift} kcal/mol/ns/atom");
+}
+
+#[test]
+fn gse_and_classic_ewald_agree_through_engine() {
+    // The same system evaluated with both k-space solvers gives the same
+    // electrostatic energy.
+    let build = || {
+        let mut s = water_box(3, 3, 3, 7);
+        s.thermalize(200.0, 8);
+        s
+    };
+    let gse = Engine::new(build(), EngineConfig::quick());
+    let mut cfg = EngineConfig::quick();
+    cfg.kspace = KspaceMethod::ClassicEwald;
+    let classic = Engine::new(build(), cfg);
+    let a = gse.energies().coulomb();
+    let b = classic.energies().coulomb();
+    assert!(
+        (a - b).abs() < 5e-3 * b.abs().max(1.0),
+        "GSE total Coulomb {a} vs classic {b}"
+    );
+}
+
+#[test]
+fn rigid_water_constraints_hold_through_long_run() {
+    let mut sys = water_box(3, 3, 3, 9);
+    sys.thermalize(350.0, 10);
+    let mut cfg = EngineConfig::quick();
+    cfg.thermostat = Thermostat::Berendsen {
+        t_kelvin: 300.0,
+        tau_fs: 100.0,
+    };
+    let mut engine = Engine::new(sys, cfg);
+    engine.minimize(100, 1.0);
+    engine.run(200);
+    let p = SettleParams::tip3p();
+    for w in &engine.system.topology.waters {
+        let oh = engine
+            .system
+            .pbc
+            .min_image(engine.system.positions[w[0]], engine.system.positions[w[1]])
+            .norm();
+        let hh = engine
+            .system
+            .pbc
+            .min_image(engine.system.positions[w[1]], engine.system.positions[w[2]])
+            .norm();
+        assert!((oh - p.d_oh).abs() < 1e-6, "O–H {oh}");
+        assert!((hh - p.d_hh).abs() < 1e-6, "H–H {hh}");
+    }
+}
+
+#[test]
+fn lj_fluid_stays_bound_and_conserves() {
+    let mut sys = lj_fluid(125, 0.8, 11);
+    sys.thermalize(120.0, 12);
+    let mut cfg = EngineConfig::quick();
+    cfg.kspace = KspaceMethod::None;
+    let mut engine = Engine::new(sys, cfg);
+    engine.minimize(100, 1.0);
+    engine.system.thermalize(120.0, 13);
+    let mut tracker = DriftTracker::new();
+    for _ in 0..250 {
+        engine.step();
+        tracker.record(engine.time_fs(), engine.energies().total());
+    }
+    let drift = tracker.drift_per_atom_per_ns(125).unwrap().abs();
+    assert!(drift < 1.0, "LJ drift {drift}");
+    // Liquid-state sanity: potential energy is negative (cohesive).
+    assert!(engine.energies().lj < 0.0);
+}
+
+#[test]
+fn momentum_conserved_in_nve() {
+    let mut sys = water_box(3, 3, 3, 14);
+    sys.thermalize(300.0, 15);
+    let mut engine = Engine::new(sys, EngineConfig::quick());
+    engine.minimize(100, 1.0);
+    engine.system.thermalize(300.0, 16);
+    let p0 = engine.system.total_momentum();
+    engine.run(100);
+    let p1 = engine.system.total_momentum();
+    assert!((p1 - p0).norm() < 1e-6, "momentum drifted: {p0:?} → {p1:?}");
+}
+
+#[test]
+fn virial_pressure_matches_volume_derivative() {
+    // The virial route to the pressure must agree with the thermodynamic
+    // definition: W = −dU/dλ under uniform scaling of box + coordinates
+    // (evaluated by rebuilding the engine at scaled geometry).
+    use anton2::md::forcefield::ForceField;
+    use anton2::md::system::System;
+    use anton2::md::units::KB;
+
+    let mut base = water_box(3, 3, 3, 30);
+    // Leave headroom below the half-box limit so scaled variants are valid.
+    base.nb.cutoff *= 0.9;
+    base.nb.ewald_alpha = 3.0 / base.nb.cutoff;
+    let potential_at = |scale: f64| -> f64 {
+        let mut top = base.topology.clone();
+        top.build_exclusions();
+        let positions = base.positions.iter().map(|&p| p * scale).collect();
+        let pbc = anton2::md::pbc::PbcBox::new(
+            base.pbc.lx * scale,
+            base.pbc.ly * scale,
+            base.pbc.lz * scale,
+        );
+        let sys = System::new(top, ForceField::standard(), base.nb, pbc, positions);
+        let engine = Engine::new(sys, EngineConfig::quick());
+        engine.energies().potential()
+    };
+    let h = 1e-5;
+    let dudl = (potential_at(1.0 + h) - potential_at(1.0 - h)) / (2.0 * h);
+
+    // Virial route, via the engine's pressure with zero velocities:
+    // P = W/(3V)  ⇒  W = 3V·P/conv.
+    let mut sys = base.clone();
+    sys.velocities
+        .iter_mut()
+        .for_each(|v| *v = anton2::md::vec3::Vec3::ZERO);
+    let engine = Engine::new(sys, EngineConfig::quick());
+    let p_atm = engine.pressure_atm();
+    let w = p_atm / anton2::md::pressure::KCAL_PER_MOL_A3_TO_ATM * 3.0 * base.pbc.volume();
+
+    // dU/dλ at λ=1 equals −W (r → λr makes W = Σ r·F = −dU/dλ).
+    assert!(
+        (w + dudl).abs() < 2e-2 * dudl.abs().max(1.0),
+        "virial W = {w:.4} vs −dU/dλ = {:.4}",
+        -dudl
+    );
+    let _ = KB;
+}
+
+#[test]
+fn npt_barostat_regulates_density() {
+    // Start a water box compressed by 5% (high pressure); under NPT at
+    // 1 atm it must expand back toward its equilibrium density.
+    let mut sys = water_box(3, 3, 3, 31);
+    // Leave headroom below the half-box limit for the compressed start.
+    sys.nb.cutoff *= 0.9;
+    sys.nb.ewald_alpha = 3.0 / sys.nb.cutoff;
+    // Compress: scale box and positions down.
+    let mu = 0.95;
+    sys.pbc = anton2::md::pbc::PbcBox::new(sys.pbc.lx * mu, sys.pbc.ly * mu, sys.pbc.lz * mu);
+    for p in &mut sys.positions {
+        *p = *p * mu;
+    }
+    sys.thermalize(300.0, 32);
+    let mut cfg = EngineConfig::quick();
+    cfg.thermostat = Thermostat::Berendsen {
+        t_kelvin: 300.0,
+        tau_fs: 100.0,
+    };
+    cfg.barostat = Some(anton2::md::pressure::BerendsenBarostat::water(1.0, 500.0));
+    cfg.barostat_period = 5;
+    let mut engine = Engine::new(sys, cfg);
+    engine.minimize(100, 1.0);
+    engine.system.thermalize(300.0, 33);
+    let v0 = engine.system.pbc.volume();
+    let p0 = engine.pressure_atm();
+    engine.run(200);
+    let v1 = engine.system.pbc.volume();
+    assert!(
+        p0 > 500.0,
+        "compressed start should be high-pressure, got {p0:.0} atm"
+    );
+    assert!(
+        v1 > v0 * 1.005,
+        "box should expand under NPT: {v0:.0} → {v1:.0}"
+    );
+    // Rigid waters survived the box rescaling.
+    let p = SettleParams::tip3p();
+    for w in &engine.system.topology.waters {
+        let oh = engine
+            .system
+            .pbc
+            .min_image(engine.system.positions[w[0]], engine.system.positions[w[1]])
+            .norm();
+        assert!((oh - p.d_oh).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn checkpoint_restart_is_exact() {
+    // NVE: run 30 steps, checkpoint, run 30 more; restoring the checkpoint
+    // and re-running the 30 steps must reproduce the trajectory bitwise
+    // (deterministic kernels + deterministic neighbor rebuilds).
+    let mut sys = water_box(3, 3, 3, 40);
+    sys.thermalize(250.0, 41);
+    let mut engine = Engine::new(sys, EngineConfig::quick());
+    engine.minimize(80, 1.0);
+    engine.system.thermalize(250.0, 42);
+    engine.run(30);
+    let cp = engine.checkpoint();
+    engine.run(30);
+    let reference: Vec<_> = engine
+        .system
+        .positions
+        .iter()
+        .map(|p| (p.x.to_bits(), p.y.to_bits(), p.z.to_bits()))
+        .collect();
+
+    engine.restore(&cp);
+    assert_eq!(engine.step_count(), 30);
+    engine.run(30);
+    let replay: Vec<_> = engine
+        .system
+        .positions
+        .iter()
+        .map(|p| (p.x.to_bits(), p.y.to_bits(), p.z.to_bits()))
+        .collect();
+    assert_eq!(replay, reference, "restart diverged");
+}
+
+#[test]
+fn water_self_diffusion_in_physical_range() {
+    // The Einstein-relation diffusion coefficient of the synthetic water
+    // must land in the simulated-water ballpark (TIP3P-class models run
+    // 2–3× above the experimental 2.3e-5 cm²/s; accept half an order of
+    // magnitude each way on this short run).
+    use anton2::md::trajectory::Msd;
+    let mut sys = water_box(4, 4, 4, 50);
+    sys.thermalize(300.0, 51);
+    let mut cfg = EngineConfig::quick();
+    cfg.dt_fs = 2.0;
+    cfg.thermostat = Thermostat::Berendsen {
+        t_kelvin: 300.0,
+        tau_fs: 200.0,
+    };
+    let mut engine = Engine::new(sys, cfg);
+    engine.minimize(150, 0.5);
+    engine.system.thermalize(300.0, 52);
+    engine.run(400); // equilibrate 0.8 ps
+    let mut msd = Msd::new(&engine.system);
+    let t0 = engine.time_fs();
+    for _ in 0..15 {
+        engine.run(100);
+        msd.record(&engine.system, engine.time_fs() - t0);
+    }
+    let d_cm2_s = msd.diffusion_coefficient().unwrap() * 0.1;
+    assert!(
+        (5e-6..2e-4).contains(&d_cm2_s),
+        "water D = {d_cm2_s:.2e} cm²/s out of physical range"
+    );
+}
+
+#[test]
+fn lj_fluid_has_liquid_structure() {
+    // g(r) of the equilibrated LJ fluid must show a liquid first peak:
+    // height ≳ 2 near 1.0–1.2 σ, decaying toward 1 at long range.
+    use anton2::md::observables::Rdf;
+    let sigma = 3.405;
+    let mut sys = lj_fluid(343, 0.80, 17);
+    sys.thermalize(120.0, 18);
+    let mut cfg = EngineConfig::quick();
+    cfg.dt_fs = 4.0;
+    cfg.kspace = KspaceMethod::None;
+    cfg.thermostat = Thermostat::Berendsen {
+        t_kelvin: 120.0,
+        tau_fs: 400.0,
+    };
+    let mut engine = Engine::new(sys, cfg);
+    engine.minimize(150, 0.5);
+    engine.system.thermalize(120.0, 19);
+    engine.run(500);
+    let mut rdf = Rdf::new(2.4 * sigma, 48);
+    for _ in 0..10 {
+        engine.run(20);
+        rdf.accumulate(&engine.system.pbc, &engine.system.positions);
+    }
+    let g = rdf.normalized(&engine.system.pbc);
+    let peak = g
+        .iter()
+        .cloned()
+        .fold((0.0, 0.0), |a, b| if b.1 > a.1 { b } else { a });
+    assert!(
+        (0.95..1.3).contains(&(peak.0 / sigma)),
+        "first peak at {:.2}σ",
+        peak.0 / sigma
+    );
+    assert!(peak.1 > 2.0, "peak height {:.2}", peak.1);
+    // Core exclusion: essentially no density below 0.8σ.
+    for &(r, v) in &g {
+        if r < 0.8 * sigma {
+            assert!(
+                v < 0.1,
+                "density {v:.2} inside the core at {:.2}σ",
+                r / sigma
+            );
+        }
+    }
+}
