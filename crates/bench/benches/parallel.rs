@@ -1,0 +1,169 @@
+//! Serial-vs-parallel benchmarks for the step pipeline: GSE charge
+//! spreading, the 3D FFT, and the whole MD step. Each pair of benchmark
+//! ids differs only in the threading mode, so the ratio of their medians
+//! is the speedup; `report_step_speedup` also prints the whole-step ratio
+//! directly. Thread count follows `RAYON_NUM_THREADS` / the machine.
+
+use std::time::Instant;
+
+use anton2_fft::{Fft3, Fft3Scratch, Grid3, C64};
+use anton2_md::builders::water_box;
+use anton2_md::engine::{Engine, EngineConfig, Parallelism};
+use anton2_md::gse::{Gse, GseParams, GseWorkspace};
+use anton2_md::vec3::Vec3;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// ≥ 20k atoms: 19³ waters × 3 atoms = 20577.
+const BIG_SIDE: usize = 19;
+
+fn bench_gse_spread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gse_spread");
+    g.sample_size(10);
+    for side in [8usize, BIG_SIDE] {
+        let s = water_box(side, side, side, 11);
+        let gse = Gse::new(
+            s.nb.ewald_alpha,
+            s.pbc,
+            GseParams::for_box(s.nb.ewald_alpha, &s.pbc),
+        );
+        let p = gse.params;
+        let mut rho = Grid3::zeros(p.nx, p.ny, p.nz);
+        g.throughput(Throughput::Elements(s.n_atoms() as u64));
+        g.bench_with_input(BenchmarkId::new("serial", s.n_atoms()), &s, |b, s| {
+            b.iter(|| {
+                rho.clear();
+                gse.spread_into(&s.positions, &s.topology.charges, &mut rho);
+                black_box(rho.data[0])
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("parallel", s.n_atoms()), &s, |b, s| {
+            b.iter(|| {
+                rho.clear();
+                gse.spread_into_parallel(&s.positions, &s.topology.charges, &mut rho);
+                black_box(rho.data[0])
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft3_roundtrip");
+    g.sample_size(10);
+    for n in [32usize, 64] {
+        let plan = Fft3::new(n, n, n);
+        let mut scratch = Fft3Scratch::for_grid(n, n, n);
+        let mut grid = Grid3::zeros(n, n, n);
+        for (i, v) in grid.data.iter_mut().enumerate() {
+            *v = C64::new((i as f64).sin(), (i as f64 * 0.7).cos());
+        }
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        for parallel in [false, true] {
+            let label = if parallel { "parallel" } else { "serial" };
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    plan.forward_with(&mut grid, &mut scratch, parallel);
+                    plan.inverse_with(&mut grid, &mut scratch, parallel);
+                    black_box(grid.data[1])
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_kspace_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gse_energy_forces_ws");
+    g.sample_size(10);
+    let s = water_box(BIG_SIDE, BIG_SIDE, BIG_SIDE, 12);
+    let gse = Gse::new(
+        s.nb.ewald_alpha,
+        s.pbc,
+        GseParams::for_box(s.nb.ewald_alpha, &s.pbc),
+    );
+    let mut ws = GseWorkspace::for_gse(&gse);
+    let mut forces = vec![Vec3::ZERO; s.n_atoms()];
+    g.throughput(Throughput::Elements(s.n_atoms() as u64));
+    for parallel in [false, true] {
+        let label = if parallel { "parallel" } else { "serial" };
+        g.bench_with_input(BenchmarkId::new(label, s.n_atoms()), &s, |b, s| {
+            b.iter(|| {
+                forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
+                black_box(gse.energy_forces_with(
+                    &s.positions,
+                    &s.topology.charges,
+                    &mut forces,
+                    &mut ws,
+                    parallel,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn big_engine(parallelism: Parallelism) -> Engine {
+    let mut sys = water_box(BIG_SIDE, BIG_SIDE, BIG_SIDE, 13);
+    sys.thermalize(300.0, 14);
+    let mut cfg = EngineConfig::quick();
+    cfg.parallelism = parallelism;
+    Engine::new(sys, cfg)
+}
+
+fn bench_whole_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("whole_step");
+    g.sample_size(10);
+    for (label, parallelism) in [
+        ("serial", Parallelism::Serial),
+        ("parallel", Parallelism::Parallel),
+    ] {
+        let mut engine = big_engine(parallelism);
+        g.throughput(Throughput::Elements(engine.system.n_atoms() as u64));
+        g.bench_with_input(
+            BenchmarkId::new(label, engine.system.n_atoms()),
+            &0usize,
+            |b, _| {
+                b.iter(|| {
+                    engine.step();
+                    black_box(engine.energies().total())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Direct whole-step speedup report (serial time / parallel time), the
+/// headline number for the parallel pipeline.
+fn report_step_speedup(_c: &mut Criterion) {
+    const STEPS: usize = 3;
+    let time = |parallelism: Parallelism| {
+        let mut engine = big_engine(parallelism);
+        engine.step(); // warm caches and workspace
+        let t0 = Instant::now();
+        for _ in 0..STEPS {
+            engine.step();
+        }
+        t0.elapsed().as_secs_f64() / STEPS as f64
+    };
+    let serial = time(Parallelism::Serial);
+    let parallel = time(Parallelism::Parallel);
+    println!(
+        "whole_step speedup ({} threads, {} atoms): serial {:.1} ms/step, parallel {:.1} ms/step, speedup {:.2}x",
+        rayon::current_num_threads(),
+        BIG_SIDE * BIG_SIDE * BIG_SIDE * 3,
+        serial * 1e3,
+        parallel * 1e3,
+        serial / parallel
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_gse_spread,
+    bench_fft3,
+    bench_kspace_pipeline,
+    bench_whole_step,
+    report_step_speedup
+);
+criterion_main!(benches);

@@ -371,12 +371,7 @@ pub fn f6_import_methods() -> ExperimentResult {
 pub fn f7_fidelity() -> ExperimentResult {
     let s = water_box(5, 5, 5, 7);
     let out = cosim::verify_pair_forces(&s, 8, 42);
-    let serial_k = {
-        let params = GseParams::for_box(s.nb.ewald_alpha, &s.pbc);
-        let gse = anton2_md::gse::Gse::new(s.nb.ewald_alpha, s.pbc, params);
-        let mut f = vec![anton2_md::vec3::Vec3::ZERO; s.n_atoms()];
-        gse.energy_forces(&s.positions, &s.topology.charges, &mut f)
-    };
+    let serial_k = cosim::serial_kspace_energy(&s);
     let dist_k = cosim::distributed_kspace_energy(&s, 8);
 
     // NVE conservation of the serial reference engine.

@@ -16,7 +16,7 @@
 use crate::decomp::Decomposition;
 use anton2_fft::{Layout, PencilFft};
 use anton2_md::fixedpoint::FixedAccumulator;
-use anton2_md::gse::{Gse, GseParams};
+use anton2_md::gse::{Gse, GseParams, GseWorkspace};
 use anton2_md::neighbor::NeighborList;
 use anton2_md::pairkernel::{lj_shift_at, pair_interaction};
 use anton2_md::units::COULOMB;
@@ -226,6 +226,25 @@ pub fn force_checksum(system: &System, nodes: u32, scramble: u64) -> u64 {
     verify_pair_forces(system, nodes, scramble).force_checksum
 }
 
+/// Serial-reference k-space energy through the engine's workspace path
+/// (`Gse::energy_forces_with`): allocation-free after workspace setup and
+/// bitwise identical to `Gse::energy_forces`. Large systems take the
+/// parallel pipeline, which is bitwise identical to the serial one.
+pub fn serial_kspace_energy(system: &System) -> f64 {
+    let params = GseParams::for_box(system.nb.ewald_alpha, &system.pbc);
+    let gse = Gse::new(system.nb.ewald_alpha, system.pbc, params);
+    let mut ws = GseWorkspace::for_gse(&gse);
+    let mut f = vec![Vec3::ZERO; system.n_atoms()];
+    let parallel = system.n_atoms() >= 4096;
+    gse.energy_forces_with(
+        &system.positions,
+        &system.topology.charges,
+        &mut f,
+        &mut ws,
+        parallel,
+    )
+}
+
 /// K-space energy computed through the *distributed* pencil FFT (spreading
 /// node by node, transposing between simulated ranks) — must match the
 /// serial grid solver.
@@ -376,12 +395,7 @@ mod tests {
     #[test]
     fn distributed_kspace_matches_serial_gse() {
         let s = water_box(4, 4, 4, 5);
-        let serial = {
-            let params = GseParams::for_box(s.nb.ewald_alpha, &s.pbc);
-            let gse = Gse::new(s.nb.ewald_alpha, s.pbc, params);
-            let mut f = vec![Vec3::ZERO; s.n_atoms()];
-            gse.energy_forces(&s.positions, &s.topology.charges, &mut f)
-        };
+        let serial = serial_kspace_energy(&s);
         for nodes in [1u32, 8] {
             let dist = distributed_kspace_energy(&s, nodes);
             assert!(

@@ -7,6 +7,8 @@
 
 use crate::complex::C64;
 use crate::radix::Fft;
+use rayon::prelude::*;
+use rayon::ParallelSliceMut;
 
 /// A dense 3D complex grid with `z` as the fastest-varying axis.
 #[derive(Clone, Debug)]
@@ -70,6 +72,43 @@ impl Grid3 {
     }
 }
 
+/// Reusable scratch for [`Fft3`] transforms: holding one keeps the 3D
+/// transform allocation-free after construction, which the MD engine's
+/// steady-state step loop relies on.
+///
+/// Both the serial and the parallel path draw on the same buffers, so one
+/// scratch serves either mode of the same grid shape.
+#[derive(Clone, Debug)]
+pub struct Fft3Scratch {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// One gather row per x-slab (row length `max(nx, ny)` so the serial
+    /// path can also borrow it as a single x- or y-line buffer).
+    rows: Vec<C64>,
+    /// Full-grid transpose buffer for the parallel x pass: x-lines laid out
+    /// contiguously so they can be transformed with `par_chunks_mut`.
+    lines: Vec<C64>,
+}
+
+impl Fft3Scratch {
+    /// Scratch sized for an `nx × ny × nz` grid.
+    pub fn for_grid(nx: usize, ny: usize, nz: usize) -> Self {
+        let row = nx.max(ny);
+        Fft3Scratch {
+            nx,
+            ny,
+            nz,
+            rows: vec![C64::ZERO; nx * row],
+            lines: vec![C64::ZERO; nx * ny * nz],
+        }
+    }
+
+    fn row_len(&self) -> usize {
+        self.nx.max(self.ny)
+    }
+}
+
 /// A reusable plan for 3D transforms of one grid shape.
 #[derive(Clone, Debug)]
 pub struct Fft3 {
@@ -88,47 +127,83 @@ impl Fft3 {
         }
     }
 
-    /// Forward 3D DFT in place (no scaling).
+    /// Forward 3D DFT in place (no scaling). Allocates transient scratch;
+    /// use [`Fft3::forward_with`] on a hot path.
     pub fn forward(&self, g: &mut Grid3) {
-        self.transform(g, false);
+        let mut line = vec![C64::ZERO; g.nx.max(g.ny)];
+        self.check(g);
+        self.transform_serial(g, &mut line, false);
     }
 
-    /// Inverse 3D DFT in place, scaled by `1/(nx·ny·nz)`.
+    /// Inverse 3D DFT in place, scaled by `1/(nx·ny·nz)`. Allocates
+    /// transient scratch; use [`Fft3::inverse_with`] on a hot path.
     pub fn inverse(&self, g: &mut Grid3) {
-        self.transform(g, true);
-        let s = 1.0 / (g.nx * g.ny * g.nz) as f64;
-        for z in g.data.iter_mut() {
-            *z = z.scale(s);
+        let mut line = vec![C64::ZERO; g.nx.max(g.ny)];
+        self.check(g);
+        self.transform_serial(g, &mut line, true);
+        scale_inverse(&mut g.data, g.nx * g.ny * g.nz, false);
+    }
+
+    /// Forward 3D DFT in place against caller-owned scratch. `parallel`
+    /// fans the independent 1D line transforms of each dimension pass out
+    /// across threads; serial and parallel results are bitwise identical
+    /// because every line sees the same arithmetic either way.
+    pub fn forward_with(&self, g: &mut Grid3, scratch: &mut Fft3Scratch, parallel: bool) {
+        self.check(g);
+        check_scratch(g, scratch);
+        if parallel {
+            self.transform_parallel(g, scratch, false);
+        } else {
+            let row = scratch.row_len();
+            self.transform_serial(g, &mut scratch.rows[..row], false);
         }
     }
 
-    fn transform(&self, g: &mut Grid3, inverse: bool) {
+    /// Inverse 3D DFT in place against caller-owned scratch, scaled by
+    /// `1/(nx·ny·nz)`. See [`Fft3::forward_with`] for the `parallel`
+    /// contract.
+    pub fn inverse_with(&self, g: &mut Grid3, scratch: &mut Fft3Scratch, parallel: bool) {
+        self.check(g);
+        check_scratch(g, scratch);
+        if parallel {
+            self.transform_parallel(g, scratch, true);
+        } else {
+            let row = scratch.row_len();
+            self.transform_serial(g, &mut scratch.rows[..row], true);
+        }
+        scale_inverse(&mut g.data, g.nx * g.ny * g.nz, parallel);
+    }
+
+    fn check(&self, g: &Grid3) {
         assert_eq!(self.fx.len(), g.nx);
         assert_eq!(self.fy.len(), g.ny);
         assert_eq!(self.fz.len(), g.nz);
-        let (nx, ny, nz) = (g.nx, g.ny, g.nz);
+    }
 
-        let run = |plan: &Fft, line: &mut [C64]| {
-            if inverse {
-                plan.inverse_unscaled(line);
-            } else {
-                plan.forward(line);
-            }
-        };
+    #[inline]
+    fn run(&self, plan: &Fft, line: &mut [C64], inverse: bool) {
+        if inverse {
+            plan.inverse_unscaled(line);
+        } else {
+            plan.forward(line);
+        }
+    }
+
+    fn transform_serial(&self, g: &mut Grid3, scratch: &mut [C64], inverse: bool) {
+        let (nx, ny, nz) = (g.nx, g.ny, g.nz);
 
         // z lines are contiguous.
         for line in g.data.chunks_exact_mut(nz) {
-            run(&self.fz, line);
+            self.run(&self.fz, line, inverse);
         }
 
         // y lines: stride nz within an x-slab.
-        let mut scratch = vec![C64::ZERO; ny.max(nx)];
         for ix in 0..nx {
             for iz in 0..nz {
                 for iy in 0..ny {
                     scratch[iy] = g.data[(ix * ny + iy) * nz + iz];
                 }
-                run(&self.fy, &mut scratch[..ny]);
+                self.run(&self.fy, &mut scratch[..ny], inverse);
                 for iy in 0..ny {
                     g.data[(ix * ny + iy) * nz + iz] = scratch[iy];
                 }
@@ -141,11 +216,98 @@ impl Fft3 {
                 for ix in 0..nx {
                     scratch[ix] = g.data[(ix * ny + iy) * nz + iz];
                 }
-                run(&self.fx, &mut scratch[..nx]);
+                self.run(&self.fx, &mut scratch[..nx], inverse);
                 for ix in 0..nx {
                     g.data[(ix * ny + iy) * nz + iz] = scratch[ix];
                 }
             }
+        }
+    }
+
+    /// Parallel transform: every 1D line is independent, so each pass fans
+    /// lines out over threads against disjoint memory. The z pass splits the
+    /// grid into contiguous z-lines; the y pass hands each x-slab to one
+    /// task with its own gather row; the x pass (whose lines stride
+    /// `ny·nz`) transposes the lines into `scratch.lines`, transforms them
+    /// contiguously, and scatters back by x-slab.
+    fn transform_parallel(&self, g: &mut Grid3, scratch: &mut Fft3Scratch, inverse: bool) {
+        let (nx, ny, nz) = (g.nx, g.ny, g.nz);
+        let slab = ny * nz;
+        let row = scratch.row_len();
+
+        // z pass: contiguous disjoint lines.
+        g.data
+            .par_chunks_mut(nz)
+            .for_each(|line| self.run(&self.fz, line, inverse));
+
+        // y pass: one x-slab per task, each with its own gather row.
+        g.data
+            .par_chunks_mut(slab)
+            .zip(scratch.rows.par_chunks_mut(row))
+            .for_each(|(slab_data, line)| {
+                for iz in 0..nz {
+                    for iy in 0..ny {
+                        line[iy] = slab_data[iy * nz + iz];
+                    }
+                    self.run(&self.fy, &mut line[..ny], inverse);
+                    for iy in 0..ny {
+                        slab_data[iy * nz + iz] = line[iy];
+                    }
+                }
+            });
+
+        // x pass, stage 1: gather every x-line into the transpose buffer
+        // (line index li = iy·nz + iz; element ix lives at ix·slab + li)
+        // and transform it where it now lies contiguously.
+        {
+            let data = &g.data;
+            scratch
+                .lines
+                .par_chunks_mut(nx)
+                .enumerate()
+                .for_each(|(li, line)| {
+                    for (ix, v) in line.iter_mut().enumerate() {
+                        *v = data[ix * slab + li];
+                    }
+                    self.run(&self.fx, line, inverse);
+                });
+        }
+
+        // x pass, stage 2: scatter back, one x-slab per task.
+        let lines = &scratch.lines;
+        g.data
+            .par_chunks_mut(slab)
+            .enumerate()
+            .for_each(|(ix, block)| {
+                for (li, out) in block.iter_mut().enumerate() {
+                    *out = lines[li * nx + ix];
+                }
+            });
+    }
+}
+
+fn check_scratch(g: &Grid3, s: &Fft3Scratch) {
+    assert!(
+        s.nx == g.nx && s.ny == g.ny && s.nz == g.nz,
+        "Fft3Scratch sized for {}x{}x{}, grid is {}x{}x{}",
+        s.nx,
+        s.ny,
+        s.nz,
+        g.nx,
+        g.ny,
+        g.nz
+    );
+}
+
+/// Apply the `1/N` inverse-DFT normalization. Elementwise, so the parallel
+/// path is bitwise identical to the serial one.
+fn scale_inverse(data: &mut [C64], n: usize, parallel: bool) {
+    let s = 1.0 / n as f64;
+    if parallel {
+        data.par_iter_mut().for_each(|z| *z = z.scale(s));
+    } else {
+        for z in data.iter_mut() {
+            *z = z.scale(s);
         }
     }
 }
@@ -240,6 +402,63 @@ mod tests {
         plan.forward(&mut g);
         let fe: f64 = g.data.iter().map(|z| z.norm_sqr()).sum::<f64>() / (nx * ny * nz) as f64;
         assert!((te - fe).abs() < 1e-8 * te);
+    }
+
+    /// The `_with` entry points — serial and parallel — must reproduce the
+    /// allocating transform bit for bit: every 1D line sees the same
+    /// arithmetic regardless of scheduling.
+    #[test]
+    fn with_scratch_matches_plain_bitwise() {
+        let (nx, ny, nz) = (8, 4, 16);
+        let plan = Fft3::new(nx, ny, nz);
+        let mut scratch = Fft3Scratch::for_grid(nx, ny, nz);
+        let orig = filled(nx, ny, nz);
+
+        let mut reference = orig.clone();
+        plan.forward(&mut reference);
+        plan.inverse(&mut reference);
+
+        for parallel in [false, true] {
+            let mut g = orig.clone();
+            plan.forward_with(&mut g, &mut scratch, parallel);
+            plan.inverse_with(&mut g, &mut scratch, parallel);
+            for (a, b) in g.data.iter().zip(&reference.data) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "parallel={parallel}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "parallel={parallel}");
+            }
+        }
+    }
+
+    /// Scratch reuse across calls must not leak state between transforms.
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let (nx, ny, nz) = (4, 8, 8);
+        let plan = Fft3::new(nx, ny, nz);
+        let mut scratch = Fft3Scratch::for_grid(nx, ny, nz);
+        let orig = filled(nx, ny, nz);
+
+        let mut first = orig.clone();
+        plan.forward_with(&mut first, &mut scratch, true);
+        // Dirty the scratch with a second, different transform...
+        let mut other = Grid3::zeros(nx, ny, nz);
+        other.set(1, 2, 3, C64::ONE);
+        plan.forward_with(&mut other, &mut scratch, true);
+        // ...then repeat the first and demand bitwise agreement.
+        let mut again = orig.clone();
+        plan.forward_with(&mut again, &mut scratch, true);
+        for (a, b) in first.data.iter().zip(&again.data) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Fft3Scratch sized for")]
+    fn mismatched_scratch_rejected() {
+        let plan = Fft3::new(8, 8, 8);
+        let mut scratch = Fft3Scratch::for_grid(4, 4, 4);
+        let mut g = Grid3::zeros(8, 8, 8);
+        plan.forward_with(&mut g, &mut scratch, false);
     }
 
     #[test]

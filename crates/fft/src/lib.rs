@@ -20,7 +20,7 @@ pub mod pencil;
 pub mod radix;
 
 pub use complex::C64;
-pub use dim3::{Fft3, Grid3};
+pub use dim3::{Fft3, Fft3Scratch, Grid3};
 pub use pencil::{CommLog, DistGrid, Layout, Message, PencilFft};
 pub use radix::{dft_reference, Fft};
 

@@ -220,6 +220,102 @@ pub fn all_bonded_forces(
     }
 }
 
+/// Fixed chunk count for [`all_bonded_forces_parallel`]. Independent of the
+/// thread count, so a given system always gets the same term grouping and
+/// therefore the same floating-point result for any `RAYON_NUM_THREADS`.
+pub const BONDED_CHUNKS: usize = 16;
+
+/// Parallel [`all_bonded_forces`]: each of the `buffers.len()` fixed chunks
+/// takes a contiguous slice of every term list, accumulates into its own
+/// whole-system force buffer, and the buffers are reduced per atom in chunk
+/// order. Energies likewise sum in chunk order. Results are deterministic
+/// for any thread count; they differ from the serial path only by
+/// floating-point regrouping (≲1e-12 relative).
+///
+/// `buffers` (one per chunk, normally [`BONDED_CHUNKS`]) come from the
+/// caller so a steady-state step loop can reuse them without allocating.
+pub fn all_bonded_forces_parallel(
+    topology: &crate::topology::Topology,
+    pbc: &PbcBox,
+    positions: &[Vec3],
+    forces: &mut [Vec3],
+    buffers: &mut [Vec<Vec3>],
+) -> BondedEnergy {
+    use rayon::prelude::*;
+
+    let n = positions.len();
+    let chunks = buffers.len().max(1);
+    let slice = |len: usize, c: usize| -> std::ops::Range<usize> {
+        let per = len.div_ceil(chunks).max(1);
+        let start = (c * per).min(len);
+        start..(start + per).min(len)
+    };
+
+    let energies: Vec<BondedEnergy> = buffers
+        .par_iter_mut()
+        .enumerate()
+        .map(|(c, buf)| {
+            buf.clear();
+            buf.resize(n, Vec3::ZERO);
+            BondedEnergy {
+                bond: bond_forces(
+                    &topology.bonds[slice(topology.bonds.len(), c)],
+                    pbc,
+                    positions,
+                    buf,
+                ),
+                angle: angle_forces(
+                    &topology.angles[slice(topology.angles.len(), c)],
+                    pbc,
+                    positions,
+                    buf,
+                ),
+                dihedral: dihedral_forces(
+                    &topology.dihedrals[slice(topology.dihedrals.len(), c)],
+                    pbc,
+                    positions,
+                    buf,
+                ),
+                urey_bradley: urey_bradley_forces(
+                    &topology.urey_bradleys[slice(topology.urey_bradleys.len(), c)],
+                    pbc,
+                    positions,
+                    buf,
+                ),
+                improper: improper_forces(
+                    &topology.impropers[slice(topology.impropers.len(), c)],
+                    pbc,
+                    positions,
+                    buf,
+                ),
+            }
+        })
+        .collect();
+
+    // Ordered per-atom reduction: every atom sums its chunk contributions
+    // in chunk order, independent of how threads were scheduled.
+    {
+        let buffers = &*buffers;
+        forces.par_iter_mut().enumerate().for_each(|(i, f)| {
+            let mut acc = Vec3::ZERO;
+            for buf in buffers {
+                acc += buf[i];
+            }
+            *f += acc;
+        });
+    }
+
+    let mut total = BondedEnergy::default();
+    for e in energies {
+        total.bond += e.bond;
+        total.angle += e.angle;
+        total.dihedral += e.dihedral;
+        total.urey_bradley += e.urey_bradley;
+        total.improper += e.improper;
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -599,6 +695,40 @@ mod tests {
             let mut f = vec![Vec3::ZERO; 4];
             let e = dihedral_forces(&dihedrals, &pbc, &pos, &mut f);
             assert!((0.0..=2.0 + 1e-12).contains(&e), "E={e} at φ={ang}");
+        }
+    }
+
+    /// The chunked parallel evaluation regroups floating-point sums but must
+    /// stay within summation noise of the serial path, and reusing the
+    /// buffers must not change anything.
+    #[test]
+    fn parallel_matches_serial_within_summation_noise() {
+        let s = crate::builders::solvated_protein(60, 40, 7);
+        let mut f_serial = vec![Vec3::ZERO; s.n_atoms()];
+        let e_serial = all_bonded_forces(&s.topology, &s.pbc, &s.positions, &mut f_serial);
+
+        let mut buffers: Vec<Vec<Vec3>> = (0..BONDED_CHUNKS).map(|_| Vec::new()).collect();
+        for round in 0..2 {
+            let mut f_par = vec![Vec3::ZERO; s.n_atoms()];
+            let e_par = all_bonded_forces_parallel(
+                &s.topology,
+                &s.pbc,
+                &s.positions,
+                &mut f_par,
+                &mut buffers,
+            );
+            assert!(
+                (e_par.total() - e_serial.total()).abs() < 1e-10 * e_serial.total().abs().max(1.0),
+                "round {round}: {} vs {}",
+                e_par.total(),
+                e_serial.total()
+            );
+            for (i, (a, b)) in f_par.iter().zip(&f_serial).enumerate() {
+                assert!(
+                    (*a - *b).norm() < 1e-10 * (1.0 + b.norm()),
+                    "round {round} atom {i}: {a:?} vs {b:?}"
+                );
+            }
         }
     }
 }

@@ -7,10 +7,10 @@
 //! distributed over simulated nodes; this engine is its correctness
 //! reference (experiment F7 in DESIGN.md).
 
-use crate::bonded::all_bonded_forces;
+use crate::bonded::{all_bonded_forces, all_bonded_forces_parallel, BONDED_CHUNKS};
 use crate::constraints::ConstraintSet;
 use crate::ewald::{background_energy, self_energy, EwaldKSpace};
-use crate::gse::{Gse, GseParams};
+use crate::gse::{Gse, GseParams, GseWorkspace};
 use crate::integrate::{langevin_o_step, RespaSchedule};
 use crate::neighbor::NeighborList;
 use crate::observables::EnergyLedger;
@@ -36,6 +36,27 @@ pub enum KspaceMethod {
     ClassicEwald,
     /// No k-space term (neutral systems / LJ fluids).
     None,
+}
+
+/// Threading policy for the force pipeline.
+///
+/// Every parallel kernel in the engine decomposes into a *fixed* number of
+/// chunks (or into grid planes / FFT lines) and reduces in chunk order, so
+/// results never depend on `RAYON_NUM_THREADS`. The k-space pipeline is
+/// additionally bitwise identical between the serial and parallel paths;
+/// the pair and bonded kernels differ from serial only by floating-point
+/// regrouping (≲1e-12 relative). See "Threading and determinism model" in
+/// DESIGN.md.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Parallel kernels once the system is large enough to amortize the
+    /// fork/join overhead (currently ≥ 4096 atoms), serial below.
+    #[default]
+    Auto,
+    /// Always single-threaded (reference results, profiling baselines).
+    Serial,
+    /// Parallel kernels regardless of system size.
+    Parallel,
 }
 
 /// Thermostat selection.
@@ -64,6 +85,8 @@ pub struct EngineConfig {
     /// Optional pressure coupling, applied every `barostat_period` steps.
     pub barostat: Option<BerendsenBarostat>,
     pub barostat_period: u32,
+    /// Threading policy for the force kernels.
+    pub parallelism: Parallelism,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +101,7 @@ impl Default for EngineConfig {
             seed: 0,
             barostat: None,
             barostat_period: 10,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -89,6 +113,24 @@ impl EngineConfig {
             dt_fs: 1.0,
             respa: RespaSchedule { kspace_interval: 1 },
             ..Default::default()
+        }
+    }
+}
+
+/// Reusable per-step scratch owned by the engine: k-space grids and FFT
+/// scratch, plus the per-chunk bonded force buffers. Holding these across
+/// steps makes the k-space pipeline allocation-free in steady state and
+/// keeps the parallel bonded reduction from reallocating its accumulators.
+pub struct StepWorkspace {
+    gse: Option<GseWorkspace>,
+    bonded: Vec<Vec<Vec3>>,
+}
+
+impl StepWorkspace {
+    fn for_engine(gse: Option<&Gse>) -> Self {
+        StepWorkspace {
+            gse: gse.map(GseWorkspace::for_gse),
+            bonded: (0..BONDED_CHUNKS).map(|_| Vec::new()).collect(),
         }
     }
 }
@@ -122,6 +164,7 @@ pub struct Engine {
     step: u64,
     nh: Option<NoseHooverChain>,
     rng: StdRng,
+    ws: StepWorkspace,
 }
 
 impl Engine {
@@ -166,6 +209,7 @@ impl Engine {
             _ => None,
         };
         let n = system.n_atoms();
+        let ws = StepWorkspace::for_engine(gse.as_ref());
         let mut engine = Engine {
             system,
             cfg,
@@ -181,6 +225,7 @@ impl Engine {
             step: 0,
             nh,
             rng: StdRng::seed_from_u64(cfg.seed),
+            ws,
         };
         engine.compute_short_forces();
         engine.compute_long_forces();
@@ -237,14 +282,24 @@ impl Engine {
         }
     }
 
+    /// Whether the force kernels should run their parallel paths.
+    fn parallel_enabled(&self) -> bool {
+        match self.cfg.parallelism {
+            Parallelism::Serial => false,
+            Parallelism::Parallel => true,
+            Parallelism::Auto => self.system.n_atoms() >= 4096,
+        }
+    }
+
     /// Range-limited + bonded forces into `f_short`, updating the ledger.
     fn compute_short_forces(&mut self) {
         self.refresh_neighbor_list();
+        let parallel = self.parallel_enabled();
         self.f_short.iter_mut().for_each(|f| *f = Vec3::ZERO);
         // Chunked-parallel kernel for large systems (deterministic: the
         // chunking is fixed, not thread-count-dependent); serial below the
         // threshold where the per-chunk buffers would dominate.
-        let nb = if self.system.n_atoms() >= 4096 {
+        let nb = if parallel {
             nonbonded_forces_parallel(&self.system, &self.nl, &mut self.f_short)
         } else {
             nonbonded_forces(&self.system, &self.nl, &mut self.f_short)
@@ -257,12 +312,22 @@ impl Engine {
         self.virial_lj = nb.virial_lj + v14_lj;
         self.ledger.lj14 = lj14;
         self.ledger.coulomb14 = coul14;
-        let be = all_bonded_forces(
-            &self.system.topology,
-            &self.system.pbc,
-            &self.system.positions,
-            &mut self.f_short,
-        );
+        let be = if parallel {
+            all_bonded_forces_parallel(
+                &self.system.topology,
+                &self.system.pbc,
+                &self.system.positions,
+                &mut self.f_short,
+                &mut self.ws.bonded,
+            )
+        } else {
+            all_bonded_forces(
+                &self.system.topology,
+                &self.system.pbc,
+                &self.system.positions,
+                &mut self.f_short,
+            )
+        };
         self.ledger.bond = be.bond;
         self.ledger.angle = be.angle;
         self.ledger.dihedral = be.dihedral;
@@ -272,14 +337,25 @@ impl Engine {
 
     /// K-space forces into `f_long`, updating the ledger.
     fn compute_long_forces(&mut self) {
+        let parallel = self.parallel_enabled();
         self.f_long.iter_mut().for_each(|f| *f = Vec3::ZERO);
         let alpha = self.system.nb.ewald_alpha;
         let charges = &self.system.topology.charges;
         match self.cfg.kspace {
             KspaceMethod::Gse => {
                 let gse = self.gse.as_ref().expect("GSE planned at construction");
-                self.ledger.coulomb_kspace =
-                    gse.energy_forces(&self.system.positions, charges, &mut self.f_long);
+                let ws = self
+                    .ws
+                    .gse
+                    .as_mut()
+                    .expect("GSE workspace sized at construction");
+                self.ledger.coulomb_kspace = gse.energy_forces_with(
+                    &self.system.positions,
+                    charges,
+                    &mut self.f_long,
+                    ws,
+                    parallel,
+                );
             }
             KspaceMethod::ClassicEwald => {
                 let ks = self.ewald.as_ref().expect("Ewald planned at construction");
@@ -486,6 +562,8 @@ impl Engine {
                 self.system.pbc,
                 GseParams::for_box(self.system.nb.ewald_alpha, &self.system.pbc),
             ));
+            // Grid dimensions may have changed with the box.
+            self.ws.gse = self.gse.as_ref().map(GseWorkspace::for_gse);
         }
         if self.ewald.is_some() {
             self.ewald = Some(EwaldKSpace::for_box(
@@ -636,6 +714,7 @@ impl Engine {
                 self.system.pbc,
                 GseParams::for_box(self.system.nb.ewald_alpha, &self.system.pbc),
             ));
+            self.ws.gse = self.gse.as_ref().map(GseWorkspace::for_gse);
         }
         self.compute_short_forces();
         self.compute_long_forces();

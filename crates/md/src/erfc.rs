@@ -184,6 +184,39 @@ mod tests {
         }
     }
 
+    /// Pin the table-driven hot-path kernel against the reference `erfc`
+    /// and `exp(−x²)` over the whole argument range the pair kernels
+    /// produce (α·r runs from 0 to ≈ α·(r_c + skin) ≈ 4 in production;
+    /// sweep all the way to the table edge at 6 and past it to cover the
+    /// exact-fallback branch). The doc contract is < 1e-12 absolute error.
+    #[test]
+    fn fast_kernel_matches_reference_over_cutoff_range() {
+        let mut worst_e = 0.0f64;
+        let mut worst_g = 0.0f64;
+        // Step is irrational w.r.t. the 6/4096 knot spacing, so the sweep
+        // lands between knots where Hermite interpolation error peaks.
+        let mut x = 0.0;
+        while x < 6.0 {
+            let (fe, fg) = erfc_exp_fast(x);
+            worst_e = worst_e.max((fe - erfc(x)).abs());
+            worst_g = worst_g.max((fg - (-x * x).exp()).abs());
+            x += 0.000_711;
+        }
+        assert!(worst_e < 1e-12, "erfc table error {worst_e}");
+        assert!(worst_g < 1e-12, "exp table error {worst_g}");
+
+        // Outside the table the kernel must fall back to the exact values.
+        for x in [6.0, 6.5, 9.25, -0.5] {
+            let (fe, fg) = erfc_exp_fast(x);
+            assert_eq!(fe.to_bits(), erfc(x).to_bits(), "fallback erfc at {x}");
+            assert_eq!(
+                fg.to_bits(),
+                (-x * x).exp().to_bits(),
+                "fallback exp at {x}"
+            );
+        }
+    }
+
     #[test]
     fn symmetry_erfc_negative() {
         for &(x, want) in REFERENCE {

@@ -17,8 +17,16 @@
 use crate::pbc::PbcBox;
 use crate::units::COULOMB;
 use crate::vec3::Vec3;
-use anton2_fft::{Fft3, Grid3, C64};
+use anton2_fft::{Fft3, Fft3Scratch, Grid3, C64};
+use rayon::prelude::*;
+use rayon::{ParallelSlice, ParallelSliceMut};
 use std::f64::consts::PI;
+
+/// Fixed chunk count for the parallel force interpolation. Independent of
+/// the thread count so results never depend on `RAYON_NUM_THREADS`, and the
+/// ordered chunk reduction makes the parallel path bitwise identical to the
+/// serial one.
+const INTERP_CHUNKS: usize = 64;
 
 /// Geometry and accuracy parameters for a GSE evaluation.
 #[derive(Clone, Copy, Debug)]
@@ -145,53 +153,112 @@ impl Gse {
         rho
     }
 
+    /// Precomputed constants shared by spreading and interpolation.
+    fn ctx(&self) -> SpreadCtx {
+        let p = &self.params;
+        let h = p.spacing(&self.pbc);
+        SpreadCtx {
+            h,
+            cell_vol: h.x * h.y * h.z,
+            norm: (2.0 * PI * p.sigma * p.sigma).powf(-1.5),
+            inv_s2: 1.0 / (p.sigma * p.sigma),
+            inv_2s2: 1.0 / (2.0 * p.sigma * p.sigma),
+            sup_sq: p.support * p.support,
+            reach: [
+                (p.support / h.x).ceil() as i64,
+                (p.support / h.y).ceil() as i64,
+                (p.support / h.z).ceil() as i64,
+            ],
+        }
+    }
+
     /// Spread charges into an existing (cleared) grid. Exposed separately so
     /// the machine co-simulator can spread each node's atoms independently.
     pub fn spread_into(&self, positions: &[Vec3], charges: &[f64], rho: &mut Grid3) {
         let p = &self.params;
-        let h = p.spacing(&self.pbc);
-        let norm = (2.0 * PI * p.sigma * p.sigma).powf(-1.5);
-        let inv_2s2 = 1.0 / (2.0 * p.sigma * p.sigma);
-        let sup_sq = p.support * p.support;
-        let reach = [
-            (p.support / h.x).ceil() as i64,
-            (p.support / h.y).ceil() as i64,
-            (p.support / h.z).ceil() as i64,
-        ];
+        let c = self.ctx();
         for (&pos, &q) in positions.iter().zip(charges) {
             if q == 0.0 {
                 continue;
             }
             let w = self.pbc.wrap(pos);
-            let cx = (w.x / h.x).round() as i64;
-            let cy = (w.y / h.y).round() as i64;
-            let cz = (w.z / h.z).round() as i64;
-            for dx in -reach[0]..=reach[0] {
+            let cx = (w.x / c.h.x).round() as i64;
+            for dx in -c.reach[0]..=c.reach[0] {
                 let gx = (cx + dx).rem_euclid(p.nx as i64) as usize;
-                let rx = (cx + dx) as f64 * h.x - w.x;
-                for dy in -reach[1]..=reach[1] {
-                    let gy = (cy + dy).rem_euclid(p.ny as i64) as usize;
-                    let ry = (cy + dy) as f64 * h.y - w.y;
-                    let rxy_sq = rx * rx + ry * ry;
-                    if rxy_sq > sup_sq {
+                let rx = (cx + dx) as f64 * c.h.x - w.x;
+                let plane = &mut rho.data[gx * p.ny * p.nz..(gx + 1) * p.ny * p.nz];
+                self.spread_column(&c, plane, q, w, rx);
+            }
+        }
+    }
+
+    /// Spread charges into the grid with the x-planes fanned out over
+    /// threads. Each plane task walks all atoms in index order and keeps
+    /// only the contributions landing on its plane, so every grid cell
+    /// accumulates in exactly the serial order: the result is bitwise
+    /// identical to [`Gse::spread_into`] for any thread count.
+    pub fn spread_into_parallel(&self, positions: &[Vec3], charges: &[f64], rho: &mut Grid3) {
+        let p = &self.params;
+        let c = self.ctx();
+        let (nx, ny, nz) = (p.nx as i64, p.ny, p.nz);
+        rho.data
+            .par_chunks_mut(ny * nz)
+            .enumerate()
+            .for_each(|(plane_ix, plane)| {
+                let plane_ix = plane_ix as i64;
+                for (&pos, &q) in positions.iter().zip(charges) {
+                    if q == 0.0 {
                         continue;
                     }
-                    for dz in -reach[2]..=reach[2] {
-                        let gz = (cz + dz).rem_euclid(p.nz as i64) as usize;
-                        let rz = (cz + dz) as f64 * h.z - w.z;
-                        let d_sq = rxy_sq + rz * rz;
-                        if d_sq > sup_sq {
+                    let w = self.pbc.wrap(pos);
+                    let cx = (w.x / c.h.x).round() as i64;
+                    // Cheap membership test: does any dx in the reach map
+                    // this atom onto our plane?
+                    let d0 = (plane_ix - cx).rem_euclid(nx);
+                    if d0 > c.reach[0] && d0 < nx - c.reach[0] {
+                        continue;
+                    }
+                    for dx in -c.reach[0]..=c.reach[0] {
+                        if (cx + dx).rem_euclid(nx) != plane_ix {
                             continue;
                         }
-                        rho.add(gx, gy, gz, C64::real(q * norm * (-d_sq * inv_2s2).exp()));
+                        let rx = (cx + dx) as f64 * c.h.x - w.x;
+                        self.spread_column(&c, plane, q, w, rx);
                     }
                 }
+            });
+    }
+
+    /// Inner spreading loops over one x-plane, shared verbatim by the
+    /// serial and the plane-parallel path so both produce identical
+    /// floating-point sums.
+    #[inline]
+    fn spread_column(&self, c: &SpreadCtx, plane: &mut [C64], q: f64, w: Vec3, rx: f64) {
+        let p = &self.params;
+        let cy = (w.y / c.h.y).round() as i64;
+        let cz = (w.z / c.h.z).round() as i64;
+        for dy in -c.reach[1]..=c.reach[1] {
+            let gy = (cy + dy).rem_euclid(p.ny as i64) as usize;
+            let ry = (cy + dy) as f64 * c.h.y - w.y;
+            let rxy_sq = rx * rx + ry * ry;
+            if rxy_sq > c.sup_sq {
+                continue;
+            }
+            for dz in -c.reach[2]..=c.reach[2] {
+                let gz = (cz + dz).rem_euclid(p.nz as i64) as usize;
+                let rz = (cz + dz) as f64 * c.h.z - w.z;
+                let d_sq = rxy_sq + rz * rz;
+                if d_sq > c.sup_sq {
+                    continue;
+                }
+                plane[gy * p.nz + gz] += C64::real(q * c.norm * (-d_sq * c.inv_2s2).exp());
             }
         }
     }
 
     /// Convolve a density grid with the influence function, producing the
-    /// smeared potential grid (in units of C·charge/Å).
+    /// smeared potential grid (in units of C·charge/Å). Allocates the
+    /// result; the engine's hot path uses [`Gse::solve_potential_into`].
     pub fn solve_potential(&self, rho: &Grid3) -> Grid3 {
         let mut phi = rho.clone();
         self.plan.forward(&mut phi);
@@ -202,6 +269,37 @@ impl Gse {
         phi
     }
 
+    /// Allocation-free [`Gse::solve_potential`]: convolve `rho` into the
+    /// caller-owned `phi` using caller-owned FFT scratch. The elementwise
+    /// influence multiply and both FFT passes are bitwise independent of
+    /// `parallel`.
+    pub fn solve_potential_into(
+        &self,
+        rho: &Grid3,
+        phi: &mut Grid3,
+        fft: &mut Fft3Scratch,
+        parallel: bool,
+    ) {
+        assert_eq!(rho.data.len(), phi.data.len(), "phi sized for wrong grid");
+        phi.data.copy_from_slice(&rho.data);
+        self.plan.forward_with(phi, fft, parallel);
+        if parallel {
+            phi.data
+                .par_chunks_mut(4096)
+                .zip(self.ghat.par_chunks(4096))
+                .for_each(|(vs, gs)| {
+                    for (v, &g) in vs.iter_mut().zip(gs) {
+                        *v = v.scale(g);
+                    }
+                });
+        } else {
+            for (v, &g) in phi.data.iter_mut().zip(&self.ghat) {
+                *v = v.scale(g);
+            }
+        }
+        self.plan.inverse_with(phi, fft, parallel);
+    }
+
     /// Reciprocal-space energy and forces via the grid. Equivalent to
     /// [`crate::ewald::EwaldKSpace::energy_forces`] up to spreading accuracy.
     pub fn energy_forces(&self, positions: &[Vec3], charges: &[f64], forces: &mut [Vec3]) -> f64 {
@@ -209,6 +307,40 @@ impl Gse {
         let phi = self.solve_potential(&rho);
         let energy = self.grid_energy(&rho, &phi);
         self.interpolate_forces(&phi, positions, charges, forces);
+        energy
+    }
+
+    /// Allocation-free [`Gse::energy_forces`] against a reusable workspace:
+    /// after the first call nothing in the k-space pipeline allocates. With
+    /// `parallel` the spread, both FFTs, the influence multiply, and the
+    /// force interpolation fan out over threads; every stage reduces in a
+    /// fixed order, so the result is bitwise identical to the serial path
+    /// for any thread count.
+    pub fn energy_forces_with(
+        &self,
+        positions: &[Vec3],
+        charges: &[f64],
+        forces: &mut [Vec3],
+        ws: &mut GseWorkspace,
+        parallel: bool,
+    ) -> f64 {
+        ws.rho.clear();
+        if parallel {
+            self.spread_into_parallel(positions, charges, &mut ws.rho);
+        } else {
+            self.spread_into(positions, charges, &mut ws.rho);
+        }
+        self.solve_potential_into(&ws.rho, &mut ws.phi, &mut ws.fft, parallel);
+        let energy = self.grid_energy(&ws.rho, &ws.phi);
+        let n_bufs = if parallel { ws.added.len() } else { 1 };
+        self.interpolate_chunked(
+            &ws.phi,
+            positions,
+            charges,
+            forces,
+            &mut ws.added[..n_bufs],
+            parallel,
+        );
         energy
     }
 
@@ -237,67 +369,150 @@ impl Gse {
         charges: &[f64],
         forces: &mut [Vec3],
     ) {
+        let mut buffers = vec![Vec::new()];
+        self.interpolate_chunked(phi, positions, charges, forces, &mut buffers, false);
+    }
+
+    /// One atom's interpolated k-space force (including the `q·C·h³`
+    /// prefactor, excluding the momentum correction).
+    #[inline]
+    fn interp_force_one(&self, c: &SpreadCtx, phi: &Grid3, pos: Vec3, q: f64) -> Vec3 {
         let p = &self.params;
-        let h = p.spacing(&self.pbc);
-        let cell_vol = h.x * h.y * h.z;
-        let norm = (2.0 * PI * p.sigma * p.sigma).powf(-1.5);
-        let inv_s2 = 1.0 / (p.sigma * p.sigma);
-        let inv_2s2 = 0.5 * inv_s2;
-        let sup_sq = p.support * p.support;
-        let reach = [
-            (p.support / h.x).ceil() as i64,
-            (p.support / h.y).ceil() as i64,
-            (p.support / h.z).ceil() as i64,
-        ];
-        let mut net = Vec3::ZERO;
-        let mut charged = 0usize;
-        let mut added: Vec<(usize, Vec3)> = Vec::new();
-        for (a, (&pos, &q)) in positions.iter().zip(charges).enumerate() {
-            if q == 0.0 {
-                continue;
-            }
-            let w = self.pbc.wrap(pos);
-            let cx = (w.x / h.x).round() as i64;
-            let cy = (w.y / h.y).round() as i64;
-            let cz = (w.z / h.z).round() as i64;
-            let mut f = Vec3::ZERO;
-            for dx in -reach[0]..=reach[0] {
-                let gx = (cx + dx).rem_euclid(p.nx as i64) as usize;
-                let rx = (cx + dx) as f64 * h.x - w.x;
-                for dy in -reach[1]..=reach[1] {
-                    let gy = (cy + dy).rem_euclid(p.ny as i64) as usize;
-                    let ry = (cy + dy) as f64 * h.y - w.y;
-                    let rxy_sq = rx * rx + ry * ry;
-                    if rxy_sq > sup_sq {
+        let w = self.pbc.wrap(pos);
+        let cx = (w.x / c.h.x).round() as i64;
+        let cy = (w.y / c.h.y).round() as i64;
+        let cz = (w.z / c.h.z).round() as i64;
+        let mut f = Vec3::ZERO;
+        for dx in -c.reach[0]..=c.reach[0] {
+            let gx = (cx + dx).rem_euclid(p.nx as i64) as usize;
+            let rx = (cx + dx) as f64 * c.h.x - w.x;
+            for dy in -c.reach[1]..=c.reach[1] {
+                let gy = (cy + dy).rem_euclid(p.ny as i64) as usize;
+                let ry = (cy + dy) as f64 * c.h.y - w.y;
+                let rxy_sq = rx * rx + ry * ry;
+                if rxy_sq > c.sup_sq {
+                    continue;
+                }
+                for dz in -c.reach[2]..=c.reach[2] {
+                    let gz = (cz + dz).rem_euclid(p.nz as i64) as usize;
+                    let rz = (cz + dz) as f64 * c.h.z - w.z;
+                    let d_sq = rxy_sq + rz * rz;
+                    if d_sq > c.sup_sq {
                         continue;
                     }
-                    for dz in -reach[2]..=reach[2] {
-                        let gz = (cz + dz).rem_euclid(p.nz as i64) as usize;
-                        let rz = (cz + dz) as f64 * h.z - w.z;
-                        let d_sq = rxy_sq + rz * rz;
-                        if d_sq > sup_sq {
-                            continue;
-                        }
-                        // F_j = −q h³ Σ φ(g) · w(d) · d / σ², d = r_g − r_j.
-                        let wgt = norm * (-d_sq * inv_2s2).exp() * phi.get(gx, gy, gz).re;
-                        f -= Vec3::new(rx, ry, rz) * (wgt * inv_s2);
-                    }
+                    // F_j = −q h³ Σ φ(g) · w(d) · d / σ², d = r_g − r_j.
+                    let wgt = c.norm * (-d_sq * c.inv_2s2).exp() * phi.get(gx, gy, gz).re;
+                    f -= Vec3::new(rx, ry, rz) * (wgt * c.inv_s2);
                 }
             }
-            let f = f * (q * COULOMB * cell_vol);
-            net += f;
-            charged += 1;
-            added.push((a, f));
         }
-        // Momentum-conserving correction (see doc comment).
+        f * (q * COULOMB * c.cell_vol)
+    }
+
+    /// Interpolation driver: atoms split into `buffers.len()` fixed chunks
+    /// (embarrassingly parallel), then the net-force accounting and the
+    /// momentum correction run serially over the chunks in order. Chunk
+    /// boundaries depend only on `buffers.len()`, and the ordered reduction
+    /// visits atoms in index order, so the parallel result is bitwise
+    /// identical to the serial one.
+    fn interpolate_chunked(
+        &self,
+        phi: &Grid3,
+        positions: &[Vec3],
+        charges: &[f64],
+        forces: &mut [Vec3],
+        buffers: &mut [Vec<(usize, Vec3)>],
+        parallel: bool,
+    ) {
+        let c = self.ctx();
+        let n = positions.len();
+        let chunk = n.div_ceil(buffers.len()).max(1);
+        let fill = |chunk_idx: usize, buf: &mut Vec<(usize, Vec3)>| {
+            buf.clear();
+            let start = chunk_idx * chunk;
+            for a in start..(start + chunk).min(n) {
+                let q = charges[a];
+                if q == 0.0 {
+                    continue;
+                }
+                buf.push((a, self.interp_force_one(&c, phi, positions[a], q)));
+            }
+        };
+        if parallel {
+            buffers
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(i, buf)| fill(i, buf));
+        } else {
+            for (i, buf) in buffers.iter_mut().enumerate() {
+                fill(i, buf);
+            }
+        }
+        // Momentum-conserving correction (see doc comment): accumulate the
+        // net force in atom order, then subtract the mean evenly.
+        let mut net = Vec3::ZERO;
+        let mut charged = 0usize;
+        for buf in buffers.iter() {
+            for &(_, f) in buf {
+                net += f;
+                charged += 1;
+            }
+        }
         let correction = if charged > 0 {
             net / charged as f64
         } else {
             Vec3::ZERO
         };
-        for (a, f) in added {
-            forces[a] += f - correction;
+        for buf in buffers.iter() {
+            for &(a, f) in buf {
+                forces[a] += f - correction;
+            }
         }
+    }
+}
+
+/// Constants shared by the spreading and interpolation kernels.
+struct SpreadCtx {
+    h: Vec3,
+    cell_vol: f64,
+    norm: f64,
+    inv_s2: f64,
+    inv_2s2: f64,
+    sup_sq: f64,
+    reach: [i64; 3],
+}
+
+/// Reusable per-step buffers for [`Gse::energy_forces_with`]: the density
+/// and potential grids, FFT scratch, and the per-chunk interpolation
+/// accumulators. After warm-up, holding one of these makes the whole
+/// k-space pipeline allocation-free.
+pub struct GseWorkspace {
+    rho: Grid3,
+    phi: Grid3,
+    fft: Fft3Scratch,
+    added: Vec<Vec<(usize, Vec3)>>,
+}
+
+impl GseWorkspace {
+    /// Workspace sized for one solver's grid.
+    pub fn for_gse(gse: &Gse) -> Self {
+        let p = &gse.params;
+        GseWorkspace {
+            rho: Grid3::zeros(p.nx, p.ny, p.nz),
+            phi: Grid3::zeros(p.nx, p.ny, p.nz),
+            fft: Fft3Scratch::for_grid(p.nx, p.ny, p.nz),
+            added: (0..INTERP_CHUNKS).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// The charge-density grid from the most recent evaluation.
+    pub fn rho(&self) -> &Grid3 {
+        &self.rho
+    }
+
+    /// The potential grid from the most recent evaluation.
+    pub fn phi(&self) -> &Grid3 {
+        &self.phi
     }
 }
 
@@ -427,6 +642,88 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    /// Many atoms spread across the box so every x-plane, chunk boundary,
+    /// and wrap case is exercised.
+    fn dense_charges(n: usize) -> (PbcBox, Vec<Vec3>, Vec<f64>) {
+        let pbc = PbcBox::cubic(20.0);
+        let mut positions = Vec::with_capacity(n);
+        let mut charges = Vec::with_capacity(n);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for i in 0..n {
+            positions.push(v3(next() * 20.0, next() * 20.0, next() * 20.0));
+            charges.push(if i % 7 == 3 {
+                0.0 // exercise the skip-neutral path
+            } else if i % 2 == 0 {
+                0.42
+            } else {
+                -0.42
+            });
+        }
+        (pbc, positions, charges)
+    }
+
+    #[test]
+    fn parallel_spread_matches_serial_bitwise() {
+        let (pbc, positions, charges) = dense_charges(300);
+        let gse = Gse::new(0.5, pbc, GseParams::for_box(0.5, &pbc));
+        let serial = gse.spread(&positions, &charges);
+        let mut par = Grid3::zeros(gse.params.nx, gse.params.ny, gse.params.nz);
+        gse.spread_into_parallel(&positions, &charges, &mut par);
+        for (a, b) in serial.data.iter().zip(&par.data) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn workspace_parallel_matches_plain_energy_forces() {
+        let (pbc, positions, charges) = dense_charges(300);
+        let gse = Gse::new(0.5, pbc, GseParams::for_box(0.5, &pbc));
+        let mut f_ref = vec![Vec3::ZERO; positions.len()];
+        let e_ref = gse.energy_forces(&positions, &charges, &mut f_ref);
+
+        let mut ws = GseWorkspace::for_gse(&gse);
+        for parallel in [false, true] {
+            let mut f = vec![Vec3::ZERO; positions.len()];
+            let e = gse.energy_forces_with(&positions, &charges, &mut f, &mut ws, parallel);
+            // Serial-with-workspace and parallel must both agree with the
+            // plain path to the last bit of the forces.
+            assert_eq!(e.to_bits(), e_ref.to_bits(), "parallel={parallel}");
+            for (i, (a, b)) in f.iter().zip(&f_ref).enumerate() {
+                assert!(
+                    (*a - *b).norm() == 0.0,
+                    "parallel={parallel} atom {i}: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    /// Satellite: clearing and re-spreading into a dirty grid must equal a
+    /// fresh spread — the engine's workspace reuses grids across steps.
+    #[test]
+    fn grid_reuse_after_clear_matches_fresh_spread() {
+        let (pbc, positions, charges) = test_charges();
+        let gse = Gse::new(0.5, pbc, GseParams::for_box(0.5, &pbc));
+        let fresh = gse.spread(&positions, &charges);
+
+        let mut reused = Grid3::zeros(gse.params.nx, gse.params.ny, gse.params.nz);
+        // Dirty the grid with a different configuration first.
+        let moved: Vec<Vec3> = positions.iter().map(|p| *p + v3(1.0, -2.0, 0.5)).collect();
+        gse.spread_into(&moved, &charges, &mut reused);
+        reused.clear();
+        gse.spread_into(&positions, &charges, &mut reused);
+        for (a, b) in fresh.data.iter().zip(&reused.data) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Zero-allocation guarantee for the k-space pipeline.
+//!
+//! `Gse::energy_forces_with` against a warm `GseWorkspace` must not touch
+//! the allocator at all: the density/potential grids, the FFT scratch, and
+//! the interpolation chunk buffers are all owned by the workspace and
+//! reused across steps. This binary holds exactly one test so the counting
+//! allocator sees no concurrent noise from sibling tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use anton2_md::builders::water_box;
+use anton2_md::gse::{Gse, GseParams, GseWorkspace};
+use anton2_md::vec3::Vec3;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn kspace_pipeline_allocates_nothing_after_warmup() {
+    let s = water_box(6, 6, 6, 1);
+    let gse = Gse::new(
+        s.nb.ewald_alpha,
+        s.pbc,
+        GseParams::for_box(s.nb.ewald_alpha, &s.pbc),
+    );
+    let mut ws = GseWorkspace::for_gse(&gse);
+    let mut forces = vec![Vec3::ZERO; s.n_atoms()];
+
+    // Warm-up: first calls size the interpolation chunk buffers.
+    let reference = gse.energy_forces_with(
+        &s.positions,
+        &s.topology.charges,
+        &mut forces,
+        &mut ws,
+        false,
+    );
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let mut energy = 0.0;
+    for _ in 0..3 {
+        forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
+        energy = gse.energy_forces_with(
+            &s.positions,
+            &s.topology.charges,
+            &mut forces,
+            &mut ws,
+            false,
+        );
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "k-space pipeline allocated {} times in steady state",
+        after - before
+    );
+    assert_eq!(
+        energy.to_bits(),
+        reference.to_bits(),
+        "reuse changed the result"
+    );
+}

@@ -1,0 +1,79 @@
+//! Determinism contract of the parallel force pipeline (DESIGN.md,
+//! "Threading and determinism model"):
+//!
+//! 1. parallel and serial forces agree to ≤ 1e-10 per component (the
+//!    k-space part is in fact bitwise identical; the pair/bonded kernels
+//!    differ only by floating-point regrouping), and
+//! 2. the parallel path is *bitwise* independent of the thread count —
+//!    runs under different `RAYON_NUM_THREADS` produce identical bits.
+//!
+//! Everything lives in one `#[test]` so the `RAYON_NUM_THREADS` mutations
+//! can never race another test in this binary.
+
+use anton2_md::builders::solvated_protein;
+use anton2_md::engine::{Engine, EngineConfig, Parallelism};
+fn force_bits(e: &Engine) -> Vec<(u64, u64, u64)> {
+    e.short_forces()
+        .iter()
+        .chain(e.long_forces())
+        .map(|f| (f.x.to_bits(), f.y.to_bits(), f.z.to_bits()))
+        .collect()
+}
+
+fn build(parallelism: Parallelism) -> Engine {
+    // Protein beads give the bonded kernel real bonds/angles/dihedrals to
+    // chunk; the waters exercise the pair and k-space paths.
+    let sys = solvated_protein(120, 500, 3);
+    let mut cfg = EngineConfig::quick();
+    cfg.parallelism = parallelism;
+    Engine::new(sys, cfg)
+}
+
+#[test]
+fn parallel_forces_match_serial_and_are_thread_count_independent() {
+    std::env::set_var("RAYON_NUM_THREADS", "3");
+    let serial = build(Parallelism::Serial);
+    let par3 = build(Parallelism::Parallel);
+
+    // Per-component agreement with the serial reference.
+    let pairs = serial
+        .short_forces()
+        .iter()
+        .zip(par3.short_forces())
+        .chain(serial.long_forces().iter().zip(par3.long_forces()));
+    for (i, (a, b)) in pairs.enumerate() {
+        for c in 0..3 {
+            let (x, y) = (a[c], b[c]);
+            assert!(
+                (x - y).abs() <= 1e-10 * (1.0 + y.abs()),
+                "component {c} of force {i}: serial {x} vs parallel {y}"
+            );
+        }
+    }
+
+    // The k-space stage promises more than a tolerance: bitwise equality.
+    for (i, (a, b)) in serial
+        .long_forces()
+        .iter()
+        .zip(par3.long_forces())
+        .enumerate()
+    {
+        assert!(
+            (*a - *b).norm() == 0.0,
+            "k-space force {i} not bitwise equal: {a:?} vs {b:?}"
+        );
+    }
+
+    // Same parallel computation under a different thread count: bitwise
+    // identical, because every kernel decomposes into a fixed number of
+    // chunks (or grid planes / FFT lines) and reduces in chunk order.
+    std::env::set_var("RAYON_NUM_THREADS", "5");
+    let par5 = build(Parallelism::Parallel);
+    assert_eq!(
+        force_bits(&par3),
+        force_bits(&par5),
+        "forces depend on RAYON_NUM_THREADS"
+    );
+
+    std::env::remove_var("RAYON_NUM_THREADS");
+}

@@ -1,0 +1,297 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Provides the harness API the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `black_box`, `criterion_group!` / `criterion_main!`) with
+//! a simple measurement loop: warm up briefly, auto-calibrate the
+//! iterations-per-sample, collect `sample_size` wall-clock samples, and
+//! report the median with throughput. No statistics beyond the median and
+//! no HTML reports — numbers print to stdout, which is all the speedup
+//! comparisons in this repo need.
+//!
+//! Like the real harness, `--bench` / filter CLI args are accepted; a
+//! filter restricts which benchmark ids run.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — defers to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Work-per-iteration label used to derive a rate from the measured time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_text(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_text(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_text(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_text(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Iterations per sample, fixed during calibration.
+    iters: u64,
+    /// Total time of the last sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+    /// Target time budget per benchmark (split across samples).
+    measure: Duration,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Benches pass a filter as the first free CLI arg (cargo bench --
+        // <filter>); flags like --bench are accepted and ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            filter,
+            measure: Duration::from_millis(500),
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: None,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let text = id.into_text();
+        run_one(self, &text, None, self.default_samples, f);
+    }
+
+    /// Final summary hook — the shim has nothing to flush.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    samples: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measure = t;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let text = format!("{}/{}", self.name, id.into_text());
+        let samples = self.samples.unwrap_or(self.criterion.default_samples);
+        run_one(self.criterion, &text, self.throughput, samples, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    c: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    mut f: F,
+) {
+    if let Some(filter) = &c.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    // Calibration: find an iteration count whose sample lands near the
+    // per-sample budget, starting from a single timed call.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = (b.elapsed / u32::try_from(b.iters).unwrap_or(1)).max(Duration::from_nanos(1));
+    let budget = c.measure / u32::try_from(samples.max(1)).unwrap_or(1);
+    let iters = (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000_000) as u64;
+
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed / u32::try_from(iters).unwrap_or(1));
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let lo = times[0];
+    let hi = times[times.len() - 1];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!(" {:.3} Melem/s", n as f64 / median.as_secs_f64() / 1.0e6)
+        }
+        Throughput::Bytes(n) => format!(
+            " {:.3} MiB/s",
+            n as f64 / median.as_secs_f64() / (1024.0 * 1024.0)
+        ),
+    });
+
+    println!(
+        "{id:<48} time: [{} {} {}]{}",
+        fmt_duration(lo),
+        fmt_duration(median),
+        fmt_duration(hi),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` for `harness = false` bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_calibrates() {
+        let mut c = Criterion {
+            filter: None,
+            measure: Duration::from_millis(20),
+            default_samples: 3,
+        };
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("shim_smoke");
+            g.sample_size(3);
+            g.throughput(Throughput::Elements(100));
+            g.bench_with_input(BenchmarkId::from_parameter(100), &100u64, |b, n| {
+                b.iter(|| {
+                    ran += 1;
+                    black_box((0..*n).sum::<u64>())
+                });
+            });
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("serial", 42).into_text(), "serial/42");
+        assert_eq!(BenchmarkId::from_parameter(7).into_text(), "7");
+    }
+}

@@ -1,0 +1,497 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! Implements the subset this workspace uses: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map`, range and tuple strategies,
+//! `collection::vec`, `bool::ANY`, `sample::select`, the [`proptest!`]
+//! macro, and the `prop_assert*` family. Differences from the real crate:
+//!
+//! * no shrinking — a failing case reports its index and panics with the
+//!   assertion message, it is not minimized;
+//! * no regression-file persistence (`proptest-regressions/` is ignored);
+//! * generation is seeded deterministically from the test name, so every
+//!   run explores the same inputs (reproducible CI).
+
+/// Generates values of `Value` from a random stream.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// A constant strategy.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// -- scalar ranges ----------------------------------------------------------
+
+/// Scalars that can be drawn uniformly from a range.
+pub trait SampleScalar: Copy + PartialOrd {
+    fn uniform(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_scalar_int {
+    ($($t:ty),*) => {$(
+        impl SampleScalar for $t {
+            fn uniform(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = if inclusive {
+                    (hi as i128 - lo as i128 + 1) as u128
+                } else {
+                    (hi as i128 - lo as i128) as u128
+                };
+                assert!(span > 0, "empty strategy range");
+                let x = rng.next_u64() as u128;
+                (lo as i128 + ((x * span) >> 64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_scalar_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleScalar for f64 {
+    fn uniform(rng: &mut TestRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        lo + (hi - lo) * rng.unit_f64()
+    }
+}
+
+impl SampleScalar for f32 {
+    fn uniform(rng: &mut TestRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        lo + (hi - lo) * rng.unit_f64() as f32
+    }
+}
+
+impl<T: SampleScalar> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleScalar> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::uniform(rng, *self.start(), *self.end(), true)
+    }
+}
+
+// -- tuples -----------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5),
+);
+
+// -- collections ------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specifications accepted by [`vec`].
+    pub trait IntoSizeRange {
+        fn bounds(&self) -> (usize, usize); // inclusive
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.end > self.start, "empty vec length range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Vectors of `len ∈ size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { element, lo, hi }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.hi - self.lo + 1) as u64;
+            let len = self.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Uniform `bool`.
+    pub struct Any;
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniform choice from a fixed list.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs at least one item");
+        Select { items }
+    }
+
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[(rng.next_u64() % self.items.len() as u64) as usize].clone()
+        }
+    }
+}
+
+// -- runner -----------------------------------------------------------------
+
+/// Per-run configuration; only the case count matters to the shim.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; the shim trims to keep `cargo test` fast
+        // while still exercising a meaningful sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed `prop_assert*`.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Deterministic generator (xoshiro256** seeded from an FNV-1a hash of the
+/// test name) so each test explores a stable input stream.
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        // SplitMix64 expansion of the hash into full state.
+        let mut sm = h;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// -- macros -----------------------------------------------------------------
+
+/// Declare property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let __strategy = ( $($strategy,)+ );
+            for __case in 0..__config.cases {
+                let ( $($arg,)+ ) = $crate::Strategy::generate(&__strategy, &mut __rng);
+                let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}",
+                        stringify!($name), __case + 1, __config.cases, e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+}
+
+/// Assert inside a proptest body; on failure the case errors (no panic
+/// unwinding through generated values).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` ({:?} vs {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both {:?})",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+/// Skip a case whose inputs don't satisfy a precondition. The shim treats a
+/// rejected case as vacuously passing (no global rejection budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+pub mod prelude {
+    /// The real prelude re-exports the crate root as `prop`.
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u32, u32)> {
+        (1u32..10, 0u32..5).prop_map(|(a, b)| (a + b, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in -2.5f64..2.5, z in 0u8..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            prop_assert!(z <= 4);
+        }
+
+        #[test]
+        fn map_and_tuple(p in arb_pair()) {
+            prop_assert!(p.0 >= p.1, "{} < {}", p.0, p.1);
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u64..100, 2..8)) {
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn flat_map_fixed_len(v in (1u32..5).prop_flat_map(|n| {
+            crate::collection::vec(0i32..10, (n as usize)..=(n as usize))
+        })) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+
+        #[test]
+        fn select_and_bool(n in prop::sample::select(vec![1u32, 2, 4]), b in crate::bool::ANY) {
+            prop_assert!(n == 1 || n == 2 || n == 4);
+            if b {
+                return Ok(());
+            }
+            prop_assert!(!b);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let s = (0u64..1000, 0u64..1000);
+        let mut r1 = crate::TestRng::deterministic("x");
+        let mut r2 = crate::TestRng::deterministic("x");
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+}

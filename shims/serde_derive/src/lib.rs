@@ -1,0 +1,266 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the shim `serde`'s simplified `Serialize` /
+//! `Deserialize` traits (which round-trip through `serde::Value`, a JSON
+//! document model). Supported shapes — exactly what this workspace derives:
+//!
+//! * structs with named fields (any visibility, no generics),
+//! * enums whose variants are all unit variants.
+//!
+//! Anything else (tuple structs, data-carrying variants, generics,
+//! `#[serde(...)]` attributes) produces a compile error naming the gap, so
+//! a future use fails loudly instead of mis-serializing.
+//!
+//! No `syn`/`quote` (unavailable offline): the item is parsed directly from
+//! the `proc_macro` token stream and the impl is emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Parse the derive input into a struct/enum shape, or an error message.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip leading attributes (`#[...]`, including doc comments) and
+    // visibility (`pub`, `pub(...)`).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // '#' + bracket group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("unexpected token {other}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("expected struct or enum, found `{kind}`"));
+    }
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected item name, found {other}")),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generics (on `{name}`)"
+        ));
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!(
+                    "serde shim derive does not support unit/tuple structs (on `{name}`)"
+                ))
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("no body found for `{name}`")),
+        }
+    };
+
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    if kind == "struct" {
+        Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(&body_tokens)?,
+        })
+    } else {
+        Ok(Item::Enum {
+            name,
+            variants: parse_unit_variants(&body_tokens)?,
+        })
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes on the field.
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        // Visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other}")),
+        };
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "expected `:` after field `{fname}` (tuple structs unsupported)"
+                ))
+            }
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(fname);
+    }
+    Ok(fields)
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn parse_unit_variants(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde shim derive supports only unit enum variants; `{vname}` carries data"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde shim derive does not support discriminants (variant `{vname}`)"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(other) => return Err(format!("unexpected token {other} after `{vname}`")),
+        }
+        variants.push(vname);
+    }
+    Ok(variants)
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(it) => it,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in &fields {
+                pushes.push_str(&format!(
+                    "obj.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut obj: Vec<(String, ::serde::Value)> = Vec::with_capacity({n});\n\
+                         {pushes}\
+                         ::serde::Value::Object(obj)\n\
+                     }}\n\
+                 }}",
+                n = fields.len()
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(it) => it,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(\n\
+                         v.field({f:?}).ok_or_else(|| ::serde::Error::missing_field({name:?}, {f:?}))?\n\
+                     )?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Some({v:?}) => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v.as_str() {{\n\
+                             {arms}\n\
+                             other => Err(::serde::Error::custom(format!(\n\
+                                 \"invalid variant {{other:?}} for enum {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
