@@ -6,7 +6,7 @@ use anton2_md::builders::water_box;
 use anton2_md::constraints::ConstraintSet;
 use anton2_md::erfc::erfc;
 use anton2_md::neighbor::NeighborList;
-use anton2_md::pairkernel::{nonbonded_forces, nonbonded_forces_parallel};
+use anton2_md::pairkernel::{nonbonded_forces, nonbonded_forces_parallel, NB_CHUNKS};
 use anton2_md::settle::{settle_positions, SettleParams};
 use anton2_md::vec3::{v3, Vec3};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -28,9 +28,10 @@ fn bench_pair_kernel(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("parallel", s.n_atoms()), &s, |b, s| {
             let mut forces = vec![Vec3::ZERO; s.n_atoms()];
+            let mut bufs: Vec<Vec<Vec3>> = (0..NB_CHUNKS).map(|_| Vec::new()).collect();
             b.iter(|| {
                 forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
-                black_box(nonbonded_forces_parallel(s, &nl, &mut forces))
+                black_box(nonbonded_forces_parallel(s, &nl, &mut forces, &mut bufs))
             });
         });
     }

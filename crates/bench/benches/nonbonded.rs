@@ -1,0 +1,223 @@
+//! Streaming nonbonded-engine benchmarks: the reference row-ordered kernel
+//! against the PPIM-style streamed kernel (serial and fixed-chunk
+//! parallel), and fresh neighbor-list construction against the in-place
+//! CSR rebuild. `report_streaming_speedup` prints the headline ratios and
+//! writes the sweep to `BENCH_nonbonded.json` at the workspace root.
+
+use std::time::Instant;
+
+use anton2_md::builders::water_box;
+use anton2_md::neighbor::NeighborList;
+use anton2_md::pairkernel::nonbonded_forces;
+use anton2_md::stream::{nonbonded_forces_streamed, NonbondedWorkspace};
+use anton2_md::system::System;
+use anton2_md::vec3::Vec3;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serde::Serialize;
+
+/// Water cubes of 3·side³ atoms: 1536, 6591, and 20577 (≥ 20k) atoms.
+const SIDES: [usize; 3] = [8, 13, 19];
+
+fn bench_nonbonded_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nonbonded_kernel");
+    g.sample_size(10);
+    for side in SIDES {
+        let s = water_box(side, side, side, 21);
+        let nl = NeighborList::build(&s.pbc, &s.positions, s.nb.cutoff, s.nb.skin);
+        let table = s.pair_table();
+        g.throughput(Throughput::Elements(s.n_atoms() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("reference_serial", s.n_atoms()),
+            &s,
+            |b, s| {
+                let mut forces = vec![Vec3::ZERO; s.n_atoms()];
+                b.iter(|| {
+                    forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
+                    black_box(nonbonded_forces(s, &nl, &mut forces))
+                });
+            },
+        );
+        for parallel in [false, true] {
+            let label = if parallel {
+                "streamed_parallel"
+            } else {
+                "streamed_serial"
+            };
+            g.bench_with_input(BenchmarkId::new(label, s.n_atoms()), &s, |b, s| {
+                let mut ws = NonbondedWorkspace::new();
+                let mut forces = vec![Vec3::ZERO; s.n_atoms()];
+                // Build the stream once so iterations measure steady state.
+                nonbonded_forces_streamed(s, &table, &mut ws, &mut forces, parallel);
+                b.iter(|| {
+                    forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
+                    black_box(nonbonded_forces_streamed(
+                        s,
+                        &table,
+                        &mut ws,
+                        &mut forces,
+                        parallel,
+                    ))
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_neighbor_rebuild(c: &mut Criterion) {
+    let mut g = c.benchmark_group("neighbor_rebuild");
+    g.sample_size(10);
+    for side in SIDES {
+        let s = water_box(side, side, side, 22);
+        let excl = &s.topology.exclusions;
+        g.throughput(Throughput::Elements(s.n_atoms() as u64));
+        g.bench_with_input(BenchmarkId::new("fresh", s.n_atoms()), &s, |b, s| {
+            b.iter(|| {
+                black_box(
+                    NeighborList::build_with(
+                        &s.pbc,
+                        &s.positions,
+                        s.nb.cutoff,
+                        s.nb.skin,
+                        Some(excl),
+                    )
+                    .n_pairs(),
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("in_place", s.n_atoms()), &s, |b, s| {
+            let mut nl =
+                NeighborList::build_with(&s.pbc, &s.positions, s.nb.cutoff, s.nb.skin, Some(excl));
+            b.iter(|| {
+                nl.rebuild(&s.pbc, &s.positions, Some(excl));
+                black_box(nl.n_pairs())
+            });
+        });
+    }
+    g.finish();
+}
+
+#[derive(Serialize)]
+struct SizeRecord {
+    atoms: usize,
+    pairs: usize,
+    reference_serial_ms: f64,
+    streamed_serial_ms: f64,
+    streamed_parallel_ms: f64,
+    serial_speedup: f64,
+    parallel_speedup: f64,
+    fresh_build_ms: f64,
+    in_place_rebuild_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    threads: usize,
+    sizes: Vec<SizeRecord>,
+}
+
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: size buffers, build streams
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+fn sweep_one(side: usize) -> SizeRecord {
+    const REPS: usize = 5;
+    let s: System = water_box(side, side, side, 23);
+    let nl = NeighborList::build(&s.pbc, &s.positions, s.nb.cutoff, s.nb.skin);
+    let table = s.pair_table();
+    let mut forces = vec![Vec3::ZERO; s.n_atoms()];
+
+    let reference_serial_ms = time_ms(REPS, || {
+        forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
+        black_box(nonbonded_forces(&s, &nl, &mut forces));
+    });
+    let mut ws = NonbondedWorkspace::new();
+    let streamed_serial_ms = time_ms(REPS, || {
+        forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
+        black_box(nonbonded_forces_streamed(
+            &s,
+            &table,
+            &mut ws,
+            &mut forces,
+            false,
+        ));
+    });
+    let mut wsp = NonbondedWorkspace::new();
+    let streamed_parallel_ms = time_ms(REPS, || {
+        forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
+        black_box(nonbonded_forces_streamed(
+            &s,
+            &table,
+            &mut wsp,
+            &mut forces,
+            true,
+        ));
+    });
+
+    let excl = &s.topology.exclusions;
+    let fresh_build_ms = time_ms(REPS, || {
+        black_box(
+            NeighborList::build_with(&s.pbc, &s.positions, s.nb.cutoff, s.nb.skin, Some(excl))
+                .n_pairs(),
+        );
+    });
+    let mut reused =
+        NeighborList::build_with(&s.pbc, &s.positions, s.nb.cutoff, s.nb.skin, Some(excl));
+    let in_place_rebuild_ms = time_ms(REPS, || {
+        reused.rebuild(&s.pbc, &s.positions, Some(excl));
+        black_box(reused.n_pairs());
+    });
+
+    SizeRecord {
+        atoms: s.n_atoms(),
+        pairs: wsp.stream().n_pairs(),
+        reference_serial_ms,
+        streamed_serial_ms,
+        streamed_parallel_ms,
+        serial_speedup: reference_serial_ms / streamed_serial_ms,
+        parallel_speedup: reference_serial_ms / streamed_parallel_ms,
+        fresh_build_ms,
+        in_place_rebuild_ms,
+    }
+}
+
+/// Headline numbers: streamed-vs-reference kernel speedup and in-place
+/// rebuild savings at each size, written to `BENCH_nonbonded.json`.
+fn report_streaming_speedup(_c: &mut Criterion) {
+    let report = Report {
+        threads: rayon::current_num_threads(),
+        sizes: SIDES.iter().map(|&side| sweep_one(side)).collect(),
+    };
+    for r in &report.sizes {
+        println!(
+            "nonbonded {} atoms ({} pairs): reference {:.2} ms, streamed serial {:.2} ms ({:.2}x), \
+             streamed parallel {:.2} ms ({:.2}x); list build fresh {:.2} ms vs in-place {:.2} ms",
+            r.atoms,
+            r.pairs,
+            r.reference_serial_ms,
+            r.streamed_serial_ms,
+            r.serial_speedup,
+            r.streamed_parallel_ms,
+            r.parallel_speedup,
+            r.fresh_build_ms,
+            r.in_place_rebuild_ms
+        );
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nonbonded.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(path, json).expect("write BENCH_nonbonded.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(
+    benches,
+    bench_nonbonded_kernel,
+    bench_neighbor_rebuild,
+    report_streaming_speedup
+);
+criterion_main!(benches);

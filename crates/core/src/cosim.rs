@@ -18,7 +18,7 @@ use anton2_fft::{Layout, PencilFft};
 use anton2_md::fixedpoint::FixedAccumulator;
 use anton2_md::gse::{Gse, GseParams, GseWorkspace};
 use anton2_md::neighbor::NeighborList;
-use anton2_md::pairkernel::{lj_shift_at, pair_interaction};
+use anton2_md::pairkernel::pair_interaction;
 use anton2_md::units::COULOMB;
 use anton2_md::vec3::Vec3;
 use anton2_md::System;
@@ -99,7 +99,10 @@ pub fn node_pair_forces(
     let cutoff_sq = system.nb.cutoff * system.nb.cutoff;
     let alpha = system.nb.ewald_alpha;
     let top = &system.topology;
-    let ff = &system.forcefield;
+    // Pair parameters baked once per node, PPIM-style: the per-pair loop
+    // below does a single table lookup instead of combining-rule arithmetic
+    // plus a shift evaluation. Bitwise identical to the unbaked form.
+    let table = system.pair_table();
     // Deterministic pseudo-random iteration order per node.
     let mut order: Vec<usize> = (0..pairs.len()).collect();
     if scramble != 0 {
@@ -115,13 +118,12 @@ pub fn node_pair_forces(
             .min_image(system.positions[i], system.positions[j]);
         let r_sq = d.norm_sq();
         debug_assert!(r_sq < cutoff_sq);
-        let lj = ff.lj(top.lj_types[i], top.lj_types[j]);
-        let shift = lj_shift_at(lj.a, lj.b, cutoff_sq);
+        let e = table.entry(top.lj_types[i], top.lj_types[j]);
         let (f_over_r, _, _) = pair_interaction(
             r_sq,
-            lj.a,
-            lj.b,
-            shift,
+            e.a,
+            e.b,
+            e.shift,
             top.charges[i] * top.charges[j],
             alpha,
         );

@@ -115,6 +115,27 @@ impl CellGrid {
     pub fn n_cells(&self) -> usize {
         self.nx * self.ny * self.nz
     }
+
+    /// Half-shell traversal: the periodic neighbor cells of `c` with a
+    /// *higher* cell index, sorted ascending. Together with the own-cell
+    /// `i < j` rule this examines every adjacent unordered cell pair exactly
+    /// once (each pair is handled by its lower-indexed cell), so a neighbor
+    /// search touches ~14 cells per cell instead of 27 and every candidate
+    /// pair gets exactly one distance check.
+    ///
+    /// Returns the neighbor cells in `out[..len]`; 13 on average, but the
+    /// exact count per cell depends on how the periodic wrap lands.
+    pub fn forward_neighbors(&self, c: usize, out: &mut [usize; 26]) -> usize {
+        let mut len = 0;
+        for n in self.neighborhood(c) {
+            if n > c {
+                out[len] = n;
+                len += 1;
+            }
+        }
+        out[..len].sort_unstable();
+        len
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +205,38 @@ mod tests {
         hood.dedup();
         assert_eq!(hood.len(), 27);
         assert_eq!(hood, (0..27).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn forward_neighbors_cover_each_cell_pair_once() {
+        // Over all cells, the (c, c') forward pairs must enumerate every
+        // unordered adjacent cell pair exactly once.
+        for edge in [30.0, 50.0] {
+            let pbc = PbcBox::cubic(edge);
+            let g = CellGrid::build(&pbc, &[], 10.0);
+            let mut forward: Vec<(usize, usize)> = Vec::new();
+            let mut scratch = [0usize; 26];
+            for c in 0..g.n_cells() {
+                let len = g.forward_neighbors(c, &mut scratch);
+                assert!(scratch[..len].windows(2).all(|w| w[0] < w[1]));
+                for &n in &scratch[..len] {
+                    assert!(n > c);
+                    forward.push((c, n));
+                }
+            }
+            let mut unordered: Vec<(usize, usize)> = Vec::new();
+            for c in 0..g.n_cells() {
+                for n in g.neighborhood(c) {
+                    if n != c {
+                        unordered.push((c.min(n), c.max(n)));
+                    }
+                }
+            }
+            unordered.sort_unstable();
+            unordered.dedup();
+            forward.sort_unstable();
+            assert_eq!(forward, unordered, "edge {edge}");
+        }
     }
 
     #[test]

@@ -10,16 +10,15 @@
 use crate::bonded::{all_bonded_forces, all_bonded_forces_parallel, BONDED_CHUNKS};
 use crate::constraints::ConstraintSet;
 use crate::ewald::{background_energy, self_energy, EwaldKSpace};
+use crate::forcefield::PairTable;
 use crate::gse::{Gse, GseParams, GseWorkspace};
 use crate::integrate::{langevin_o_step, RespaSchedule};
-use crate::neighbor::NeighborList;
 use crate::observables::EnergyLedger;
-use crate::pairkernel::{
-    excluded_corrections, nonbonded_forces, nonbonded_forces_parallel, scaled14_corrections,
-};
+use crate::pairkernel::{excluded_corrections, scaled14_corrections};
 use crate::pbc::PbcBox;
 use crate::pressure::{bonded_virial, pressure_atm, BerendsenBarostat};
 use crate::settle::{settle_positions, settle_velocities, SettleParams};
+use crate::stream::{nonbonded_forces_streamed, NonbondedWorkspace};
 use crate::system::System;
 use crate::thermostat::{Berendsen, NoseHooverChain};
 use crate::units::fs_to_internal;
@@ -118,12 +117,14 @@ impl EngineConfig {
 }
 
 /// Reusable per-step scratch owned by the engine: k-space grids and FFT
-/// scratch, plus the per-chunk bonded force buffers. Holding these across
-/// steps makes the k-space pipeline allocation-free in steady state and
-/// keeps the parallel bonded reduction from reallocating its accumulators.
+/// scratch, the per-chunk bonded force buffers, and the streaming nonbonded
+/// workspace (cell-sorted atom stream, baked neighbor list, chunk force
+/// accumulators). Holding these across steps makes the whole force pipeline
+/// allocation-free in steady state.
 pub struct StepWorkspace {
     gse: Option<GseWorkspace>,
     bonded: Vec<Vec<Vec3>>,
+    nonbonded: NonbondedWorkspace,
 }
 
 impl StepWorkspace {
@@ -131,6 +132,7 @@ impl StepWorkspace {
         StepWorkspace {
             gse: gse.map(GseWorkspace::for_gse),
             bonded: (0..BONDED_CHUNKS).map(|_| Vec::new()).collect(),
+            nonbonded: NonbondedWorkspace::new(),
         }
     }
 }
@@ -151,7 +153,9 @@ impl StepWorkspace {
 pub struct Engine {
     pub system: System,
     pub cfg: EngineConfig,
-    nl: NeighborList,
+    /// Baked per-type-pair LJ parameters + cutoff shifts for the streaming
+    /// kernel (rebuilt only if the cutoff changes, i.e. never mid-run).
+    pair_table: PairTable,
     gse: Option<Gse>,
     ewald: Option<EwaldKSpace>,
     constraints: ConstraintSet,
@@ -171,12 +175,7 @@ impl Engine {
     /// Build an engine and compute initial forces.
     pub fn new(mut system: System, cfg: EngineConfig) -> Self {
         system.wrap_positions();
-        let nl = NeighborList::build(
-            &system.pbc,
-            &system.positions,
-            system.nb.cutoff,
-            system.nb.skin,
-        );
+        let pair_table = system.pair_table();
         let settle = SettleParams::tip3p();
         let constraints = ConstraintSet::from_topology(
             &system.topology,
@@ -213,7 +212,7 @@ impl Engine {
         let mut engine = Engine {
             system,
             cfg,
-            nl,
+            pair_table,
             gse,
             ewald,
             constraints,
@@ -262,26 +261,6 @@ impl Engine {
         pressure_atm(self.system.kinetic_energy(), w, self.system.pbc.volume())
     }
 
-    /// Rebuild the neighbor list if any atom drifted past skin/2.
-    ///
-    /// Positions are deliberately *not* re-wrapped here: every kernel is
-    /// minimum-image-safe, and keeping the coordinate representation
-    /// independent of the (state-dependent) rebuild schedule is what makes
-    /// checkpoint/restart bitwise exact.
-    fn refresh_neighbor_list(&mut self) {
-        if self
-            .nl
-            .needs_rebuild(&self.system.pbc, &self.system.positions)
-        {
-            self.nl = NeighborList::build(
-                &self.system.pbc,
-                &self.system.positions,
-                self.system.nb.cutoff,
-                self.system.nb.skin,
-            );
-        }
-    }
-
     /// Whether the force kernels should run their parallel paths.
     fn parallel_enabled(&self) -> bool {
         match self.cfg.parallelism {
@@ -293,17 +272,19 @@ impl Engine {
 
     /// Range-limited + bonded forces into `f_short`, updating the ledger.
     fn compute_short_forces(&mut self) {
-        self.refresh_neighbor_list();
         let parallel = self.parallel_enabled();
         self.f_short.iter_mut().for_each(|f| *f = Vec3::ZERO);
-        // Chunked-parallel kernel for large systems (deterministic: the
-        // chunking is fixed, not thread-count-dependent); serial below the
-        // threshold where the per-chunk buffers would dominate.
-        let nb = if parallel {
-            nonbonded_forces_parallel(&self.system, &self.nl, &mut self.f_short)
-        } else {
-            nonbonded_forces(&self.system, &self.nl, &mut self.f_short)
-        };
+        // Streaming kernel: the workspace tracks the skin/2 drift criterion
+        // and the box, rebuilding its cell-sorted stream + baked list only
+        // when needed. The parallel path uses fixed chunking (not
+        // thread-count-dependent), so results are bitwise reproducible.
+        let nb = nonbonded_forces_streamed(
+            &self.system,
+            &self.pair_table,
+            &mut self.ws.nonbonded,
+            &mut self.f_short,
+            parallel,
+        );
         self.ledger.lj = nb.lj;
         self.ledger.coulomb_real = nb.coulomb_real;
         let (e_excl, _) = excluded_corrections(&self.system, &mut self.f_short);
@@ -549,13 +530,9 @@ impl Engine {
         self.system.pbc = PbcBox::new(old_box.lx * mu, old_box.ly * mu, old_box.lz * mu);
         self.system.wrap_positions();
 
-        // Rebuild box-dependent state.
-        self.nl = NeighborList::build(
-            &self.system.pbc,
-            &self.system.positions,
-            self.system.nb.cutoff,
-            self.system.nb.skin,
-        );
+        // Rebuild box-dependent state. (The nonbonded stream also detects
+        // the box change on its own; the invalidation makes it explicit.)
+        self.ws.nonbonded.invalidate();
         if self.gse.is_some() {
             self.gse = Some(Gse::new(
                 self.system.nb.ewald_alpha,
@@ -702,12 +679,7 @@ impl Engine {
     pub fn restore(&mut self, cp: &crate::trajectory::Checkpoint) {
         cp.restore(&mut self.system);
         self.step = cp.step;
-        self.nl = NeighborList::build(
-            &self.system.pbc,
-            &self.system.positions,
-            self.system.nb.cutoff,
-            self.system.nb.skin,
-        );
+        self.ws.nonbonded.invalidate();
         if self.gse.is_some() {
             self.gse = Some(Gse::new(
                 self.system.nb.ewald_alpha,
@@ -729,11 +701,6 @@ impl Engine {
     /// Immutable access to the current long-range forces (testing).
     pub fn long_forces(&self) -> &[Vec3] {
         &self.f_long
-    }
-
-    /// Current neighbor list (used by the co-simulator for work counting).
-    pub fn neighbor_list(&self) -> &NeighborList {
-        &self.nl
     }
 }
 

@@ -58,6 +58,78 @@ impl Default for NonbondedSettings {
     }
 }
 
+/// One entry of a [`PairTable`]: the combined LJ coefficients plus the
+/// cutoff shift, i.e. everything the pair kernel needs that depends only on
+/// the (type, type) pair. Baking the shift in here removes the per-pair
+/// `lj_shift_at` recomputation from the inner loop — the same move Anton 2's
+/// HTIS makes when it resolves all per-pair parameters before streaming
+/// atom pairs into the PPIM pipelines.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct PairEntry {
+    /// `4εσ¹²`.
+    pub a: f64,
+    /// `4εσ⁶`.
+    pub b: f64,
+    /// LJ energy at the cutoff (potential-shift truncation).
+    pub shift: f64,
+}
+
+/// Fully resolved per-type-pair parameters for a fixed cutoff: the lookup a
+/// streaming kernel does instead of calling [`ForceField::lj`] +
+/// `lj_shift_at` per pair per step.
+#[derive(Clone, Debug)]
+pub struct PairTable {
+    n_types: usize,
+    entries: Vec<PairEntry>,
+    /// Squared cutoff the shifts were baked for.
+    pub cutoff_sq: f64,
+}
+
+impl PairTable {
+    /// Bake the combined-parameter table of `ff` together with the
+    /// potential-shift at `cutoff` (Å).
+    pub fn new(ff: &ForceField, cutoff: f64) -> Self {
+        let n = ff.n_types();
+        let cutoff_sq = cutoff * cutoff;
+        let r6_inv = 1.0 / (cutoff_sq * cutoff_sq * cutoff_sq);
+        let mut entries = Vec::with_capacity(n * n);
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                let p = ff.lj(i, j);
+                entries.push(PairEntry {
+                    a: p.a,
+                    b: p.b,
+                    shift: (p.a * r6_inv - p.b) * r6_inv,
+                });
+            }
+        }
+        PairTable {
+            n_types: n,
+            entries,
+            cutoff_sq,
+        }
+    }
+
+    /// Number of LJ types the table covers.
+    pub fn n_types(&self) -> usize {
+        self.n_types
+    }
+
+    /// Baked entry for a type pair.
+    #[inline]
+    pub fn entry(&self, ti: u32, tj: u32) -> PairEntry {
+        self.entries[ti as usize * self.n_types + tj as usize]
+    }
+
+    /// The row of entries for type `ti`, indexable by the partner's type —
+    /// hoists the row-base computation out of the inner pair loop.
+    #[inline]
+    pub fn row(&self, ti: u32) -> &[PairEntry] {
+        let base = ti as usize * self.n_types;
+        &self.entries[base..base + self.n_types]
+    }
+}
+
 /// The force field: LJ type table with precomputed combined pairs.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct ForceField {
@@ -188,6 +260,28 @@ mod tests {
         let p = ff.lj(1, 1);
         assert_eq!(p.a, 0.0);
         assert_eq!(p.b, 0.0);
+    }
+
+    #[test]
+    fn pair_table_matches_lj_plus_shift() {
+        let ff = ForceField::standard();
+        let cutoff = 9.0;
+        let table = PairTable::new(&ff, cutoff);
+        assert_eq!(table.n_types(), ff.n_types());
+        let cutoff_sq = cutoff * cutoff;
+        for i in 0..ff.n_types() as u32 {
+            let row = table.row(i);
+            for j in 0..ff.n_types() as u32 {
+                let p = ff.lj(i, j);
+                let e = table.entry(i, j);
+                assert_eq!(e.a, p.a);
+                assert_eq!(e.b, p.b);
+                let shift = crate::pairkernel::lj_shift_at(p.a, p.b, cutoff_sq);
+                assert_eq!(e.shift, shift, "shift mismatch at ({i},{j})");
+                assert_eq!(row[j as usize].shift, shift);
+            }
+        }
+        assert_eq!(table.cutoff_sq, cutoff_sq);
     }
 
     #[test]

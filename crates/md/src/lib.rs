@@ -6,7 +6,8 @@
 //!
 //! * math & conventions: [`vec3`], [`pbc`], [`units`], [`erfc`];
 //! * chemistry: [`topology`], [`forcefield`], synthetic [`builders`];
-//! * nonbonded machinery: [`cells`], [`neighbor`], [`pairkernel`];
+//! * nonbonded machinery: [`cells`], [`neighbor`], [`pairkernel`], and the
+//!   PPIM-style streaming engine in [`stream`];
 //! * bonded terms: [`bonded`];
 //! * electrostatics: classic [`ewald`] (the oracle) and grid-based [`gse`]
 //!   (Gaussian-split Ewald, the Anton method family) on `anton2-fft`;
@@ -36,6 +37,7 @@ pub mod pressure;
 #[cfg(test)]
 mod proptests;
 pub mod settle;
+pub mod stream;
 pub mod system;
 pub mod thermostat;
 pub mod topology;

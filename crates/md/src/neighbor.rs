@@ -1,14 +1,35 @@
 //! Verlet neighbor lists with a skin buffer.
 //!
 //! The list stores each unordered pair once, under the lower-indexed atom
-//! (half list, CSR layout). Construction is parallel over atoms with rayon
-//! and produces identical output for any thread count, because each atom's
-//! partner list is computed and sorted independently.
+//! (half list, CSR layout). Construction walks the cell grid with a
+//! half-shell traversal (each adjacent cell pair examined exactly once, by
+//! its lower-indexed cell), parallel over cells with rayon, and produces
+//! identical output for any thread count: per-cell candidate lists are
+//! deterministic, the CSR scatter runs in cell order, and rows are sorted
+//! independently. [`NeighborList::rebuild`] refreshes a list in place,
+//! reusing the CSR arrays and the per-cell scratch across rebuilds, and can
+//! bake the topology's exclusions out of the list so a streaming force
+//! kernel never consults the exclusion table (see `crate::stream`).
 
 use crate::cells::CellGrid;
 use crate::pbc::PbcBox;
+use crate::topology::Exclusions;
 use crate::vec3::Vec3;
 use rayon::prelude::*;
+
+/// Fixed chunk count for the all-pairs fallback (small boxes), so its
+/// output is independent of the thread count.
+const FALLBACK_CHUNKS: usize = 16;
+
+/// Reusable construction scratch: per-cell (or per-chunk, in the all-pairs
+/// fallback) candidate pair lists plus the per-row scatter cursor. Kept
+/// inside the list so rebuilds reuse the capacity instead of reallocating a
+/// `Vec<Vec<u32>>` each time.
+#[derive(Clone, Debug, Default)]
+struct BuildScratch {
+    pairs: Vec<Vec<(u32, u32)>>,
+    cursor: Vec<usize>,
+}
 
 /// A half neighbor list valid until some atom moves more than `skin/2`.
 #[derive(Clone, Debug)]
@@ -22,67 +43,155 @@ pub struct NeighborList {
     /// Interaction range the list was built for (cutoff + skin).
     pub range: f64,
     skin: f64,
+    scratch: BuildScratch,
 }
 
 impl NeighborList {
     /// Build a fresh list for `positions` with interaction `cutoff` and
     /// buffer `skin`.
     pub fn build(pbc: &PbcBox, positions: &[Vec3], cutoff: f64, skin: f64) -> Self {
-        let range = cutoff + skin;
-        let range_sq = range * range;
-        let n = positions.len();
+        Self::build_with(pbc, positions, cutoff, skin, None)
+    }
 
-        let rows: Vec<Vec<u32>> = if CellGrid::dims_for(pbc, range).is_some() {
-            let grid = CellGrid::build(pbc, positions, range);
-            (0..n)
-                .into_par_iter()
-                .map(|i| {
-                    let pi = positions[i];
-                    let mut row = Vec::new();
-                    for c in grid.neighborhood(grid.cell_of(pi)) {
-                        for &j in grid.cell(c) {
-                            if (j as usize) > i && pbc.dist_sq(pi, positions[j as usize]) < range_sq
-                            {
-                                row.push(j);
+    /// [`NeighborList::build`] with the fully excluded pairs of `excl`
+    /// baked out of the list at construction time. Topology is static, so a
+    /// kernel walking the baked list never needs `is_excluded`.
+    pub fn build_with(
+        pbc: &PbcBox,
+        positions: &[Vec3],
+        cutoff: f64,
+        skin: f64,
+        excl: Option<&Exclusions>,
+    ) -> Self {
+        let mut nl = NeighborList {
+            start: Vec::new(),
+            partners: Vec::new(),
+            ref_positions: Vec::new(),
+            range: cutoff + skin,
+            skin,
+            scratch: BuildScratch::default(),
+        };
+        nl.rebuild(pbc, positions, excl);
+        nl
+    }
+
+    /// Rebuild the list in place for new `positions` (and possibly a new
+    /// box), reusing the CSR arrays and build scratch. Output is identical
+    /// to a fresh [`NeighborList::build_with`] at the same inputs.
+    pub fn rebuild(&mut self, pbc: &PbcBox, positions: &[Vec3], excl: Option<&Exclusions>) {
+        let range_sq = self.range * self.range;
+        let n = positions.len();
+        self.ref_positions.clear();
+        self.ref_positions.extend_from_slice(positions);
+
+        if CellGrid::dims_for(pbc, self.range).is_some() {
+            let grid = CellGrid::build(pbc, positions, self.range);
+            let ncells = grid.n_cells();
+            if self.scratch.pairs.len() < ncells {
+                self.scratch.pairs.resize_with(ncells, Vec::new);
+            }
+            // Half-shell traversal: cell c generates its own i<j pairs plus
+            // all cross pairs with forward (higher-indexed) neighbor cells,
+            // so each candidate pair gets exactly one distance check.
+            self.scratch.pairs[..ncells]
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(c, pairs)| {
+                    pairs.clear();
+                    let own = grid.cell(c);
+                    for (k, &a) in own.iter().enumerate() {
+                        let pa = positions[a as usize];
+                        for &b in &own[k + 1..] {
+                            if pbc.dist_sq(pa, positions[b as usize]) < range_sq {
+                                pairs.push((a.min(b), a.max(b)));
                             }
                         }
                     }
-                    row.sort_unstable();
-                    row
-                })
-                .collect()
+                    let mut fwd = [0usize; 26];
+                    let len = grid.forward_neighbors(c, &mut fwd);
+                    for &c2 in &fwd[..len] {
+                        for &a in own {
+                            let pa = positions[a as usize];
+                            for &b in grid.cell(c2) {
+                                if pbc.dist_sq(pa, positions[b as usize]) < range_sq {
+                                    pairs.push((a.min(b), a.max(b)));
+                                }
+                            }
+                        }
+                    }
+                    if let Some(excl) = excl {
+                        pairs.retain(|&(i, j)| !excl.is_excluded(i as usize, j as usize));
+                    }
+                });
+            self.assemble(n, ncells);
         } else {
-            // Box too small for cells: all-pairs scan (still parallel).
-            (0..n)
-                .into_par_iter()
-                .map(|i| {
-                    let pi = positions[i];
-                    ((i + 1)..n)
-                        .filter(|&j| pbc.dist_sq(pi, positions[j]) < range_sq)
-                        .map(|j| j as u32)
-                        .collect()
-                })
-                .collect()
-        };
+            // Box too small for cells: all-pairs scan in fixed chunks.
+            if self.scratch.pairs.len() < FALLBACK_CHUNKS {
+                self.scratch.pairs.resize_with(FALLBACK_CHUNKS, Vec::new);
+            }
+            self.scratch.pairs[..FALLBACK_CHUNKS]
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(c, pairs)| {
+                    pairs.clear();
+                    let lo = c * n / FALLBACK_CHUNKS;
+                    let hi = (c + 1) * n / FALLBACK_CHUNKS;
+                    for i in lo..hi {
+                        let pi = positions[i];
+                        for (j, &pj) in positions.iter().enumerate().skip(i + 1) {
+                            if pbc.dist_sq(pi, pj) < range_sq
+                                && !excl.is_some_and(|e| e.is_excluded(i, j))
+                            {
+                                pairs.push((i as u32, j as u32));
+                            }
+                        }
+                    }
+                });
+            self.assemble(n, FALLBACK_CHUNKS);
+        }
+    }
 
-        let mut start = Vec::with_capacity(n + 1);
-        start.push(0usize);
-        let mut total = 0;
-        for r in &rows {
-            total += r.len();
-            start.push(total);
+    /// Scatter the per-cell pair lists into sorted CSR rows.
+    fn assemble(&mut self, n: usize, n_lists: usize) {
+        let lists = &self.scratch.pairs[..n_lists];
+        let cursor = &mut self.scratch.cursor;
+        cursor.clear();
+        cursor.resize(n, 0);
+        for pairs in lists {
+            for &(i, _) in pairs.iter() {
+                cursor[i as usize] += 1;
+            }
         }
-        let mut partners = Vec::with_capacity(total);
-        for r in rows {
-            partners.extend(r);
+        self.start.clear();
+        self.start.reserve(n + 1);
+        self.start.push(0);
+        let mut total = 0usize;
+        for (i, c) in cursor.iter_mut().enumerate() {
+            let len = *c;
+            *c = total; // becomes the fill cursor for row i
+            total += len;
+            debug_assert_eq!(self.start.len(), i + 1);
+            self.start.push(total);
         }
-        NeighborList {
-            start,
-            partners,
-            ref_positions: positions.to_vec(),
-            range,
-            skin,
+        self.partners.clear();
+        self.partners.resize(total, 0);
+        for pairs in lists {
+            for &(i, j) in pairs.iter() {
+                self.partners[cursor[i as usize]] = j;
+                cursor[i as usize] += 1;
+            }
         }
+        // Rows collect partners from several cell pairs, so sort each row;
+        // disjoint mutable row slices let the sorts run in parallel.
+        let mut rows: Vec<&mut [u32]> = Vec::with_capacity(n);
+        let mut rest: &mut [u32] = &mut self.partners;
+        for i in 0..n {
+            let len = self.start[i + 1] - self.start[i];
+            let (head, tail) = rest.split_at_mut(len);
+            rows.push(head);
+            rest = tail;
+        }
+        rows.into_par_iter().for_each(|r| r.sort_unstable());
     }
 
     /// Number of stored (unordered) pairs.
@@ -247,5 +356,66 @@ mod tests {
         let b = NeighborList::build(&pbc, &pos, 9.0, 1.0);
         assert_eq!(a.start, b.start);
         assert_eq!(a.partners, b.partners);
+    }
+
+    /// Dense random exclusion table over `n` atoms (symmetric, sorted rows).
+    fn random_exclusions(n: usize, seed: u64) -> Exclusions {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut full: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen::<f64>() < 0.05 {
+                    full[i].push(j as u32);
+                    full[j].push(i as u32);
+                }
+            }
+        }
+        for row in &mut full {
+            row.sort_unstable();
+        }
+        Exclusions {
+            full,
+            pairs14: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn baking_exactly_reproduces_is_excluded_semantics() {
+        // Baked list == unbaked list minus exactly the is_excluded pairs, on
+        // both the cell path and the all-pairs fallback.
+        for (edge, cutoff) in [(40.0, 9.0), (18.0, 7.0)] {
+            let pbc = PbcBox::cubic(edge);
+            let pos = random_positions(250, edge, 31);
+            let excl = random_exclusions(250, 33);
+            let plain = NeighborList::build(&pbc, &pos, cutoff, 1.0);
+            let baked = NeighborList::build_with(&pbc, &pos, cutoff, 1.0, Some(&excl));
+            let want: Vec<(u32, u32)> = list_pairs(&plain)
+                .into_iter()
+                .filter(|&(i, j)| !excl.is_excluded(i as usize, j as usize))
+                .collect();
+            assert_eq!(list_pairs(&baked), want, "edge {edge}");
+            assert!(baked.n_pairs() < plain.n_pairs());
+        }
+    }
+
+    #[test]
+    fn in_place_rebuild_matches_fresh_build() {
+        let pbc = PbcBox::cubic(40.0);
+        let excl = random_exclusions(300, 41);
+        let mut nl = NeighborList::build_with(
+            &pbc,
+            &random_positions(300, 40.0, 43),
+            9.0,
+            1.0,
+            Some(&excl),
+        );
+        for seed in [44, 45, 46] {
+            let pos = random_positions(300, 40.0, seed);
+            nl.rebuild(&pbc, &pos, Some(&excl));
+            let fresh = NeighborList::build_with(&pbc, &pos, 9.0, 1.0, Some(&excl));
+            assert_eq!(nl.start, fresh.start, "seed {seed}");
+            assert_eq!(nl.partners, fresh.partners, "seed {seed}");
+            assert!(!nl.needs_rebuild(&pbc, &pos));
+        }
     }
 }

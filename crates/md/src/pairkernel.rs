@@ -14,6 +14,10 @@ use crate::vec3::Vec3;
 /// 2/sqrt(pi), used in the Ewald real-space force.
 const TWO_OVER_SQRT_PI: f64 = std::f64::consts::FRAC_2_SQRT_PI;
 
+/// Fixed chunk count of the parallel nonbonded kernels. Independent of the
+/// rayon thread count so the chunk-order reduction is bitwise reproducible.
+pub const NB_CHUNKS: usize = 64;
+
 /// Energy/virial tallies from a nonbonded evaluation.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct NonbondedEnergy {
@@ -130,30 +134,39 @@ pub fn nonbonded_forces(
 }
 
 /// Parallel variant of [`nonbonded_forces`] with run-to-run deterministic
-/// output: atom rows are split into a *fixed* number of chunks (independent
-/// of the rayon thread count), each chunk accumulates into a private force
-/// buffer, and buffers are reduced in chunk order. The result is bitwise
-/// reproducible across runs and thread counts (though not bitwise equal to
-/// the serial kernel, whose accumulation order differs).
+/// output: atom rows are split into a *fixed* number of chunks
+/// ([`NB_CHUNKS`], independent of the rayon thread count), each chunk
+/// accumulates into a private force buffer, and buffers are reduced in chunk
+/// order. The result is bitwise reproducible across runs and thread counts
+/// (though not bitwise equal to the serial kernel, whose accumulation order
+/// differs).
+///
+/// `buffers` supplies the per-chunk accumulators (≥ [`NB_CHUNKS`] of them,
+/// e.g. `stream::NonbondedWorkspace::chunk_buffers_mut`); they are resized
+/// to the atom count and zeroed here, so a reused workspace makes repeated
+/// calls allocation-free.
 pub fn nonbonded_forces_parallel(
     system: &System,
     nl: &crate::neighbor::NeighborList,
     forces: &mut [Vec3],
+    buffers: &mut [Vec<Vec3>],
 ) -> NonbondedEnergy {
     use rayon::prelude::*;
-    const CHUNKS: usize = 64;
     let n = system.n_atoms();
     let cutoff_sq = system.nb.cutoff * system.nb.cutoff;
     let alpha = system.nb.ewald_alpha;
     let top = &system.topology;
     let ff = &system.forcefield;
+    assert!(buffers.len() >= NB_CHUNKS, "need NB_CHUNKS chunk buffers");
 
-    let results: Vec<(Vec<Vec3>, NonbondedEnergy)> = (0..CHUNKS)
-        .into_par_iter()
-        .map(|c| {
-            let lo = c * n / CHUNKS;
-            let hi = (c + 1) * n / CHUNKS;
-            let mut local = vec![Vec3::ZERO; n];
+    let energies: Vec<NonbondedEnergy> = buffers[..NB_CHUNKS]
+        .par_iter_mut()
+        .enumerate()
+        .map(|(c, local)| {
+            local.resize(n, Vec3::ZERO);
+            local.iter_mut().for_each(|f| *f = Vec3::ZERO);
+            let lo = c * n / NB_CHUNKS;
+            let hi = (c + 1) * n / NB_CHUNKS;
             let mut out = NonbondedEnergy::default();
             for i in lo..hi {
                 let pi = system.positions[i];
@@ -182,13 +195,13 @@ pub fn nonbonded_forces_parallel(
                 }
                 local[i] += fi;
             }
-            (local, out)
+            out
         })
         .collect();
 
     // Deterministic reduction: chunk order is fixed.
     let mut total = NonbondedEnergy::default();
-    for (local, e) in &results {
+    for (local, e) in buffers[..NB_CHUNKS].iter().zip(&energies) {
         for (f, l) in forces.iter_mut().zip(local) {
             *f += *l;
         }
@@ -487,7 +500,8 @@ mod tests {
         let mut fs = vec![Vec3::ZERO; s.n_atoms()];
         let es = nonbonded_forces(&s, &nl, &mut fs);
         let mut fp = vec![Vec3::ZERO; s.n_atoms()];
-        let ep = nonbonded_forces_parallel(&s, &nl, &mut fp);
+        let mut bufs: Vec<Vec<Vec3>> = (0..NB_CHUNKS).map(|_| Vec::new()).collect();
+        let ep = nonbonded_forces_parallel(&s, &nl, &mut fp, &mut bufs);
         assert!((es.lj - ep.lj).abs() < 1e-9 * es.lj.abs().max(1.0));
         assert!((es.coulomb_real - ep.coulomb_real).abs() < 1e-9 * es.coulomb_real.abs().max(1.0));
         assert!((es.virial_lj - ep.virial_lj).abs() < 1e-9 * es.virial_lj.abs().max(1.0));
@@ -503,7 +517,8 @@ mod tests {
         let nl = NeighborList::build(&s.pbc, &s.positions, s.nb.cutoff, s.nb.skin);
         let run = || {
             let mut f = vec![Vec3::ZERO; s.n_atoms()];
-            nonbonded_forces_parallel(&s, &nl, &mut f);
+            let mut bufs: Vec<Vec<Vec3>> = (0..NB_CHUNKS).map(|_| Vec::new()).collect();
+            nonbonded_forces_parallel(&s, &nl, &mut f, &mut bufs);
             f.iter()
                 .map(|v| v.x.to_bits() ^ v.y.to_bits() ^ v.z.to_bits())
                 .fold(0u64, |a, b| a ^ b)

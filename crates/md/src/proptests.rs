@@ -6,10 +6,11 @@
 
 use crate::forcefield::{ForceField, NonbondedSettings};
 use crate::neighbor::NeighborList;
-use crate::pairkernel::nonbonded_forces;
+use crate::pairkernel::{nonbonded_forces, NonbondedEnergy};
 use crate::pbc::PbcBox;
+use crate::stream::{nonbonded_forces_streamed, NonbondedWorkspace};
 use crate::system::System;
-use crate::topology::Topology;
+use crate::topology::{Bond, Topology};
 use crate::vec3::{v3, Vec3};
 use proptest::prelude::*;
 
@@ -47,6 +48,11 @@ fn arb_system() -> impl Strategy<Value = System> {
 }
 
 fn pair_forces(system: &System) -> (Vec<Vec3>, f64) {
+    let (f, e) = reference_kernel(system);
+    (f, e.total())
+}
+
+fn reference_kernel(system: &System) -> (Vec<Vec3>, NonbondedEnergy) {
     let nl = NeighborList::build(
         &system.pbc,
         &system.positions,
@@ -55,7 +61,68 @@ fn pair_forces(system: &System) -> (Vec<Vec3>, f64) {
     );
     let mut f = vec![Vec3::ZERO; system.n_atoms()];
     let e = nonbonded_forces(system, &nl, &mut f);
-    (f, e.total())
+    (f, e)
+}
+
+/// Like [`arb_system`], but chained with random bonds so the topology has
+/// real 1–2/1–3 exclusions and 1–4 scaled pairs, in a box size that hits
+/// both the cell path (≥ 30 Å) and the all-pairs fallback (< 30 Å).
+fn arb_bonded_system() -> impl Strategy<Value = System> {
+    let atom = (
+        0.02f64..0.98,
+        0.02f64..0.98,
+        0.02f64..0.98,
+        -0.5f64..0.5,
+        0usize..4,
+    );
+    (
+        proptest::collection::vec(atom, 4..24),
+        proptest::collection::vec(proptest::bool::ANY, 24),
+        20.5f64..44.0,
+    )
+        .prop_map(|(atoms, links, edge)| {
+            let n = atoms.len();
+            // Types with distinct LJ parameters (including one with ε = 0).
+            let lj_menu = [0u32, 1, 2, 5];
+            let mut positions = Vec::with_capacity(n);
+            let mut charges = Vec::with_capacity(n);
+            let mut lj_types = Vec::with_capacity(n);
+            for &(x, y, z, q, t) in &atoms {
+                positions.push(v3(x * edge, y * edge, z * edge));
+                charges.push(q);
+                lj_types.push(lj_menu[t]);
+            }
+            let net: f64 = charges.iter().sum();
+            for q in &mut charges {
+                *q -= net / n as f64;
+            }
+            let mut topology = Topology {
+                masses: vec![12.0; n],
+                charges,
+                lj_types,
+                ..Default::default()
+            };
+            // Random chain segments: a true link between i−1 and i creates
+            // 1–2/1–3 exclusions and (for runs of ≥ 4) 1–4 pairs.
+            for (i, &linked) in links.iter().enumerate().take(n).skip(1) {
+                if linked {
+                    topology.bonds.push(Bond {
+                        i: i - 1,
+                        j: i,
+                        k: 300.0,
+                        r0: 1.5,
+                    });
+                }
+            }
+            topology.build_exclusions();
+            System::new(
+                topology,
+                ForceField::standard(),
+                NonbondedSettings::default(),
+                PbcBox::cubic(edge),
+                positions,
+            )
+        })
 }
 
 proptest! {
@@ -118,6 +185,38 @@ proptest! {
             order.iter().map(|&k| system.topology.masses[k]).collect();
         let (_, e1) = pair_forces(&shuffled);
         prop_assert!((e0 - e1).abs() < 1e-7 * e0.abs().max(1.0));
+    }
+
+    /// The streaming kernel (serial and fixed-chunk parallel) agrees with
+    /// the serial reference kernel to ≤ 1e-12 relative on forces, energies,
+    /// and virials, for arbitrary systems with exclusions and 1–4 pairs.
+    #[test]
+    fn streamed_kernel_matches_reference(system in arb_bonded_system()) {
+        let (fr, er) = reference_kernel(&system);
+        let table = system.pair_table();
+        let tol = 1e-12;
+        for parallel in [false, true] {
+            let mut ws = NonbondedWorkspace::new();
+            let mut f = vec![Vec3::ZERO; system.n_atoms()];
+            let e = nonbonded_forces_streamed(&system, &table, &mut ws, &mut f, parallel);
+            prop_assert!((e.lj - er.lj).abs() <= tol * er.lj.abs().max(1.0));
+            prop_assert!(
+                (e.coulomb_real - er.coulomb_real).abs()
+                    <= tol * er.coulomb_real.abs().max(1.0)
+            );
+            prop_assert!((e.virial - er.virial).abs() <= tol * er.virial.abs().max(1.0));
+            prop_assert!(
+                (e.virial_lj - er.virial_lj).abs() <= tol * er.virial_lj.abs().max(1.0)
+            );
+            let scale: f64 =
+                fr.iter().map(|x| x.norm()).fold(0.0, f64::max).max(1.0);
+            for (a, b) in fr.iter().zip(&f) {
+                prop_assert!(
+                    (*a - *b).norm() <= tol * scale,
+                    "parallel={parallel}: {a:?} vs {b:?}"
+                );
+            }
+        }
     }
 
     /// SHAKE always lands on the constraint manifold for feasible

@@ -1,0 +1,605 @@
+//! PPIM-style streaming nonbonded engine.
+//!
+//! Anton 2's HTIS resolves every per-pair decision *before* atom pairs enter
+//! the PPIM pipelines: parameters are fetched, exclusions filtered, and the
+//! pair stream arrives in a layout the pipelines can consume at line rate.
+//! This module is the CPU analogue. At neighbor-list rebuild time it
+//! prepares a [`NonbondedStream`]:
+//!
+//! * atoms permuted into **cell-major order** (the cell grid's own ordering)
+//!   so the inner loop walks nearly-contiguous memory;
+//! * positions/charges/LJ types gathered into SoA arrays in that order;
+//! * a half neighbor list built **directly in sorted index space** with the
+//!   topology's exclusions baked out, so the force loop never calls
+//!   `is_excluded`;
+//! * per-pair LJ parameters and cutoff shifts resolved through a
+//!   [`PairTable`] row lookup instead of `ForceField::lj` + `lj_shift_at`.
+//!
+//! Between rebuilds only the positions are re-gathered (wrapped into the
+//! primary cell, so the kernel can use a branch-based minimum image with no
+//! divisions); the permutation and the baked list persist until an atom
+//! drifts past skin/2 or the box changes.
+//!
+//! [`nonbonded_forces_streamed`] evaluates the stream either serially or
+//! with the fixed-chunk deterministic reduction contract from DESIGN.md §9:
+//! the parallel path is bitwise independent of the rayon thread count, and
+//! both paths match the reference `pairkernel::nonbonded_forces` to ≤1e-12
+//! (the accumulation order differs, so bitwise equality is not expected).
+//! All buffers live in [`NonbondedWorkspace`], so steady-state evaluation
+//! performs no heap allocation.
+
+use crate::cells::CellGrid;
+use crate::forcefield::PairTable;
+use crate::pairkernel::{pair_interaction_split, NonbondedEnergy, NB_CHUNKS};
+use crate::pbc::PbcBox;
+use crate::system::System;
+use crate::vec3::Vec3;
+use rayon::prelude::*;
+
+/// Fixed chunk count for the small-box all-pairs fallback stream build.
+const FALLBACK_CHUNKS: usize = 16;
+
+/// Branch-based minimum image for displacements of *wrapped* coordinates.
+///
+/// With both endpoints in `[0, L)` the raw difference lies in `(−L, L)`, so
+/// a single compare-and-correct per axis recovers the minimum image without
+/// the three divisions of `PbcBox::min_image`. Differs from the `round()`
+/// form only at `|d| = L/2` exactly, which lies beyond any valid cutoff.
+#[derive(Clone, Copy, Debug)]
+struct HalfBox {
+    lx: f64,
+    ly: f64,
+    lz: f64,
+    hx: f64,
+    hy: f64,
+    hz: f64,
+}
+
+impl HalfBox {
+    fn new(pbc: &PbcBox) -> Self {
+        HalfBox {
+            lx: pbc.lx,
+            ly: pbc.ly,
+            lz: pbc.lz,
+            hx: 0.5 * pbc.lx,
+            hy: 0.5 * pbc.ly,
+            hz: 0.5 * pbc.lz,
+        }
+    }
+
+    #[inline]
+    fn fold(d: f64, l: f64, h: f64) -> f64 {
+        if d > h {
+            d - l
+        } else if d < -h {
+            d + l
+        } else {
+            d
+        }
+    }
+
+    #[inline]
+    fn min_image(&self, d: Vec3) -> Vec3 {
+        Vec3::new(
+            Self::fold(d.x, self.lx, self.hx),
+            Self::fold(d.y, self.ly, self.hy),
+            Self::fold(d.z, self.lz, self.hz),
+        )
+    }
+}
+
+/// Per-cell build scratch: the concatenated partner stream of the cell's
+/// atoms plus one partner count per atom. Reused across rebuilds.
+#[derive(Clone, Debug, Default)]
+struct CellScratch {
+    partners: Vec<u32>,
+    counts: Vec<u32>,
+}
+
+/// The prepared input stream of the range-limited kernel: cell-sorted SoA
+/// atom data plus an exclusion-free half neighbor list in sorted index
+/// space. See the module docs for the full contract.
+#[derive(Clone, Debug)]
+pub struct NonbondedStream {
+    /// Sorted → original index map (`order[s]` is the original atom index).
+    order: Vec<u32>,
+    /// Wrapped positions in sorted order, re-gathered every evaluation.
+    pos: Vec<Vec3>,
+    /// Charges in sorted order (static between rebuilds).
+    charge: Vec<f64>,
+    /// LJ type indices in sorted order (static between rebuilds).
+    lj_type: Vec<u32>,
+    /// CSR row starts in sorted space, length `n + 1`.
+    start: Vec<usize>,
+    /// Partners in sorted space; every partner has a higher sorted index
+    /// than its row, rows are strictly ascending, exclusions are baked out.
+    partners: Vec<u32>,
+    /// Original-order positions at build time (skin/2 rebuild criterion).
+    ref_positions: Vec<Vec3>,
+    /// Box the stream was built for; a box change forces a rebuild.
+    pbc: PbcBox,
+    /// List range (cutoff + skin) at build time.
+    range: f64,
+    skin: f64,
+    built: bool,
+    scratch: Vec<CellScratch>,
+}
+
+impl NonbondedStream {
+    fn new() -> Self {
+        NonbondedStream {
+            order: Vec::new(),
+            pos: Vec::new(),
+            charge: Vec::new(),
+            lj_type: Vec::new(),
+            start: Vec::new(),
+            partners: Vec::new(),
+            ref_positions: Vec::new(),
+            pbc: PbcBox::cubic(1.0),
+            range: 0.0,
+            skin: 0.0,
+            built: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of stored (unordered, non-excluded) candidate pairs.
+    pub fn n_pairs(&self) -> usize {
+        self.partners.len()
+    }
+
+    /// Force a full rebuild on the next evaluation (box-dependent state was
+    /// changed externally, e.g. by a checkpoint restore).
+    pub fn invalidate(&mut self) {
+        self.built = false;
+    }
+
+    /// Bring the stream up to date for `system`: re-gather wrapped
+    /// positions, and rebuild the permutation + baked list if any atom
+    /// drifted past skin/2, the box changed, or the stream was invalidated.
+    fn ensure(&mut self, system: &System) {
+        let stale = !self.built
+            || self.pbc != system.pbc
+            || self.range != system.nb.cutoff + system.nb.skin
+            || self.ref_positions.len() != system.positions.len()
+            || self.needs_rebuild(&system.pbc, &system.positions);
+        if stale {
+            self.rebuild(system);
+        } else {
+            self.gather_positions(&system.positions);
+        }
+    }
+
+    fn needs_rebuild(&self, pbc: &PbcBox, positions: &[Vec3]) -> bool {
+        let limit_sq = (self.skin / 2.0) * (self.skin / 2.0);
+        positions
+            .iter()
+            .zip(&self.ref_positions)
+            .any(|(&p, &r)| pbc.dist_sq(p, r) > limit_sq)
+    }
+
+    /// Re-gather wrapped positions in sorted order (the only per-step work
+    /// between rebuilds).
+    fn gather_positions(&mut self, positions: &[Vec3]) {
+        let pbc = self.pbc;
+        for (ps, &o) in self.pos.iter_mut().zip(&self.order) {
+            *ps = pbc.wrap(positions[o as usize]);
+        }
+    }
+
+    /// Full rebuild: new permutation, gathered SoA arrays, and a baked half
+    /// list in sorted space. Reuses all buffers.
+    fn rebuild(&mut self, system: &System) {
+        let pbc = system.pbc;
+        let positions = &system.positions;
+        let top = &system.topology;
+        let n = positions.len();
+        self.range = system.nb.cutoff + system.nb.skin;
+        self.skin = system.nb.skin;
+        self.pbc = pbc;
+        self.built = true;
+        self.ref_positions.clear();
+        self.ref_positions.extend_from_slice(positions);
+        let range_sq = self.range * self.range;
+
+        let cell_path = CellGrid::dims_for(&pbc, self.range).is_some();
+        self.order.clear();
+        let grid = if cell_path {
+            let grid = CellGrid::build(&pbc, positions, self.range);
+            self.order.extend_from_slice(&grid.atoms);
+            Some(grid)
+        } else {
+            self.order.extend(0..n as u32);
+            None
+        };
+
+        // Gather the SoA stream in sorted order.
+        self.pos.clear();
+        self.charge.clear();
+        self.lj_type.clear();
+        for &o in &self.order {
+            let o = o as usize;
+            self.pos.push(pbc.wrap(positions[o]));
+            self.charge.push(top.charges[o]);
+            self.lj_type.push(top.lj_types[o]);
+        }
+
+        let excl = &top.exclusions;
+        let pos = &self.pos;
+        let order = &self.order;
+        let n_lists = if let Some(grid) = &grid {
+            // Half-shell traversal in sorted space: cell pair (c, c2) with
+            // c2 > c means every partner index t exceeds the row index s
+            // (cell spans are ascending in cell id), so rows come out
+            // strictly ascending with no sort step.
+            let ncells = grid.n_cells();
+            if self.scratch.len() < ncells {
+                self.scratch.resize_with(ncells, CellScratch::default);
+            }
+            self.scratch[..ncells]
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(c, sc)| {
+                    sc.partners.clear();
+                    sc.counts.clear();
+                    let lo = grid.cell_start[c];
+                    let hi = grid.cell_start[c + 1];
+                    let mut fwd = [0usize; 26];
+                    let flen = grid.forward_neighbors(c, &mut fwd);
+                    for s in lo..hi {
+                        let ps = pos[s];
+                        let oi = order[s] as usize;
+                        let before = sc.partners.len();
+                        for t in (s + 1)..hi {
+                            if pbc.dist_sq(ps, pos[t]) < range_sq
+                                && !excl.is_excluded(oi, order[t] as usize)
+                            {
+                                sc.partners.push(t as u32);
+                            }
+                        }
+                        for &c2 in &fwd[..flen] {
+                            for t in grid.cell_start[c2]..grid.cell_start[c2 + 1] {
+                                if pbc.dist_sq(ps, pos[t]) < range_sq
+                                    && !excl.is_excluded(oi, order[t] as usize)
+                                {
+                                    sc.partners.push(t as u32);
+                                }
+                            }
+                        }
+                        sc.counts.push((sc.partners.len() - before) as u32);
+                    }
+                });
+            ncells
+        } else {
+            // Small box: all-pairs scan in fixed chunks over (sorted =
+            // original) atom order.
+            if self.scratch.len() < FALLBACK_CHUNKS {
+                self.scratch
+                    .resize_with(FALLBACK_CHUNKS, CellScratch::default);
+            }
+            self.scratch[..FALLBACK_CHUNKS]
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(c, sc)| {
+                    sc.partners.clear();
+                    sc.counts.clear();
+                    let lo = c * n / FALLBACK_CHUNKS;
+                    let hi = (c + 1) * n / FALLBACK_CHUNKS;
+                    for s in lo..hi {
+                        let ps = pos[s];
+                        let before = sc.partners.len();
+                        for (t, &pt) in pos.iter().enumerate().skip(s + 1) {
+                            if pbc.dist_sq(ps, pt) < range_sq && !excl.is_excluded(s, t) {
+                                sc.partners.push(t as u32);
+                            }
+                        }
+                        sc.counts.push((sc.partners.len() - before) as u32);
+                    }
+                });
+            FALLBACK_CHUNKS
+        };
+
+        // Concatenate the per-cell streams into CSR. Cells ascending and
+        // atoms within a cell in span order give exactly sorted atom order.
+        self.start.clear();
+        self.start.reserve(n + 1);
+        self.start.push(0);
+        let mut total = 0usize;
+        for sc in &self.scratch[..n_lists] {
+            for &cnt in &sc.counts {
+                total += cnt as usize;
+                self.start.push(total);
+            }
+        }
+        debug_assert_eq!(self.start.len(), n + 1);
+        self.partners.clear();
+        self.partners.reserve(total);
+        for sc in &self.scratch[..n_lists] {
+            self.partners.extend_from_slice(&sc.partners);
+        }
+    }
+}
+
+/// All mutable state of the streaming kernel: the prepared stream plus the
+/// fixed-chunk force accumulators. Owned by the engine's `StepWorkspace`;
+/// steady-state evaluation allocates nothing.
+#[derive(Clone, Debug)]
+pub struct NonbondedWorkspace {
+    stream: NonbondedStream,
+    chunks: Vec<Vec<Vec3>>,
+}
+
+impl Default for NonbondedWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NonbondedWorkspace {
+    pub fn new() -> Self {
+        NonbondedWorkspace {
+            stream: NonbondedStream::new(),
+            chunks: (0..NB_CHUNKS).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// The prepared stream (inspection / tests).
+    pub fn stream(&self) -> &NonbondedStream {
+        &self.stream
+    }
+
+    /// Force a stream rebuild on the next evaluation.
+    pub fn invalidate(&mut self) {
+        self.stream.invalidate();
+    }
+
+    /// The `NB_CHUNKS` per-chunk force buffers, for callers that drive
+    /// `pairkernel::nonbonded_forces_parallel` directly.
+    pub fn chunk_buffers_mut(&mut self) -> &mut [Vec<Vec3>] {
+        &mut self.chunks
+    }
+}
+
+/// Evaluate one chunk of sorted rows against the stream, accumulating into
+/// `local` (indexed in sorted space).
+#[inline]
+fn stream_rows(
+    stream: &NonbondedStream,
+    table: &PairTable,
+    alpha: f64,
+    lo: usize,
+    hi: usize,
+    local: &mut [Vec3],
+) -> NonbondedEnergy {
+    let hb = HalfBox::new(&stream.pbc);
+    let cutoff_sq = table.cutoff_sq;
+    let mut out = NonbondedEnergy::default();
+    for s in lo..hi {
+        let ps = stream.pos[s];
+        let qs = stream.charge[s];
+        let row = table.row(stream.lj_type[s]);
+        let mut fs = Vec3::ZERO;
+        for &t in &stream.partners[stream.start[s]..stream.start[s + 1]] {
+            let t = t as usize;
+            let d = hb.min_image(ps - stream.pos[t]);
+            let r_sq = d.norm_sq();
+            if r_sq >= cutoff_sq {
+                continue;
+            }
+            let e = row[stream.lj_type[t] as usize];
+            let (f_lj, f_coul, e_lj, e_coul) =
+                pair_interaction_split(r_sq, e.a, e.b, e.shift, qs * stream.charge[t], alpha);
+            let f_over_r = f_lj + f_coul;
+            let f = d * f_over_r;
+            fs += f;
+            local[t] -= f;
+            out.lj += e_lj;
+            out.coulomb_real += e_coul;
+            out.virial += f_over_r * r_sq;
+            out.virial_lj += f_lj * r_sq;
+        }
+        local[s] += fs;
+    }
+    out
+}
+
+/// Streaming nonbonded kernel: brings the stream in `ws` up to date for
+/// `system`, evaluates all pairs, and scatters the forces back to original
+/// atom order, accumulating into `forces`.
+///
+/// `table` must be baked from `system`'s force field at `system.nb.cutoff`
+/// (see [`System::pair_table`]). With `parallel` the rows are split into
+/// [`NB_CHUNKS`] fixed chunks reduced in chunk order — bitwise independent
+/// of the rayon thread count. Serial evaluation performs no heap
+/// allocation once the stream is built.
+pub fn nonbonded_forces_streamed(
+    system: &System,
+    table: &PairTable,
+    ws: &mut NonbondedWorkspace,
+    forces: &mut [Vec3],
+    parallel: bool,
+) -> NonbondedEnergy {
+    ws.stream.ensure(system);
+    let stream = &ws.stream;
+    let ns = stream.pos.len();
+    let alpha = system.nb.ewald_alpha;
+
+    if parallel {
+        let bufs = &mut ws.chunks[..NB_CHUNKS];
+        let energies: Vec<NonbondedEnergy> = bufs
+            .par_iter_mut()
+            .enumerate()
+            .map(|(c, local)| {
+                local.resize(ns, Vec3::ZERO);
+                local.iter_mut().for_each(|f| *f = Vec3::ZERO);
+                let lo = c * ns / NB_CHUNKS;
+                let hi = (c + 1) * ns / NB_CHUNKS;
+                stream_rows(stream, table, alpha, lo, hi, local)
+            })
+            .collect();
+        // Deterministic reduction: chunk order is fixed; the scatter maps
+        // sorted indices back to original atom order.
+        let mut total = NonbondedEnergy::default();
+        for (local, e) in bufs.iter().zip(&energies) {
+            for (s, l) in local.iter().enumerate() {
+                forces[stream.order[s] as usize] += *l;
+            }
+            total.lj += e.lj;
+            total.coulomb_real += e.coulomb_real;
+            total.virial += e.virial;
+            total.virial_lj += e.virial_lj;
+        }
+        total
+    } else {
+        let local = &mut ws.chunks[0];
+        local.resize(ns, Vec3::ZERO);
+        local.iter_mut().for_each(|f| *f = Vec3::ZERO);
+        let out = stream_rows(stream, table, alpha, 0, ns, local);
+        for (s, l) in local.iter().enumerate() {
+            forces[stream.order[s] as usize] += *l;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::water_box;
+    use crate::neighbor::NeighborList;
+    use crate::pairkernel::nonbonded_forces;
+
+    fn reference(system: &System) -> (Vec<Vec3>, NonbondedEnergy) {
+        let nl = NeighborList::build(
+            &system.pbc,
+            &system.positions,
+            system.nb.cutoff,
+            system.nb.skin,
+        );
+        let mut f = vec![Vec3::ZERO; system.n_atoms()];
+        let e = nonbonded_forces(system, &nl, &mut f);
+        (f, e)
+    }
+
+    fn assert_close(a: &[Vec3], ea: NonbondedEnergy, b: &[Vec3], eb: NonbondedEnergy) {
+        let tol = 1e-12;
+        assert!((ea.lj - eb.lj).abs() <= tol * ea.lj.abs().max(1.0));
+        assert!((ea.coulomb_real - eb.coulomb_real).abs() <= tol * ea.coulomb_real.abs().max(1.0));
+        assert!((ea.virial - eb.virial).abs() <= tol * ea.virial.abs().max(1.0));
+        assert!((ea.virial_lj - eb.virial_lj).abs() <= tol * ea.virial_lj.abs().max(1.0));
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).norm() <= tol * (1.0 + x.norm()), "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn streamed_matches_reference_water() {
+        // Water has full exclusions inside each molecule — the baked list
+        // must reproduce them exactly.
+        let s = water_box(5, 5, 5, 3);
+        let table = s.pair_table();
+        let (fr, er) = reference(&s);
+        let mut ws = NonbondedWorkspace::new();
+        for parallel in [false, true] {
+            let mut f = vec![Vec3::ZERO; s.n_atoms()];
+            let e = nonbonded_forces_streamed(&s, &table, &mut ws, &mut f, parallel);
+            assert_close(&fr, er, &f, e);
+        }
+    }
+
+    #[test]
+    fn streamed_matches_reference_small_box_fallback() {
+        let s = water_box(3, 3, 3, 7); // 9.3 Å box → all-pairs fallback
+        let table = s.pair_table();
+        let (fr, er) = reference(&s);
+        let mut ws = NonbondedWorkspace::new();
+        let mut f = vec![Vec3::ZERO; s.n_atoms()];
+        let e = nonbonded_forces_streamed(&s, &table, &mut ws, &mut f, false);
+        assert_close(&fr, er, &f, e);
+    }
+
+    #[test]
+    fn streamed_parallel_is_bitwise_deterministic() {
+        let s = water_box(4, 4, 4, 5);
+        let table = s.pair_table();
+        let run = || {
+            let mut ws = NonbondedWorkspace::new();
+            let mut f = vec![Vec3::ZERO; s.n_atoms()];
+            nonbonded_forces_streamed(&s, &table, &mut ws, &mut f, true);
+            f.iter()
+                .map(|v| v.x.to_bits() ^ v.y.to_bits() ^ v.z.to_bits())
+                .fold(0u64, |a, b| a.rotate_left(1) ^ b)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stream_reuses_list_until_drift_exceeds_half_skin() {
+        let mut s = water_box(5, 5, 5, 11);
+        let table = s.pair_table();
+        let mut ws = NonbondedWorkspace::new();
+        let mut f = vec![Vec3::ZERO; s.n_atoms()];
+        nonbonded_forces_streamed(&s, &table, &mut ws, &mut f, false);
+        let pairs = ws.stream().n_pairs();
+
+        // Small drift: the permutation and list persist, but forces track
+        // the new positions and still match the reference.
+        for p in &mut s.positions {
+            p.x += 0.3; // rigid translation, < skin/2
+        }
+        let mut f = vec![Vec3::ZERO; s.n_atoms()];
+        let e = nonbonded_forces_streamed(&s, &table, &mut ws, &mut f, false);
+        assert_eq!(ws.stream().n_pairs(), pairs, "list must not rebuild");
+        let (fr, er) = reference(&s);
+        assert_close(&fr, er, &f, e);
+
+        // Past skin/2 the rebuild criterion fires.
+        for p in &mut s.positions {
+            p.x += 0.4;
+        }
+        let mut f = vec![Vec3::ZERO; s.n_atoms()];
+        let e = nonbonded_forces_streamed(&s, &table, &mut ws, &mut f, false);
+        let (fr, er) = reference(&s);
+        assert_close(&fr, er, &f, e);
+    }
+
+    #[test]
+    fn box_change_forces_rebuild() {
+        let mut s = water_box(5, 5, 5, 13);
+        let table = s.pair_table();
+        let mut ws = NonbondedWorkspace::new();
+        let mut f = vec![Vec3::ZERO; s.n_atoms()];
+        nonbonded_forces_streamed(&s, &table, &mut ws, &mut f, false);
+
+        // A barostat-style rescale moves atoms by far less than skin/2 but
+        // changes the box; the stream must notice via the box, not drift.
+        let mu = 1.0005;
+        s.pbc = PbcBox::new(s.pbc.lx * mu, s.pbc.ly * mu, s.pbc.lz * mu);
+        for p in &mut s.positions {
+            *p = *p * mu;
+        }
+        let mut f = vec![Vec3::ZERO; s.n_atoms()];
+        let e = nonbonded_forces_streamed(&s, &table, &mut ws, &mut f, false);
+        let (fr, er) = reference(&s);
+        assert_close(&fr, er, &f, e);
+    }
+
+    #[test]
+    fn half_box_min_image_matches_division_form() {
+        let pbc = PbcBox::new(31.04, 24.0, 40.0);
+        let hb = HalfBox::new(&pbc);
+        let pts = [
+            Vec3::new(0.1, 0.2, 0.3),
+            Vec3::new(30.9, 23.9, 39.9),
+            Vec3::new(15.5, 12.0, 20.0),
+            Vec3::new(0.0, 23.999, 0.001),
+        ];
+        for &a in &pts {
+            for &b in &pts {
+                let got = hb.min_image(a - b);
+                let want = pbc.min_image(a, b);
+                assert_eq!(got, want, "a={a:?} b={b:?}");
+            }
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! The simulated system: topology + force field + box + dynamic state.
 
-use crate::forcefield::{ForceField, NonbondedSettings};
+use crate::forcefield::{ForceField, NonbondedSettings, PairTable};
 use crate::pbc::PbcBox;
 use crate::topology::Topology;
 use crate::units::{ke_from_temperature, temperature_from_ke};
@@ -133,6 +133,12 @@ impl System {
     /// Number density, atoms/Å³.
     pub fn density(&self) -> f64 {
         self.n_atoms() as f64 / self.pbc.volume()
+    }
+
+    /// Bake the per-type-pair parameter table for this system's force field
+    /// at its configured cutoff (input to the streaming kernel).
+    pub fn pair_table(&self) -> PairTable {
+        PairTable::new(&self.forcefield, self.nb.cutoff)
     }
 }
 

@@ -98,6 +98,13 @@ impl Exclusions {
     pub fn n_excluded_pairs(&self) -> usize {
         self.full.iter().map(|v| v.len()).sum::<usize>() / 2
     }
+
+    /// The sorted fully-excluded partners of atom `i` (empty if the table
+    /// was never built or `i` is out of range).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        self.full.get(i).map_or(&[], |row| row.as_slice())
+    }
 }
 
 /// The complete chemical description of a system, independent of coordinates.

@@ -4,7 +4,8 @@
 //! the allocator at all: the density/potential grids, the FFT scratch, and
 //! the interpolation chunk buffers are all owned by the workspace and
 //! reused across steps. This binary holds exactly one test so the counting
-//! allocator sees no concurrent noise from sibling tests.
+//! allocator sees no concurrent noise from sibling tests; the matching
+//! guarantee for the short-force path lives in `alloc_short_force.rs`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
