@@ -2,7 +2,7 @@
 //! component (the grid-based k-space solve).
 
 use anton2_md::builders::water_box;
-use anton2_md::engine::{Engine, EngineConfig};
+use anton2_md::engine::Engine;
 use anton2_md::gse::{Gse, GseParams};
 use anton2_md::vec3::Vec3;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -13,7 +13,7 @@ fn bench_engine_step(c: &mut Criterion) {
     for side in [4usize, 6] {
         let mut sys = water_box(side, side, side, 1);
         sys.thermalize(300.0, 2);
-        let mut engine = Engine::new(sys, EngineConfig::quick());
+        let mut engine = Engine::builder().system(sys).quick().build().unwrap();
         engine.minimize(100, 1.0);
         engine.system.thermalize(300.0, 3);
         g.throughput(Throughput::Elements(engine.system.n_atoms() as u64));

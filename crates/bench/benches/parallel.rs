@@ -107,7 +107,7 @@ fn big_engine(parallelism: Parallelism) -> Engine {
     sys.thermalize(300.0, 14);
     let mut cfg = EngineConfig::quick();
     cfg.parallelism = parallelism;
-    Engine::new(sys, cfg)
+    Engine::builder().system(sys).config(cfg).build().unwrap()
 }
 
 fn bench_whole_step(c: &mut Criterion) {

@@ -1,0 +1,119 @@
+//! Measured step-phase breakdowns from the real engine's telemetry layer.
+//!
+//! Runs the reference engine at `TelemetryLevel::Phases` over a size sweep
+//! and writes `BENCH_phases.json` at the workspace root: per-phase per-step
+//! times (the detailed taxonomy), the same profile folded into the machine
+//! model's `BreakdownUs` schema, the work counters, and the fraction of the
+//! run's wall-clock the timed phases account for. The coverage number is
+//! the honesty check — the phase taxonomy is meant to tile the whole step,
+//! so anything far below 1.0 means untimed work crept in.
+//!
+//! Also times a telemetry-off run of the same system so the instrumentation
+//! overhead is visible (it should disappear into run-to-run noise).
+
+use anton2_md::builders::water_box;
+use anton2_md::engine::{Engine, RunSummary};
+use anton2_md::system::System;
+use anton2_md::telemetry::{Counters, MeasuredBreakdownUs, PhaseBreakdownUs, TelemetryLevel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+
+/// Water cubes of 3·side³ atoms: 375 and 1536 atoms — small enough that the
+/// sweep finishes in seconds, large enough that phases dominate timer cost.
+const SIDES: [usize; 2] = [5, 8];
+const STEPS: usize = 20;
+
+#[derive(Serialize)]
+struct PhaseRecord {
+    atoms: usize,
+    steps: u64,
+    /// Mean wall-clock per step, µs, with phase timing on.
+    step_us_timed: f64,
+    /// Mean wall-clock per step, µs, with telemetry off (overhead baseline).
+    step_us_off: f64,
+    /// Per-phase totals over the run, µs.
+    phases_us: PhaseBreakdownUs,
+    /// Per-step average folded into the machine model's schema.
+    breakdown: MeasuredBreakdownUs,
+    counters: Counters,
+    /// `phases_us.total()` over the timed run's wall-clock.
+    phase_coverage: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    steps: usize,
+    sizes: Vec<PhaseRecord>,
+}
+
+fn build_system(side: usize) -> System {
+    let mut sys = water_box(side, side, side, 31);
+    sys.thermalize(300.0, 32);
+    sys
+}
+
+fn run_with(sys: &System, level: TelemetryLevel) -> RunSummary {
+    let mut engine = Engine::builder()
+        .system(sys.clone())
+        .quick()
+        .telemetry(level)
+        .build()
+        .expect("valid bench configuration");
+    engine.run(STEPS)
+}
+
+fn sweep_one(side: usize) -> PhaseRecord {
+    let sys = build_system(side);
+    let timed = run_with(&sys, TelemetryLevel::Phases);
+    let off = run_with(&sys, TelemetryLevel::Off);
+    PhaseRecord {
+        atoms: timed.atoms,
+        steps: timed.steps,
+        step_us_timed: timed.wall_s * 1e6 / timed.steps as f64,
+        step_us_off: off.wall_s * 1e6 / off.steps as f64,
+        phases_us: timed.phases,
+        breakdown: timed.breakdown,
+        counters: timed.counters,
+        phase_coverage: timed.phase_coverage(),
+    }
+}
+
+/// Measured phase breakdowns at each size, written to `BENCH_phases.json`.
+fn report_phase_breakdown(_c: &mut Criterion) {
+    let report = Report {
+        steps: STEPS,
+        sizes: SIDES.iter().map(|&side| sweep_one(side)).collect(),
+    };
+    for r in &report.sizes {
+        let b = &r.breakdown;
+        println!(
+            "phases {} atoms: {:.1} µs/step timed ({:.1} off), coverage {:.0}% — \
+             import {:.1}  pairs {:.1}  bonded {:.1}  kspace {:.1}  integrate {:.1} µs/step; \
+             {} pairs, {} FFT lines",
+            r.atoms,
+            r.step_us_timed,
+            r.step_us_off,
+            r.phase_coverage * 100.0,
+            b.import_comm,
+            b.htis,
+            b.bonded,
+            b.kspace,
+            b.integrate,
+            r.counters.pairs_evaluated,
+            r.counters.fft_lines
+        );
+        assert!(
+            r.phase_coverage > 0.95,
+            "timed phases cover only {:.1}% of the step at {} atoms",
+            r.phase_coverage * 100.0,
+            r.atoms
+        );
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_phases.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(path, json).expect("write BENCH_phases.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, report_phase_breakdown);
+criterion_main!(benches);

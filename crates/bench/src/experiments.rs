@@ -377,7 +377,7 @@ pub fn f7_fidelity() -> ExperimentResult {
     // NVE conservation of the serial reference engine.
     let mut sys = water_box(4, 4, 4, 8);
     sys.thermalize(300.0, 9);
-    let mut engine = Engine::new(sys, EngineConfig::quick());
+    let mut engine = Engine::builder().system(sys).quick().build().unwrap();
     engine.minimize(150, 1.0);
     engine.system.thermalize(300.0, 10);
     let mut tracker = DriftTracker::new();
@@ -553,7 +553,7 @@ pub fn f10_respa_sweep() -> ExperimentResult {
         cfg.respa = RespaSchedule {
             kspace_interval: interval,
         };
-        let mut engine = Engine::new(sys, cfg);
+        let mut engine = Engine::builder().system(sys).config(cfg).build().unwrap();
         engine.minimize(120, 1.0);
         engine.system.thermalize(300.0, 22);
         let mut tracker = DriftTracker::new();

@@ -509,7 +509,7 @@ mod trajectory_tests {
         let mut cfg = EngineConfig::quick();
         cfg.dt_fs = 2.0;
         cfg.respa = anton2_md::integrate::RespaSchedule { kspace_interval: 2 };
-        let mut engine = Engine::new(sys, cfg);
+        let mut engine = Engine::builder().system(sys).config(cfg).build().unwrap();
         engine.minimize(100, 1.0);
         engine.system.thermalize(300.0, 5);
         let t = timed_trajectory(&mut engine, crate::config::MachineConfig::anton2(8), 4, 2);
@@ -536,7 +536,7 @@ mod trajectory_tests {
         let mut cfg = EngineConfig::quick();
         cfg.dt_fs = 2.0;
         cfg.respa = anton2_md::integrate::RespaSchedule { kspace_interval: 2 };
-        let mut engine = Engine::new(sys, cfg);
+        let mut engine = Engine::builder().system(sys).config(cfg).build().unwrap();
         engine.minimize(120, 1.0);
         engine.system.thermalize(300.0, 15);
         engine.run(100); // settle the lattice start into a fluid

@@ -4,6 +4,7 @@
 use crate::config::MachineConfig;
 use crate::machine::{Machine, StepResult};
 use crate::plan::StepPlan;
+use anton2_md::telemetry::StepProfile;
 use anton2_md::units::us_per_day;
 use anton2_md::System;
 use serde::{Deserialize, Serialize};
@@ -17,6 +18,25 @@ pub struct BreakdownUs {
     pub kspace: f64,
     pub integrate: f64,
     pub barriers: f64,
+}
+
+/// Bridge from a *measured* engine profile (`anton2_md::telemetry`) into the
+/// machine model's breakdown schema: the per-step average with phases folded
+/// exactly as `StepProfile::breakdown_us` documents. Simulated and measured
+/// breakdowns serialize to the same JSON fields, so EXPERIMENTS.md can put
+/// them side by side.
+impl From<&StepProfile> for BreakdownUs {
+    fn from(profile: &StepProfile) -> Self {
+        let m = profile.breakdown_us();
+        BreakdownUs {
+            import_comm: m.import_comm,
+            htis: m.htis,
+            bonded: m.bonded,
+            kspace: m.kspace,
+            integrate: m.integrate,
+            barriers: m.barriers,
+        }
+    }
 }
 
 /// The result of one machine-performance simulation.
@@ -147,6 +167,43 @@ mod tests {
         let row = r.row();
         assert!(row.contains("Anton 2"));
         assert!(row.contains("µs/day"));
+    }
+
+    #[test]
+    fn measured_profile_bridges_into_machine_schema() {
+        use anton2_md::engine::Engine;
+        use anton2_md::telemetry::{ManualClock, Phase, TelemetryLevel};
+
+        let mut sys = water_box(3, 3, 3, 5);
+        sys.thermalize(300.0, 6);
+        let mut e = Engine::builder()
+            .system(sys)
+            .quick()
+            .telemetry(TelemetryLevel::Phases)
+            .clock(Box::new(ManualClock::new(1000)))
+            .build()
+            .unwrap();
+        e.run(2);
+        let profile = e.profile();
+        let b = BreakdownUs::from(&profile);
+        // Field-by-field agreement with the md-side schema twin.
+        let m = profile.breakdown_us();
+        assert_eq!(b.import_comm, m.import_comm);
+        assert_eq!(b.htis, m.htis);
+        assert_eq!(b.kspace, m.kspace);
+        assert_eq!(b.barriers, 0.0);
+        // The bridge preserves totals: sum of coarse buckets = sum of phases.
+        let coarse = b.import_comm + b.htis + b.bonded + b.kspace + b.integrate;
+        let fine: f64 = Phase::ALL
+            .iter()
+            .map(|&p| profile.phase_ns(p) as f64 * 1e-3 / profile.steps as f64)
+            .sum();
+        assert!((coarse - fine).abs() < 1e-9);
+        // Both serialize with identical field names.
+        let j = serde_json::to_string(&b).unwrap();
+        for field in ["import_comm", "htis", "bonded", "kspace", "integrate"] {
+            assert!(j.contains(field), "missing {field} in {j}");
+        }
     }
 
     #[test]

@@ -18,13 +18,19 @@ use crate::pairkernel::{excluded_corrections, scaled14_corrections};
 use crate::pbc::PbcBox;
 use crate::pressure::{bonded_virial, pressure_atm, BerendsenBarostat};
 use crate::settle::{settle_positions, settle_velocities, SettleParams};
-use crate::stream::{nonbonded_forces_streamed, NonbondedWorkspace};
+use crate::stream::{nonbonded_forces_streamed_profiled, NonbondedWorkspace};
 use crate::system::System;
+use crate::telemetry::{
+    Clock, Counters, MeasuredBreakdownUs, Phase, PhaseBreakdownUs, StepProfile, Telemetry,
+    TelemetryLevel,
+};
 use crate::thermostat::{Berendsen, NoseHooverChain};
-use crate::units::fs_to_internal;
+use crate::units::{fs_to_internal, us_per_day};
 use crate::vec3::Vec3;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
 
 /// Which long-range electrostatics solver the engine uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,6 +122,287 @@ impl EngineConfig {
     }
 }
 
+/// Why an [`EngineBuilder::build`] call was rejected. Every variant is a
+/// configuration problem the caller can fix; nothing here panics.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// No [`System`] was supplied to the builder.
+    MissingSystem,
+    /// The system has zero atoms.
+    EmptySystem,
+    /// `dt_fs` must be finite and in `(0, 100]` fs.
+    InvalidTimestep(f64),
+    /// SHAKE/RATTLE tolerance must be finite and positive.
+    InvalidShakeTol(f64),
+    /// RESPA `kspace_interval` must be ≥ 1.
+    InvalidKspaceInterval(u32),
+    /// `barostat_period` must be ≥ 1 when a barostat is configured.
+    InvalidBarostatPeriod(u32),
+    /// A thermostat parameter is out of range; the message names it.
+    InvalidThermostat(&'static str),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::MissingSystem => write!(f, "no system supplied to the builder"),
+            EngineError::EmptySystem => write!(f, "system has zero atoms"),
+            EngineError::InvalidTimestep(dt) => {
+                write!(f, "timestep {dt} fs must be finite and in (0, 100]")
+            }
+            EngineError::InvalidShakeTol(tol) => {
+                write!(f, "SHAKE tolerance {tol} must be finite and positive")
+            }
+            EngineError::InvalidKspaceInterval(k) => {
+                write!(f, "RESPA kspace_interval {k} must be >= 1")
+            }
+            EngineError::InvalidBarostatPeriod(p) => {
+                write!(f, "barostat_period {p} must be >= 1")
+            }
+            EngineError::InvalidThermostat(what) => write!(f, "invalid thermostat: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Fluent constructor for [`Engine`]: choose a system, override pieces of
+/// [`EngineConfig`], pick a [`TelemetryLevel`], then [`EngineBuilder::build`].
+/// Validation happens once, in `build`, returning [`EngineError`] instead of
+/// panicking mid-run.
+///
+/// ```
+/// use anton2_md::builders::water_box;
+/// use anton2_md::engine::Engine;
+/// use anton2_md::telemetry::TelemetryLevel;
+///
+/// let engine = Engine::builder()
+///     .system(water_box(3, 3, 3, 1))
+///     .quick()
+///     .telemetry(TelemetryLevel::Counters)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(engine.step_count(), 0);
+/// ```
+pub struct EngineBuilder {
+    system: Option<System>,
+    cfg: EngineConfig,
+    telemetry: TelemetryLevel,
+    clock: Option<Box<dyn Clock>>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            system: None,
+            cfg: EngineConfig::default(),
+            telemetry: TelemetryLevel::Off,
+            clock: None,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// The system to simulate (required).
+    pub fn system(mut self, system: System) -> Self {
+        self.system = Some(system);
+        self
+    }
+
+    /// Replace the whole configuration at once (escape hatch for call sites
+    /// that already assembled an [`EngineConfig`]).
+    pub fn config(mut self, cfg: EngineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Conservative test settings: 1 fs timestep, k-space every step
+    /// (see [`EngineConfig::quick`]).
+    pub fn quick(mut self) -> Self {
+        self.cfg = EngineConfig {
+            dt_fs: 1.0,
+            respa: RespaSchedule { kspace_interval: 1 },
+            ..self.cfg
+        };
+        self
+    }
+
+    /// Timestep in femtoseconds.
+    pub fn dt_fs(mut self, dt_fs: f64) -> Self {
+        self.cfg.dt_fs = dt_fs;
+        self
+    }
+
+    /// RESPA multiple-timestepping schedule.
+    pub fn respa(mut self, respa: RespaSchedule) -> Self {
+        self.cfg.respa = respa;
+        self
+    }
+
+    /// Long-range electrostatics method.
+    pub fn kspace(mut self, kspace: KspaceMethod) -> Self {
+        self.cfg.kspace = kspace;
+        self
+    }
+
+    /// Thermostat selection.
+    pub fn thermostat(mut self, thermostat: Thermostat) -> Self {
+        self.cfg.thermostat = thermostat;
+        self
+    }
+
+    /// Use SETTLE for rigid waters (default true).
+    pub fn use_settle(mut self, use_settle: bool) -> Self {
+        self.cfg.use_settle = use_settle;
+        self
+    }
+
+    /// SHAKE/RATTLE relative tolerance.
+    pub fn shake_tol(mut self, shake_tol: f64) -> Self {
+        self.cfg.shake_tol = shake_tol;
+        self
+    }
+
+    /// RNG seed for stochastic thermostats.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Pressure coupling, applied every `period` steps.
+    pub fn barostat(mut self, barostat: BerendsenBarostat, period: u32) -> Self {
+        self.cfg.barostat = Some(barostat);
+        self.cfg.barostat_period = period;
+        self
+    }
+
+    /// Threading policy for the force kernels.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.cfg.parallelism = parallelism;
+        self
+    }
+
+    /// How much the engine's telemetry sink records (default
+    /// [`TelemetryLevel::Off`], which compiles instrumentation points down
+    /// to predictable branches).
+    pub fn telemetry(mut self, level: TelemetryLevel) -> Self {
+        self.telemetry = level;
+        self
+    }
+
+    /// Inject a custom [`Clock`] for phase timing (tests pass
+    /// [`crate::telemetry::ManualClock`] for deterministic attribution).
+    pub fn clock(mut self, clock: Box<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Validate the configuration and build the engine (computing initial
+    /// forces). The only fallible step in the engine's lifecycle.
+    pub fn build(self) -> Result<Engine, EngineError> {
+        let system = self.system.ok_or(EngineError::MissingSystem)?;
+        if system.n_atoms() == 0 {
+            return Err(EngineError::EmptySystem);
+        }
+        let cfg = self.cfg;
+        if !cfg.dt_fs.is_finite() || cfg.dt_fs <= 0.0 || cfg.dt_fs > 100.0 {
+            return Err(EngineError::InvalidTimestep(cfg.dt_fs));
+        }
+        if !cfg.shake_tol.is_finite() || cfg.shake_tol <= 0.0 {
+            return Err(EngineError::InvalidShakeTol(cfg.shake_tol));
+        }
+        if cfg.respa.kspace_interval == 0 {
+            return Err(EngineError::InvalidKspaceInterval(0));
+        }
+        if cfg.barostat.is_some() && cfg.barostat_period == 0 {
+            return Err(EngineError::InvalidBarostatPeriod(0));
+        }
+        let positive = |x: f64| x.is_finite() && x > 0.0;
+        match cfg.thermostat {
+            Thermostat::Berendsen { t_kelvin, tau_fs } => {
+                if !positive(t_kelvin) {
+                    return Err(EngineError::InvalidThermostat("Berendsen t_kelvin <= 0"));
+                }
+                if !positive(tau_fs) {
+                    return Err(EngineError::InvalidThermostat("Berendsen tau_fs <= 0"));
+                }
+            }
+            Thermostat::Langevin {
+                t_kelvin,
+                gamma_per_ps,
+            } => {
+                if !positive(t_kelvin) {
+                    return Err(EngineError::InvalidThermostat("Langevin t_kelvin <= 0"));
+                }
+                if !positive(gamma_per_ps) {
+                    return Err(EngineError::InvalidThermostat("Langevin gamma_per_ps <= 0"));
+                }
+            }
+            Thermostat::NoseHoover { t_kelvin, tau_fs } => {
+                if !positive(t_kelvin) {
+                    return Err(EngineError::InvalidThermostat("NoseHoover t_kelvin <= 0"));
+                }
+                if !positive(tau_fs) {
+                    return Err(EngineError::InvalidThermostat("NoseHoover tau_fs <= 0"));
+                }
+            }
+            Thermostat::None => {}
+        }
+        let tel = match self.clock {
+            Some(clock) => Telemetry::with_clock(self.telemetry, clock),
+            None => Telemetry::new(self.telemetry),
+        };
+        Ok(Engine::from_parts(system, cfg, tel))
+    }
+}
+
+/// What a completed [`Engine::run`] did: throughput in the paper's headline
+/// unit (µs/day), energy drift, the per-phase time breakdown, and the work
+/// counters — everything EXPERIMENTS.md tables are made of, as one
+/// serializable value.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct RunSummary {
+    /// Steps executed by this run.
+    pub steps: u64,
+    /// Timestep, fs.
+    pub dt_fs: f64,
+    /// Simulated time covered by this run, fs.
+    pub simulated_fs: f64,
+    /// Atoms in the system.
+    pub atoms: usize,
+    /// Wall-clock for the run, seconds.
+    pub wall_s: f64,
+    /// Simulated µs per wall-clock day at this run's observed rate.
+    pub us_per_day: f64,
+    /// Total energy (kcal/mol) before the first step of the run.
+    pub energy_start: f64,
+    /// Total energy (kcal/mol) after the last step of the run.
+    pub energy_end: f64,
+    /// Energy drift normalized the way MD papers quote it:
+    /// kcal/mol per atom per simulated ns.
+    pub drift_kcal_per_mol_ns_atom: f64,
+    /// Per-phase wall-clock totals over the run, µs
+    /// (all zero unless the engine was built at [`TelemetryLevel::Phases`]).
+    pub phases: PhaseBreakdownUs,
+    /// Per-step average in the machine model's `BreakdownUs` schema.
+    pub breakdown: MeasuredBreakdownUs,
+    /// Work counters accumulated over the run.
+    pub counters: Counters,
+}
+
+impl RunSummary {
+    /// Fraction of the run's wall-clock accounted for by the timed phases
+    /// (0 when timing was off or the run was empty). The phase taxonomy is
+    /// meant to cover the whole step, so at [`TelemetryLevel::Phases`] this
+    /// should be close to 1.
+    pub fn phase_coverage(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.phases.total() / (self.wall_s * 1e6)
+    }
+}
+
 /// Reusable per-step scratch owned by the engine: k-space grids and FFT
 /// scratch, the per-chunk bonded force buffers, and the streaming nonbonded
 /// workspace (cell-sorted atom stream, baked neighbor list, chunk force
@@ -125,14 +412,18 @@ pub struct StepWorkspace {
     gse: Option<GseWorkspace>,
     bonded: Vec<Vec<Vec3>>,
     nonbonded: NonbondedWorkspace,
+    /// Telemetry sink: phase timers and work counters live with the rest of
+    /// the per-step scratch so the hot path touches one struct.
+    tel: Telemetry,
 }
 
 impl StepWorkspace {
-    fn for_engine(gse: Option<&Gse>) -> Self {
+    fn for_engine(gse: Option<&Gse>, tel: Telemetry) -> Self {
         StepWorkspace {
             gse: gse.map(GseWorkspace::for_gse),
             bonded: (0..BONDED_CHUNKS).map(|_| Vec::new()).collect(),
             nonbonded: NonbondedWorkspace::new(),
+            tel,
         }
     }
 }
@@ -141,14 +432,15 @@ impl StepWorkspace {
 ///
 /// ```
 /// use anton2_md::builders::water_box;
-/// use anton2_md::engine::{Engine, EngineConfig};
+/// use anton2_md::engine::Engine;
 ///
 /// let mut system = water_box(3, 3, 3, 1);
 /// system.thermalize(300.0, 2);
-/// let mut engine = Engine::new(system, EngineConfig::quick());
-/// engine.run(5);
+/// let mut engine = Engine::builder().system(system).quick().build().unwrap();
+/// let summary = engine.run(5);
+/// assert_eq!(summary.steps, 5);
 /// assert_eq!(engine.step_count(), 5);
-/// assert!(engine.energies().total().is_finite());
+/// assert!(summary.energy_end.is_finite());
 /// ```
 pub struct Engine {
     pub system: System,
@@ -172,8 +464,24 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Build an engine and compute initial forces.
-    pub fn new(mut system: System, cfg: EngineConfig) -> Self {
+    /// Start configuring an engine. See [`EngineBuilder`].
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Build an engine and compute initial forces, panicking on an invalid
+    /// configuration. Kept as a shim for old call sites.
+    #[deprecated(since = "0.2.0", note = "use Engine::builder() and handle EngineError")]
+    pub fn new(system: System, cfg: EngineConfig) -> Self {
+        Engine::builder()
+            .system(system)
+            .config(cfg)
+            .build()
+            .expect("invalid engine configuration")
+    }
+
+    /// Assemble the engine from validated parts and compute initial forces.
+    fn from_parts(mut system: System, cfg: EngineConfig, tel: Telemetry) -> Self {
         system.wrap_positions();
         let pair_table = system.pair_table();
         let settle = SettleParams::tip3p();
@@ -208,7 +516,7 @@ impl Engine {
             _ => None,
         };
         let n = system.n_atoms();
-        let ws = StepWorkspace::for_engine(gse.as_ref());
+        let ws = StepWorkspace::for_engine(gse.as_ref(), tel);
         let mut engine = Engine {
             system,
             cfg,
@@ -247,6 +555,23 @@ impl Engine {
         self.step as f64 * self.cfg.dt_fs
     }
 
+    /// Streaming access to the telemetry sink: level, accumulated
+    /// [`StepProfile`], counters. All zeros at [`TelemetryLevel::Off`].
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.ws.tel
+    }
+
+    /// Snapshot of the accumulated profile (cheap `Copy`; diff two
+    /// snapshots with [`StepProfile::since`] to profile a window).
+    pub fn profile(&self) -> StepProfile {
+        *self.ws.tel.profile()
+    }
+
+    /// Zero the accumulated telemetry profile (level and clock unchanged).
+    pub fn reset_telemetry(&mut self) {
+        self.ws.tel.reset();
+    }
+
     /// Instantaneous pressure (atm) from the virial decomposition: LJ pair
     /// virial (tracked by the kernel) + bonded virial + the exact Ewald
     /// identity `W_coul = U_coul` (see `crate::pressure`).
@@ -278,21 +603,25 @@ impl Engine {
         // and the box, rebuilding its cell-sorted stream + baked list only
         // when needed. The parallel path uses fixed chunking (not
         // thread-count-dependent), so results are bitwise reproducible.
-        let nb = nonbonded_forces_streamed(
+        let nb = nonbonded_forces_streamed_profiled(
             &self.system,
             &self.pair_table,
             &mut self.ws.nonbonded,
             &mut self.f_short,
             parallel,
+            &mut self.ws.tel,
         );
         self.ledger.lj = nb.lj;
         self.ledger.coulomb_real = nb.coulomb_real;
+        let t0 = self.ws.tel.start();
         let (e_excl, _) = excluded_corrections(&self.system, &mut self.f_short);
         self.ledger.coulomb_excluded = e_excl;
         let (lj14, coul14, _, v14_lj) = scaled14_corrections(&self.system, &mut self.f_short);
+        self.ws.tel.stop(Phase::ShortRange, t0);
         self.virial_lj = nb.virial_lj + v14_lj;
         self.ledger.lj14 = lj14;
         self.ledger.coulomb14 = coul14;
+        let t0 = self.ws.tel.start();
         let be = if parallel {
             all_bonded_forces_parallel(
                 &self.system.topology,
@@ -309,6 +638,7 @@ impl Engine {
                 &mut self.f_short,
             )
         };
+        self.ws.tel.stop(Phase::Bonded, t0);
         self.ledger.bond = be.bond;
         self.ledger.angle = be.angle;
         self.ledger.dihedral = be.dihedral;
@@ -330,30 +660,35 @@ impl Engine {
                     .gse
                     .as_mut()
                     .expect("GSE workspace sized at construction");
-                self.ledger.coulomb_kspace = gse.energy_forces_with(
+                self.ledger.coulomb_kspace = gse.energy_forces_profiled(
                     &self.system.positions,
                     charges,
                     &mut self.f_long,
                     ws,
                     parallel,
+                    &mut self.ws.tel,
                 );
             }
             KspaceMethod::ClassicEwald => {
                 let ks = self.ewald.as_ref().expect("Ewald planned at construction");
+                let t0 = self.ws.tel.start();
                 self.ledger.coulomb_kspace = ks.energy_forces(
                     &self.system.pbc,
                     &self.system.positions,
                     charges,
                     &mut self.f_long,
                 );
+                self.ws.tel.stop(Phase::Fft, t0);
             }
             KspaceMethod::None => {
                 self.ledger.coulomb_kspace = 0.0;
             }
         }
         if self.cfg.kspace != KspaceMethod::None {
+            let t0 = self.ws.tel.start();
             self.ledger.coulomb_self = self_energy(alpha, charges);
             self.ledger.coulomb_background = background_energy(alpha, &self.system.pbc, charges);
+            self.ws.tel.stop(Phase::Fft, t0);
         } else {
             self.ledger.coulomb_self = 0.0;
             self.ledger.coulomb_background = 0.0;
@@ -380,6 +715,7 @@ impl Engine {
         let k = self.cfg.respa.kspace_weight();
         let dt = fs_to_internal(self.cfg.dt_fs);
 
+        let t0 = self.ws.tel.start();
         if let Some(nh) = self.nh.as_mut() {
             nh.half_step(
                 &mut self.system.velocities,
@@ -387,8 +723,10 @@ impl Engine {
                 self.cfg.dt_fs,
             );
         }
+        self.ws.tel.stop(Phase::Thermostat, t0);
 
         // Pre-kick: short force every step, long impulse at outer boundaries.
+        let t0 = self.ws.tel.start();
         self.kick_scaled(true, 1.0);
         if self.cfg.respa.kspace_due(self.step) {
             self.kick_scaled(false, k);
@@ -404,11 +742,15 @@ impl Engine {
             .map(|(p, v)| *p + *v * dt)
             .collect();
         self.system.positions = unconstrained.clone();
+        self.ws.tel.stop(Phase::Integration, t0);
+        let t0 = self.ws.tel.start();
         self.apply_position_constraints(&reference);
+        self.ws.tel.stop(Phase::Constraints, t0);
         // Velocity correction from the constraint displacement. The
         // constrained position may sit in a different periodic image than
         // the unconstrained one (SETTLE works in unwrapped molecule-local
         // coordinates), so the displacement must be taken minimum-image.
+        let t0 = self.ws.tel.start();
         let pbc = self.system.pbc;
         for ((v, pc), pu) in self
             .system
@@ -419,8 +761,9 @@ impl Engine {
         {
             *v += pbc.min_image(*pc, *pu) / dt;
         }
+        self.ws.tel.stop(Phase::Integration, t0);
 
-        // New forces.
+        // New forces (timed inside the force pipeline itself).
         self.compute_short_forces();
         let outer_boundary = self.cfg.respa.kspace_due(self.step + 1);
         if outer_boundary {
@@ -428,15 +771,20 @@ impl Engine {
         }
 
         // Post-kick.
+        let t0 = self.ws.tel.start();
         self.kick_scaled(true, 1.0);
         if outer_boundary {
             self.kick_scaled(false, k);
         }
+        self.ws.tel.stop(Phase::Integration, t0);
 
         // Constrain velocities along rigid bonds.
+        let t0 = self.ws.tel.start();
         self.apply_velocity_constraints();
+        self.ws.tel.stop(Phase::Constraints, t0);
 
         // Thermostats.
+        let t0 = self.ws.tel.start();
         match self.cfg.thermostat {
             Thermostat::Berendsen { t_kelvin, tau_fs } => {
                 let b = Berendsen {
@@ -471,9 +819,13 @@ impl Engine {
             }
             Thermostat::None => {}
         }
+        self.ws.tel.stop(Phase::Thermostat, t0);
 
+        let t0 = self.ws.tel.start();
         self.ledger.kinetic = self.system.kinetic_energy();
+        self.ws.tel.stop(Phase::Integration, t0);
         self.step += 1;
+        self.ws.tel.step_done();
 
         if let Some(barostat) = self.cfg.barostat {
             if self.step.is_multiple_of(self.cfg.barostat_period as u64) {
@@ -553,10 +905,63 @@ impl Engine {
         self.compute_long_forces();
     }
 
-    /// Run `n` steps.
-    pub fn run(&mut self, n: usize) {
+    /// Run `n` steps and summarize them: throughput, energy drift, phase
+    /// breakdown, counters. Phase times and counters are non-zero only when
+    /// the engine was built with a [`TelemetryLevel`] above `Off`; the
+    /// wall-clock and energy fields are always filled.
+    pub fn run(&mut self, n: usize) -> RunSummary {
+        let before = *self.ws.tel.profile();
+        let e0 = self.ledger.total();
+        let wall = Instant::now();
         for _ in 0..n {
             self.step();
+        }
+        self.summarize(n as u64, e0, wall.elapsed().as_secs_f64(), &before)
+    }
+
+    /// Step until simulated time reaches `target_fs` (measured from time
+    /// zero, not from the current step), summarizing the steps taken. A
+    /// target at or behind the current time runs zero steps.
+    pub fn run_until_fs(&mut self, target_fs: f64) -> RunSummary {
+        let before = *self.ws.tel.profile();
+        let e0 = self.ledger.total();
+        let wall = Instant::now();
+        let mut steps = 0u64;
+        // Half-step tolerance so `run_until_fs(k * dt)` lands on step k even
+        // when `k * dt` is not exactly representable.
+        while self.time_fs() + 0.5 * self.cfg.dt_fs < target_fs {
+            self.step();
+            steps += 1;
+        }
+        self.summarize(steps, e0, wall.elapsed().as_secs_f64(), &before)
+    }
+
+    fn summarize(&self, steps: u64, e0: f64, wall_s: f64, before: &StepProfile) -> RunSummary {
+        let profile = self.ws.tel.profile().since(before);
+        let simulated_fs = steps as f64 * self.cfg.dt_fs;
+        let e1 = self.ledger.total();
+        let atoms = self.system.n_atoms();
+        RunSummary {
+            steps,
+            dt_fs: self.cfg.dt_fs,
+            simulated_fs,
+            atoms,
+            wall_s,
+            us_per_day: if steps > 0 && wall_s > 0.0 {
+                us_per_day(self.cfg.dt_fs, wall_s / steps as f64)
+            } else {
+                0.0
+            },
+            energy_start: e0,
+            energy_end: e1,
+            drift_kcal_per_mol_ns_atom: if steps > 0 && atoms > 0 {
+                (e1 - e0) / (simulated_fs * 1e-6) / atoms as f64
+            } else {
+                0.0
+            },
+            phases: profile.phases_us(),
+            breakdown: profile.breakdown_us(),
+            counters: profile.counters,
         }
     }
 
@@ -712,7 +1117,11 @@ mod tests {
 
     #[test]
     fn engine_runs_and_counts_steps() {
-        let mut e = Engine::new(water_box(3, 3, 3, 1), EngineConfig::quick());
+        let mut e = Engine::builder()
+            .system(water_box(3, 3, 3, 1))
+            .quick()
+            .build()
+            .unwrap();
         e.run(3);
         assert_eq!(e.step_count(), 3);
         assert!((e.time_fs() - 3.0).abs() < 1e-12);
@@ -720,7 +1129,11 @@ mod tests {
 
     #[test]
     fn forces_are_finite_after_construction() {
-        let e = Engine::new(water_box(3, 3, 3, 1), EngineConfig::quick());
+        let e = Engine::builder()
+            .system(water_box(3, 3, 3, 1))
+            .quick()
+            .build()
+            .unwrap();
         for f in e.short_forces().iter().chain(e.long_forces()) {
             assert!(f.is_finite());
         }
@@ -730,7 +1143,7 @@ mod tests {
     fn water_stays_rigid_through_dynamics() {
         let mut sys = water_box(3, 3, 3, 2);
         sys.thermalize(300.0, 3);
-        let mut e = Engine::new(sys, EngineConfig::quick());
+        let mut e = Engine::builder().system(sys).quick().build().unwrap();
         e.run(20);
         let p = SettleParams::tip3p();
         for w in &e.system.topology.waters {
@@ -747,7 +1160,7 @@ mod tests {
     fn nve_conserves_energy_water() {
         let mut sys = water_box(3, 3, 3, 4);
         sys.thermalize(300.0, 5);
-        let mut e = Engine::new(sys, EngineConfig::quick());
+        let mut e = Engine::builder().system(sys).quick().build().unwrap();
         // Short relaxation so the lattice start is not pathological.
         e.minimize(150, 1.0);
         e.system.thermalize(300.0, 6);
@@ -769,7 +1182,7 @@ mod tests {
         sys.thermalize(120.0, 6);
         let mut cfg = EngineConfig::quick();
         cfg.kspace = KspaceMethod::None;
-        let mut e = Engine::new(sys, cfg);
+        let mut e = Engine::builder().system(sys).config(cfg).build().unwrap();
         e.minimize(100, 1.0);
         e.system.thermalize(120.0, 7);
         let mut tracker = DriftTracker::new();
@@ -790,10 +1203,14 @@ mod tests {
             sys.thermalize(300.0, 9);
             sys
         };
-        let mut every = Engine::new(build(), EngineConfig::quick());
+        let mut every = Engine::builder().system(build()).quick().build().unwrap();
         let mut cfg = EngineConfig::quick();
         cfg.respa = RespaSchedule { kspace_interval: 2 };
-        let mut mts = Engine::new(build(), cfg);
+        let mut mts = Engine::builder()
+            .system(build())
+            .config(cfg)
+            .build()
+            .unwrap();
         every.run(10);
         mts.run(10);
         let mut worst: f64 = 0.0;
@@ -812,7 +1229,7 @@ mod tests {
             t_kelvin: 300.0,
             tau_fs: 50.0,
         };
-        let mut e = Engine::new(sys, cfg);
+        let mut e = Engine::builder().system(sys).config(cfg).build().unwrap();
         e.minimize(100, 1.0);
         e.system.thermalize(500.0, 12);
         e.run(300);
@@ -825,7 +1242,7 @@ mod tests {
         let run = || {
             let mut sys = water_box(2, 2, 2, 20);
             sys.thermalize(300.0, 21);
-            let mut e = Engine::new(sys, EngineConfig::quick());
+            let mut e = Engine::builder().system(sys).quick().build().unwrap();
             e.run(5);
             e.system
                 .positions
@@ -845,11 +1262,15 @@ mod tests {
             sys.thermalize(200.0, 31);
             sys
         };
-        let mut with_settle = Engine::new(build(), EngineConfig::quick());
+        let mut with_settle = Engine::builder().system(build()).quick().build().unwrap();
         let mut cfg = EngineConfig::quick();
         cfg.use_settle = false;
         cfg.shake_tol = 1e-12;
-        let mut with_shake = Engine::new(build(), cfg);
+        let mut with_shake = Engine::builder()
+            .system(build())
+            .config(cfg)
+            .build()
+            .unwrap();
         with_settle.run(5);
         with_shake.run(5);
         for (a, b) in with_settle
@@ -867,9 +1288,198 @@ mod tests {
 
     #[test]
     fn minimize_reduces_potential() {
-        let mut e = Engine::new(water_box(3, 3, 3, 40), EngineConfig::quick());
+        let mut e = Engine::builder()
+            .system(water_box(3, 3, 3, 40))
+            .quick()
+            .build()
+            .unwrap();
         let before = e.energies().potential();
         let after = e.minimize(100, 0.5);
         assert!(after <= before, "minimize went uphill: {before} -> {after}");
+    }
+
+    #[test]
+    fn builder_rejects_bad_configurations() {
+        assert_eq!(
+            Engine::builder().build().map(|_| ()),
+            Err(EngineError::MissingSystem)
+        );
+        let sys = || water_box(2, 2, 2, 50);
+        assert_eq!(
+            Engine::builder()
+                .system(sys())
+                .dt_fs(0.0)
+                .build()
+                .map(|_| ()),
+            Err(EngineError::InvalidTimestep(0.0))
+        );
+        assert_eq!(
+            Engine::builder()
+                .system(sys())
+                .dt_fs(f64::NAN)
+                .build()
+                .map(|_| ())
+                .map_err(|e| matches!(e, EngineError::InvalidTimestep(_))),
+            Err(true)
+        );
+        assert_eq!(
+            Engine::builder()
+                .system(sys())
+                .shake_tol(-1.0)
+                .build()
+                .map(|_| ()),
+            Err(EngineError::InvalidShakeTol(-1.0))
+        );
+        assert_eq!(
+            Engine::builder()
+                .system(sys())
+                .respa(RespaSchedule { kspace_interval: 0 })
+                .build()
+                .map(|_| ()),
+            Err(EngineError::InvalidKspaceInterval(0))
+        );
+        assert_eq!(
+            Engine::builder()
+                .system(sys())
+                .barostat(BerendsenBarostat::water(1.0, 100.0), 0)
+                .build()
+                .map(|_| ()),
+            Err(EngineError::InvalidBarostatPeriod(0))
+        );
+        assert_eq!(
+            Engine::builder()
+                .system(sys())
+                .thermostat(Thermostat::Langevin {
+                    t_kelvin: -5.0,
+                    gamma_per_ps: 1.0,
+                })
+                .build()
+                .map(|_| ()),
+            Err(EngineError::InvalidThermostat("Langevin t_kelvin <= 0"))
+        );
+        // Errors render a human-readable message.
+        assert!(EngineError::MissingSystem.to_string().contains("system"));
+    }
+
+    #[test]
+    fn run_summary_reports_steps_and_throughput() {
+        let mut sys = water_box(3, 3, 3, 60);
+        sys.thermalize(300.0, 61);
+        let mut e = Engine::builder().system(sys).quick().build().unwrap();
+        let s = e.run(4);
+        assert_eq!(s.steps, 4);
+        assert_eq!(s.atoms, e.system.n_atoms());
+        assert!((s.simulated_fs - 4.0).abs() < 1e-12);
+        assert!(s.wall_s > 0.0);
+        assert!(s.us_per_day > 0.0);
+        assert!(s.energy_start.is_finite() && s.energy_end.is_finite());
+        assert!(s.drift_kcal_per_mol_ns_atom.is_finite());
+        // Telemetry off by default: phases and counters stay zero.
+        assert_eq!(s.phases.total(), 0.0);
+        assert_eq!(s.counters, Counters::default());
+        // Empty runs are well-defined.
+        let empty = e.run(0);
+        assert_eq!(empty.steps, 0);
+        assert_eq!(empty.us_per_day, 0.0);
+        assert_eq!(empty.drift_kcal_per_mol_ns_atom, 0.0);
+    }
+
+    #[test]
+    fn run_until_fs_lands_on_target_time() {
+        let mut e = Engine::builder()
+            .system(water_box(2, 2, 2, 62))
+            .quick()
+            .build()
+            .unwrap();
+        let s = e.run_until_fs(5.0);
+        assert_eq!(s.steps, 5);
+        assert!((e.time_fs() - 5.0).abs() < 1e-9);
+        // A target behind the clock is a no-op.
+        let s = e.run_until_fs(3.0);
+        assert_eq!(s.steps, 0);
+        assert_eq!(e.step_count(), 5);
+    }
+
+    #[test]
+    fn telemetry_phases_cover_the_step() {
+        use crate::telemetry::ManualClock;
+        let mut sys = water_box(3, 3, 3, 63);
+        sys.thermalize(300.0, 64);
+        let mut e = Engine::builder()
+            .system(sys)
+            .quick()
+            .telemetry(TelemetryLevel::Phases)
+            .build()
+            .unwrap();
+        let s = e.run(3);
+        assert_eq!(e.telemetry().profile().steps, 3);
+        // Every structural phase of a GSE step gets non-zero time.
+        for phase in [
+            Phase::ShortRange,
+            Phase::GseSpread,
+            Phase::Fft,
+            Phase::Interpolate,
+            Phase::Bonded,
+            Phase::Constraints,
+            Phase::Integration,
+        ] {
+            assert!(
+                e.telemetry().profile().phase_ns(phase) > 0,
+                "phase {phase:?} recorded no time"
+            );
+        }
+        // Counters moved too. The cold-stream build happened at engine
+        // construction, so it shows in the cumulative profile but not in
+        // the run's diff.
+        assert!(s.counters.pairs_evaluated > 0);
+        assert_eq!(s.counters.rebuilds_initial, 0, "cold build predates run");
+        assert_eq!(e.profile().counters.rebuilds_initial, 1);
+        assert!(s.counters.fft_lines > 0);
+        assert!(s.phases.total() > 0.0);
+        assert!(
+            s.phase_coverage() > 0.5,
+            "phases cover {:.0}% of wall time",
+            s.phase_coverage() * 100.0
+        );
+
+        // With an injected ManualClock the attribution is deterministic.
+        let mut sys = water_box(2, 2, 2, 65);
+        sys.thermalize(300.0, 66);
+        let run = |sys: &System| {
+            let mut e = Engine::builder()
+                .system(sys.clone())
+                .quick()
+                .telemetry(TelemetryLevel::Phases)
+                .clock(Box::new(ManualClock::new(3)))
+                .build()
+                .unwrap();
+            e.run(2);
+            let p = *e.telemetry().profile();
+            Phase::ALL.map(|ph| p.phase_ns(ph))
+        };
+        assert_eq!(run(&sys), run(&sys));
+    }
+
+    #[test]
+    fn reset_telemetry_zeroes_the_profile() {
+        let mut e = Engine::builder()
+            .system(water_box(2, 2, 2, 67))
+            .quick()
+            .telemetry(TelemetryLevel::Counters)
+            .build()
+            .unwrap();
+        e.run(2);
+        assert!(e.profile().counters.pairs_evaluated > 0);
+        e.reset_telemetry();
+        assert_eq!(e.profile().counters, Counters::default());
+        assert_eq!(e.profile().steps, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_still_builds() {
+        let mut e = Engine::new(water_box(2, 2, 2, 68), EngineConfig::quick());
+        e.run(1);
+        assert_eq!(e.step_count(), 1);
     }
 }

@@ -34,17 +34,44 @@ pub fn from_fixed(x: i64) -> f64 {
     x as f64 / FORCE_SCALE
 }
 
+/// Convert one force component to fixed point, saturating at
+/// [`MAX_FORCE`] like a hardware accumulator input stage. Returns the
+/// (possibly clamped) value and whether clamping occurred — the telemetry
+/// layer counts these events (`fixedpoint_clamps`), since a clamp means
+/// the simulated machine silently lost force precision.
+#[inline]
+pub fn to_fixed_saturating(x: f64) -> (i64, bool) {
+    let limit = MAX_FORCE * FORCE_SCALE;
+    let v = (x * FORCE_SCALE).round();
+    if v >= limit {
+        (limit as i64, true)
+    } else if v <= -limit {
+        (-(limit as i64), true)
+    } else {
+        (v as i64, false)
+    }
+}
+
 /// A per-atom fixed-point force accumulator.
 #[derive(Clone, Debug)]
 pub struct FixedAccumulator {
     acc: Vec<[i64; 3]>,
+    /// Saturation events observed by [`FixedAccumulator::add`].
+    clamps: u64,
 }
 
 impl FixedAccumulator {
     pub fn new(n_atoms: usize) -> Self {
         FixedAccumulator {
             acc: vec![[0; 3]; n_atoms],
+            clamps: 0,
         }
+    }
+
+    /// Saturation events since construction or [`FixedAccumulator::clear`]
+    /// (merged accumulators fold their producers' counts in).
+    pub fn clamp_count(&self) -> u64 {
+        self.clamps
     }
 
     pub fn len(&self) -> usize {
@@ -61,9 +88,11 @@ impl FixedAccumulator {
     #[inline]
     pub fn add(&mut self, i: usize, f: Vec3) {
         let a = &mut self.acc[i];
-        a[0] += to_fixed(f.x);
-        a[1] += to_fixed(f.y);
-        a[2] += to_fixed(f.z);
+        for (slot, x) in a.iter_mut().zip([f.x, f.y, f.z]) {
+            let (v, clamped) = to_fixed_saturating(x);
+            *slot += v;
+            self.clamps += clamped as u64;
+        }
     }
 
     /// Add an already-quantized contribution (partial sums shipped between
@@ -94,11 +123,12 @@ impl FixedAccumulator {
         (0..self.acc.len()).map(|i| self.force(i)).collect()
     }
 
-    /// Reset to zero, keeping the allocation.
+    /// Reset to zero (forces and clamp count), keeping the allocation.
     pub fn clear(&mut self) {
         for a in &mut self.acc {
             *a = [0; 3];
         }
+        self.clamps = 0;
     }
 
     /// Merge another accumulator (e.g. one per simulated node) into this
@@ -110,6 +140,7 @@ impl FixedAccumulator {
             a[1] += b[1];
             a[2] += b[2];
         }
+        self.clamps += other.clamps;
     }
 }
 
@@ -211,6 +242,29 @@ mod tests {
         acc.clear();
         assert_eq!(acc.fixed(1), [0, 0, 0]);
         assert_eq!(acc.force(1), Vec3::ZERO);
+    }
+
+    #[test]
+    fn saturation_clamps_and_counts() {
+        let (v, clamped) = to_fixed_saturating(2.0 * MAX_FORCE);
+        assert!(clamped);
+        assert_eq!(v, (MAX_FORCE * FORCE_SCALE) as i64);
+        let (v, clamped) = to_fixed_saturating(-2.0 * MAX_FORCE);
+        assert!(clamped);
+        assert_eq!(v, -((MAX_FORCE * FORCE_SCALE) as i64));
+        let (_, clamped) = to_fixed_saturating(123.456);
+        assert!(!clamped);
+
+        let mut acc = FixedAccumulator::new(2);
+        acc.add(0, v3(1.0, -2.0, 3.0));
+        assert_eq!(acc.clamp_count(), 0);
+        acc.add(1, v3(2.0 * MAX_FORCE, 0.0, -3.0 * MAX_FORCE));
+        assert_eq!(acc.clamp_count(), 2);
+        let mut merged = FixedAccumulator::new(2);
+        merged.merge(&acc);
+        assert_eq!(merged.clamp_count(), 2);
+        acc.clear();
+        assert_eq!(acc.clamp_count(), 0);
     }
 
     #[test]

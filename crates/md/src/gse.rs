@@ -15,6 +15,7 @@
 //! and charges spread by each node.
 
 use crate::pbc::PbcBox;
+use crate::telemetry::{Phase, Telemetry};
 use crate::units::COULOMB;
 use crate::vec3::Vec3;
 use anton2_fft::{Fft3, Fft3Scratch, Grid3, C64};
@@ -324,14 +325,52 @@ impl Gse {
         ws: &mut GseWorkspace,
         parallel: bool,
     ) -> f64 {
+        self.energy_forces_profiled(
+            positions,
+            charges,
+            forces,
+            ws,
+            parallel,
+            &mut Telemetry::off(),
+        )
+    }
+
+    /// [`Gse::energy_forces_with`] with step-phase telemetry: charge
+    /// spreading is timed as [`Phase::GseSpread`], the convolution (both
+    /// FFT passes, the influence multiply, and the grid-energy dot
+    /// product) as [`Phase::Fft`], and the force interpolation as
+    /// [`Phase::Interpolate`]; the FFT line counter advances by the exact
+    /// number of 1D line transforms the two 3D passes execute. Telemetry
+    /// never changes the arithmetic — the result is bitwise identical to
+    /// the unprofiled call.
+    pub fn energy_forces_profiled(
+        &self,
+        positions: &[Vec3],
+        charges: &[f64],
+        forces: &mut [Vec3],
+        ws: &mut GseWorkspace,
+        parallel: bool,
+        tel: &mut Telemetry,
+    ) -> f64 {
+        let t0 = tel.start();
         ws.rho.clear();
         if parallel {
             self.spread_into_parallel(positions, charges, &mut ws.rho);
         } else {
             self.spread_into(positions, charges, &mut ws.rho);
         }
+        tel.stop(Phase::GseSpread, t0);
+
+        let t0 = tel.start();
         self.solve_potential_into(&ws.rho, &mut ws.phi, &mut ws.fft, parallel);
         let energy = self.grid_energy(&ws.rho, &ws.phi);
+        // Each 3D pass runs one 1D transform per grid line along each axis.
+        let p = &self.params;
+        let lines_per_pass = (p.ny * p.nz + p.nx * p.nz + p.nx * p.ny) as u64;
+        tel.count_fft_lines(2 * lines_per_pass);
+        tel.stop(Phase::Fft, t0);
+
+        let t0 = tel.start();
         let n_bufs = if parallel { ws.added.len() } else { 1 };
         self.interpolate_chunked(
             &ws.phi,
@@ -341,6 +380,7 @@ impl Gse {
             &mut ws.added[..n_bufs],
             parallel,
         );
+        tel.stop(Phase::Interpolate, t0);
         energy
     }
 

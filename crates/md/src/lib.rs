@@ -15,7 +15,8 @@
 //! * dynamics: [`integrate`] (velocity Verlet + RESPA), [`thermostat`],
 //!   [`minimize`];
 //! * Anton's determinism property: [`fixedpoint`] force accumulation;
-//! * the serial reference [`engine`] and [`observables`].
+//! * the serial reference [`engine`] and [`observables`];
+//! * step-phase timing and hardware-meaningful counters: [`telemetry`].
 
 pub mod bonded;
 pub mod builders;
@@ -39,14 +40,17 @@ mod proptests;
 pub mod settle;
 pub mod stream;
 pub mod system;
+pub mod telemetry;
 pub mod thermostat;
 pub mod topology;
 pub mod trajectory;
 pub mod units;
 pub mod vec3;
 
+pub use engine::{Engine, EngineBuilder, EngineError, RunSummary};
 pub use forcefield::{ForceField, NonbondedSettings};
 pub use pbc::PbcBox;
 pub use system::System;
+pub use telemetry::{StepProfile, Telemetry, TelemetryLevel};
 pub use topology::Topology;
 pub use vec3::{v3, Vec3};

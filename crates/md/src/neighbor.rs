@@ -21,6 +21,24 @@ use rayon::prelude::*;
 /// output is independent of the thread count.
 const FALLBACK_CHUNKS: usize = 16;
 
+/// Why a neighbor list (or the streaming kernel's baked stream) had to be
+/// rebuilt. Threaded out to the telemetry counters so skin-triggered and
+/// box-triggered rebuilds are distinguishable — a barostat run that
+/// rebuilds every coupling period looks very different from a hot system
+/// churning through its skin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RebuildReason {
+    /// First build (cold list/stream).
+    Initial,
+    /// Some atom drifted more than `skin/2` from its build-time position.
+    SkinExceeded,
+    /// The periodic box changed (barostat rescale), so build-time geometry
+    /// is invalid regardless of drift.
+    BoxChanged,
+    /// Explicitly invalidated (checkpoint restore, parameter change).
+    Invalidated,
+}
+
 /// Reusable construction scratch: per-cell (or per-chunk, in the all-pairs
 /// fallback) candidate pair lists plus the per-row scatter cursor. Kept
 /// inside the list so rebuilds reuse the capacity instead of reallocating a
@@ -40,6 +58,8 @@ pub struct NeighborList {
     pub partners: Vec<u32>,
     /// Positions at build time, for the displacement rebuild criterion.
     ref_positions: Vec<Vec3>,
+    /// Box at build time, for the box-change rebuild criterion.
+    ref_pbc: PbcBox,
     /// Interaction range the list was built for (cutoff + skin).
     pub range: f64,
     skin: f64,
@@ -67,6 +87,7 @@ impl NeighborList {
             start: Vec::new(),
             partners: Vec::new(),
             ref_positions: Vec::new(),
+            ref_pbc: *pbc,
             range: cutoff + skin,
             skin,
             scratch: BuildScratch::default(),
@@ -83,6 +104,7 @@ impl NeighborList {
         let n = positions.len();
         self.ref_positions.clear();
         self.ref_positions.extend_from_slice(positions);
+        self.ref_pbc = *pbc;
 
         if CellGrid::dims_for(pbc, self.range).is_some() {
             let grid = CellGrid::build(pbc, positions, self.range);
@@ -205,14 +227,27 @@ impl NeighborList {
         &self.partners[self.start[i]..self.start[i + 1]]
     }
 
-    /// Whether any atom has drifted far enough that the list may now miss a
-    /// pair inside the true cutoff.
-    pub fn needs_rebuild(&self, pbc: &PbcBox, positions: &[Vec3]) -> bool {
+    /// Whether the list is stale for `positions` in `pbc`, and why:
+    /// `Some(BoxChanged)` if the box differs from build time (checked
+    /// first — a rescale moves every reference position too, so drift
+    /// against them is meaningless), `Some(SkinExceeded)` if any atom
+    /// drifted more than `skin/2`, `None` if the list is still valid.
+    pub fn rebuild_reason(&self, pbc: &PbcBox, positions: &[Vec3]) -> Option<RebuildReason> {
+        if *pbc != self.ref_pbc {
+            return Some(RebuildReason::BoxChanged);
+        }
         let limit_sq = (self.skin / 2.0) * (self.skin / 2.0);
-        positions
+        let drifted = positions
             .iter()
             .zip(&self.ref_positions)
-            .any(|(&p, &r)| pbc.dist_sq(p, r) > limit_sq)
+            .any(|(&p, &r)| pbc.dist_sq(p, r) > limit_sq);
+        drifted.then_some(RebuildReason::SkinExceeded)
+    }
+
+    /// Whether any atom has drifted far enough that the list may now miss a
+    /// pair inside the true cutoff, or the box changed under the list.
+    pub fn needs_rebuild(&self, pbc: &PbcBox, positions: &[Vec3]) -> bool {
+        self.rebuild_reason(pbc, positions).is_some()
     }
 }
 
@@ -309,6 +344,33 @@ mod tests {
         // Past skin/2: rebuild required.
         pos[7] += v3(0.02, 0.0, 0.0);
         assert!(nl.needs_rebuild(&pbc, &pos));
+    }
+
+    #[test]
+    fn box_change_triggers_rebuild_with_distinct_reason() {
+        // Regression: a barostat rescale moves atoms by far less than
+        // skin/2 but invalidates the list geometry; the reason must come
+        // out as BoxChanged, distinguishable from skin-triggered rebuilds.
+        let pbc = PbcBox::cubic(40.0);
+        let mut pos = random_positions(100, 40.0, 17);
+        let nl = NeighborList::build(&pbc, &pos, 9.0, 1.0);
+        assert_eq!(nl.rebuild_reason(&pbc, &pos), None);
+
+        let mu = 1.0005; // tiny rescale: max drift ≈ 0.02 Å ≪ skin/2
+        let scaled = PbcBox::new(pbc.lx * mu, pbc.ly * mu, pbc.lz * mu);
+        let scaled_pos: Vec<Vec3> = pos.iter().map(|&p| p * mu).collect();
+        assert_eq!(
+            nl.rebuild_reason(&scaled, &scaled_pos),
+            Some(RebuildReason::BoxChanged)
+        );
+        assert!(nl.needs_rebuild(&scaled, &scaled_pos));
+
+        // Drift in the *original* box reports SkinExceeded, not BoxChanged.
+        pos[3] += v3(0.6, 0.0, 0.0);
+        assert_eq!(
+            nl.rebuild_reason(&pbc, &pos),
+            Some(RebuildReason::SkinExceeded)
+        );
     }
 
     #[test]

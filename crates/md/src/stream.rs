@@ -30,9 +30,11 @@
 
 use crate::cells::CellGrid;
 use crate::forcefield::PairTable;
+use crate::neighbor::RebuildReason;
 use crate::pairkernel::{pair_interaction_split, NonbondedEnergy, NB_CHUNKS};
 use crate::pbc::PbcBox;
 use crate::system::System;
+use crate::telemetry::{Phase, Telemetry};
 use crate::vec3::Vec3;
 use rayon::prelude::*;
 
@@ -122,6 +124,9 @@ pub struct NonbondedStream {
     range: f64,
     skin: f64,
     built: bool,
+    /// Set by [`NonbondedStream::invalidate`]; distinguishes an explicit
+    /// invalidation from a cold first build in the rebuild-reason counter.
+    invalidated: bool,
     scratch: Vec<CellScratch>,
 }
 
@@ -139,6 +144,7 @@ impl NonbondedStream {
             range: 0.0,
             skin: 0.0,
             built: false,
+            invalidated: false,
             scratch: Vec::new(),
         }
     }
@@ -152,22 +158,46 @@ impl NonbondedStream {
     /// changed externally, e.g. by a checkpoint restore).
     pub fn invalidate(&mut self) {
         self.built = false;
+        self.invalidated = true;
+    }
+
+    /// Why the stream is stale for `system`, or `None` if it is current.
+    /// Checked in priority order: cold/invalidated first, then geometry
+    /// (box or range change, atom count), then skin drift.
+    fn staleness(&self, system: &System) -> Option<RebuildReason> {
+        if !self.built {
+            return Some(if self.invalidated {
+                RebuildReason::Invalidated
+            } else {
+                RebuildReason::Initial
+            });
+        }
+        if self.pbc != system.pbc {
+            return Some(RebuildReason::BoxChanged);
+        }
+        if self.range != system.nb.cutoff + system.nb.skin
+            || self.ref_positions.len() != system.positions.len()
+        {
+            return Some(RebuildReason::Invalidated);
+        }
+        if self.needs_rebuild(&system.pbc, &system.positions) {
+            return Some(RebuildReason::SkinExceeded);
+        }
+        None
     }
 
     /// Bring the stream up to date for `system`: re-gather wrapped
     /// positions, and rebuild the permutation + baked list if any atom
     /// drifted past skin/2, the box changed, or the stream was invalidated.
-    fn ensure(&mut self, system: &System) {
-        let stale = !self.built
-            || self.pbc != system.pbc
-            || self.range != system.nb.cutoff + system.nb.skin
-            || self.ref_positions.len() != system.positions.len()
-            || self.needs_rebuild(&system.pbc, &system.positions);
-        if stale {
+    /// Returns the rebuild trigger if a rebuild happened.
+    fn ensure(&mut self, system: &System) -> Option<RebuildReason> {
+        let stale = self.staleness(system);
+        if stale.is_some() {
             self.rebuild(system);
         } else {
             self.gather_positions(&system.positions);
         }
+        stale
     }
 
     fn needs_rebuild(&self, pbc: &PbcBox, positions: &[Vec3]) -> bool {
@@ -198,6 +228,7 @@ impl NonbondedStream {
         self.skin = system.nb.skin;
         self.pbc = pbc;
         self.built = true;
+        self.invalidated = false;
         self.ref_positions.clear();
         self.ref_positions.extend_from_slice(positions);
         let range_sq = self.range * self.range;
@@ -361,7 +392,9 @@ impl NonbondedWorkspace {
 }
 
 /// Evaluate one chunk of sorted rows against the stream, accumulating into
-/// `local` (indexed in sorted space).
+/// `local` (indexed in sorted space). Returns the energies plus the number
+/// of candidate pairs rejected by the cutoff test (an exact integer, so
+/// chunk sums are independent of evaluation order).
 #[inline]
 fn stream_rows(
     stream: &NonbondedStream,
@@ -370,10 +403,11 @@ fn stream_rows(
     lo: usize,
     hi: usize,
     local: &mut [Vec3],
-) -> NonbondedEnergy {
+) -> (NonbondedEnergy, u64) {
     let hb = HalfBox::new(&stream.pbc);
     let cutoff_sq = table.cutoff_sq;
     let mut out = NonbondedEnergy::default();
+    let mut cut = 0u64;
     for s in lo..hi {
         let ps = stream.pos[s];
         let qs = stream.charge[s];
@@ -384,6 +418,7 @@ fn stream_rows(
             let d = hb.min_image(ps - stream.pos[t]);
             let r_sq = d.norm_sq();
             if r_sq >= cutoff_sq {
+                cut += 1;
                 continue;
             }
             let e = row[stream.lj_type[t] as usize];
@@ -400,7 +435,7 @@ fn stream_rows(
         }
         local[s] += fs;
     }
-    out
+    (out, cut)
 }
 
 /// Streaming nonbonded kernel: brings the stream in `ws` up to date for
@@ -419,14 +454,37 @@ pub fn nonbonded_forces_streamed(
     forces: &mut [Vec3],
     parallel: bool,
 ) -> NonbondedEnergy {
-    ws.stream.ensure(system);
+    nonbonded_forces_streamed_profiled(system, table, ws, forces, parallel, &mut Telemetry::off())
+}
+
+/// [`nonbonded_forces_streamed`] with step-phase telemetry: stream
+/// (re)builds are timed as [`Phase::NeighborRebuild`] and counted by
+/// trigger reason, pair evaluation is timed as [`Phase::ShortRange`], and
+/// the pairs-evaluated/pairs-cut counters are recorded. With telemetry off
+/// this is exactly the plain kernel (no clock reads, no allocation).
+pub fn nonbonded_forces_streamed_profiled(
+    system: &System,
+    table: &PairTable,
+    ws: &mut NonbondedWorkspace,
+    forces: &mut [Vec3],
+    parallel: bool,
+    tel: &mut Telemetry,
+) -> NonbondedEnergy {
+    let t0 = tel.start();
+    if let Some(reason) = ws.stream.ensure(system) {
+        tel.count_rebuild(reason);
+    }
+    tel.stop(Phase::NeighborRebuild, t0);
+
+    let t0 = tel.start();
     let stream = &ws.stream;
     let ns = stream.pos.len();
+    let candidates = stream.partners.len() as u64;
     let alpha = system.nb.ewald_alpha;
 
-    if parallel {
+    let (total, cut) = if parallel {
         let bufs = &mut ws.chunks[..NB_CHUNKS];
-        let energies: Vec<NonbondedEnergy> = bufs
+        let energies: Vec<(NonbondedEnergy, u64)> = bufs
             .par_iter_mut()
             .enumerate()
             .map(|(c, local)| {
@@ -438,9 +496,11 @@ pub fn nonbonded_forces_streamed(
             })
             .collect();
         // Deterministic reduction: chunk order is fixed; the scatter maps
-        // sorted indices back to original atom order.
+        // sorted indices back to original atom order. The cut counter is an
+        // integer sum, so it is bitwise thread-count independent too.
         let mut total = NonbondedEnergy::default();
-        for (local, e) in bufs.iter().zip(&energies) {
+        let mut cut = 0u64;
+        for (local, (e, c)) in bufs.iter().zip(&energies) {
             for (s, l) in local.iter().enumerate() {
                 forces[stream.order[s] as usize] += *l;
             }
@@ -448,18 +508,22 @@ pub fn nonbonded_forces_streamed(
             total.coulomb_real += e.coulomb_real;
             total.virial += e.virial;
             total.virial_lj += e.virial_lj;
+            cut += c;
         }
-        total
+        (total, cut)
     } else {
         let local = &mut ws.chunks[0];
         local.resize(ns, Vec3::ZERO);
         local.iter_mut().for_each(|f| *f = Vec3::ZERO);
-        let out = stream_rows(stream, table, alpha, 0, ns, local);
+        let (out, cut) = stream_rows(stream, table, alpha, 0, ns, local);
         for (s, l) in local.iter().enumerate() {
             forces[stream.order[s] as usize] += *l;
         }
-        out
-    }
+        (out, cut)
+    };
+    tel.count_pairs(candidates - cut, cut);
+    tel.stop(Phase::ShortRange, t0);
+    total
 }
 
 #[cfg(test)]
@@ -582,6 +646,79 @@ mod tests {
         let e = nonbonded_forces_streamed(&s, &table, &mut ws, &mut f, false);
         let (fr, er) = reference(&s);
         assert_close(&fr, er, &f, e);
+    }
+
+    #[test]
+    fn pair_counters_identical_serial_vs_parallel() {
+        use crate::telemetry::TelemetryLevel;
+        let s = water_box(5, 5, 5, 17);
+        let table = s.pair_table();
+        let count = |parallel: bool| {
+            let mut ws = NonbondedWorkspace::new();
+            let mut f = vec![Vec3::ZERO; s.n_atoms()];
+            let mut tel = Telemetry::new(TelemetryLevel::Counters);
+            nonbonded_forces_streamed_profiled(&s, &table, &mut ws, &mut f, parallel, &mut tel);
+            let c = tel.profile().counters;
+            (c.pairs_evaluated, c.pairs_cut)
+        };
+        let (eval_s, cut_s) = count(false);
+        let (eval_p, cut_p) = count(true);
+        assert_eq!(eval_s, eval_p);
+        assert_eq!(cut_s, cut_p);
+        assert!(eval_s > 0 && cut_s > 0, "both branches exercised");
+        // evaluated + cut must exactly cover the candidate list.
+        let mut ws = NonbondedWorkspace::new();
+        let mut f = vec![Vec3::ZERO; s.n_atoms()];
+        nonbonded_forces_streamed(&s, &table, &mut ws, &mut f, false);
+        assert_eq!(eval_s + cut_s, ws.stream().n_pairs() as u64);
+    }
+
+    #[test]
+    fn rebuild_reasons_are_distinguished() {
+        use crate::neighbor::RebuildReason;
+        use crate::telemetry::TelemetryLevel;
+        let mut s = water_box(5, 5, 5, 19);
+        let table = s.pair_table();
+        let mut ws = NonbondedWorkspace::new();
+        let mut f = vec![Vec3::ZERO; s.n_atoms()];
+        let mut tel = Telemetry::new(TelemetryLevel::Counters);
+        let mut go = |s: &System, ws: &mut NonbondedWorkspace, tel: &mut Telemetry| {
+            let mut forces = std::mem::take(&mut f);
+            forces.iter_mut().for_each(|v| *v = Vec3::ZERO);
+            nonbonded_forces_streamed_profiled(s, &table, ws, &mut forces, false, tel);
+            f = forces;
+        };
+        // Cold build.
+        go(&s, &mut ws, &mut tel);
+        assert_eq!(tel.profile().counters.rebuilds_initial, 1);
+        // Steady state: no rebuild.
+        go(&s, &mut ws, &mut tel);
+        assert_eq!(tel.profile().counters.neighbor_rebuilds, 1);
+        // Drift past skin/2.
+        for p in &mut s.positions {
+            p.x += 0.7;
+        }
+        go(&s, &mut ws, &mut tel);
+        assert_eq!(tel.profile().counters.rebuilds_skin, 1);
+        // Barostat-style box change (drift far below skin/2).
+        let mu = 1.0005;
+        s.pbc = PbcBox::new(s.pbc.lx * mu, s.pbc.ly * mu, s.pbc.lz * mu);
+        for p in &mut s.positions {
+            *p = *p * mu;
+        }
+        go(&s, &mut ws, &mut tel);
+        assert_eq!(tel.profile().counters.rebuilds_box, 1);
+        // Explicit invalidation.
+        ws.invalidate();
+        go(&s, &mut ws, &mut tel);
+        let c = tel.profile().counters;
+        assert_eq!(c.rebuilds_invalidated, 1);
+        assert_eq!(c.neighbor_rebuilds, 4);
+        assert_eq!(
+            ws.stream().staleness(&s).map(|_| RebuildReason::Initial),
+            None,
+            "stream current after the last evaluation"
+        );
     }
 
     #[test]

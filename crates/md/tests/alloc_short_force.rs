@@ -15,7 +15,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use anton2_md::builders::water_box;
 use anton2_md::pairkernel::{excluded_corrections, scaled14_corrections};
-use anton2_md::stream::{nonbonded_forces_streamed, NonbondedWorkspace};
+use anton2_md::stream::{nonbonded_forces_streamed_profiled, NonbondedWorkspace};
+use anton2_md::telemetry::Telemetry;
 use anton2_md::vec3::Vec3;
 
 struct CountingAlloc;
@@ -49,12 +50,18 @@ fn short_force_path_allocates_nothing_after_warmup() {
     let mut ws = NonbondedWorkspace::new();
     let mut forces = vec![Vec3::ZERO; s.n_atoms()];
 
-    // Warm-up: builds the stream and sizes every buffer.
+    // Warm-up: builds the stream and sizes every buffer. Running through
+    // the *instrumented* entry point with a disabled sink proves that the
+    // telemetry layer at `TelemetryLevel::Off` adds no allocations (the
+    // sink itself is constructed allocation-free, too).
     let run = |ws: &mut NonbondedWorkspace, forces: &mut Vec<Vec3>| {
+        let mut tel = Telemetry::off();
         forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
-        let e = nonbonded_forces_streamed(&s, &table, ws, forces, false);
+        let e = nonbonded_forces_streamed_profiled(&s, &table, ws, forces, false, &mut tel);
         let (e_excl, _) = excluded_corrections(&s, forces);
         let (lj14, coul14, _, _) = scaled14_corrections(&s, forces);
+        assert_eq!(tel.profile().total_ns(), 0);
+        assert_eq!(tel.profile().counters.pairs_evaluated, 0);
         e.total() + e_excl + lj14 + coul14
     };
     let reference = run(&mut ws, &mut forces);

@@ -26,7 +26,7 @@ fn build(parallelism: Parallelism) -> Engine {
     let sys = solvated_protein(120, 500, 3);
     let mut cfg = EngineConfig::quick();
     cfg.parallelism = parallelism;
-    Engine::new(sys, cfg)
+    Engine::builder().system(sys).config(cfg).build().unwrap()
 }
 
 #[test]

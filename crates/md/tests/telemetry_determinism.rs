@@ -1,0 +1,79 @@
+//! Telemetry determinism contract.
+//!
+//! The counters in a [`StepProfile`] are exact integer sums over sets that
+//! the engine constructs deterministically (the baked pair list, the fixed
+//! chunk decompositions, the FFT grid). They must therefore be bitwise
+//! identical between the serial and parallel force paths at any thread
+//! count — a telemetry-side echo of the engine's fixed-chunk determinism
+//! model. Phase *times* are wall-clock and obviously not reproducible, so
+//! timing determinism is asserted separately through an injected
+//! [`ManualClock`], which makes attribution a pure function of the
+//! instrumentation-point sequence.
+
+use anton2_md::builders::water_box;
+use anton2_md::engine::{Engine, Parallelism};
+use anton2_md::system::System;
+use anton2_md::telemetry::{Counters, ManualClock, Phase, TelemetryLevel, PHASE_COUNT};
+
+fn test_system(seed: u64) -> System {
+    let mut sys = water_box(5, 5, 5, seed);
+    sys.thermalize(300.0, seed + 1);
+    sys
+}
+
+fn run_counters(sys: &System, parallelism: Parallelism, steps: usize) -> Counters {
+    let mut e = Engine::builder()
+        .system(sys.clone())
+        .quick()
+        .parallelism(parallelism)
+        .telemetry(TelemetryLevel::Counters)
+        .build()
+        .unwrap();
+    e.run(steps);
+    e.profile().counters
+}
+
+#[test]
+fn counters_identical_serial_vs_parallel() {
+    let sys = test_system(100);
+    let serial = run_counters(&sys, Parallelism::Serial, 8);
+    let parallel = run_counters(&sys, Parallelism::Parallel, 8);
+    assert!(serial.pairs_evaluated > 0, "no pairs counted");
+    assert!(serial.fft_lines > 0, "no FFT lines counted");
+    assert_eq!(serial, parallel, "counters diverged between force paths");
+}
+
+#[test]
+fn counters_are_reproducible_across_runs() {
+    let sys = test_system(200);
+    let a = run_counters(&sys, Parallelism::Auto, 6);
+    let b = run_counters(&sys, Parallelism::Auto, 6);
+    assert_eq!(a, b);
+    // Rebuild accounting is internally consistent.
+    assert_eq!(
+        a.neighbor_rebuilds,
+        a.rebuilds_initial + a.rebuilds_skin + a.rebuilds_box + a.rebuilds_invalidated
+    );
+}
+
+#[test]
+fn manual_clock_makes_phase_times_deterministic() {
+    let sys = test_system(300);
+    let run = || {
+        let mut e = Engine::builder()
+            .system(sys.clone())
+            .quick()
+            .telemetry(TelemetryLevel::Phases)
+            .clock(Box::new(ManualClock::new(7)))
+            .build()
+            .unwrap();
+        e.run(4);
+        let p = e.profile();
+        let ns: [u64; PHASE_COUNT] = Phase::ALL.map(|ph| p.phase_ns(ph));
+        ns
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "manual-clock phase attribution is not reproducible");
+    assert!(a.iter().sum::<u64>() > 0, "no phase time attributed");
+}

@@ -5,13 +5,116 @@
 //! ```text
 //! cargo run --release --example dhfr_headline
 //! ```
+//!
+//! With `--telemetry-json <path>` it additionally runs a short *measured*
+//! DHFR simulation on the real engine at `TelemetryLevel::Phases` and
+//! writes the phase breakdown (both the detailed taxonomy and the machine
+//! model's `BreakdownUs` schema) next to the simulated one, self-validating
+//! that the timed phases account for the step's wall-clock.
 
 use anton2::core::baseline::CommodityModel;
-use anton2::core::report::simulate_performance;
+use anton2::core::report::{simulate_performance, BreakdownUs};
 use anton2::core::MachineConfig;
 use anton2::md::builders::dhfr_benchmark;
+use anton2::md::engine::Engine;
+use anton2::md::integrate::RespaSchedule;
+use anton2::md::telemetry::{Counters, MeasuredBreakdownUs, PhaseBreakdownUs, TelemetryLevel};
+use serde::Serialize;
+
+/// Everything the telemetry JSON export carries: the measured engine run
+/// beside the co-simulated machine prediction, in comparable units.
+#[derive(Serialize)]
+struct TelemetryExport {
+    system: String,
+    atoms: usize,
+    steps: u64,
+    dt_fs: f64,
+    measured_step_us: f64,
+    measured_us_per_day: f64,
+    phases: PhaseBreakdownUs,
+    measured_breakdown: MeasuredBreakdownUs,
+    simulated_breakdown: BreakdownUs,
+    counters: Counters,
+    phase_coverage: f64,
+}
+
+/// Run a short measured DHFR simulation and write the telemetry JSON.
+fn measured_telemetry(path: &str, simulated_breakdown: BreakdownUs) {
+    const STEPS: usize = 3;
+    let mut system = dhfr_benchmark(1);
+    system.thermalize(300.0, 2);
+    let mut engine = Engine::builder()
+        .system(system)
+        .dt_fs(2.5)
+        .respa(RespaSchedule { kspace_interval: 2 })
+        .telemetry(TelemetryLevel::Phases)
+        .build()
+        .expect("valid DHFR configuration");
+    // One warm-up step so the JSON reflects steady state, not cold builds.
+    engine.run(1);
+    let s = engine.run(STEPS);
+
+    let export = TelemetryExport {
+        system: "DHFR (23.6k atoms)".to_string(),
+        atoms: s.atoms,
+        steps: s.steps,
+        dt_fs: s.dt_fs,
+        measured_step_us: s.wall_s * 1e6 / s.steps as f64,
+        measured_us_per_day: s.us_per_day,
+        phases: s.phases,
+        measured_breakdown: s.breakdown,
+        simulated_breakdown,
+        counters: s.counters,
+        phase_coverage: s.phase_coverage(),
+    };
+    let json = serde_json::to_string_pretty(&export).expect("serialize telemetry");
+
+    // Self-validation: the schema fields the downstream tooling keys on
+    // must be present, and the timed phases must account for the step.
+    for field in [
+        "measured_step_us",
+        "phases",
+        "measured_breakdown",
+        "simulated_breakdown",
+        "import_comm",
+        "htis",
+        "kspace",
+        "pairs_evaluated",
+        "fft_lines",
+        "phase_coverage",
+    ] {
+        assert!(json.contains(field), "telemetry JSON missing field {field}");
+    }
+    assert!(
+        export.phase_coverage > 0.95,
+        "timed phases cover only {:.1}% of the measured step",
+        export.phase_coverage * 100.0
+    );
+    std::fs::write(path, &json).expect("write telemetry JSON");
+
+    let b = &export.measured_breakdown;
+    println!("\nmeasured DHFR step ({} steps after warm-up):", s.steps);
+    println!(
+        "  {:.0} µs/step ({:.6} µs/day), phase coverage {:.0}%",
+        export.measured_step_us,
+        export.measured_us_per_day,
+        export.phase_coverage * 100.0
+    );
+    println!(
+        "  import {:.0}  pairs {:.0}  bonded {:.0}  kspace {:.0}  integrate {:.0} µs/step",
+        b.import_comm, b.htis, b.bonded, b.kspace, b.integrate
+    );
+    println!("telemetry JSON OK → {path}");
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let telemetry_path = args.iter().position(|a| a == "--telemetry-json").map(|i| {
+        args.get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "TELEMETRY_dhfr.json".to_string())
+    });
+
     let system = dhfr_benchmark(1);
     println!(
         "DHFR benchmark: {} atoms, box {:.1} Å, cutoff {:.1} Å",
@@ -55,4 +158,8 @@ fn main() {
         "  180× over any commodity      → {:.0}×",
         a2.us_per_day / cluster.max(gpu)
     );
+
+    if let Some(path) = telemetry_path {
+        measured_telemetry(&path, a2.breakdown);
+    }
 }

@@ -36,7 +36,11 @@ fn main() {
         t_kelvin: 300.0,
         tau_fs: 200.0,
     };
-    let mut engine = Engine::new(system, cfg);
+    let mut engine = Engine::builder()
+        .system(system)
+        .config(cfg)
+        .build()
+        .unwrap();
     print!("minimizing… ");
     let pe = engine.minimize(150, 0.5);
     println!("PE = {pe:.1} kcal/mol");

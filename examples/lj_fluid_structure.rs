@@ -30,7 +30,11 @@ fn main() {
         t_kelvin: 120.0,
         tau_fs: 400.0,
     };
-    let mut engine = Engine::new(system, cfg);
+    let mut engine = Engine::builder()
+        .system(system)
+        .config(cfg)
+        .build()
+        .unwrap();
     engine.minimize(200, 0.5);
     engine.system.thermalize(120.0, 9);
 

@@ -6,8 +6,9 @@
 //! ```
 
 use anton2::md::builders::water_box;
-use anton2::md::engine::{Engine, EngineConfig};
+use anton2::md::engine::Engine;
 use anton2::md::observables::DriftTracker;
+use anton2::md::telemetry::TelemetryLevel;
 
 fn main() {
     // 64 rigid TIP3P-style waters on a jittered lattice, periodic box.
@@ -22,7 +23,12 @@ fn main() {
     );
 
     system.thermalize(300.0, 7);
-    let mut engine = Engine::new(system, EngineConfig::quick());
+    let mut engine = Engine::builder()
+        .system(system)
+        .quick()
+        .telemetry(TelemetryLevel::Phases)
+        .build()
+        .unwrap();
 
     // Relax the synthetic lattice, then re-thermalize.
     let pe = engine.minimize(200, 0.5);
@@ -63,5 +69,24 @@ fn main() {
     println!(
         "rms fluctuation:  {:.4} kcal/mol",
         tracker.rms_fluctuation()
+    );
+
+    // A summarized continuation run: throughput + where the time went.
+    let summary = engine.run(100);
+    println!(
+        "\n100 more steps: {:.1} s wall, {:.2} µs/day simulated throughput",
+        summary.wall_s, summary.us_per_day
+    );
+    let b = summary.breakdown;
+    println!(
+        "per-step breakdown (µs): import {:.1}  pairs {:.1}  bonded {:.1}  kspace {:.1}  integrate {:.1}",
+        b.import_comm, b.htis, b.bonded, b.kspace, b.integrate
+    );
+    println!(
+        "work counters: {} pairs evaluated, {} cut, {} neighbor rebuilds, {} FFT lines",
+        summary.counters.pairs_evaluated,
+        summary.counters.pairs_cut,
+        summary.counters.neighbor_rebuilds,
+        summary.counters.fft_lines
     );
 }

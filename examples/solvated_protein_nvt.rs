@@ -31,7 +31,11 @@ fn main() {
         gamma_per_ps: 2.0,
     };
     cfg.seed = 7;
-    let mut engine = Engine::new(system, cfg);
+    let mut engine = Engine::builder()
+        .system(system)
+        .config(cfg)
+        .build()
+        .unwrap();
     engine.minimize(200, 0.5);
     engine.system.thermalize(300.0, 8);
 

@@ -26,7 +26,11 @@ fn main() {
         t_kelvin: 300.0,
         tau_fs: 200.0,
     };
-    let mut engine = Engine::new(system, cfg);
+    let mut engine = Engine::builder()
+        .system(system)
+        .config(cfg)
+        .build()
+        .unwrap();
     engine.minimize(200, 0.5);
     engine.system.thermalize(300.0, 14);
 

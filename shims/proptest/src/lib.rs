@@ -155,7 +155,7 @@ impl_tuple_strategy!(
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`](vec()).
     pub trait IntoSizeRange {
         fn bounds(&self) -> (usize, usize); // inclusive
     }

@@ -7,12 +7,12 @@
 //! ```
 //! // The smallest possible end-to-end run: a tiny water box, serial engine.
 //! use anton2::md::builders::water_box;
-//! use anton2::md::engine::{Engine, EngineConfig};
+//! use anton2::md::engine::Engine;
 //!
 //! let system = water_box(3, 3, 3, 42);
-//! let mut engine = Engine::new(system, EngineConfig::quick());
-//! engine.run(2);
-//! assert!(engine.step_count() == 2);
+//! let mut engine = Engine::builder().system(system).quick().build().unwrap();
+//! let summary = engine.run(2);
+//! assert!(summary.steps == 2 && engine.step_count() == 2);
 //! ```
 
 pub use anton2_asic as asic;

@@ -11,7 +11,7 @@ use anton2::md::settle::SettleParams;
 fn water_nve_energy_conservation() {
     let mut sys = water_box(3, 3, 3, 4);
     sys.thermalize(300.0, 5);
-    let mut engine = Engine::new(sys, EngineConfig::quick());
+    let mut engine = Engine::builder().system(sys).quick().build().unwrap();
     engine.minimize(150, 1.0);
     engine.system.thermalize(300.0, 6);
     let mut tracker = DriftTracker::new();
@@ -33,10 +33,14 @@ fn gse_and_classic_ewald_agree_through_engine() {
         s.thermalize(200.0, 8);
         s
     };
-    let gse = Engine::new(build(), EngineConfig::quick());
+    let gse = Engine::builder().system(build()).quick().build().unwrap();
     let mut cfg = EngineConfig::quick();
     cfg.kspace = KspaceMethod::ClassicEwald;
-    let classic = Engine::new(build(), cfg);
+    let classic = Engine::builder()
+        .system(build())
+        .config(cfg)
+        .build()
+        .unwrap();
     let a = gse.energies().coulomb();
     let b = classic.energies().coulomb();
     assert!(
@@ -54,7 +58,7 @@ fn rigid_water_constraints_hold_through_long_run() {
         t_kelvin: 300.0,
         tau_fs: 100.0,
     };
-    let mut engine = Engine::new(sys, cfg);
+    let mut engine = Engine::builder().system(sys).config(cfg).build().unwrap();
     engine.minimize(100, 1.0);
     engine.run(200);
     let p = SettleParams::tip3p();
@@ -80,7 +84,7 @@ fn lj_fluid_stays_bound_and_conserves() {
     sys.thermalize(120.0, 12);
     let mut cfg = EngineConfig::quick();
     cfg.kspace = KspaceMethod::None;
-    let mut engine = Engine::new(sys, cfg);
+    let mut engine = Engine::builder().system(sys).config(cfg).build().unwrap();
     engine.minimize(100, 1.0);
     engine.system.thermalize(120.0, 13);
     let mut tracker = DriftTracker::new();
@@ -98,7 +102,7 @@ fn lj_fluid_stays_bound_and_conserves() {
 fn momentum_conserved_in_nve() {
     let mut sys = water_box(3, 3, 3, 14);
     sys.thermalize(300.0, 15);
-    let mut engine = Engine::new(sys, EngineConfig::quick());
+    let mut engine = Engine::builder().system(sys).quick().build().unwrap();
     engine.minimize(100, 1.0);
     engine.system.thermalize(300.0, 16);
     let p0 = engine.system.total_momentum();
@@ -130,7 +134,7 @@ fn virial_pressure_matches_volume_derivative() {
             base.pbc.lz * scale,
         );
         let sys = System::new(top, ForceField::standard(), base.nb, pbc, positions);
-        let engine = Engine::new(sys, EngineConfig::quick());
+        let engine = Engine::builder().system(sys).quick().build().unwrap();
         engine.energies().potential()
     };
     let h = 1e-5;
@@ -142,7 +146,7 @@ fn virial_pressure_matches_volume_derivative() {
     sys.velocities
         .iter_mut()
         .for_each(|v| *v = anton2::md::vec3::Vec3::ZERO);
-    let engine = Engine::new(sys, EngineConfig::quick());
+    let engine = Engine::builder().system(sys).quick().build().unwrap();
     let p_atm = engine.pressure_atm();
     let w = p_atm / anton2::md::pressure::KCAL_PER_MOL_A3_TO_ATM * 3.0 * base.pbc.volume();
 
@@ -177,7 +181,7 @@ fn npt_barostat_regulates_density() {
     };
     cfg.barostat = Some(anton2::md::pressure::BerendsenBarostat::water(1.0, 500.0));
     cfg.barostat_period = 5;
-    let mut engine = Engine::new(sys, cfg);
+    let mut engine = Engine::builder().system(sys).config(cfg).build().unwrap();
     engine.minimize(100, 1.0);
     engine.system.thermalize(300.0, 33);
     let v0 = engine.system.pbc.volume();
@@ -211,7 +215,7 @@ fn checkpoint_restart_is_exact() {
     // (deterministic kernels + deterministic neighbor rebuilds).
     let mut sys = water_box(3, 3, 3, 40);
     sys.thermalize(250.0, 41);
-    let mut engine = Engine::new(sys, EngineConfig::quick());
+    let mut engine = Engine::builder().system(sys).quick().build().unwrap();
     engine.minimize(80, 1.0);
     engine.system.thermalize(250.0, 42);
     engine.run(30);
@@ -251,7 +255,7 @@ fn water_self_diffusion_in_physical_range() {
         t_kelvin: 300.0,
         tau_fs: 200.0,
     };
-    let mut engine = Engine::new(sys, cfg);
+    let mut engine = Engine::builder().system(sys).config(cfg).build().unwrap();
     engine.minimize(150, 0.5);
     engine.system.thermalize(300.0, 52);
     engine.run(400); // equilibrate 0.8 ps
@@ -283,7 +287,7 @@ fn lj_fluid_has_liquid_structure() {
         t_kelvin: 120.0,
         tau_fs: 400.0,
     };
-    let mut engine = Engine::new(sys, cfg);
+    let mut engine = Engine::builder().system(sys).config(cfg).build().unwrap();
     engine.minimize(150, 0.5);
     engine.system.thermalize(120.0, 19);
     engine.run(500);
