@@ -57,7 +57,7 @@ mod proptests {
                 prop_assert!(p.core < n_cores);
             }
             // No overlap per core.
-            let mut by_core: std::collections::HashMap<u32, Vec<(SimTime, SimTime)>> =
+            let mut by_core: std::collections::BTreeMap<u32, Vec<(SimTime, SimTime)>> =
                 Default::default();
             for p in &placements {
                 by_core.entry(p.core).or_default().push((p.start, p.finish));

@@ -214,9 +214,9 @@ mod tests {
         let zones = gather_zones(&s, &decomp);
         let owned = decomp.assign(&s);
         for node in 0..8usize {
-            let tower_ids: std::collections::HashSet<u32> =
+            let tower_ids: std::collections::BTreeSet<u32> =
                 zones[node].tower.iter().map(|&(a, _)| a).collect();
-            let plate_ids: std::collections::HashSet<u32> =
+            let plate_ids: std::collections::BTreeSet<u32> =
                 zones[node].plate.iter().map(|&(a, _)| a).collect();
             for &a in &owned[node] {
                 assert!(tower_ids.contains(&a), "owned atom {a} missing from tower");

@@ -355,7 +355,10 @@ impl StepPlan {
             let gy1 = ((c.y as usize + 1) * grid.1) / torus.ny as usize;
             let gz_len = (grid.2 / torus.nz as usize + 2 * margin as usize).min(grid.2);
             // Count grid columns per (rank_x, rank_y) with wrapping.
-            let mut per_rank: std::collections::HashMap<u32, u64> = Default::default();
+            // BTreeMap so the spread-message list (and the recv_points
+            // accumulation) is built in rank order, independent of hasher
+            // state.
+            let mut per_rank: std::collections::BTreeMap<u32, u64> = Default::default();
             for gx in (gx0 as i64 - margin)..(gx1 as i64 + margin) {
                 let gx = gx.rem_euclid(grid.0 as i64) as usize;
                 let rx = (gx / xb) as u32;
@@ -699,7 +702,7 @@ mod tests {
     #[test]
     fn spread_targets_are_pencil_hosts() {
         let (p, _) = plan_for(8);
-        let hosts: std::collections::HashSet<u32> =
+        let hosts: std::collections::BTreeSet<u32> =
             (0..p.pencil.ranks()).map(|r| p.pencil.node_of(r)).collect();
         for msgs in &p.comm.spread_msgs {
             for &(dst, bytes) in msgs {

@@ -1,0 +1,162 @@
+//! Committed baseline of grandfathered findings.
+//!
+//! A baseline entry suppresses one finding without touching the source.
+//! Entries key on a fingerprint of `(rule, path, excerpt, occurrence)` —
+//! *not* the line number — so unrelated edits that shift lines do not
+//! invalidate the baseline, while editing the offending line itself does.
+//!
+//! The workspace ships with an **empty** baseline: every finding the tool
+//! knows about has been fixed or carries an inline
+//! `// anton2-lint: allow(<rule>)` justification. The file exists so that
+//! a future emergency has a paved path (`--update-baseline`) that is
+//! reviewable in the diff.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// FNV-1a 64-bit, the usual dependency-free stable hash.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable fingerprint for a finding. `occurrence` disambiguates identical
+/// excerpts of the same rule in the same file (0-based, in report order).
+pub fn fingerprint(f: &Finding, occurrence: usize) -> u64 {
+    let mut key = Vec::new();
+    key.extend_from_slice(f.rule.name().as_bytes());
+    key.push(0);
+    key.extend_from_slice(f.path.as_bytes());
+    key.push(0);
+    key.extend_from_slice(f.excerpt.as_bytes());
+    key.push(0);
+    key.extend_from_slice(&(occurrence as u64).to_le_bytes());
+    fnv1a64(&key)
+}
+
+/// Assign occurrence indices to `findings` (which must be in report order)
+/// and return each finding's fingerprint, parallel to the input.
+pub fn fingerprints(findings: &[Finding]) -> Vec<u64> {
+    let mut seen: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    findings
+        .iter()
+        .map(|f| {
+            let key = (f.rule.name().to_string(), f.path.clone(), f.excerpt.clone());
+            let occ = seen.entry(key).or_insert(0);
+            let fp = fingerprint(f, *occ);
+            *occ += 1;
+            fp
+        })
+        .collect()
+}
+
+/// Render findings as baseline file content.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# anton2-lint baseline — grandfathered findings, one per line.\n\
+         # Format: <rule>\\t<path>\\t<fingerprint-hex>\\t<excerpt>\n\
+         # Regenerate with: cargo run -p anton2-lint -- --update-baseline\n",
+    );
+    for (f, fp) in findings.iter().zip(fingerprints(findings)) {
+        out.push_str(&format!(
+            "{}\t{}\t{fp:016x}\t{}\n",
+            f.rule.name(),
+            f.path,
+            f.excerpt
+        ));
+    }
+    out
+}
+
+/// Parse baseline content into the set of suppressed fingerprints.
+/// Unparseable lines are ignored (the file is hand-editable).
+pub fn parse(content: &str) -> Vec<u64> {
+    content
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .filter_map(|l| {
+            let mut cols = l.split('\t');
+            let _rule = cols.next()?;
+            let _path = cols.next()?;
+            let fp = cols.next()?;
+            u64::from_str_radix(fp, 16).ok()
+        })
+        .collect()
+}
+
+/// Drop findings whose fingerprint appears in the baseline.
+pub fn filter(findings: Vec<Finding>, baseline: &[u64]) -> Vec<Finding> {
+    let fps = fingerprints(&findings);
+    findings
+        .into_iter()
+        .zip(fps)
+        .filter(|(_, fp)| !baseline.contains(fp))
+        .map(|(f, _)| f)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn finding(rule: Rule, path: &str, line: u32, excerpt: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message: "m".to_string(),
+            excerpt: excerpt.to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trip_suppresses_everything() {
+        let fs = vec![
+            finding(Rule::Nondet, "a.rs", 3, "use std::collections::HashMap;"),
+            finding(Rule::ZeroAlloc, "b.rs", 9, "v.push(x);"),
+            finding(Rule::ZeroAlloc, "b.rs", 12, "v.push(x);"), // same excerpt
+        ];
+        let rendered = render(&fs);
+        let parsed = parse(&rendered);
+        assert_eq!(parsed.len(), 3);
+        assert!(filter(fs, &parsed).is_empty());
+    }
+
+    #[test]
+    fn line_drift_keeps_suppression_but_edits_invalidate() {
+        let before = vec![finding(Rule::Nondet, "a.rs", 3, "let m = HashMap::new();")];
+        let baseline = parse(&render(&before));
+        // Same excerpt on a different line: still suppressed.
+        let drifted = vec![finding(Rule::Nondet, "a.rs", 30, "let m = HashMap::new();")];
+        assert!(filter(drifted, &baseline).is_empty());
+        // Edited line: resurfaces.
+        let edited = vec![finding(
+            Rule::Nondet,
+            "a.rs",
+            3,
+            "let m = HashMap::default();",
+        )];
+        assert_eq!(filter(edited, &baseline).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_excerpts_need_matching_count() {
+        let two = vec![
+            finding(Rule::ZeroAlloc, "b.rs", 1, "v.push(x);"),
+            finding(Rule::ZeroAlloc, "b.rs", 2, "v.push(x);"),
+        ];
+        let baseline_one = parse(&render(&two[..1]));
+        // Only the first occurrence is baselined; the second resurfaces.
+        assert_eq!(filter(two, &baseline_one).len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        assert!(parse("# header\n\n# more\n").is_empty());
+    }
+}

@@ -1,0 +1,433 @@
+//! A small hand-rolled lexer over Rust source, sufficient for token-level
+//! static analysis. No `syn`, no `proc-macro2` — the workspace builds
+//! offline, and a dependency-free lexer keeps the tool honest: every rule
+//! below is defined purely in terms of what this lexer emits.
+//!
+//! The lexer produces two parallel streams:
+//!
+//! * **Tokens** — identifiers, numeric literals, and punctuation, each
+//!   tagged with a 1-based line number. String/char literal *contents* are
+//!   never tokenized (a `"HashMap"` in a string cannot trip a rule), and
+//!   lifetimes are distinguished from char literals.
+//! * **Comments** — line and block comments with their line spans, kept so
+//!   rules can find `// SAFETY:` justifications and
+//!   `// anton2-lint: allow(<rule>)` escape hatches. Consecutive line
+//!   comments merge into one block, so multi-line justifications behave
+//!   like a single comment.
+
+/// Kind of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unsafe`, …).
+    Ident,
+    /// Numeric literal, suffix included (`0.0`, `1e-3`, `0f64`, `0xff`).
+    Num,
+    /// Punctuation; two-char operators (`::`, `+=`, `==`, …) are one token.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// 1-based source line.
+    pub line: u32,
+    pub kind: Kind,
+    pub text: String,
+}
+
+/// One comment (line or block), with the source lines it spans.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based first line.
+    pub line: u32,
+    /// 1-based last line (== `line` for line comments).
+    pub end_line: u32,
+    /// Full comment text, delimiters included.
+    pub text: String,
+}
+
+/// Lexer output: token and comment streams.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Two-character operators emitted as a single punct token. Order matters
+/// only for readability; lookup is exact.
+const TWO_CHAR_OPS: &[&str] = &[
+    "::", "->", "=>", "+=", "-=", "*=", "/=", "%=", "^=", "|=", "&=", "==", "!=", "<=", ">=", "&&",
+    "||", "..", "<<", ">>",
+];
+
+/// Lex `source` into tokens and comments. Never fails: unrecognized bytes
+/// are skipped (the tool lints code that already compiles, so anything
+/// surprising is inside a literal form we chose not to model).
+pub fn lex(source: &str) -> Lexed {
+    let b: Vec<char> = source.chars().collect();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Helper closures capture nothing mutable; we inline instead.
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                // Line comment (incl. `///` and `//!` docs). Runs of line
+                // comments on consecutive lines merge into one block, so a
+                // `// SAFETY:` or `// anton2-lint: allow(...)` directive may
+                // carry a multi-line justification and still cover the code
+                // line that follows the run.
+                let start = i;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                match out.comments.last_mut() {
+                    Some(prev) if prev.text.starts_with("//") && prev.end_line + 1 == line => {
+                        prev.end_line = line;
+                        prev.text.push('\n');
+                        prev.text.push_str(&text);
+                    }
+                    _ => out.comments.push(Comment {
+                        line,
+                        end_line: line,
+                        text,
+                    }),
+                }
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Block comment, possibly nested.
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: b[start..i].iter().collect(),
+                });
+            }
+            '"' => {
+                i = skip_string(&b, i, &mut line);
+            }
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => {
+                i = skip_raw_or_byte_string(&b, i, &mut line);
+            }
+            '\'' => {
+                // Lifetime (`'a`, `'static`) vs. char literal (`'x'`, `'\n'`).
+                if i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                    // Scan the ident run; a trailing `'` makes it a char
+                    // literal like `'a'`, otherwise it is a lifetime.
+                    let mut j = i + 1;
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '\'' && j == i + 2 {
+                        i = j + 1; // char literal 'x'
+                    } else {
+                        i = j; // lifetime — drop it, rules don't need it
+                    }
+                } else {
+                    // Char literal with escape or punctuation content.
+                    i += 1;
+                    if i < n && b[i] == '\\' {
+                        i += 2; // skip escape lead; tail consumed below
+                        while i < n && b[i] != '\'' {
+                            if b[i] == '\n' {
+                                line += 1;
+                            }
+                            i += 1;
+                        }
+                        i += 1;
+                    } else {
+                        if i < n {
+                            if b[i] == '\n' {
+                                line += 1;
+                            }
+                            i += 1; // the char itself
+                        }
+                        if i < n && b[i] == '\'' {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    line,
+                    kind: Kind::Ident,
+                    text: b[start..i].iter().collect(),
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                // Integer / hex / binary part plus suffix letters.
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                // Fraction: only if `.` is followed by a digit (so `0..10`
+                // stays a range, `x.0` member access is handled at `.`).
+                if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                // Exponent sign (`1e-3` lexes `1e` then `-`; glue it back).
+                if i < n
+                    && (b[i] == '+' || b[i] == '-')
+                    && b[i - 1].eq_ignore_ascii_case(&'e')
+                    && b[start..i].iter().any(|c| c.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Tok {
+                    line,
+                    kind: Kind::Num,
+                    text: b[start..i].iter().collect(),
+                });
+            }
+            _ => {
+                // Punctuation: prefer two-char operators.
+                if i + 1 < n {
+                    let two: String = b[i..i + 2].iter().collect();
+                    if TWO_CHAR_OPS.contains(&two.as_str()) {
+                        out.tokens.push(Tok {
+                            line,
+                            kind: Kind::Punct,
+                            text: two,
+                        });
+                        i += 2;
+                        continue;
+                    }
+                }
+                out.tokens.push(Tok {
+                    line,
+                    kind: Kind::Punct,
+                    text: c.to_string(),
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Is position `i` the start of a raw or byte string (`r"`, `r#"`, `br"`,
+/// `b"`, …)? Plain identifiers starting with `r`/`b` return false.
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j >= n {
+            return false;
+        }
+    }
+    if j < n && b[j] == 'r' {
+        j += 1;
+        while j < n && b[j] == '#' {
+            j += 1;
+        }
+    }
+    j < n && b[j] == '"' && j > i
+}
+
+/// Skip a raw/byte string starting at `i`; returns the index past it.
+fn skip_raw_or_byte_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    if b[i] == 'b' {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    let raw = i < n && b[i] == 'r';
+    if raw {
+        i += 1;
+        while i < n && b[i] == '#' {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    // Now at the opening quote.
+    if i < n && b[i] == '"' {
+        if raw {
+            i += 1;
+            loop {
+                if i >= n {
+                    return i;
+                }
+                if b[i] == '\n' {
+                    *line += 1;
+                    i += 1;
+                    continue;
+                }
+                if b[i] == '"' {
+                    // Need `hashes` following '#'.
+                    let mut k = 0usize;
+                    while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        return i + 1 + hashes;
+                    }
+                }
+                i += 1;
+            }
+        } else {
+            return skip_string(b, i, line);
+        }
+    }
+    i
+}
+
+/// Skip a normal (escaped) string literal whose opening quote is at `i`.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    i += 1; // opening quote
+    while i < n {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_are_not_tokenized() {
+        let src = r#"let x = "HashMap::new()"; let y = 1;"#;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_are_skipped() {
+        let src = r##"let s = r#"Instant::now() "quoted" inner"#; fn f() {}"##;
+        let ids = idents(src);
+        assert!(ids.contains(&"fn".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn g() {}";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 1);
+        let ids: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ids, vec!["fn", "g"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } const C: char = 'x';";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+        assert!(ids.contains(&"C".to_string()));
+        // The char content 'x' is not an ident token; the parameter x is.
+        assert_eq!(ids.iter().filter(|s| s.as_str() == "x").count(), 2);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let src = "fn a() {}\nfn b() {}\n// note\nfn c() {}\n";
+        let l = lex(src);
+        let lines: Vec<u32> = l
+            .tokens
+            .iter()
+            .filter(|t| t.text == "fn")
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+        assert_eq!(l.comments[0].line, 3);
+    }
+
+    #[test]
+    fn consecutive_line_comments_merge() {
+        let src = "// first line\n// second line\nfn f() {}\n// detached\n";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!((l.comments[0].line, l.comments[0].end_line), (1, 2));
+        assert!(l.comments[0].text.contains("first"));
+        assert!(l.comments[0].text.contains("second"));
+        assert_eq!((l.comments[1].line, l.comments[1].end_line), (4, 4));
+    }
+
+    #[test]
+    fn two_char_ops_are_single_tokens() {
+        let l = lex("a += b::c == d;");
+        let puncts: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["+=", "::", "==", ";"]);
+    }
+
+    #[test]
+    fn float_literals_lex_whole() {
+        let l = lex("fold(0.0, f64::max); x.sum(); 1e-3; 0f64; 0..10");
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0.0", "1e-3", "0f64", "0", "10"]);
+    }
+}

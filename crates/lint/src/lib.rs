@@ -1,0 +1,184 @@
+//! `anton2-lint` — workspace static analysis for the Anton 2 reproduction.
+//!
+//! Anton 2's event-driven operation works because every node computes
+//! bitwise-identical results on a fixed schedule. This workspace reproduces
+//! that discipline in software through invariants — bitwise serial ≡
+//! parallel fixed-chunk reductions, zero steady-state allocation on the
+//! force path, deterministic iteration everywhere — that runtime tests can
+//! only spot-check. This tool checks them *statically*, over every function
+//! in every crate, before anything runs:
+//!
+//! | rule | what it forbids |
+//! |------|-----------------|
+//! | `nondet` | `HashMap`/`HashSet`, `Instant`/`SystemTime`, `rand` in hot-path modules |
+//! | `zero-alloc` | allocation-capable calls in per-step force-path functions |
+//! | `float-reduction` | bare float `.sum()`/`fold` outside approved helpers |
+//! | `unsafe-audit` | `unsafe` without a `// SAFETY:` comment |
+//! | `telemetry-discipline` | counter mutation outside the `Telemetry` API |
+//!
+//! Run as `cargo run -p anton2-lint -- --check` (CI does). See
+//! DESIGN.md §12 for the full rule rationale, [`manifest`] for the
+//! hot-path inventory, and [`baseline`] for the grandfathering mechanism.
+//!
+//! The analyzer is a hand-rolled token-level [`lexer`] — no `syn`, no
+//! dependencies — which keeps it building offline and keeps the rules
+//! honest: anything a rule matches is visible in the token stream.
+
+pub mod baseline;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+
+pub use rules::{analyze_source, Finding, Rule};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lint one on-disk file. `path` is used verbatim as the report path, so
+/// pass it workspace-relative when possible.
+pub fn lint_file(path: &Path) -> io::Result<Vec<Finding>> {
+    let source = fs::read_to_string(path)?;
+    Ok(analyze_source(
+        &path.to_string_lossy().replace('\\', "/"),
+        &source,
+    ))
+}
+
+/// Lint every Rust source under `root`'s scanned directories (`crates/`,
+/// `src/`, `examples/`, `tests/`, `benches/`), skipping
+/// [`manifest::SKIP_DIRS`]. Paths in findings are root-relative.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "examples", "tests", "benches"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for f in &files {
+        let source = fs::read_to_string(f)?;
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(analyze_source(&rel, &source));
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if manifest::SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Render findings as the human report (one line per finding, sorted).
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n",
+            f.path,
+            f.line,
+            f.rule.name(),
+            f.message,
+            f.excerpt
+        ));
+    }
+    if findings.is_empty() {
+        out.push_str("anton2-lint: no findings\n");
+    } else {
+        out.push_str(&format!("anton2-lint: {} finding(s)\n", findings.len()));
+    }
+    out
+}
+
+/// Render findings as machine-readable JSON (hand-rolled — the tool is
+/// dependency-free by design).
+pub fn render_json(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\", \
+             \"excerpt\": \"{}\"}}{}\n",
+            f.rule.name(),
+            esc(&f.path),
+            f.line,
+            esc(&f.message),
+            esc(&f.excerpt),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!("  ],\n  \"total\": {}\n}}\n", findings.len()));
+    out
+}
+
+/// Sort findings into canonical report order (path, line, rule).
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let f = vec![Finding {
+            rule: Rule::UnsafeAudit,
+            path: "a \"b\".rs".to_string(),
+            line: 1,
+            message: "line1\nline2".to_string(),
+            excerpt: "\t".to_string(),
+        }];
+        let j = render_json(&f);
+        assert!(j.contains("a \\\"b\\\".rs"));
+        assert!(j.contains("line1\\nline2"));
+        assert!(j.contains("\"total\": 1"));
+    }
+
+    #[test]
+    fn human_report_mentions_rule_and_location() {
+        let f = vec![Finding {
+            rule: Rule::Nondet,
+            path: "crates/md/src/cells.rs".to_string(),
+            line: 42,
+            message: "m".to_string(),
+            excerpt: "x".to_string(),
+        }];
+        let h = render_human(&f);
+        assert!(h.contains("crates/md/src/cells.rs:42: [nondet] m"));
+        assert!(h.contains("1 finding"));
+    }
+}

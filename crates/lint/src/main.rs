@@ -1,0 +1,133 @@
+//! CLI for `anton2-lint`.
+//!
+//! ```text
+//! cargo run -p anton2-lint -- --check              # lint the workspace
+//! cargo run -p anton2-lint -- --check --json       # machine output
+//! cargo run -p anton2-lint -- --check path/a.rs    # lint specific files
+//! cargo run -p anton2-lint -- --update-baseline    # grandfather findings
+//! ```
+//!
+//! Exit status: 0 when no (non-baselined) findings, 1 when findings
+//! remain, 2 on usage or I/O errors.
+
+use anton2_lint::{baseline, lint_file, lint_workspace, render_human, render_json, sort_findings};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    json: bool,
+    update_baseline: bool,
+    root: PathBuf,
+    baseline_path: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: anton2-lint [--check] [--json] [--update-baseline] \
+     [--root DIR] [--baseline FILE] [files…]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        update_baseline: false,
+        root: PathBuf::from("."),
+        baseline_path: None,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => {} // the default (and only) mode; accepted for clarity
+            "--json" => args.json = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--baseline" => {
+                args.baseline_path =
+                    Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?));
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            f if !f.starts_with('-') => args.files.push(PathBuf::from(f)),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let result = if args.files.is_empty() {
+        lint_workspace(&args.root)
+    } else {
+        let mut all = Vec::new();
+        let mut err = None;
+        for f in &args.files {
+            match lint_file(f) {
+                Ok(fs) => all.extend(fs),
+                Err(e) => {
+                    err = Some(std::io::Error::new(
+                        e.kind(),
+                        format!("{}: {e}", f.display()),
+                    ));
+                    break;
+                }
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(all),
+        }
+    };
+
+    let mut findings = match result {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("anton2-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    sort_findings(&mut findings);
+
+    let baseline_path = args
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| args.root.join("crates/lint/baseline.txt"));
+
+    if args.update_baseline {
+        if let Err(e) = std::fs::write(&baseline_path, baseline::render(&findings)) {
+            eprintln!("anton2-lint: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "anton2-lint: baselined {} finding(s) into {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let suppressed = std::fs::read_to_string(&baseline_path)
+        .map(|c| baseline::parse(&c))
+        .unwrap_or_default();
+    let findings = baseline::filter(findings, &suppressed);
+
+    if args.json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_human(&findings));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

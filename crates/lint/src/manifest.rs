@@ -1,0 +1,176 @@
+//! The lint pass's declared knowledge of the workspace: which modules are
+//! hot-path, which functions are reachable from the per-step force path,
+//! which reduction helpers are approved, and which identifiers name
+//! telemetry counters.
+//!
+//! Keeping these lists here (rather than as attributes scattered through
+//! the codebase) mirrors how Anton 2's toolchain works: the machine's
+//! schedulable units are enumerated centrally, and the static checks are
+//! phrased against that enumeration. Adding a function to the per-step
+//! force path means adding it to [`HOT_PATH`] — which immediately subjects
+//! its body to the zero-alloc rule.
+
+/// Source files (by basename) that implement the per-step inner loops.
+/// The nondeterminism and float-reduction rules apply to every non-test
+/// token in these files.
+///
+/// These are exactly the modules the engine touches every MD step: the
+/// streaming pair kernel, GSE spreading/interpolation, fixed-point
+/// accumulation, the reference pair kernel, bonded terms, neighbor-list
+/// and cell-grid machinery, and the integrator primitives.
+pub const HOT_MODULES: &[&str] = &[
+    "stream.rs",
+    "gse.rs",
+    "fixedpoint.rs",
+    "pairkernel.rs",
+    "bonded.rs",
+    "neighbor.rs",
+    "cells.rs",
+    "integrate.rs",
+];
+
+/// Functions reachable from the per-step force path, as `(file basename,
+/// fn name)`. The zero-alloc rule forbids allocation-capable calls inside
+/// these bodies.
+///
+/// Rebuild-path functions (`NonbondedStream::rebuild`,
+/// `NeighborList::rebuild`, workspace constructors) are deliberately *not*
+/// listed: they run on skin-exceeded/box-change triggers, not every step,
+/// and they reuse buffers whose growth is amortized. The runtime
+/// allocation-counting tests (`tests/alloc_short_force.rs`,
+/// `tests/alloc_steady_state.rs`) cover the steady state end to end; this
+/// static list catches regressions in any function a test happens not to
+/// execute.
+pub const HOT_PATH: &[(&str, &str)] = &[
+    // stream.rs — streaming nonbonded kernel, per-step path.
+    ("stream.rs", "min_image"),
+    ("stream.rs", "fold"),
+    ("stream.rs", "staleness"),
+    ("stream.rs", "needs_rebuild"),
+    ("stream.rs", "gather_positions"),
+    ("stream.rs", "stream_rows"),
+    ("stream.rs", "nonbonded_forces_streamed"),
+    ("stream.rs", "nonbonded_forces_streamed_profiled"),
+    // pairkernel.rs — pair arithmetic and correction passes.
+    ("pairkernel.rs", "pair_interaction_split"),
+    ("pairkernel.rs", "pair_interaction"),
+    ("pairkernel.rs", "excluded_corrections"),
+    ("pairkernel.rs", "scaled14_corrections"),
+    ("pairkernel.rs", "lj_shift_at"),
+    // gse.rs — k-space pipeline against a reusable workspace.
+    ("gse.rs", "spread_into"),
+    ("gse.rs", "spread_into_parallel"),
+    ("gse.rs", "spread_column"),
+    ("gse.rs", "solve_potential_into"),
+    ("gse.rs", "energy_forces_with"),
+    ("gse.rs", "energy_forces_profiled"),
+    ("gse.rs", "grid_energy"),
+    ("gse.rs", "interp_force_one"),
+    ("gse.rs", "interpolate_chunked"),
+    // bonded.rs — bonded terms, serial and fixed-chunk parallel.
+    ("bonded.rs", "bond_forces"),
+    ("bonded.rs", "angle_forces"),
+    ("bonded.rs", "torsion_phi_and_forces"),
+    ("bonded.rs", "dihedral_angle"),
+    ("bonded.rs", "dihedral_forces"),
+    ("bonded.rs", "urey_bradley_forces"),
+    ("bonded.rs", "improper_forces"),
+    ("bonded.rs", "all_bonded_forces"),
+    ("bonded.rs", "all_bonded_forces_parallel"),
+    // fixedpoint.rs — deterministic force accumulation.
+    ("fixedpoint.rs", "to_fixed"),
+    ("fixedpoint.rs", "from_fixed"),
+    ("fixedpoint.rs", "to_fixed_saturating"),
+    ("fixedpoint.rs", "add"),
+    ("fixedpoint.rs", "add_fixed"),
+    ("fixedpoint.rs", "merge"),
+    // cells.rs — per-step cell queries (build is rebuild-path).
+    ("cells.rs", "cell_of"),
+    ("cells.rs", "neighborhood"),
+    ("cells.rs", "forward_neighbors"),
+    // integrate.rs — per-step integrator primitives.
+    ("integrate.rs", "kick"),
+    ("integrate.rs", "drift"),
+    ("integrate.rs", "langevin_o_step"),
+    ("integrate.rs", "gauss"),
+];
+
+/// Approved reduction helpers: functions allowed to use bare float
+/// accumulation (`.sum()` / float `fold`) because their iteration order is
+/// fixed and identical on the serial and parallel paths.
+///
+/// * `grid_energy` — a serial dot product over the grid in memory order;
+///   it is never split across threads, so its summation order is a
+///   constant of the grid shape.
+pub const REDUCTION_HELPERS: &[(&str, &str)] = &[("gse.rs", "grid_energy")];
+
+/// Identifiers that are forbidden in hot-path modules by the
+/// nondeterminism rule. `HashMap`/`HashSet` iterate in randomized order;
+/// `Instant`/`SystemTime` read wall clocks outside the `Clock` trait;
+/// `rand`/`thread_rng`/`from_entropy` introduce entropy that is not part
+/// of the engine's seeded state.
+pub const NONDET_IDENTS: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "Instant",
+    "SystemTime",
+    "rand",
+    "thread_rng",
+    "from_entropy",
+];
+
+/// Allocation-capable method names (flagged as `.name(` inside hot-path
+/// functions). `resize`/`clear` are deliberately absent: on a warm reused
+/// buffer they are no-ops, which the runtime allocation tests prove.
+pub const ALLOC_METHODS: &[&str] = &[
+    "push",
+    "collect",
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "clone",
+    "extend",
+    "extend_from_slice",
+    "reserve",
+    "with_capacity",
+];
+
+/// Allocation-capable constructor paths (`Type::method`).
+pub const ALLOC_CTORS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+];
+
+/// Allocation-capable macros (flagged as `name!` inside hot-path
+/// functions).
+pub const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Telemetry counter fields. Outside `telemetry.rs`, assigning to any of
+/// these (`.field = …` / `.field += …`) bypasses the `Telemetry` API and
+/// breaks the provable-zero-cost-when-off property; mutation must go
+/// through `Telemetry::count_*`.
+pub const COUNTER_FIELDS: &[&str] = &[
+    "pairs_evaluated",
+    "pairs_cut",
+    "neighbor_rebuilds",
+    "rebuilds_initial",
+    "rebuilds_skin",
+    "rebuilds_box",
+    "rebuilds_invalidated",
+    "fft_lines",
+    "fixedpoint_clamps",
+    "phase_ns",
+];
+
+/// The one file allowed to mutate counter fields directly.
+pub const TELEMETRY_FILE: &str = "telemetry.rs";
+
+/// Path components that are never scanned: build output, the lint's own
+/// intentionally-bad fixtures, and the offline dependency shims (which
+/// emulate external crates and are not governed by engine invariants).
+pub const SKIP_DIRS: &[&str] = &["target", "fixtures", "shims", ".git"];

@@ -1,0 +1,545 @@
+//! The five rule families, implemented over the token stream.
+//!
+//! Every rule family reports [`Finding`]s with file/line diagnostics and
+//! honors the `// anton2-lint: allow(<rule>)` escape hatch (same line or
+//! the line above). Code inside `#[cfg(test)]` regions is exempt from all
+//! rules except `unsafe-audit` — tests may hash, clock, and allocate, but
+//! an unsafe block needs a `// SAFETY:` justification everywhere.
+
+use crate::lexer::{lex, Kind, Lexed};
+use crate::manifest::{
+    ALLOC_CTORS, ALLOC_MACROS, ALLOC_METHODS, COUNTER_FIELDS, HOT_MODULES, HOT_PATH, NONDET_IDENTS,
+    REDUCTION_HELPERS, TELEMETRY_FILE,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One of the five enforced rule families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Nondeterministic construct in a hot-path module.
+    Nondet,
+    /// Allocation-capable call inside a per-step force-path function.
+    ZeroAlloc,
+    /// Bare float accumulation outside approved reduction helpers.
+    FloatReduction,
+    /// `unsafe` without a `// SAFETY:` justification.
+    UnsafeAudit,
+    /// Telemetry counter mutated outside the `Telemetry` API.
+    Telemetry,
+}
+
+impl Rule {
+    /// All rule families, in report order.
+    pub const ALL: [Rule; 5] = [
+        Rule::Nondet,
+        Rule::ZeroAlloc,
+        Rule::FloatReduction,
+        Rule::UnsafeAudit,
+        Rule::Telemetry,
+    ];
+
+    /// Stable kebab-case name used in reports, `allow(...)` comments, and
+    /// the baseline file.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Nondet => "nondet",
+            Rule::ZeroAlloc => "zero-alloc",
+            Rule::FloatReduction => "float-reduction",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::Telemetry => "telemetry-discipline",
+        }
+    }
+
+    /// Parse a rule name as written in an `allow(...)` comment.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+/// One diagnostic: a rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Workspace-relative path (or the label given to [`analyze_source`]).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+    /// Trimmed source line, for human reports and baseline fingerprints.
+    pub excerpt: String,
+}
+
+/// Analyze one file's source. `path` scopes the rules: hot-module rules
+/// key off the basename, and the telemetry rule exempts `telemetry.rs`.
+pub fn analyze_source(path: &str, source: &str) -> Vec<Finding> {
+    let lexed = lex(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let basename = path.rsplit('/').next().unwrap_or(path);
+
+    let allows = allow_map(&lexed);
+    let in_test = test_regions(&lexed);
+    let fns = fn_spans(&lexed);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let excerpt = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+    let mut push = |rule: Rule, line: u32, message: String| {
+        findings.push(Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+            excerpt: excerpt(line),
+        });
+    };
+
+    let hot_module = HOT_MODULES.contains(&basename);
+    let toks = &lexed.tokens;
+    let n = toks.len();
+
+    // --- nondet: forbidden identifiers in hot-path modules -----------------
+    if hot_module {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == Kind::Ident && NONDET_IDENTS.contains(&t.text.as_str()) && !in_test[i] {
+                let why = match t.text.as_str() {
+                    "HashMap" | "HashSet" => {
+                        "iteration order is randomized; use BTreeMap/BTreeSet or a sorted Vec"
+                    }
+                    "Instant" | "SystemTime" => {
+                        "wall-clock reads belong behind the telemetry `Clock` trait"
+                    }
+                    _ => "entropy outside the engine's seeded state breaks replay determinism",
+                };
+                push(
+                    Rule::Nondet,
+                    t.line,
+                    format!("`{}` in hot-path module: {}", t.text, why),
+                );
+            }
+        }
+    }
+
+    // --- zero-alloc: allocation-capable calls in HOT_PATH functions --------
+    for (start, end, fname) in fns
+        .iter()
+        .filter(|(_, _, name)| HOT_PATH.contains(&(basename, name.as_str())))
+    {
+        let mut i = *start;
+        while i < *end {
+            let t = &toks[i];
+            if t.kind == Kind::Ident {
+                // `vec!` / `format!`
+                if ALLOC_MACROS.contains(&t.text.as_str()) && i + 1 < n && toks[i + 1].text == "!" {
+                    push(
+                        Rule::ZeroAlloc,
+                        t.line,
+                        format!("`{}!` allocates inside hot-path fn `{fname}`", t.text),
+                    );
+                }
+                // `Vec::new` / `Box::new` / `String::from` …
+                if i + 2 < n && toks[i + 1].text == "::" && toks[i + 2].kind == Kind::Ident {
+                    let pair = (t.text.as_str(), toks[i + 2].text.as_str());
+                    if ALLOC_CTORS.contains(&pair) {
+                        push(
+                            Rule::ZeroAlloc,
+                            t.line,
+                            format!(
+                                "`{}::{}` allocates inside hot-path fn `{fname}`",
+                                pair.0, pair.1
+                            ),
+                        );
+                    }
+                }
+            }
+            // `.push(` / `.collect(` / `.collect::<…>(` / `.clone()` …
+            if t.text == "." && i + 2 < n && toks[i + 1].kind == Kind::Ident {
+                let m = toks[i + 1].text.as_str();
+                let after = toks[i + 2].text.as_str();
+                if ALLOC_METHODS.contains(&m) && (after == "(" || after == "::") {
+                    push(
+                        Rule::ZeroAlloc,
+                        toks[i + 1].line,
+                        format!("`.{m}(…)` is allocation-capable inside hot-path fn `{fname}`"),
+                    );
+                }
+            }
+            i += 1;
+        }
+    }
+
+    // --- float-reduction: bare float accumulation in hot modules -----------
+    if hot_module {
+        let approved: Vec<&(usize, usize, String)> = fns
+            .iter()
+            .filter(|(_, _, name)| REDUCTION_HELPERS.contains(&(basename, name.as_str())))
+            .collect();
+        let in_approved = |i: usize| approved.iter().any(|(s, e, _)| (*s..*e).contains(&i));
+
+        for i in 0..n {
+            if in_test[i] || in_approved(i) {
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind != Kind::Ident {
+                continue;
+            }
+            // `.sum::<f64>()`
+            if t.text == "sum"
+                && i + 3 < n
+                && toks[i + 1].text == "::"
+                && toks[i + 2].text == "<"
+                && matches!(toks[i + 3].text.as_str(), "f64" | "f32")
+            {
+                push(
+                    Rule::FloatReduction,
+                    t.line,
+                    format!(
+                        "bare `.sum::<{}>()` outside approved reduction helpers; use a \
+                         fixed-chunk reduction (NB_CHUNKS-style) or a fixed-point accumulator",
+                        toks[i + 3].text
+                    ),
+                );
+            }
+            // `fold(0.0, …)` — float init, additive combiner. `f64::max`
+            // and `f64::min` folds are order-independent and pass.
+            if t.text == "fold"
+                && i + 2 < n
+                && toks[i + 1].text == "("
+                && toks[i + 2].kind == Kind::Num
+                && is_float_literal(&toks[i + 2].text)
+            {
+                let comb: Vec<&str> = toks[i + 3..n.min(i + 8)]
+                    .iter()
+                    .map(|t| t.text.as_str())
+                    .collect();
+                let order_free = comb.contains(&"max") || comb.contains(&"min");
+                if !order_free {
+                    push(
+                        Rule::FloatReduction,
+                        t.line,
+                        "float `fold` accumulation outside approved reduction helpers; \
+                         summation order must be fixed explicitly"
+                            .to_string(),
+                    );
+                }
+            }
+            // `let x: f64 = … .sum() …;` — untyped sum with a float binding.
+            if t.text == "let" {
+                let stmt_end = (i..n.min(i + 256))
+                    .find(|&j| toks[j].text == ";")
+                    .unwrap_or(i);
+                let mut float_typed = false;
+                let mut j = i;
+                while j + 2 < stmt_end {
+                    if toks[j].text == ":"
+                        && matches!(toks[j + 1].text.as_str(), "f64" | "f32")
+                        && toks[j + 2].text == "="
+                    {
+                        float_typed = true;
+                        break;
+                    }
+                    j += 1;
+                }
+                if float_typed {
+                    for j in i..stmt_end {
+                        if toks[j].text == "."
+                            && j + 2 < stmt_end
+                            && toks[j + 1].text == "sum"
+                            && toks[j + 2].text == "("
+                        {
+                            push(
+                                Rule::FloatReduction,
+                                toks[j + 1].line,
+                                "float-typed `.sum()` outside approved reduction helpers; \
+                                 use a fixed-chunk reduction or a fixed-point accumulator"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- unsafe-audit: every `unsafe` needs a SAFETY justification ---------
+    // Applies everywhere, including test code.
+    {
+        let safety_lines: BTreeSet<u32> = lexed
+            .comments
+            .iter()
+            .filter(|c| c.text.contains("SAFETY:"))
+            .flat_map(|c| c.line..=c.end_line)
+            .collect();
+        for t in toks.iter() {
+            if t.kind == Kind::Ident && t.text == "unsafe" {
+                let justified =
+                    (t.line.saturating_sub(3)..=t.line).any(|l| safety_lines.contains(&l));
+                if !justified {
+                    push(
+                        Rule::UnsafeAudit,
+                        t.line,
+                        "`unsafe` without a `// SAFETY:` comment on the preceding lines"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+
+    // --- telemetry-discipline: counters mutate only through the API -------
+    if basename != TELEMETRY_FILE {
+        for i in 0..n {
+            if in_test[i] {
+                continue;
+            }
+            if toks[i].text == "."
+                && i + 2 < n
+                && toks[i + 1].kind == Kind::Ident
+                && COUNTER_FIELDS.contains(&toks[i + 1].text.as_str())
+                && matches!(toks[i + 2].text.as_str(), "=" | "+=" | "-=")
+            {
+                push(
+                    Rule::Telemetry,
+                    toks[i + 1].line,
+                    format!(
+                        "direct mutation of telemetry counter `{}`; go through the \
+                         `Telemetry::count_*` API so `TelemetryLevel::Off` stays free",
+                        toks[i + 1].text
+                    ),
+                );
+            }
+        }
+    }
+
+    // Escape hatch + stable ordering + dedup.
+    findings.retain(|f| {
+        !allows
+            .get(&f.line)
+            .is_some_and(|rules| rules.contains(&f.rule))
+    });
+    findings.sort_by(|a, b| (a.line, a.rule, &a.message).cmp(&(b.line, b.rule, &b.message)));
+    findings.dedup();
+    findings
+}
+
+/// Is a numeric literal a float (`0.0`, `1e-3`, `0f64`)?
+fn is_float_literal(text: &str) -> bool {
+    text.contains('.')
+        || text.ends_with("f64")
+        || text.ends_with("f32")
+        || (text.contains(['e', 'E']) && !text.starts_with("0x"))
+}
+
+/// Lines covered by `// anton2-lint: allow(rule, …)` comments. A comment
+/// covers its own lines plus the next line, so both trailing and
+/// standalone placement work.
+fn allow_map(lexed: &Lexed) -> BTreeMap<u32, BTreeSet<Rule>> {
+    let mut map: BTreeMap<u32, BTreeSet<Rule>> = BTreeMap::new();
+    for c in &lexed.comments {
+        let Some(at) = c.text.find("anton2-lint:") else {
+            continue;
+        };
+        let rest = &c.text[at + "anton2-lint:".len()..];
+        let Some(open) = rest.find("allow(") else {
+            continue;
+        };
+        let Some(close) = rest[open..].find(')') else {
+            continue;
+        };
+        let inner = &rest[open + "allow(".len()..open + close];
+        let rules: BTreeSet<Rule> = inner
+            .split(',')
+            .filter_map(|s| Rule::from_name(s.trim()))
+            .collect();
+        if rules.is_empty() {
+            continue;
+        }
+        for line in c.line..=c.end_line + 1 {
+            map.entry(line).or_default().extend(rules.iter().copied());
+        }
+    }
+    map
+}
+
+/// Per-token flag: is this token inside a `#[cfg(test)]`-gated region?
+fn test_regions(lexed: &Lexed) -> Vec<bool> {
+    let toks = &lexed.tokens;
+    let n = toks.len();
+    let mut in_test = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        // Match `#[ … ]` and check whether it is a cfg involving `test`.
+        if toks[i].text == "#" && i + 1 < n && toks[i + 1].text == "[" {
+            let attr_start = i + 2;
+            let mut depth = 1i32;
+            let mut j = attr_start;
+            while j < n && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let attr_end = j; // one past the closing `]`
+            let attr: Vec<&str> = toks[attr_start..attr_end.saturating_sub(1)]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect();
+            let is_cfg_test = attr.first() == Some(&"cfg") && attr.contains(&"test");
+            if is_cfg_test {
+                // Skip any further attributes, then mark the item body
+                // (from its `{` to the matching `}`) or through the `;`.
+                let mut k = attr_end;
+                while k + 1 < n && toks[k].text == "#" && toks[k + 1].text == "[" {
+                    let mut d = 1i32;
+                    let mut m = k + 2;
+                    while m < n && d > 0 {
+                        match toks[m].text.as_str() {
+                            "[" => d += 1,
+                            "]" => d -= 1,
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    k = m;
+                }
+                let body_open = (k..n).find(|&m| toks[m].text == "{" || toks[m].text == ";");
+                if let Some(open) = body_open {
+                    let mut end = open;
+                    if toks[open].text == "{" {
+                        let mut d = 1i32;
+                        let mut m = open + 1;
+                        while m < n && d > 0 {
+                            match toks[m].text.as_str() {
+                                "{" => d += 1,
+                                "}" => d -= 1,
+                                _ => {}
+                            }
+                            m += 1;
+                        }
+                        end = m;
+                    }
+                    for flag in in_test.iter_mut().take(end.min(n)).skip(i) {
+                        *flag = true;
+                    }
+                    i = end.min(n);
+                    continue;
+                }
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Function body spans as `(body_start_token, body_end_token, name)`.
+/// The span covers the tokens between the body's braces (inclusive of the
+/// braces themselves). Bodiless declarations (trait methods) are skipped.
+fn fn_spans(lexed: &Lexed) -> Vec<(usize, usize, String)> {
+    let toks = &lexed.tokens;
+    let n = toks.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        if toks[i].kind == Kind::Ident
+            && toks[i].text == "fn"
+            && i + 1 < n
+            && toks[i + 1].kind == Kind::Ident
+        {
+            let name = toks[i + 1].text.clone();
+            // The first `{` before a `;` opens the body (param lists,
+            // return types, and where clauses cannot contain braces).
+            let mut j = i + 2;
+            let mut body = None;
+            while j < n {
+                match toks[j].text.as_str() {
+                    "{" => {
+                        body = Some(j);
+                        break;
+                    }
+                    ";" => break,
+                    _ => j += 1,
+                }
+            }
+            if let Some(open) = body {
+                let mut depth = 1i32;
+                let mut m = open + 1;
+                while m < n && depth > 0 {
+                    match toks[m].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                out.push((open, m, name));
+                i += 2; // allow nested fns to be found inside this body
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Rule::from_name("no-such-rule"), None);
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt() {
+        let src = "
+fn hot() {}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    fn helper() { let _m: HashMap<u32, u32> = HashMap::new(); }
+}
+";
+        let f = analyze_source("crates/md/src/cells.rs", src);
+        assert!(f.is_empty(), "test code must be exempt: {f:?}");
+    }
+
+    #[test]
+    fn nondet_fires_outside_tests() {
+        let f = analyze_source(
+            "crates/md/src/cells.rs",
+            "use std::collections::HashMap;\nfn f() { let _ = HashMap::<u32, u32>::new(); }\n",
+        );
+        assert!(f.iter().all(|f| f.rule == Rule::Nondet));
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let f = analyze_source(
+            "crates/md/src/cells.rs",
+            "// anton2-lint: allow(nondet) -- justified\nuse std::collections::HashMap;\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn non_hot_module_is_not_scoped() {
+        let f = analyze_source(
+            "crates/md/src/observables.rs",
+            "use std::collections::HashMap;\nfn f() { v.iter().sum::<f64>(); }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,13 @@
+//! Bad fixture: allocation-capable calls inside a HOT_PATH function
+//! (`stream_rows` in `stream.rs` is on the manifest).
+
+pub fn stream_rows(rows: &[u32], out: &mut Vec<u32>) -> usize {
+    let mut scratch = Vec::new();
+    for &r in rows {
+        scratch.push(r);
+        out.push(r * 2);
+    }
+    let doubled: Vec<u32> = rows.iter().map(|r| r * 2).collect();
+    let label = format!("{} rows", rows.len());
+    doubled.len() + scratch.len() + label.len()
+}

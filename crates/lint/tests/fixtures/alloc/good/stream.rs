@@ -1,0 +1,17 @@
+//! Good fixture: the HOT_PATH function only writes into pre-sized
+//! buffers (`resize`/`clear` on warm buffers are no-ops and not flagged);
+//! allocation in a non-manifest function is fine.
+
+pub fn stream_rows(rows: &[u32], out: &mut Vec<u32>) -> usize {
+    out.clear();
+    out.resize(rows.len(), 0);
+    for (slot, &r) in out.iter_mut().zip(rows) {
+        *slot = r * 2;
+    }
+    out.len()
+}
+
+pub fn build_stream(rows: &[u32]) -> Vec<u32> {
+    // Rebuild path: not on the HOT_PATH manifest, may allocate.
+    rows.iter().map(|r| r * 2).collect()
+}

@@ -1,0 +1,13 @@
+//! Bad fixture: nondeterministic constructs in a hot-path module
+//! (`cells.rs` is in HOT_MODULES).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn bin_atoms(n: usize) -> usize {
+    let mut cells: HashMap<u32, Vec<u32>> = HashMap::new();
+    cells.insert(0, vec![0]);
+    let t0 = Instant::now();
+    let _ = t0.elapsed();
+    n + cells.len()
+}

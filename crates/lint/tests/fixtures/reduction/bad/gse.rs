@@ -1,0 +1,15 @@
+//! Bad fixture: bare float accumulation in a hot module, outside the
+//! approved reduction helpers.
+
+pub fn grid_norm(values: &[f64]) -> f64 {
+    values.iter().map(|v| v * v).sum::<f64>()
+}
+
+pub fn running_total(values: &[f64]) -> f64 {
+    values.iter().fold(0.0, |acc, v| acc + v)
+}
+
+pub fn typed_binding(values: &[f64]) -> f64 {
+    let total: f64 = values.iter().sum();
+    total
+}

@@ -1,0 +1,15 @@
+//! Good fixture: float sums inside the approved helper (`grid_energy` in
+//! `gse.rs` is on REDUCTION_HELPERS), order-free folds, and integer sums
+//! all pass.
+
+pub fn grid_energy(values: &[f64]) -> f64 {
+    values.iter().map(|v| v * v).sum::<f64>()
+}
+
+pub fn peak(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, f64::max)
+}
+
+pub fn count(values: &[u64]) -> u64 {
+    values.iter().sum::<u64>()
+}

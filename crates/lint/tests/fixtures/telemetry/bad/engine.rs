@@ -1,0 +1,12 @@
+//! Bad fixture: mutating a telemetry counter directly instead of going
+//! through the `Telemetry::count_*` API.
+
+pub fn step(counters: &mut Counters, pairs: u64) {
+    counters.pairs_evaluated += pairs;
+    counters.neighbor_rebuilds = 1;
+}
+
+pub struct Counters {
+    pub pairs_evaluated: u64,
+    pub neighbor_rebuilds: u64,
+}

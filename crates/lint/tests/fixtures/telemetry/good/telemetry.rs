@@ -1,0 +1,16 @@
+//! Good fixture: `telemetry.rs` itself is the one file allowed to mutate
+//! counter fields — it implements the API everyone else must call.
+
+pub struct Counters {
+    pub pairs_evaluated: u64,
+}
+
+pub struct Telemetry {
+    counters: Counters,
+}
+
+impl Telemetry {
+    pub fn count_pairs(&mut self, evaluated: u64) {
+        self.counters.pairs_evaluated += evaluated;
+    }
+}

@@ -1,0 +1,16 @@
+//! Bad fixture: `unsafe` without a safety justification comment. The rule
+//! applies everywhere, including test code.
+
+pub fn first(xs: &[u64]) -> u64 {
+    unsafe { *xs.as_ptr() }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn also_flagged_in_tests() {
+        let xs = [1u64];
+        let v = unsafe { *xs.as_ptr() };
+        assert_eq!(v, 1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Good fixture: every `unsafe` carries a `// SAFETY:` comment, including
+//! a multi-line justification (consecutive line comments merge).
+
+pub fn first(xs: &[u64]) -> u64 {
+    // SAFETY: `xs` is a non-empty slice checked by the caller, so the
+    // pointer read is within bounds and properly aligned.
+    unsafe { *xs.as_ptr() }
+}

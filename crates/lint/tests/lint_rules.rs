@@ -1,0 +1,218 @@
+//! Fixture-driven integration tests: each rule family has a bad fixture
+//! that must fire and a good fixture that must stay clean, the CLI's exit
+//! codes are checked end-to-end, and the baseline grandfathering round-trips.
+//!
+//! Fixtures live under `tests/fixtures/<rule>/{good,bad}/` and are named
+//! after hot modules where scoping matters (`cells.rs`, `stream.rs`,
+//! `gse.rs`): the analyzer keys hot-path rules off the file basename, so a
+//! fixture exercises exactly the scoping the real workspace sees. The
+//! workspace walker skips `fixtures` directories, so the bad fixtures can
+//! never leak into `--check` runs.
+
+use anton2_lint::{analyze_source, baseline, Rule};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel)
+}
+
+fn analyze_fixture(rel: &str) -> Vec<anton2_lint::Finding> {
+    let path = fixture_path(rel);
+    let source = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{rel}: {e}"));
+    // Report under the basename so hot-module scoping matches the fixture's
+    // file name, exactly as `lint_file` on the real tree would.
+    let basename = rel.rsplit('/').next().unwrap();
+    analyze_source(basename, &source)
+}
+
+/// (fixture dir, expected rule) for every family.
+const FAMILIES: &[(&str, Rule, &str, &str)] = &[
+    ("nondet", Rule::Nondet, "bad/cells.rs", "good/cells.rs"),
+    ("alloc", Rule::ZeroAlloc, "bad/stream.rs", "good/stream.rs"),
+    (
+        "reduction",
+        Rule::FloatReduction,
+        "bad/gse.rs",
+        "good/gse.rs",
+    ),
+    ("unsafe", Rule::UnsafeAudit, "bad/raw.rs", "good/raw.rs"),
+    (
+        "telemetry",
+        Rule::Telemetry,
+        "bad/engine.rs",
+        "good/telemetry.rs",
+    ),
+];
+
+#[test]
+fn every_bad_fixture_fires_its_rule() {
+    for (dir, rule, bad, _) in FAMILIES {
+        let findings = analyze_fixture(&format!("{dir}/{bad}"));
+        assert!(
+            !findings.is_empty(),
+            "{dir}/{bad}: expected findings, got none"
+        );
+        assert!(
+            findings.iter().all(|f| f.rule == *rule),
+            "{dir}/{bad}: expected only {rule:?}, got {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn every_good_fixture_is_clean() {
+    for (dir, _, _, good) in FAMILIES {
+        let findings = analyze_fixture(&format!("{dir}/{good}"));
+        assert!(findings.is_empty(), "{dir}/{good}: {findings:?}");
+    }
+}
+
+#[test]
+fn bad_nondet_fixture_finds_all_three_constructs() {
+    let findings = analyze_fixture("nondet/bad/cells.rs");
+    let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("`HashMap`")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("`Instant`")), "{msgs:?}");
+}
+
+#[test]
+fn bad_alloc_fixture_names_the_hot_fn() {
+    let findings = analyze_fixture("alloc/bad/stream.rs");
+    assert!(findings.len() >= 4, "{findings:?}"); // Vec::new, 2×push, collect, format!
+    assert!(findings.iter().all(|f| f.message.contains("stream_rows")));
+}
+
+#[test]
+fn bad_unsafe_fixture_fires_inside_tests_too() {
+    let findings = analyze_fixture("unsafe/bad/raw.rs");
+    assert_eq!(findings.len(), 2, "{findings:?}");
+}
+
+#[test]
+fn allow_escape_hatch_is_rule_specific() {
+    // An allow for the wrong rule does not suppress.
+    let src = "// anton2-lint: allow(zero-alloc) -- wrong rule\n\
+               use std::collections::HashMap;\n";
+    let findings = analyze_source("cells.rs", src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::Nondet);
+
+    // A multi-line allow run covers the code line after the run.
+    let src = "// anton2-lint: allow(nondet) -- long justification that\n\
+               // wraps across two comment lines before the code.\n\
+               use std::collections::HashMap;\n";
+    assert!(analyze_source("cells.rs", src).is_empty());
+
+    // Multiple rules in one directive.
+    let src = "// anton2-lint: allow(nondet, zero-alloc) -- both\n\
+               use std::collections::HashMap;\n";
+    assert!(analyze_source("cells.rs", src).is_empty());
+}
+
+#[test]
+fn baseline_round_trip_suppresses_known_findings() {
+    let findings = analyze_fixture("nondet/bad/cells.rs");
+    assert!(!findings.is_empty());
+    let rendered = baseline::render(&findings);
+    let suppressed = baseline::parse(&rendered);
+    let remaining = baseline::filter(findings.clone(), &suppressed);
+    assert!(remaining.is_empty(), "{remaining:?}");
+    // An empty baseline suppresses nothing.
+    let none = baseline::parse("");
+    assert_eq!(
+        baseline::filter(findings.clone(), &none).len(),
+        findings.len()
+    );
+}
+
+// ---- CLI end-to-end -------------------------------------------------------
+
+fn run_cli(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_anton2-lint"))
+        .args(args)
+        .output()
+        .expect("run anton2-lint");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn cli_exits_nonzero_on_each_bad_fixture() {
+    for (dir, _, bad, _) in FAMILIES {
+        let path = fixture_path(&format!("{dir}/{bad}"));
+        let path = path.to_str().unwrap();
+        let (code, stdout, _) = run_cli(&["--check", path]);
+        assert_eq!(code, 1, "{dir}/{bad}: expected exit 1\n{stdout}");
+        assert!(stdout.contains("finding(s)"), "{stdout}");
+    }
+}
+
+#[test]
+fn cli_exits_zero_on_good_fixtures() {
+    for (dir, _, _, good) in FAMILIES {
+        let path = fixture_path(&format!("{dir}/{good}"));
+        let path = path.to_str().unwrap();
+        let (code, stdout, _) = run_cli(&["--check", path]);
+        assert_eq!(code, 0, "{dir}/{good}: expected exit 0\n{stdout}");
+    }
+}
+
+#[test]
+fn cli_json_output_reports_rule_and_total() {
+    let path = fixture_path("unsafe/bad/raw.rs");
+    let (code, stdout, _) = run_cli(&["--check", "--json", path.to_str().unwrap()]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("\"rule\": \"unsafe-audit\""), "{stdout}");
+    assert!(stdout.contains("\"total\": 2"), "{stdout}");
+}
+
+#[test]
+fn cli_errors_on_missing_file_and_unknown_flag() {
+    let (code, _, stderr) = run_cli(&["--check", "no/such/file.rs"]);
+    assert_eq!(code, 2, "{stderr}");
+    let (code, _, stderr) = run_cli(&["--frobnicate"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn cli_update_baseline_then_check_is_clean() {
+    let bad = fixture_path("reduction/bad/gse.rs");
+    let bad = bad.to_str().unwrap();
+    let tmp = std::env::temp_dir().join(format!("anton2-lint-baseline-{}.txt", std::process::id()));
+    let tmp_s = tmp.to_str().unwrap();
+
+    let (code, stdout, _) = run_cli(&["--update-baseline", "--baseline", tmp_s, bad]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("baselined"), "{stdout}");
+
+    // Grandfathered findings no longer fail the check…
+    let (code, stdout, _) = run_cli(&["--check", "--baseline", tmp_s, bad]);
+    assert_eq!(code, 0, "{stdout}");
+
+    // …but a fresh (empty) baseline still does.
+    let (code, _, _) = run_cli(&["--check", "--baseline", "/nonexistent-baseline", bad]);
+    assert_eq!(code, 1);
+
+    let _ = std::fs::remove_file(&tmp);
+}
+
+#[test]
+fn workspace_check_with_committed_baseline_is_green() {
+    // The acceptance criterion for the whole pass: the real workspace lints
+    // clean against the committed (empty) baseline.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    let (code, stdout, stderr) = run_cli(&["--check", "--root", root.to_str().unwrap()]);
+    assert_eq!(code, 0, "workspace not clean:\n{stdout}{stderr}");
+    assert!(stdout.contains("no findings"), "{stdout}");
+}

@@ -225,6 +225,11 @@ pub fn all_bonded_forces(
 /// therefore the same floating-point result for any `RAYON_NUM_THREADS`.
 pub const BONDED_CHUNKS: usize = 16;
 
+/// Upper bound on `buffers.len()` in [`all_bonded_forces_parallel`]: the
+/// per-chunk energy slots live in a stack array of this size so the
+/// steady-state parallel path never touches the allocator.
+pub const MAX_BONDED_CHUNKS: usize = 64;
+
 /// Parallel [`all_bonded_forces`]: each of the `buffers.len()` fixed chunks
 /// takes a contiguous slice of every term list, accumulates into its own
 /// whole-system force buffer, and the buffers are reduced per atom in chunk
@@ -245,19 +250,28 @@ pub fn all_bonded_forces_parallel(
 
     let n = positions.len();
     let chunks = buffers.len().max(1);
+    assert!(
+        buffers.len() <= MAX_BONDED_CHUNKS,
+        "at most {MAX_BONDED_CHUNKS} bonded chunks (got {})",
+        buffers.len()
+    );
     let slice = |len: usize, c: usize| -> std::ops::Range<usize> {
         let per = len.div_ceil(chunks).max(1);
         let start = (c * per).min(len);
         start..(start + per).min(len)
     };
 
-    let energies: Vec<BondedEnergy> = buffers
+    // Per-chunk energy slots on the stack: the steady-state parallel path
+    // must not touch the allocator (zero-alloc rule).
+    let mut energies = [BondedEnergy::default(); MAX_BONDED_CHUNKS];
+    buffers
         .par_iter_mut()
+        .zip(&mut energies[..])
         .enumerate()
-        .map(|(c, buf)| {
+        .for_each(|(c, (buf, slot))| {
             buf.clear();
             buf.resize(n, Vec3::ZERO);
-            BondedEnergy {
+            *slot = BondedEnergy {
                 bond: bond_forces(
                     &topology.bonds[slice(topology.bonds.len(), c)],
                     pbc,
@@ -288,9 +302,8 @@ pub fn all_bonded_forces_parallel(
                     positions,
                     buf,
                 ),
-            }
-        })
-        .collect();
+            };
+        });
 
     // Ordered per-atom reduction: every atom sums its chunk contributions
     // in chunk order, independent of how threads were scheduled.
@@ -306,7 +319,7 @@ pub fn all_bonded_forces_parallel(
     }
 
     let mut total = BondedEnergy::default();
-    for e in energies {
+    for e in &energies[..buffers.len()] {
         total.bond += e.bond;
         total.angle += e.angle;
         total.dihedral += e.dihedral;

@@ -305,7 +305,7 @@ pub fn solvated_protein(protein_beads: usize, n_waters: usize, seed: u64) -> Sys
     }
     // Angles and dihedrals over consecutive bonded triples/quadruples, with
     // equilibrium values from the built geometry.
-    let bonded: std::collections::HashSet<(usize, usize)> =
+    let bonded: std::collections::BTreeSet<(usize, usize)> =
         top.bonds.iter().map(|b| (b.i, b.j)).collect();
     let linked = |i: usize, j: usize| bonded.contains(&(i, j));
     for i in 0..protein_beads.saturating_sub(2) {

@@ -475,6 +475,9 @@ impl Gse {
                 if q == 0.0 {
                     continue;
                 }
+                // anton2-lint: allow(zero-alloc) -- push onto a cleared,
+                // capacity-retaining workspace buffer; steady-state freedom
+                // is proved end-to-end by tests/alloc_steady_state.rs.
                 buf.push((a, self.interp_force_one(&c, phi, positions[a], q)));
             }
         };

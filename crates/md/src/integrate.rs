@@ -9,7 +9,11 @@
 
 use crate::units::{fs_to_internal, KB};
 use crate::vec3::Vec3;
+// anton2-lint: allow(nondet) -- the Langevin thermostat's StdRng is seeded
+// explicitly from EngineConfig::seed; given the seed, the noise sequence
+// (and thus the trajectory) is fully deterministic.
 use rand::rngs::StdRng;
+// anton2-lint: allow(nondet) -- same justification as above.
 use rand::Rng;
 
 /// Half-kick: `v += (F/m)·dt/2`, with `dt` in femtoseconds.

@@ -404,7 +404,7 @@ mod tests {
         // Every pair now inside the *true* cutoff must be present in the
         // stale list.
         let inside = brute_force_pairs(&pbc, &pos, cutoff);
-        let listed: std::collections::HashSet<_> = list_pairs(&nl).into_iter().collect();
+        let listed: std::collections::BTreeSet<_> = list_pairs(&nl).into_iter().collect();
         for pr in inside {
             assert!(listed.contains(&pr), "missing pair {pr:?}");
         }

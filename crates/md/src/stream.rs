@@ -484,17 +484,19 @@ pub fn nonbonded_forces_streamed_profiled(
 
     let (total, cut) = if parallel {
         let bufs = &mut ws.chunks[..NB_CHUNKS];
-        let energies: Vec<(NonbondedEnergy, u64)> = bufs
-            .par_iter_mut()
+        // Per-chunk energy slots live on the stack: the steady-state
+        // parallel path must not touch the allocator (zero-alloc rule).
+        let mut energies = [(NonbondedEnergy::default(), 0u64); NB_CHUNKS];
+        bufs.par_iter_mut()
+            .zip(&mut energies[..])
             .enumerate()
-            .map(|(c, local)| {
+            .for_each(|(c, (local, slot))| {
                 local.resize(ns, Vec3::ZERO);
                 local.iter_mut().for_each(|f| *f = Vec3::ZERO);
                 let lo = c * ns / NB_CHUNKS;
                 let hi = (c + 1) * ns / NB_CHUNKS;
-                stream_rows(stream, table, alpha, lo, hi, local)
-            })
-            .collect();
+                *slot = stream_rows(stream, table, alpha, lo, hi, local);
+            });
         // Deterministic reduction: chunk order is fixed; the scatter maps
         // sorted indices back to original atom order. The cut counter is an
         // integer sum, so it is bitwise thread-count independent too.

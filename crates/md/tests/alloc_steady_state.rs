@@ -18,19 +18,27 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to the `System` allocator plus a relaxed atomic
+// increment; every GlobalAlloc contract obligation is delegated unchanged.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds GlobalAlloc's contract for `layout`; the
+    // counter increment is safe code and System does the rest.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: `ptr` was produced by `System.alloc` above with the same
+    // `layout`, per the caller's GlobalAlloc contract.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: delegated verbatim; the caller's contract on `ptr`, `layout`,
+    // and `new_size` is exactly System's contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 

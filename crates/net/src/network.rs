@@ -195,10 +195,10 @@ impl Network {
         let ser = self.cfg.serialize_time(bytes);
         let hop = self.cfg.hop_time();
         // head_at[node] = when the packet head is available at that node.
-        let mut head_at: std::collections::HashMap<NodeId, SimTime> =
-            std::collections::HashMap::new();
+        let mut head_at: std::collections::BTreeMap<NodeId, SimTime> =
+            std::collections::BTreeMap::new();
         head_at.insert(src, inject);
-        let mut used: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut used: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
         let mut out = Vec::with_capacity(dsts.len());
         // Deterministic order: sort destinations.
         let mut order: Vec<NodeId> = dsts.to_vec();
@@ -458,7 +458,7 @@ mod tests {
         let ser = n.cfg.serialize_time(5_000).as_ps();
         assert_eq!(busy_0_to_1, ser, "tree edge used once");
         // Arrival order follows distance.
-        let at: std::collections::HashMap<_, _> =
+        let at: std::collections::BTreeMap<_, _> =
             deliveries.iter().map(|d| (d.node, d.at)).collect();
         assert!(at[&1] < at[&2]);
         assert!(at[&2] < at[&3]);

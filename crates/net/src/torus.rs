@@ -315,7 +315,7 @@ mod tests {
     fn route_never_revisits_a_node() {
         let t = Torus::new(8, 8, 8);
         let route = t.route(0, t.id(Coord { x: 5, y: 6, z: 3 }));
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &(node, _) in &route {
             assert!(seen.insert(node), "revisited node {node}");
         }
@@ -352,7 +352,7 @@ mod tests {
     #[test]
     fn link_indices_unique() {
         let t = Torus::new(3, 3, 3);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for id in 0..t.n_nodes() {
             for dir in Dir::ALL {
                 assert!(seen.insert(t.link_index(id, dir)));
