@@ -7,6 +7,7 @@ use crate::plan::StepPlan;
 use anton2_md::telemetry::StepProfile;
 use anton2_md::units::us_per_day;
 use anton2_md::System;
+use anton2_net::{FaultPlan, RetryConfig};
 use serde::{Deserialize, Serialize};
 
 /// Per-phase step breakdown in microseconds.
@@ -39,6 +40,20 @@ impl From<&StepProfile> for BreakdownUs {
     }
 }
 
+/// Link-fault activity observed during a simulated outer step, the columns
+/// a fault sweep adds to the performance table. All zero on fault-free runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultColumns {
+    /// Link-level CRC retransmissions absorbed by the retry protocol.
+    pub retries: u64,
+    /// Transient link stalls ridden out.
+    pub stalls: u64,
+    /// Routes recomputed around dead fabric.
+    pub reroutes: u64,
+    /// Links configured dead for the sweep point.
+    pub degraded_links: u64,
+}
+
 /// The result of one machine-performance simulation.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PerfReport {
@@ -60,6 +75,9 @@ pub struct PerfReport {
     pub pairs_per_step: u64,
     /// Total bytes of communication on an outer step.
     pub comm_bytes_per_step: u64,
+    /// Link-fault activity (all zero unless simulated with
+    /// [`simulate_performance_with_faults`]).
+    pub faults: FaultColumns,
 }
 
 /// Simulate `system` on `machine_cfg` and report performance.
@@ -96,6 +114,49 @@ pub fn simulate_performance(
     )
 }
 
+/// Simulate `system` on `machine_cfg` with deterministic link faults
+/// injected into the interconnect, and report performance plus the
+/// fault-activity columns. Same schema as [`simulate_performance`]; an
+/// inactive [`FaultPlan`] reproduces the fault-free timing bitwise.
+///
+/// The fault plan must be recoverable for the configured retry budget
+/// (CRC/stall rates, dead links with an alternate dimension order): a
+/// retry-exhausted or unroutable message is a modeling error here and
+/// panics inside the batch transport, exactly like the underlying
+/// `Network::run_batch`.
+pub fn simulate_performance_with_faults(
+    system: &System,
+    machine_cfg: MachineConfig,
+    dt_fs: f64,
+    respa_interval: u32,
+    fault: FaultPlan,
+    retry: RetryConfig,
+) -> PerfReport {
+    let plan = StepPlan::build(system, &machine_cfg);
+    let mut machine = Machine::new(machine_cfg);
+    let degraded_links = fault.dead_link_count() as u64;
+    machine.net.fault = Some(fault);
+    machine.net.retry = retry;
+    let (avg_step, outer) = machine.simulate_respa_cycle(&plan, respa_interval);
+    let mut report = report_from(
+        system,
+        &machine_cfg,
+        &plan,
+        avg_step.as_us_f64(),
+        &outer,
+        dt_fs,
+        respa_interval,
+    );
+    let observed = machine.net.faults;
+    report.faults = FaultColumns {
+        retries: observed.link_retransmits,
+        stalls: observed.link_stalls,
+        reroutes: observed.reroutes,
+        degraded_links,
+    };
+    report
+}
+
 fn report_from(
     system: &System,
     cfg: &MachineConfig,
@@ -125,20 +186,31 @@ fn report_from(
         compute_utilization: outer.compute_utilization,
         pairs_per_step: plan.total_pairs(),
         comm_bytes_per_step: plan.total_comm_bytes(),
+        faults: FaultColumns::default(),
     }
 }
 
 impl PerfReport {
-    /// One row of the paper-style performance table.
+    /// One row of the paper-style performance table. Fault sweeps append
+    /// the retry/reroute/degraded-link columns; fault-free rows stay in the
+    /// classic format.
     pub fn row(&self) -> String {
-        format!(
+        let mut row = format!(
             "{:<24} {:>5} nodes  {:>9.3} µs/step  {:>9.2} µs/day  util {:>5.1}%",
             self.machine,
             self.nodes,
             self.step_time_us,
             self.us_per_day,
             self.compute_utilization * 100.0
-        )
+        );
+        let f = self.faults;
+        if f != FaultColumns::default() {
+            row.push_str(&format!(
+                "  retries {:>6}  stalls {:>6}  reroutes {:>4}  dead links {:>3}",
+                f.retries, f.stalls, f.reroutes, f.degraded_links
+            ));
+        }
+        row
     }
 }
 
@@ -204,6 +276,51 @@ mod tests {
         for field in ["import_comm", "htis", "bonded", "kspace", "integrate"] {
             assert!(j.contains(field), "missing {field} in {j}");
         }
+    }
+
+    #[test]
+    fn fault_sweep_fills_retry_columns_deterministically() {
+        use anton2_des::SimTime;
+
+        let s = water_box(6, 6, 6, 1);
+        let cfg = MachineConfig::anton2(8);
+        let clean = simulate_performance(&s, cfg, 2.5, 2);
+
+        // An inactive plan must reproduce the fault-free timing bitwise.
+        let inert = simulate_performance_with_faults(
+            &s,
+            cfg,
+            2.5,
+            2,
+            FaultPlan::new(7),
+            RetryConfig::default(),
+        );
+        assert_eq!(inert.step_time_us.to_bits(), clean.step_time_us.to_bits());
+        assert_eq!(inert.faults, FaultColumns::default());
+        assert!(!inert.row().contains("retries"), "clean row format");
+
+        // A lossy fabric costs time, fills the columns, and is a pure
+        // function of the seed.
+        let sweep = |seed: u64| {
+            let plan = FaultPlan::new(seed)
+                .with_crc_rate(0.05)
+                .with_stall_rate(0.05, SimTime::from_ns(20));
+            simulate_performance_with_faults(&s, cfg, 2.5, 2, plan, RetryConfig::default())
+        };
+        let faulty = sweep(7);
+        assert!(
+            faulty.faults.retries > 0 || faulty.faults.stalls > 0,
+            "5% fault rates produced no events: {:?}",
+            faulty.faults
+        );
+        assert!(
+            faulty.step_time_us >= clean.step_time_us,
+            "faults are free?"
+        );
+        assert!(faulty.row().contains("retries"), "fault row format");
+        let again = sweep(7);
+        assert_eq!(faulty.step_time_us.to_bits(), again.step_time_us.to_bits());
+        assert_eq!(faulty.faults, again.faults);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod stats;
 pub mod time;
 
 pub use queue::{run_until_quiescent, EventQueue};
-pub use stats::{BusyTracker, LatencyHistogram, Summary};
+pub use stats::{BusyTracker, FaultCounters, LatencyHistogram, Summary};
 pub use time::{cycles_to_time, SimTime};
 
 #[cfg(test)]

@@ -93,6 +93,15 @@ pub const HOT_PATH: &[(&str, &str)] = &[
     ("integrate.rs", "drift"),
     ("integrate.rs", "langevin_o_step"),
     ("integrate.rs", "gauss"),
+    // fault.rs — per-crossing fault decisions on the network's retry path;
+    // every simulated link crossing of a faulted run evaluates these.
+    ("fault.rs", "draw"),
+    ("fault.rs", "corrupts"),
+    ("fault.rs", "stalls"),
+    ("fault.rs", "delay"),
+    // network.rs — link claim + the retry loop around it.
+    ("network.rs", "claim"),
+    ("network.rs", "cross_link"),
 ];
 
 /// Approved reduction helpers: functions allowed to use bare float
@@ -164,6 +173,9 @@ pub const COUNTER_FIELDS: &[&str] = &[
     "rebuilds_invalidated",
     "fft_lines",
     "fixedpoint_clamps",
+    "watchdog_checks",
+    "net_retries",
+    "net_reroutes",
     "phase_ns",
 ];
 

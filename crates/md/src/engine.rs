@@ -25,6 +25,7 @@ use crate::telemetry::{
     TelemetryLevel,
 };
 use crate::thermostat::{Berendsen, NoseHooverChain};
+use crate::trajectory::{Checkpoint, CHECKPOINT_VERSION};
 use crate::units::{fs_to_internal, us_per_day};
 use crate::vec3::Vec3;
 use rand::rngs::StdRng;
@@ -122,8 +123,11 @@ impl EngineConfig {
     }
 }
 
-/// Why an [`EngineBuilder::build`] call was rejected. Every variant is a
-/// configuration problem the caller can fix; nothing here panics.
+/// Why an [`EngineBuilder::build`] call or a recoverable runtime check was
+/// rejected. Configuration variants are fixable by the caller; checkpoint
+/// variants reject a bad restart before it can corrupt a run; watchdog
+/// variants report numerical-health failures from [`Engine::try_step`].
+/// Nothing here panics.
 #[derive(Clone, Debug, PartialEq)]
 pub enum EngineError {
     /// No [`System`] was supplied to the builder.
@@ -140,6 +144,19 @@ pub enum EngineError {
     InvalidBarostatPeriod(u32),
     /// A thermostat parameter is out of range; the message names it.
     InvalidThermostat(&'static str),
+    /// The checkpoint's format version is not the one this build reads.
+    CheckpointVersion { found: u32, expected: u32 },
+    /// The checkpoint is internally inconsistent with the engine it is
+    /// being restored into; the message names the mismatched piece.
+    CheckpointMismatch(&'static str),
+    /// The checkpoint's content digest does not match its payload
+    /// (in-place corruption that still parsed as valid JSON).
+    CheckpointCorrupt,
+    /// The watchdog found a non-finite force component on `atom`.
+    NonFiniteForce { step: u64, atom: usize },
+    /// The watchdog found total-energy drift beyond the configured limit
+    /// (both in kcal/mol per atom, measured from the armed reference).
+    EnergyDrift { step: u64, drift: f64, limit: f64 },
 }
 
 impl std::fmt::Display for EngineError {
@@ -160,11 +177,53 @@ impl std::fmt::Display for EngineError {
                 write!(f, "barostat_period {p} must be >= 1")
             }
             EngineError::InvalidThermostat(what) => write!(f, "invalid thermostat: {what}"),
+            EngineError::CheckpointVersion { found, expected } => {
+                write!(f, "checkpoint version {found}, this build reads {expected}")
+            }
+            EngineError::CheckpointMismatch(what) => {
+                write!(f, "checkpoint does not match this engine: {what}")
+            }
+            EngineError::CheckpointCorrupt => {
+                write!(f, "checkpoint digest mismatch: content corrupted")
+            }
+            EngineError::NonFiniteForce { step, atom } => {
+                write!(f, "non-finite force on atom {atom} after step {step}")
+            }
+            EngineError::EnergyDrift { step, drift, limit } => {
+                write!(
+                    f,
+                    "energy drift {drift} kcal/mol/atom exceeds limit {limit} after step {step}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+/// Numerical-health watchdog settings for [`Engine::try_step`]. The
+/// watchdog scans the combined force array for NaN/inf components after
+/// every step and tracks total-energy drift against a reference armed at
+/// the first check (re-armed after a checkpoint restore). It is pure
+/// observation: a passing check leaves the trajectory bitwise untouched.
+#[derive(Clone, Copy, Debug)]
+pub struct WatchdogConfig {
+    /// Hard limit on `|E(t) − E(ref)| / N`, kcal/mol per atom. Use
+    /// `f64::INFINITY` to keep only the NaN/inf force guard (e.g. for
+    /// thermostatted runs where total energy is not conserved).
+    pub max_drift_kcal_per_atom: f64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        // Catastrophic-blowup detector: far beyond honest NVE drift
+        // (~1e-2 kcal/mol/atom over test-length runs), far below the
+        // hundreds produced by an exploding integrator.
+        WatchdogConfig {
+            max_drift_kcal_per_atom: 50.0,
+        }
+    }
+}
 
 /// Fluent constructor for [`Engine`]: choose a system, override pieces of
 /// [`EngineConfig`], pick a [`TelemetryLevel`], then [`EngineBuilder::build`].
@@ -189,6 +248,8 @@ pub struct EngineBuilder {
     cfg: EngineConfig,
     telemetry: TelemetryLevel,
     clock: Option<Box<dyn Clock>>,
+    watchdog: Option<WatchdogConfig>,
+    resume: Option<Checkpoint>,
 }
 
 impl Default for EngineBuilder {
@@ -198,6 +259,8 @@ impl Default for EngineBuilder {
             cfg: EngineConfig::default(),
             telemetry: TelemetryLevel::Off,
             clock: None,
+            watchdog: None,
+            resume: None,
         }
     }
 }
@@ -297,6 +360,25 @@ impl EngineBuilder {
         self
     }
 
+    /// Enable the numerical-health watchdog for [`Engine::try_step`].
+    pub fn watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Resume from a checkpoint instead of starting fresh: after validating
+    /// the configuration, [`EngineBuilder::build`] restores every piece of
+    /// dynamic state from `cp` (positions, velocities, cached forces,
+    /// thermostat RNG, neighbor-list epoch, telemetry) so the continued
+    /// trajectory is bitwise identical to the uninterrupted one. The
+    /// supplied [`EngineBuilder::system`] provides the topology; its
+    /// positions/velocities are overwritten. The builder's `dt_fs` must
+    /// match the checkpoint's.
+    pub fn resume_from(mut self, cp: Checkpoint) -> Self {
+        self.resume = Some(cp);
+        self
+    }
+
     /// Validate the configuration and build the engine (computing initial
     /// forces). The only fallible step in the engine's lifecycle.
     pub fn build(self) -> Result<Engine, EngineError> {
@@ -352,7 +434,12 @@ impl EngineBuilder {
             Some(clock) => Telemetry::with_clock(self.telemetry, clock),
             None => Telemetry::new(self.telemetry),
         };
-        Ok(Engine::from_parts(system, cfg, tel))
+        let mut engine = Engine::from_parts(system, cfg, tel);
+        engine.watchdog = self.watchdog;
+        if let Some(cp) = self.resume {
+            engine.restore(&cp)?;
+        }
+        Ok(engine)
     }
 }
 
@@ -461,23 +548,17 @@ pub struct Engine {
     nh: Option<NoseHooverChain>,
     rng: StdRng,
     ws: StepWorkspace,
+    /// Numerical-health watchdog, if enabled via the builder.
+    watchdog: Option<WatchdogConfig>,
+    /// Reference total energy for the drift check; armed at the first
+    /// watchdog evaluation, cleared by a checkpoint restore.
+    watchdog_e0: Option<f64>,
 }
 
 impl Engine {
     /// Start configuring an engine. See [`EngineBuilder`].
     pub fn builder() -> EngineBuilder {
         EngineBuilder::default()
-    }
-
-    /// Build an engine and compute initial forces, panicking on an invalid
-    /// configuration. Kept as a shim for old call sites.
-    #[deprecated(since = "0.2.0", note = "use Engine::builder() and handle EngineError")]
-    pub fn new(system: System, cfg: EngineConfig) -> Self {
-        Engine::builder()
-            .system(system)
-            .config(cfg)
-            .build()
-            .expect("invalid engine configuration")
     }
 
     /// Assemble the engine from validated parts and compute initial forces.
@@ -533,6 +614,8 @@ impl Engine {
             nh,
             rng: StdRng::seed_from_u64(cfg.seed),
             ws,
+            watchdog: None,
+            watchdog_e0: None,
         };
         engine.compute_short_forces();
         engine.compute_long_forces();
@@ -1074,17 +1157,76 @@ impl Engine {
         energy
     }
 
-    /// Capture a restartable checkpoint of the dynamic state.
-    pub fn checkpoint(&self) -> crate::trajectory::Checkpoint {
-        crate::trajectory::Checkpoint::capture(&self.system, self.step, self.cfg.dt_fs)
+    /// Capture a complete restartable checkpoint: positions, velocities,
+    /// box, cached RESPA force arrays, energy ledger, thermostat RNG state,
+    /// Nosé–Hoover chain state, neighbor-list epoch, and the accumulated
+    /// telemetry profile — everything needed for [`Engine::restore`] (or
+    /// [`EngineBuilder::resume_from`]) to continue bitwise identically with
+    /// zero recomputation.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let mut cp = Checkpoint::capture(&self.system, self.step, self.cfg.dt_fs);
+        cp.f_short = self.f_short.clone();
+        cp.f_long = self.f_long.clone();
+        cp.ledger = self.ledger;
+        cp.virial_lj = self.virial_lj;
+        cp.rng_state = self.rng.state();
+        cp.nh_xi = self.nh.as_ref().map(NoseHooverChain::xi);
+        cp.stream_epoch = self.ws.nonbonded.stream().ref_positions().to_vec();
+        cp.telemetry = *self.ws.tel.profile();
+        cp.digest = cp.compute_digest();
+        cp
     }
 
-    /// Restore from a checkpoint (same topology), rebuilding box-dependent
-    /// state and recomputing forces so the next step continues exactly.
-    pub fn restore(&mut self, cp: &crate::trajectory::Checkpoint) {
-        cp.restore(&mut self.system);
+    /// Validate a checkpoint against this engine before touching any state.
+    fn validate_checkpoint(&self, cp: &Checkpoint) -> Result<(), EngineError> {
+        if cp.version != CHECKPOINT_VERSION {
+            return Err(EngineError::CheckpointVersion {
+                found: cp.version,
+                expected: CHECKPOINT_VERSION,
+            });
+        }
+        if !cp.digest_ok() {
+            return Err(EngineError::CheckpointCorrupt);
+        }
+        let n = self.system.n_atoms();
+        if cp.positions.len() != n || cp.velocities.len() != n {
+            return Err(EngineError::CheckpointMismatch("atom count"));
+        }
+        let full = !cp.f_short.is_empty() || !cp.f_long.is_empty();
+        if full && (cp.f_short.len() != n || cp.f_long.len() != n) {
+            return Err(EngineError::CheckpointMismatch("force array length"));
+        }
+        if full && cp.nh_xi.is_some() != self.nh.is_some() {
+            return Err(EngineError::CheckpointMismatch("thermostat state"));
+        }
+        if !cp.stream_epoch.is_empty() && cp.stream_epoch.len() != n {
+            return Err(EngineError::CheckpointMismatch("neighbor epoch length"));
+        }
+        if cp.dt_fs.to_bits() != self.cfg.dt_fs.to_bits() {
+            return Err(EngineError::CheckpointMismatch("dt_fs"));
+        }
+        Ok(())
+    }
+
+    /// Restore from a checkpoint (same topology and configuration).
+    ///
+    /// A full checkpoint from [`Engine::checkpoint`] restores *every* piece
+    /// of dynamic state — including the cached RESPA long forces, which are
+    /// not recomputable at an arbitrary step — so no force evaluation runs
+    /// and the continued trajectory is bitwise identical to the
+    /// uninterrupted one. The neighbor stream is rebuilt from the
+    /// checkpointed epoch positions so later skin-drift rebuild decisions
+    /// replay exactly. A system-only checkpoint from [`Checkpoint::capture`]
+    /// falls back to recomputing forces (exact continuation only when the
+    /// capture sits on a RESPA outer boundary).
+    pub fn restore(&mut self, cp: &Checkpoint) -> Result<(), EngineError> {
+        self.validate_checkpoint(cp)?;
+        self.system.pbc = cp.pbc;
+        self.system.positions = cp.positions.clone();
+        self.system.velocities = cp.velocities.clone();
         self.step = cp.step;
-        self.ws.nonbonded.invalidate();
+        // Box-dependent plans: the checkpoint's box may differ from the
+        // one this engine was built with (barostat runs).
         if self.gse.is_some() {
             self.gse = Some(Gse::new(
                 self.system.nb.ewald_alpha,
@@ -1093,9 +1235,99 @@ impl Engine {
             ));
             self.ws.gse = self.gse.as_ref().map(GseWorkspace::for_gse);
         }
-        self.compute_short_forces();
-        self.compute_long_forces();
-        self.ledger.kinetic = self.system.kinetic_energy();
+        if self.ewald.is_some() {
+            self.ewald = Some(EwaldKSpace::for_box(
+                self.system.nb.ewald_alpha,
+                &self.system.pbc,
+                1e-10,
+            ));
+        }
+        if cp.f_short.len() == self.system.n_atoms() {
+            // Full restore: adopt the cached state verbatim.
+            self.f_short = cp.f_short.clone();
+            self.f_long = cp.f_long.clone();
+            self.ledger = cp.ledger;
+            self.virial_lj = cp.virial_lj;
+            self.rng = StdRng::from_state(cp.rng_state);
+            if let (Some(nh), Some(xi)) = (self.nh.as_mut(), cp.nh_xi) {
+                nh.set_xi(xi);
+            }
+            if cp.stream_epoch.is_empty() {
+                self.ws.nonbonded.invalidate();
+            } else {
+                // Rebuild the stream at the checkpointed epoch, then put the
+                // current positions back: the next `ensure()` re-gathers them
+                // without triggering a rebuild (drift from the epoch is under
+                // skin/2 by construction, or the original run would have
+                // rebuilt and checkpointed the newer epoch).
+                let now = std::mem::replace(&mut self.system.positions, cp.stream_epoch.clone());
+                self.ws.nonbonded.rebuild_at_epoch(&self.system);
+                self.system.positions = now;
+            }
+            self.ws.tel.restore_profile(cp.telemetry);
+        } else {
+            // System-only checkpoint: recompute everything derivable.
+            self.ws.nonbonded.invalidate();
+            self.compute_short_forces();
+            self.compute_long_forces();
+            self.ledger.kinetic = self.system.kinetic_energy();
+        }
+        self.watchdog_e0 = None;
+        Ok(())
+    }
+
+    /// One step plus a numerical-health check: NaN/inf force scan and
+    /// total-energy drift against a reference armed at the first check.
+    /// Without a [`WatchdogConfig`] this is exactly [`Engine::step`].
+    /// A passing check does not perturb the trajectory.
+    pub fn try_step(&mut self) -> Result<(), EngineError> {
+        self.step();
+        self.check_health()
+    }
+
+    /// Run up to `n` watchdog-checked steps, stopping at the first failed
+    /// health check. The error names the step after which it tripped; the
+    /// engine state is left as of that step (e.g. for a post-mortem
+    /// checkpoint of the blown-up state).
+    pub fn try_run(&mut self, n: usize) -> Result<RunSummary, EngineError> {
+        let before = *self.ws.tel.profile();
+        let e0 = self.ledger.total();
+        let wall = Instant::now();
+        for _ in 0..n {
+            self.try_step()?;
+        }
+        Ok(self.summarize(n as u64, e0, wall.elapsed().as_secs_f64(), &before))
+    }
+
+    fn check_health(&mut self) -> Result<(), EngineError> {
+        let Some(wd) = self.watchdog else {
+            return Ok(());
+        };
+        self.ws.tel.count_watchdog_check();
+        for (atom, (s, l)) in self.f_short.iter().zip(&self.f_long).enumerate() {
+            if !(*s + *l).is_finite() {
+                return Err(EngineError::NonFiniteForce {
+                    step: self.step,
+                    atom,
+                });
+            }
+        }
+        let e = self.ledger.total();
+        let n = self.system.n_atoms() as f64;
+        let e0 = *self.watchdog_e0.get_or_insert(e);
+        let drift = if e.is_finite() {
+            ((e - e0) / n).abs()
+        } else {
+            f64::INFINITY
+        };
+        if drift > wd.max_drift_kcal_per_atom {
+            return Err(EngineError::EnergyDrift {
+                step: self.step,
+                drift,
+                limit: wd.max_drift_kcal_per_atom,
+            });
+        }
+        Ok(())
     }
 
     /// Immutable access to the current short-range forces (testing).
@@ -1475,11 +1707,155 @@ mod tests {
         assert_eq!(e.profile().steps, 0);
     }
 
+    fn state_bits(e: &Engine) -> Vec<(u64, u64, u64)> {
+        e.system
+            .positions
+            .iter()
+            .chain(&e.system.velocities)
+            .map(|p| (p.x.to_bits(), p.y.to_bits(), p.z.to_bits()))
+            .collect()
+    }
+
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_new_still_builds() {
-        let mut e = Engine::new(water_box(2, 2, 2, 68), EngineConfig::quick());
-        e.run(1);
-        assert_eq!(e.step_count(), 1);
+    fn full_checkpoint_resume_is_bitwise_mid_respa() {
+        // Checkpoint at a step that is *not* a RESPA outer boundary, with a
+        // stochastic thermostat: the resume must adopt the cached long
+        // forces and the RNG state verbatim for the continuation to match.
+        let build_sys = || {
+            let mut s = water_box(2, 2, 2, 70);
+            s.thermalize(300.0, 71);
+            s
+        };
+        let mut cfg = EngineConfig::quick();
+        cfg.respa = RespaSchedule { kspace_interval: 2 };
+        cfg.thermostat = Thermostat::Langevin {
+            t_kelvin: 300.0,
+            gamma_per_ps: 1.0,
+        };
+        let mut reference = Engine::builder()
+            .system(build_sys())
+            .config(cfg)
+            .telemetry(TelemetryLevel::Counters)
+            .build()
+            .unwrap();
+        reference.run(3); // 3 % 2 != 0: mid RESPA cycle
+        let cp = reference.checkpoint();
+        reference.run(5);
+        let want = state_bits(&reference);
+        let want_profile = reference.profile();
+
+        // Fresh-process analogue: serialize, rebuild from topology, resume.
+        let json = serde_json::to_string(&cp).unwrap();
+        let back: crate::trajectory::Checkpoint = serde_json::from_str(&json).unwrap();
+        let mut resumed = Engine::builder()
+            .system(build_sys())
+            .config(cfg)
+            .telemetry(TelemetryLevel::Counters)
+            .resume_from(back)
+            .build()
+            .unwrap();
+        assert_eq!(resumed.step_count(), 3);
+        resumed.run(5);
+        assert_eq!(state_bits(&resumed), want, "resumed trajectory diverged");
+        assert_eq!(resumed.profile(), want_profile, "telemetry diverged");
+    }
+
+    #[test]
+    fn restore_rejects_bad_checkpoints() {
+        let mut e = Engine::builder()
+            .system(water_box(2, 2, 2, 72))
+            .quick()
+            .build()
+            .unwrap();
+        e.run(2);
+        let cp = e.checkpoint();
+
+        let mut wrong_version = cp.clone();
+        wrong_version.version = 1;
+        assert_eq!(
+            e.restore(&wrong_version),
+            Err(EngineError::CheckpointVersion {
+                found: 1,
+                expected: crate::trajectory::CHECKPOINT_VERSION,
+            })
+        );
+
+        // In-place corruption that still parses: digest catches it.
+        let mut tampered = cp.clone();
+        tampered.velocities[0].x += 1.0;
+        assert_eq!(e.restore(&tampered), Err(EngineError::CheckpointCorrupt));
+
+        // Wrong topology.
+        let mut bigger = Engine::builder()
+            .system(water_box(3, 3, 3, 73))
+            .quick()
+            .build()
+            .unwrap();
+        assert_eq!(
+            bigger.restore(&cp),
+            Err(EngineError::CheckpointMismatch("atom count"))
+        );
+
+        // Wrong timestep.
+        let mut other_dt = Engine::builder()
+            .system(water_box(2, 2, 2, 72))
+            .quick()
+            .dt_fs(2.0)
+            .build()
+            .unwrap();
+        assert_eq!(
+            other_dt.restore(&cp),
+            Err(EngineError::CheckpointMismatch("dt_fs"))
+        );
+
+        // The untouched checkpoint still restores fine afterwards.
+        assert_eq!(e.restore(&cp), Ok(()));
+    }
+
+    #[test]
+    fn watchdog_passes_healthy_run_and_counts_checks() {
+        let mut sys = water_box(2, 2, 2, 74);
+        sys.thermalize(300.0, 75);
+        let mut e = Engine::builder()
+            .system(sys)
+            .quick()
+            .watchdog(WatchdogConfig::default())
+            .telemetry(TelemetryLevel::Counters)
+            .build()
+            .unwrap();
+        let summary = e.try_run(4).expect("healthy run must pass the watchdog");
+        assert_eq!(summary.steps, 4);
+        assert_eq!(e.profile().counters.watchdog_checks, 4);
+    }
+
+    #[test]
+    fn watchdog_trips_on_numerical_blowup() {
+        let mut sys = lj_fluid(64, 0.8, 80);
+        sys.thermalize(120.0, 81);
+        let mut cfg = EngineConfig::quick();
+        cfg.kspace = KspaceMethod::None;
+        let mut e = Engine::builder()
+            .system(sys)
+            .config(cfg)
+            .watchdog(WatchdogConfig {
+                max_drift_kcal_per_atom: 0.5,
+            })
+            .build()
+            .unwrap();
+        // Inject a catastrophic velocity blowup; with dt = 1 fs atoms now
+        // tunnel through each other and energy conservation collapses.
+        for v in &mut e.system.velocities {
+            *v = *v * 1e3;
+        }
+        let err = e.try_run(20).expect_err("watchdog must trip");
+        assert!(
+            matches!(
+                err,
+                EngineError::EnergyDrift { .. } | EngineError::NonFiniteForce { .. }
+            ),
+            "unexpected error: {err:?}"
+        );
+        // The error message is human-readable.
+        assert!(!err.to_string().is_empty());
     }
 }

@@ -161,6 +161,14 @@ impl NonbondedStream {
         self.invalidated = true;
     }
 
+    /// The original-order positions the current list was built from — the
+    /// neighbor-list *epoch*. Checkpoints capture these so a resumed run can
+    /// rebuild the identical permutation and baked list (see
+    /// [`NonbondedWorkspace::rebuild_at_epoch`]). Empty before first build.
+    pub fn ref_positions(&self) -> &[Vec3] {
+        &self.ref_positions
+    }
+
     /// Why the stream is stale for `system`, or `None` if it is current.
     /// Checked in priority order: cold/invalidated first, then geometry
     /// (box or range change, atom count), then skin drift.
@@ -382,6 +390,17 @@ impl NonbondedWorkspace {
     /// Force a stream rebuild on the next evaluation.
     pub fn invalidate(&mut self) {
         self.stream.invalidate();
+    }
+
+    /// Rebuild the stream as of a checkpointed neighbor-list epoch:
+    /// `system` must carry the epoch's reference positions (not the
+    /// current ones). Reproduces the interrupted run's cell permutation and
+    /// baked list bit-for-bit, so the skin-drift trigger and pair order
+    /// evolve identically after resume. Deliberately not routed through
+    /// telemetry — the original build was already counted in the
+    /// checkpointed profile.
+    pub fn rebuild_at_epoch(&mut self, system: &System) {
+        self.stream.rebuild(system);
     }
 
     /// The `NB_CHUNKS` per-chunk force buffers, for callers that drive

@@ -33,7 +33,7 @@
 //! with the co-simulator's predicted ones (see EXPERIMENTS.md).
 
 use crate::neighbor::RebuildReason;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -163,7 +163,7 @@ impl Clock for ManualClock {
 /// Hardware-meaningful work counters, accumulated across steps. All fields
 /// are exact integer sums over deterministic sets, so serial and parallel
 /// evaluation agree bitwise.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Counters {
     /// Pairs that passed the cutoff test and were evaluated by the
     /// range-limited kernel.
@@ -186,6 +186,16 @@ pub struct Counters {
     /// Fixed-point force accumulator saturation events (always 0 on the
     /// floating-point engine path; fed by the co-simulator's accumulators).
     pub fixedpoint_clamps: u64,
+    /// Numerical-health watchdog evaluations (NaN/inf force scan +
+    /// energy-drift check) performed by `Engine::try_step`.
+    pub watchdog_checks: u64,
+    /// Link-level retransmissions observed by the network model during a
+    /// co-simulated run (fed via [`Telemetry::count_net_retries`]; always 0
+    /// on pure engine runs).
+    pub net_retries: u64,
+    /// Routes recomputed around dead fabric during a co-simulated run (fed
+    /// via [`Telemetry::count_net_reroutes`]; always 0 on pure engine runs).
+    pub net_reroutes: u64,
 }
 
 impl Counters {
@@ -201,6 +211,9 @@ impl Counters {
             rebuilds_invalidated: self.rebuilds_invalidated - earlier.rebuilds_invalidated,
             fft_lines: self.fft_lines - earlier.fft_lines,
             fixedpoint_clamps: self.fixedpoint_clamps - earlier.fixedpoint_clamps,
+            watchdog_checks: self.watchdog_checks - earlier.watchdog_checks,
+            net_retries: self.net_retries - earlier.net_retries,
+            net_reroutes: self.net_reroutes - earlier.net_reroutes,
         }
     }
 }
@@ -257,8 +270,10 @@ pub struct MeasuredBreakdownUs {
 }
 
 /// Accumulated telemetry over some number of steps: per-phase nanoseconds
-/// plus [`Counters`]. Snapshot-and-diff friendly (`Copy`, [`StepProfile::since`]).
-#[derive(Clone, Copy, Debug, Default)]
+/// plus [`Counters`]. Snapshot-and-diff friendly (`Copy`, [`StepProfile::since`]),
+/// and fully serializable so checkpoints carry it: a resumed run's counters
+/// continue from the interrupted run's exact values.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StepProfile {
     /// Steps accumulated into this profile.
     pub steps: u64,
@@ -491,6 +506,40 @@ impl Telemetry {
             self.profile.counters.fixedpoint_clamps += clamps;
         }
     }
+
+    /// Record one numerical-health watchdog evaluation.
+    #[inline]
+    pub fn count_watchdog_check(&mut self) {
+        if self.level != TelemetryLevel::Off {
+            self.profile.counters.watchdog_checks += 1;
+        }
+    }
+
+    /// Record `retries` link-level retransmissions from a co-simulated
+    /// network phase.
+    #[inline]
+    pub fn count_net_retries(&mut self, retries: u64) {
+        if self.level != TelemetryLevel::Off {
+            self.profile.counters.net_retries += retries;
+        }
+    }
+
+    /// Record `reroutes` dead-fabric route recomputations from a
+    /// co-simulated network phase.
+    #[inline]
+    pub fn count_net_reroutes(&mut self, reroutes: u64) {
+        if self.level != TelemetryLevel::Off {
+            self.profile.counters.net_reroutes += reroutes;
+        }
+    }
+
+    /// Replace the accumulated profile wholesale — the checkpoint-restore
+    /// path, so a resumed run's telemetry continues bit-exactly from the
+    /// interrupted run's. Lives here because profile mutation is
+    /// (lint-enforced) a telemetry-module privilege.
+    pub fn restore_profile(&mut self, profile: StepProfile) {
+        self.profile = profile;
+    }
 }
 
 #[cfg(test)]
@@ -593,6 +642,56 @@ mod tests {
         assert_eq!(b.barriers, 0.0);
         let detail = t.profile().phases_us();
         assert!((detail.total() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_and_watchdog_counters_gate_on_level() {
+        let mut off = Telemetry::off();
+        off.count_watchdog_check();
+        off.count_net_retries(3);
+        off.count_net_reroutes(2);
+        assert_eq!(off.profile().counters, Counters::default());
+
+        let mut on = Telemetry::new(TelemetryLevel::Counters);
+        on.count_watchdog_check();
+        on.count_watchdog_check();
+        on.count_net_retries(3);
+        on.count_net_reroutes(2);
+        let c = on.profile().counters;
+        assert_eq!(c.watchdog_checks, 2);
+        assert_eq!(c.net_retries, 3);
+        assert_eq!(c.net_reroutes, 2);
+        let d = c.since(&Counters::default());
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn step_profile_roundtrips_through_json_bitwise() {
+        let mut t = Telemetry::with_clock(TelemetryLevel::Phases, Box::new(ManualClock::new(3)));
+        let tok = t.start();
+        t.stop(Phase::ShortRange, tok);
+        t.count_pairs(11, 5);
+        t.count_watchdog_check();
+        t.step_done();
+        let profile = *t.profile();
+        let json = serde_json::to_string(&profile).unwrap();
+        let back: StepProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn restore_profile_resumes_accumulation() {
+        let mut a = Telemetry::new(TelemetryLevel::Counters);
+        a.count_pairs(100, 10);
+        a.step_done();
+        let snapshot = *a.profile();
+        let mut b = Telemetry::new(TelemetryLevel::Counters);
+        b.restore_profile(snapshot);
+        b.count_pairs(1, 1);
+        b.step_done();
+        a.count_pairs(1, 1);
+        a.step_done();
+        assert_eq!(a.profile(), b.profile());
     }
 
     #[test]

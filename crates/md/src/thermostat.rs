@@ -90,6 +90,17 @@ impl NoseHooverChain {
     pub fn target_kinetic(&self) -> f64 {
         ke_from_temperature(self.target_kelvin, self.dof)
     }
+
+    /// Chain bead velocities, for checkpointing (the only evolving state;
+    /// masses and DoF are reconstructed from the topology on resume).
+    pub fn xi(&self) -> [f64; 2] {
+        self.xi
+    }
+
+    /// Restore chain bead velocities from a checkpoint.
+    pub fn set_xi(&mut self, xi: [f64; 2]) {
+        self.xi = xi;
+    }
 }
 
 #[cfg(test)]

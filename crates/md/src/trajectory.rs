@@ -7,8 +7,10 @@
 //! * [`Msd`] — mean-squared displacement accumulator over unwrapped
 //!   coordinates, yielding the self-diffusion coefficient.
 
+use crate::observables::EnergyLedger;
 use crate::pbc::PbcBox;
 use crate::system::System;
+use crate::telemetry::{Phase, StepProfile};
 use crate::vec3::Vec3;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Write};
@@ -82,25 +84,151 @@ pub fn parse_xyz(text: &str) -> Vec<Vec<Vec3>> {
     frames
 }
 
+/// Current checkpoint format version. Bumped whenever the serialized layout
+/// changes incompatibly; [`crate::engine::EngineBuilder::resume_from`]
+/// rejects any other version with a typed error.
+pub const CHECKPOINT_VERSION: u32 = 2;
+
 /// Full restartable state of a simulation.
+///
+/// Version 2 carries everything `Engine::step` consumes, so a resume does
+/// **zero** recomputation and the continued trajectory is bitwise identical
+/// to the uninterrupted one: positions, velocities, the short- and
+/// long-range force caches (the RESPA long forces are *not* recomputable at
+/// an arbitrary step — they were evaluated at earlier positions), the
+/// energy ledger, the thermostat RNG state, the neighbor-list epoch
+/// positions, and the accumulated telemetry profile.
+///
+/// [`Checkpoint::capture`] fills only the system-level fields (the rest
+/// default to empty/zero); `Engine::checkpoint` produces the complete
+/// record including a content digest over the dynamic state.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Checkpoint {
+    /// Format version; see [`CHECKPOINT_VERSION`].
+    pub version: u32,
     pub step: u64,
     pub dt_fs: f64,
     pub pbc: PbcBox,
     pub positions: Vec<Vec3>,
     pub velocities: Vec<Vec3>,
+    /// Cached range-limited + bonded forces (kcal/mol/Å).
+    pub f_short: Vec<Vec3>,
+    /// Cached k-space (RESPA long) forces, evaluated at their last
+    /// recomputation step — not at `positions`.
+    pub f_long: Vec<Vec3>,
+    /// Energy ledger as of `step`.
+    pub ledger: EnergyLedger,
+    /// LJ virial accumulator matching `f_short`.
+    pub virial_lj: f64,
+    /// Thermostat RNG internal state (xoshiro256** words).
+    pub rng_state: [u64; 4],
+    /// Nosé–Hoover chain bead velocities, if that thermostat is active.
+    pub nh_xi: Option<[f64; 2]>,
+    /// Neighbor-list epoch: the positions the current stream was built at.
+    /// Resume rebuilds the stream from these so skin-drift decisions replay
+    /// identically. Empty means the stream was never built.
+    pub stream_epoch: Vec<Vec3>,
+    /// Accumulated telemetry, so a resumed run's counters continue from the
+    /// interrupted run's exact values.
+    pub telemetry: StepProfile,
+    /// FNV-1a digest over the dynamic state (see [`Checkpoint::compute_digest`]);
+    /// detects in-place corruption that still parses as valid JSON.
+    pub digest: u64,
 }
 
 impl Checkpoint {
+    /// System-level snapshot: positions, velocities, box, step counter.
+    /// Engine-level fields (forces, ledger, RNG, telemetry) are defaulted;
+    /// use `Engine::checkpoint` for a fully restartable record.
     pub fn capture(system: &System, step: u64, dt_fs: f64) -> Self {
-        Checkpoint {
+        let mut cp = Checkpoint {
+            version: CHECKPOINT_VERSION,
             step,
             dt_fs,
             pbc: system.pbc,
             positions: system.positions.clone(),
             velocities: system.velocities.clone(),
+            f_short: Vec::new(),
+            f_long: Vec::new(),
+            ledger: EnergyLedger::default(),
+            virial_lj: 0.0,
+            rng_state: [0; 4],
+            nh_xi: None,
+            stream_epoch: Vec::new(),
+            telemetry: StepProfile::default(),
+            digest: 0,
+        };
+        cp.digest = cp.compute_digest();
+        cp
+    }
+
+    /// FNV-1a hash over every bit of the dynamic state (floats hashed by
+    /// their IEEE-754 bit patterns, which survive the JSON round trip
+    /// exactly). The serialized `digest` field itself is excluded.
+    pub fn compute_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.word(self.version as u64);
+        h.word(self.step);
+        h.word(self.dt_fs.to_bits());
+        h.word(self.pbc.lx.to_bits());
+        h.word(self.pbc.ly.to_bits());
+        h.word(self.pbc.lz.to_bits());
+        for field in [
+            &self.positions,
+            &self.velocities,
+            &self.f_short,
+            &self.f_long,
+            &self.stream_epoch,
+        ] {
+            h.word(field.len() as u64);
+            for v in field.iter() {
+                h.word(v.x.to_bits());
+                h.word(v.y.to_bits());
+                h.word(v.z.to_bits());
+            }
         }
+        for e in [
+            self.ledger.kinetic,
+            self.ledger.lj,
+            self.ledger.lj14,
+            self.ledger.coulomb_real,
+            self.ledger.coulomb_kspace,
+            self.ledger.coulomb_self,
+            self.ledger.coulomb_excluded,
+            self.ledger.coulomb_background,
+            self.ledger.coulomb14,
+            self.ledger.bond,
+            self.ledger.angle,
+            self.ledger.dihedral,
+            self.ledger.urey_bradley,
+            self.ledger.improper,
+        ] {
+            h.word(e.to_bits());
+        }
+        h.word(self.virial_lj.to_bits());
+        for w in self.rng_state {
+            h.word(w);
+        }
+        match self.nh_xi {
+            None => h.word(0),
+            Some(xi) => {
+                h.word(1);
+                h.word(xi[0].to_bits());
+                h.word(xi[1].to_bits());
+            }
+        }
+        h.word(self.telemetry.steps);
+        for phase in Phase::ALL {
+            h.word(self.telemetry.phase_ns(phase));
+        }
+        h.finish()
+    }
+
+    /// Whether the stored digest matches the content. A complete-but-tampered
+    /// checkpoint (bit flips that still parse) fails this; truncation fails
+    /// earlier, at deserialization.
+    pub fn digest_ok(&self) -> bool {
+        self.digest == self.compute_digest()
     }
 
     /// Restore dynamic state into a system built from the same topology.
@@ -117,6 +245,26 @@ impl Checkpoint {
         system.pbc = self.pbc;
         system.positions = self.positions.clone();
         system.velocities = self.velocities.clone();
+    }
+}
+
+/// Minimal FNV-1a accumulator over 64-bit words.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 

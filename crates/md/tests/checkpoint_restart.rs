@@ -1,0 +1,150 @@
+//! Checkpoint/restart contract: interrupt-at-step-k and resume must be
+//! **bitwise** identical to the uninterrupted run — across serialization,
+//! RESPA phase, thermostat choice, and the serial/parallel force paths —
+//! and damaged checkpoints must be rejected with typed errors, never
+//! silently restored.
+
+use anton2_md::builders::water_box;
+use anton2_md::engine::{Engine, EngineConfig, EngineError, Parallelism, Thermostat};
+use anton2_md::integrate::RespaSchedule;
+use anton2_md::system::System;
+use anton2_md::trajectory::{Checkpoint, CHECKPOINT_VERSION};
+use proptest::prelude::*;
+
+fn test_system(seed: u64) -> System {
+    let mut sys = water_box(2, 2, 2, seed);
+    sys.thermalize(300.0, seed + 1);
+    sys
+}
+
+fn config(respa: u32, langevin: bool, parallel: bool) -> EngineConfig {
+    let mut cfg = EngineConfig::quick();
+    cfg.respa = RespaSchedule {
+        kspace_interval: respa,
+    };
+    if langevin {
+        cfg.thermostat = Thermostat::Langevin {
+            t_kelvin: 300.0,
+            gamma_per_ps: 2.0,
+        };
+    }
+    cfg.parallelism = if parallel {
+        Parallelism::Parallel
+    } else {
+        Parallelism::Serial
+    };
+    cfg
+}
+
+fn state_bits(e: &Engine) -> Vec<(u64, u64, u64)> {
+    e.system
+        .positions
+        .iter()
+        .chain(&e.system.velocities)
+        .map(|p| (p.x.to_bits(), p.y.to_bits(), p.z.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Serialize → deserialize → resume reproduces the uninterrupted
+    /// trajectory bitwise for random small systems, interrupt steps, RESPA
+    /// phases, thermostats, and force paths.
+    #[test]
+    fn resume_after_json_roundtrip_is_bitwise(
+        seed in 0u64..1000,
+        k in 1usize..5,
+        extra in 1usize..5,
+        respa in 1u32..4,
+        langevin in proptest::bool::ANY,
+        parallel in proptest::bool::ANY,
+    ) {
+        let cfg = config(respa, langevin, parallel);
+        let mut reference = Engine::builder()
+            .system(test_system(seed))
+            .config(cfg)
+            .build()
+            .unwrap();
+        reference.run(k);
+        let cp = reference.checkpoint();
+        reference.run(extra);
+        let want = state_bits(&reference);
+
+        let json = serde_json::to_string(&cp).unwrap();
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        prop_assert!(back.digest_ok(), "digest broke in serialization");
+        let mut resumed = Engine::builder()
+            .system(test_system(seed))
+            .config(cfg)
+            .resume_from(back)
+            .build()
+            .unwrap();
+        prop_assert_eq!(resumed.step_count(), k as u64);
+        resumed.run(extra);
+        prop_assert_eq!(state_bits(&resumed), want, "resume diverged");
+    }
+}
+
+#[test]
+fn truncated_checkpoint_fails_to_parse() {
+    let e = Engine::builder()
+        .system(test_system(7))
+        .quick()
+        .build()
+        .unwrap();
+    let json = serde_json::to_string(&e.checkpoint()).unwrap();
+    for cut in [json.len() / 4, json.len() / 2, json.len() - 2] {
+        assert!(
+            serde_json::from_str::<Checkpoint>(&json[..cut]).is_err(),
+            "truncation at {cut} bytes parsed"
+        );
+    }
+    // A field ripped out of otherwise-valid JSON also fails to parse.
+    let gutted = json.replacen("\"rng_state\"", "\"not_rng_state\"", 1);
+    assert!(serde_json::from_str::<Checkpoint>(&gutted).is_err());
+}
+
+#[test]
+fn tampered_checkpoint_is_rejected_by_the_digest() {
+    let e = Engine::builder()
+        .system(test_system(8))
+        .quick()
+        .build()
+        .unwrap();
+    let cp = e.checkpoint();
+
+    // Corrupt one value, re-serialize: still parses, but the resume path
+    // refuses it.
+    let mut tampered = cp.clone();
+    tampered.positions[3].y = f64::from_bits(tampered.positions[3].y.to_bits() ^ 1);
+    let back: Checkpoint =
+        serde_json::from_str(&serde_json::to_string(&tampered).unwrap()).unwrap();
+    assert!(!back.digest_ok());
+    let err = Engine::builder()
+        .system(test_system(8))
+        .quick()
+        .resume_from(back)
+        .build()
+        .map(|_| ())
+        .unwrap_err();
+    assert_eq!(err, EngineError::CheckpointCorrupt);
+
+    // Wrong version is rejected before anything else.
+    let mut old = cp;
+    old.version = 1;
+    let err = Engine::builder()
+        .system(test_system(8))
+        .quick()
+        .resume_from(old)
+        .build()
+        .map(|_| ())
+        .unwrap_err();
+    assert_eq!(
+        err,
+        EngineError::CheckpointVersion {
+            found: 1,
+            expected: CHECKPOINT_VERSION,
+        }
+    );
+}

@@ -57,6 +57,34 @@ fn counters_are_reproducible_across_runs() {
 }
 
 #[test]
+fn watchdog_and_fault_counters_identical_serial_vs_parallel() {
+    use anton2_md::engine::WatchdogConfig;
+
+    let sys = test_system(400);
+    let run = |parallelism| {
+        let mut e = Engine::builder()
+            .system(sys.clone())
+            .quick()
+            .parallelism(parallelism)
+            .watchdog(WatchdogConfig::default())
+            .telemetry(TelemetryLevel::Counters)
+            .build()
+            .unwrap();
+        e.try_run(5).expect("healthy run passes the watchdog");
+        e.profile().counters
+    };
+    let serial = run(Parallelism::Serial);
+    let parallel = run(Parallelism::Parallel);
+    // One watchdog evaluation per try_step, on both paths.
+    assert_eq!(serial.watchdog_checks, 5);
+    // The network-fault counters exist in the same profile but only move
+    // during co-simulated runs.
+    assert_eq!(serial.net_retries, 0);
+    assert_eq!(serial.net_reroutes, 0);
+    assert_eq!(serial, parallel, "counters diverged between force paths");
+}
+
+#[test]
 fn manual_clock_makes_phase_times_deterministic() {
     let sys = test_system(300);
     let run = || {

@@ -1,0 +1,317 @@
+//! Deterministic fault injection and the link-level retry protocol's
+//! configuration and error types.
+//!
+//! Anton-class machines treat reliability as a network feature: links carry
+//! CRCs and retransmit corrupted packets hop-by-hop, and the fabric routes
+//! around failed links so a single bad cable degrades rather than kills a
+//! run (Shim et al., arXiv:2201.08357 describe the Anton 3 incarnation).
+//! This module supplies the *injected* half of that story: a seeded
+//! [`FaultPlan`] whose every decision is a pure function of
+//! `(seed, link, message, attempt)` — never of wall-clock time or call
+//! order — so a fault sweep replays bit-identically at any seed, and the
+//! knobs ([`RetryConfig`]) plus typed failures ([`NetError`]) of the
+//! recovery protocol layered on top in `network.rs`.
+
+use crate::torus::NodeId;
+use anton2_des::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Domain-separation constants so the CRC and stall draws for the same
+/// `(link, msg, attempt)` triple are independent.
+const KIND_CRC: u64 = 0x1;
+const KIND_STALL: u64 = 0x2;
+
+/// A seeded plan of injected faults.
+///
+/// Probabilistic faults (CRC corruption, transient stalls) are drawn
+/// per-link, per-message, per-attempt; structural faults (dead links and
+/// nodes) are fixed sets. The plan itself is immutable during a run: the
+/// network consults it, it never consults the network.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic draw.
+    pub seed: u64,
+    /// Probability a packet arrives CRC-corrupt on any given link crossing.
+    pub p_crc: f64,
+    /// Probability a link transiently stalls a packet before accepting it.
+    pub p_stall: f64,
+    /// Duration of one transient stall.
+    pub stall: SimTime,
+    dead_links: BTreeSet<usize>,
+    dead_nodes: BTreeSet<NodeId>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults; add them with the
+    /// builder methods.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Inject CRC corruption on each link crossing with probability `p`.
+    pub fn with_crc_rate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.p_crc = p;
+        self
+    }
+
+    /// Inject a transient stall of `stall` before each link crossing with
+    /// probability `p`.
+    pub fn with_stall_rate(mut self, p: f64, stall: SimTime) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.p_stall = p;
+        self.stall = stall;
+        self
+    }
+
+    /// Mark a directed link (see `Torus::link_index`) permanently dead.
+    pub fn kill_link(mut self, link: usize) -> Self {
+        self.dead_links.insert(link);
+        self
+    }
+
+    /// Mark a node permanently down: it neither sends, receives, nor
+    /// forwards.
+    pub fn kill_node(mut self, node: NodeId) -> Self {
+        self.dead_nodes.insert(node);
+        self
+    }
+
+    /// Whether this plan can inject anything at all. The network skips the
+    /// fault path entirely when false, keeping the fault-free timings
+    /// bit-identical to a plan-less network.
+    pub fn is_active(&self) -> bool {
+        self.p_crc > 0.0
+            || self.p_stall > 0.0
+            || !self.dead_links.is_empty()
+            || !self.dead_nodes.is_empty()
+    }
+
+    /// One uniform draw in `[0, 1)`, a pure function of the decision key.
+    fn draw(&self, kind: u64, link: usize, msg: u64, attempt: u32) -> f64 {
+        let mut h = self.seed ^ kind.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h = h
+            .wrapping_add(link as u64)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = h.wrapping_add(msg).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h = h.wrapping_add(attempt as u64);
+        let mut rng = StdRng::seed_from_u64(h);
+        rng.gen::<f64>()
+    }
+
+    /// Does attempt `attempt` of message `msg` arrive corrupt on `link`?
+    pub fn corrupts(&self, link: usize, msg: u64, attempt: u32) -> bool {
+        self.p_crc > 0.0 && self.draw(KIND_CRC, link, msg, attempt) < self.p_crc
+    }
+
+    /// Does `link` stall attempt `attempt` of message `msg`?
+    pub fn stalls(&self, link: usize, msg: u64, attempt: u32) -> bool {
+        self.p_stall > 0.0 && self.draw(KIND_STALL, link, msg, attempt) < self.p_stall
+    }
+
+    /// Is this directed link permanently dead?
+    pub fn link_dead(&self, link: usize) -> bool {
+        self.dead_links.contains(&link)
+    }
+
+    /// Is this node permanently down?
+    pub fn node_dead(&self, node: NodeId) -> bool {
+        self.dead_nodes.contains(&node)
+    }
+
+    /// Number of permanently dead links, for degraded-fabric reporting.
+    pub fn dead_link_count(&self) -> usize {
+        self.dead_links.len()
+    }
+
+    /// Number of permanently down nodes.
+    pub fn dead_node_count(&self) -> usize {
+        self.dead_nodes.len()
+    }
+}
+
+/// Link-level retry protocol parameters, all in simulated time.
+///
+/// After a CRC-corrupt crossing, the sender waits out the corruption
+/// timeout plus a capped exponential backoff before retransmitting on the
+/// same link; after `max_retries` retransmissions the message errors out
+/// with [`NetError::RetryExhausted`] rather than silently reporting a
+/// bogus latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Time for the receiver to detect corruption and NACK.
+    pub timeout: SimTime,
+    /// Base backoff added to the first retransmission.
+    pub backoff: SimTime,
+    /// Ceiling on the exponentially growing backoff term.
+    pub backoff_cap: SimTime,
+    /// Retransmissions allowed per link crossing before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            timeout: SimTime::from_ns(100),
+            backoff: SimTime::from_ns(50),
+            backoff_cap: SimTime::from_us(2),
+            max_retries: 8,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Delay between detecting corruption of attempt `attempt` (0-based)
+    /// and the start of the next retransmission: timeout plus
+    /// `min(backoff · 2^attempt, backoff_cap)`.
+    pub fn delay(&self, attempt: u32) -> SimTime {
+        let shift = attempt.min(20);
+        let grown = self.backoff.as_ps().saturating_mul(1u64 << shift);
+        let capped = grown.min(self.backoff_cap.as_ps());
+        self.timeout + SimTime::from_ps(capped)
+    }
+}
+
+/// Typed, non-silent failures of the faulted network.
+///
+/// Deliberately not serde-serializable: the offline serde shim only
+/// derives unit enums, and these carry payloads; render via `Display`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// A link crossing stayed corrupt through the whole retry budget.
+    RetryExhausted {
+        src: NodeId,
+        dst: NodeId,
+        link: usize,
+        attempts: u32,
+    },
+    /// The source or destination node is down.
+    NodeDown(NodeId),
+    /// Every minimal dimension order crosses a dead link or node.
+    Unroutable { src: NodeId, dst: NodeId },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            NetError::RetryExhausted {
+                src,
+                dst,
+                link,
+                attempts,
+            } => write!(
+                f,
+                "retry budget exhausted after {attempts} attempts on link {link} ({src} -> {dst})"
+            ),
+            NetError::NodeDown(n) => write!(f, "node {n} is down"),
+            NetError::Unroutable { src, dst } => {
+                write!(
+                    f,
+                    "no minimal route from {src} to {dst} avoids the dead fabric"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_functions_of_the_key() {
+        let p = FaultPlan::new(7).with_crc_rate(0.3);
+        for link in 0..50usize {
+            for msg in 0..20u64 {
+                let first = p.corrupts(link, msg, 0);
+                for _ in 0..3 {
+                    assert_eq!(p.corrupts(link, msg, 0), first);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_fault_patterns() {
+        let a = FaultPlan::new(1).with_crc_rate(0.5);
+        let b = FaultPlan::new(2).with_crc_rate(0.5);
+        let pattern =
+            |p: &FaultPlan| -> Vec<bool> { (0..200).map(|i| p.corrupts(i, 0, 0)).collect() };
+        assert_ne!(pattern(&a), pattern(&b));
+    }
+
+    #[test]
+    fn crc_rate_is_roughly_honored() {
+        let p = FaultPlan::new(99).with_crc_rate(0.25);
+        let hits = (0..10_000)
+            .filter(|&i| p.corrupts(i as usize, i as u64, 0))
+            .count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn crc_and_stall_draws_are_independent() {
+        let p = FaultPlan::new(5)
+            .with_crc_rate(0.5)
+            .with_stall_rate(0.5, SimTime::from_ns(10));
+        let crc: Vec<bool> = (0..200).map(|i| p.corrupts(i, 3, 1)).collect();
+        let stall: Vec<bool> = (0..200).map(|i| p.stalls(i, 3, 1)).collect();
+        assert_ne!(crc, stall);
+    }
+
+    #[test]
+    fn rates_zero_and_one_are_exact() {
+        let none = FaultPlan::new(3);
+        let all = FaultPlan::new(3).with_crc_rate(1.0);
+        for i in 0..100 {
+            assert!(!none.corrupts(i, 0, 0));
+            assert!(all.corrupts(i, 0, 0));
+        }
+        assert!(!none.is_active());
+        assert!(all.is_active());
+    }
+
+    #[test]
+    fn structural_faults_register() {
+        let p = FaultPlan::new(0).kill_link(12).kill_node(3);
+        assert!(p.link_dead(12));
+        assert!(!p.link_dead(13));
+        assert!(p.node_dead(3));
+        assert!(!p.node_dead(4));
+        assert_eq!(p.dead_link_count(), 1);
+        assert_eq!(p.dead_node_count(), 1);
+        assert!(p.is_active());
+    }
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        let r = RetryConfig::default();
+        assert!(r.delay(1) > r.delay(0));
+        assert!(r.delay(2) > r.delay(1));
+        // Far past the cap the delay is constant.
+        assert_eq!(r.delay(30), r.delay(40));
+        assert_eq!(r.delay(30), r.timeout + r.backoff_cap);
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = NetError::RetryExhausted {
+            src: 1,
+            dst: 2,
+            link: 9,
+            attempts: 8,
+        };
+        assert!(e.to_string().contains("link 9"));
+        assert!(NetError::NodeDown(5).to_string().contains("node 5"));
+        let u = NetError::Unroutable { src: 0, dst: 7 };
+        assert!(u.to_string().contains("route"));
+    }
+}

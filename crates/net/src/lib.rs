@@ -9,16 +9,22 @@
 //!   cut-through switching, per-link contention, and multicast trees;
 //! * [`collectives`] — the communication patterns a timestep uses
 //!   (halo/import exchange, FFT transposes via message batches, reductions,
-//!   broadcasts, barriers).
+//!   broadcasts, barriers);
+//! * [`fault`] — seeded deterministic fault injection (link CRC
+//!   corruption, transient stalls, dead links/nodes) plus the link-level
+//!   retry protocol's configuration and typed errors.
 //!
 //! The model is deterministic: driven with the same message sequence it
 //! produces bit-identical timings, which the machine-level determinism
-//! tests rely on.
+//! tests rely on. Fault injection preserves this — every fault decision is
+//! a pure function of `(seed, link, message, attempt)`.
 
 pub mod collectives;
+pub mod fault;
 pub mod network;
 pub mod torus;
 
+pub use fault::{FaultPlan, NetError, RetryConfig};
 pub use network::{anton2_class_link, Delivery, LinkConfig, Network};
 pub use torus::{Coord, Dir, NodeId, Torus};
 

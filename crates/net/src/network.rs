@@ -9,10 +9,9 @@
 //! experiments depend on, at a small fraction of a flit-level simulator's
 //! cost.
 
-#[cfg(test)]
-use crate::torus::Dir;
-use crate::torus::{NodeId, Torus};
-use anton2_des::{LatencyHistogram, SimTime, Summary};
+use crate::fault::{FaultPlan, NetError, RetryConfig};
+use crate::torus::{Dir, NodeId, Torus};
+use anton2_des::{FaultCounters, LatencyHistogram, SimTime, Summary};
 use serde::{Deserialize, Serialize};
 
 /// Physical link and router parameters.
@@ -65,7 +64,7 @@ const DIM_ORDERS: [[u8; 3]; 6] = [
 ];
 
 /// Outcome of a transmit: when the payload fully arrives at each target.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Delivery {
     pub node: NodeId,
     pub at: SimTime,
@@ -85,6 +84,16 @@ pub struct Network {
     pub messages: u64,
     pub payload_bytes: u64,
     pub policy: RoutingPolicy,
+    /// Injected faults; `None` (and inactive plans) leave every timing
+    /// bit-identical to the fault-free model.
+    pub fault: Option<FaultPlan>,
+    /// Link-level retry protocol parameters.
+    pub retry: RetryConfig,
+    /// What the fault/recovery machinery did during the run.
+    pub faults: FaultCounters,
+    /// Payload bytes that actually arrived (full deliveries only); equals
+    /// `payload_bytes` whenever every injected fault was recovered.
+    pub delivered_bytes: u64,
 }
 
 impl Network {
@@ -99,12 +108,28 @@ impl Network {
             messages: 0,
             payload_bytes: 0,
             policy: RoutingPolicy::DimensionOrder,
+            fault: None,
+            retry: RetryConfig::default(),
+            faults: FaultCounters::new(),
+            delivered_bytes: 0,
         }
     }
 
     /// Same network with a different routing policy.
     pub fn with_policy(mut self, policy: RoutingPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Same network with an injected-fault plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Same network with a different link-level retry protocol.
+    pub fn with_retry(mut self, retry: RetryConfig) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -131,6 +156,115 @@ impl Network {
         self.latency_hist = LatencyHistogram::new(10.0, 1.5, 40);
         self.messages = 0;
         self.payload_bytes = 0;
+        self.faults = FaultCounters::new();
+        self.delivered_bytes = 0;
+    }
+
+    /// Is the configured fault plan (if any) capable of injecting faults?
+    fn fault_active(&self) -> bool {
+        self.fault.as_ref().is_some_and(FaultPlan::is_active)
+    }
+
+    /// Does `path` avoid every dead link and dead transit node?
+    fn path_healthy(&self, path: &[(NodeId, Dir)]) -> bool {
+        let Some(p) = self.fault.as_ref() else {
+            return true;
+        };
+        path.iter().all(|&(node, dir)| {
+            !p.link_dead(self.torus.link_index(node, dir))
+                && !p.node_dead(self.torus.neighbor(node, dir))
+        })
+    }
+
+    /// Keep `base` if it avoids the dead fabric; otherwise re-route by
+    /// scanning the six minimal dimension orders (counting the reroute),
+    /// and error out if none survives.
+    fn healthy_route(
+        &mut self,
+        base: Vec<(NodeId, Dir)>,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<Vec<(NodeId, Dir)>, NetError> {
+        if self.path_healthy(&base) {
+            return Ok(base);
+        }
+        for order in DIM_ORDERS {
+            let alt = self.torus.route_with_order(src, dst, order);
+            if self.path_healthy(&alt) {
+                self.faults.reroutes += 1;
+                return Ok(alt);
+            }
+        }
+        Err(NetError::Unroutable { src, dst })
+    }
+
+    /// Endpoint liveness check plus policy routing with dead-fabric
+    /// avoidance.
+    fn route_for(&mut self, src: NodeId, dst: NodeId) -> Result<Vec<(NodeId, Dir)>, NetError> {
+        if let Some(p) = self.fault.as_ref() {
+            for end in [src, dst] {
+                if p.node_dead(end) {
+                    self.faults.node_drops += 1;
+                    return Err(NetError::NodeDown(end));
+                }
+            }
+        }
+        let base = self.policy_route(src, dst);
+        self.healthy_route(base, src, dst)
+    }
+
+    /// Move one packet head across `link` under the fault/retry protocol:
+    /// transient stalls delay the claim, CRC corruptions retransmit after
+    /// timeout + capped exponential backoff, and exhausting the budget is a
+    /// typed error. Returns when the head reaches the downstream router.
+    /// With no active fault plan this is exactly claim + hop latency.
+    #[allow(clippy::too_many_arguments)]
+    fn cross_link(
+        &mut self,
+        link: usize,
+        head: SimTime,
+        ser: SimTime,
+        hop: SimTime,
+        msg: u64,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<SimTime, NetError> {
+        if !self.fault_active() {
+            let start = self.claim(link, head, ser);
+            return Ok(start + hop);
+        }
+        let mut ready = head;
+        let mut attempt = 0u32;
+        loop {
+            let (stall, stall_t, corrupt) = {
+                let p = self.fault.as_ref().expect("fault plan present");
+                (
+                    p.stalls(link, msg, attempt),
+                    p.stall,
+                    p.corrupts(link, msg, attempt),
+                )
+            };
+            if stall {
+                self.faults.link_stalls += 1;
+                ready += stall_t;
+            }
+            let start = self.claim(link, ready, ser);
+            if !corrupt {
+                return Ok(start + hop);
+            }
+            self.faults.link_retransmits += 1;
+            if attempt >= self.retry.max_retries {
+                self.faults.retry_exhausted += 1;
+                return Err(NetError::RetryExhausted {
+                    src,
+                    dst,
+                    link,
+                    attempts: attempt + 1,
+                });
+            }
+            ready = start + ser + self.retry.delay(attempt);
+            attempt += 1;
+        }
     }
 
     /// Claim `link` from `ready` for `dur`; returns the actual start time
@@ -156,26 +290,49 @@ impl Network {
     /// assert_eq!(arrival, net.ideal_latency(1, 1024)); // idle network
     /// ```
     pub fn transmit(&mut self, now: SimTime, src: NodeId, dst: NodeId, bytes: u32) -> SimTime {
+        self.try_transmit(now, src, dst, bytes)
+            .expect("unrecoverable network fault (use try_transmit to handle)")
+    }
+
+    /// Fallible [`Network::transmit`]: identical timing, but injected
+    /// faults that the retry protocol cannot recover surface as a typed
+    /// [`NetError`] instead of a panic.
+    pub fn try_transmit(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+    ) -> Result<SimTime, NetError> {
         self.messages += 1;
         self.payload_bytes += bytes as u64;
+        let msg = self.messages;
         let mut head = now + SimTime::from_ns_f64(self.cfg.injection_ns);
         if src == dst {
+            if let Some(p) = self.fault.as_ref() {
+                if p.node_dead(src) {
+                    self.faults.node_drops += 1;
+                    return Err(NetError::NodeDown(src));
+                }
+            }
             self.record_latency(now, head);
-            return head;
+            self.delivered_bytes += bytes as u64;
+            return Ok(head);
         }
+        let route = self.route_for(src, dst)?;
         let ser = self.cfg.serialize_time(bytes);
         let hop = self.cfg.hop_time();
-        for (node, dir) in self.policy_route(src, dst) {
+        for (node, dir) in route {
             let link = self.torus.link_index(node, dir);
-            let start = self.claim(link, head, ser);
             // Cut-through: the head moves on after the hop latency; the tail
             // arrives a serialization time later. Downstream links can only
             // be claimed once the head is there.
-            head = start + hop;
+            head = self.cross_link(link, head, ser, hop, msg, src, dst)?;
         }
         let tail_arrival = head + ser;
         self.record_latency(now, tail_arrival);
-        tail_arrival
+        self.delivered_bytes += bytes as u64;
+        Ok(tail_arrival)
     }
 
     /// Multicast `bytes` from `src` to `dsts` along a dimension-ordered
@@ -189,8 +346,34 @@ impl Network {
         dsts: &[NodeId],
         bytes: u32,
     ) -> Vec<Delivery> {
+        self.try_multicast(now, src, dsts, bytes)
+            .expect("unrecoverable network fault (use try_multicast to handle)")
+    }
+
+    /// Fallible [`Network::multicast`]: unrecoverable injected faults
+    /// surface as a typed [`NetError`] instead of a panic.
+    pub fn try_multicast(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dsts: &[NodeId],
+        bytes: u32,
+    ) -> Result<Vec<Delivery>, NetError> {
         self.messages += 1;
         self.payload_bytes += bytes as u64 * dsts.len().max(1) as u64;
+        let msg = self.messages;
+        if let Some(p) = self.fault.as_ref() {
+            for &end in std::iter::once(&src).chain(dsts) {
+                if p.node_dead(end) {
+                    self.faults.node_drops += 1;
+                    return Err(NetError::NodeDown(end));
+                }
+            }
+        }
+        let degraded = self
+            .fault
+            .as_ref()
+            .is_some_and(|p| p.dead_link_count() > 0 || p.dead_node_count() > 0);
         let inject = now + SimTime::from_ns_f64(self.cfg.injection_ns);
         let ser = self.cfg.serialize_time(bytes);
         let hop = self.cfg.hop_time();
@@ -209,10 +392,16 @@ impl Network {
                     node: dst,
                     at: inject,
                 });
+                self.delivered_bytes += bytes as u64;
                 continue;
             }
+            let route = if degraded {
+                self.healthy_route(self.torus.route(src, dst), src, dst)?
+            } else {
+                self.torus.route(src, dst)
+            };
             let mut head = inject;
-            for (node, dir) in self.torus.route(src, dst) {
+            for (node, dir) in route {
                 let next = self.torus.neighbor(node, dir);
                 let link = self.torus.link_index(node, dir);
                 if used.contains(&link) {
@@ -221,17 +410,17 @@ impl Network {
                     head = head_at[&next];
                     continue;
                 }
-                let ready = head_at[&node];
-                let start = self.claim(link, ready, ser);
-                head = start + hop;
+                let ready = head_at.get(&node).copied().unwrap_or(inject);
+                head = self.cross_link(link, ready, ser, hop, msg, src, dst)?;
                 head_at.insert(next, head);
                 used.insert(link);
             }
             let at = head + ser;
             self.record_latency(now, at);
+            self.delivered_bytes += bytes as u64;
             out.push(Delivery { node: dst, at });
         }
-        out
+        Ok(out)
     }
 
     /// Deliver a batch of messages with proper time-ordered arbitration.
@@ -245,40 +434,72 @@ impl Network {
     ///
     /// Returns the tail-arrival time of each message, in input order.
     pub fn run_batch(&mut self, msgs: &[(SimTime, NodeId, NodeId, u32)]) -> Vec<SimTime> {
+        self.try_run_batch(msgs)
+            .into_iter()
+            .map(|r| r.expect("unrecoverable network fault (use try_run_batch to handle)"))
+            .collect()
+    }
+
+    /// Fallible [`Network::run_batch`]: per-message results, in input
+    /// order. Fault injections enter the same discrete-event loop as
+    /// ordinary hops — a corrupted crossing schedules its retransmission as
+    /// a future event, so retries arbitrate against live traffic in
+    /// simulated-time order.
+    pub fn try_run_batch(
+        &mut self,
+        msgs: &[(SimTime, NodeId, NodeId, u32)],
+    ) -> Vec<Result<SimTime, NetError>> {
         #[derive(Clone, Copy)]
         struct Hop {
             msg: u32,
             hop: u32,
+            /// Retransmission count on the current link.
+            attempt: u32,
+            /// The stall draw for this attempt already applied.
+            stalled: bool,
         }
         let inj = SimTime::from_ns_f64(self.cfg.injection_ns);
         let hop_t = self.cfg.hop_time();
         let mut paths: Vec<Vec<usize>> = Vec::with_capacity(msgs.len());
         let mut sers: Vec<SimTime> = Vec::with_capacity(msgs.len());
-        let mut done = vec![SimTime::ZERO; msgs.len()];
+        let mut ids: Vec<u64> = Vec::with_capacity(msgs.len());
+        let mut done: Vec<Result<SimTime, NetError>> = vec![Ok(SimTime::ZERO); msgs.len()];
         let mut queue: anton2_des::EventQueue<Hop> = anton2_des::EventQueue::new();
         for (k, &(at, src, dst, bytes)) in msgs.iter().enumerate() {
             self.messages += 1;
             self.payload_bytes += bytes as u64;
-            let path: Vec<usize> = self
-                .policy_route(src, dst)
-                .into_iter()
-                .map(|(node, dir)| self.torus.link_index(node, dir))
-                .collect();
+            ids.push(self.messages);
             sers.push(self.cfg.serialize_time(bytes));
-            if path.is_empty() {
-                done[k] = at + inj;
-                self.record_latency(at, done[k]);
-            } else {
-                queue.schedule(
-                    at + inj,
-                    Hop {
-                        msg: k as u32,
-                        hop: 0,
-                    },
-                );
+            match self.route_for(src, dst) {
+                Err(e) => {
+                    done[k] = Err(e);
+                    paths.push(Vec::new());
+                }
+                Ok(route) => {
+                    let path: Vec<usize> = route
+                        .into_iter()
+                        .map(|(node, dir)| self.torus.link_index(node, dir))
+                        .collect();
+                    if path.is_empty() {
+                        done[k] = Ok(at + inj);
+                        self.record_latency(at, at + inj);
+                        self.delivered_bytes += bytes as u64;
+                    } else {
+                        queue.schedule(
+                            at + inj,
+                            Hop {
+                                msg: k as u32,
+                                hop: 0,
+                                attempt: 0,
+                                stalled: false,
+                            },
+                        );
+                    }
+                    paths.push(path);
+                }
             }
-            paths.push(path);
         }
+        let hot = self.fault_active();
         while let Some((t, ev)) = queue.pop() {
             let m = ev.msg as usize;
             let link = paths[m][ev.hop as usize];
@@ -289,20 +510,71 @@ impl Network {
                 queue.schedule(retry, ev);
                 continue;
             }
+            if hot && !ev.stalled {
+                let (stall, stall_t) = {
+                    let p = self.fault.as_ref().expect("fault plan present");
+                    (p.stalls(link, ids[m], ev.attempt), p.stall)
+                };
+                if stall {
+                    self.faults.link_stalls += 1;
+                    queue.schedule(
+                        t + stall_t,
+                        Hop {
+                            stalled: true,
+                            ..ev
+                        },
+                    );
+                    continue;
+                }
+            }
             let ser = sers[m];
             self.link_free[link] = t + ser;
             self.link_busy_ps[link] += ser.as_ps();
+            if hot {
+                let corrupt = self
+                    .fault
+                    .as_ref()
+                    .expect("fault plan present")
+                    .corrupts(link, ids[m], ev.attempt);
+                if corrupt {
+                    self.faults.link_retransmits += 1;
+                    if ev.attempt >= self.retry.max_retries {
+                        self.faults.retry_exhausted += 1;
+                        let (_, src, dst, _) = msgs[m];
+                        done[m] = Err(NetError::RetryExhausted {
+                            src,
+                            dst,
+                            link,
+                            attempts: ev.attempt + 1,
+                        });
+                        continue;
+                    }
+                    queue.schedule(
+                        t + ser + self.retry.delay(ev.attempt),
+                        Hop {
+                            msg: ev.msg,
+                            hop: ev.hop,
+                            attempt: ev.attempt + 1,
+                            stalled: false,
+                        },
+                    );
+                    continue;
+                }
+            }
             let head_next = t + hop_t;
             if ev.hop as usize + 1 == paths[m].len() {
-                let (at, ..) = msgs[m];
-                done[m] = head_next + ser;
-                self.record_latency(at, done[m]);
+                let (at, _, _, bytes) = msgs[m];
+                done[m] = Ok(head_next + ser);
+                self.record_latency(at, head_next + ser);
+                self.delivered_bytes += bytes as u64;
             } else {
                 queue.schedule(
                     head_next,
                     Hop {
                         msg: ev.msg,
                         hop: ev.hop + 1,
+                        attempt: 0,
+                        stalled: false,
                     },
                 );
             }
@@ -523,6 +795,222 @@ mod tests {
             ts
         };
         assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::torus::Coord;
+
+    fn net(n: u32) -> Network {
+        Network::new(Torus::new(n, n, n), anton2_class_link())
+    }
+
+    fn batch(t: &Torus, count: u32) -> Vec<(SimTime, NodeId, NodeId, u32)> {
+        (0..count)
+            .map(|i| {
+                let n = t.n_nodes();
+                (
+                    SimTime::from_ns(i as u64 * 7),
+                    i % n,
+                    (i * 13 + 5) % n,
+                    512 + i * 3,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inactive_plan_is_bit_identical_to_no_plan() {
+        let msgs = batch(&Torus::new(4, 4, 4), 60);
+        let mut plain = net(4);
+        let mut planned = net(4).with_faults(FaultPlan::new(99));
+        assert_eq!(plain.run_batch(&msgs), planned.run_batch(&msgs));
+        let a = plain.transmit(SimTime::ZERO, 0, 21, 4096);
+        let b = planned.transmit(SimTime::ZERO, 0, 21, 4096);
+        assert_eq!(a, b);
+        assert_eq!(planned.faults, anton2_des::FaultCounters::default());
+    }
+
+    #[test]
+    fn crc_faults_recover_and_deliver_every_byte() {
+        let msgs = batch(&Torus::new(4, 4, 4), 80);
+        let mut clean = net(4);
+        clean.run_batch(&msgs);
+        let mut faulty = net(4).with_faults(FaultPlan::new(7).with_crc_rate(0.2));
+        let results = faulty.try_run_batch(&msgs);
+        assert!(results.iter().all(Result::is_ok));
+        assert!(faulty.faults.link_retransmits > 0, "0.2 CRC rate, 80 msgs");
+        assert_eq!(faulty.delivered_bytes, clean.delivered_bytes);
+        assert_eq!(faulty.delivered_bytes, faulty.payload_bytes);
+    }
+
+    #[test]
+    fn every_seed_delivers_or_surfaces_typed_error() {
+        let msgs = batch(&Torus::new(4, 4, 4), 40);
+        for seed in 0..25u64 {
+            let mut n = net(4)
+                .with_faults(FaultPlan::new(seed).with_crc_rate(0.5))
+                .with_retry(RetryConfig {
+                    max_retries: 2,
+                    ..RetryConfig::default()
+                });
+            let results = n.try_run_batch(&msgs);
+            let ok_bytes: u64 = results
+                .iter()
+                .zip(&msgs)
+                .filter(|(r, _)| r.is_ok())
+                .map(|(_, &(_, _, _, b))| b as u64)
+                .sum();
+            // Accounting: every byte is either delivered or attributed to a
+            // typed error — nothing is silently lost.
+            assert_eq!(n.delivered_bytes, ok_bytes, "seed {seed}");
+            let failures = results.iter().filter(|r| r.is_err()).count() as u64;
+            assert_eq!(n.faults.retry_exhausted + n.faults.node_drops, failures);
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_per_seed() {
+        let msgs = batch(&Torus::new(4, 4, 4), 50);
+        let run = |seed: u64| {
+            let mut n = net(4).with_faults(
+                FaultPlan::new(seed)
+                    .with_crc_rate(0.3)
+                    .with_stall_rate(0.1, SimTime::from_ns(80)),
+            );
+            let r = n.try_run_batch(&msgs);
+            (r, n.faults)
+        };
+        assert_eq!(run(5), run(5));
+        let (a, _) = run(5);
+        let (b, _) = run(6);
+        assert_ne!(a, b, "different seeds should fault differently");
+    }
+
+    #[test]
+    fn certain_corruption_exhausts_retries() {
+        let mut n = net(4).with_faults(FaultPlan::new(1).with_crc_rate(1.0));
+        let err = n.try_transmit(SimTime::ZERO, 0, 1, 256).unwrap_err();
+        match err {
+            NetError::RetryExhausted {
+                src, dst, attempts, ..
+            } => {
+                assert_eq!((src, dst), (0, 1));
+                assert_eq!(attempts, n.retry.max_retries + 1);
+            }
+            other => panic!("expected RetryExhausted, got {other}"),
+        }
+        assert_eq!(n.faults.retry_exhausted, 1);
+        assert_eq!(n.delivered_bytes, 0);
+    }
+
+    #[test]
+    fn retries_cost_timeout_and_backoff() {
+        // Exactly one corruption on the single-hop route: first attempt at
+        // the CRC-certain plan would loop forever, so pick a plan where
+        // attempt 0 corrupts and attempt 1 does not, then check arithmetic.
+        let link = Torus::new(4, 4, 4).link_index(0, Dir::XPlus);
+        let seed = (0..)
+            .find(|&s| {
+                let p = FaultPlan::new(s).with_crc_rate(0.5);
+                // msg id is 1 for the first transmit on a fresh network.
+                p.corrupts(link, 1, 0) && !p.corrupts(link, 1, 1)
+            })
+            .unwrap();
+        let mut clean = net(4);
+        let base = clean.transmit(SimTime::ZERO, 0, 1, 256);
+        let mut n = net(4).with_faults(FaultPlan::new(seed).with_crc_rate(0.5));
+        let t = n.try_transmit(SimTime::ZERO, 0, 1, 256).unwrap();
+        let ser = n.cfg.serialize_time(256);
+        assert_eq!(t, base + ser + n.retry.delay(0));
+        assert_eq!(n.faults.link_retransmits, 1);
+    }
+
+    #[test]
+    fn certain_stalls_delay_every_hop() {
+        let stall = SimTime::from_ns(100);
+        let mut n = net(4).with_faults(FaultPlan::new(2).with_stall_rate(1.0, stall));
+        let dst = n.torus.id(Coord { x: 2, y: 1, z: 0 });
+        let hops = n.torus.hops(0, dst);
+        let t = n.try_transmit(SimTime::ZERO, 0, dst, 256).unwrap();
+        let ideal = n.ideal_latency(hops, 256);
+        assert_eq!(
+            t,
+            ideal + SimTime::from_ps(stall.as_ps() * hops as u64),
+            "one stall per link crossing"
+        );
+        assert_eq!(n.faults.link_stalls as u32, hops);
+    }
+
+    #[test]
+    fn reroutes_around_a_dead_link() {
+        let t = Torus::new(4, 4, 4);
+        let dead = t.link_index(0, Dir::XPlus);
+        let mut n = net(4).with_faults(FaultPlan::new(0).kill_link(dead));
+        // 0 -> (1,1,0): x-first crosses the dead link, y-first avoids it.
+        let dst = t.id(Coord { x: 1, y: 1, z: 0 });
+        let arrival = n.try_transmit(SimTime::ZERO, 0, dst, 512).unwrap();
+        assert_eq!(arrival, n.ideal_latency(2, 512), "reroute stays minimal");
+        assert_eq!(n.faults.reroutes, 1);
+        assert_eq!(n.link_busy_ps[dead], 0, "dead link never claimed");
+    }
+
+    #[test]
+    fn unroutable_when_every_minimal_order_is_dead() {
+        let t = Torus::new(4, 4, 4);
+        // Pure-x destination: all six dimension orders cross 0 -+x-> 1.
+        let dead = t.link_index(0, Dir::XPlus);
+        let mut n = net(4).with_faults(FaultPlan::new(0).kill_link(dead));
+        assert_eq!(
+            n.try_transmit(SimTime::ZERO, 0, 1, 64),
+            Err(NetError::Unroutable { src: 0, dst: 1 })
+        );
+    }
+
+    #[test]
+    fn dead_nodes_refuse_and_reroute() {
+        let t = Torus::new(4, 4, 4);
+        let mut n = net(4).with_faults(FaultPlan::new(0).kill_node(2));
+        assert_eq!(
+            n.try_transmit(SimTime::ZERO, 0, 2, 64),
+            Err(NetError::NodeDown(2))
+        );
+        assert_eq!(n.faults.node_drops, 1);
+        // 0 -> 3 via x would transit dead node 2 (x-ring 0,1,2,3: minimal
+        // path 0->3 is 1 hop backwards, so pick a dst that transits 2).
+        let dst = t.id(Coord { x: 2, y: 1, z: 0 });
+        let r = n.try_transmit(SimTime::ZERO, 0, dst, 64);
+        assert!(r.is_ok(), "transit around dead node: {r:?}");
+        assert!(n.faults.reroutes >= 1);
+    }
+
+    #[test]
+    fn multicast_recovers_from_crc_faults() {
+        let mut clean = net(4);
+        let dsts: Vec<NodeId> = (1..10).collect();
+        clean.multicast(SimTime::ZERO, 0, &dsts, 2048);
+        let mut n = net(4).with_faults(FaultPlan::new(11).with_crc_rate(0.3));
+        let deliveries = n.try_multicast(SimTime::ZERO, 0, &dsts, 2048).unwrap();
+        assert_eq!(deliveries.len(), dsts.len());
+        assert_eq!(n.delivered_bytes, clean.delivered_bytes);
+        let mut down = net(4).with_faults(FaultPlan::new(11).kill_node(4));
+        assert_eq!(
+            down.try_multicast(SimTime::ZERO, 0, &dsts, 2048),
+            Err(NetError::NodeDown(4))
+        );
+    }
+
+    #[test]
+    fn reset_clears_fault_state_but_keeps_plan() {
+        let mut n = net(4).with_faults(FaultPlan::new(1).with_crc_rate(1.0));
+        let _ = n.try_transmit(SimTime::ZERO, 0, 1, 64);
+        assert!(n.faults.total_faults() > 0);
+        n.reset();
+        assert_eq!(n.faults, anton2_des::FaultCounters::default());
+        assert_eq!(n.delivered_bytes, 0);
+        assert!(n.fault.is_some(), "plan survives reset");
     }
 }
 

@@ -228,7 +228,7 @@ fn checkpoint_restart_is_exact() {
         .map(|p| (p.x.to_bits(), p.y.to_bits(), p.z.to_bits()))
         .collect();
 
-    engine.restore(&cp);
+    engine.restore(&cp).expect("checkpoint restores cleanly");
     assert_eq!(engine.step_count(), 30);
     engine.run(30);
     let replay: Vec<_> = engine
