@@ -1,8 +1,12 @@
 //! Streaming nonbonded-engine benchmarks: the reference row-ordered kernel
 //! against the PPIM-style streamed kernel (serial and fixed-chunk
 //! parallel), and fresh neighbor-list construction against the in-place
-//! CSR rebuild. `report_streaming_speedup` prints the headline ratios and
-//! writes the sweep to `BENCH_nonbonded.json` at the workspace root.
+//! CSR rebuild. `report_streaming_speedup` sweeps thread counts — serial
+//! sections pinned to 1 worker, parallel sections run at
+//! [`PARALLEL_THREADS`] real OS threads (the rayon shim spawns one thread
+//! per chunk and re-reads `RAYON_NUM_THREADS` per call) — prints the
+//! headline ratios, and writes the sweep to `BENCH_nonbonded.json` at the
+//! workspace root together with the recorded thread count and host CPUs.
 
 use std::time::Instant;
 
@@ -17,6 +21,21 @@ use serde::Serialize;
 
 /// Water cubes of 3·side³ atoms: 1536, 6591, and 20577 (≥ 20k) atoms.
 const SIDES: [usize; 3] = [8, 13, 19];
+
+/// Worker threads for the parallel sections of the sweep. The rayon shim
+/// spawns this many real OS threads per parallel call regardless of host
+/// core count, so the recorded numbers are genuine multi-thread timings
+/// even on a single-CPU runner (where they measure overhead, not
+/// wall-clock speedup — `cpus` in the report disambiguates).
+const PARALLEL_THREADS: usize = 4;
+
+/// Pin the rayon shim's worker count for subsequent parallel calls. The
+/// shim re-reads `RAYON_NUM_THREADS` on every call, so flipping the env
+/// var between sweep sections genuinely changes how many OS threads the
+/// next parallel terminal spawns.
+fn set_threads(n: usize) {
+    std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+}
 
 fn bench_nonbonded_kernel(c: &mut Criterion) {
     let mut g = c.benchmark_group("nonbonded_kernel");
@@ -101,18 +120,26 @@ fn bench_neighbor_rebuild(c: &mut Criterion) {
 struct SizeRecord {
     atoms: usize,
     pairs: usize,
+    ext_pairs: usize,
     reference_serial_ms: f64,
     streamed_serial_ms: f64,
     streamed_parallel_ms: f64,
     serial_speedup: f64,
     parallel_speedup: f64,
+    parallel_vs_serial: f64,
     fresh_build_ms: f64,
+    fresh_build_parallel_ms: f64,
     in_place_rebuild_ms: f64,
 }
 
 #[derive(Serialize)]
 struct Report {
+    /// Real worker-thread count recorded from the rayon shim while the
+    /// parallel sections ran (not the requested value).
     threads: usize,
+    /// Host logical CPUs: on a 1-CPU runner the parallel timings measure
+    /// coordination overhead, not wall-clock speedup.
+    cpus: usize,
     sizes: Vec<SizeRecord>,
 }
 
@@ -132,6 +159,7 @@ fn sweep_one(side: usize) -> SizeRecord {
     let table = s.pair_table();
     let mut forces = vec![Vec3::ZERO; s.n_atoms()];
 
+    set_threads(1);
     let reference_serial_ms = time_ms(REPS, || {
         forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
         black_box(nonbonded_forces(&s, &nl, &mut forces));
@@ -147,6 +175,7 @@ fn sweep_one(side: usize) -> SizeRecord {
             false,
         ));
     });
+    set_threads(PARALLEL_THREADS);
     let mut wsp = NonbondedWorkspace::new();
     let streamed_parallel_ms = time_ms(REPS, || {
         forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
@@ -160,12 +189,25 @@ fn sweep_one(side: usize) -> SizeRecord {
     });
 
     let excl = &s.topology.exclusions;
+    set_threads(1);
     let fresh_build_ms = time_ms(REPS, || {
         black_box(
             NeighborList::build_with(&s.pbc, &s.positions, s.nb.cutoff, s.nb.skin, Some(excl))
                 .n_pairs(),
         );
     });
+    set_threads(PARALLEL_THREADS);
+    let fresh_build_parallel_ms = time_ms(REPS, || {
+        black_box(
+            NeighborList::build_with(&s.pbc, &s.positions, s.nb.cutoff, s.nb.skin, Some(excl))
+                .n_pairs(),
+        );
+    });
+    // At unchanged positions the in-place rebuild takes the cheapest path:
+    // drift is zero, so the retained extended list is re-filtered (patch)
+    // rather than rescanned — the steady-state cost an MD run pays on most
+    // skin-exceeded refreshes.
+    set_threads(1);
     let mut reused =
         NeighborList::build_with(&s.pbc, &s.positions, s.nb.cutoff, s.nb.skin, Some(excl));
     let in_place_rebuild_ms = time_ms(REPS, || {
@@ -176,35 +218,50 @@ fn sweep_one(side: usize) -> SizeRecord {
     SizeRecord {
         atoms: s.n_atoms(),
         pairs: wsp.stream().n_pairs(),
+        ext_pairs: wsp.stream().n_ext_pairs(),
         reference_serial_ms,
         streamed_serial_ms,
         streamed_parallel_ms,
         serial_speedup: reference_serial_ms / streamed_serial_ms,
         parallel_speedup: reference_serial_ms / streamed_parallel_ms,
+        parallel_vs_serial: streamed_serial_ms / streamed_parallel_ms,
         fresh_build_ms,
+        fresh_build_parallel_ms,
         in_place_rebuild_ms,
     }
 }
 
-/// Headline numbers: streamed-vs-reference kernel speedup and in-place
-/// rebuild savings at each size, written to `BENCH_nonbonded.json`.
+/// Headline numbers: streamed-vs-reference kernel speedup (serial and at
+/// [`PARALLEL_THREADS`] real threads) and in-place rebuild savings at each
+/// size, written to `BENCH_nonbonded.json`.
 fn report_streaming_speedup(_c: &mut Criterion) {
+    set_threads(PARALLEL_THREADS);
+    let threads = rayon::current_num_threads();
+    let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
     let report = Report {
-        threads: rayon::current_num_threads(),
+        threads,
+        cpus,
         sizes: SIDES.iter().map(|&side| sweep_one(side)).collect(),
     };
+    println!(
+        "thread sweep: serial sections at 1 thread, parallel at {threads} (host: {cpus} cpus)"
+    );
     for r in &report.sizes {
         println!(
-            "nonbonded {} atoms ({} pairs): reference {:.2} ms, streamed serial {:.2} ms ({:.2}x), \
-             streamed parallel {:.2} ms ({:.2}x); list build fresh {:.2} ms vs in-place {:.2} ms",
+            "nonbonded {} atoms ({} pairs, {} ext): reference {:.2} ms, streamed serial {:.2} ms \
+             ({:.2}x), streamed parallel {:.2} ms ({:.2}x vs reference, {:.2}x vs serial); list \
+             build fresh {:.2} ms serial / {:.2} ms parallel vs in-place {:.2} ms",
             r.atoms,
             r.pairs,
+            r.ext_pairs,
             r.reference_serial_ms,
             r.streamed_serial_ms,
             r.serial_speedup,
             r.streamed_parallel_ms,
             r.parallel_speedup,
+            r.parallel_vs_serial,
             r.fresh_build_ms,
+            r.fresh_build_parallel_ms,
             r.in_place_rebuild_ms
         );
     }

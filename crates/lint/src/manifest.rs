@@ -42,18 +42,34 @@ pub const HOT_MODULES: &[&str] = &[
 /// static list catches regressions in any function a test happens not to
 /// execute.
 pub const HOT_PATH: &[(&str, &str)] = &[
-    // stream.rs — streaming nonbonded kernel, per-step path.
-    ("stream.rs", "min_image"),
-    ("stream.rs", "fold"),
+    // pbc.rs — branch-based minimum image shared by the streaming kernel
+    // and the neighbor-list filter; called once per candidate pair.
+    ("pbc.rs", "min_image"),
+    ("pbc.rs", "fold"),
+    // stream.rs — streaming nonbonded kernel, per-step path. `filter_ext`
+    // and `can_patch` also run on the (frequent) patch path and must stay
+    // push-free; `build_plans` is rebuild-path (import table may grow).
     ("stream.rs", "staleness"),
     ("stream.rs", "needs_rebuild"),
+    ("stream.rs", "can_patch"),
     ("stream.rs", "gather_positions"),
+    ("stream.rs", "filter_ext"),
     ("stream.rs", "stream_rows"),
     ("stream.rs", "nonbonded_forces_streamed"),
     ("stream.rs", "nonbonded_forces_streamed_profiled"),
     // pairkernel.rs — pair arithmetic and correction passes.
     ("pairkernel.rs", "pair_interaction_split"),
     ("pairkernel.rs", "pair_interaction"),
+    ("pairkernel.rs", "pair_interaction_lanes"),
+    // erfc.rs — table-driven erfc/exp spline behind the lane kernel.
+    ("erfc.rs", "erfc_exp_fast"),
+    ("erfc.rs", "erfc_exp_fast8"),
+    // neighbor.rs — counting-sort CSR assembly and the extended-list
+    // filter; rebuild-path but required push-free (cursor writes into
+    // pre-sized buffers) so in-place refreshes stay O(rows) with no
+    // allocator traffic.
+    ("neighbor.rs", "assemble_ext"),
+    ("neighbor.rs", "filter_rows"),
     ("pairkernel.rs", "excluded_corrections"),
     ("pairkernel.rs", "scaled14_corrections"),
     ("pairkernel.rs", "lj_shift_at"),
@@ -88,6 +104,8 @@ pub const HOT_PATH: &[(&str, &str)] = &[
     ("cells.rs", "cell_of"),
     ("cells.rs", "neighborhood"),
     ("cells.rs", "forward_neighbors"),
+    ("cells.rs", "forward_shifts"),
+    ("cells.rs", "min_width"),
     // integrate.rs — per-step integrator primitives.
     ("integrate.rs", "kick"),
     ("integrate.rs", "drift"),
@@ -176,6 +194,9 @@ pub const COUNTER_FIELDS: &[&str] = &[
     "watchdog_checks",
     "net_retries",
     "net_reroutes",
+    "rows_patched",
+    "rows_rebuilt",
+    "cell_churn",
     "phase_ns",
 ];
 

@@ -136,6 +136,67 @@ impl CellGrid {
         out[..len].sort_unstable();
         len
     }
+
+    /// [`CellGrid::forward_neighbors`] with the periodic shift of each
+    /// relation: for a pair `(a, b)` with `a` in cell `c` and `b` in the
+    /// returned cell, `(wrap(pa) − wrap(pb)) − shift` is the displacement
+    /// through this cell adjacency — the minimum image whenever the pair is
+    /// within one cell width, with no divisions or rounding. The shift is
+    /// `+L` on an axis where the relation wraps high (raw coordinate ≥ n),
+    /// `−L` where it wraps low (raw coordinate < 0), else 0. Entries are
+    /// sorted ascending by cell index, matching `forward_neighbors`.
+    pub fn forward_shifts(&self, c: usize, out: &mut [(usize, Vec3); 26]) -> usize {
+        let nz = self.nz;
+        let ny = self.ny;
+        let nx = self.nx;
+        let cz = c % nz;
+        let cy = (c / nz) % ny;
+        let cx = c / (ny * nz);
+        let mut len = 0;
+        for dx in -1i64..=1 {
+            let rx = cx as i64 + dx;
+            let (x, sx) = wrap_axis(rx, nx, self.pbc.lx);
+            for dy in -1i64..=1 {
+                let ry = cy as i64 + dy;
+                let (y, sy) = wrap_axis(ry, ny, self.pbc.ly);
+                for dz in -1i64..=1 {
+                    let rz = cz as i64 + dz;
+                    let (z, sz) = wrap_axis(rz, nz, self.pbc.lz);
+                    let n = (x * ny + y) * nz + z;
+                    if n > c {
+                        out[len] = (n, Vec3::new(sx, sy, sz));
+                        len += 1;
+                    }
+                }
+            }
+        }
+        out[..len].sort_unstable_by_key(|e| e.0);
+        len
+    }
+
+    /// The smallest cell width over the three axes — the free extra scan
+    /// radius of a shift-based traversal (any range up to one cell width is
+    /// covered by the 27-cell neighborhood).
+    pub fn min_width(&self) -> f64 {
+        let wx = self.pbc.lx / self.nx as f64;
+        let wy = self.pbc.ly / self.ny as f64;
+        let wz = self.pbc.lz / self.nz as f64;
+        wx.min(wy).min(wz)
+    }
+}
+
+/// Wrap a raw cell coordinate onto `[0, n)` and report the box shift the
+/// wrap implies for displacements computed `a − b` (see
+/// [`CellGrid::forward_shifts`]).
+#[inline]
+fn wrap_axis(raw: i64, n: usize, l: f64) -> (usize, f64) {
+    if raw < 0 {
+        ((raw + n as i64) as usize, -l)
+    } else if raw >= n as i64 {
+        ((raw - n as i64) as usize, l)
+    } else {
+        (raw as usize, 0.0)
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +298,63 @@ mod tests {
             forward.sort_unstable();
             assert_eq!(forward, unordered, "edge {edge}");
         }
+    }
+
+    #[test]
+    fn forward_shifts_recover_the_minimum_image() {
+        // For wrapped points in cells related by a forward shift, the
+        // shift-corrected displacement must equal the true minimum image
+        // whenever the pair is within one cell width — over both a 3³ grid
+        // (every relation wraps somewhere) and a larger one.
+        for edge in [30.0, 50.0] {
+            let pbc = PbcBox::cubic(edge);
+            let g = CellGrid::build(&pbc, &[], 10.0);
+            let w = g.min_width();
+            let point_in = |c: usize, fx: f64, fy: f64, fz: f64| {
+                let cz = c % g.nz;
+                let cy = (c / g.nz) % g.ny;
+                let cx = c / (g.ny * g.nz);
+                v3(
+                    (cx as f64 + fx) * pbc.lx / g.nx as f64,
+                    (cy as f64 + fy) * pbc.ly / g.ny as f64,
+                    (cz as f64 + fz) * pbc.lz / g.nz as f64,
+                )
+            };
+            let mut shifts = [(0usize, Vec3::ZERO); 26];
+            let mut plain = [0usize; 26];
+            for c in 0..g.n_cells() {
+                let len = g.forward_shifts(c, &mut shifts);
+                // Same cells, same order as the unshifted traversal.
+                let plen = g.forward_neighbors(c, &mut plain);
+                assert_eq!(len, plen);
+                for (k, &(c2, shift)) in shifts[..len].iter().enumerate() {
+                    assert_eq!(c2, plain[k]);
+                    for (fa, fb) in [(0.1, 0.9), (0.5, 0.5), (0.95, 0.05)] {
+                        let pa = point_in(c, fa, fa, fa);
+                        let pb = point_in(c2, fb, fb, fb);
+                        let d = (pa - pb) - shift;
+                        let want = pbc.min_image(pa, pb);
+                        if d.norm() < w {
+                            assert!(
+                                (d - want).norm() < 1e-9,
+                                "edge {edge} c {c} c2 {c2}: {d:?} vs {want:?}"
+                            );
+                        } else {
+                            // Out of range through this relation: the shifted
+                            // distance must never underestimate the true one.
+                            assert!(d.norm() + 1e-9 >= want.norm());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_width_matches_dims() {
+        let pbc = PbcBox::new(30.0, 40.0, 50.0);
+        let g = CellGrid::build(&pbc, &[], 10.0);
+        assert_eq!(g.min_width(), 10.0); // 30/3
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::pairkernel::{excluded_corrections, scaled14_corrections};
 use crate::pbc::PbcBox;
 use crate::pressure::{bonded_virial, pressure_atm, BerendsenBarostat};
 use crate::settle::{settle_positions, settle_velocities, SettleParams};
-use crate::stream::{nonbonded_forces_streamed_profiled, NonbondedWorkspace};
+use crate::stream::{nonbonded_forces_streamed_profiled, NonbondedWorkspace, StreamBuild};
 use crate::system::System;
 use crate::telemetry::{
     Clock, Counters, MeasuredBreakdownUs, Phase, PhaseBreakdownUs, StepProfile, Telemetry,
@@ -1171,7 +1171,10 @@ impl Engine {
         cp.virial_lj = self.virial_lj;
         cp.rng_state = self.rng.state();
         cp.nh_xi = self.nh.as_ref().map(NoseHooverChain::xi);
-        cp.stream_epoch = self.ws.nonbonded.stream().ref_positions().to_vec();
+        cp.stream_epoch = self.ws.nonbonded.stream().ext_ref_positions().to_vec();
+        if self.ws.nonbonded.stream().last_build() == StreamBuild::Patched {
+            cp.stream_patch_epoch = self.ws.nonbonded.stream().ref_positions().to_vec();
+        }
         cp.telemetry = *self.ws.tel.profile();
         cp.digest = cp.compute_digest();
         cp
@@ -1201,6 +1204,11 @@ impl Engine {
         }
         if !cp.stream_epoch.is_empty() && cp.stream_epoch.len() != n {
             return Err(EngineError::CheckpointMismatch("neighbor epoch length"));
+        }
+        if !cp.stream_patch_epoch.is_empty()
+            && (cp.stream_patch_epoch.len() != n || cp.stream_epoch.is_empty())
+        {
+            return Err(EngineError::CheckpointMismatch("neighbor patch epoch"));
         }
         if cp.dt_fs.to_bits() != self.cfg.dt_fs.to_bits() {
             return Err(EngineError::CheckpointMismatch("dt_fs"));
@@ -1255,13 +1263,19 @@ impl Engine {
             if cp.stream_epoch.is_empty() {
                 self.ws.nonbonded.invalidate();
             } else {
-                // Rebuild the stream at the checkpointed epoch, then put the
-                // current positions back: the next `ensure()` re-gathers them
-                // without triggering a rebuild (drift from the epoch is under
-                // skin/2 by construction, or the original run would have
-                // rebuilt and checkpointed the newer epoch).
+                // Rebuild the stream at the checkpointed fresh epoch, re-apply
+                // the latest patch epoch if the interrupted run had patched,
+                // then put the current positions back: the next `ensure()`
+                // re-gathers them without triggering a refresh (drift from the
+                // last refresh epoch is under skin/2 by construction, or the
+                // original run would have refreshed and checkpointed newer
+                // epochs).
                 let now = std::mem::replace(&mut self.system.positions, cp.stream_epoch.clone());
                 self.ws.nonbonded.rebuild_at_epoch(&self.system);
+                if !cp.stream_patch_epoch.is_empty() {
+                    self.system.positions = cp.stream_patch_epoch.clone();
+                    self.ws.nonbonded.patch_at_epoch(&self.system);
+                }
                 self.system.positions = now;
             }
             self.ws.tel.restore_profile(cp.telemetry);

@@ -1,18 +1,35 @@
 //! Verlet neighbor lists with a skin buffer.
 //!
 //! The list stores each unordered pair once, under the lower-indexed atom
-//! (half list, CSR layout). Construction walks the cell grid with a
-//! half-shell traversal (each adjacent cell pair examined exactly once, by
-//! its lower-indexed cell), parallel over cells with rayon, and produces
-//! identical output for any thread count: per-cell candidate lists are
-//! deterministic, the CSR scatter runs in cell order, and rows are sorted
-//! independently. [`NeighborList::rebuild`] refreshes a list in place,
-//! reusing the CSR arrays and the per-cell scratch across rebuilds, and can
-//! bake the topology's exclusions out of the list so a streaming force
-//! kernel never consults the exclusion table (see `crate::stream`).
+//! (half list, CSR layout). Construction is a two-level scheme:
+//!
+//! * An **extended list** is scanned from the cell grid at radius
+//!   `range_ext` — one full cell width, the largest radius the 27-cell
+//!   neighborhood covers for free (the grid is sized for `range`, so the
+//!   candidate volume is identical to a plain `range` scan; only the accept
+//!   threshold grows). The scan runs parallel over cells with rayon, each
+//!   cell's candidate list deterministic, using per-cell-pair periodic
+//!   shifts ([`CellGrid::forward_shifts`]) so no candidate needs a
+//!   division-based minimum image.
+//! * The **working list** (the public `start`/`partners` CSR) is a cutoff
+//!   filter of the extended list at `range`, evaluated with the branch-based
+//!   [`HalfBox`] fold on wrapped coordinates.
+//!
+//! The margin `range_ext − range` buys an incremental rebuild: while no atom
+//! has drifted more than half the margin from the extended list's build
+//! positions, the extended list still contains every pair within `range`,
+//! so [`NeighborList::rebuild`] only re-runs the filter (**verify and
+//! patch**, [`ListBuild::Patched`]) instead of re-scanning the grid. Fresh
+//! and patched rebuilds run the same filter over the same extended CSR, so
+//! their output is bitwise identical by construction.
+//!
+//! CSR assembly uses a two-pass counting sort over the per-cell candidate
+//! lists (bucket by partner, then scatter partners in ascending order), so
+//! rows emerge sorted with no per-row `sort_unstable` and the result is
+//! independent of how the cell scan was chunked.
 
 use crate::cells::CellGrid;
-use crate::pbc::PbcBox;
+use crate::pbc::{HalfBox, PbcBox};
 use crate::topology::Exclusions;
 use crate::vec3::Vec3;
 use rayon::prelude::*;
@@ -20,6 +37,13 @@ use rayon::prelude::*;
 /// Fixed chunk count for the all-pairs fallback (small boxes), so its
 /// output is independent of the thread count.
 const FALLBACK_CHUNKS: usize = 16;
+
+/// Safety margin subtracted from the patch drift budget. The drift check
+/// measures displacement with the round-form `PbcBox::dist_sq` on raw
+/// positions while extended-list membership was decided with the fold-form
+/// metric on wrapped positions; the two differ by at most a few ulps at
+/// boundaries, which this guard absorbs (it is ~1e-4 of a typical skin).
+const MARGIN_GUARD: f64 = 1e-9;
 
 /// Why a neighbor list (or the streaming kernel's baked stream) had to be
 /// rebuilt. Threaded out to the telemetry counters so skin-triggered and
@@ -39,13 +63,33 @@ pub enum RebuildReason {
     Invalidated,
 }
 
+/// How the last [`NeighborList::rebuild`] satisfied its request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ListBuild {
+    /// Full reconstruction: cell grid, extended scan, counting-sort
+    /// assembly, filter.
+    Fresh,
+    /// Verify-and-patch: every atom was still within half the extended
+    /// margin of the extended list's build positions, so only the cutoff
+    /// filter ran.
+    Patched,
+}
+
 /// Reusable construction scratch: per-cell (or per-chunk, in the all-pairs
-/// fallback) candidate pair lists plus the per-row scatter cursor. Kept
-/// inside the list so rebuilds reuse the capacity instead of reallocating a
-/// `Vec<Vec<u32>>` each time.
+/// fallback) candidate pair lists, the wrapped-coordinate snapshot, and the
+/// counting-sort buckets. Kept inside the list so rebuilds reuse capacity
+/// instead of reallocating each time.
 #[derive(Clone, Debug, Default)]
 struct BuildScratch {
     pairs: Vec<Vec<(u32, u32)>>,
+    /// Positions wrapped into the primary cell — the coordinate space both
+    /// the extended scan and the cutoff filter measure distances in.
+    wrapped: Vec<Vec3>,
+    /// Counting sort, pass A: per-partner bucket starts (length n+1) …
+    bucket_start: Vec<usize>,
+    /// … and the bucketed lower indices.
+    bucket_i: Vec<u32>,
+    /// Scatter cursors, reused by both passes.
     cursor: Vec<usize>,
 }
 
@@ -56,13 +100,24 @@ pub struct NeighborList {
     pub start: Vec<usize>,
     /// Partner indices `j` (always `> i` for row `i`), sorted within a row.
     pub partners: Vec<u32>,
+    /// Extended-list CSR row starts (radius `range_ext`), length n+1.
+    ext_start: Vec<usize>,
+    /// Extended-list partners; the working list is always a subset.
+    ext_partners: Vec<u32>,
+    /// Positions at the last *fresh* build — the extended list's epoch, the
+    /// reference for the patch drift budget.
+    ext_ref_positions: Vec<Vec3>,
     /// Positions at build time, for the displacement rebuild criterion.
     ref_positions: Vec<Vec3>,
     /// Box at build time, for the box-change rebuild criterion.
     ref_pbc: PbcBox,
     /// Interaction range the list was built for (cutoff + skin).
     pub range: f64,
+    /// Extended scan radius: one cell width on the cell path (`≥ range` by
+    /// grid construction), exactly `range` on the all-pairs fallback.
+    pub range_ext: f64,
     skin: f64,
+    last_build: ListBuild,
     scratch: BuildScratch,
 }
 
@@ -86,10 +141,15 @@ impl NeighborList {
         let mut nl = NeighborList {
             start: Vec::new(),
             partners: Vec::new(),
+            ext_start: Vec::new(),
+            ext_partners: Vec::new(),
+            ext_ref_positions: Vec::new(),
             ref_positions: Vec::new(),
             ref_pbc: *pbc,
             range: cutoff + skin,
+            range_ext: cutoff + skin,
             skin,
+            last_build: ListBuild::Fresh,
             scratch: BuildScratch::default(),
         };
         nl.rebuild(pbc, positions, excl);
@@ -97,45 +157,68 @@ impl NeighborList {
     }
 
     /// Rebuild the list in place for new `positions` (and possibly a new
-    /// box), reusing the CSR arrays and build scratch. Output is identical
-    /// to a fresh [`NeighborList::build_with`] at the same inputs.
+    /// box), reusing the CSR arrays and build scratch. Output is bitwise
+    /// identical to a fresh [`NeighborList::build_with`] at the same inputs
+    /// whether the rebuild runs fresh or patches (see the module docs).
+    ///
+    /// The exclusion set must be the one the extended list was built with
+    /// (topology is static in a run); to change exclusions, build a new
+    /// list.
     pub fn rebuild(&mut self, pbc: &PbcBox, positions: &[Vec3], excl: Option<&Exclusions>) {
-        let range_sq = self.range * self.range;
         let n = positions.len();
+        if self.can_patch(pbc, positions) {
+            self.wrap_into_scratch(pbc, positions);
+            self.filter_rows(n);
+            self.ref_positions.clear();
+            self.ref_positions.extend_from_slice(positions);
+            self.last_build = ListBuild::Patched;
+            return;
+        }
+
         self.ref_positions.clear();
         self.ref_positions.extend_from_slice(positions);
+        self.ext_ref_positions.clear();
+        self.ext_ref_positions.extend_from_slice(positions);
         self.ref_pbc = *pbc;
+        self.wrap_into_scratch(pbc, positions);
 
         if CellGrid::dims_for(pbc, self.range).is_some() {
             let grid = CellGrid::build(pbc, positions, self.range);
+            self.range_ext = grid.min_width();
+            let ext_sq = self.range_ext * self.range_ext;
             let ncells = grid.n_cells();
-            if self.scratch.pairs.len() < ncells {
-                self.scratch.pairs.resize_with(ncells, Vec::new);
+            let scratch = &mut self.scratch;
+            if scratch.pairs.len() < ncells {
+                scratch.pairs.resize_with(ncells, Vec::new);
             }
+            let wrapped = &scratch.wrapped;
             // Half-shell traversal: cell c generates its own i<j pairs plus
             // all cross pairs with forward (higher-indexed) neighbor cells,
-            // so each candidate pair gets exactly one distance check.
-            self.scratch.pairs[..ncells]
+            // so each candidate pair gets exactly one distance check. The
+            // per-relation shift replaces the division-based minimum image.
+            scratch.pairs[..ncells]
                 .par_iter_mut()
                 .enumerate()
                 .for_each(|(c, pairs)| {
                     pairs.clear();
                     let own = grid.cell(c);
                     for (k, &a) in own.iter().enumerate() {
-                        let pa = positions[a as usize];
+                        let wa = wrapped[a as usize];
                         for &b in &own[k + 1..] {
-                            if pbc.dist_sq(pa, positions[b as usize]) < range_sq {
+                            let d = wa - wrapped[b as usize];
+                            if d.norm_sq() < ext_sq {
                                 pairs.push((a.min(b), a.max(b)));
                             }
                         }
                     }
-                    let mut fwd = [0usize; 26];
-                    let len = grid.forward_neighbors(c, &mut fwd);
-                    for &c2 in &fwd[..len] {
+                    let mut fwd = [(0usize, Vec3::ZERO); 26];
+                    let len = grid.forward_shifts(c, &mut fwd);
+                    for &(c2, shift) in &fwd[..len] {
                         for &a in own {
-                            let pa = positions[a as usize];
+                            let wa = wrapped[a as usize];
                             for &b in grid.cell(c2) {
-                                if pbc.dist_sq(pa, positions[b as usize]) < range_sq {
+                                let d = (wa - wrapped[b as usize]) - shift;
+                                if d.norm_sq() < ext_sq {
                                     pairs.push((a.min(b), a.max(b)));
                                 }
                             }
@@ -145,13 +228,20 @@ impl NeighborList {
                         pairs.retain(|&(i, j)| !excl.is_excluded(i as usize, j as usize));
                     }
                 });
-            self.assemble(n, ncells);
+            self.assemble_ext(n, ncells);
         } else {
-            // Box too small for cells: all-pairs scan in fixed chunks.
-            if self.scratch.pairs.len() < FALLBACK_CHUNKS {
-                self.scratch.pairs.resize_with(FALLBACK_CHUNKS, Vec::new);
+            // Box too small for cells: all-pairs scan in fixed chunks. No
+            // margin (the extended list *is* the working list's candidate
+            // set), so patching only fires at exactly zero drift.
+            self.range_ext = self.range;
+            let ext_sq = self.range_ext * self.range_ext;
+            let hb = HalfBox::new(pbc);
+            let scratch = &mut self.scratch;
+            if scratch.pairs.len() < FALLBACK_CHUNKS {
+                scratch.pairs.resize_with(FALLBACK_CHUNKS, Vec::new);
             }
-            self.scratch.pairs[..FALLBACK_CHUNKS]
+            let wrapped = &scratch.wrapped;
+            scratch.pairs[..FALLBACK_CHUNKS]
                 .par_iter_mut()
                 .enumerate()
                 .for_each(|(c, pairs)| {
@@ -159,9 +249,9 @@ impl NeighborList {
                     let lo = c * n / FALLBACK_CHUNKS;
                     let hi = (c + 1) * n / FALLBACK_CHUNKS;
                     for i in lo..hi {
-                        let pi = positions[i];
-                        for (j, &pj) in positions.iter().enumerate().skip(i + 1) {
-                            if pbc.dist_sq(pi, pj) < range_sq
+                        let wi = wrapped[i];
+                        for (j, &wj) in wrapped.iter().enumerate().skip(i + 1) {
+                            if hb.min_image(wi - wj).norm_sq() < ext_sq
                                 && !excl.is_some_and(|e| e.is_excluded(i, j))
                             {
                                 pairs.push((i as u32, j as u32));
@@ -169,56 +259,132 @@ impl NeighborList {
                         }
                     }
                 });
-            self.assemble(n, FALLBACK_CHUNKS);
+            self.assemble_ext(n, FALLBACK_CHUNKS);
+        }
+        self.filter_rows(n);
+        self.last_build = ListBuild::Fresh;
+    }
+
+    /// Whether the extended list can still serve `positions`: same box and
+    /// atom count, and every atom within half the extended margin of the
+    /// fresh-build epoch (minus [`MARGIN_GUARD`]). Under that budget any
+    /// pair now within `range` was within `range_ext` at the epoch, so
+    /// filtering the extended list is exact.
+    fn can_patch(&self, pbc: &PbcBox, positions: &[Vec3]) -> bool {
+        if *pbc != self.ref_pbc || positions.len() != self.ext_ref_positions.len() {
+            return false;
+        }
+        let limit = 0.5 * (self.range_ext - self.range) - MARGIN_GUARD;
+        if limit <= 0.0 || self.ext_ref_positions.is_empty() {
+            return false;
+        }
+        let limit_sq = limit * limit;
+        positions
+            .iter()
+            .zip(&self.ext_ref_positions)
+            .all(|(&p, &r)| pbc.dist_sq(p, r) <= limit_sq)
+    }
+
+    /// Wrap `positions` into the primary cell (the distance metric of both
+    /// the extended scan and the cutoff filter).
+    fn wrap_into_scratch(&mut self, pbc: &PbcBox, positions: &[Vec3]) {
+        let wrapped = &mut self.scratch.wrapped;
+        wrapped.resize(positions.len(), Vec3::ZERO);
+        for (w, &p) in wrapped.iter_mut().zip(positions) {
+            *w = pbc.wrap(p);
         }
     }
 
-    /// Scatter the per-cell pair lists into sorted CSR rows.
-    fn assemble(&mut self, n: usize, n_lists: usize) {
+    /// Assemble the per-cell candidate lists into the extended CSR with a
+    /// two-pass counting sort: bucket each pair under its partner `j`
+    /// (pass A), then scatter partners into rows with `j` ascending
+    /// (pass B) — rows emerge sorted with no per-row sort, and the result
+    /// is independent of how the scan distributed pairs across lists.
+    fn assemble_ext(&mut self, n: usize, n_lists: usize) {
         let lists = &self.scratch.pairs[..n_lists];
-        let cursor = &mut self.scratch.cursor;
-        cursor.clear();
-        cursor.resize(n, 0);
+        let bstart = &mut self.scratch.bucket_start;
+        bstart.clear();
+        bstart.resize(n + 1, 0);
+        let mut total = 0usize;
         for pairs in lists {
-            for &(i, _) in pairs.iter() {
-                cursor[i as usize] += 1;
+            total += pairs.len();
+            for &(_, j) in pairs.iter() {
+                bstart[j as usize + 1] += 1;
             }
         }
-        self.start.clear();
-        self.start.reserve(n + 1);
-        self.start.push(0);
-        let mut total = 0usize;
-        for (i, c) in cursor.iter_mut().enumerate() {
-            let len = *c;
-            *c = total; // becomes the fill cursor for row i
-            total += len;
-            debug_assert_eq!(self.start.len(), i + 1);
-            self.start.push(total);
+        for j in 0..n {
+            bstart[j + 1] += bstart[j];
         }
-        self.partners.clear();
-        self.partners.resize(total, 0);
+        let cursor = &mut self.scratch.cursor;
+        cursor.resize(n, 0);
+        cursor.copy_from_slice(&bstart[..n]);
+        let bucket_i = &mut self.scratch.bucket_i;
+        bucket_i.resize(total, 0);
         for pairs in lists {
             for &(i, j) in pairs.iter() {
-                self.partners[cursor[i as usize]] = j;
+                bucket_i[cursor[j as usize]] = i;
+                cursor[j as usize] += 1;
+            }
+        }
+
+        self.ext_start.clear();
+        self.ext_start.resize(n + 1, 0);
+        for &i in bucket_i.iter() {
+            self.ext_start[i as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.ext_start[i + 1] += self.ext_start[i];
+        }
+        cursor.copy_from_slice(&self.ext_start[..n]);
+        self.ext_partners.resize(total, 0);
+        for j in 0..n {
+            for &i in &bucket_i[bstart[j]..bstart[j + 1]] {
+                self.ext_partners[cursor[i as usize]] = j as u32;
                 cursor[i as usize] += 1;
             }
         }
-        // Rows collect partners from several cell pairs, so sort each row;
-        // disjoint mutable row slices let the sorts run in parallel.
-        let mut rows: Vec<&mut [u32]> = Vec::with_capacity(n);
-        let mut rest: &mut [u32] = &mut self.partners;
+    }
+
+    /// Produce the working CSR by filtering the extended list at `range`,
+    /// measured with the fold-form minimum image on the wrapped snapshot.
+    /// Shared verbatim by fresh and patched rebuilds — the bitwise
+    /// fresh≡patch guarantee rests on this being the *same* code over the
+    /// same extended rows.
+    fn filter_rows(&mut self, n: usize) {
+        let hb = HalfBox::new(&self.ref_pbc);
+        let range_sq = self.range * self.range;
+        let wrapped = &self.scratch.wrapped;
+        self.start.clear();
+        self.start.resize(n + 1, 0);
+        self.partners.resize(self.ext_partners.len(), 0);
+        let mut w = 0usize;
         for i in 0..n {
-            let len = self.start[i + 1] - self.start[i];
-            let (head, tail) = rest.split_at_mut(len);
-            rows.push(head);
-            rest = tail;
+            let wi = wrapped[i];
+            for &j in &self.ext_partners[self.ext_start[i]..self.ext_start[i + 1]] {
+                let d = hb.min_image(wi - wrapped[j as usize]);
+                if d.norm_sq() < range_sq {
+                    self.partners[w] = j;
+                    w += 1;
+                }
+            }
+            self.start[i + 1] = w;
         }
-        rows.into_par_iter().for_each(|r| r.sort_unstable());
+        self.partners.truncate(w);
     }
 
     /// Number of stored (unordered) pairs.
     pub fn n_pairs(&self) -> usize {
         self.partners.len()
+    }
+
+    /// Number of pairs in the extended candidate list.
+    pub fn n_ext_pairs(&self) -> usize {
+        self.ext_partners.len()
+    }
+
+    /// How the last rebuild was satisfied (fresh scan or verify-and-patch).
+    pub fn last_build(&self) -> ListBuild {
+        self.last_build
     }
 
     /// Partners of atom `i` (all with index > `i`).
@@ -315,6 +481,20 @@ mod tests {
         got.sort_unstable();
         want.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rows_are_sorted_without_per_row_sort() {
+        let pbc = PbcBox::cubic(40.0);
+        let pos = random_positions(300, 40.0, 7);
+        let nl = NeighborList::build(&pbc, &pos, 9.0, 1.0);
+        for i in 0..pos.len() {
+            assert!(nl.row(i).windows(2).all(|w| w[0] < w[1]), "row {i}");
+        }
+        // The extended list must be a superset of the working list, with
+        // margin: the grid at range 10 over a 40 Å box also has 10 Å cells,
+        // so here range_ext == range and the two coincide.
+        assert!(nl.n_ext_pairs() >= nl.n_pairs());
     }
 
     #[test]
@@ -479,5 +659,42 @@ mod tests {
             assert_eq!(nl.partners, fresh.partners, "seed {seed}");
             assert!(!nl.needs_rebuild(&pbc, &pos));
         }
+    }
+
+    #[test]
+    fn patched_rebuild_is_bitwise_identical_to_fresh() {
+        // A 44 Å box at range 10 gives 4 cells of width 11: margin 1 Å, so
+        // drifts under ~0.5 Å take the patch path. The patched working list
+        // must match a fresh build bit for bit.
+        let pbc = PbcBox::cubic(44.0);
+        let mut pos = random_positions(300, 44.0, 51);
+        let excl = random_exclusions(300, 53);
+        let mut nl = NeighborList::build_with(&pbc, &pos, 9.0, 1.0, Some(&excl));
+        assert_eq!(nl.last_build(), ListBuild::Fresh);
+        assert!(nl.range_ext > nl.range, "margin must exist on this box");
+
+        let mut rng = StdRng::seed_from_u64(55);
+        for round in 0..3 {
+            for p in &mut pos {
+                let d = v3(
+                    rng.gen::<f64>() - 0.5,
+                    rng.gen::<f64>() - 0.5,
+                    rng.gen::<f64>() - 0.5,
+                );
+                *p += d.normalized() * 0.12; // cumulative drift stays < margin/2
+            }
+            nl.rebuild(&pbc, &pos, Some(&excl));
+            assert_eq!(nl.last_build(), ListBuild::Patched, "round {round}");
+            let fresh = NeighborList::build_with(&pbc, &pos, 9.0, 1.0, Some(&excl));
+            assert_eq!(nl.start, fresh.start, "round {round}");
+            assert_eq!(nl.partners, fresh.partners, "round {round}");
+        }
+
+        // Blow the margin budget: the next rebuild must fall back to fresh.
+        for p in &mut pos {
+            p.x += 1.0;
+        }
+        nl.rebuild(&pbc, &pos, Some(&excl));
+        assert_eq!(nl.last_build(), ListBuild::Fresh);
     }
 }

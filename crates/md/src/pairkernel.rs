@@ -5,7 +5,7 @@
 //! atom pair; the machine co-simulator calls into the same functions so the
 //! simulated hardware produces real forces.
 
-use crate::erfc::{erfc, erfc_exp_fast};
+use crate::erfc::{erfc, erfc_exp_fast, erfc_exp_fast8};
 use crate::system::System;
 use crate::topology::Exclusions;
 use crate::units::COULOMB;
@@ -69,6 +69,56 @@ pub fn pair_interaction_split(
     let f_coul = COULOMB * qq * (erfc_ar * r_inv + TWO_OVER_SQRT_PI * alpha * exp_ar) * r2_inv;
 
     (f_lj, f_coul, e_lj, e_coul)
+}
+
+/// Lane width of the batched pair kernel ([`pair_interaction_lanes`]);
+/// matches the `[f64; 8]` batch of `erfc::erfc_exp_fast8`.
+pub const LANES: usize = 8;
+
+/// Eight-lane [`pair_interaction_split`]: all inputs and outputs are flat
+/// `[f64; LANES]` lane arrays so the LJ polynomial, the reciprocal/sqrt
+/// chain, and the screened-Coulomb arithmetic autovectorize. Each lane
+/// computes exactly the scalar expression tree on its own inputs, so lane
+/// `l` is bitwise identical to `pair_interaction_split(r_sq[l], …)`
+/// (asserted by `tests::lane_kernel_matches_scalar_bitwise`).
+///
+/// Callers handle rejected or padded lanes *outside* this function (the
+/// stream compresses in-cutoff pairs into lanes and simply never reads the
+/// padding outputs); every lane only requires `r_sq > 0`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn pair_interaction_lanes(
+    r_sq: &[f64; LANES],
+    lj_a: &[f64; LANES],
+    lj_b: &[f64; LANES],
+    lj_shift: &[f64; LANES],
+    qq: &[f64; LANES],
+    alpha: f64,
+    f_lj: &mut [f64; LANES],
+    f_coul: &mut [f64; LANES],
+    e_lj: &mut [f64; LANES],
+    e_coul: &mut [f64; LANES],
+) {
+    let mut ar = [0.0f64; LANES];
+    let mut r2_inv = [0.0f64; LANES];
+    let mut r_inv = [0.0f64; LANES];
+    for l in 0..LANES {
+        r2_inv[l] = 1.0 / r_sq[l];
+        let r6_inv = r2_inv[l] * r2_inv[l] * r2_inv[l];
+        e_lj[l] = (lj_a[l] * r6_inv - lj_b[l]) * r6_inv - lj_shift[l];
+        f_lj[l] = (12.0 * lj_a[l] * r6_inv - 6.0 * lj_b[l]) * r6_inv * r2_inv[l];
+        let r = r_sq[l].sqrt();
+        r_inv[l] = 1.0 / r;
+        ar[l] = alpha * r;
+    }
+    let (erfc_ar, exp_ar) = erfc_exp_fast8(&ar);
+    for l in 0..LANES {
+        e_coul[l] = COULOMB * qq[l] * erfc_ar[l] * r_inv[l];
+        f_coul[l] = COULOMB
+            * qq[l]
+            * (erfc_ar[l] * r_inv[l] + TWO_OVER_SQRT_PI * alpha * exp_ar[l])
+            * r2_inv[l];
+    }
 }
 
 /// Combined-force variant of [`pair_interaction_split`]:
@@ -524,6 +574,45 @@ mod tests {
                 .fold(0u64, |a, b| a ^ b)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lane_kernel_matches_scalar_bitwise() {
+        // Every lane of the batched kernel must reproduce the scalar
+        // expression tree bit for bit — this is what lets the streamed
+        // path switch between the two without perturbing trajectories.
+        let r_sq = [6.25, 9.61, 16.0, 26.01, 42.25, 60.84, 79.21, 80.9];
+        let lj_a = [5.0e5, 3.1e5, 0.0, 7.7e4, 1.2e6, 9.9e5, 4.4e5, 2.0e5];
+        let lj_b = [600.0, 420.0, 0.0, 95.0, 1.1e3, 870.0, 510.0, 330.0];
+        let qq = [0.1681, -0.3469, 0.0, 0.2891, -0.1681, 0.0841, -0.41, 0.17];
+        let alpha = 0.32;
+        let cutoff_sq = 81.0;
+        let mut shift = [0.0; LANES];
+        for l in 0..LANES {
+            shift[l] = lj_shift_at(lj_a[l], lj_b[l], cutoff_sq);
+        }
+        let (mut f_lj, mut f_coul) = ([0.0; LANES], [0.0; LANES]);
+        let (mut e_lj, mut e_coul) = ([0.0; LANES], [0.0; LANES]);
+        pair_interaction_lanes(
+            &r_sq,
+            &lj_a,
+            &lj_b,
+            &shift,
+            &qq,
+            alpha,
+            &mut f_lj,
+            &mut f_coul,
+            &mut e_lj,
+            &mut e_coul,
+        );
+        for l in 0..LANES {
+            let (sf_lj, sf_coul, se_lj, se_coul) =
+                pair_interaction_split(r_sq[l], lj_a[l], lj_b[l], shift[l], qq[l], alpha);
+            assert_eq!(f_lj[l].to_bits(), sf_lj.to_bits(), "f_lj lane {l}");
+            assert_eq!(f_coul[l].to_bits(), sf_coul.to_bits(), "f_coul lane {l}");
+            assert_eq!(e_lj[l].to_bits(), se_lj.to_bits(), "e_lj lane {l}");
+            assert_eq!(e_coul[l].to_bits(), se_coul.to_bits(), "e_coul lane {l}");
+        }
     }
 
     #[test]

@@ -96,6 +96,61 @@ impl PbcBox {
     }
 }
 
+/// Branch-based minimum image for displacements of *wrapped* coordinates.
+///
+/// With both endpoints in `[0, L)` the raw difference lies in `(−L, L)`, so
+/// a single compare-and-correct per axis recovers the minimum image without
+/// the three divisions of [`PbcBox::min_image`]. Differs from the `round()`
+/// form only at `|d| = L/2` exactly, which lies beyond any valid cutoff.
+///
+/// Shared by the streaming kernel (`stream.rs`) and the extended-list
+/// filter (`neighbor.rs`): both must fold displacements with *identical*
+/// arithmetic so the verify-and-patch rebuild is bitwise equal to a fresh
+/// build.
+#[derive(Clone, Copy, Debug)]
+pub struct HalfBox {
+    lx: f64,
+    ly: f64,
+    lz: f64,
+    hx: f64,
+    hy: f64,
+    hz: f64,
+}
+
+impl HalfBox {
+    pub fn new(pbc: &PbcBox) -> Self {
+        HalfBox {
+            lx: pbc.lx,
+            ly: pbc.ly,
+            lz: pbc.lz,
+            hx: 0.5 * pbc.lx,
+            hy: 0.5 * pbc.ly,
+            hz: 0.5 * pbc.lz,
+        }
+    }
+
+    #[inline]
+    pub fn fold(d: f64, l: f64, h: f64) -> f64 {
+        if d > h {
+            d - l
+        } else if d < -h {
+            d + l
+        } else {
+            d
+        }
+    }
+
+    /// Minimum image of a raw difference of wrapped coordinates.
+    #[inline]
+    pub fn min_image(&self, d: Vec3) -> Vec3 {
+        Vec3::new(
+            Self::fold(d.x, self.lx, self.hx),
+            Self::fold(d.y, self.ly, self.hy),
+            Self::fold(d.z, self.lz, self.hz),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

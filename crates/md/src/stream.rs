@@ -9,30 +9,43 @@
 //! * atoms permuted into **cell-major order** (the cell grid's own ordering)
 //!   so the inner loop walks nearly-contiguous memory;
 //! * positions/charges/LJ types gathered into SoA arrays in that order;
-//! * a half neighbor list built **directly in sorted index space** with the
-//!   topology's exclusions baked out, so the force loop never calls
+//! * an **extended** half neighbor list built directly in sorted index space
+//!   at the free cell-width radius (`range_ext = min cell width ≥ range`),
+//!   with the topology's exclusions baked out, so the force loop never calls
 //!   `is_excluded`;
+//! * the **working** list — the extended rows re-filtered to `range` against
+//!   the current wrapped positions — plus per-chunk scatter plans mapping
+//!   each partner to a slot in a chunk-local force buffer;
 //! * per-pair LJ parameters and cutoff shifts resolved through a
 //!   [`PairTable`] row lookup instead of `ForceField::lj` + `lj_shift_at`.
 //!
 //! Between rebuilds only the positions are re-gathered (wrapped into the
 //! primary cell, so the kernel can use a branch-based minimum image with no
-//! divisions); the permutation and the baked list persist until an atom
-//! drifts past skin/2 or the box changes.
+//! divisions). When an atom drifts past skin/2 but every atom is still
+//! within half the extended margin `(range_ext − range)/2` of the build
+//! epoch, the stream is **patched**: the working list is re-filtered from
+//! the extended list in place — no cell rescan, no re-permutation. Only
+//! when the margin is exhausted (or the box changes) does a full rebuild
+//! run.
 //!
 //! [`nonbonded_forces_streamed`] evaluates the stream either serially or
-//! with the fixed-chunk deterministic reduction contract from DESIGN.md §9:
-//! the parallel path is bitwise independent of the rayon thread count, and
-//! both paths match the reference `pairkernel::nonbonded_forces` to ≤1e-12
-//! (the accumulation order differs, so bitwise equality is not expected).
-//! All buffers live in [`NonbondedWorkspace`], so steady-state evaluation
-//! performs no heap allocation.
+//! with the fixed-chunk deterministic reduction contract from DESIGN.md §9.
+//! The inner loop is batched [`LANES`] pairs wide with explicit lane arrays
+//! (compress in-cutoff pairs → compute → accumulate) over the table-driven
+//! [`crate::erfc::erfc_exp_fast8`] spline. The parallel path writes into
+//! chunk-local buffers sized `rows + imports` (not full-length, so force
+//! traffic is O(pairs), not O(chunks × atoms)) and is bitwise independent
+//! of the rayon thread count; both paths match the reference
+//! `pairkernel::nonbonded_forces` to ≤1e-12 (the accumulation order
+//! differs, so bitwise equality is not expected). All buffers live in
+//! [`NonbondedWorkspace`], so steady-state evaluation performs no heap
+//! allocation.
 
 use crate::cells::CellGrid;
 use crate::forcefield::PairTable;
 use crate::neighbor::RebuildReason;
-use crate::pairkernel::{pair_interaction_split, NonbondedEnergy, NB_CHUNKS};
-use crate::pbc::PbcBox;
+use crate::pairkernel::{pair_interaction_lanes, NonbondedEnergy, LANES, NB_CHUNKS};
+use crate::pbc::{HalfBox, PbcBox};
 use crate::system::System;
 use crate::telemetry::{Phase, Telemetry};
 use crate::vec3::Vec3;
@@ -41,53 +54,25 @@ use rayon::prelude::*;
 /// Fixed chunk count for the small-box all-pairs fallback stream build.
 const FALLBACK_CHUNKS: usize = 16;
 
-/// Branch-based minimum image for displacements of *wrapped* coordinates.
-///
-/// With both endpoints in `[0, L)` the raw difference lies in `(−L, L)`, so
-/// a single compare-and-correct per axis recovers the minimum image without
-/// the three divisions of `PbcBox::min_image`. Differs from the `round()`
-/// form only at `|d| = L/2` exactly, which lies beyond any valid cutoff.
-#[derive(Clone, Copy, Debug)]
-struct HalfBox {
-    lx: f64,
-    ly: f64,
-    lz: f64,
-    hx: f64,
-    hy: f64,
-    hz: f64,
-}
+/// Guard subtracted from the patch drift budget `(range_ext − range)/2`.
+/// The budget argument is a triangle inequality between the extended-list
+/// scan metric (cell-shift form on wrapped coordinates) and the drift
+/// metric (`PbcBox::dist_sq` on raw positions); the guard absorbs their
+/// ulp-level disagreement so a patched list can never miss a pair a fresh
+/// build at `range` would find. Mirrors `neighbor.rs`.
+const MARGIN_GUARD: f64 = 1e-9;
 
-impl HalfBox {
-    fn new(pbc: &PbcBox) -> Self {
-        HalfBox {
-            lx: pbc.lx,
-            ly: pbc.ly,
-            lz: pbc.lz,
-            hx: 0.5 * pbc.lx,
-            hy: 0.5 * pbc.ly,
-            hz: 0.5 * pbc.lz,
-        }
-    }
-
-    #[inline]
-    fn fold(d: f64, l: f64, h: f64) -> f64 {
-        if d > h {
-            d - l
-        } else if d < -h {
-            d + l
-        } else {
-            d
-        }
-    }
-
-    #[inline]
-    fn min_image(&self, d: Vec3) -> Vec3 {
-        Vec3::new(
-            Self::fold(d.x, self.lx, self.hx),
-            Self::fold(d.y, self.ly, self.hy),
-            Self::fold(d.z, self.lz, self.hz),
-        )
-    }
+/// How the current working list was produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamBuild {
+    /// Full rebuild: new permutation, cell rescan at `range_ext`, fresh
+    /// extended list. `cell_churn` counts atoms whose cell assignment
+    /// changed since the previous fresh build (0 on a first build or after
+    /// a fallback build).
+    Fresh { cell_churn: u64 },
+    /// In-place patch: the working list was re-filtered from the retained
+    /// extended list; permutation and extended list untouched.
+    Patched,
 }
 
 /// Per-cell build scratch: the concatenated partner stream of the cell's
@@ -99,7 +84,7 @@ struct CellScratch {
 }
 
 /// The prepared input stream of the range-limited kernel: cell-sorted SoA
-/// atom data plus an exclusion-free half neighbor list in sorted index
+/// atom data plus exclusion-free half neighbor lists in sorted index
 /// space. See the module docs for the full contract.
 #[derive(Clone, Debug)]
 pub struct NonbondedStream {
@@ -111,22 +96,51 @@ pub struct NonbondedStream {
     charge: Vec<f64>,
     /// LJ type indices in sorted order (static between rebuilds).
     lj_type: Vec<u32>,
-    /// CSR row starts in sorted space, length `n + 1`.
+    /// Working-list CSR row starts in sorted space, length `n + 1`.
     start: Vec<usize>,
-    /// Partners in sorted space; every partner has a higher sorted index
-    /// than its row, rows are strictly ascending, exclusions are baked out.
+    /// Working-list partners in sorted space; every partner has a higher
+    /// sorted index than its row, rows are strictly ascending, exclusions
+    /// are baked out. Re-filtered from the extended list on each patch.
     partners: Vec<u32>,
-    /// Original-order positions at build time (skin/2 rebuild criterion).
+    /// Extended-list CSR row starts (radius `range_ext`), length `n + 1`.
+    ext_start: Vec<usize>,
+    /// Extended-list partners; superset of `partners` row by row.
+    ext_partners: Vec<u32>,
+    /// Original-order positions at the last *filter* epoch (skin/2 drift
+    /// criterion for the working list).
     ref_positions: Vec<Vec3>,
+    /// Original-order positions at the last *fresh build* epoch (patch
+    /// drift budget for the extended list).
+    ext_ref_positions: Vec<Vec3>,
+    /// Cell id per atom in original order as of the last fresh cell build;
+    /// empty after a fallback build. Feeds the cell-churn counter.
+    cell_ids: Vec<u32>,
     /// Box the stream was built for; a box change forces a rebuild.
     pbc: PbcBox,
-    /// List range (cutoff + skin) at build time.
+    /// Working-list range (cutoff + skin) at build time.
     range: f64,
+    /// Extended-list range: the minimum cell width (≥ `range`) on the cell
+    /// path, `range` (no margin, never patched) on the fallback path.
+    range_ext: f64,
     skin: f64,
     built: bool,
     /// Set by [`NonbondedStream::invalidate`]; distinguishes an explicit
     /// invalidation from a cold first build in the rebuild-reason counter.
     invalidated: bool,
+    last_build: StreamBuild,
+    /// Chunk-local slot of each working-list partner (parallel to
+    /// `partners`): row chunk `[lo, hi)` maps partner `t < hi` to `t − lo`
+    /// and imported partner `t ≥ hi` to `(hi − lo) + import index`.
+    partners_local: Vec<u32>,
+    /// Deduplicated imported partners (sorted indices) per chunk,
+    /// concatenated; spans delimited by `import_start`.
+    imports: Vec<u32>,
+    /// Per-chunk spans into `imports`, length `NB_CHUNKS + 1`.
+    import_start: Vec<usize>,
+    /// Generation-stamped dedup scratch for plan building.
+    stamp: Vec<u64>,
+    slot_of: Vec<u32>,
+    stamp_gen: u64,
     scratch: Vec<CellScratch>,
 }
 
@@ -139,19 +153,41 @@ impl NonbondedStream {
             lj_type: Vec::new(),
             start: Vec::new(),
             partners: Vec::new(),
+            ext_start: Vec::new(),
+            ext_partners: Vec::new(),
             ref_positions: Vec::new(),
+            ext_ref_positions: Vec::new(),
+            cell_ids: Vec::new(),
             pbc: PbcBox::cubic(1.0),
             range: 0.0,
+            range_ext: 0.0,
             skin: 0.0,
             built: false,
             invalidated: false,
+            last_build: StreamBuild::Fresh { cell_churn: 0 },
+            partners_local: Vec::new(),
+            imports: Vec::new(),
+            import_start: Vec::new(),
+            stamp: Vec::new(),
+            slot_of: Vec::new(),
+            stamp_gen: 0,
             scratch: Vec::new(),
         }
     }
 
-    /// Number of stored (unordered, non-excluded) candidate pairs.
+    /// Number of stored (unordered, non-excluded) working candidate pairs.
     pub fn n_pairs(&self) -> usize {
         self.partners.len()
+    }
+
+    /// Number of extended-list pairs (radius `range_ext`).
+    pub fn n_ext_pairs(&self) -> usize {
+        self.ext_partners.len()
+    }
+
+    /// How the current working list was produced.
+    pub fn last_build(&self) -> StreamBuild {
+        self.last_build
     }
 
     /// Force a full rebuild on the next evaluation (box-dependent state was
@@ -161,12 +197,19 @@ impl NonbondedStream {
         self.invalidated = true;
     }
 
-    /// The original-order positions the current list was built from — the
-    /// neighbor-list *epoch*. Checkpoints capture these so a resumed run can
-    /// rebuild the identical permutation and baked list (see
-    /// [`NonbondedWorkspace::rebuild_at_epoch`]). Empty before first build.
+    /// The original-order positions the working list was last filtered at —
+    /// the *patch* epoch. Equal to [`NonbondedStream::ext_ref_positions`]
+    /// right after a fresh build. Empty before first build.
     pub fn ref_positions(&self) -> &[Vec3] {
         &self.ref_positions
+    }
+
+    /// The original-order positions of the last fresh build — the
+    /// neighbor-list *epoch*. Checkpoints capture these so a resumed run
+    /// can rebuild the identical permutation and extended list (see
+    /// [`NonbondedWorkspace::rebuild_at_epoch`]). Empty before first build.
+    pub fn ext_ref_positions(&self) -> &[Vec3] {
+        &self.ext_ref_positions
     }
 
     /// Why the stream is stale for `system`, or `None` if it is current.
@@ -195,15 +238,17 @@ impl NonbondedStream {
     }
 
     /// Bring the stream up to date for `system`: re-gather wrapped
-    /// positions, and rebuild the permutation + baked list if any atom
-    /// drifted past skin/2, the box changed, or the stream was invalidated.
-    /// Returns the rebuild trigger if a rebuild happened.
+    /// positions; on skin drift patch the working list in place when the
+    /// extended margin still covers every atom, otherwise rebuild in full.
+    /// Returns the refresh trigger if a patch or rebuild happened.
     fn ensure(&mut self, system: &System) -> Option<RebuildReason> {
         let stale = self.staleness(system);
-        if stale.is_some() {
-            self.rebuild(system);
-        } else {
-            self.gather_positions(&system.positions);
+        match stale {
+            None => self.gather_positions(&system.positions),
+            Some(RebuildReason::SkinExceeded) if self.can_patch(&system.pbc, &system.positions) => {
+                self.patch(system)
+            }
+            Some(_) => self.rebuild(system),
         }
         stale
     }
@@ -216,8 +261,23 @@ impl NonbondedStream {
             .any(|(&p, &r)| pbc.dist_sq(p, r) > limit_sq)
     }
 
+    /// Whether every atom is still within half the extended-list margin of
+    /// the fresh-build epoch, so the retained extended list is guaranteed
+    /// to contain every pair within `range` of the current positions.
+    fn can_patch(&self, pbc: &PbcBox, positions: &[Vec3]) -> bool {
+        let limit = 0.5 * (self.range_ext - self.range) - MARGIN_GUARD;
+        if limit <= 0.0 {
+            return false;
+        }
+        let limit_sq = limit * limit;
+        positions
+            .iter()
+            .zip(&self.ext_ref_positions)
+            .all(|(&p, &r)| pbc.dist_sq(p, r) <= limit_sq)
+    }
+
     /// Re-gather wrapped positions in sorted order (the only per-step work
-    /// between rebuilds).
+    /// between refreshes).
     fn gather_positions(&mut self, positions: &[Vec3]) {
         let pbc = self.pbc;
         for (ps, &o) in self.pos.iter_mut().zip(&self.order) {
@@ -225,8 +285,22 @@ impl NonbondedStream {
         }
     }
 
-    /// Full rebuild: new permutation, gathered SoA arrays, and a baked half
-    /// list in sorted space. Reuses all buffers.
+    /// In-place patch: re-filter the working list from the retained
+    /// extended list at the current positions and refresh the scatter
+    /// plans. No cell rescan, no re-permutation, no allocation beyond
+    /// plan-buffer growth.
+    fn patch(&mut self, system: &System) {
+        self.gather_positions(&system.positions);
+        self.filter_ext();
+        self.build_plans();
+        self.ref_positions.clear();
+        self.ref_positions.extend_from_slice(&system.positions);
+        self.last_build = StreamBuild::Patched;
+    }
+
+    /// Full rebuild: new permutation, gathered SoA arrays, extended half
+    /// list at `range_ext` in sorted space, working list filtered to
+    /// `range`, and fresh scatter plans. Reuses all buffers.
     fn rebuild(&mut self, system: &System) {
         let pbc = system.pbc;
         let positions = &system.positions;
@@ -239,7 +313,8 @@ impl NonbondedStream {
         self.invalidated = false;
         self.ref_positions.clear();
         self.ref_positions.extend_from_slice(positions);
-        let range_sq = self.range * self.range;
+        self.ext_ref_positions.clear();
+        self.ext_ref_positions.extend_from_slice(positions);
 
         let cell_path = CellGrid::dims_for(&pbc, self.range).is_some();
         self.order.clear();
@@ -251,6 +326,11 @@ impl NonbondedStream {
             self.order.extend(0..n as u32);
             None
         };
+        // The cell scan covers any radius up to one cell width for free
+        // (same 27-cell neighborhood), so the extended list costs no extra
+        // candidate volume.
+        self.range_ext = grid.as_ref().map_or(self.range, |g| g.min_width());
+        let ext_sq = self.range_ext * self.range_ext;
 
         // Gather the SoA stream in sorted order.
         self.pos.clear();
@@ -266,11 +346,15 @@ impl NonbondedStream {
         let excl = &top.exclusions;
         let pos = &self.pos;
         let order = &self.order;
-        let n_lists = if let Some(grid) = &grid {
+        let hb = HalfBox::new(&pbc);
+        let (n_lists, cell_churn) = if let Some(grid) = &grid {
             // Half-shell traversal in sorted space: cell pair (c, c2) with
             // c2 > c means every partner index t exceeds the row index s
             // (cell spans are ascending in cell id), so rows come out
-            // strictly ascending with no sort step.
+            // strictly ascending with no sort step. Displacements use the
+            // cell-adjacency shift (no divisions, no rounding); within one
+            // cell width this is the minimum image and agrees bitwise with
+            // the `HalfBox` fold used by `filter_ext` and the kernel.
             let ncells = grid.n_cells();
             if self.scratch.len() < ncells {
                 self.scratch.resize_with(ncells, CellScratch::default);
@@ -283,23 +367,22 @@ impl NonbondedStream {
                     sc.counts.clear();
                     let lo = grid.cell_start[c];
                     let hi = grid.cell_start[c + 1];
-                    let mut fwd = [0usize; 26];
-                    let flen = grid.forward_neighbors(c, &mut fwd);
+                    let mut fwd = [(0usize, Vec3::ZERO); 26];
+                    let flen = grid.forward_shifts(c, &mut fwd);
                     for s in lo..hi {
                         let ps = pos[s];
                         let oi = order[s] as usize;
                         let before = sc.partners.len();
                         for t in (s + 1)..hi {
-                            if pbc.dist_sq(ps, pos[t]) < range_sq
-                                && !excl.is_excluded(oi, order[t] as usize)
-                            {
+                            let d = ps - pos[t];
+                            if d.norm_sq() < ext_sq && !excl.is_excluded(oi, order[t] as usize) {
                                 sc.partners.push(t as u32);
                             }
                         }
-                        for &c2 in &fwd[..flen] {
+                        for &(c2, shift) in &fwd[..flen] {
                             for t in grid.cell_start[c2]..grid.cell_start[c2 + 1] {
-                                if pbc.dist_sq(ps, pos[t]) < range_sq
-                                    && !excl.is_excluded(oi, order[t] as usize)
+                                let d = (ps - pos[t]) - shift;
+                                if d.norm_sq() < ext_sq && !excl.is_excluded(oi, order[t] as usize)
                                 {
                                     sc.partners.push(t as u32);
                                 }
@@ -308,10 +391,28 @@ impl NonbondedStream {
                         sc.counts.push((sc.partners.len() - before) as u32);
                     }
                 });
-            ncells
+            // Cell-churn accounting: how many atoms changed cell since the
+            // previous fresh build (incomparable grids just reset to 0).
+            let mut churn = 0u64;
+            let track = self.cell_ids.len() == n;
+            if !track {
+                self.cell_ids.clear();
+                self.cell_ids.resize(n, 0);
+            }
+            for c in 0..ncells {
+                for s in grid.cell_start[c]..grid.cell_start[c + 1] {
+                    let o = grid.atoms[s] as usize;
+                    let id = c as u32;
+                    if track && self.cell_ids[o] != id {
+                        churn += 1;
+                    }
+                    self.cell_ids[o] = id;
+                }
+            }
+            (ncells, churn)
         } else {
             // Small box: all-pairs scan in fixed chunks over (sorted =
-            // original) atom order.
+            // original) atom order. No margin, so patches never apply.
             if self.scratch.len() < FALLBACK_CHUNKS {
                 self.scratch
                     .resize_with(FALLBACK_CHUNKS, CellScratch::default);
@@ -328,34 +429,105 @@ impl NonbondedStream {
                         let ps = pos[s];
                         let before = sc.partners.len();
                         for (t, &pt) in pos.iter().enumerate().skip(s + 1) {
-                            if pbc.dist_sq(ps, pt) < range_sq && !excl.is_excluded(s, t) {
+                            if hb.min_image(ps - pt).norm_sq() < ext_sq && !excl.is_excluded(s, t) {
                                 sc.partners.push(t as u32);
                             }
                         }
                         sc.counts.push((sc.partners.len() - before) as u32);
                     }
                 });
-            FALLBACK_CHUNKS
+            self.cell_ids.clear();
+            (FALLBACK_CHUNKS, 0)
         };
 
-        // Concatenate the per-cell streams into CSR. Cells ascending and
-        // atoms within a cell in span order give exactly sorted atom order.
-        self.start.clear();
-        self.start.reserve(n + 1);
-        self.start.push(0);
+        // Concatenate the per-cell streams into the extended CSR. Cells
+        // ascending and atoms within a cell in span order give exactly
+        // sorted atom order.
+        self.ext_start.clear();
+        self.ext_start.reserve(n + 1);
+        self.ext_start.push(0);
         let mut total = 0usize;
         for sc in &self.scratch[..n_lists] {
             for &cnt in &sc.counts {
                 total += cnt as usize;
-                self.start.push(total);
+                self.ext_start.push(total);
             }
         }
-        debug_assert_eq!(self.start.len(), n + 1);
-        self.partners.clear();
-        self.partners.reserve(total);
+        debug_assert_eq!(self.ext_start.len(), n + 1);
+        self.ext_partners.clear();
+        self.ext_partners.reserve(total);
         for sc in &self.scratch[..n_lists] {
-            self.partners.extend_from_slice(&sc.partners);
+            self.ext_partners.extend_from_slice(&sc.partners);
         }
+
+        self.filter_ext();
+        self.build_plans();
+        self.last_build = StreamBuild::Fresh { cell_churn };
+    }
+
+    /// Derive the working list from the extended list: keep exactly the
+    /// pairs within `range` of the current wrapped positions. Shared by
+    /// fresh builds and patches — both paths run this identical filter over
+    /// identical extended rows, which is what makes a patched list bitwise
+    /// equal to what a fresh filter at the same positions would produce.
+    /// Push-free: writes through a cursor into pre-sized buffers.
+    fn filter_ext(&mut self) {
+        let hb = HalfBox::new(&self.pbc);
+        let range_sq = self.range * self.range;
+        let n = self.pos.len();
+        self.start.resize(n + 1, 0);
+        self.partners.resize(self.ext_partners.len(), 0);
+        let mut w = 0usize;
+        self.start[0] = 0;
+        for s in 0..n {
+            let ps = self.pos[s];
+            for &t in &self.ext_partners[self.ext_start[s]..self.ext_start[s + 1]] {
+                let d = hb.min_image(ps - self.pos[t as usize]);
+                if d.norm_sq() < range_sq {
+                    self.partners[w] = t;
+                    w += 1;
+                }
+            }
+            self.start[s + 1] = w;
+        }
+        self.partners.truncate(w);
+    }
+
+    /// Build the chunk-local scatter plans for the parallel path: for each
+    /// fixed row chunk `[lo, hi)`, partners inside the chunk map to slot
+    /// `t − lo`; partners beyond it are deduplicated (generation-stamped
+    /// scratch, no clearing) into an import table and map to
+    /// `(hi − lo) + import index`. Serial and deterministic, so the plans —
+    /// and hence the parallel reduction — are independent of thread count.
+    fn build_plans(&mut self) {
+        let ns = self.pos.len();
+        self.partners_local.resize(self.partners.len(), 0);
+        self.stamp.resize(ns, 0);
+        self.slot_of.resize(ns, 0);
+        self.imports.clear();
+        self.import_start.resize(NB_CHUNKS + 1, 0);
+        for c in 0..NB_CHUNKS {
+            self.import_start[c] = self.imports.len();
+            let lo = c * ns / NB_CHUNKS;
+            let hi = (c + 1) * ns / NB_CHUNKS;
+            self.stamp_gen += 1;
+            let gen = self.stamp_gen;
+            let own = (hi - lo) as u32;
+            for idx in self.start[lo]..self.start[hi] {
+                let t = self.partners[idx] as usize;
+                if t < hi {
+                    self.partners_local[idx] = t as u32 - lo as u32;
+                } else {
+                    if self.stamp[t] != gen {
+                        self.stamp[t] = gen;
+                        self.slot_of[t] = own + (self.imports.len() - self.import_start[c]) as u32;
+                        self.imports.push(t as u32);
+                    }
+                    self.partners_local[idx] = self.slot_of[t];
+                }
+            }
+        }
+        self.import_start[NB_CHUNKS] = self.imports.len();
     }
 }
 
@@ -395,12 +567,23 @@ impl NonbondedWorkspace {
     /// Rebuild the stream as of a checkpointed neighbor-list epoch:
     /// `system` must carry the epoch's reference positions (not the
     /// current ones). Reproduces the interrupted run's cell permutation and
-    /// baked list bit-for-bit, so the skin-drift trigger and pair order
+    /// extended list bit-for-bit, so the drift triggers and pair order
     /// evolve identically after resume. Deliberately not routed through
     /// telemetry — the original build was already counted in the
     /// checkpointed profile.
     pub fn rebuild_at_epoch(&mut self, system: &System) {
         self.stream.rebuild(system);
+    }
+
+    /// Re-apply a checkpointed patch epoch on top of
+    /// [`NonbondedWorkspace::rebuild_at_epoch`]: `system` must carry the
+    /// positions the interrupted run last patched at. Because a patch is a
+    /// pure function of the fresh-build state and the patch positions, one
+    /// fresh epoch plus the latest patch epoch reproduce the stream
+    /// bit-for-bit no matter how many patches ran in between. Not routed
+    /// through telemetry for the same reason as `rebuild_at_epoch`.
+    pub fn patch_at_epoch(&mut self, system: &System) {
+        self.stream.patch(system);
     }
 
     /// The `NB_CHUNKS` per-chunk force buffers, for callers that drive
@@ -411,9 +594,19 @@ impl NonbondedWorkspace {
 }
 
 /// Evaluate one chunk of sorted rows against the stream, accumulating into
-/// `local` (indexed in sorted space). Returns the energies plus the number
-/// of candidate pairs rejected by the cutoff test (an exact integer, so
-/// chunk sums are independent of evaluation order).
+/// `local`. Rows accumulate at `s − lo`; partner slots come from `slots`
+/// (parallel to the working partner array): the full sorted index for the
+/// serial full-length buffer, or the chunk-local plan for the parallel
+/// path. Returns the energies plus the number of candidate pairs rejected
+/// by the cutoff test (an exact integer, so chunk sums are independent of
+/// evaluation order).
+///
+/// The pair loop is batched [`LANES`] wide: compress in-cutoff pairs into
+/// lane arrays in partner order (pairs in the skin shell beyond the cutoff
+/// cost one distance check, never a kernel evaluation), evaluate
+/// [`pair_interaction_lanes`] (bitwise identical per lane to the scalar
+/// kernel), then accumulate the packed lanes. Padding lanes get benign
+/// inputs and are never accumulated.
 #[inline]
 fn stream_rows(
     stream: &NonbondedStream,
@@ -421,38 +614,90 @@ fn stream_rows(
     alpha: f64,
     lo: usize,
     hi: usize,
+    slots: &[u32],
     local: &mut [Vec3],
 ) -> (NonbondedEnergy, u64) {
     let hb = HalfBox::new(&stream.pbc);
     let cutoff_sq = table.cutoff_sq;
     let mut out = NonbondedEnergy::default();
     let mut cut = 0u64;
+    let mut dx = [0.0f64; LANES];
+    let mut dy = [0.0f64; LANES];
+    let mut dz = [0.0f64; LANES];
+    let mut r_sq = [0.0f64; LANES];
+    let mut lj_a = [0.0f64; LANES];
+    let mut lj_b = [0.0f64; LANES];
+    let mut lj_shift = [0.0f64; LANES];
+    let mut qq = [0.0f64; LANES];
+    let mut slot = [0usize; LANES];
+    let mut f_lj = [0.0f64; LANES];
+    let mut f_coul = [0.0f64; LANES];
+    let mut e_lj = [0.0f64; LANES];
+    let mut e_coul = [0.0f64; LANES];
     for s in lo..hi {
         let ps = stream.pos[s];
         let qs = stream.charge[s];
         let row = table.row(stream.lj_type[s]);
         let mut fs = Vec3::ZERO;
-        for &t in &stream.partners[stream.start[s]..stream.start[s + 1]] {
-            let t = t as usize;
-            let d = hb.min_image(ps - stream.pos[t]);
-            let r_sq = d.norm_sq();
-            if r_sq >= cutoff_sq {
-                cut += 1;
+        let r1 = stream.start[s + 1];
+        let mut base = stream.start[s];
+        while base < r1 {
+            let mut k = 0;
+            while base < r1 && k < LANES {
+                let t = stream.partners[base] as usize;
+                let d = hb.min_image(ps - stream.pos[t]);
+                let rr = d.norm_sq();
+                if rr < cutoff_sq {
+                    dx[k] = d.x;
+                    dy[k] = d.y;
+                    dz[k] = d.z;
+                    r_sq[k] = rr;
+                    let e = row[stream.lj_type[t] as usize];
+                    lj_a[k] = e.a;
+                    lj_b[k] = e.b;
+                    lj_shift[k] = e.shift;
+                    qq[k] = qs * stream.charge[t];
+                    slot[k] = slots[base] as usize;
+                    k += 1;
+                } else {
+                    cut += 1;
+                }
+                base += 1;
+            }
+            if k == 0 {
                 continue;
             }
-            let e = row[stream.lj_type[t] as usize];
-            let (f_lj, f_coul, e_lj, e_coul) =
-                pair_interaction_split(r_sq, e.a, e.b, e.shift, qs * stream.charge[t], alpha);
-            let f_over_r = f_lj + f_coul;
-            let f = d * f_over_r;
-            fs += f;
-            local[t] -= f;
-            out.lj += e_lj;
-            out.coulomb_real += e_coul;
-            out.virial += f_over_r * r_sq;
-            out.virial_lj += f_lj * r_sq;
+            for l in k..LANES {
+                r_sq[l] = 1.0;
+                lj_a[l] = 0.0;
+                lj_b[l] = 0.0;
+                lj_shift[l] = 0.0;
+                qq[l] = 0.0;
+            }
+            pair_interaction_lanes(
+                &r_sq,
+                &lj_a,
+                &lj_b,
+                &lj_shift,
+                &qq,
+                alpha,
+                &mut f_lj,
+                &mut f_coul,
+                &mut e_lj,
+                &mut e_coul,
+            );
+            for l in 0..k {
+                let f_over_r = f_lj[l] + f_coul[l];
+                let f = Vec3::new(dx[l], dy[l], dz[l]) * f_over_r;
+                fs += f;
+                local[slot[l]] -= f;
+                out.lj += e_lj[l];
+                out.coulomb_real += e_coul[l];
+                out.virial += f_over_r * r_sq[l];
+                out.virial_lj += f_lj[l] * r_sq[l];
+            }
         }
-        local[s] += fs;
+        local[s - lo] += fs;
     }
     (out, cut)
 }
@@ -477,8 +722,9 @@ pub fn nonbonded_forces_streamed(
 }
 
 /// [`nonbonded_forces_streamed`] with step-phase telemetry: stream
-/// (re)builds are timed as [`Phase::NeighborRebuild`] and counted by
-/// trigger reason, pair evaluation is timed as [`Phase::ShortRange`], and
+/// refreshes are timed as [`Phase::NeighborRebuild`], counted by trigger
+/// reason, and broken down at row granularity (rows patched vs rebuilt,
+/// plus cell churn); pair evaluation is timed as [`Phase::ShortRange`] and
 /// the pairs-evaluated/pairs-cut counters are recorded. With telemetry off
 /// this is exactly the plain kernel (no clock reads, no allocation).
 pub fn nonbonded_forces_streamed_profiled(
@@ -492,6 +738,11 @@ pub fn nonbonded_forces_streamed_profiled(
     let t0 = tel.start();
     if let Some(reason) = ws.stream.ensure(system) {
         tel.count_rebuild(reason);
+        let rows = ws.stream.pos.len() as u64;
+        match ws.stream.last_build {
+            StreamBuild::Patched => tel.count_rows(rows, 0, 0),
+            StreamBuild::Fresh { cell_churn } => tel.count_rows(0, rows, cell_churn),
+        }
     }
     tel.stop(Phase::NeighborRebuild, t0);
 
@@ -510,33 +761,45 @@ pub fn nonbonded_forces_streamed_profiled(
             .zip(&mut energies[..])
             .enumerate()
             .for_each(|(c, (local, slot))| {
-                local.resize(ns, Vec3::ZERO);
-                local.iter_mut().for_each(|f| *f = Vec3::ZERO);
                 let lo = c * ns / NB_CHUNKS;
                 let hi = (c + 1) * ns / NB_CHUNKS;
-                *slot = stream_rows(stream, table, alpha, lo, hi, local);
+                // Chunk-local buffer: own rows plus this chunk's imports —
+                // O(pairs) force traffic in total, not O(chunks × atoms).
+                let len = (hi - lo) + (stream.import_start[c + 1] - stream.import_start[c]);
+                local.resize(len, Vec3::ZERO);
+                local.iter_mut().for_each(|f| *f = Vec3::ZERO);
+                *slot = stream_rows(stream, table, alpha, lo, hi, &stream.partners_local, local);
             });
-        // Deterministic reduction: chunk order is fixed; the scatter maps
-        // sorted indices back to original atom order. The cut counter is an
+        // Deterministic reduction: chunk order is fixed, own rows then
+        // imports; each atom receives its additions in ascending chunk
+        // order exactly as a full-length merge would. The cut counter is an
         // integer sum, so it is bitwise thread-count independent too.
         let mut total = NonbondedEnergy::default();
         let mut cut = 0u64;
-        for (local, (e, c)) in bufs.iter().zip(&energies) {
-            for (s, l) in local.iter().enumerate() {
-                forces[stream.order[s] as usize] += *l;
+        for (c, (local, (e, cc))) in bufs.iter().zip(&energies).enumerate() {
+            let lo = c * ns / NB_CHUNKS;
+            let hi = (c + 1) * ns / NB_CHUNKS;
+            let own = hi - lo;
+            for (i, l) in local[..own].iter().enumerate() {
+                forces[stream.order[lo + i] as usize] += *l;
+            }
+            let ib = stream.import_start[c];
+            for (k, l) in local[own..].iter().enumerate() {
+                let t = stream.imports[ib + k] as usize;
+                forces[stream.order[t] as usize] += *l;
             }
             total.lj += e.lj;
             total.coulomb_real += e.coulomb_real;
             total.virial += e.virial;
             total.virial_lj += e.virial_lj;
-            cut += c;
+            cut += cc;
         }
         (total, cut)
     } else {
         let local = &mut ws.chunks[0];
         local.resize(ns, Vec3::ZERO);
         local.iter_mut().for_each(|f| *f = Vec3::ZERO);
-        let (out, cut) = stream_rows(stream, table, alpha, 0, ns, local);
+        let (out, cut) = stream_rows(stream, table, alpha, 0, ns, &stream.partners, local);
         for (s, l) in local.iter().enumerate() {
             forces[stream.order[s] as usize] += *l;
         }
@@ -593,6 +856,25 @@ mod tests {
     }
 
     #[test]
+    fn streamed_matches_reference_cell_path() {
+        // 37.2 Å box with range 10 → a real 3×3×3 cell grid (the 15.5 Å
+        // boxes above take the all-pairs fallback).
+        let s = water_box(12, 12, 12, 3);
+        let table = s.pair_table();
+        let (fr, er) = reference(&s);
+        let mut ws = NonbondedWorkspace::new();
+        for parallel in [false, true] {
+            let mut f = vec![Vec3::ZERO; s.n_atoms()];
+            let e = nonbonded_forces_streamed(&s, &table, &mut ws, &mut f, parallel);
+            assert_close(&fr, er, &f, e);
+        }
+        assert!(
+            ws.stream().n_ext_pairs() > ws.stream().n_pairs(),
+            "extended list must carry a margin on the cell path"
+        );
+    }
+
+    #[test]
     fn streamed_matches_reference_small_box_fallback() {
         let s = water_box(3, 3, 3, 7); // 9.3 Å box → all-pairs fallback
         let table = s.pair_table();
@@ -638,14 +920,99 @@ mod tests {
         let (fr, er) = reference(&s);
         assert_close(&fr, er, &f, e);
 
-        // Past skin/2 the rebuild criterion fires.
+        // Past skin/2 the rebuild criterion fires (fallback box: no margin,
+        // so this is a full rebuild, never a patch).
         for p in &mut s.positions {
             p.x += 0.4;
         }
         let mut f = vec![Vec3::ZERO; s.n_atoms()];
         let e = nonbonded_forces_streamed(&s, &table, &mut ws, &mut f, false);
+        assert!(matches!(
+            ws.stream().last_build(),
+            StreamBuild::Fresh { .. }
+        ));
         let (fr, er) = reference(&s);
         assert_close(&fr, er, &f, e);
+    }
+
+    #[test]
+    fn stream_patches_when_drift_within_margin() {
+        use crate::telemetry::TelemetryLevel;
+        // 37.2 Å box with range 10 → 3 cells of width 12.4 Å per axis: the
+        // extended list carries a 2.4 Å margin, so a 0.6 Å drift (past
+        // skin/2 = 0.5 but inside the 1.2 Å patch budget) re-filters the
+        // working list in place instead of rescanning cells. Run serial
+        // and parallel and require bitwise-identical telemetry.
+        let run = |parallel: bool| {
+            let mut s = water_box(12, 12, 12, 23);
+            let table = s.pair_table();
+            let mut ws = NonbondedWorkspace::new();
+            let mut tel = Telemetry::new(TelemetryLevel::Counters);
+            let mut f = vec![Vec3::ZERO; s.n_atoms()];
+            nonbonded_forces_streamed_profiled(&s, &table, &mut ws, &mut f, parallel, &mut tel);
+            assert!(matches!(
+                ws.stream().last_build(),
+                StreamBuild::Fresh { .. }
+            ));
+            for p in &mut s.positions {
+                p.x += 0.6;
+            }
+            let mut f = vec![Vec3::ZERO; s.n_atoms()];
+            let e =
+                nonbonded_forces_streamed_profiled(&s, &table, &mut ws, &mut f, parallel, &mut tel);
+            assert_eq!(ws.stream().last_build(), StreamBuild::Patched);
+            let (fr, er) = reference(&s);
+            assert_close(&fr, er, &f, e);
+            let c = tel.profile().counters;
+            assert_eq!(c.rows_patched, s.n_atoms() as u64, "one patched refresh");
+            assert_eq!(c.rows_rebuilt, s.n_atoms() as u64, "one fresh build");
+            assert_eq!(c.rebuilds_skin, 1, "patch counted under its trigger");
+            (c.rows_patched, c.rows_rebuilt, c.cell_churn)
+        };
+        assert_eq!(run(false), run(true), "row counters serial ≡ parallel");
+    }
+
+    #[test]
+    fn checkpoint_epochs_reproduce_patched_stream_bitwise() {
+        let mut s = water_box(12, 12, 12, 29);
+        let table = s.pair_table();
+        let mut ws = NonbondedWorkspace::new();
+        let mut f = vec![Vec3::ZERO; s.n_atoms()];
+        nonbonded_forces_streamed(&s, &table, &mut ws, &mut f, false);
+        let e0 = ws.stream().ext_ref_positions().to_vec();
+        for p in &mut s.positions {
+            p.x += 0.6;
+            p.y -= 0.15;
+        }
+        let mut f1 = vec![Vec3::ZERO; s.n_atoms()];
+        let e1_energy = nonbonded_forces_streamed(&s, &table, &mut ws, &mut f1, false);
+        assert_eq!(ws.stream().last_build(), StreamBuild::Patched);
+        let e1 = ws.stream().ref_positions().to_vec();
+
+        // Resume path: fresh workspace, rebuild at the fresh epoch, then
+        // re-apply the patch epoch.
+        let mut ws2 = NonbondedWorkspace::new();
+        let mut epoch = s.clone();
+        epoch.positions = e0;
+        ws2.rebuild_at_epoch(&epoch);
+        epoch.positions = e1;
+        ws2.patch_at_epoch(&epoch);
+        assert_eq!(ws2.stream().n_pairs(), ws.stream().n_pairs());
+        assert_eq!(ws2.stream().n_ext_pairs(), ws.stream().n_ext_pairs());
+        assert_eq!(ws2.stream().last_build(), StreamBuild::Patched);
+
+        let mut f2 = vec![Vec3::ZERO; s.n_atoms()];
+        let e2_energy = nonbonded_forces_streamed(&s, &table, &mut ws2, &mut f2, false);
+        assert_eq!(e1_energy.lj.to_bits(), e2_energy.lj.to_bits());
+        assert_eq!(
+            e1_energy.coulomb_real.to_bits(),
+            e2_energy.coulomb_real.to_bits()
+        );
+        for (a, b) in f1.iter().zip(&f2) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
     }
 
     #[test]

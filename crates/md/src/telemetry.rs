@@ -196,6 +196,17 @@ pub struct Counters {
     /// Routes recomputed around dead fabric during a co-simulated run (fed
     /// via [`Telemetry::count_net_reroutes`]; always 0 on pure engine runs).
     pub net_reroutes: u64,
+    /// Stream rows refreshed by the verify-and-patch fast path (the
+    /// extended candidate list was still valid, only the cutoff filter
+    /// re-ran).
+    pub rows_patched: u64,
+    /// Stream rows reconstructed by a full fresh rebuild (cell sort +
+    /// extended scan + CSR assembly).
+    pub rows_rebuilt: u64,
+    /// Atoms whose cell assignment changed between consecutive fresh
+    /// rebuilds (cell-membership churn; 0 on first builds and on the
+    /// all-pairs fallback).
+    pub cell_churn: u64,
 }
 
 impl Counters {
@@ -214,6 +225,9 @@ impl Counters {
             watchdog_checks: self.watchdog_checks - earlier.watchdog_checks,
             net_retries: self.net_retries - earlier.net_retries,
             net_reroutes: self.net_reroutes - earlier.net_reroutes,
+            rows_patched: self.rows_patched - earlier.rows_patched,
+            rows_rebuilt: self.rows_rebuilt - earlier.rows_rebuilt,
+            cell_churn: self.cell_churn - earlier.cell_churn,
         }
     }
 }
@@ -488,6 +502,19 @@ impl Telemetry {
                 RebuildReason::BoxChanged => c.rebuilds_box += 1,
                 RebuildReason::Invalidated => c.rebuilds_invalidated += 1,
             }
+        }
+    }
+
+    /// Record the outcome of a neighbor-list refresh at row granularity:
+    /// `patched` rows re-filtered in place from the extended list,
+    /// `rebuilt` rows reconstructed from a fresh cell scan, and `churn`
+    /// atoms whose cell assignment changed since the previous fresh build.
+    #[inline]
+    pub fn count_rows(&mut self, patched: u64, rebuilt: u64, churn: u64) {
+        if self.level != TelemetryLevel::Off {
+            self.profile.counters.rows_patched += patched;
+            self.profile.counters.rows_rebuilt += rebuilt;
+            self.profile.counters.cell_churn += churn;
         }
     }
 

@@ -87,17 +87,19 @@ pub fn parse_xyz(text: &str) -> Vec<Vec<Vec3>> {
 /// Current checkpoint format version. Bumped whenever the serialized layout
 /// changes incompatibly; [`crate::engine::EngineBuilder::resume_from`]
 /// rejects any other version with a typed error.
-pub const CHECKPOINT_VERSION: u32 = 2;
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// Full restartable state of a simulation.
 ///
-/// Version 2 carries everything `Engine::step` consumes, so a resume does
+/// Version 3 carries everything `Engine::step` consumes, so a resume does
 /// **zero** recomputation and the continued trajectory is bitwise identical
 /// to the uninterrupted one: positions, velocities, the short- and
 /// long-range force caches (the RESPA long forces are *not* recomputable at
 /// an arbitrary step — they were evaluated at earlier positions), the
 /// energy ledger, the thermostat RNG state, the neighbor-list epoch
-/// positions, and the accumulated telemetry profile.
+/// positions (fresh-build epoch plus, when the stream was last refreshed by
+/// an in-place patch, the patch epoch), and the accumulated telemetry
+/// profile.
 ///
 /// [`Checkpoint::capture`] fills only the system-level fields (the rest
 /// default to empty/zero); `Engine::checkpoint` produces the complete
@@ -124,10 +126,18 @@ pub struct Checkpoint {
     pub rng_state: [u64; 4],
     /// Nosé–Hoover chain bead velocities, if that thermostat is active.
     pub nh_xi: Option<[f64; 2]>,
-    /// Neighbor-list epoch: the positions the current stream was built at.
-    /// Resume rebuilds the stream from these so skin-drift decisions replay
-    /// identically. Empty means the stream was never built.
+    /// Neighbor-list epoch: the positions of the stream's last *fresh*
+    /// build (cell permutation + extended list). Resume rebuilds the stream
+    /// from these so skin-drift decisions replay identically. Empty means
+    /// the stream was never built.
     pub stream_epoch: Vec<Vec3>,
+    /// Positions of the stream's latest in-place *patch* refresh, when the
+    /// working list was last produced by a patch rather than a fresh build;
+    /// empty otherwise. A patch is a pure function of the fresh-build state
+    /// and the patch positions, so one fresh epoch plus the latest patch
+    /// epoch reproduce the stream bit-for-bit regardless of how many
+    /// patches ran in between.
+    pub stream_patch_epoch: Vec<Vec3>,
     /// Accumulated telemetry, so a resumed run's counters continue from the
     /// interrupted run's exact values.
     pub telemetry: StepProfile,
@@ -155,6 +165,7 @@ impl Checkpoint {
             rng_state: [0; 4],
             nh_xi: None,
             stream_epoch: Vec::new(),
+            stream_patch_epoch: Vec::new(),
             telemetry: StepProfile::default(),
             digest: 0,
         };
@@ -179,6 +190,7 @@ impl Checkpoint {
             &self.f_short,
             &self.f_long,
             &self.stream_epoch,
+            &self.stream_patch_epoch,
         ] {
             h.word(field.len() as u64);
             for v in field.iter() {

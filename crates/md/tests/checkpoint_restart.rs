@@ -86,6 +86,50 @@ proptest! {
     }
 }
 
+/// A checkpoint taken while the stream is in a *patched* state (working
+/// list re-filtered from the retained extended list) must round-trip both
+/// epochs and resume bitwise. The 37.2 Å box gives a real cell grid with a
+/// 2.4 Å extended margin, so a 0.6 Å rigid shift (past skin/2, inside the
+/// patch budget) patches instead of rebuilding.
+#[test]
+fn checkpoint_after_patch_resumes_bitwise() {
+    let make = || {
+        let mut sys = water_box(12, 12, 12, 31);
+        sys.thermalize(300.0, 32);
+        sys
+    };
+    let cfg = config(2, false, false);
+    let mut reference = Engine::builder()
+        .system(make())
+        .config(cfg)
+        .build()
+        .unwrap();
+    reference.run(2);
+    for p in &mut reference.system.positions {
+        p.x += 0.6;
+    }
+    reference.run(1);
+    let cp = reference.checkpoint();
+    assert!(
+        !cp.stream_patch_epoch.is_empty(),
+        "stream must be in a patched state for this test to bite"
+    );
+    reference.run(3);
+    let want = state_bits(&reference);
+
+    let json = serde_json::to_string(&cp).unwrap();
+    let back: Checkpoint = serde_json::from_str(&json).unwrap();
+    assert!(back.digest_ok());
+    let mut resumed = Engine::builder()
+        .system(make())
+        .config(cfg)
+        .resume_from(back)
+        .build()
+        .unwrap();
+    resumed.run(3);
+    assert_eq!(state_bits(&resumed), want, "patched-stream resume diverged");
+}
+
 #[test]
 fn truncated_checkpoint_fails_to_parse() {
     let e = Engine::builder()
