@@ -73,16 +73,24 @@ pub const HOT_PATH: &[(&str, &str)] = &[
     ("pairkernel.rs", "excluded_corrections"),
     ("pairkernel.rs", "scaled14_corrections"),
     ("pairkernel.rs", "lj_shift_at"),
-    // gse.rs — k-space pipeline against a reusable workspace.
-    ("gse.rs", "spread_into"),
-    ("gse.rs", "spread_into_parallel"),
-    ("gse.rs", "spread_column"),
+    // gse.rs — separable-stencil k-space pipeline against a reusable
+    // workspace. The `spread_into`/`interpolate_forces` convenience
+    // wrappers build throwaway tables and are deliberately *not* listed
+    // (co-simulator entry points, not per-step paths); the engine goes
+    // through `energy_forces_profiled`, which reuses workspace tables.
+    ("gse.rs", "fill_tables"),
+    ("gse.rs", "bin_planes"),
+    ("gse.rs", "spread_planes_serial"),
+    ("gse.rs", "spread_planes_parallel"),
+    ("gse.rs", "spread_plane_item"),
+    ("gse.rs", "spread_row_lanes"),
     ("gse.rs", "solve_potential_into"),
     ("gse.rs", "energy_forces_with"),
     ("gse.rs", "energy_forces_profiled"),
     ("gse.rs", "grid_energy"),
-    ("gse.rs", "interp_force_one"),
-    ("gse.rs", "interpolate_chunked"),
+    ("gse.rs", "interp_force_slot"),
+    ("gse.rs", "interp_row_lanes"),
+    ("gse.rs", "interpolate_tables_chunked"),
     // bonded.rs — bonded terms, serial and fixed-chunk parallel.
     ("bonded.rs", "bond_forces"),
     ("bonded.rs", "angle_forces"),
@@ -197,6 +205,9 @@ pub const COUNTER_FIELDS: &[&str] = &[
     "rows_patched",
     "rows_rebuilt",
     "cell_churn",
+    "spread_points",
+    "interp_points",
+    "gse_bins_visited",
     "phase_ns",
 ];
 

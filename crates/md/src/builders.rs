@@ -36,6 +36,43 @@ pub const TYPE_WATER_O: u32 = 0;
 pub const TYPE_WATER_H: u32 = 1;
 pub const TYPE_PROTEIN_BEAD: u32 = 2;
 
+/// A neutral cloud of `n` point charges uniformly scattered in a cubic box
+/// of edge `l` — the minimal GSE test workload (no LJ types, topology, or
+/// constraints). Charges alternate ±q with magnitudes cycling over a few
+/// values; every 7th is zero so charged-atom compaction paths are
+/// exercised; the final charge absorbs the remainder so the cloud is
+/// exactly neutral. Positions deliberately include points within a stencil
+/// reach of the periodic seam.
+pub fn charge_cloud(n: usize, l: f64, seed: u64) -> (PbcBox, Vec<Vec3>, Vec<f64>) {
+    let pbc = PbcBox::cubic(l);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut positions = Vec::with_capacity(n);
+    let mut charges = Vec::with_capacity(n);
+    let mut net = 0.0;
+    for i in 0..n {
+        positions.push(v3(
+            rng.gen::<f64>() * l,
+            rng.gen::<f64>() * l,
+            rng.gen::<f64>() * l,
+        ));
+        let q = if i + 1 == n {
+            -net // neutralize
+        } else if i % 7 == 3 {
+            0.0
+        } else {
+            let mag = [0.417, 0.834, 0.25][i % 3];
+            if i % 2 == 0 {
+                mag
+            } else {
+                -mag
+            }
+        };
+        net += q;
+        charges.push(q);
+    }
+    (pbc, positions, charges)
+}
+
 /// Nonbonded settings adapted to the box: production values where the box
 /// allows, shrunk cutoff (with α rescaled to keep `α·rc ≈ 3`) for small
 /// boxes so the minimum-image requirement holds.

@@ -207,6 +207,15 @@ pub struct Counters {
     /// rebuilds (cell-membership churn; 0 on first builds and on the
     /// all-pairs fallback).
     pub cell_churn: u64,
+    /// Grid stencil points accumulated by GSE charge spreading (charged
+    /// atoms × separable stencil volume).
+    pub spread_points: u64,
+    /// Grid stencil points read by GSE force interpolation.
+    pub interp_points: u64,
+    /// Atom-plane bins visited by the spreading scatter: one per (charged
+    /// atom, x-stencil slot) column, identical whether the serial walk or
+    /// the counting-sort binned parallel walk covered them.
+    pub gse_bins_visited: u64,
 }
 
 impl Counters {
@@ -228,6 +237,9 @@ impl Counters {
             rows_patched: self.rows_patched - earlier.rows_patched,
             rows_rebuilt: self.rows_rebuilt - earlier.rows_rebuilt,
             cell_churn: self.cell_churn - earlier.cell_churn,
+            spread_points: self.spread_points - earlier.spread_points,
+            interp_points: self.interp_points - earlier.interp_points,
+            gse_bins_visited: self.gse_bins_visited - earlier.gse_bins_visited,
         }
     }
 }
@@ -526,6 +538,27 @@ impl Telemetry {
         }
     }
 
+    /// Record one GSE spreading pass: `points` grid stencil points
+    /// accumulated and `bins` atom-plane bins visited. Both are exact
+    /// functions of the charged-atom count and the stencil shape, so the
+    /// counters stay bitwise serial ≡ parallel.
+    #[inline]
+    pub fn count_gse_spread(&mut self, points: u64, bins: u64) {
+        if self.level != TelemetryLevel::Off {
+            self.profile.counters.spread_points += points;
+            self.profile.counters.gse_bins_visited += bins;
+        }
+    }
+
+    /// Record one GSE interpolation pass reading `points` grid stencil
+    /// points.
+    #[inline]
+    pub fn count_gse_interp(&mut self, points: u64) {
+        if self.level != TelemetryLevel::Off {
+            self.profile.counters.interp_points += points;
+        }
+    }
+
     /// Record `clamps` fixed-point accumulator saturation events.
     #[inline]
     pub fn count_fixedpoint_clamps(&mut self, clamps: u64) {
@@ -677,6 +710,8 @@ mod tests {
         off.count_watchdog_check();
         off.count_net_retries(3);
         off.count_net_reroutes(2);
+        off.count_gse_spread(1000, 10);
+        off.count_gse_interp(1000);
         assert_eq!(off.profile().counters, Counters::default());
 
         let mut on = Telemetry::new(TelemetryLevel::Counters);
@@ -684,10 +719,15 @@ mod tests {
         on.count_watchdog_check();
         on.count_net_retries(3);
         on.count_net_reroutes(2);
+        on.count_gse_spread(1000, 10);
+        on.count_gse_interp(900);
         let c = on.profile().counters;
         assert_eq!(c.watchdog_checks, 2);
         assert_eq!(c.net_retries, 3);
         assert_eq!(c.net_reroutes, 2);
+        assert_eq!(c.spread_points, 1000);
+        assert_eq!(c.gse_bins_visited, 10);
+        assert_eq!(c.interp_points, 900);
         let d = c.since(&Counters::default());
         assert_eq!(d, c);
     }

@@ -1,0 +1,236 @@
+//! CI accuracy/perf/schema gate for the separable GSE long-range path.
+//!
+//! ```text
+//! cargo run --release --example gse_gate
+//! ```
+//!
+//! Three checks, any failure exits non-zero:
+//!
+//! 1. **Accuracy** — on a neutral charge cloud, the separable GSE pipeline
+//!    and the retained fused `*_reference` pipeline are both scored against
+//!    the classic-Ewald oracle. The gate fails if the separable kernels
+//!    lose to the fused kernels on energy or force error beyond a small
+//!    slack (the separable cube support keeps stencil corners the fused
+//!    sphere cutoff truncates, so it should never be meaningfully worse),
+//!    or if either pipeline leaves the absolute oracle tolerances the unit
+//!    tests enforce (2e-3 relative energy, 5e-3 force).
+//! 2. **Live perf** — times fused vs. separable spread and interpolation
+//!    on a 1,536-atom water box, serial, 1 thread, and fails if separable
+//!    is slower (`speedup < 1.0`). The bound is deliberately lax for noisy
+//!    single-CPU CI runners; the committed `BENCH_phases.json` carries the
+//!    real measured ratios.
+//! 3. **Schema** — the committed `BENCH_phases.json` must carry the
+//!    rework's columns (`gse_spread_speedup`, `interpolate_speedup`, the
+//!    GSE work counters, plus the original per-phase set) and the recorded
+//!    `threads`/`cpus` context, and the headline (largest) size must show
+//!    both speedups ≥ 1.0.
+
+use anton2::md::builders::{charge_cloud, water_box};
+use anton2::md::ewald::EwaldKSpace;
+use anton2::md::gse::{Gse, GseParams};
+use anton2::md::vec3::Vec3;
+use serde::Value;
+use std::time::Instant;
+
+const REPS: usize = 5;
+/// Separable error may exceed fused error by at most this factor (they
+/// differ only in support truncation geometry).
+const ACCURACY_SLACK: f64 = 1.2;
+
+/// Per-record fields the phases bench must emit. Keep in sync with
+/// `PhaseRecord` in `crates/bench/benches/phases.rs`.
+const RECORD_FIELDS: &[&str] = &[
+    "atoms",
+    "steps",
+    "step_us_timed",
+    "step_us_off",
+    "phases_us",
+    "breakdown",
+    "counters",
+    "phase_coverage",
+    "gse_spread_speedup",
+    "interpolate_speedup",
+];
+
+/// GSE work counters the rework added. Keep in sync with `Counters` in
+/// `crates/md/src/telemetry.rs`.
+const COUNTER_FIELDS: &[&str] = &["spread_points", "interp_points", "gse_bins_visited"];
+
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: size buffers, fill tables
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / REPS as f64
+}
+
+fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn accuracy_gate() {
+    let (pbc, positions, charges) = charge_cloud(150, 14.0, 42);
+    let alpha = 0.5;
+    let gse = Gse::new(alpha, pbc, GseParams::for_box(alpha, &pbc));
+    let ks = EwaldKSpace::for_box(alpha, &pbc, 1e-12);
+
+    let mut f_oracle = vec![Vec3::ZERO; positions.len()];
+    let e_oracle = ks.energy_forces(&pbc, &positions, &charges, &mut f_oracle);
+
+    let mut f_sep = vec![Vec3::ZERO; positions.len()];
+    let e_sep = gse.energy_forces(&positions, &charges, &mut f_sep);
+    let mut f_ref = vec![Vec3::ZERO; positions.len()];
+    let e_ref = gse.energy_forces_reference(&positions, &charges, &mut f_ref);
+
+    let e_scale = e_oracle.abs().max(1.0);
+    let e_err_sep = (e_sep - e_oracle).abs() / e_scale;
+    let e_err_ref = (e_ref - e_oracle).abs() / e_scale;
+    let f_err = |f: &[Vec3]| {
+        f.iter()
+            .zip(&f_oracle)
+            .map(|(a, b)| (*a - *b).norm() / (1.0 + b.norm()))
+            .fold(0.0f64, f64::max)
+    };
+    let f_err_sep = f_err(&f_sep);
+    let f_err_ref = f_err(&f_ref);
+
+    println!(
+        "accuracy gate: {} charges — energy err separable {e_err_sep:.2e} vs fused {e_err_ref:.2e}; \
+         max force err separable {f_err_sep:.2e} vs fused {f_err_ref:.2e}",
+        positions.len()
+    );
+    assert!(
+        e_err_sep < 2e-3 && f_err_sep < 5e-3,
+        "separable GSE left the classic-Ewald oracle band \
+         (energy {e_err_sep:.2e}, force {f_err_sep:.2e})"
+    );
+    assert!(
+        e_err_sep <= e_err_ref * ACCURACY_SLACK + 1e-6,
+        "separable energy error {e_err_sep:.2e} worse than fused {e_err_ref:.2e}"
+    );
+    assert!(
+        f_err_sep <= f_err_ref * ACCURACY_SLACK + 1e-6,
+        "separable force error {f_err_sep:.2e} worse than fused {f_err_ref:.2e}"
+    );
+}
+
+fn live_gate() {
+    let s = water_box(8, 8, 8, 23);
+    let charges = &s.topology.charges;
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let alpha = s.nb.ewald_alpha;
+    let gse = Gse::new(alpha, s.pbc, GseParams::for_box(alpha, &s.pbc));
+    let mut rho = gse.spread(&s.positions, charges);
+
+    let spread_ref_ms = time_ms(|| {
+        rho.clear();
+        gse.spread_into_reference(&s.positions, charges, &mut rho);
+        std::hint::black_box(&rho);
+    });
+    let spread_sep_ms = time_ms(|| {
+        rho.clear();
+        gse.spread_into(&s.positions, charges, &mut rho);
+        std::hint::black_box(&rho);
+    });
+
+    rho.clear();
+    gse.spread_into(&s.positions, charges, &mut rho);
+    let phi = gse.solve_potential(&rho);
+    let mut forces = vec![Vec3::ZERO; s.n_atoms()];
+    let interp_ref_ms = time_ms(|| {
+        forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
+        gse.interpolate_forces_reference(&phi, &s.positions, charges, &mut forces);
+        std::hint::black_box(&forces);
+    });
+    let interp_sep_ms = time_ms(|| {
+        forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
+        gse.interpolate_forces(&phi, &s.positions, charges, &mut forces);
+        std::hint::black_box(&forces);
+    });
+
+    let spread_speedup = spread_ref_ms / spread_sep_ms;
+    let interp_speedup = interp_ref_ms / interp_sep_ms;
+    println!(
+        "live gate: {} atoms — spread fused {spread_ref_ms:.2} ms vs separable \
+         {spread_sep_ms:.2} ms ({spread_speedup:.2}x); interp fused {interp_ref_ms:.2} ms vs \
+         separable {interp_sep_ms:.2} ms ({interp_speedup:.2}x)",
+        s.n_atoms()
+    );
+    assert!(
+        spread_speedup >= 1.0,
+        "separable spread regressed below the fused kernel ({spread_speedup:.2}x)"
+    );
+    assert!(
+        interp_speedup >= 1.0,
+        "separable interpolation regressed below the fused kernel ({interp_speedup:.2}x)"
+    );
+}
+
+fn schema_gate() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_phases.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing {path}: {e} (run the phases bench to regenerate)"));
+    let v: Value = serde_json::from_str(&text).expect("BENCH_phases.json is not valid JSON");
+    let report = v.as_object().expect("report must be a JSON object");
+
+    get(report, "threads")
+        .and_then(Value::as_u64)
+        .expect("report missing `threads`");
+    get(report, "cpus")
+        .and_then(Value::as_u64)
+        .expect("report missing `cpus`");
+
+    let sizes = get(report, "sizes")
+        .and_then(Value::as_array)
+        .expect("report missing `sizes` array");
+    assert!(!sizes.is_empty(), "empty size sweep");
+    let mut headline: Option<(u64, f64, f64)> = None;
+    for rec in sizes {
+        let rec = rec.as_object().expect("size record must be an object");
+        for field in RECORD_FIELDS {
+            assert!(
+                get(rec, field).is_some(),
+                "size record missing `{field}` — bench schema drifted"
+            );
+        }
+        let counters = get(rec, "counters")
+            .and_then(Value::as_object)
+            .expect("counters must be an object");
+        for field in COUNTER_FIELDS {
+            assert!(
+                get(counters, field).is_some(),
+                "counters missing `{field}` — telemetry schema drifted"
+            );
+        }
+        let atoms = get(rec, "atoms").and_then(Value::as_u64).unwrap();
+        let spread = get(rec, "gse_spread_speedup")
+            .and_then(Value::as_f64)
+            .expect("gse_spread_speedup must be numeric");
+        let interp = get(rec, "interpolate_speedup")
+            .and_then(Value::as_f64)
+            .expect("interpolate_speedup must be numeric");
+        if headline.is_none_or(|(a, _, _)| atoms > a) {
+            headline = Some((atoms, spread, interp));
+        }
+    }
+    let (atoms, spread, interp) = headline.unwrap();
+    assert!(
+        spread >= 1.0 && interp >= 1.0,
+        "recorded headline GSE speedups regressed at {atoms} atoms \
+         (spread {spread:.2}x, interp {interp:.2}x)"
+    );
+    println!(
+        "schema gate: {} sizes, {} columns each, headline {atoms} atoms at \
+         spread {spread:.2}x / interp {interp:.2}x",
+        sizes.len(),
+        RECORD_FIELDS.len()
+    );
+}
+
+fn main() {
+    accuracy_gate();
+    live_gate();
+    schema_gate();
+    println!("gse gate passed");
+}
