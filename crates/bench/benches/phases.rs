@@ -139,10 +139,7 @@ fn gse_kernel_speedups(sys: &System) -> (f64, f64) {
         std::hint::black_box(&forces);
     });
 
-    (
-        spread_ref_ms / spread_sep_ms,
-        interp_ref_ms / interp_sep_ms,
-    )
+    (spread_ref_ms / spread_sep_ms, interp_ref_ms / interp_sep_ms)
 }
 
 fn sweep_one(side: usize) -> PhaseRecord {

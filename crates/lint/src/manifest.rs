@@ -17,7 +17,8 @@
 /// These are exactly the modules the engine touches every MD step: the
 /// streaming pair kernel, GSE spreading/interpolation, fixed-point
 /// accumulation, the reference pair kernel, bonded terms, neighbor-list
-/// and cell-grid machinery, and the integrator primitives.
+/// and cell-grid machinery, the integrator primitives, and the
+/// domain-decomposition record/replay and exchange paths.
 pub const HOT_MODULES: &[&str] = &[
     "stream.rs",
     "gse.rs",
@@ -27,6 +28,8 @@ pub const HOT_MODULES: &[&str] = &[
     "neighbor.rs",
     "cells.rs",
     "integrate.rs",
+    "shard.rs",
+    "exchange.rs",
 ];
 
 /// Functions reachable from the per-step force path, as `(file basename,
@@ -128,6 +131,17 @@ pub const HOT_PATH: &[(&str, &str)] = &[
     // network.rs — link claim + the retry loop around it.
     ("network.rs", "claim"),
     ("network.rs", "cross_link"),
+    // shard.rs / exchange.rs — per-step domain-decomposition path: the
+    // stream-revision sync check, the position exchange along the import
+    // plans, and the record/replay pair evaluation. `plan` and
+    // `size_record_buffers` are rebuild-path (regions may grow) and are
+    // deliberately not listed.
+    ("shard.rs", "sync"),
+    ("shard.rs", "record"),
+    ("shard.rs", "record_shard_rows"),
+    ("shard.rs", "replay"),
+    ("shard.rs", "replay_rows"),
+    ("exchange.rs", "exchange"),
 ];
 
 /// Approved reduction helpers: functions allowed to use bare float
@@ -208,6 +222,9 @@ pub const COUNTER_FIELDS: &[&str] = &[
     "spread_points",
     "interp_points",
     "gse_bins_visited",
+    "atoms_imported",
+    "atoms_exported",
+    "exchange_bytes",
     "phase_ns",
 ];
 

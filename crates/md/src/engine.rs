@@ -14,10 +14,11 @@ use crate::forcefield::PairTable;
 use crate::gse::{Gse, GseParams, GseWorkspace};
 use crate::integrate::{langevin_o_step, RespaSchedule};
 use crate::observables::EnergyLedger;
-use crate::pairkernel::{excluded_corrections, scaled14_corrections};
+use crate::pairkernel::{excluded_corrections, scaled14_corrections, NonbondedEnergy};
 use crate::pbc::PbcBox;
 use crate::pressure::{bonded_virial, pressure_atm, BerendsenBarostat};
 use crate::settle::{settle_positions, settle_velocities, SettleParams};
+use crate::shard::{ShardGrid, ShardSet, ShardSummary};
 use crate::stream::{nonbonded_forces_streamed_profiled, NonbondedWorkspace, StreamBuild};
 use crate::system::System;
 use crate::telemetry::{
@@ -25,7 +26,7 @@ use crate::telemetry::{
     TelemetryLevel,
 };
 use crate::thermostat::{Berendsen, NoseHooverChain};
-use crate::trajectory::{Checkpoint, CHECKPOINT_VERSION};
+use crate::trajectory::{Checkpoint, CHECKPOINT_VERSION, CHECKPOINT_VERSION_SHARDED};
 use crate::units::{fs_to_internal, us_per_day};
 use crate::vec3::Vec3;
 use rand::rngs::StdRng;
@@ -93,6 +94,11 @@ pub struct EngineConfig {
     pub barostat_period: u32,
     /// Threading policy for the force kernels.
     pub parallelism: Parallelism,
+    /// Spatial decomposition of the box into an ℓ×m×n shard grid. The
+    /// default is the single-image decomposition (no sharding); any other
+    /// grid runs the decomposed engine, which is bitwise identical to the
+    /// single-image one at every shard count (see `crate::shard`).
+    pub decomposition: ShardGrid,
 }
 
 impl Default for EngineConfig {
@@ -108,6 +114,7 @@ impl Default for EngineConfig {
             barostat: None,
             barostat_period: 10,
             parallelism: Parallelism::Auto,
+            decomposition: ShardGrid::single(),
         }
     }
 }
@@ -144,6 +151,10 @@ pub enum EngineError {
     InvalidBarostatPeriod(u32),
     /// A thermostat parameter is out of range; the message names it.
     InvalidThermostat(&'static str),
+    /// The requested shard grid cannot be hosted by the system's box at
+    /// its cutoff + skin; the message states the violated constraint and
+    /// what would satisfy it.
+    Decomposition(String),
     /// The checkpoint's format version is not the one this build reads.
     CheckpointVersion { found: u32, expected: u32 },
     /// The checkpoint is internally inconsistent with the engine it is
@@ -177,6 +188,7 @@ impl std::fmt::Display for EngineError {
                 write!(f, "barostat_period {p} must be >= 1")
             }
             EngineError::InvalidThermostat(what) => write!(f, "invalid thermostat: {what}"),
+            EngineError::Decomposition(what) => write!(f, "invalid decomposition: {what}"),
             EngineError::CheckpointVersion { found, expected } => {
                 write!(f, "checkpoint version {found}, this build reads {expected}")
             }
@@ -345,6 +357,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Decompose the box into an ℓ×m×n grid of spatial shards, each owning
+    /// its atoms and importing a halo of neighbors every step (the paper's
+    /// NT/half-shell motion, executed in memory). The decomposed engine is
+    /// bitwise identical to the single-image default at any shard count;
+    /// [`EngineBuilder::build`] validates the grid against the box geometry
+    /// and cutoff, returning [`EngineError::Decomposition`] with an
+    /// actionable message when it cannot be hosted.
+    pub fn decomposition(mut self, grid: ShardGrid) -> Self {
+        self.cfg.decomposition = grid;
+        self
+    }
+
     /// How much the engine's telemetry sink records (default
     /// [`TelemetryLevel::Off`], which compiles instrumentation points down
     /// to predictable branches).
@@ -374,6 +398,15 @@ impl EngineBuilder {
     /// supplied [`EngineBuilder::system`] provides the topology; its
     /// positions/velocities are overwritten. The builder's `dt_fs` must
     /// match the checkpoint's.
+    ///
+    /// Accepts both version-3 (single-image) and version-4 (sharded)
+    /// checkpoints regardless of this builder's own decomposition: the
+    /// version is sniffed from the payload, version 4 additionally passes
+    /// the per-shard consistency barrier
+    /// ([`crate::trajectory::Checkpoint::validate_shards`]), and any other
+    /// version is rejected with [`EngineError::CheckpointVersion`]. The
+    /// global arrays are authoritative on restore, so a sharded run can
+    /// resume from a single-image checkpoint and vice versa.
     pub fn resume_from(mut self, cp: Checkpoint) -> Self {
         self.resume = Some(cp);
         self
@@ -398,6 +431,9 @@ impl EngineBuilder {
         }
         if cfg.barostat.is_some() && cfg.barostat_period == 0 {
             return Err(EngineError::InvalidBarostatPeriod(0));
+        }
+        if let Err(msg) = cfg.decomposition.validate(&system) {
+            return Err(EngineError::Decomposition(msg));
         }
         let positive = |x: f64| x.is_finite() && x > 0.0;
         match cfg.thermostat {
@@ -447,7 +483,7 @@ impl EngineBuilder {
 /// unit (µs/day), energy drift, the per-phase time breakdown, and the work
 /// counters — everything EXPERIMENTS.md tables are made of, as one
 /// serializable value.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct RunSummary {
     /// Steps executed by this run.
     pub steps: u64,
@@ -475,6 +511,10 @@ pub struct RunSummary {
     pub breakdown: MeasuredBreakdownUs,
     /// Work counters accumulated over the run.
     pub counters: Counters,
+    /// Per-shard phase breakdowns and work counters over the run,
+    /// including the import/export traffic of the per-step exchange.
+    /// Empty for the single-image engine.
+    pub shards: Vec<ShardSummary>,
 }
 
 impl RunSummary {
@@ -548,6 +588,9 @@ pub struct Engine {
     nh: Option<NoseHooverChain>,
     rng: StdRng,
     ws: StepWorkspace,
+    /// The shard decomposition when built with a non-single
+    /// [`EngineConfig::decomposition`]; `None` is the single-image engine.
+    shards: Option<ShardSet>,
     /// Numerical-health watchdog, if enabled via the builder.
     watchdog: Option<WatchdogConfig>,
     /// Reference total energy for the drift check; armed at the first
@@ -597,6 +640,8 @@ impl Engine {
             _ => None,
         };
         let n = system.n_atoms();
+        let shards =
+            (!cfg.decomposition.is_single()).then(|| ShardSet::new(cfg.decomposition, tel.level()));
         let ws = StepWorkspace::for_engine(gse.as_ref(), tel);
         let mut engine = Engine {
             system,
@@ -614,6 +659,7 @@ impl Engine {
             nh,
             rng: StdRng::seed_from_u64(cfg.seed),
             ws,
+            shards,
             watchdog: None,
             watchdog_e0: None,
         };
@@ -686,14 +732,20 @@ impl Engine {
         // and the box, rebuilding its cell-sorted stream + baked list only
         // when needed. The parallel path uses fixed chunking (not
         // thread-count-dependent), so results are bitwise reproducible.
-        let nb = nonbonded_forces_streamed_profiled(
-            &self.system,
-            &self.pair_table,
-            &mut self.ws.nonbonded,
-            &mut self.f_short,
-            parallel,
-            &mut self.ws.tel,
-        );
+        // The decomposed engine runs the same arithmetic through the
+        // exchange → record → replay pipeline instead.
+        let nb = if self.shards.is_some() {
+            self.sharded_nonbonded(parallel)
+        } else {
+            nonbonded_forces_streamed_profiled(
+                &self.system,
+                &self.pair_table,
+                &mut self.ws.nonbonded,
+                &mut self.f_short,
+                parallel,
+                &mut self.ws.tel,
+            )
+        };
         self.ledger.lj = nb.lj;
         self.ledger.coulomb_real = nb.coulomb_real;
         let t0 = self.ws.tel.start();
@@ -729,6 +781,41 @@ impl Engine {
         self.ledger.improper = be.improper;
     }
 
+    /// Sharded replacement for the streaming nonbonded call: identical
+    /// stream/rebuild bookkeeping, then the per-step NT-style exchange,
+    /// every shard recording its owned rows against its local mirror, and
+    /// a canonical-order replay that reproduces the single-image
+    /// accumulation order exactly — forces, energies, and the global
+    /// telemetry counters all come out bitwise identical to
+    /// [`nonbonded_forces_streamed_profiled`].
+    fn sharded_nonbonded(&mut self, parallel: bool) -> NonbondedEnergy {
+        let shards = self.shards.as_mut().expect("sharded path");
+        let tel = &mut self.ws.tel;
+        let nbws = &mut self.ws.nonbonded;
+        let t0 = tel.start();
+        if let Some(reason) = nbws.stream.ensure(&self.system) {
+            tel.count_rebuild(reason);
+            let rows = nbws.stream.pos.len() as u64;
+            match nbws.stream.last_build() {
+                StreamBuild::Patched => tel.count_rows(rows, 0, 0),
+                StreamBuild::Fresh { cell_churn } => tel.count_rows(0, rows, cell_churn),
+            }
+        }
+        tel.stop(Phase::NeighborRebuild, t0);
+
+        shards.sync(&nbws.stream);
+        shards.exchange(&nbws.stream, tel);
+
+        let t0 = tel.start();
+        let candidates = nbws.stream.partners.len() as u64;
+        shards.record(&nbws.stream, &self.pair_table, self.system.nb.ewald_alpha);
+        let (total, cut) =
+            shards.replay(&nbws.stream, &mut nbws.chunks, &mut self.f_short, parallel);
+        tel.count_pairs(candidates - cut, cut);
+        tel.stop(Phase::ShortRange, t0);
+        total
+    }
+
     /// K-space forces into `f_long`, updating the ledger.
     fn compute_long_forces(&mut self) {
         let parallel = self.parallel_enabled();
@@ -743,14 +830,26 @@ impl Engine {
                     .gse
                     .as_mut()
                     .expect("GSE workspace sized at construction");
-                self.ledger.coulomb_kspace = gse.energy_forces_profiled(
-                    &self.system.positions,
-                    charges,
-                    &mut self.f_long,
-                    ws,
-                    parallel,
-                    &mut self.ws.tel,
-                );
+                self.ledger.coulomb_kspace = if let Some(shards) = self.shards.as_mut() {
+                    gse.energy_forces_sharded(
+                        &self.system.positions,
+                        charges,
+                        &mut self.f_long,
+                        ws,
+                        parallel,
+                        &mut self.ws.tel,
+                        shards,
+                    )
+                } else {
+                    gse.energy_forces_profiled(
+                        &self.system.positions,
+                        charges,
+                        &mut self.f_long,
+                        ws,
+                        parallel,
+                        &mut self.ws.tel,
+                    )
+                };
             }
             KspaceMethod::ClassicEwald => {
                 let ks = self.ewald.as_ref().expect("Ewald planned at construction");
@@ -994,12 +1093,19 @@ impl Engine {
     /// wall-clock and energy fields are always filled.
     pub fn run(&mut self, n: usize) -> RunSummary {
         let before = *self.ws.tel.profile();
+        let shards_before = self.shard_profiles();
         let e0 = self.ledger.total();
         let wall = Instant::now();
         for _ in 0..n {
             self.step();
         }
-        self.summarize(n as u64, e0, wall.elapsed().as_secs_f64(), &before)
+        self.summarize(
+            n as u64,
+            e0,
+            wall.elapsed().as_secs_f64(),
+            &before,
+            &shards_before,
+        )
     }
 
     /// Step until simulated time reaches `target_fs` (measured from time
@@ -1007,6 +1113,7 @@ impl Engine {
     /// target at or behind the current time runs zero steps.
     pub fn run_until_fs(&mut self, target_fs: f64) -> RunSummary {
         let before = *self.ws.tel.profile();
+        let shards_before = self.shard_profiles();
         let e0 = self.ledger.total();
         let wall = Instant::now();
         let mut steps = 0u64;
@@ -1016,10 +1123,32 @@ impl Engine {
             self.step();
             steps += 1;
         }
-        self.summarize(steps, e0, wall.elapsed().as_secs_f64(), &before)
+        self.summarize(
+            steps,
+            e0,
+            wall.elapsed().as_secs_f64(),
+            &before,
+            &shards_before,
+        )
     }
 
-    fn summarize(&self, steps: u64, e0: f64, wall_s: f64, before: &StepProfile) -> RunSummary {
+    /// Snapshot of every shard's telemetry profile (empty when
+    /// single-image); diffed by [`Engine::summarize`] over a run window.
+    fn shard_profiles(&self) -> Vec<StepProfile> {
+        self.shards
+            .as_ref()
+            .map(ShardSet::profiles)
+            .unwrap_or_default()
+    }
+
+    fn summarize(
+        &self,
+        steps: u64,
+        e0: f64,
+        wall_s: f64,
+        before: &StepProfile,
+        shards_before: &[StepProfile],
+    ) -> RunSummary {
         let profile = self.ws.tel.profile().since(before);
         let simulated_fs = steps as f64 * self.cfg.dt_fs;
         let e1 = self.ledger.total();
@@ -1045,6 +1174,11 @@ impl Engine {
             phases: profile.phases_us(),
             breakdown: profile.breakdown_us(),
             counters: profile.counters,
+            shards: self
+                .shards
+                .as_ref()
+                .map(|s| s.summaries(shards_before))
+                .unwrap_or_default(),
         }
     }
 
@@ -1176,13 +1310,32 @@ impl Engine {
             cp.stream_patch_epoch = self.ws.nonbonded.stream().ref_positions().to_vec();
         }
         cp.telemetry = *self.ws.tel.profile();
+        // A decomposed engine writes a version-4 checkpoint: per-shard
+        // state images stamped with the step, acting as the consistency
+        // barrier a distributed implementation would need (all shards
+        // quiesced at the same step before imaging). Per-shard telemetry
+        // profiles are intentionally not checkpointed — the global profile
+        // is authoritative; per-shard counters restart from zero.
+        if let Some(shards) = &self.shards {
+            cp.version = CHECKPOINT_VERSION_SHARDED;
+            cp.shards = shards.images(
+                self.ws.nonbonded.stream(),
+                self.step,
+                &self.system.positions,
+                &self.system.velocities,
+            );
+        }
         cp.digest = cp.compute_digest();
         cp
     }
 
     /// Validate a checkpoint against this engine before touching any state.
     fn validate_checkpoint(&self, cp: &Checkpoint) -> Result<(), EngineError> {
-        if cp.version != CHECKPOINT_VERSION {
+        // Version sniffing: both the single-image (v3) and sharded (v4)
+        // formats restore through the same path — the global arrays are
+        // authoritative — so either version is accepted regardless of this
+        // engine's own decomposition.
+        if cp.version != CHECKPOINT_VERSION && cp.version != CHECKPOINT_VERSION_SHARDED {
             return Err(EngineError::CheckpointVersion {
                 found: cp.version,
                 expected: CHECKPOINT_VERSION,
@@ -1190,6 +1343,9 @@ impl Engine {
         }
         if !cp.digest_ok() {
             return Err(EngineError::CheckpointCorrupt);
+        }
+        if let Err(what) = cp.validate_shards() {
+            return Err(EngineError::CheckpointMismatch(what));
         }
         let n = self.system.n_atoms();
         if cp.positions.len() != n || cp.velocities.len() != n {
@@ -1305,12 +1461,19 @@ impl Engine {
     /// checkpoint of the blown-up state).
     pub fn try_run(&mut self, n: usize) -> Result<RunSummary, EngineError> {
         let before = *self.ws.tel.profile();
+        let shards_before = self.shard_profiles();
         let e0 = self.ledger.total();
         let wall = Instant::now();
         for _ in 0..n {
             self.try_step()?;
         }
-        Ok(self.summarize(n as u64, e0, wall.elapsed().as_secs_f64(), &before))
+        Ok(self.summarize(
+            n as u64,
+            e0,
+            wall.elapsed().as_secs_f64(),
+            &before,
+            &shards_before,
+        ))
     }
 
     fn check_health(&mut self) -> Result<(), EngineError> {

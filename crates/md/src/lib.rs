@@ -25,6 +25,7 @@ pub mod constraints;
 pub mod engine;
 pub mod erfc;
 pub mod ewald;
+mod exchange;
 pub mod fixedpoint;
 pub mod forcefield;
 pub mod gse;
@@ -38,6 +39,7 @@ pub mod pressure;
 #[cfg(test)]
 mod proptests;
 pub mod settle;
+pub mod shard;
 pub mod stream;
 pub mod system;
 pub mod telemetry;
@@ -47,6 +49,53 @@ pub mod trajectory;
 pub mod units;
 pub mod vec3;
 
+/// The blessed session surface: everything needed to configure, run,
+/// checkpoint, and profile a simulation, in one import.
+///
+/// ```
+/// use anton2_md::prelude::*;
+///
+/// let mut engine = EngineBuilder::default()
+///     .system(anton2_md::builders::water_box(3, 3, 3, 1))
+///     .quick()
+///     .telemetry(TelemetryLevel::Counters)
+///     .build()
+///     .expect("valid configuration");
+/// let summary: RunSummary = engine.run(2);
+/// let cp: Checkpoint = engine.checkpoint();
+/// assert_eq!(summary.steps, 2);
+/// assert_eq!(cp.step, 2);
+/// ```
+///
+/// Prefer this over deep module paths (`anton2_md::engine::…`,
+/// `anton2_md::telemetry::…`) for session-level code: the prelude is the
+/// stable API surface, while module paths expose implementation detail
+/// that may move between crates' internals.
+pub mod prelude {
+    pub use crate::engine::{
+        Engine, EngineBuilder, EngineConfig, EngineError, KspaceMethod, Parallelism, RunSummary,
+        Thermostat, WatchdogConfig,
+    };
+    pub use crate::forcefield::{ForceField, NonbondedSettings};
+    pub use crate::integrate::RespaSchedule;
+    pub use crate::pbc::PbcBox;
+    pub use crate::pressure::BerendsenBarostat;
+    pub use crate::shard::{ShardGrid, ShardSummary};
+    pub use crate::system::System;
+    pub use crate::telemetry::{
+        Counters, MeasuredBreakdownUs, PhaseBreakdownUs, StepProfile, Telemetry, TelemetryLevel,
+    };
+    pub use crate::topology::Topology;
+    pub use crate::trajectory::{
+        Checkpoint, ShardImage, CHECKPOINT_VERSION, CHECKPOINT_VERSION_SHARDED,
+    };
+    pub use crate::vec3::{v3, Vec3};
+}
+
+// Legacy root re-exports, kept so existing call sites compile unchanged.
+// Deprecated in favor of [`prelude`], which carries the complete session
+// surface (builder, summary, checkpoint, decomposition, telemetry types);
+// new code should `use anton2_md::prelude::*`.
 pub use engine::{Engine, EngineBuilder, EngineError, RunSummary};
 pub use forcefield::{ForceField, NonbondedSettings};
 pub use pbc::PbcBox;

@@ -1,0 +1,816 @@
+//! Spatial domain decomposition of the range-limited engine.
+//!
+//! Anton 2 assigns each node a box of space (a *home box*) and imports the
+//! half-shell of surrounding atoms it needs via the NT method, so every
+//! pairwise interaction is computed exactly once on exactly one node. This
+//! module is the CPU analogue: a [`ShardGrid`] partitions the simulation
+//! box into ℓ×m×n shards mapped onto the nonbonded stream's cell grid, and
+//! a `ShardSet` (crate-internal, owned by the engine) gives every shard
+//!
+//! * an **ownership plan** — the sorted stream slots whose cells fall in
+//!   the shard's region; each working-list row is evaluated by exactly the
+//!   shard that owns it;
+//! * an **import region** — the deduplicated set of slots appearing as
+//!   partners in the shard's extended rows but owned elsewhere (the
+//!   half-shell traversal of the stream build means this *is* the NT
+//!   import region, restricted to actual candidates);
+//! * a **shard-local SoA mirror** of positions/charges/LJ types, poisoned
+//!   with NaN / `u32::MAX` outside `owned ∪ imports` so a read outside the
+//!   planned import region corrupts the pair (caught by `debug_assert!`
+//!   and by the bitwise-identity tests) instead of silently using data the
+//!   real machine would not have;
+//! * its own [`Telemetry`] sink (per-shard phase times, pair and exchange
+//!   counters).
+//!
+//! **Bitwise identity with the single-image engine** is the load-bearing
+//! contract (the shard-count analogue of DESIGN.md §9's thread-count
+//! independence). Floating-point addition is not associative, so shards
+//! cannot simply sum boundary forces in shard order. Instead evaluation is
+//! split into two stages:
+//!
+//! 1. **Record** (`ShardSet::record`): each shard evaluates its owned
+//!    rows against its local mirror and writes one `PairRecord` per
+//!    in-cutoff pair — the pair force and energy terms, which are pure
+//!    per-pair functions of the two positions and therefore identical bits
+//!    no matter which shard computes them — into a global buffer at the
+//!    pair's canonical CSR position.
+//! 2. **Replay** (`ShardSet::replay`): the driver accumulates the
+//!    records in the exact (row, pair) order of the single-image kernel —
+//!    serial row order, or the fixed [`NB_CHUNKS`] chunk merge — so every
+//!    force and energy accumulator sees the same additions in the same
+//!    order as `nonbonded_forces_streamed` and lands on identical bits at
+//!    any shard count.
+//!
+//! Shards are evaluated by a serial loop (the bench host exposes one
+//! logical CPU — see EXPERIMENTS.md F20); parallelism stays where it
+//! already pays, in the chunked replay. When the stream falls back to the
+//! all-pairs path mid-run (a barostat shrinking the box below three cells
+//! per axis), the decomposition degrades to shard 0 owning everything,
+//! which is exactly the single-image engine.
+
+use crate::cells::CellGrid;
+use crate::forcefield::PairTable;
+use crate::pairkernel::{pair_interaction_lanes, NonbondedEnergy, LANES, NB_CHUNKS};
+use crate::pbc::HalfBox;
+use crate::stream::NonbondedStream;
+use crate::system::System;
+use crate::telemetry::{Counters, Phase, PhaseBreakdownUs, StepProfile, Telemetry, TelemetryLevel};
+use crate::vec3::Vec3;
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// An ℓ×m×n spatial decomposition of the simulation box. `1×1×1` (the
+/// default) is the single-image engine; anything larger maps shards onto
+/// the nonbonded cell grid, so it requires the cell path (≥ 3 cells per
+/// axis at `cutoff + skin`) and at most one shard per cell per axis —
+/// validated by `EngineBuilder::build` with a typed
+/// `EngineError::Decomposition`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct ShardGrid {
+    /// Shards along x.
+    pub l: usize,
+    /// Shards along y.
+    pub m: usize,
+    /// Shards along z.
+    pub n: usize,
+}
+
+impl Default for ShardGrid {
+    fn default() -> Self {
+        ShardGrid::single()
+    }
+}
+
+impl ShardGrid {
+    /// An ℓ×m×n shard grid.
+    pub fn new(l: usize, m: usize, n: usize) -> Self {
+        ShardGrid { l, m, n }
+    }
+
+    /// The single-image decomposition (one shard owning the whole box).
+    pub fn single() -> Self {
+        ShardGrid { l: 1, m: 1, n: 1 }
+    }
+
+    /// Total shard count.
+    pub fn count(&self) -> usize {
+        self.l * self.m * self.n
+    }
+
+    /// Whether this is the single-image decomposition.
+    pub fn is_single(&self) -> bool {
+        self.count() == 1
+    }
+
+    /// Check the grid against `system`'s geometry: every axis ≥ 1, and for
+    /// non-trivial grids the box must host a cell grid at `cutoff + skin`
+    /// with at least one cell per shard per axis. Returns an actionable
+    /// message on failure (wrapped into `EngineError::Decomposition`).
+    pub(crate) fn validate(&self, system: &System) -> Result<(), String> {
+        if self.l == 0 || self.m == 0 || self.n == 0 {
+            return Err(format!(
+                "shard grid {}x{}x{} has a zero axis; every axis needs at least one shard",
+                self.l, self.m, self.n
+            ));
+        }
+        if self.is_single() {
+            return Ok(());
+        }
+        let range = system.nb.cutoff + system.nb.skin;
+        match CellGrid::dims_for(&system.pbc, range) {
+            None => Err(format!(
+                "box {:.2}x{:.2}x{:.2} A cannot host a cell grid (>= 3 cells per axis) at \
+                 cutoff+skin = {:.2} A, so it cannot be decomposed; use a 1x1x1 grid, enlarge \
+                 the box, or shrink the cutoff",
+                system.pbc.lx, system.pbc.ly, system.pbc.lz, range
+            )),
+            Some((ncx, ncy, ncz)) => {
+                if self.l > ncx || self.m > ncy || self.n > ncz {
+                    Err(format!(
+                        "shard grid {}x{}x{} exceeds the {}x{}x{} cell grid at cutoff+skin = \
+                         {:.2} A; each shard needs at least one full cell per axis, so at most \
+                         {}x{}x{} shards fit this box",
+                        self.l, self.m, self.n, ncx, ncy, ncz, range, ncx, ncy, ncz
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// One recorded in-cutoff pair: the canonical CSR position of the pair
+/// plus the per-pair force and energy terms, all pure functions of the two
+/// atom positions (identical bits regardless of the evaluating shard).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct PairRecord {
+    /// Index into the working partner list (`stream.partners`) — the
+    /// pair's canonical position, which the replay maps to a scatter slot.
+    idx: u32,
+    /// Force on the row atom from this pair (`partner gets −f`).
+    f: Vec3,
+    e_lj: f64,
+    e_coul: f64,
+    virial: f64,
+    virial_lj: f64,
+}
+
+/// One spatial domain: its ownership plan, import region, NaN-poisoned
+/// local SoA mirror, and telemetry sink.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    pub(crate) id: u32,
+    /// Sorted stream slots owned by this shard, ascending. These are the
+    /// working-list rows the shard evaluates.
+    pub(crate) owned: Vec<u32>,
+    /// Sorted stream slots this shard reads but does not own (partners of
+    /// its extended rows owned elsewhere), deduplicated, in first-seen
+    /// order. Refreshed from the driver every step by the exchange.
+    pub(crate) imports: Vec<u32>,
+    /// How many of this shard's owned positions other shards import each
+    /// step (the export side of the exchange traffic).
+    pub(crate) exported: u64,
+    /// Full-length local position mirror; NaN outside `owned ∪ imports`.
+    pub(crate) local_pos: Vec<Vec3>,
+    /// Full-length local charge mirror; NaN outside the region.
+    pub(crate) local_charge: Vec<f64>,
+    /// Full-length local LJ-type mirror; `u32::MAX` (an out-of-bounds
+    /// table row) outside the region.
+    pub(crate) local_lj_type: Vec<u32>,
+    /// Per-shard telemetry: Exchange/ShortRange/GseSpread phase times plus
+    /// pair and exchange counters for this shard's slice of the step.
+    pub(crate) tel: Telemetry,
+}
+
+/// Per-shard slice of a `RunSummary`: what one domain owned, imported,
+/// exported, and spent its time on over the summarized steps.
+#[derive(Clone, Debug, Serialize)]
+pub struct ShardSummary {
+    /// Shard id in the ℓ×m×n grid (x-major, z fastest).
+    pub shard: u32,
+    /// Stream slots this shard owned at the end of the run.
+    pub atoms_owned: u64,
+    /// Import-region size (positions copied in per step).
+    pub atoms_imported: u64,
+    /// Owned positions served to other shards' import regions per step.
+    pub atoms_exported: u64,
+    /// Per-phase wall-clock of this shard's work over the summarized steps.
+    pub phases: PhaseBreakdownUs,
+    /// This shard's work counters over the summarized steps.
+    pub counters: Counters,
+}
+
+/// The decomposition: all shards plus the global record/replay buffers and
+/// the stream-revision bookkeeping that keeps the plans in sync with
+/// rebuilds and patches.
+#[derive(Debug)]
+pub(crate) struct ShardSet {
+    grid: ShardGrid,
+    pub(crate) shards: Vec<Shard>,
+    /// Recorded pairs, aligned with the working-list CSR: row `s`'s records
+    /// sit compacted at `stream.start[s] .. stream.start[s] + row_pairs[s]`.
+    pub(crate) pair_records: Vec<PairRecord>,
+    /// In-cutoff pair count per row (cut candidates = row length − this).
+    pub(crate) row_pairs: Vec<u32>,
+    /// Accumulated row force per row (the `fs` of the streaming kernel).
+    pub(crate) row_fs: Vec<Vec3>,
+    /// Owning shard id per sorted slot.
+    pub(crate) shard_of_slot: Vec<u32>,
+    /// Generation-stamped dedup scratch for import planning.
+    stamp: Vec<u64>,
+    stamp_gen: u64,
+    /// Stream revisions the current plans were built against.
+    seen_revision: u64,
+    seen_fresh: u64,
+}
+
+impl ShardSet {
+    /// An empty decomposition for `grid`; plans are built lazily by
+    /// [`ShardSet::sync`] once the stream exists. Per-shard telemetry runs
+    /// at `level` (the engine's configured level).
+    pub(crate) fn new(grid: ShardGrid, level: TelemetryLevel) -> Self {
+        ShardSet {
+            grid,
+            shards: (0..grid.count() as u32)
+                .map(|id| Shard {
+                    id,
+                    owned: Vec::new(),
+                    imports: Vec::new(),
+                    exported: 0,
+                    local_pos: Vec::new(),
+                    local_charge: Vec::new(),
+                    local_lj_type: Vec::new(),
+                    tel: Telemetry::new(level),
+                })
+                .collect(),
+            pair_records: Vec::new(),
+            row_pairs: Vec::new(),
+            row_fs: Vec::new(),
+            shard_of_slot: Vec::new(),
+            stamp: Vec::new(),
+            stamp_gen: 0,
+            seen_revision: 0,
+            seen_fresh: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub(crate) fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Bring the plans up to date with the stream: a fresh rebuild (new
+    /// permutation / cells) re-plans ownership and import regions; a patch
+    /// (same permutation, re-filtered working list) only re-sizes the
+    /// record buffers, because ownership is a function of the fresh-build
+    /// cell assignment.
+    pub(crate) fn sync(&mut self, stream: &NonbondedStream) {
+        if self.seen_fresh != stream.fresh_revision {
+            self.plan(stream);
+            self.seen_fresh = stream.fresh_revision;
+            self.seen_revision = stream.revision;
+        } else if self.seen_revision != stream.revision {
+            self.size_record_buffers(stream);
+            self.seen_revision = stream.revision;
+        }
+    }
+
+    /// Rebuild ownership, import regions, and local mirrors from a fresh
+    /// stream build. Runs at rebuild cadence, not per step.
+    fn plan(&mut self, stream: &NonbondedStream) {
+        let ns = stream.pos.len();
+        self.shard_of_slot.resize(ns, 0);
+        let cells_tracked = stream.cell_ids.len() == ns;
+        match (stream.cell_dims, cells_tracked) {
+            (Some((ncx, ncy, ncz)), true) => {
+                let g = self.grid;
+                for s in 0..ns {
+                    let c = stream.cell_ids[stream.order[s] as usize] as usize;
+                    let cz = c % ncz;
+                    let cy = (c / ncz) % ncy;
+                    let cx = c / (ncy * ncz);
+                    // Proportional floor map: cell cx of ncx → shard
+                    // cx·l/ncx of l. Monotone, onto (l ≤ ncx is validated
+                    // at build time), and independent of atom positions.
+                    let sx = cx * g.l / ncx;
+                    let sy = cy * g.m / ncy;
+                    let sz = cz * g.n / ncz;
+                    self.shard_of_slot[s] = ((sx * g.m + sy) * g.n + sz) as u32;
+                }
+            }
+            // All-pairs fallback: no spatial structure to decompose over —
+            // shard 0 owns everything (bitwise the single-image engine).
+            _ => {
+                for so in self.shard_of_slot.iter_mut() {
+                    *so = 0;
+                }
+            }
+        }
+
+        self.stamp.resize(ns, 0);
+        for shard in &mut self.shards {
+            shard.owned.clear();
+            shard.imports.clear();
+            shard.exported = 0;
+        }
+        for s in 0..ns {
+            self.shards[self.shard_of_slot[s] as usize]
+                .owned
+                .push(s as u32);
+        }
+        // Import region = partners of owned *extended* rows owned
+        // elsewhere. Using the extended list (not the working list) makes
+        // the region a superset of anything a patch can re-admit, so
+        // import plans survive patches untouched.
+        for shard in &mut self.shards {
+            self.stamp_gen += 1;
+            let gen = self.stamp_gen;
+            for &s in &shard.owned {
+                let s = s as usize;
+                for &t in &stream.ext_partners[stream.ext_start[s]..stream.ext_start[s + 1]] {
+                    let t = t as usize;
+                    if self.shard_of_slot[t] != shard.id && self.stamp[t] != gen {
+                        self.stamp[t] = gen;
+                        shard.imports.push(t as u32);
+                    }
+                }
+            }
+            // Poisoned local mirrors: only the shard's region gets real
+            // parameters; positions arrive via the per-step exchange.
+            shard.local_pos.clear();
+            shard
+                .local_pos
+                .resize(ns, Vec3::new(f64::NAN, f64::NAN, f64::NAN));
+            shard.local_charge.clear();
+            shard.local_charge.resize(ns, f64::NAN);
+            shard.local_lj_type.clear();
+            shard.local_lj_type.resize(ns, u32::MAX);
+            for &s in shard.owned.iter().chain(&shard.imports) {
+                let s = s as usize;
+                shard.local_charge[s] = stream.charge[s];
+                shard.local_lj_type[s] = stream.lj_type[s];
+            }
+        }
+        // Export accounting: every import of shard j is an export of the
+        // slot's owner.
+        for j in 0..self.shards.len() {
+            for k in 0..self.shards[j].imports.len() {
+                let t = self.shards[j].imports[k] as usize;
+                let owner = self.shard_of_slot[t] as usize;
+                self.shards[owner].exported += 1;
+            }
+        }
+        self.size_record_buffers(stream);
+    }
+
+    /// Re-size the record buffers to the current working list (its length
+    /// changes when a patch re-filters the extended rows).
+    fn size_record_buffers(&mut self, stream: &NonbondedStream) {
+        let ns = stream.pos.len();
+        self.pair_records
+            .resize(stream.partners.len(), PairRecord::default());
+        self.row_pairs.resize(ns, 0);
+        self.row_fs.resize(ns, Vec3::ZERO);
+    }
+
+    /// Stage 1: every shard evaluates its owned rows against its local
+    /// mirror, writing per-pair records at canonical CSR positions. Serial
+    /// over shards (disjoint row ranges; see the module docs for why the
+    /// 1-CPU host makes shard-level threading pointless), timed and
+    /// counted per shard.
+    pub(crate) fn record(&mut self, stream: &NonbondedStream, table: &PairTable, alpha: f64) {
+        let records = &mut self.pair_records[..];
+        let row_pairs = &mut self.row_pairs[..];
+        let row_fs = &mut self.row_fs[..];
+        for shard in &mut self.shards {
+            let t0 = shard.tel.start();
+            let (evaluated, cut) =
+                record_shard_rows(shard, stream, table, alpha, records, row_pairs, row_fs);
+            shard.tel.count_pairs(evaluated, cut);
+            shard.tel.stop(Phase::ShortRange, t0);
+        }
+    }
+
+    /// Stage 2: accumulate the records in the single-image kernel's exact
+    /// (row, pair) order — full-length serial buffer or the fixed
+    /// [`NB_CHUNKS`] chunk-local merge — scattering forces back to
+    /// original atom order. Returns the energies and the cut-pair count,
+    /// bitwise identical to `nonbonded_forces_streamed` at any shard
+    /// count.
+    pub(crate) fn replay(
+        &self,
+        stream: &NonbondedStream,
+        chunks: &mut [Vec<Vec3>],
+        forces: &mut [Vec3],
+        parallel: bool,
+    ) -> (NonbondedEnergy, u64) {
+        let ns = stream.pos.len();
+        let records = &self.pair_records[..];
+        let row_pairs = &self.row_pairs[..];
+        let row_fs = &self.row_fs[..];
+        if parallel {
+            let bufs = &mut chunks[..NB_CHUNKS];
+            let mut energies = [(NonbondedEnergy::default(), 0u64); NB_CHUNKS];
+            bufs.par_iter_mut()
+                .zip(&mut energies[..])
+                .enumerate()
+                .for_each(|(c, (local, slot))| {
+                    let lo = c * ns / NB_CHUNKS;
+                    let hi = (c + 1) * ns / NB_CHUNKS;
+                    let len = (hi - lo) + (stream.import_start[c + 1] - stream.import_start[c]);
+                    local.resize(len, Vec3::ZERO);
+                    local.iter_mut().for_each(|f| *f = Vec3::ZERO);
+                    *slot = replay_rows(
+                        stream,
+                        records,
+                        row_pairs,
+                        row_fs,
+                        lo,
+                        hi,
+                        &stream.partners_local,
+                        local,
+                    );
+                });
+            // Identical deterministic reduction to the streaming kernel:
+            // fixed chunk order, own rows then imports.
+            let mut total = NonbondedEnergy::default();
+            let mut cut = 0u64;
+            for (c, (local, (e, cc))) in bufs.iter().zip(&energies).enumerate() {
+                let lo = c * ns / NB_CHUNKS;
+                let hi = (c + 1) * ns / NB_CHUNKS;
+                let own = hi - lo;
+                for (i, l) in local[..own].iter().enumerate() {
+                    forces[stream.order[lo + i] as usize] += *l;
+                }
+                let ib = stream.import_start[c];
+                for (k, l) in local[own..].iter().enumerate() {
+                    let t = stream.imports[ib + k] as usize;
+                    forces[stream.order[t] as usize] += *l;
+                }
+                total.lj += e.lj;
+                total.coulomb_real += e.coulomb_real;
+                total.virial += e.virial;
+                total.virial_lj += e.virial_lj;
+                cut += cc;
+            }
+            (total, cut)
+        } else {
+            let local = &mut chunks[0];
+            local.resize(ns, Vec3::ZERO);
+            local.iter_mut().for_each(|f| *f = Vec3::ZERO);
+            let (out, cut) = replay_rows(
+                stream,
+                records,
+                row_pairs,
+                row_fs,
+                0,
+                ns,
+                &stream.partners,
+                local,
+            );
+            for (s, l) in local.iter().enumerate() {
+                forces[stream.order[s] as usize] += *l;
+            }
+            (out, cut)
+        }
+    }
+
+    /// Snapshot every shard's accumulated profile (for RunSummary diffs).
+    pub(crate) fn profiles(&self) -> Vec<StepProfile> {
+        self.shards.iter().map(|s| *s.tel.profile()).collect()
+    }
+
+    /// Per-shard summaries over the steps since `before` (one snapshot per
+    /// shard, from [`ShardSet::profiles`]; an empty slice diffs from zero).
+    pub(crate) fn summaries(&self, before: &[StepProfile]) -> Vec<ShardSummary> {
+        let zero = StepProfile::default();
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, sh)| {
+                let b = before.get(i).unwrap_or(&zero);
+                let diff = sh.tel.profile().since(b);
+                ShardSummary {
+                    shard: sh.id,
+                    atoms_owned: sh.owned.len() as u64,
+                    atoms_imported: sh.imports.len() as u64,
+                    atoms_exported: sh.exported,
+                    phases: diff.phases_us(),
+                    counters: diff.counters,
+                }
+            })
+            .collect()
+    }
+
+    /// Capture per-shard state images for a version-4 checkpoint: each
+    /// shard's owned atoms as global indices (through the stream's
+    /// cell-sort permutation) with their positions and velocities, all
+    /// stamped with `step`. The restore-side consistency barrier
+    /// ([`crate::trajectory::Checkpoint::validate_shards`]) verifies the
+    /// images were taken at one synchronized step, partition the atoms,
+    /// and agree bitwise with the global arrays.
+    pub(crate) fn images(
+        &self,
+        stream: &NonbondedStream,
+        step: u64,
+        positions: &[Vec3],
+        velocities: &[Vec3],
+    ) -> Vec<crate::trajectory::ShardImage> {
+        self.shards
+            .iter()
+            .map(|sh| {
+                let atoms: Vec<u32> = sh.owned.iter().map(|&s| stream.order[s as usize]).collect();
+                crate::trajectory::ShardImage {
+                    shard: sh.id,
+                    step,
+                    positions: atoms.iter().map(|&a| positions[a as usize]).collect(),
+                    velocities: atoms.iter().map(|&a| velocities[a as usize]).collect(),
+                    atoms,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Evaluate one shard's owned rows, writing per-pair records. Mirrors the
+/// streaming kernel's lane-batched inner loop exactly (same compression,
+/// same padding, same per-lane arithmetic), but reads positions/charges/
+/// types from the shard's poisoned local mirror — so the records prove the
+/// shard touched only its planned region — and writes records instead of
+/// accumulating. Returns (pairs evaluated, candidates cut).
+fn record_shard_rows(
+    shard: &mut Shard,
+    stream: &NonbondedStream,
+    table: &PairTable,
+    alpha: f64,
+    records: &mut [PairRecord],
+    row_pairs: &mut [u32],
+    row_fs: &mut [Vec3],
+) -> (u64, u64) {
+    let hb = HalfBox::new(&stream.pbc);
+    let cutoff_sq = table.cutoff_sq;
+    let mut evaluated = 0u64;
+    let mut cut = 0u64;
+    let mut dx = [0.0f64; LANES];
+    let mut dy = [0.0f64; LANES];
+    let mut dz = [0.0f64; LANES];
+    let mut r_sq = [0.0f64; LANES];
+    let mut lj_a = [0.0f64; LANES];
+    let mut lj_b = [0.0f64; LANES];
+    let mut lj_shift = [0.0f64; LANES];
+    let mut qq = [0.0f64; LANES];
+    let mut idxs = [0u32; LANES];
+    let mut f_lj = [0.0f64; LANES];
+    let mut f_coul = [0.0f64; LANES];
+    let mut e_lj = [0.0f64; LANES];
+    let mut e_coul = [0.0f64; LANES];
+    for &s in &shard.owned {
+        let s = s as usize;
+        let ps = shard.local_pos[s];
+        let qs = shard.local_charge[s];
+        let row = table.row(shard.local_lj_type[s]);
+        let mut fs = Vec3::ZERO;
+        let r0 = stream.start[s];
+        let r1 = stream.start[s + 1];
+        let mut w = r0;
+        let mut base = r0;
+        while base < r1 {
+            let mut k = 0;
+            while base < r1 && k < LANES {
+                let t = stream.partners[base] as usize;
+                let d = hb.min_image(ps - shard.local_pos[t]);
+                let rr = d.norm_sq();
+                debug_assert!(
+                    !rr.is_nan(),
+                    "shard {} read slot {t} outside its import region",
+                    shard.id
+                );
+                if rr < cutoff_sq {
+                    dx[k] = d.x;
+                    dy[k] = d.y;
+                    dz[k] = d.z;
+                    r_sq[k] = rr;
+                    let e = row[shard.local_lj_type[t] as usize];
+                    lj_a[k] = e.a;
+                    lj_b[k] = e.b;
+                    lj_shift[k] = e.shift;
+                    qq[k] = qs * shard.local_charge[t];
+                    idxs[k] = base as u32;
+                    k += 1;
+                } else {
+                    cut += 1;
+                }
+                base += 1;
+            }
+            if k == 0 {
+                continue;
+            }
+            for l in k..LANES {
+                r_sq[l] = 1.0;
+                lj_a[l] = 0.0;
+                lj_b[l] = 0.0;
+                lj_shift[l] = 0.0;
+                qq[l] = 0.0;
+            }
+            pair_interaction_lanes(
+                &r_sq,
+                &lj_a,
+                &lj_b,
+                &lj_shift,
+                &qq,
+                alpha,
+                &mut f_lj,
+                &mut f_coul,
+                &mut e_lj,
+                &mut e_coul,
+            );
+            for l in 0..k {
+                let f_over_r = f_lj[l] + f_coul[l];
+                let f = Vec3::new(dx[l], dy[l], dz[l]) * f_over_r;
+                fs += f;
+                records[w] = PairRecord {
+                    idx: idxs[l],
+                    f,
+                    e_lj: e_lj[l],
+                    e_coul: e_coul[l],
+                    virial: f_over_r * r_sq[l],
+                    virial_lj: f_lj[l] * r_sq[l],
+                };
+                w += 1;
+            }
+        }
+        row_fs[s] = fs;
+        row_pairs[s] = (w - r0) as u32;
+        evaluated += (w - r0) as u64;
+    }
+    (evaluated, cut)
+}
+
+/// Accumulate recorded pairs for rows `[lo, hi)` into `local`, visiting
+/// rows and pairs in exactly the streaming kernel's order: per pair the
+/// partner slot (via `slots`, as in `stream_rows`) receives `−f`, then the
+/// row's accumulated `fs` lands at `s − lo`. Energy and cut accumulation
+/// orders match the kernel too, so every f64 lands on identical bits.
+#[allow(clippy::too_many_arguments)]
+fn replay_rows(
+    stream: &NonbondedStream,
+    records: &[PairRecord],
+    row_pairs: &[u32],
+    row_fs: &[Vec3],
+    lo: usize,
+    hi: usize,
+    slots: &[u32],
+    local: &mut [Vec3],
+) -> (NonbondedEnergy, u64) {
+    let mut out = NonbondedEnergy::default();
+    let mut cut = 0u64;
+    for s in lo..hi {
+        let r0 = stream.start[s];
+        let k = row_pairs[s] as usize;
+        for rec in &records[r0..r0 + k] {
+            local[slots[rec.idx as usize] as usize] -= rec.f;
+            out.lj += rec.e_lj;
+            out.coulomb_real += rec.e_coul;
+            out.virial += rec.virial;
+            out.virial_lj += rec.virial_lj;
+        }
+        local[s - lo] += row_fs[s];
+        cut += (stream.start[s + 1] - r0 - k) as u64;
+    }
+    (out, cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::water_box;
+    use crate::stream::{nonbonded_forces_streamed, NonbondedWorkspace};
+    use crate::system::System;
+
+    fn bits(forces: &[Vec3]) -> u64 {
+        forces
+            .iter()
+            .map(|v| v.x.to_bits() ^ v.y.to_bits() ^ v.z.to_bits())
+            .fold(0u64, |a, b| a.rotate_left(1) ^ b)
+    }
+
+    /// Shrink a water box's nonbonded settings so a small box still takes
+    /// the cell path (3 cells per axis at cutoff+skin = 6).
+    fn small_cell_system(seed: u64) -> System {
+        let mut s = water_box(6, 6, 6, seed);
+        s.nb.cutoff = 5.0;
+        s.nb.skin = 1.0;
+        s.nb.ewald_alpha = 3.0 / 5.0;
+        s
+    }
+
+    fn sharded_forces(
+        system: &System,
+        grid: ShardGrid,
+        parallel: bool,
+    ) -> (Vec<Vec3>, NonbondedEnergy, u64) {
+        let table = system.pair_table();
+        let mut ws = NonbondedWorkspace::new();
+        // Build the stream exactly as the engine would.
+        ws.stream.ensure(system);
+        let mut set = ShardSet::new(grid, TelemetryLevel::Counters);
+        set.sync(ws.stream());
+        set.exchange(ws.stream(), &mut Telemetry::off());
+        set.record(ws.stream(), &table, system.nb.ewald_alpha);
+        let mut f = vec![Vec3::ZERO; system.n_atoms()];
+        let stream = &ws.stream;
+        let (e, cut) = set.replay(stream, &mut ws.chunks, &mut f, parallel);
+        (f, e, cut)
+    }
+
+    #[test]
+    fn sharded_short_range_is_bitwise_single_image() {
+        let s = small_cell_system(41);
+        let table = s.pair_table();
+        for parallel in [false, true] {
+            let mut ws = NonbondedWorkspace::new();
+            let mut f0 = vec![Vec3::ZERO; s.n_atoms()];
+            let e0 = nonbonded_forces_streamed(&s, &table, &mut ws, &mut f0, parallel);
+            for grid in [
+                ShardGrid::new(1, 1, 1),
+                ShardGrid::new(2, 1, 1),
+                ShardGrid::new(2, 2, 1),
+                ShardGrid::new(2, 2, 2),
+                ShardGrid::new(3, 3, 3),
+            ] {
+                let (f, e, _) = sharded_forces(&s, grid, parallel);
+                assert_eq!(e0.lj.to_bits(), e.lj.to_bits(), "{grid:?}");
+                assert_eq!(
+                    e0.coulomb_real.to_bits(),
+                    e.coulomb_real.to_bits(),
+                    "{grid:?}"
+                );
+                assert_eq!(e0.virial.to_bits(), e.virial.to_bits(), "{grid:?}");
+                assert_eq!(e0.virial_lj.to_bits(), e.virial_lj.to_bits(), "{grid:?}");
+                assert_eq!(bits(&f0), bits(&f), "forces differ for {grid:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shards_partition_slots_and_import_disjointly() {
+        let s = small_cell_system(42);
+        let mut ws = NonbondedWorkspace::new();
+        ws.stream.ensure(&s);
+        let mut set = ShardSet::new(ShardGrid::new(2, 2, 2), TelemetryLevel::Off);
+        set.sync(ws.stream());
+        let n = s.n_atoms();
+        let mut seen = vec![0u32; n];
+        let mut total_imports = 0u64;
+        let mut total_exports = 0u64;
+        for shard in &set.shards {
+            for &s in &shard.owned {
+                seen[s as usize] += 1;
+            }
+            for &t in &shard.imports {
+                assert_ne!(
+                    set.shard_of_slot[t as usize], shard.id,
+                    "imported slot is owned"
+                );
+            }
+            total_imports += shard.imports.len() as u64;
+            total_exports += shard.exported;
+        }
+        assert!(seen.iter().all(|&c| c == 1), "slots not partitioned");
+        assert_eq!(total_imports, total_exports, "import/export asymmetry");
+        assert!(total_imports > 0, "2x2x2 on a 3-cell grid must import");
+    }
+
+    #[test]
+    fn fallback_box_degrades_to_single_shard() {
+        // 15.5 A box at range 10: the stream takes the all-pairs fallback,
+        // so shard 0 must own everything and import nothing.
+        let s = water_box(5, 5, 5, 43);
+        let table = s.pair_table();
+        let mut ws = NonbondedWorkspace::new();
+        let mut f0 = vec![Vec3::ZERO; s.n_atoms()];
+        let e0 = nonbonded_forces_streamed(&s, &table, &mut ws, &mut f0, false);
+        let (f, e, _) = sharded_forces(&s, ShardGrid::new(2, 2, 2), false);
+        assert_eq!(e0.lj.to_bits(), e.lj.to_bits());
+        assert_eq!(bits(&f0), bits(&f));
+    }
+
+    #[test]
+    fn grid_validation_produces_actionable_errors() {
+        let s = small_cell_system(44);
+        assert!(ShardGrid::new(1, 1, 1).validate(&s).is_ok());
+        assert!(ShardGrid::new(3, 3, 3).validate(&s).is_ok());
+        let err = ShardGrid::new(0, 1, 1).validate(&s).unwrap_err();
+        assert!(err.contains("zero axis"), "{err}");
+        let err = ShardGrid::new(4, 1, 1).validate(&s).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+        assert!(err.contains("3x3x3"), "{err}");
+        // Small box without a cell grid: any non-trivial decomposition is
+        // rejected with the geometry in the message.
+        let tiny = water_box(3, 3, 3, 45);
+        let err = ShardGrid::new(2, 1, 1).validate(&tiny).unwrap_err();
+        assert!(err.contains("cannot host a cell grid"), "{err}");
+        assert!(ShardGrid::new(1, 1, 1).validate(&tiny).is_ok());
+    }
+}

@@ -89,23 +89,23 @@ struct CellScratch {
 #[derive(Clone, Debug)]
 pub struct NonbondedStream {
     /// Sorted → original index map (`order[s]` is the original atom index).
-    order: Vec<u32>,
+    pub(crate) order: Vec<u32>,
     /// Wrapped positions in sorted order, re-gathered every evaluation.
-    pos: Vec<Vec3>,
+    pub(crate) pos: Vec<Vec3>,
     /// Charges in sorted order (static between rebuilds).
-    charge: Vec<f64>,
+    pub(crate) charge: Vec<f64>,
     /// LJ type indices in sorted order (static between rebuilds).
-    lj_type: Vec<u32>,
+    pub(crate) lj_type: Vec<u32>,
     /// Working-list CSR row starts in sorted space, length `n + 1`.
-    start: Vec<usize>,
+    pub(crate) start: Vec<usize>,
     /// Working-list partners in sorted space; every partner has a higher
     /// sorted index than its row, rows are strictly ascending, exclusions
     /// are baked out. Re-filtered from the extended list on each patch.
-    partners: Vec<u32>,
+    pub(crate) partners: Vec<u32>,
     /// Extended-list CSR row starts (radius `range_ext`), length `n + 1`.
-    ext_start: Vec<usize>,
+    pub(crate) ext_start: Vec<usize>,
     /// Extended-list partners; superset of `partners` row by row.
-    ext_partners: Vec<u32>,
+    pub(crate) ext_partners: Vec<u32>,
     /// Original-order positions at the last *filter* epoch (skin/2 drift
     /// criterion for the working list).
     ref_positions: Vec<Vec3>,
@@ -114,9 +114,9 @@ pub struct NonbondedStream {
     ext_ref_positions: Vec<Vec3>,
     /// Cell id per atom in original order as of the last fresh cell build;
     /// empty after a fallback build. Feeds the cell-churn counter.
-    cell_ids: Vec<u32>,
+    pub(crate) cell_ids: Vec<u32>,
     /// Box the stream was built for; a box change forces a rebuild.
-    pbc: PbcBox,
+    pub(crate) pbc: PbcBox,
     /// Working-list range (cutoff + skin) at build time.
     range: f64,
     /// Extended-list range: the minimum cell width (≥ `range`) on the cell
@@ -131,17 +131,27 @@ pub struct NonbondedStream {
     /// Chunk-local slot of each working-list partner (parallel to
     /// `partners`): row chunk `[lo, hi)` maps partner `t < hi` to `t − lo`
     /// and imported partner `t ≥ hi` to `(hi − lo) + import index`.
-    partners_local: Vec<u32>,
+    pub(crate) partners_local: Vec<u32>,
     /// Deduplicated imported partners (sorted indices) per chunk,
     /// concatenated; spans delimited by `import_start`.
-    imports: Vec<u32>,
+    pub(crate) imports: Vec<u32>,
     /// Per-chunk spans into `imports`, length `NB_CHUNKS + 1`.
-    import_start: Vec<usize>,
+    pub(crate) import_start: Vec<usize>,
     /// Generation-stamped dedup scratch for plan building.
     stamp: Vec<u64>,
     slot_of: Vec<u32>,
     stamp_gen: u64,
     scratch: Vec<CellScratch>,
+    /// Bumped on every working-list change (fresh rebuild *or* patch). The
+    /// shard layer watches this to know its per-row ownership/record plans
+    /// are stale.
+    pub(crate) revision: u64,
+    /// Bumped on fresh rebuilds only (new permutation / cell assignment);
+    /// patches keep the permutation, so shard ownership plans survive them.
+    pub(crate) fresh_revision: u64,
+    /// Cell-grid dimensions of the last fresh build, `None` when the
+    /// all-pairs fallback ran (no spatial structure to decompose over).
+    pub(crate) cell_dims: Option<(usize, usize, usize)>,
 }
 
 impl NonbondedStream {
@@ -172,6 +182,9 @@ impl NonbondedStream {
             slot_of: Vec::new(),
             stamp_gen: 0,
             scratch: Vec::new(),
+            revision: 0,
+            fresh_revision: 0,
+            cell_dims: None,
         }
     }
 
@@ -241,7 +254,7 @@ impl NonbondedStream {
     /// positions; on skin drift patch the working list in place when the
     /// extended margin still covers every atom, otherwise rebuild in full.
     /// Returns the refresh trigger if a patch or rebuild happened.
-    fn ensure(&mut self, system: &System) -> Option<RebuildReason> {
+    pub(crate) fn ensure(&mut self, system: &System) -> Option<RebuildReason> {
         let stale = self.staleness(system);
         match stale {
             None => self.gather_positions(&system.positions),
@@ -296,6 +309,7 @@ impl NonbondedStream {
         self.ref_positions.clear();
         self.ref_positions.extend_from_slice(&system.positions);
         self.last_build = StreamBuild::Patched;
+        self.revision += 1;
     }
 
     /// Full rebuild: new permutation, gathered SoA arrays, extended half
@@ -460,9 +474,12 @@ impl NonbondedStream {
             self.ext_partners.extend_from_slice(&sc.partners);
         }
 
+        self.cell_dims = grid.as_ref().map(|g| (g.nx, g.ny, g.nz));
         self.filter_ext();
         self.build_plans();
         self.last_build = StreamBuild::Fresh { cell_churn };
+        self.revision += 1;
+        self.fresh_revision += 1;
     }
 
     /// Derive the working list from the extended list: keep exactly the
@@ -536,8 +553,8 @@ impl NonbondedStream {
 /// steady-state evaluation allocates nothing.
 #[derive(Clone, Debug)]
 pub struct NonbondedWorkspace {
-    stream: NonbondedStream,
-    chunks: Vec<Vec<Vec3>>,
+    pub(crate) stream: NonbondedStream,
+    pub(crate) chunks: Vec<Vec<Vec3>>,
 }
 
 impl Default for NonbondedWorkspace {

@@ -66,10 +66,14 @@ pub enum Phase {
     Integration = 7,
     /// Thermostat applications (Berendsen/Langevin/Nosé-Hoover).
     Thermostat = 8,
+    /// Shard import-region exchange: refreshing each shard's halo copy of
+    /// the positions it reads but does not own (the decomposed engine's
+    /// analogue of inter-node atom import).
+    Exchange = 9,
 }
 
 /// Number of [`Phase`] variants (array dimension for per-phase storage).
-pub const PHASE_COUNT: usize = 9;
+pub const PHASE_COUNT: usize = 10;
 
 impl Phase {
     /// All phases in display order.
@@ -83,6 +87,7 @@ impl Phase {
         Phase::Constraints,
         Phase::Integration,
         Phase::Thermostat,
+        Phase::Exchange,
     ];
 
     /// Stable snake_case name (JSON field names use these).
@@ -97,6 +102,7 @@ impl Phase {
             Phase::Constraints => "constraints",
             Phase::Integration => "integration",
             Phase::Thermostat => "thermostat",
+            Phase::Exchange => "exchange",
         }
     }
 }
@@ -216,6 +222,14 @@ pub struct Counters {
     /// atom, x-stencil slot) column, identical whether the serial walk or
     /// the counting-sort binned parallel walk covered them.
     pub gse_bins_visited: u64,
+    /// Atom positions copied into shard import regions (halo reads): one
+    /// per (shard, imported slot, step). 0 on single-image runs.
+    pub atoms_imported: u64,
+    /// Atom positions served out of a shard's owned set to other shards'
+    /// import regions; the export side of the same traffic.
+    pub atoms_exported: u64,
+    /// Bytes moved by the import exchange (24 B per imported position).
+    pub exchange_bytes: u64,
 }
 
 impl Counters {
@@ -240,6 +254,9 @@ impl Counters {
             spread_points: self.spread_points - earlier.spread_points,
             interp_points: self.interp_points - earlier.interp_points,
             gse_bins_visited: self.gse_bins_visited - earlier.gse_bins_visited,
+            atoms_imported: self.atoms_imported - earlier.atoms_imported,
+            atoms_exported: self.atoms_exported - earlier.atoms_exported,
+            exchange_bytes: self.exchange_bytes - earlier.exchange_bytes,
         }
     }
 }
@@ -258,6 +275,7 @@ pub struct PhaseBreakdownUs {
     pub constraints: f64,
     pub integration: f64,
     pub thermostat: f64,
+    pub exchange: f64,
 }
 
 impl PhaseBreakdownUs {
@@ -272,6 +290,7 @@ impl PhaseBreakdownUs {
             + self.constraints
             + self.integration
             + self.thermostat
+            + self.exchange
     }
 }
 
@@ -279,7 +298,8 @@ impl PhaseBreakdownUs {
 /// model's `anton2_core::report::BreakdownUs`, so a measured engine profile
 /// and a simulated machine profile serialize to directly comparable JSON:
 ///
-/// * `import_comm` ← stream preparation (neighbor rebuild + re-gather),
+/// * `import_comm` ← stream preparation (neighbor rebuild + re-gather)
+///   plus the shard import-region exchange,
 /// * `htis`        ← range-limited pair streaming,
 /// * `bonded`      ← bonded terms,
 /// * `kspace`      ← GSE spread + FFT + interpolation,
@@ -349,6 +369,7 @@ impl StepProfile {
             constraints: us(Phase::Constraints),
             integration: us(Phase::Integration),
             thermostat: us(Phase::Thermostat),
+            exchange: us(Phase::Exchange),
         }
     }
 
@@ -361,7 +382,9 @@ impl StepProfile {
         }
         let per_step = |ns: u64| ns as f64 * 1e-3 / self.steps as f64;
         MeasuredBreakdownUs {
-            import_comm: per_step(self.phase_ns(Phase::NeighborRebuild)),
+            import_comm: per_step(
+                self.phase_ns(Phase::NeighborRebuild) + self.phase_ns(Phase::Exchange),
+            ),
             htis: per_step(self.phase_ns(Phase::ShortRange)),
             bonded: per_step(self.phase_ns(Phase::Bonded)),
             kspace: per_step(
@@ -559,6 +582,19 @@ impl Telemetry {
         }
     }
 
+    /// Record one shard import-region exchange pass: `imported` positions
+    /// copied into halo regions, `exported` positions served out of owned
+    /// sets, `bytes` moved. All three are exact functions of the static
+    /// exchange plan, so they are bitwise identical at any thread count.
+    #[inline]
+    pub fn count_exchange(&mut self, imported: u64, exported: u64, bytes: u64) {
+        if self.level != TelemetryLevel::Off {
+            self.profile.counters.atoms_imported += imported;
+            self.profile.counters.atoms_exported += exported;
+            self.profile.counters.exchange_bytes += bytes;
+        }
+    }
+
     /// Record `clamps` fixed-point accumulator saturation events.
     #[inline]
     pub fn count_fixedpoint_clamps(&mut self, clamps: u64) {
@@ -691,7 +727,10 @@ mod tests {
         }
         t.step_done();
         let b = t.profile().breakdown_us();
-        assert!((b.import_comm - 0.1).abs() < 1e-12);
+        assert!(
+            (b.import_comm - 0.2).abs() < 1e-12,
+            "neighbor rebuild + exchange"
+        );
         assert!((b.htis - 0.1).abs() < 1e-12);
         assert!((b.bonded - 0.1).abs() < 1e-12);
         assert!((b.kspace - 0.3).abs() < 1e-12, "spread+fft+interp");
@@ -701,7 +740,7 @@ mod tests {
         );
         assert_eq!(b.barriers, 0.0);
         let detail = t.profile().phases_us();
-        assert!((detail.total() - 0.9).abs() < 1e-12);
+        assert!((detail.total() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -712,6 +751,7 @@ mod tests {
         off.count_net_reroutes(2);
         off.count_gse_spread(1000, 10);
         off.count_gse_interp(1000);
+        off.count_exchange(5, 5, 120);
         assert_eq!(off.profile().counters, Counters::default());
 
         let mut on = Telemetry::new(TelemetryLevel::Counters);
@@ -721,6 +761,7 @@ mod tests {
         on.count_net_reroutes(2);
         on.count_gse_spread(1000, 10);
         on.count_gse_interp(900);
+        on.count_exchange(7, 7, 168);
         let c = on.profile().counters;
         assert_eq!(c.watchdog_checks, 2);
         assert_eq!(c.net_retries, 3);
@@ -728,6 +769,9 @@ mod tests {
         assert_eq!(c.spread_points, 1000);
         assert_eq!(c.gse_bins_visited, 10);
         assert_eq!(c.interp_points, 900);
+        assert_eq!(c.atoms_imported, 7);
+        assert_eq!(c.atoms_exported, 7);
+        assert_eq!(c.exchange_bytes, 168);
         let d = c.since(&Counters::default());
         assert_eq!(d, c);
     }

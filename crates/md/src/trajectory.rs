@@ -89,6 +89,41 @@ pub fn parse_xyz(text: &str) -> Vec<Vec<Vec3>> {
 /// rejects any other version with a typed error.
 pub const CHECKPOINT_VERSION: u32 = 3;
 
+/// Checkpoint format version written by a decomposed (sharded) engine:
+/// everything in version 3 plus per-shard state images and a consistency
+/// barrier ([`Checkpoint::validate_shards`]). Single-image engines keep
+/// writing version 3; [`crate::engine::EngineBuilder::resume_from`] accepts
+/// either version regardless of the resuming engine's own decomposition.
+pub const CHECKPOINT_VERSION_SHARDED: u32 = 4;
+
+/// How many entries of [`Phase::ALL`] the version-3 digest covers. Version 3
+/// shipped before the `Exchange` phase existed; its digest function must
+/// never change, so it hashes exactly the phase set it shipped with and
+/// version 4 appends the rest.
+const V3_DIGEST_PHASES: usize = 9;
+
+/// Per-shard state image inside a version-4 checkpoint: the atoms a shard
+/// owned at capture time (global indices) with their positions and
+/// velocities, stamped with the step at which the image was taken. The
+/// images are redundant with the global arrays by construction — that is
+/// the point: [`Checkpoint::validate_shards`] uses them as a consistency
+/// barrier proving every shard was checkpointed at one synchronized step,
+/// the decomposition partitioned the atoms exactly once, and no shard's
+/// state drifted from the global view.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardImage {
+    /// Shard id in the decomposition's row-major (x, y, z) order.
+    pub shard: u32,
+    /// Step at which this image was captured; must equal the checkpoint's.
+    pub step: u64,
+    /// Global atom indices owned by this shard.
+    pub atoms: Vec<u32>,
+    /// Positions of the owned atoms, in `atoms` order.
+    pub positions: Vec<Vec3>,
+    /// Velocities of the owned atoms, in `atoms` order.
+    pub velocities: Vec<Vec3>,
+}
+
 /// Full restartable state of a simulation.
 ///
 /// Version 3 carries everything `Engine::step` consumes, so a resume does
@@ -141,6 +176,9 @@ pub struct Checkpoint {
     /// Accumulated telemetry, so a resumed run's counters continue from the
     /// interrupted run's exact values.
     pub telemetry: StepProfile,
+    /// Per-shard state images (version 4 only; empty in version 3). See
+    /// [`ShardImage`].
+    pub shards: Vec<ShardImage>,
     /// FNV-1a digest over the dynamic state (see [`Checkpoint::compute_digest`]);
     /// detects in-place corruption that still parses as valid JSON.
     pub digest: u64,
@@ -167,6 +205,7 @@ impl Checkpoint {
             stream_epoch: Vec::new(),
             stream_patch_epoch: Vec::new(),
             telemetry: StepProfile::default(),
+            shards: Vec::new(),
             digest: 0,
         };
         cp.digest = cp.compute_digest();
@@ -230,10 +269,83 @@ impl Checkpoint {
             }
         }
         h.word(self.telemetry.steps);
-        for phase in Phase::ALL {
-            h.word(self.telemetry.phase_ns(phase));
+        // Version-gated tail: a version-3 checkpoint hashes exactly the
+        // phase set version 3 shipped with, so its digest function stays
+        // frozen as phases are added; version 4 hashes the full phase set
+        // plus the shard images.
+        let n_phases = if self.version >= CHECKPOINT_VERSION_SHARDED {
+            Phase::ALL.len()
+        } else {
+            V3_DIGEST_PHASES
+        };
+        for phase in &Phase::ALL[..n_phases] {
+            h.word(self.telemetry.phase_ns(*phase));
+        }
+        if self.version >= CHECKPOINT_VERSION_SHARDED {
+            h.word(self.shards.len() as u64);
+            for img in &self.shards {
+                h.word(img.shard as u64);
+                h.word(img.step);
+                h.word(img.atoms.len() as u64);
+                for &a in &img.atoms {
+                    h.word(a as u64);
+                }
+                for v in img.positions.iter().chain(&img.velocities) {
+                    h.word(v.x.to_bits());
+                    h.word(v.y.to_bits());
+                    h.word(v.z.to_bits());
+                }
+            }
         }
         h.finish()
+    }
+
+    /// Consistency barrier for the shard images: every image was captured
+    /// at the checkpoint's step, the images partition the atoms exactly
+    /// once, and the reassembled per-shard state is bitwise identical to
+    /// the global position/velocity arrays. A version-3 checkpoint passes
+    /// iff it carries no images. Returns the first violated invariant.
+    pub fn validate_shards(&self) -> Result<(), &'static str> {
+        if self.version != CHECKPOINT_VERSION_SHARDED {
+            if !self.shards.is_empty() {
+                return Err("shard images in a non-sharded checkpoint");
+            }
+            return Ok(());
+        }
+        if self.shards.is_empty() {
+            return Err("sharded checkpoint without shard images");
+        }
+        let n = self.positions.len();
+        let mut seen = vec![false; n];
+        let same = |x: &Vec3, y: &Vec3| {
+            x.x.to_bits() == y.x.to_bits()
+                && x.y.to_bits() == y.y.to_bits()
+                && x.z.to_bits() == y.z.to_bits()
+        };
+        for img in &self.shards {
+            if img.step != self.step {
+                return Err("shard image step disagrees with checkpoint step");
+            }
+            if img.positions.len() != img.atoms.len() || img.velocities.len() != img.atoms.len() {
+                return Err("shard image array lengths disagree");
+            }
+            for (k, &a) in img.atoms.iter().enumerate() {
+                let a = a as usize;
+                if a >= n || seen[a] {
+                    return Err("shard images do not partition the atoms");
+                }
+                seen[a] = true;
+                if !same(&img.positions[k], &self.positions[a])
+                    || !same(&img.velocities[k], &self.velocities[a])
+                {
+                    return Err("shard image state disagrees with global arrays");
+                }
+            }
+        }
+        if seen.iter().any(|s| !s) {
+            return Err("shard images do not cover every atom");
+        }
+        Ok(())
     }
 
     /// Whether the stored digest matches the content. A complete-but-tampered

@@ -44,11 +44,7 @@ fn cloud(seed: u64, n: usize, l: f64) -> (Vec<Vec3>, Vec<f64>) {
             0 => v3(0.0, 0.0, 0.0),
             1 => v3(l, 0.5 * l, 1e-9),
             2 => v3(0.5 * l, l - 1e-9, 0.0),
-            _ => v3(
-                rng.next_f64() * l,
-                rng.next_f64() * l,
-                rng.next_f64() * l,
-            ),
+            _ => v3(rng.next_f64() * l, rng.next_f64() * l, rng.next_f64() * l),
         };
         positions.push(p);
         let q = if i % 6 == 4 {

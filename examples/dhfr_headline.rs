@@ -11,14 +11,16 @@
 //! writes the phase breakdown (both the detailed taxonomy and the machine
 //! model's `BreakdownUs` schema) next to the simulated one, self-validating
 //! that the timed phases account for the step's wall-clock.
+//!
+//! With `--shards l,m,n` the measured run uses the domain-decomposed
+//! engine at that shard grid (bitwise identical to the single image), and
+//! the JSON gains per-shard phase breakdowns and import-traffic counters.
 
 use anton2::core::baseline::CommodityModel;
 use anton2::core::report::{simulate_performance, BreakdownUs};
 use anton2::core::MachineConfig;
 use anton2::md::builders::dhfr_benchmark;
-use anton2::md::engine::Engine;
-use anton2::md::integrate::RespaSchedule;
-use anton2::md::telemetry::{Counters, MeasuredBreakdownUs, PhaseBreakdownUs, TelemetryLevel};
+use anton2::md::prelude::*;
 use serde::Serialize;
 
 /// Everything the telemetry JSON export carries: the measured engine run
@@ -36,10 +38,12 @@ struct TelemetryExport {
     simulated_breakdown: BreakdownUs,
     counters: Counters,
     phase_coverage: f64,
+    shard_grid: String,
+    shards: Vec<ShardSummary>,
 }
 
 /// Run a short measured DHFR simulation and write the telemetry JSON.
-fn measured_telemetry(path: &str, simulated_breakdown: BreakdownUs) {
+fn measured_telemetry(path: &str, simulated_breakdown: BreakdownUs, grid: ShardGrid) {
     const STEPS: usize = 3;
     let mut system = dhfr_benchmark(1);
     system.thermalize(300.0, 2);
@@ -47,6 +51,7 @@ fn measured_telemetry(path: &str, simulated_breakdown: BreakdownUs) {
         .system(system)
         .dt_fs(2.5)
         .respa(RespaSchedule { kspace_interval: 2 })
+        .decomposition(grid)
         .telemetry(TelemetryLevel::Phases)
         .build()
         .expect("valid DHFR configuration");
@@ -66,6 +71,8 @@ fn measured_telemetry(path: &str, simulated_breakdown: BreakdownUs) {
         simulated_breakdown,
         counters: s.counters,
         phase_coverage: s.phase_coverage(),
+        shard_grid: format!("{}x{}x{}", grid.l, grid.m, grid.n),
+        shards: s.shards.clone(),
     };
     let json = serde_json::to_string_pretty(&export).expect("serialize telemetry");
 
@@ -82,8 +89,17 @@ fn measured_telemetry(path: &str, simulated_breakdown: BreakdownUs) {
         "pairs_evaluated",
         "fft_lines",
         "phase_coverage",
+        "shard_grid",
+        "shards",
     ] {
         assert!(json.contains(field), "telemetry JSON missing field {field}");
+    }
+    if !grid.is_single() {
+        assert_eq!(s.shards.len(), grid.count(), "missing per-shard summaries");
+        assert!(
+            s.counters.atoms_imported > 0,
+            "decomposed DHFR run exchanged no halo"
+        );
     }
     assert!(
         export.phase_coverage > 0.95,
@@ -104,6 +120,15 @@ fn measured_telemetry(path: &str, simulated_breakdown: BreakdownUs) {
         "  import {:.0}  pairs {:.0}  bonded {:.0}  kspace {:.0}  integrate {:.0} µs/step",
         b.import_comm, b.htis, b.bonded, b.kspace, b.integrate
     );
+    for sh in &export.shards {
+        println!(
+            "  shard {}: {} owned, {} imported/step, {} pairs",
+            sh.shard,
+            sh.atoms_owned,
+            sh.atoms_imported / s.steps.max(1),
+            sh.counters.pairs_evaluated
+        );
+    }
     println!("telemetry JSON OK → {path}");
 }
 
@@ -114,6 +139,19 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| "TELEMETRY_dhfr.json".to_string())
     });
+    let grid = args
+        .iter()
+        .position(|a| a == "--shards")
+        .map(|i| {
+            let spec = args.get(i + 1).expect("--shards takes l,m,n");
+            let dims: Vec<usize> = spec
+                .split(',')
+                .map(|d| d.trim().parse().expect("--shards takes l,m,n"))
+                .collect();
+            assert_eq!(dims.len(), 3, "--shards takes l,m,n");
+            ShardGrid::new(dims[0], dims[1], dims[2])
+        })
+        .unwrap_or_else(ShardGrid::single);
 
     let system = dhfr_benchmark(1);
     println!(
@@ -160,6 +198,6 @@ fn main() {
     );
 
     if let Some(path) = telemetry_path {
-        measured_telemetry(&path, a2.breakdown);
+        measured_telemetry(&path, a2.breakdown, grid);
     }
 }

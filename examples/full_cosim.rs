@@ -11,8 +11,7 @@
 use anton2::core::cosim::timed_trajectory;
 use anton2::core::MachineConfig;
 use anton2::md::builders::solvated_protein;
-use anton2::md::engine::{Engine, EngineConfig, Thermostat};
-use anton2::md::integrate::RespaSchedule;
+use anton2::md::prelude::*;
 
 fn main() {
     // A mid-size solvated protein (small enough that the serial reference

@@ -9,8 +9,8 @@
 //! ```
 
 use anton2::md::builders::lj_fluid;
-use anton2::md::engine::{Engine, EngineConfig, KspaceMethod, Thermostat};
 use anton2::md::observables::Rdf;
+use anton2::md::prelude::*;
 
 fn main() {
     let sigma = 3.405; // argon σ, Å

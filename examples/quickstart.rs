@@ -6,9 +6,8 @@
 //! ```
 
 use anton2::md::builders::water_box;
-use anton2::md::engine::Engine;
 use anton2::md::observables::DriftTracker;
-use anton2::md::telemetry::TelemetryLevel;
+use anton2::md::prelude::*;
 
 fn main() {
     // 64 rigid TIP3P-style waters on a jittered lattice, periodic box.

@@ -9,7 +9,7 @@
 
 use anton2::core::cosim;
 use anton2::md::builders::solvated_protein;
-use anton2::md::engine::{Engine, EngineConfig, Thermostat};
+use anton2::md::prelude::*;
 
 fn main() {
     // 100 bonded protein beads in a sphere, solvated by 300 rigid waters.

@@ -8,7 +8,7 @@
 //! ```
 
 use anton2::md::builders::water_box;
-use anton2::md::engine::{Engine, EngineConfig, Thermostat};
+use anton2::md::prelude::*;
 use anton2::md::trajectory::{Msd, XyzWriter};
 
 fn main() {
