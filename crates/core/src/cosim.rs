@@ -145,6 +145,9 @@ pub struct CosimOutcome {
     pub pair_counts: Vec<u64>,
     /// FNV-1a checksum over the merged fixed-point force bits.
     pub force_checksum: u64,
+    /// Saturation clamps across all per-node accumulators (nonzero means
+    /// the 40.24 fixed format overflowed and determinism is suspect).
+    pub clamps: u64,
 }
 
 /// Which rule distributes pairs across nodes in a verification run.
@@ -205,6 +208,7 @@ pub fn verify_pair_forces_with(
         max_force_error: max_err,
         pair_counts,
         force_checksum: checksum(&merged),
+        clamps: merged.clamp_count(),
     }
 }
 
@@ -461,6 +465,13 @@ pub fn timed_trajectory(
             crate::plan::StepPlan::build_with_dt(&engine.system, &machine_cfg, engine.cfg.dt_fs);
         let mut machine = crate::machine::Machine::new(machine_cfg);
         let (avg_step, _) = machine.simulate_respa_cycle(&plan, respa_interval);
+        // Surface the fabric's fault activity for this cycle next to the
+        // MD telemetry it perturbs (retransmits stretch the step; reroutes
+        // change arbitration order but not results).
+        engine.record_net_activity(
+            machine.net.faults.link_retransmits,
+            machine.net.faults.reroutes,
+        );
         let time_fs = engine.time_fs();
         let owners_before: Vec<u32> = engine
             .system

@@ -195,6 +195,8 @@ impl PerfReport {
     /// the retry/reroute/degraded-link columns; fault-free rows stay in the
     /// classic format.
     pub fn row(&self) -> String {
+        // anton2-lint: allow(zero-alloc) -- report formatting; hot only via
+        // the method-name collision with the stream row planner's `row`.
         let mut row = format!(
             "{:<24} {:>5} nodes  {:>9.3} µs/step  {:>9.2} µs/day  util {:>5.1}%",
             self.machine,
@@ -205,6 +207,7 @@ impl PerfReport {
         );
         let f = self.faults;
         if f != FaultColumns::default() {
+            // anton2-lint: allow(zero-alloc) -- same collision as above.
             row.push_str(&format!(
                 "  retries {:>6}  stalls {:>6}  reroutes {:>4}  dead links {:>3}",
                 f.retries, f.stalls, f.reroutes, f.degraded_links

@@ -10,82 +10,58 @@
 //!
 //! | rule | what it forbids |
 //! |------|-----------------|
-//! | `nondet` | `HashMap`/`HashSet`, `Instant`/`SystemTime`, `rand` in hot-path modules |
-//! | `zero-alloc` | allocation-capable calls in per-step force-path functions |
+//! | `nondet` | `HashMap`/`HashSet`, `Instant`/`SystemTime`, `rand` in hot modules + hot set |
+//! | `zero-alloc` | allocation-capable calls anywhere in the derived hot set |
 //! | `float-reduction` | bare float `.sum()`/`fold` outside approved helpers |
 //! | `unsafe-audit` | `unsafe` without a `// SAFETY:` comment |
 //! | `telemetry-discipline` | counter mutation outside the `Telemetry` API |
+//! | `panic-freedom` | `unwrap`/`expect`/`panic!`/unchecked indexing in the hot set |
+//! | `shard-isolation` | shard-context code reaching driver-only fns or driver telemetry |
+//! | `dead-counter` | telemetry counters no production code increments |
 //!
-//! Run as `cargo run -p anton2-lint -- --check` (CI does). See
-//! DESIGN.md §12 for the full rule rationale, [`manifest`] for the
-//! hot-path inventory, and [`baseline`] for the grandfathering mechanism.
+//! The *hot set* is no longer a hand-written list: [`manifest`] declares
+//! only the entry points (the per-step `Phase` implementations, the shard
+//! record/replay paths, the network protocol) and the analyzer derives
+//! everything reachable from them through the workspace call graph
+//! ([`symbols`] → [`callgraph`] → [`reach`] → [`workspace`]).
+//!
+//! Run as `cargo run -p anton2-lint -- --check` (CI does);
+//! `--explain <rule>` prints a family's rationale and escape hatch, and
+//! `--graph-json` dumps the derived hot set for CI diffing. See
+//! DESIGN.md §12/§17 for the rule rationale and analyzer design, and
+//! [`baseline`] for the grandfathering mechanism.
 //!
 //! The analyzer is a hand-rolled token-level [`lexer`] — no `syn`, no
 //! dependencies — which keeps it building offline and keeps the rules
 //! honest: anything a rule matches is visible in the token stream.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
 pub mod manifest;
+pub mod reach;
 pub mod rules;
+pub mod symbols;
+pub mod workspace;
 
+pub use reach::Spec;
 pub use rules::{analyze_source, Finding, Rule};
+pub use workspace::{analyze_workspace, render_graph_json, Analysis, WorkspaceError};
 
 use std::fs;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-/// Lint one on-disk file. `path` is used verbatim as the report path, so
-/// pass it workspace-relative when possible.
+/// Lint one on-disk file with the per-file families only (the transitive
+/// families need the whole workspace — use [`analyze_workspace`]). `path`
+/// is used verbatim as the report path, so pass it workspace-relative when
+/// possible.
 pub fn lint_file(path: &Path) -> io::Result<Vec<Finding>> {
     let source = fs::read_to_string(path)?;
     Ok(analyze_source(
         &path.to_string_lossy().replace('\\', "/"),
         &source,
     ))
-}
-
-/// Lint every Rust source under `root`'s scanned directories (`crates/`,
-/// `src/`, `examples/`, `tests/`, `benches/`), skipping
-/// [`manifest::SKIP_DIRS`]. Paths in findings are root-relative.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut files = Vec::new();
-    for top in ["crates", "src", "examples", "tests", "benches"] {
-        let dir = root.join(top);
-        if dir.is_dir() {
-            collect_rs_files(&dir, &mut files)?;
-        }
-    }
-    files.sort();
-    let mut findings = Vec::new();
-    for f in &files {
-        let source = fs::read_to_string(f)?;
-        let rel = f
-            .strip_prefix(root)
-            .unwrap_or(f)
-            .to_string_lossy()
-            .replace('\\', "/");
-        findings.extend(analyze_source(&rel, &source));
-    }
-    Ok(findings)
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if manifest::SKIP_DIRS.contains(&name.as_ref()) {
-                continue;
-            }
-            collect_rs_files(&path, out)?;
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
 }
 
 /// Render findings as the human report (one line per finding, sorted).

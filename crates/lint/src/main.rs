@@ -3,34 +3,45 @@
 //! ```text
 //! cargo run -p anton2-lint -- --check              # lint the workspace
 //! cargo run -p anton2-lint -- --check --json       # machine output
-//! cargo run -p anton2-lint -- --check path/a.rs    # lint specific files
+//! cargo run -p anton2-lint -- --check path/a.rs    # per-file rules only
+//! cargo run -p anton2-lint -- --graph-json         # dump the derived hot set
+//! cargo run -p anton2-lint -- --explain zero-alloc # rule rationale
 //! cargo run -p anton2-lint -- --update-baseline    # grandfather findings
 //! ```
 //!
 //! Exit status: 0 when no (non-baselined) findings, 1 when findings
-//! remain, 2 on usage or I/O errors.
+//! remain, 2 on usage/I/O errors **and on manifest drift** — an entry
+//! point (or any other manifest symbol) that no longer resolves against
+//! the workspace is a hard error, reported before any findings.
 
-use anton2_lint::{baseline, lint_file, lint_workspace, render_human, render_json, sort_findings};
+use anton2_lint::{
+    analyze_workspace, baseline, lint_file, render_graph_json, render_human, render_json,
+    sort_findings, Finding, Rule, WorkspaceError,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     json: bool,
+    graph_json: bool,
     update_baseline: bool,
+    explain: Option<String>,
     root: PathBuf,
     baseline_path: Option<PathBuf>,
     files: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: anton2-lint [--check] [--json] [--update-baseline] \
-     [--root DIR] [--baseline FILE] [files…]"
+    "usage: anton2-lint [--check] [--json] [--graph-json] [--explain RULE] \
+     [--update-baseline] [--root DIR] [--baseline FILE] [files…]"
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         json: false,
+        graph_json: false,
         update_baseline: false,
+        explain: None,
         root: PathBuf::from("."),
         baseline_path: None,
         files: Vec::new(),
@@ -38,9 +49,13 @@ fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--check" => {} // the default (and only) mode; accepted for clarity
+            "--check" => {} // the default mode; accepted for clarity
             "--json" => args.json = true,
+            "--graph-json" => args.graph_json = true,
             "--update-baseline" => args.update_baseline = true,
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain needs a rule name")?);
+            }
             "--root" => {
                 args.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
             }
@@ -65,36 +80,65 @@ fn main() -> ExitCode {
         }
     };
 
-    let result = if args.files.is_empty() {
-        lint_workspace(&args.root)
+    if let Some(rule_name) = &args.explain {
+        return match Rule::from_name(rule_name) {
+            Some(rule) => {
+                println!("{}", rule.explain());
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "anton2-lint: unknown rule `{rule_name}`; known rules: {}",
+                    Rule::ALL
+                        .iter()
+                        .map(|r| r.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let mut findings: Vec<Finding>;
+    if args.files.is_empty() {
+        // Workspace mode: the full two-phase analysis. Manifest drift
+        // (an entry that resolves to nothing) exits 2 before findings.
+        let analysis = match analyze_workspace(&args.root) {
+            Ok(a) => a,
+            Err(WorkspaceError::Io(e)) => {
+                eprintln!("anton2-lint: {e}");
+                return ExitCode::from(2);
+            }
+            Err(WorkspaceError::Manifest(errors)) => {
+                for e in &errors {
+                    eprintln!("anton2-lint: {e}");
+                }
+                return ExitCode::from(2);
+            }
+        };
+        if args.graph_json {
+            print!("{}", render_graph_json(&analysis));
+            return ExitCode::SUCCESS;
+        }
+        findings = analysis.findings;
     } else {
-        let mut all = Vec::new();
-        let mut err = None;
+        if args.graph_json {
+            eprintln!("anton2-lint: --graph-json is workspace-wide; don't pass files");
+            return ExitCode::from(2);
+        }
+        // Per-file mode: the per-file rule slice only.
+        findings = Vec::new();
         for f in &args.files {
             match lint_file(f) {
-                Ok(fs) => all.extend(fs),
+                Ok(fs) => findings.extend(fs),
                 Err(e) => {
-                    err = Some(std::io::Error::new(
-                        e.kind(),
-                        format!("{}: {e}", f.display()),
-                    ));
-                    break;
+                    eprintln!("anton2-lint: {}: {e}", f.display());
+                    return ExitCode::from(2);
                 }
             }
         }
-        match err {
-            Some(e) => Err(e),
-            None => Ok(all),
-        }
-    };
-
-    let mut findings = match result {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("anton2-lint: {e}");
-            return ExitCode::from(2);
-        }
-    };
+    }
     sort_findings(&mut findings);
 
     let baseline_path = args

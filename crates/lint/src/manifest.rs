@@ -1,24 +1,37 @@
-//! The lint pass's declared knowledge of the workspace: which modules are
-//! hot-path, which functions are reachable from the per-step force path,
-//! which reduction helpers are approved, and which identifiers name
-//! telemetry counters.
+//! The lint pass's declared knowledge of the workspace.
+//!
+//! Since the call-graph rework, the manifest no longer enumerates every
+//! hot function — it declares the **entry points** (the per-step phase
+//! implementations, the shard record/replay/exchange paths, the
+//! per-crossing network protocol, and the deterministic-accumulation API)
+//! and the analyzer derives the hot set transitively ([`crate::reach`]).
+//! Adding a helper to a hot function subjects it to the hot-set rules
+//! automatically; renaming or deleting a function named here is a hard
+//! error ("manifest names unknown symbol"), not silent drift.
 //!
 //! Keeping these lists here (rather than as attributes scattered through
 //! the codebase) mirrors how Anton 2's toolchain works: the machine's
 //! schedulable units are enumerated centrally, and the static checks are
-//! phrased against that enumeration. Adding a function to the per-step
-//! force path means adding it to [`HOT_PATH`] — which immediately subjects
-//! its body to the zero-alloc rule.
+//! phrased against that enumeration.
+
+/// What kind of context an entry point runs in. The distinction drives the
+/// shard-isolation rule: code reachable from `ShardContext` roots must not
+/// touch driver-global state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EntryKind {
+    /// Driver-side per-step phase work (the `Phase` taxonomy).
+    Step,
+    /// Per-shard evaluation work: runs logically inside one shard and may
+    /// only write that shard's own state (records, per-shard telemetry).
+    ShardContext,
+    /// Per-crossing network protocol work in the machine model.
+    Net,
+}
 
 /// Source files (by basename) that implement the per-step inner loops.
 /// The nondeterminism and float-reduction rules apply to every non-test
-/// token in these files.
-///
-/// These are exactly the modules the engine touches every MD step: the
-/// streaming pair kernel, GSE spreading/interpolation, fixed-point
-/// accumulation, the reference pair kernel, bonded terms, neighbor-list
-/// and cell-grid machinery, the integrator primitives, and the
-/// domain-decomposition record/replay and exchange paths.
+/// token in these files (the hot *set* extends those rules to helpers in
+/// other files too).
 pub const HOT_MODULES: &[&str] = &[
     "stream.rs",
     "gse.rs",
@@ -32,116 +45,128 @@ pub const HOT_MODULES: &[&str] = &[
     "exchange.rs",
 ];
 
-/// Functions reachable from the per-step force path, as `(file basename,
-/// fn name)`. The zero-alloc rule forbids allocation-capable calls inside
-/// these bodies.
+/// Hot-set roots as `(file basename, fn name, kind)`. Everything reachable
+/// from these through the workspace call graph is hot: zero-alloc,
+/// panic-freedom, nondet, and float-reduction apply to the whole derived
+/// set. `ShardContext` roots additionally seed the shard-isolation set.
 ///
-/// Rebuild-path functions (`NonbondedStream::rebuild`,
-/// `NeighborList::rebuild`, workspace constructors) are deliberately *not*
-/// listed: they run on skin-exceeded/box-change triggers, not every step,
-/// and they reuse buffers whose growth is amortized. The runtime
-/// allocation-counting tests (`tests/alloc_short_force.rs`,
-/// `tests/alloc_steady_state.rs`) cover the steady state end to end; this
-/// static list catches regressions in any function a test happens not to
-/// execute.
-pub const HOT_PATH: &[(&str, &str)] = &[
-    // pbc.rs — branch-based minimum image shared by the streaming kernel
-    // and the neighbor-list filter; called once per candidate pair.
-    ("pbc.rs", "min_image"),
-    ("pbc.rs", "fold"),
-    // stream.rs — streaming nonbonded kernel, per-step path. `filter_ext`
-    // and `can_patch` also run on the (frequent) patch path and must stay
-    // push-free; `build_plans` is rebuild-path (import table may grow).
-    ("stream.rs", "staleness"),
-    ("stream.rs", "needs_rebuild"),
-    ("stream.rs", "can_patch"),
-    ("stream.rs", "gather_positions"),
-    ("stream.rs", "filter_ext"),
-    ("stream.rs", "stream_rows"),
-    ("stream.rs", "nonbonded_forces_streamed"),
-    ("stream.rs", "nonbonded_forces_streamed_profiled"),
-    // pairkernel.rs — pair arithmetic and correction passes.
-    ("pairkernel.rs", "pair_interaction_split"),
-    ("pairkernel.rs", "pair_interaction"),
-    ("pairkernel.rs", "pair_interaction_lanes"),
-    // erfc.rs — table-driven erfc/exp spline behind the lane kernel.
-    ("erfc.rs", "erfc_exp_fast"),
-    ("erfc.rs", "erfc_exp_fast8"),
-    // neighbor.rs — counting-sort CSR assembly and the extended-list
-    // filter; rebuild-path but required push-free (cursor writes into
-    // pre-sized buffers) so in-place refreshes stay O(rows) with no
-    // allocator traffic.
-    ("neighbor.rs", "assemble_ext"),
-    ("neighbor.rs", "filter_rows"),
-    ("pairkernel.rs", "excluded_corrections"),
-    ("pairkernel.rs", "scaled14_corrections"),
-    ("pairkernel.rs", "lj_shift_at"),
-    // gse.rs — separable-stencil k-space pipeline against a reusable
-    // workspace. The `spread_into`/`interpolate_forces` convenience
-    // wrappers build throwaway tables and are deliberately *not* listed
-    // (co-simulator entry points, not per-step paths); the engine goes
-    // through `energy_forces_profiled`, which reuses workspace tables.
-    ("gse.rs", "fill_tables"),
-    ("gse.rs", "bin_planes"),
-    ("gse.rs", "spread_planes_serial"),
-    ("gse.rs", "spread_planes_parallel"),
-    ("gse.rs", "spread_plane_item"),
-    ("gse.rs", "spread_row_lanes"),
-    ("gse.rs", "solve_potential_into"),
-    ("gse.rs", "energy_forces_with"),
-    ("gse.rs", "energy_forces_profiled"),
-    ("gse.rs", "grid_energy"),
-    ("gse.rs", "interp_force_slot"),
-    ("gse.rs", "interp_row_lanes"),
-    ("gse.rs", "interpolate_tables_chunked"),
-    // bonded.rs — bonded terms, serial and fixed-chunk parallel.
-    ("bonded.rs", "bond_forces"),
-    ("bonded.rs", "angle_forces"),
-    ("bonded.rs", "torsion_phi_and_forces"),
-    ("bonded.rs", "dihedral_angle"),
-    ("bonded.rs", "dihedral_forces"),
-    ("bonded.rs", "urey_bradley_forces"),
-    ("bonded.rs", "improper_forces"),
-    ("bonded.rs", "all_bonded_forces"),
-    ("bonded.rs", "all_bonded_forces_parallel"),
-    // fixedpoint.rs — deterministic force accumulation.
-    ("fixedpoint.rs", "to_fixed"),
-    ("fixedpoint.rs", "from_fixed"),
-    ("fixedpoint.rs", "to_fixed_saturating"),
-    ("fixedpoint.rs", "add"),
-    ("fixedpoint.rs", "add_fixed"),
-    ("fixedpoint.rs", "merge"),
-    // cells.rs — per-step cell queries (build is rebuild-path).
-    ("cells.rs", "cell_of"),
-    ("cells.rs", "neighborhood"),
-    ("cells.rs", "forward_neighbors"),
-    ("cells.rs", "forward_shifts"),
-    ("cells.rs", "min_width"),
-    // integrate.rs — per-step integrator primitives.
-    ("integrate.rs", "kick"),
-    ("integrate.rs", "drift"),
-    ("integrate.rs", "langevin_o_step"),
-    ("integrate.rs", "gauss"),
-    // fault.rs — per-crossing fault decisions on the network's retry path;
-    // every simulated link crossing of a faulted run evaluates these.
-    ("fault.rs", "draw"),
-    ("fault.rs", "corrupts"),
-    ("fault.rs", "stalls"),
-    ("fault.rs", "delay"),
-    // network.rs — link claim + the retry loop around it.
-    ("network.rs", "claim"),
-    ("network.rs", "cross_link"),
-    // shard.rs / exchange.rs — per-step domain-decomposition path: the
-    // stream-revision sync check, the position exchange along the import
-    // plans, and the record/replay pair evaluation. `plan` and
-    // `size_record_buffers` are rebuild-path (regions may grow) and are
-    // deliberately not listed.
-    ("shard.rs", "sync"),
-    ("shard.rs", "record"),
-    ("shard.rs", "record_shard_rows"),
+/// The roots are the ten `Phase` implementations (NeighborRebuild through
+/// Exchange), the shard-context record path, the per-crossing network
+/// fault/retry protocol, and the co-sim's deterministic accumulation
+/// kernels (the fixed-point API is hot by contract even where the current
+/// in-tree callers are few — external node kernels call it).
+pub const ENTRY_POINTS: &[(&str, &str, EntryKind)] = &[
+    // Phase::NeighborRebuild — stream refresh decision + rebuild/patch.
+    ("stream.rs", "ensure", EntryKind::Step),
+    ("stream.rs", "rebuild_at_epoch", EntryKind::Step),
+    ("stream.rs", "patch_at_epoch", EntryKind::Step),
+    // Phase::ShortRange — streaming nonbonded kernel.
+    ("stream.rs", "nonbonded_forces_streamed", EntryKind::Step),
+    (
+        "stream.rs",
+        "nonbonded_forces_streamed_profiled",
+        EntryKind::Step,
+    ),
+    // Phase::ShortRange correction passes — invoked directly by the
+    // engine's short-force phase after the streamed kernel (they are
+    // per-step work; the engine dispatcher itself is not a manifest root).
+    ("pairkernel.rs", "excluded_corrections", EntryKind::Step),
+    ("pairkernel.rs", "scaled14_corrections", EntryKind::Step),
+    // Phase::GseSpread / Fft / Interpolate — k-space pipeline.
+    ("gse.rs", "energy_forces_with", EntryKind::Step),
+    ("gse.rs", "energy_forces_profiled", EntryKind::Step),
+    // Phase::Bonded.
+    ("bonded.rs", "all_bonded_forces", EntryKind::Step),
+    ("bonded.rs", "all_bonded_forces_parallel", EntryKind::Step),
+    // Phase::Constraints — SETTLE and SHAKE/RATTLE.
+    ("settle.rs", "settle_positions", EntryKind::Step),
+    ("settle.rs", "settle_velocities", EntryKind::Step),
+    ("constraints.rs", "shake_positions", EntryKind::Step),
+    ("constraints.rs", "rattle_velocities", EntryKind::Step),
+    // Phase::Integration.
+    ("integrate.rs", "kick", EntryKind::Step),
+    ("integrate.rs", "drift", EntryKind::Step),
+    ("integrate.rs", "langevin_o_step", EntryKind::Step),
+    // Phase::Thermostat — Berendsen apply, Nosé–Hoover half_step.
+    ("thermostat.rs", "apply", EntryKind::Step),
+    ("thermostat.rs", "half_step", EntryKind::Step),
+    // Phase::Exchange + the shard driver phases.
+    ("exchange.rs", "exchange", EntryKind::Step),
+    ("shard.rs", "sync", EntryKind::Step),
+    ("shard.rs", "replay", EntryKind::Step),
+    // Shard-context evaluation: runs per shard, may only write shard-local
+    // state. Seeds the shard-isolation set.
+    ("shard.rs", "record", EntryKind::ShardContext),
+    // Co-sim node kernels + the fixed-point accumulation API they use.
+    ("cosim.rs", "node_pair_forces", EntryKind::Step),
+    ("cosim.rs", "verify_pair_forces_with", EntryKind::Step),
+    ("fixedpoint.rs", "to_fixed", EntryKind::Step),
+    ("fixedpoint.rs", "add_fixed", EntryKind::Step),
+    // Per-crossing network protocol: claim + stall/corrupt/retry.
+    ("network.rs", "cross_link", EntryKind::Net),
+];
+
+/// Hot-reachable functions exempt from the zero-alloc rule (but from no
+/// other rule, and traversal continues *through* them, so their callees
+/// are still fully checked). Every entry is a rebuild-path function that
+/// runs on skin-exceeded/box-change triggers — not every step — and whose
+/// buffer growth is amortized; the runtime allocation-counting tests
+/// (`tests/alloc_short_force.rs`, `tests/alloc_steady_state.rs`) prove
+/// the steady state allocation-free end to end.
+pub const ALLOC_EXEMPT: &[(&str, &str)] = &[
+    // Stream refresh: full rebuild and in-place patch grow plan buffers.
+    ("stream.rs", "rebuild"),
+    ("stream.rs", "patch"),
+    ("stream.rs", "build_plans"),
+    ("stream.rs", "rebuild_at_epoch"),
+    ("stream.rs", "patch_at_epoch"),
+    // Cell binning allocates the CSR arrays on (re)build.
+    ("cells.rs", "build"),
+    // Neighbor-list construction and the per-epoch rebuild grow the CSR
+    // and reference-position buffers; both are amortized over the skin
+    // interval, not per-step work.
+    ("neighbor.rs", "build_with"),
+    ("neighbor.rs", "rebuild"),
+    // Shard exchange planning builds the per-shard row plan once per
+    // refresh epoch (reached from `sync`, not from the per-step replay).
+    ("shard.rs", "plan"),
+    // Constructors: sized once at system setup, then reused.
+    ("fixedpoint.rs", "new"),
+    ("forcefield.rs", "new"),
+    // One-time erfc lookup-table build behind a `OnceLock`.
+    ("erfc.rs", "build"),
+    // Co-sim verification harness: runs per functional check, not per MD
+    // step — its pair assignment and scratch vectors are out of scope for
+    // the steady-state zero-alloc claim.
+    ("cosim.rs", "assign_pairs"),
+    ("cosim.rs", "assign_pairs_nt"),
+    ("cosim.rs", "node_pair_forces"),
+    ("cosim.rs", "verify_pair_forces_with"),
+    // Machine-model task schedule construction (timing model, not the MD
+    // data path).
+    ("schedule.rs", "add"),
+    // Pencil-FFT solve allocates per-solve line/transpose scratch; buffer
+    // reuse across solves is an open ROADMAP item, and the allocation is
+    // per k-space solve (every `kspace_interval` steps), not per step.
+    ("dim3.rs", "forward"),
+    ("dim3.rs", "inverse"),
+    ("pencil.rs", "zeros"),
+    ("pencil.rs", "fft_lines"),
+    ("pencil.rs", "transpose"),
+    ("pencil.rs", "forward"),
+];
+
+/// Functions that only the driver may execute: the canonical-order replay
+/// accumulation and the halo exchange, which write driver-global state
+/// (the single force image, driver telemetry). Shard-context code
+/// ([`EntryKind::ShardContext`] reachability) must never reach these — the
+/// record/replay split (DESIGN.md §16) exists precisely so all cross-shard
+/// writes happen in driver order.
+pub const DRIVER_ONLY: &[(&str, &str)] = &[
     ("shard.rs", "replay"),
     ("shard.rs", "replay_rows"),
     ("exchange.rs", "exchange"),
+    ("gse.rs", "solve_potential_into"),
 ];
 
 /// Approved reduction helpers: functions allowed to use bare float
@@ -168,7 +193,7 @@ pub const NONDET_IDENTS: &[&str] = &[
     "from_entropy",
 ];
 
-/// Allocation-capable method names (flagged as `.name(` inside hot-path
+/// Allocation-capable method names (flagged as `.name(` inside hot-set
 /// functions). `resize`/`clear` are deliberately absent: on a warm reused
 /// buffer they are no-ops, which the runtime allocation tests prove.
 pub const ALLOC_METHODS: &[&str] = &[
@@ -195,14 +220,28 @@ pub const ALLOC_CTORS: &[(&str, &str)] = &[
     ("String", "with_capacity"),
 ];
 
-/// Allocation-capable macros (flagged as `name!` inside hot-path
+/// Allocation-capable macros (flagged as `name!` inside hot-set
 /// functions).
 pub const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Panic-capable constructs forbidden in the hot set: methods (matched as
+/// `.name(`)…
+pub const PANIC_METHODS: &[&str] = &["unwrap", "expect", "get_unchecked", "get_unchecked_mut"];
+
+/// …and macros (matched as `name!`). `assert!`/`debug_assert!` are
+/// deliberately absent: invariant assertions are how hot code *documents*
+/// its bounds, and removing them would trade a loud failure for silent
+/// corruption. The rule targets recoverable situations handled by
+/// panicking — `unwrap` on an `Option` a caller already checked, `panic!`
+/// where a typed error belongs.
+pub const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// Telemetry counter fields. Outside `telemetry.rs`, assigning to any of
 /// these (`.field = …` / `.field += …`) bypasses the `Telemetry` API and
 /// breaks the provable-zero-cost-when-off property; mutation must go
-/// through `Telemetry::count_*`.
+/// through `Telemetry::count_*`. The dead-counter rule additionally
+/// requires every field's incrementing API to have at least one live
+/// production call site.
 pub const COUNTER_FIELDS: &[&str] = &[
     "pairs_evaluated",
     "pairs_cut",

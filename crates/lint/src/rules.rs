@@ -1,24 +1,34 @@
-//! The five rule families, implemented over the token stream.
+//! The eight rule families, implemented over the token stream.
 //!
-//! Every rule family reports [`Finding`]s with file/line diagnostics and
-//! honors the `// anton2-lint: allow(<rule>)` escape hatch (same line or
-//! the line above). Code inside `#[cfg(test)]` regions is exempt from all
-//! rules except `unsafe-audit` — tests may hash, clock, and allocate, but
-//! an unsafe block needs a `// SAFETY:` justification everywhere.
+//! Five families are *per-file* (this module's [`analyze_source`]):
+//! nondet, float-reduction, unsafe-audit, telemetry-discipline, and the
+//! per-file slice of zero-alloc/panic-freedom (entry-point bodies). The
+//! transitive slices — zero-alloc/panic-freedom/nondet/float-reduction
+//! over the whole derived hot set, shard-isolation, and dead-counter —
+//! need the workspace call graph and live in [`crate::workspace`], built
+//! from the shared scan helpers below so both passes flag identically.
+//!
+//! Every family reports [`Finding`]s with file/line diagnostics and honors
+//! the `// anton2-lint: allow(<rule>, …) -- reason` escape hatch (same
+//! line or the line above). Code inside `#[cfg(test)]` regions is exempt
+//! from all rules except `unsafe-audit` — tests may hash, clock, and
+//! allocate, but an unsafe block needs a `// SAFETY:` justification
+//! everywhere.
 
-use crate::lexer::{lex, Kind, Lexed};
+use crate::lexer::{lex, Kind, Lexed, Tok};
 use crate::manifest::{
-    ALLOC_CTORS, ALLOC_MACROS, ALLOC_METHODS, COUNTER_FIELDS, HOT_MODULES, HOT_PATH, NONDET_IDENTS,
-    REDUCTION_HELPERS, TELEMETRY_FILE,
+    ALLOC_CTORS, ALLOC_EXEMPT, ALLOC_MACROS, ALLOC_METHODS, COUNTER_FIELDS, ENTRY_POINTS,
+    HOT_MODULES, NONDET_IDENTS, PANIC_MACROS, PANIC_METHODS, REDUCTION_HELPERS, TELEMETRY_FILE,
 };
+use crate::symbols::test_regions;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// One of the five enforced rule families.
+/// One of the eight enforced rule families.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
-    /// Nondeterministic construct in a hot-path module.
+    /// Nondeterministic construct in a hot-path module or hot-set fn.
     Nondet,
-    /// Allocation-capable call inside a per-step force-path function.
+    /// Allocation-capable call inside a hot-set function.
     ZeroAlloc,
     /// Bare float accumulation outside approved reduction helpers.
     FloatReduction,
@@ -26,16 +36,25 @@ pub enum Rule {
     UnsafeAudit,
     /// Telemetry counter mutated outside the `Telemetry` API.
     Telemetry,
+    /// Panic-capable construct inside a hot-set function.
+    PanicFreedom,
+    /// Shard-context code touching driver-global state.
+    ShardIsolation,
+    /// Telemetry counter with no production increment site.
+    DeadCounter,
 }
 
 impl Rule {
     /// All rule families, in report order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 8] = [
         Rule::Nondet,
         Rule::ZeroAlloc,
         Rule::FloatReduction,
         Rule::UnsafeAudit,
         Rule::Telemetry,
+        Rule::PanicFreedom,
+        Rule::ShardIsolation,
+        Rule::DeadCounter,
     ];
 
     /// Stable kebab-case name used in reports, `allow(...)` comments, and
@@ -47,12 +66,184 @@ impl Rule {
             Rule::FloatReduction => "float-reduction",
             Rule::UnsafeAudit => "unsafe-audit",
             Rule::Telemetry => "telemetry-discipline",
+            Rule::PanicFreedom => "panic-freedom",
+            Rule::ShardIsolation => "shard-isolation",
+            Rule::DeadCounter => "dead-counter",
         }
     }
 
     /// Parse a rule name as written in an `allow(...)` comment.
     pub fn from_name(name: &str) -> Option<Rule> {
         Rule::ALL.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// Rationale, example violation, and escape hatch — what
+    /// `anton2-lint --explain <rule>` prints.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::Nondet => {
+                "\
+nondet — no nondeterminism in hot code.
+
+Why: the engine's contract is bitwise serial ≡ parallel ≡ replay.
+HashMap/HashSet iterate in randomized order, Instant/SystemTime read wall
+clocks outside the telemetry Clock trait, and rand/thread_rng/from_entropy
+inject entropy that is not part of the seeded state. Any of these in the
+per-step path silently breaks the contract.
+
+Scope: every non-test token in hot-path modules (manifest HOT_MODULES),
+plus the bodies of all derived hot-set functions in other files.
+
+Example violation:
+    let mut seen = HashMap::new();        // randomized iteration order
+
+Fix: BTreeMap/BTreeSet or a sorted Vec; clocks via telemetry::Clock;
+randomness via the engine's seeded streams.
+
+Escape hatch: // anton2-lint: allow(nondet) -- <why this is safe>"
+            }
+            Rule::ZeroAlloc => {
+                "\
+zero-alloc — no allocation-capable calls in the derived hot set.
+
+Why: Anton 2's per-step schedule has no allocator; steady-state allocation
+in the force path costs latency, fragments, and hides O(n) work. The
+runtime tests prove the steady state end to end; this rule catches the
+function a test happens not to execute.
+
+Scope: every function transitively reachable from the manifest
+ENTRY_POINTS (the derived hot set), except rebuild-path functions listed
+in ALLOC_EXEMPT (amortized growth; still checked by every other rule).
+
+Example violation:
+    fn gather(&mut self) { self.rows.push(row); }   // called from ensure()
+
+Fix: pre-size buffers at (re)build time and write through cursors/indices.
+
+Escape hatch: // anton2-lint: allow(zero-alloc) -- <why amortized/cold>"
+            }
+            Rule::FloatReduction => {
+                "\
+float-reduction — no bare float accumulation in hot code.
+
+Why: float addition is not associative; a free-order .sum::<f64>() or
+fold(0.0, +) gives different bits serial vs parallel, breaking the bitwise
+contract. Reductions must fix their order explicitly (fixed-chunk NB_CHUNKS
+merges, fixed-point accumulators) or be declared order-safe.
+
+Scope: hot-path modules and derived hot-set functions; REDUCTION_HELPERS
+lists the audited exceptions (serial, memory-order dot products).
+
+Example violation:
+    let e: f64 = contributions.iter().sum();
+
+Fix: fixed-chunk reduction, FixedAccumulator, or f64::max/min folds
+(order-free). To bless an audited helper, add it to REDUCTION_HELPERS.
+
+Escape hatch: // anton2-lint: allow(float-reduction) -- <why order-fixed>"
+            }
+            Rule::UnsafeAudit => {
+                "\
+unsafe-audit — every `unsafe` carries a written justification.
+
+Why: the workspace forbids unsafe in principle; where it is unavoidable the
+invariants the compiler can no longer check must be written down where the
+code is.
+
+Scope: everywhere, including tests.
+
+Example violation:
+    let x = unsafe { *ptr };              // no SAFETY comment
+
+Fix: precede with // SAFETY: <the invariant and why it holds here>.
+
+Escape hatch: none — write the SAFETY comment instead."
+            }
+            Rule::Telemetry => {
+                "\
+telemetry-discipline — counters mutate only through the Telemetry API.
+
+Why: TelemetryLevel::Off is proven zero-cost because every increment goes
+through inlined count_* methods that compile to nothing when disabled.
+A direct `stats.pairs_evaluated += n` outside telemetry.rs bypasses the
+level check and reintroduces unconditional work.
+
+Scope: every file except telemetry.rs; fields listed in COUNTER_FIELDS.
+
+Example violation:
+    self.counters.pairs_evaluated += pairs as u64;
+
+Fix: tel.count_pairs(pairs, cut) — or add a count_* method.
+
+Escape hatch: // anton2-lint: allow(telemetry-discipline) -- <why>"
+            }
+            Rule::PanicFreedom => {
+                "\
+panic-freedom — no panic-capable constructs in the derived hot set.
+
+Why: a panic mid-step tears down the engine with shards half-exchanged and
+telemetry half-written; on the real machine the equivalent is a node
+asserting mid-timestep. Hot code handles recoverable situations with typed
+errors and leaves invariant checks to assert! (which stays allowed — a
+violated invariant *should* stop the run loudly).
+
+Scope: every derived hot-set function. Flags .unwrap( / .expect( /
+panic! / unreachable! / todo! / unimplemented! / get_unchecked*.
+Plain indexing `a[i]` is deliberately NOT flagged: MD kernels index
+by construction-bounded loops everywhere, and burying one real unwrap
+under thousands of bounded-index notes would make the rule useless.
+
+Example violation:
+    let p = self.fault.as_ref().expect(\"fault plan present\");
+
+Fix: match/if-let with a typed error or a documented fallback.
+
+Escape hatch: // anton2-lint: allow(panic-freedom) -- <why unreachable>"
+            }
+            Rule::ShardIsolation => {
+                "\
+shard-isolation — shard-context code writes only shard-local state.
+
+Why: the record/replay split (DESIGN.md §16) keeps shard execution bitwise
+identical to the single image by isolating every cross-shard write into
+the driver's canonical-order replay. A shard-context function that writes
+driver-global telemetry or grid state reintroduces order dependence.
+
+Scope: functions reachable from ShardContext entry points. Two checks:
+(1) reaching a DRIVER_ONLY function (replay, replay_rows, exchange,
+solve_potential_into) is a violation, reported with the call path;
+(2) mutating telemetry through a bare `tel` binding (the driver's) instead
+of the per-shard sink (`shard.tel.count_*`) is a violation.
+
+Example violation:
+    fn record_shard_rows(..., tel: &mut Telemetry) { tel.count_pairs(n, c); }
+
+Fix: write to the shard's own `tel` field; the driver merges per-shard
+telemetry after replay.
+
+Escape hatch: // anton2-lint: allow(shard-isolation) -- <why driver-safe>"
+            }
+            Rule::DeadCounter => {
+                "\
+dead-counter — every telemetry counter has a live increment site.
+
+Why: a counter that nothing increments is worse than no counter: dashboards
+read it as a true zero. Every COUNTER_FIELDS entry must be incremented by
+some telemetry.rs method that has at least one non-test call site outside
+telemetry.rs.
+
+Scope: COUNTER_FIELDS × the workspace call graph.
+
+Example violation:
+    pub net_retries: u64,     // count_net_retries exists but nothing calls it
+
+Fix: wire the counting API into the subsystem that owns the event, or
+delete the counter.
+
+Escape hatch: // anton2-lint: allow(dead-counter) -- <why kept> (place on
+the field declaration in telemetry.rs)"
+            }
+        }
     }
 }
 
@@ -71,7 +262,20 @@ pub struct Finding {
 
 /// Analyze one file's source. `path` scopes the rules: hot-module rules
 /// key off the basename, and the telemetry rule exempts `telemetry.rs`.
+///
+/// Standalone (single-file) analysis checks the zero-alloc and
+/// panic-freedom families on *entry-point bodies only* — the transitive
+/// hot set needs the whole workspace and is handled by
+/// [`crate::workspace::analyze_workspace`], which scopes those families to
+/// every derived hot function.
 pub fn analyze_source(path: &str, source: &str) -> Vec<Finding> {
+    analyze_source_inner(path, source, true)
+}
+
+/// `hot_fn_rules = false` skips the per-file zero-alloc/panic-freedom
+/// slice — the workspace pass applies them to the full derived hot set
+/// instead (of which the entry points are members), avoiding duplicates.
+pub(crate) fn analyze_source_inner(path: &str, source: &str, hot_fn_rules: bool) -> Vec<Finding> {
     let lexed = lex(source);
     let lines: Vec<&str> = source.lines().collect();
     let basename = path.rsplit('/').next().unwrap_or(path);
@@ -105,69 +309,40 @@ pub fn analyze_source(path: &str, source: &str) -> Vec<Finding> {
     if hot_module {
         for (i, t) in toks.iter().enumerate() {
             if t.kind == Kind::Ident && NONDET_IDENTS.contains(&t.text.as_str()) && !in_test[i] {
-                let why = match t.text.as_str() {
-                    "HashMap" | "HashSet" => {
-                        "iteration order is randomized; use BTreeMap/BTreeSet or a sorted Vec"
-                    }
-                    "Instant" | "SystemTime" => {
-                        "wall-clock reads belong behind the telemetry `Clock` trait"
-                    }
-                    _ => "entropy outside the engine's seeded state breaks replay determinism",
-                };
                 push(
                     Rule::Nondet,
                     t.line,
-                    format!("`{}` in hot-path module: {}", t.text, why),
+                    format!("`{}` in hot-path module: {}", t.text, nondet_why(&t.text)),
                 );
             }
         }
     }
 
-    // --- zero-alloc: allocation-capable calls in HOT_PATH functions --------
-    for (start, end, fname) in fns
-        .iter()
-        .filter(|(_, _, name)| HOT_PATH.contains(&(basename, name.as_str())))
-    {
-        let mut i = *start;
-        while i < *end {
-            let t = &toks[i];
-            if t.kind == Kind::Ident {
-                // `vec!` / `format!`
-                if ALLOC_MACROS.contains(&t.text.as_str()) && i + 1 < n && toks[i + 1].text == "!" {
+    // --- zero-alloc + panic-freedom on entry-point bodies ------------------
+    if hot_fn_rules {
+        let is_entry = |name: &str| {
+            ENTRY_POINTS
+                .iter()
+                .any(|(f, fname, _)| *f == basename && *fname == name)
+        };
+        let is_exempt = |name: &str| ALLOC_EXEMPT.contains(&(basename, name));
+        for (start, end, fname) in fns.iter().filter(|(_, _, name)| is_entry(name)) {
+            if !is_exempt(fname) {
+                for (line, what) in scan_alloc(toks, *start, *end) {
                     push(
                         Rule::ZeroAlloc,
-                        t.line,
-                        format!("`{}!` allocates inside hot-path fn `{fname}`", t.text),
-                    );
-                }
-                // `Vec::new` / `Box::new` / `String::from` …
-                if i + 2 < n && toks[i + 1].text == "::" && toks[i + 2].kind == Kind::Ident {
-                    let pair = (t.text.as_str(), toks[i + 2].text.as_str());
-                    if ALLOC_CTORS.contains(&pair) {
-                        push(
-                            Rule::ZeroAlloc,
-                            t.line,
-                            format!(
-                                "`{}::{}` allocates inside hot-path fn `{fname}`",
-                                pair.0, pair.1
-                            ),
-                        );
-                    }
-                }
-            }
-            // `.push(` / `.collect(` / `.collect::<…>(` / `.clone()` …
-            if t.text == "." && i + 2 < n && toks[i + 1].kind == Kind::Ident {
-                let m = toks[i + 1].text.as_str();
-                let after = toks[i + 2].text.as_str();
-                if ALLOC_METHODS.contains(&m) && (after == "(" || after == "::") {
-                    push(
-                        Rule::ZeroAlloc,
-                        toks[i + 1].line,
-                        format!("`.{m}(…)` is allocation-capable inside hot-path fn `{fname}`"),
+                        line,
+                        format!("{what} inside hot fn `{fname}`"),
                     );
                 }
             }
-            i += 1;
+            for (line, what) in scan_panic(toks, *start, *end) {
+                push(
+                    Rule::PanicFreedom,
+                    line,
+                    format!("{what} inside hot fn `{fname}`"),
+                );
+            }
         }
     }
 
@@ -177,91 +352,9 @@ pub fn analyze_source(path: &str, source: &str) -> Vec<Finding> {
             .iter()
             .filter(|(_, _, name)| REDUCTION_HELPERS.contains(&(basename, name.as_str())))
             .collect();
-        let in_approved = |i: usize| approved.iter().any(|(s, e, _)| (*s..*e).contains(&i));
-
-        for i in 0..n {
-            if in_test[i] || in_approved(i) {
-                continue;
-            }
-            let t = &toks[i];
-            if t.kind != Kind::Ident {
-                continue;
-            }
-            // `.sum::<f64>()`
-            if t.text == "sum"
-                && i + 3 < n
-                && toks[i + 1].text == "::"
-                && toks[i + 2].text == "<"
-                && matches!(toks[i + 3].text.as_str(), "f64" | "f32")
-            {
-                push(
-                    Rule::FloatReduction,
-                    t.line,
-                    format!(
-                        "bare `.sum::<{}>()` outside approved reduction helpers; use a \
-                         fixed-chunk reduction (NB_CHUNKS-style) or a fixed-point accumulator",
-                        toks[i + 3].text
-                    ),
-                );
-            }
-            // `fold(0.0, …)` — float init, additive combiner. `f64::max`
-            // and `f64::min` folds are order-independent and pass.
-            if t.text == "fold"
-                && i + 2 < n
-                && toks[i + 1].text == "("
-                && toks[i + 2].kind == Kind::Num
-                && is_float_literal(&toks[i + 2].text)
-            {
-                let comb: Vec<&str> = toks[i + 3..n.min(i + 8)]
-                    .iter()
-                    .map(|t| t.text.as_str())
-                    .collect();
-                let order_free = comb.contains(&"max") || comb.contains(&"min");
-                if !order_free {
-                    push(
-                        Rule::FloatReduction,
-                        t.line,
-                        "float `fold` accumulation outside approved reduction helpers; \
-                         summation order must be fixed explicitly"
-                            .to_string(),
-                    );
-                }
-            }
-            // `let x: f64 = … .sum() …;` — untyped sum with a float binding.
-            if t.text == "let" {
-                let stmt_end = (i..n.min(i + 256))
-                    .find(|&j| toks[j].text == ";")
-                    .unwrap_or(i);
-                let mut float_typed = false;
-                let mut j = i;
-                while j + 2 < stmt_end {
-                    if toks[j].text == ":"
-                        && matches!(toks[j + 1].text.as_str(), "f64" | "f32")
-                        && toks[j + 2].text == "="
-                    {
-                        float_typed = true;
-                        break;
-                    }
-                    j += 1;
-                }
-                if float_typed {
-                    for j in i..stmt_end {
-                        if toks[j].text == "."
-                            && j + 2 < stmt_end
-                            && toks[j + 1].text == "sum"
-                            && toks[j + 2].text == "("
-                        {
-                            push(
-                                Rule::FloatReduction,
-                                toks[j + 1].line,
-                                "float-typed `.sum()` outside approved reduction helpers; \
-                                 use a fixed-chunk reduction or a fixed-point accumulator"
-                                    .to_string(),
-                            );
-                        }
-                    }
-                }
-            }
+        let skip = |i: usize| in_test[i] || approved.iter().any(|(s, e, _)| (*s..*e).contains(&i));
+        for (line, msg) in scan_float_reduction(toks, 0, n, &skip) {
+            push(Rule::FloatReduction, line, msg);
         }
     }
 
@@ -326,8 +419,193 @@ pub fn analyze_source(path: &str, source: &str) -> Vec<Finding> {
     findings
 }
 
+/// Why a given nondet identifier is forbidden.
+pub(crate) fn nondet_why(ident: &str) -> &'static str {
+    match ident {
+        "HashMap" | "HashSet" => {
+            "iteration order is randomized; use BTreeMap/BTreeSet or a sorted Vec"
+        }
+        "Instant" | "SystemTime" => "wall-clock reads belong behind the telemetry `Clock` trait",
+        _ => "entropy outside the engine's seeded state breaks replay determinism",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared token-range scanners — used by both the per-file pass above and the
+// workspace hot-set pass, so a construct flags identically in both.
+// ---------------------------------------------------------------------------
+
+/// Allocation-capable constructs in `toks[start..end]` as `(line, what)`.
+pub(crate) fn scan_alloc(toks: &[Tok], start: usize, end: usize) -> Vec<(u32, String)> {
+    let n = toks.len();
+    let end = end.min(n);
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.kind == Kind::Ident {
+            // `vec!` / `format!`
+            if ALLOC_MACROS.contains(&t.text.as_str()) && i + 1 < n && toks[i + 1].text == "!" {
+                out.push((t.line, format!("`{}!` allocates", t.text)));
+            }
+            // `Vec::new` / `Box::new` / `String::from` …
+            if i + 2 < n && toks[i + 1].text == "::" && toks[i + 2].kind == Kind::Ident {
+                let pair = (t.text.as_str(), toks[i + 2].text.as_str());
+                if ALLOC_CTORS.contains(&pair) {
+                    out.push((t.line, format!("`{}::{}` allocates", pair.0, pair.1)));
+                }
+            }
+        }
+        // `.push(` / `.collect(` / `.collect::<…>(` / `.clone()` …
+        if t.text == "." && i + 2 < n && toks[i + 1].kind == Kind::Ident {
+            let m = toks[i + 1].text.as_str();
+            let after = toks[i + 2].text.as_str();
+            if ALLOC_METHODS.contains(&m) && (after == "(" || after == "::") {
+                out.push((toks[i + 1].line, format!("`.{m}(…)` is allocation-capable")));
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Panic-capable constructs in `toks[start..end]` as `(line, what)`.
+pub(crate) fn scan_panic(toks: &[Tok], start: usize, end: usize) -> Vec<(u32, String)> {
+    let n = toks.len();
+    let end = end.min(n);
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.kind == Kind::Ident {
+            // `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+            if PANIC_MACROS.contains(&t.text.as_str()) && i + 1 < n && toks[i + 1].text == "!" {
+                out.push((t.line, format!("`{}!` panics", t.text)));
+            }
+        }
+        // `.unwrap(` / `.expect(` / `.get_unchecked(`
+        if t.text == "." && i + 2 < n && toks[i + 1].kind == Kind::Ident {
+            let m = toks[i + 1].text.as_str();
+            if PANIC_METHODS.contains(&m) && toks[i + 2].text == "(" {
+                let what = if m.starts_with("get_unchecked") {
+                    format!("`.{m}(…)` is unchecked indexing")
+                } else {
+                    format!("`.{m}(…)` panics on the error path")
+                };
+                out.push((toks[i + 1].line, what));
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Nondet identifiers in `toks[start..end]` as `(line, ident)`.
+pub(crate) fn scan_nondet(toks: &[Tok], start: usize, end: usize) -> Vec<(u32, String)> {
+    toks[start..end.min(toks.len())]
+        .iter()
+        .filter(|t| t.kind == Kind::Ident && NONDET_IDENTS.contains(&t.text.as_str()))
+        .map(|t| (t.line, t.text.clone()))
+        .collect()
+}
+
+/// Bare float accumulation in `toks[start..end]` as `(line, message)`.
+/// `skip(i)` exempts a token index (test regions, approved helpers).
+pub(crate) fn scan_float_reduction(
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    skip: &dyn Fn(usize) -> bool,
+) -> Vec<(u32, String)> {
+    let n = toks.len();
+    let end = end.min(n);
+    let mut out = Vec::new();
+    for i in start..end {
+        if skip(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        // `.sum::<f64>()`
+        if t.text == "sum"
+            && i + 3 < n
+            && toks[i + 1].text == "::"
+            && toks[i + 2].text == "<"
+            && matches!(toks[i + 3].text.as_str(), "f64" | "f32")
+        {
+            out.push((
+                t.line,
+                format!(
+                    "bare `.sum::<{}>()` outside approved reduction helpers; use a \
+                     fixed-chunk reduction (NB_CHUNKS-style) or a fixed-point accumulator",
+                    toks[i + 3].text
+                ),
+            ));
+        }
+        // `fold(0.0, …)` — float init, additive combiner. `f64::max`
+        // and `f64::min` folds are order-independent and pass.
+        if t.text == "fold"
+            && i + 2 < n
+            && toks[i + 1].text == "("
+            && toks[i + 2].kind == Kind::Num
+            && is_float_literal(&toks[i + 2].text)
+        {
+            let comb: Vec<&str> = toks[i + 3..n.min(i + 8)]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect();
+            let order_free = comb.contains(&"max") || comb.contains(&"min");
+            if !order_free {
+                out.push((
+                    t.line,
+                    "float `fold` accumulation outside approved reduction helpers; \
+                     summation order must be fixed explicitly"
+                        .to_string(),
+                ));
+            }
+        }
+        // `let x: f64 = … .sum() …;` — untyped sum with a float binding.
+        if t.text == "let" {
+            let stmt_end = (i..n.min(i + 256))
+                .find(|&j| toks[j].text == ";")
+                .unwrap_or(i);
+            let mut float_typed = false;
+            let mut j = i;
+            while j + 2 < stmt_end {
+                if toks[j].text == ":"
+                    && matches!(toks[j + 1].text.as_str(), "f64" | "f32")
+                    && toks[j + 2].text == "="
+                {
+                    float_typed = true;
+                    break;
+                }
+                j += 1;
+            }
+            if float_typed {
+                for j in i..stmt_end {
+                    if toks[j].text == "."
+                        && j + 2 < stmt_end
+                        && toks[j + 1].text == "sum"
+                        && toks[j + 2].text == "("
+                    {
+                        out.push((
+                            toks[j + 1].line,
+                            "float-typed `.sum()` outside approved reduction helpers; \
+                             use a fixed-chunk reduction or a fixed-point accumulator"
+                                .to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Is a numeric literal a float (`0.0`, `1e-3`, `0f64`)?
-fn is_float_literal(text: &str) -> bool {
+pub(crate) fn is_float_literal(text: &str) -> bool {
     text.contains('.')
         || text.ends_with("f64")
         || text.ends_with("f32")
@@ -337,7 +615,7 @@ fn is_float_literal(text: &str) -> bool {
 /// Lines covered by `// anton2-lint: allow(rule, …)` comments. A comment
 /// covers its own lines plus the next line, so both trailing and
 /// standalone placement work.
-fn allow_map(lexed: &Lexed) -> BTreeMap<u32, BTreeSet<Rule>> {
+pub(crate) fn allow_map(lexed: &Lexed) -> BTreeMap<u32, BTreeSet<Rule>> {
     let mut map: BTreeMap<u32, BTreeSet<Rule>> = BTreeMap::new();
     for c in &lexed.comments {
         let Some(at) = c.text.find("anton2-lint:") else {
@@ -365,84 +643,10 @@ fn allow_map(lexed: &Lexed) -> BTreeMap<u32, BTreeSet<Rule>> {
     map
 }
 
-/// Per-token flag: is this token inside a `#[cfg(test)]`-gated region?
-fn test_regions(lexed: &Lexed) -> Vec<bool> {
-    let toks = &lexed.tokens;
-    let n = toks.len();
-    let mut in_test = vec![false; n];
-    let mut i = 0usize;
-    while i < n {
-        // Match `#[ … ]` and check whether it is a cfg involving `test`.
-        if toks[i].text == "#" && i + 1 < n && toks[i + 1].text == "[" {
-            let attr_start = i + 2;
-            let mut depth = 1i32;
-            let mut j = attr_start;
-            while j < n && depth > 0 {
-                match toks[j].text.as_str() {
-                    "[" => depth += 1,
-                    "]" => depth -= 1,
-                    _ => {}
-                }
-                j += 1;
-            }
-            let attr_end = j; // one past the closing `]`
-            let attr: Vec<&str> = toks[attr_start..attr_end.saturating_sub(1)]
-                .iter()
-                .map(|t| t.text.as_str())
-                .collect();
-            let is_cfg_test = attr.first() == Some(&"cfg") && attr.contains(&"test");
-            if is_cfg_test {
-                // Skip any further attributes, then mark the item body
-                // (from its `{` to the matching `}`) or through the `;`.
-                let mut k = attr_end;
-                while k + 1 < n && toks[k].text == "#" && toks[k + 1].text == "[" {
-                    let mut d = 1i32;
-                    let mut m = k + 2;
-                    while m < n && d > 0 {
-                        match toks[m].text.as_str() {
-                            "[" => d += 1,
-                            "]" => d -= 1,
-                            _ => {}
-                        }
-                        m += 1;
-                    }
-                    k = m;
-                }
-                let body_open = (k..n).find(|&m| toks[m].text == "{" || toks[m].text == ";");
-                if let Some(open) = body_open {
-                    let mut end = open;
-                    if toks[open].text == "{" {
-                        let mut d = 1i32;
-                        let mut m = open + 1;
-                        while m < n && d > 0 {
-                            match toks[m].text.as_str() {
-                                "{" => d += 1,
-                                "}" => d -= 1,
-                                _ => {}
-                            }
-                            m += 1;
-                        }
-                        end = m;
-                    }
-                    for flag in in_test.iter_mut().take(end.min(n)).skip(i) {
-                        *flag = true;
-                    }
-                    i = end.min(n);
-                    continue;
-                }
-            }
-            i = attr_end;
-            continue;
-        }
-        i += 1;
-    }
-    in_test
-}
-
 /// Function body spans as `(body_start_token, body_end_token, name)`.
 /// The span covers the tokens between the body's braces (inclusive of the
 /// braces themselves). Bodiless declarations (trait methods) are skipped.
-fn fn_spans(lexed: &Lexed) -> Vec<(usize, usize, String)> {
+pub(crate) fn fn_spans(lexed: &Lexed) -> Vec<(usize, usize, String)> {
     let toks = &lexed.tokens;
     let n = toks.len();
     let mut out = Vec::new();
@@ -502,6 +706,24 @@ mod tests {
     }
 
     #[test]
+    fn every_rule_has_an_explanation_with_escape_hatch_note() {
+        for r in Rule::ALL {
+            let e = r.explain();
+            assert!(
+                e.starts_with(r.name()),
+                "{}: explain must lead with name",
+                r.name()
+            );
+            assert!(
+                e.contains("Escape hatch"),
+                "{}: explain must document the escape hatch",
+                r.name()
+            );
+            assert!(e.contains("Example violation"), "{}", r.name());
+        }
+    }
+
+    #[test]
     fn cfg_test_region_is_exempt() {
         let src = "
 fn hot() {}
@@ -541,5 +763,34 @@ mod tests {
             "use std::collections::HashMap;\nfn f() { v.iter().sum::<f64>(); }\n",
         );
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn entry_point_body_is_checked_per_file() {
+        // `ensure` is an ENTRY_POINTS fn for stream.rs: standalone analysis
+        // applies zero-alloc and panic-freedom to its body.
+        let src = "impl S { fn ensure(&mut self) { self.rows.push(1); self.opt.unwrap(); } }";
+        let f = analyze_source("crates/md/src/stream.rs", src);
+        assert!(f.iter().any(|f| f.rule == Rule::ZeroAlloc), "{f:?}");
+        assert!(f.iter().any(|f| f.rule == Rule::PanicFreedom), "{f:?}");
+    }
+
+    #[test]
+    fn alloc_exempt_fn_skips_zero_alloc_but_not_panic() {
+        // `rebuild` is ALLOC_EXEMPT for stream.rs but is not an entry point,
+        // so standalone analysis says nothing; `patch_at_epoch` IS an entry
+        // point and exempt: allocs pass, panics still flag.
+        let src = "impl S { fn patch_at_epoch(&mut self) { self.v.push(1); self.o.unwrap(); } }";
+        let f = analyze_source("crates/md/src/stream.rs", src);
+        assert!(f.iter().all(|f| f.rule == Rule::PanicFreedom), "{f:?}");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn scan_panic_flags_macros_and_methods() {
+        let lexed =
+            lex("fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"boom\"); a.get_unchecked(0); }");
+        let hits = scan_panic(&lexed.tokens, 0, lexed.tokens.len());
+        assert_eq!(hits.len(), 4, "{hits:?}");
     }
 }

@@ -1,7 +1,8 @@
-//! Bad fixture: allocation-capable calls inside a HOT_PATH function
-//! (`stream_rows` in `stream.rs` is on the manifest).
+//! Bad fixture: allocation-capable calls inside an entry-point function
+//! (`nonbonded_forces_streamed` in `stream.rs` is on the manifest and is
+//! not alloc-exempt).
 
-pub fn stream_rows(rows: &[u32], out: &mut Vec<u32>) -> usize {
+pub fn nonbonded_forces_streamed(rows: &[u32], out: &mut Vec<u32>) -> usize {
     let mut scratch = Vec::new();
     for &r in rows {
         scratch.push(r);

@@ -82,7 +82,9 @@ fn bad_nondet_fixture_finds_all_three_constructs() {
 fn bad_alloc_fixture_names_the_hot_fn() {
     let findings = analyze_fixture("alloc/bad/stream.rs");
     assert!(findings.len() >= 4, "{findings:?}"); // Vec::new, 2×push, collect, format!
-    assert!(findings.iter().all(|f| f.message.contains("stream_rows")));
+    assert!(findings
+        .iter()
+        .all(|f| f.message.contains("nonbonded_forces_streamed")));
 }
 
 #[test]

@@ -34,14 +34,12 @@ impl CellGrid {
         }
     }
 
-    /// Bin wrapped `positions` into cells of size ≥ `range`.
-    ///
-    /// # Panics
-    /// Panics if the box is too small for the cell method; check
-    /// [`CellGrid::dims_for`] first.
-    pub fn build(pbc: &PbcBox, positions: &[Vec3], range: f64) -> Self {
-        let (nx, ny, nz) = Self::dims_for(pbc, range)
-            .expect("box too small for cell method; use the all-pairs fallback");
+    /// Bin wrapped `positions` into cells of size ≥ `range`, or `None`
+    /// when the box is too small for the cell method (the same condition
+    /// [`CellGrid::dims_for`] reports) — callers fall back to an
+    /// all-pairs scan.
+    pub fn build(pbc: &PbcBox, positions: &[Vec3], range: f64) -> Option<Self> {
+        let (nx, ny, nz) = Self::dims_for(pbc, range)?;
         let ncells = nx * ny * nz;
         let mut counts = vec![0usize; ncells];
         let idx_of = |p: Vec3| -> usize {
@@ -65,14 +63,14 @@ impl CellGrid {
             atoms[cursor[c]] = i as u32;
             cursor[c] += 1;
         }
-        CellGrid {
+        Some(CellGrid {
             nx,
             ny,
             nz,
             cell_start,
             atoms,
             pbc: *pbc,
-        }
+        })
     }
 
     /// Cell index of a (wrapped) position.
@@ -216,7 +214,7 @@ mod tests {
                 )
             })
             .collect();
-        let g = CellGrid::build(&pbc, &positions, 10.0);
+        let g = CellGrid::build(&pbc, &positions, 10.0).unwrap();
         assert_eq!(g.atoms.len(), 500);
         let mut seen = vec![false; 500];
         for c in 0..g.n_cells() {
@@ -248,7 +246,7 @@ mod tests {
     #[test]
     fn neighborhood_has_27_unique_cells_when_grid_large() {
         let pbc = PbcBox::cubic(50.0);
-        let g = CellGrid::build(&pbc, &[v3(1.0, 1.0, 1.0)], 10.0);
+        let g = CellGrid::build(&pbc, &[v3(1.0, 1.0, 1.0)], 10.0).unwrap();
         assert_eq!((g.nx, g.ny, g.nz), (5, 5, 5));
         let mut hood = g.neighborhood(0).to_vec();
         hood.sort_unstable();
@@ -259,8 +257,8 @@ mod tests {
     #[test]
     fn neighborhood_wraps_periodically() {
         let pbc = PbcBox::cubic(30.0);
-        let g = CellGrid::build(&pbc, &[], 10.0); // 3×3×3
-                                                  // With exactly 3 cells per axis, every neighborhood covers all cells.
+        let g = CellGrid::build(&pbc, &[], 10.0).unwrap(); // 3×3×3
+                                                           // With exactly 3 cells per axis, every neighborhood covers all cells.
         let mut hood = g.neighborhood(13).to_vec();
         hood.sort_unstable();
         hood.dedup();
@@ -274,7 +272,7 @@ mod tests {
         // unordered adjacent cell pair exactly once.
         for edge in [30.0, 50.0] {
             let pbc = PbcBox::cubic(edge);
-            let g = CellGrid::build(&pbc, &[], 10.0);
+            let g = CellGrid::build(&pbc, &[], 10.0).unwrap();
             let mut forward: Vec<(usize, usize)> = Vec::new();
             let mut scratch = [0usize; 26];
             for c in 0..g.n_cells() {
@@ -308,7 +306,7 @@ mod tests {
         // (every relation wraps somewhere) and a larger one.
         for edge in [30.0, 50.0] {
             let pbc = PbcBox::cubic(edge);
-            let g = CellGrid::build(&pbc, &[], 10.0);
+            let g = CellGrid::build(&pbc, &[], 10.0).unwrap();
             let w = g.min_width();
             let point_in = |c: usize, fx: f64, fy: f64, fz: f64| {
                 let cz = c % g.nz;
@@ -353,7 +351,7 @@ mod tests {
     #[test]
     fn min_width_matches_dims() {
         let pbc = PbcBox::new(30.0, 40.0, 50.0);
-        let g = CellGrid::build(&pbc, &[], 10.0);
+        let g = CellGrid::build(&pbc, &[], 10.0).unwrap();
         assert_eq!(g.min_width(), 10.0); // 30/3
     }
 
@@ -361,7 +359,7 @@ mod tests {
     fn atoms_near_boundary_bin_correctly() {
         let pbc = PbcBox::cubic(30.0);
         // A coordinate of exactly 30.0 wraps to 0.
-        let g = CellGrid::build(&pbc, &[v3(30.0, 29.9999, -0.0001)], 10.0);
+        let g = CellGrid::build(&pbc, &[v3(30.0, 29.9999, -0.0001)], 10.0).unwrap();
         let c = g.cell_of(v3(30.0, 29.9999, -0.0001));
         assert_eq!(g.cell(c).len(), 1);
     }

@@ -83,6 +83,9 @@ impl ConstraintSet {
                 return sweep + 1;
             }
         }
+        // anton2-lint: allow(panic-freedom) -- SHAKE divergence means the
+        // timestep/topology is broken; silently continuing would integrate
+        // garbage, so a loud stop is the contract here.
         panic!("SHAKE failed to converge in {max_sweeps} sweeps (tol {tol})");
     }
 
@@ -111,6 +114,9 @@ impl ConstraintSet {
                 return sweep + 1;
             }
         }
+        // anton2-lint: allow(panic-freedom) -- same contract as SHAKE:
+        // non-convergence is unrecoverable, stop loudly rather than
+        // integrate with violated constraints.
         panic!("RATTLE velocity projection failed to converge in {max_sweeps} sweeps");
     }
 

@@ -690,6 +690,24 @@ impl Engine {
         &self.ws.tel
     }
 
+    /// Fold network fault activity from a co-simulated fabric into this
+    /// engine's telemetry. The DES machine owns the raw `FaultCounters`
+    /// tallies; harnesses call this once per simulated cycle so
+    /// retransmits and reroutes show up next to the MD counters they
+    /// perturb.
+    pub fn record_net_activity(&mut self, retries: u64, reroutes: u64) {
+        self.ws.tel.count_net_retries(retries);
+        self.ws.tel.count_net_reroutes(reroutes);
+    }
+
+    /// Fold fixed-point saturation clamps observed by an external
+    /// accumulator (e.g. the co-sim verification pass) into telemetry.
+    /// Any nonzero count means the 40.24 force format overflowed and the
+    /// run's determinism claim is suspect.
+    pub fn record_fixedpoint_clamps(&mut self, clamps: u64) {
+        self.ws.tel.count_fixedpoint_clamps(clamps);
+    }
+
     /// Snapshot of the accumulated profile (cheap `Copy`; diff two
     /// snapshots with [`StepProfile::since`] to profile a window).
     pub fn profile(&self) -> StepProfile {

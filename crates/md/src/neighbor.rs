@@ -182,8 +182,7 @@ impl NeighborList {
         self.ref_pbc = *pbc;
         self.wrap_into_scratch(pbc, positions);
 
-        if CellGrid::dims_for(pbc, self.range).is_some() {
-            let grid = CellGrid::build(pbc, positions, self.range);
+        if let Some(grid) = CellGrid::build(pbc, positions, self.range) {
             self.range_ext = grid.min_width();
             let ext_sq = self.range_ext * self.range_ext;
             let ncells = grid.n_cells();

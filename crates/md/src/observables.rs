@@ -194,6 +194,9 @@ impl Rdf {
     /// Normalized g(r) bin centers and values.
     pub fn normalized(&self, pbc: &PbcBox) -> Vec<(f64, f64)> {
         if self.frames == 0 || self.n_atoms == 0 {
+            // anton2-lint: allow(zero-alloc) -- `Rdf::normalized` is analysis
+            // code; it lands in the hot set only through the documented
+            // method-name collision with `Vec3::normalized` in SETTLE.
             return Vec::new();
         }
         let density = self.n_atoms as f64 / pbc.volume();
@@ -207,6 +210,8 @@ impl Rdf {
                 let ideal = density * shell * self.n_atoms as f64 * self.frames as f64;
                 ((r_lo + r_hi) / 2.0, count as f64 / ideal)
             })
+            // anton2-lint: allow(zero-alloc) -- same `Vec3::normalized`
+            // name-collision false positive as above.
             .collect()
     }
 }

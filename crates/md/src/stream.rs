@@ -330,16 +330,12 @@ impl NonbondedStream {
         self.ext_ref_positions.clear();
         self.ext_ref_positions.extend_from_slice(positions);
 
-        let cell_path = CellGrid::dims_for(&pbc, self.range).is_some();
         self.order.clear();
-        let grid = if cell_path {
-            let grid = CellGrid::build(&pbc, positions, self.range);
-            self.order.extend_from_slice(&grid.atoms);
-            Some(grid)
-        } else {
-            self.order.extend(0..n as u32);
-            None
-        };
+        let grid = CellGrid::build(&pbc, positions, self.range);
+        match &grid {
+            Some(g) => self.order.extend_from_slice(&g.atoms),
+            None => self.order.extend(0..n as u32),
+        }
         // The cell scan covers any radius up to one cell width for free
         // (same 27-cell neighborhood), so the extended list costs no extra
         // candidate volume.

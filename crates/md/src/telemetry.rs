@@ -136,7 +136,10 @@ static CLOCK_ANCHOR: OnceLock<Instant> = OnceLock::new();
 
 impl Clock for MonotonicClock {
     fn now_ns(&self) -> u64 {
+        // anton2-lint: allow(nondet) -- this *is* the sanctioned Clock
+        // impl the rule points callers at; timing reads never feed physics.
         let anchor = *CLOCK_ANCHOR.get_or_init(Instant::now);
+        // anton2-lint: allow(nondet) -- same: the one blessed wall-clock read.
         Instant::now().duration_since(anchor).as_nanos() as u64
     }
 }

@@ -65,6 +65,8 @@ impl NoseHooverChain {
             .iter()
             .zip(masses)
             .map(|(v, &m)| m * v.norm_sq())
+            // anton2-lint: allow(float-reduction) -- serial slice-order sum,
+            // never threaded: its order is a constant of the atom layout.
             .sum::<f64>(); // 2·KE
                            // Update chain bead 2, then bead 1 (Suzuki-Yoshida order 1 is fine
                            // for the short half-steps MD uses).

@@ -236,13 +236,15 @@ impl Network {
         let mut ready = head;
         let mut attempt = 0u32;
         loop {
-            let (stall, stall_t, corrupt) = {
-                let p = self.fault.as_ref().expect("fault plan present");
-                (
+            let (stall, stall_t, corrupt) = match self.fault.as_ref() {
+                Some(p) => (
                     p.stalls(link, msg, attempt),
                     p.stall,
                     p.corrupts(link, msg, attempt),
-                )
+                ),
+                // `fault_active()` already short-circuited above; a missing
+                // plan past this point just means no injected faults.
+                None => (false, SimTime::ZERO, false),
             };
             if stall {
                 self.faults.link_stalls += 1;
@@ -511,9 +513,9 @@ impl Network {
                 continue;
             }
             if hot && !ev.stalled {
-                let (stall, stall_t) = {
-                    let p = self.fault.as_ref().expect("fault plan present");
-                    (p.stalls(link, ids[m], ev.attempt), p.stall)
+                let (stall, stall_t) = match self.fault.as_ref() {
+                    Some(p) => (p.stalls(link, ids[m], ev.attempt), p.stall),
+                    None => (false, SimTime::ZERO),
                 };
                 if stall {
                     self.faults.link_stalls += 1;
@@ -534,8 +536,7 @@ impl Network {
                 let corrupt = self
                     .fault
                     .as_ref()
-                    .expect("fault plan present")
-                    .corrupts(link, ids[m], ev.attempt);
+                    .is_some_and(|p| p.corrupts(link, ids[m], ev.attempt));
                 if corrupt {
                     self.faults.link_retransmits += 1;
                     if ev.attempt >= self.retry.max_retries {
