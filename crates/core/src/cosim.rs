@@ -507,6 +507,146 @@ pub fn timed_trajectory(
     }
 }
 
+/// Outcome of a fault-injected timed trajectory with health-driven
+/// re-planning: per-cycle timing plus when the fault was noticed, when the
+/// repaired plan took over, and the checkpoint digests proving the physics
+/// never saw any of it.
+#[derive(Clone, Debug)]
+pub struct RecoveryTrajectory {
+    /// Per-cycle timing, same schema as [`timed_trajectory`].
+    pub timing: TrajectoryTiming,
+    /// Cycle index at which the fault plan went live.
+    pub inject_at_cycle: u32,
+    /// Cycle whose health snapshot first flagged degradation.
+    pub detected_at_cycle: Option<u32>,
+    /// Cycle boundary at which the repaired plan took over (detection + 1:
+    /// the replan fires at the next checkpoint barrier, never mid-cycle).
+    pub replanned_at_cycle: Option<u32>,
+    /// What the replan changed (None if nothing was ever detected).
+    pub replan: Option<crate::plan::ReplanSummary>,
+    /// Checkpoint digest taken at the replan boundary — the Checkpoint v4
+    /// barrier the re-planning coordinates with.
+    pub checkpoint_digest: Option<u64>,
+    /// Checkpoint digest at trajectory end. Planning lives entirely on the
+    /// simulation side, so this is bitwise identical to a fault-free run.
+    pub final_digest: u64,
+    /// Messages abandoned at their source across the whole run (only the
+    /// cycles between injection and replan should contribute).
+    pub msg_drops: u64,
+}
+
+/// [`timed_trajectory`] under fault injection with graceful degradation:
+/// from `inject_at_cycle` onward the machine runs with `fault` installed
+/// under [`crate::machine::FaultPolicy::Degrade`], the learned
+/// [`anton2_net::HealthMap`] is the one piece of state carried across the
+/// per-cycle machines, and once it flags degradation every subsequent
+/// cycle's freshly built plan is routed through
+/// [`crate::plan::StepPlan::replan_with_health`] at the cycle boundary,
+/// with the route bias installed on the fabric.
+///
+/// The replan is coordinated with the checkpoint barrier: the digest at the
+/// boundary is recorded in the outcome, and because planning never touches
+/// the engine, the final digest matches a fault-free run bitwise.
+#[allow(clippy::too_many_arguments)]
+pub fn timed_trajectory_with_recovery(
+    engine: &mut anton2_md::engine::Engine,
+    machine_cfg: crate::config::MachineConfig,
+    cycles: u32,
+    respa_interval: u32,
+    fault: anton2_net::FaultPlan,
+    retry: anton2_net::RetryConfig,
+    inject_at_cycle: u32,
+) -> Result<RecoveryTrajectory, crate::plan::ReplanError> {
+    let mut records = Vec::with_capacity(cycles as usize);
+    let mut total_wall_us = 0.0;
+    let mut health: Option<anton2_net::HealthMap> = None;
+    let mut detected_at = None;
+    let mut replanned_at = None;
+    let mut replan_summary = None;
+    let mut checkpoint_digest = None;
+    let mut msg_drops = 0u64;
+    for cycle in 0..cycles {
+        let decomp = Decomposition::new(machine_cfg.torus, engine.system.pbc);
+        let imbalance = decomp.imbalance(&engine.system);
+        let mut plan =
+            crate::plan::StepPlan::build_with_dt(&engine.system, &machine_cfg, engine.cfg.dt_fs);
+        let mut machine = crate::machine::Machine::new(machine_cfg);
+        if cycle >= inject_at_cycle {
+            machine = machine.with_fault_policy(crate::machine::FaultPolicy::Degrade);
+            machine.net.fault = Some(fault.clone());
+        }
+        machine.net.retry = retry;
+        if let Some(h) = health.take() {
+            machine.net.health = h;
+        }
+        if detected_at.is_some() {
+            let snap = machine.net.health.snapshot();
+            let (repaired, bias, summary) = plan.replan_with_health(&snap, &machine_cfg)?;
+            plan = repaired;
+            machine.net.route_bias = bias;
+            if replanned_at.is_none() {
+                replanned_at = Some(cycle);
+                replan_summary = Some(summary);
+                // The barrier every node agrees on before the new plan
+                // goes live.
+                checkpoint_digest = Some(engine.checkpoint().digest);
+            }
+        }
+        let (avg_step, _) = machine.simulate_respa_cycle(&plan, respa_interval);
+        engine.record_net_activity(
+            machine.net.faults.link_retransmits,
+            machine.net.faults.reroutes,
+        );
+        msg_drops += machine.net.faults.msg_drops;
+        let snap = machine.net.health.snapshot();
+        if detected_at.is_none() && snap.is_degraded() {
+            detected_at = Some(cycle);
+        }
+        health = Some(snap);
+        let time_fs = engine.time_fs();
+        let owners_before: Vec<u32> = engine
+            .system
+            .positions
+            .iter()
+            .map(|&p| decomp.owner(p))
+            .collect();
+        engine.run(respa_interval as usize);
+        let migrated_atoms = engine
+            .system
+            .positions
+            .iter()
+            .zip(&owners_before)
+            .filter(|(&p, &before)| decomp.owner(p) != before)
+            .count() as u32;
+        records.push(CycleRecord {
+            time_fs,
+            step_time_us: avg_step.as_us_f64(),
+            imbalance,
+            potential: engine.energies().potential(),
+            migrated_atoms,
+        });
+        total_wall_us += avg_step.as_us_f64() * respa_interval as f64;
+    }
+    let simulated_fs = cycles as f64 * respa_interval as f64 * engine.cfg.dt_fs;
+    let sustained = anton2_md::units::us_per_day(
+        simulated_fs / (cycles * respa_interval).max(1) as f64,
+        total_wall_us * 1e-6 / (cycles * respa_interval).max(1) as f64,
+    );
+    Ok(RecoveryTrajectory {
+        timing: TrajectoryTiming {
+            cycles: records,
+            sustained_us_per_day: sustained,
+        },
+        inject_at_cycle,
+        detected_at_cycle: detected_at,
+        replanned_at_cycle: replanned_at,
+        replan: replan_summary,
+        checkpoint_digest,
+        final_digest: engine.checkpoint().digest,
+        msg_drops,
+    })
+}
+
 #[cfg(test)]
 mod trajectory_tests {
     use super::*;
@@ -535,6 +675,57 @@ mod trajectory_tests {
         }
         // Cycle timestamps advance by the cycle length.
         assert!((t.cycles[1].time_fs - t.cycles[0].time_fs - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_trajectory_keeps_physics_bitwise_identical() {
+        let make_engine = || {
+            let mut sys = water_box(4, 4, 4, 3);
+            sys.thermalize(300.0, 4);
+            let mut cfg = EngineConfig::quick();
+            cfg.dt_fs = 2.0;
+            cfg.respa = anton2_md::integrate::RespaSchedule { kspace_interval: 2 };
+            let mut e = Engine::builder().system(sys).config(cfg).build().unwrap();
+            e.minimize(100, 1.0);
+            e.system.thermalize(300.0, 5);
+            e
+        };
+        let mcfg = crate::config::MachineConfig::anton2(8);
+
+        let mut clean = make_engine();
+        timed_trajectory(&mut clean, mcfg, 6, 2);
+        let clean_digest = clean.checkpoint().digest;
+
+        let mut faulty = make_engine();
+        let r = timed_trajectory_with_recovery(
+            &mut faulty,
+            mcfg,
+            6,
+            2,
+            anton2_net::FaultPlan::new(21).kill_node(5),
+            anton2_net::RetryConfig::default(),
+            2,
+        )
+        .expect("replan succeeds");
+
+        // Physics untouched: planning lives on the simulation side only.
+        assert_eq!(r.final_digest, clean_digest, "physics must be bitwise");
+        assert_eq!(r.timing.cycles.len(), 6);
+        // The dead node was noticed and the plan repaired at the next
+        // cycle boundary.
+        let d = r.detected_at_cycle.expect("dead node must be detected");
+        assert!(d >= 2, "cannot detect before injection");
+        assert_eq!(r.replanned_at_cycle, Some(d + 1));
+        assert!(r.checkpoint_digest.is_some());
+        assert_eq!(
+            r.replan.expect("replan ran").evicted_nodes,
+            vec![5],
+            "node 5 evicted"
+        );
+        assert!(
+            r.msg_drops > 0,
+            "the stale plan drops into the dead node until the replan"
+        );
     }
 
     #[test]

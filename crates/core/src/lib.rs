@@ -32,6 +32,6 @@ pub mod schedule;
 
 pub use config::{ExecPolicy, ImportMethod, MachineConfig};
 pub use decomp::Decomposition;
-pub use machine::{Machine, PhaseBreakdown, StepResult};
-pub use plan::{NodeWork, PencilLayout, StepPlan};
-pub use report::PerfReport;
+pub use machine::{FaultPolicy, Machine, PhaseBreakdown, StepResult};
+pub use plan::{NodeWork, PencilLayout, ReplanError, ReplanSummary, RouteBias, StepPlan};
+pub use report::{PerfReport, RecoveryReport};

@@ -22,7 +22,7 @@ use crate::config::{ExecPolicy, MachineConfig};
 use crate::plan::StepPlan;
 use anton2_asic::{htis_batch_time, parallel_time, Node, WorkKind};
 use anton2_des::SimTime;
-use anton2_net::{Network, NodeId};
+use anton2_net::{Delivery, Network, NodeId};
 
 /// Wall-clock breakdown of one step (maxima over nodes, so components can
 /// overlap and need not sum to the step time — the gap *is* the overlap).
@@ -55,18 +55,99 @@ pub struct StepResult {
     pub next_ready: Vec<SimTime>,
 }
 
+/// How the machine reacts to unrecoverable network faults (exhausted
+/// retry budgets, dead endpoint nodes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// Panic on an unrecoverable fault — the pre-recovery behavior, right
+    /// for experiments that assume a healthy fabric (any panic is a bug in
+    /// the experiment, not a timing result).
+    #[default]
+    Strict,
+    /// Degrade gracefully: an abandoned message counts as a
+    /// `msg_drops` fault, its consumer proceeds at the injection-time
+    /// fallback, and the run continues so recovery can replan. Multicast
+    /// trees that fail as a whole are salvaged per destination.
+    Degrade,
+}
+
 /// The assembled machine.
 pub struct Machine {
     pub cfg: MachineConfig,
     pub nodes: Vec<Node>,
     pub net: Network,
+    /// Reaction to unrecoverable network faults (default [`FaultPolicy::Strict`]).
+    pub fault_policy: FaultPolicy,
 }
 
 impl Machine {
     pub fn new(cfg: MachineConfig) -> Self {
         let nodes = (0..cfg.n_nodes()).map(|i| Node::new(i, cfg.node)).collect();
         let net = Network::new(cfg.torus, cfg.link).with_policy(cfg.routing);
-        Machine { cfg, nodes, net }
+        Machine {
+            cfg,
+            nodes,
+            net,
+            fault_policy: FaultPolicy::Strict,
+        }
+    }
+
+    /// Same machine with a different [`FaultPolicy`].
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
+    /// Run a unicast batch under the machine's fault policy. In `Strict`
+    /// mode unrecoverable faults panic; in `Degrade` mode the message is
+    /// abandoned (counted as a drop) and its consumer proceeds at the
+    /// injection-time fallback, so the step — and the run — completes.
+    fn deliver_batch(&mut self, msgs: &[(SimTime, NodeId, NodeId, u32)]) -> Vec<SimTime> {
+        match self.fault_policy {
+            FaultPolicy::Strict => self.net.run_batch(msgs),
+            FaultPolicy::Degrade => {
+                let inj = SimTime::from_ns_f64(self.cfg.link.injection_ns);
+                let results = self.net.try_run_batch(msgs);
+                msgs.iter()
+                    .zip(results)
+                    .map(|(&(at, _, _, _), r)| match r {
+                        Ok(t) => t,
+                        Err(_) => {
+                            self.net.faults.msg_drops += 1;
+                            at + inj
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// [`Network::multicast`] under the machine's fault policy. A tree
+    /// that fails as a whole in `Degrade` mode is salvaged per
+    /// destination; unreachable destinations are dropped (and counted).
+    fn deliver_multicast(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dsts: &[NodeId],
+        bytes: u32,
+    ) -> Vec<Delivery> {
+        match self.fault_policy {
+            FaultPolicy::Strict => self.net.multicast(now, src, dsts, bytes),
+            FaultPolicy::Degrade => match self.net.try_multicast(now, src, dsts, bytes) {
+                Ok(d) => d,
+                Err(_) => {
+                    let mut out = Vec::with_capacity(dsts.len());
+                    for &dst in dsts {
+                        match self.net.try_transmit(now, src, dst, bytes) {
+                            Ok(at) => out.push(Delivery { node: dst, at }),
+                            Err(_) => self.net.faults.msg_drops += 1,
+                        }
+                    }
+                    out
+                }
+            },
+        }
     }
 
     /// Simulate one timestep from per-node ready times. `kspace` selects
@@ -127,9 +208,8 @@ impl Machine {
                 if dsts.is_empty() {
                     continue;
                 }
-                for d in self
-                    .net
-                    .multicast(ready[i], i as NodeId, dsts, plan.comm.import_bytes[i])
+                for d in
+                    self.deliver_multicast(ready[i], i as NodeId, dsts, plan.comm.import_bytes[i])
                 {
                     import_arrivals[d.node as usize].push(d.at);
                 }
@@ -141,7 +221,7 @@ impl Machine {
                     batch.push((ready[i], i as NodeId, dst, plan.comm.import_bytes[i]));
                 }
             }
-            let arrivals = self.net.run_batch(&batch);
+            let arrivals = self.deliver_batch(&batch);
             for (&(_, _, dst, _), at) in batch.iter().zip(arrivals) {
                 import_arrivals[dst as usize].push(at);
             }
@@ -226,7 +306,8 @@ impl Machine {
                 batch.push((htis_done[i], i as NodeId, dst, bytes));
             }
         }
-        for (&(_, _, dst, _), at) in batch.iter().zip(self.net.run_batch(&batch)) {
+        let arrivals = self.deliver_batch(&batch);
+        for (&(_, _, dst, _), at) in batch.iter().zip(arrivals) {
             if at > force_arrivals[dst as usize] {
                 force_arrivals[dst as usize] = at;
             }
@@ -271,10 +352,8 @@ impl Machine {
                 migration_batch.push((next_ready[i], i as NodeId, dst, bytes));
             }
         }
-        for (&(_, _, dst, _), at) in migration_batch
-            .iter()
-            .zip(self.net.run_batch(&migration_batch))
-        {
+        let arrivals = self.deliver_batch(&migration_batch);
+        for (&(_, _, dst, _), at) in migration_batch.iter().zip(arrivals) {
             if at > next_ready[dst as usize] {
                 next_ready[dst as usize] = at;
             }
@@ -360,7 +439,8 @@ impl Machine {
                 rank_ready[r as usize] = rank_ready[r as usize].max(spread_done[i]);
             }
         }
-        for (&(_, _, dst, _), at) in batch.iter().zip(self.net.run_batch(&batch)) {
+        let arrivals = self.deliver_batch(&batch);
+        for (&(_, _, dst, _), at) in batch.iter().zip(arrivals) {
             let r = plan
                 .pencil
                 .rank_of(dst)
@@ -398,7 +478,8 @@ impl Machine {
                     (stage_done[sr], src, dst, bytes)
                 })
                 .collect();
-            for (&(_, _, dst, _), at) in batch.iter().zip(mach.net.run_batch(&batch)) {
+            let arrivals = mach.deliver_batch(&batch);
+            for (&(_, _, dst, _), at) in batch.iter().zip(arrivals) {
                 let dr = plan.pencil.rank_of(dst).unwrap() as usize;
                 next[dr] = next[dr].max(at);
             }
@@ -451,7 +532,8 @@ impl Machine {
             // Host keeps its own part.
             grid_back[host as usize] = grid_back[host as usize].max(stage_done[r]);
         }
-        for (&(_, _, dst, _), at) in batch.iter().zip(self.net.run_batch(&batch)) {
+        let arrivals = self.deliver_batch(&batch);
+        for (&(_, _, dst, _), at) in batch.iter().zip(arrivals) {
             grid_back[dst as usize] = grid_back[dst as usize].max(at);
         }
         sync(&mut grid_back, bsp);
@@ -513,10 +595,7 @@ impl Machine {
                 continue;
             }
             if plan.comm.import_multicast {
-                for d in self
-                    .net
-                    .multicast(t0, i as NodeId, dsts, plan.comm.import_bytes[i])
-                {
+                for d in self.deliver_multicast(t0, i as NodeId, dsts, plan.comm.import_bytes[i]) {
                     last_arrival = last_arrival.max(d.at);
                 }
             } else {
@@ -524,7 +603,7 @@ impl Machine {
                     .iter()
                     .map(|&dst| (t0, i as NodeId, dst, plan.comm.import_bytes[i]))
                     .collect();
-                for at in self.net.run_batch(&batch) {
+                for at in self.deliver_batch(&batch) {
                     last_arrival = last_arrival.max(at);
                 }
             }
@@ -579,7 +658,7 @@ impl Machine {
                 batch.push((t3, i as NodeId, dst, bytes));
             }
         }
-        for at in self.net.run_batch(&batch) {
+        for at in self.deliver_batch(&batch) {
             last_force = last_force.max(at);
         }
         let t4 = global_sync(last_force);
@@ -608,7 +687,7 @@ impl Machine {
                 migration_batch.push((phase_end, i as NodeId, dst, bytes));
             }
         }
-        for at in self.net.run_batch(&migration_batch) {
+        for at in self.deliver_batch(&migration_batch) {
             phase_end = phase_end.max(at);
         }
         let t5 = global_sync(phase_end);
@@ -822,5 +901,34 @@ mod tests {
             avg.as_ps()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn degrade_policy_survives_a_dead_node() {
+        let (mut m, plan) = setup(8);
+        m.fault_policy = FaultPolicy::Degrade;
+        m.net.fault = Some(anton2_net::FaultPlan::new(11).kill_node(5));
+        let ready = vec![SimTime::ZERO; 8];
+        let r = m.simulate_step(&plan, true, &ready);
+        assert!(r.step_time > SimTime::ZERO, "the step completes");
+        assert!(
+            m.net.faults.msg_drops > 0 || m.net.faults.node_drops > 0,
+            "traffic into the dead node must register somewhere"
+        );
+        // The dead node is now in the observed health map, ready to drive
+        // a replan.
+        assert!(m.net.health.node_dead(5));
+    }
+
+    #[test]
+    fn degrade_policy_is_invisible_on_a_healthy_fabric() {
+        let (mut strict, plan) = setup(8);
+        let (mut degrade, _) = setup(8);
+        degrade.fault_policy = FaultPolicy::Degrade;
+        let ready = vec![SimTime::ZERO; 8];
+        let a = strict.simulate_step(&plan, true, &ready);
+        let b = degrade.simulate_step(&plan, true, &ready);
+        assert_eq!(a.step_time, b.step_time, "policy must not change timing");
+        assert_eq!(degrade.net.faults.msg_drops, 0);
     }
 }

@@ -18,8 +18,9 @@ use crate::ntmethod::{
 };
 use anton2_md::gse::GseParams;
 use anton2_md::System;
-use anton2_net::{Coord, NodeId, Torus};
+use anton2_net::{Coord, HealthMap, NodeId, Torus, DIM_ORDERS};
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Spreading/interpolation stencil half-width in grid points used by the
 /// *machine work model*: production spreading kernels touch a 5×5×5-class
@@ -159,6 +160,60 @@ impl PencilLayout {
         let stride = n_nodes / best_ranks;
         let hosts = (0..best_ranks).map(|r| r * stride).collect();
         Self::from_hosts(best.0, best.1, hosts, n_nodes)
+    }
+
+    /// Like [`PencilLayout::choose`], but hosts ranks only on nodes outside
+    /// `dead` — the re-hosting path a health-driven replan takes when a
+    /// pencil host is evicted. Returns `None` only when no live node
+    /// remains. With `dead` empty this is exactly [`PencilLayout::choose`].
+    pub fn choose_excluding(
+        torus: Torus,
+        gx: usize,
+        gy: usize,
+        gz: usize,
+        dead: &BTreeSet<NodeId>,
+    ) -> Option<Self> {
+        if dead.is_empty() {
+            return Some(Self::choose(torus, gx, gy, gz));
+        }
+        let n_nodes = torus.n_nodes();
+        let live: Vec<NodeId> = (0..n_nodes).filter(|n| !dead.contains(n)).collect();
+        if live.is_empty() {
+            return None;
+        }
+        let n_live = live.len() as u32;
+        // Largest power-of-two process grid that fits the live node count
+        // and divides the grid dims (the live count need not divide evenly
+        // — ranks are spread across the live list by stride instead).
+        let mut best = (1u32, 1u32);
+        let mut best_ranks = 1u32;
+        let mut px = 1u32;
+        while px as usize <= gx.min(gy) {
+            let mut py = 1u32;
+            while py as usize <= gy.min(gz) {
+                let ranks = px * py;
+                if ranks <= n_live
+                    && gx.is_multiple_of(px as usize)
+                    && gy.is_multiple_of(px as usize)
+                    && gy.is_multiple_of(py as usize)
+                    && gz.is_multiple_of(py as usize)
+                {
+                    let balanced = (px as i64 - py as i64).abs();
+                    let cur = (best.0 as i64 - best.1 as i64).abs();
+                    if ranks > best_ranks || (ranks == best_ranks && balanced < cur) {
+                        best_ranks = ranks;
+                        best = (px, py);
+                    }
+                }
+                py *= 2;
+            }
+            px *= 2;
+        }
+        let stride = (n_live / best_ranks).max(1);
+        let hosts: Vec<NodeId> = (0..best_ranks)
+            .map(|r| live[(r * stride) as usize])
+            .collect();
+        Some(Self::from_hosts(best.0, best.1, hosts, n_nodes))
     }
 }
 
@@ -340,62 +395,7 @@ impl StepPlan {
         // --- K-space: pencil layout, spread, transposes, return ---
         let pencil = PencilLayout::choose(torus, grid.0, grid.1, grid.2);
         let ranks = pencil.ranks() as usize;
-        let margin = MODEL_SPREAD_MARGIN as i64;
-
-        // Node spatial box → grid x/y ranges (+margin), mapped to ranks.
-        let xb = grid.0 / pencil.px as usize;
-        let yb = grid.1 / pencil.py as usize;
-        let mut spread_msgs: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); n_nodes];
-        let mut recv_points = vec![0u64; ranks]; // spread points landing per rank
-        for node in 0..n_nodes as u32 {
-            let c = torus.coord(node);
-            let gx0 = (c.x as usize * grid.0) / torus.nx as usize;
-            let gx1 = ((c.x as usize + 1) * grid.0) / torus.nx as usize;
-            let gy0 = (c.y as usize * grid.1) / torus.ny as usize;
-            let gy1 = ((c.y as usize + 1) * grid.1) / torus.ny as usize;
-            let gz_len = (grid.2 / torus.nz as usize + 2 * margin as usize).min(grid.2);
-            // Count grid columns per (rank_x, rank_y) with wrapping.
-            // BTreeMap so the spread-message list (and the recv_points
-            // accumulation) is built in rank order, independent of hasher
-            // state.
-            let mut per_rank: std::collections::BTreeMap<u32, u64> = Default::default();
-            for gx in (gx0 as i64 - margin)..(gx1 as i64 + margin) {
-                let gx = gx.rem_euclid(grid.0 as i64) as usize;
-                let rx = (gx / xb) as u32;
-                for gy in (gy0 as i64 - margin)..(gy1 as i64 + margin) {
-                    let gy = gy.rem_euclid(grid.1 as i64) as usize;
-                    let ry = (gy / yb) as u32;
-                    *per_rank.entry(rx * pencil.py + ry).or_default() += gz_len as u64;
-                }
-            }
-            let mut msgs: Vec<(NodeId, u32)> = per_rank
-                .into_iter()
-                .map(|(rank, points)| {
-                    recv_points[rank as usize] += points;
-                    (
-                        pencil.node_of(rank),
-                        ((points as f64 * BYTES_PER_SPREAD_POINT) as u32).max(16),
-                    )
-                })
-                .filter(|&(dst, _)| dst != node)
-                .collect();
-            msgs.sort_unstable();
-            spread_msgs[node as usize] = msgs;
-        }
-        // Grid returns: each rank sends back to the nodes that contributed.
-        let mut grid_returns: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); ranks];
-        for node in 0..n_nodes {
-            for &(dst, bytes) in &spread_msgs[node] {
-                // dst is a rank-hosting node; find its rank.
-                let rank = pencil.rank_of(dst).expect("spread target hosts a rank") as usize;
-                let ret = ((bytes as f64 * BYTES_PER_RETURN_POINT / BYTES_PER_SPREAD_POINT) as u32)
-                    .max(16);
-                grid_returns[rank].push((node as u32, ret));
-            }
-        }
-        for v in &mut grid_returns {
-            v.sort_unstable();
-        }
+        let (spread_msgs, grid_returns) = kspace_messages(torus, &pencil, grid);
 
         // Atom migration: kinetic-theory one-way flux through the six box
         // faces, Φ = ρ·sqrt(kB·T/2πm̄) per unit area, at T = 300 K and the
@@ -484,6 +484,220 @@ impl StepPlan {
         Ok(())
     }
 
+    /// Re-plan around observed fabric damage. Dead nodes are evicted —
+    /// their work and message endpoints migrate to the nearest live node
+    /// (torus hops, lowest id on ties) — pencil ranks are re-hosted off
+    /// dead nodes, capacity is re-checked against the surviving nodes, and
+    /// every remaining inter-node flow is scored across the six minimal
+    /// dimension orders to build a route bias that steers traffic off hot
+    /// or dead links.
+    ///
+    /// Pure function of `(self, health, machine)`: replanning is
+    /// deterministic and lives entirely on the simulation side, so the MD
+    /// physics is never perturbed by when (or whether) it runs.
+    pub fn replan_with_health(
+        &self,
+        health: &HealthMap,
+        machine: &MachineConfig,
+    ) -> Result<(StepPlan, RouteBias, ReplanSummary), ReplanError> {
+        let torus = machine.torus;
+        let n_nodes = torus.n_nodes();
+        let dead: BTreeSet<NodeId> = (0..n_nodes).filter(|&n| health.node_dead(n)).collect();
+        if dead.len() as u32 == n_nodes {
+            return Err(ReplanError::NoLiveNodes);
+        }
+        let mut summary = ReplanSummary {
+            evicted_nodes: dead.iter().copied().collect(),
+            dead_links: health.dead_link_count(),
+            hot_links: health
+                .hot_links()
+                .iter()
+                .filter(|&&l| !health.link_dead(l))
+                .count(),
+            ..Default::default()
+        };
+
+        let plan = if dead.is_empty() {
+            // No eviction: the plan is untouched; only the route bias
+            // (computed below) reacts to hot links.
+            self.clone()
+        } else {
+            // Node → where its work and message endpoints land.
+            let remap: Vec<NodeId> = (0..n_nodes)
+                .map(|n| {
+                    if dead.contains(&n) {
+                        nearest_live(torus, &dead, n)
+                    } else {
+                        n
+                    }
+                })
+                .collect();
+
+            // Work: dead nodes hand everything to their merge target.
+            let mut work = self.work.clone();
+            for &d in &dead {
+                let w = std::mem::take(&mut work[d as usize]);
+                summary.moved_atoms += w.owned_atoms;
+                let t = &mut work[remap[d as usize] as usize];
+                t.owned_atoms += w.owned_atoms;
+                t.imported_atoms = t.imported_atoms.max(w.imported_atoms);
+                t.pair_interactions += w.pair_interactions;
+                t.bonded_terms += w.bonded_terms;
+                // anton2-lint: allow(telemetry-discipline) -- NodeWork
+                // plan fields that share names with telemetry counters,
+                // not the engine's profile.
+                t.spread_points += w.spread_points;
+                // anton2-lint: allow(telemetry-discipline) -- same plan
+                // field, not telemetry.
+                t.interp_points += w.interp_points;
+                t.integrate_atoms += w.integrate_atoms;
+                t.constraints += w.constraints;
+            }
+
+            // Imports: the target inherits the dead node's export set and
+            // payload; destinations remap and arrivals are recounted.
+            let mut import_dsts: Vec<Vec<NodeId>> = vec![Vec::new(); n_nodes as usize];
+            for (node, dsts) in self.comm.import_dsts.iter().enumerate() {
+                let owner = remap[node];
+                for &d in dsts {
+                    let d = remap[d as usize];
+                    if d != owner {
+                        import_dsts[owner as usize].push(d);
+                    }
+                }
+            }
+            for v in &mut import_dsts {
+                v.sort_unstable();
+                v.dedup();
+            }
+            let mut import_bytes = self.comm.import_bytes.clone();
+            for &d in &dead {
+                let b = std::mem::take(&mut import_bytes[d as usize]);
+                let t = remap[d as usize] as usize;
+                import_bytes[t] = import_bytes[t].saturating_add(b);
+            }
+            let mut import_msgs_in = vec![0u32; n_nodes as usize];
+            for dsts in &import_dsts {
+                for &d in dsts {
+                    import_msgs_in[d as usize] += 1;
+                }
+            }
+
+            let force_returns = merge_endpoint_lists(&self.comm.force_returns, &remap);
+            let migrations = merge_endpoint_lists(&self.comm.migrations, &remap);
+
+            // K-space: re-host the pencil only if a dead node held a rank;
+            // either way dead contributors hand their slab traffic to
+            // their merge target.
+            let host_died =
+                (0..self.pencil.ranks()).any(|r| dead.contains(&self.pencil.node_of(r)));
+            let (pencil, spread_msgs, grid_returns, fft_transposes) = if host_died {
+                let pencil = PencilLayout::choose_excluding(
+                    torus,
+                    self.grid.0,
+                    self.grid.1,
+                    self.grid.2,
+                    &dead,
+                )
+                .ok_or(ReplanError::NoLiveNodes)?;
+                summary.pencil_rehosted = true;
+                let (spread, returns) = kspace_messages(torus, &pencil, self.grid);
+                let spread = merge_endpoint_lists(&spread, &remap);
+                let returns = remap_return_lists(&returns, &pencil, &remap);
+                let fft = transpose_messages(&pencil, self.grid);
+                (pencil, spread, returns, fft)
+            } else {
+                let pencil = self.pencil.clone();
+                let spread = merge_endpoint_lists(&self.comm.spread_msgs, &remap);
+                let returns = remap_return_lists(&self.comm.grid_returns, &pencil, &remap);
+                (pencil, spread, returns, self.comm.fft_transposes.clone())
+            };
+            let ranks = pencil.ranks();
+            let grid_total = (self.grid.0 * self.grid.1 * self.grid.2) as u64;
+            let log2n = (self.grid.0 as f64).log2();
+            let butterflies_per_rank =
+                ((grid_total as f64 / ranks as f64) * log2n / 2.0).ceil() as u64;
+            let influence_points_per_rank = grid_total / ranks as u64;
+
+            StepPlan {
+                work,
+                comm: CommPlan {
+                    import_dsts,
+                    import_bytes,
+                    import_multicast: self.comm.import_multicast,
+                    import_msgs_in,
+                    force_returns,
+                    migrations,
+                    spread_msgs,
+                    grid_returns,
+                    fft_transposes,
+                },
+                pencil,
+                butterflies_per_rank,
+                influence_points_per_rank,
+                grid: self.grid,
+                density: self.density,
+            }
+        };
+        plan.validate_capacity(&machine.node)
+            .map_err(ReplanError::Capacity)?;
+
+        // Route bias: score every remaining flow across the six minimal
+        // dimension orders. A flow is pinned only when some order strictly
+        // beats the one the routing policy would pick on its own.
+        let mut flows: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        for (node, dsts) in plan.comm.import_dsts.iter().enumerate() {
+            for &d in dsts {
+                flows.insert((node as u32, d));
+            }
+        }
+        for lists in [
+            &plan.comm.force_returns,
+            &plan.comm.migrations,
+            &plan.comm.spread_msgs,
+        ] {
+            for (node, list) in lists.iter().enumerate() {
+                for &(d, _) in list {
+                    flows.insert((node as u32, d));
+                }
+            }
+        }
+        for (r, list) in plan.comm.grid_returns.iter().enumerate() {
+            let host = plan.pencil.node_of(r as u32);
+            for &(d, _) in list {
+                flows.insert((host, d));
+            }
+        }
+        for phase in &plan.comm.fft_transposes {
+            for &(s, d, _) in phase {
+                flows.insert((s, d));
+            }
+        }
+        let mut bias = RouteBias::new();
+        for (src, dst) in flows {
+            if src == dst {
+                continue;
+            }
+            let policy_order = machine.routing.order_for(src, dst);
+            let default_cost = route_penalty(torus, health, src, dst, policy_order);
+            if default_cost == 0 {
+                continue;
+            }
+            let mut best = (policy_order, default_cost);
+            for &order in DIM_ORDERS.iter() {
+                let c = route_penalty(torus, health, src, dst, order);
+                if c < best.1 {
+                    best = (order, c);
+                }
+            }
+            if best.1 < default_cost {
+                bias.insert((src, dst), best.0);
+                summary.biased_flows += 1;
+            }
+        }
+        Ok((plan, bias, summary))
+    }
+
     /// Total atoms in the plan.
     pub fn total_atoms(&self) -> u64 {
         self.work.iter().map(|w| w.owned_atoms).sum()
@@ -527,6 +741,52 @@ impl StepPlan {
     }
 }
 
+/// Route-bias table produced by a replan: flows pinned to an explicit
+/// minimal dimension order, ready for `Network::with_route_bias`.
+pub type RouteBias = BTreeMap<(NodeId, NodeId), [u8; 3]>;
+
+/// Per-sender endpoint lists: for each node (or pencil rank), the
+/// `(destination, bytes)` messages it emits in one phase.
+pub type EndpointLists = Vec<Vec<(NodeId, u32)>>;
+
+/// Why a health-driven replan could not produce a viable plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplanError {
+    /// Every node in the machine is flagged dead.
+    NoLiveNodes,
+    /// The surviving nodes cannot hold the redistributed workload.
+    Capacity(CapacityError),
+}
+
+impl std::fmt::Display for ReplanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplanError::NoLiveNodes => write!(f, "every node is flagged dead"),
+            ReplanError::Capacity(e) => write!(f, "degraded plan exceeds capacity: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplanError {}
+
+/// What a health-driven replan changed, for recovery reporting.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ReplanSummary {
+    /// Nodes evicted from the plan (flagged dead by the health map).
+    pub evicted_nodes: Vec<NodeId>,
+    /// Owned atoms whose work moved to surviving nodes.
+    pub moved_atoms: u64,
+    /// Flows pinned to a non-default dimension order to dodge hot or dead
+    /// fabric.
+    pub biased_flows: u64,
+    /// Whether the pencil-FFT layout had to be re-hosted off dead nodes.
+    pub pencil_rehosted: bool,
+    /// Links the health map saw as dead at replan time.
+    pub dead_links: usize,
+    /// Links hot (but alive) at replan time.
+    pub hot_links: usize,
+}
+
 /// A workload that does not fit in a node's on-chip memory.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CapacityError {
@@ -547,6 +807,160 @@ impl std::fmt::Display for CapacityError {
 }
 
 impl std::error::Error for CapacityError {}
+
+/// Spread and grid-return message lists for `pencil`: per node, the spread
+/// contributions its spatial slab sends to each pencil rank; per rank, the
+/// force-grid returns back to those contributors. Shared by the initial
+/// build and health-driven replans (which call it with a re-hosted pencil).
+fn kspace_messages(
+    torus: Torus,
+    pencil: &PencilLayout,
+    grid: (usize, usize, usize),
+) -> (EndpointLists, EndpointLists) {
+    let n_nodes = torus.n_nodes() as usize;
+    let margin = MODEL_SPREAD_MARGIN as i64;
+    // Node spatial box → grid x/y ranges (+margin), mapped to ranks.
+    let xb = grid.0 / pencil.px as usize;
+    let yb = grid.1 / pencil.py as usize;
+    let mut spread_msgs: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); n_nodes];
+    let mut grid_returns: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); pencil.ranks() as usize];
+    for node in 0..n_nodes as u32 {
+        let c = torus.coord(node);
+        let gx0 = (c.x as usize * grid.0) / torus.nx as usize;
+        let gx1 = ((c.x as usize + 1) * grid.0) / torus.nx as usize;
+        let gy0 = (c.y as usize * grid.1) / torus.ny as usize;
+        let gy1 = ((c.y as usize + 1) * grid.1) / torus.ny as usize;
+        let gz_len = (grid.2 / torus.nz as usize + 2 * margin as usize).min(grid.2);
+        // Count grid columns per (rank_x, rank_y) with wrapping. BTreeMap
+        // so the message lists are built in rank order, independent of
+        // hasher state.
+        let mut per_rank: BTreeMap<u32, u64> = Default::default();
+        for gx in (gx0 as i64 - margin)..(gx1 as i64 + margin) {
+            let gx = gx.rem_euclid(grid.0 as i64) as usize;
+            let rx = (gx / xb) as u32;
+            for gy in (gy0 as i64 - margin)..(gy1 as i64 + margin) {
+                let gy = gy.rem_euclid(grid.1 as i64) as usize;
+                let ry = (gy / yb) as u32;
+                *per_rank.entry(rx * pencil.py + ry).or_default() += gz_len as u64;
+            }
+        }
+        let mut msgs: Vec<(NodeId, u32)> = Vec::with_capacity(per_rank.len());
+        for (rank, points) in per_rank {
+            let dst = pencil.node_of(rank);
+            if dst == node {
+                continue;
+            }
+            let bytes = ((points as f64 * BYTES_PER_SPREAD_POINT) as u32).max(16);
+            let ret =
+                ((bytes as f64 * BYTES_PER_RETURN_POINT / BYTES_PER_SPREAD_POINT) as u32).max(16);
+            msgs.push((dst, bytes));
+            grid_returns[rank as usize].push((node, ret));
+        }
+        msgs.sort_unstable();
+        spread_msgs[node as usize] = msgs;
+    }
+    for v in &mut grid_returns {
+        v.sort_unstable();
+    }
+    (spread_msgs, grid_returns)
+}
+
+/// Nearest live node to `d` (torus hops; lowest id breaks ties).
+fn nearest_live(torus: Torus, dead: &BTreeSet<NodeId>, d: NodeId) -> NodeId {
+    let mut best = d;
+    let mut best_hops = u32::MAX;
+    for n in 0..torus.n_nodes() {
+        if !dead.contains(&n) {
+            let h = torus.hops(d, n);
+            if h < best_hops {
+                best_hops = h;
+                best = n;
+            }
+        }
+    }
+    best
+}
+
+/// Sort `(dst, bytes)` messages and combine duplicate destinations.
+fn coalesce(mut v: Vec<(NodeId, u32)>) -> Vec<(NodeId, u32)> {
+    v.sort_unstable();
+    let mut out: Vec<(NodeId, u32)> = Vec::with_capacity(v.len());
+    for (dst, bytes) in v {
+        match out.last_mut() {
+            Some(last) if last.0 == dst => last.1 = last.1.saturating_add(bytes),
+            _ => out.push((dst, bytes)),
+        }
+    }
+    out
+}
+
+/// Remap per-node `(dst, bytes)` lists after node eviction: senders and
+/// destinations move to their merge target, self-sends vanish, duplicate
+/// destinations combine.
+fn merge_endpoint_lists(lists: &[Vec<(NodeId, u32)>], remap: &[NodeId]) -> Vec<Vec<(NodeId, u32)>> {
+    let mut out: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); lists.len()];
+    for (node, list) in lists.iter().enumerate() {
+        let owner = remap[node];
+        for &(dst, bytes) in list {
+            let dst = remap[dst as usize];
+            if dst != owner {
+                out[owner as usize].push((dst, bytes));
+            }
+        }
+    }
+    for v in &mut out {
+        *v = coalesce(std::mem::take(v));
+    }
+    out
+}
+
+/// Remap per-rank grid-return lists after node eviction: contributors move
+/// to their merge target; returns to the rank's own host become local and
+/// vanish.
+fn remap_return_lists(
+    returns: &[Vec<(NodeId, u32)>],
+    pencil: &PencilLayout,
+    remap: &[NodeId],
+) -> Vec<Vec<(NodeId, u32)>> {
+    returns
+        .iter()
+        .enumerate()
+        .map(|(r, list)| {
+            let v: Vec<(NodeId, u32)> = list
+                .iter()
+                .map(|&(n, b)| (remap[n as usize], b))
+                .filter(|&(n, _)| n != pencil.node_of(r as u32))
+                .collect();
+            coalesce(v)
+        })
+        .collect()
+}
+
+/// Summed penalty of routing `src → dst` with dimension order `order`:
+/// dead links or transit nodes cost effectively infinity, hot links their
+/// retry EWMA, healthy fabric nothing.
+fn route_penalty(
+    torus: Torus,
+    health: &HealthMap,
+    src: NodeId,
+    dst: NodeId,
+    order: [u8; 3],
+) -> u64 {
+    const DEAD_PENALTY: u64 = 1 << 40;
+    let mut total = 0u64;
+    for &(node, dir) in &torus.route_with_order(src, dst, order) {
+        let link = torus.link_index(node, dir);
+        let next = torus.neighbor(node, dir);
+        if health.link_dead(link) || health.node_dead(next) {
+            total = total.saturating_add(DEAD_PENALTY);
+        } else if let Some(l) = health.link(link) {
+            if l.hot() {
+                total = total.saturating_add(l.ewma_raw());
+            }
+        }
+    }
+    total
+}
 
 /// Transpose message lists for the 4 FFT communication phases, mapped to
 /// node ids.
@@ -747,6 +1161,132 @@ mod tests {
         let err = plan1.validate_capacity(&m1.node).unwrap_err();
         assert!(err.needed_bytes > err.available_bytes);
         assert!(err.to_string().contains("SRAM"));
+    }
+
+    #[test]
+    fn replan_with_clean_health_changes_nothing() {
+        let (p, _) = plan_for(8);
+        let m = MachineConfig::anton2(8);
+        let h = HealthMap::new(m.torus.n_links());
+        let (r, bias, s) = p.replan_with_health(&h, &m).unwrap();
+        assert!(bias.is_empty());
+        assert!(s.evicted_nodes.is_empty());
+        assert_eq!(s.biased_flows, 0);
+        assert!(!s.pencil_rehosted);
+        assert_eq!(r.comm.import_dsts, p.comm.import_dsts);
+        assert_eq!(r.comm.migrations, p.comm.migrations);
+        assert_eq!(r.comm.spread_msgs, p.comm.spread_msgs);
+        assert_eq!(r.total_comm_bytes(), p.total_comm_bytes());
+    }
+
+    #[test]
+    fn replan_evicts_a_dead_node_and_conserves_work() {
+        let (p, s) = plan_for(8);
+        let m = MachineConfig::anton2(8);
+        let mut h = HealthMap::new(m.torus.n_links());
+        h.mark_node_dead(3);
+        let (r, _, sum) = p.replan_with_health(&h, &m).unwrap();
+        assert_eq!(sum.evicted_nodes, vec![3]);
+        assert!(sum.moved_atoms > 0);
+        assert!(sum.pencil_rehosted, "8-node pencil hosts a rank on node 3");
+        assert_eq!(r.total_atoms(), s.n_atoms() as u64, "atoms conserved");
+        assert_eq!(r.work[3].owned_atoms, 0);
+        assert_eq!(r.work[3].integrate_atoms, 0);
+        // Nothing in the degraded plan touches the dead node.
+        assert!(r.comm.import_dsts[3].is_empty());
+        assert_eq!(r.comm.import_msgs_in[3], 0);
+        for dsts in &r.comm.import_dsts {
+            assert!(!dsts.contains(&3), "import export to dead node");
+        }
+        for lists in [
+            &r.comm.force_returns,
+            &r.comm.migrations,
+            &r.comm.spread_msgs,
+        ] {
+            assert!(lists[3].is_empty());
+            for list in lists.iter() {
+                assert!(list.iter().all(|&(d, _)| d != 3));
+            }
+        }
+        for list in &r.comm.grid_returns {
+            assert!(list.iter().all(|&(d, _)| d != 3));
+        }
+        for rank in 0..r.pencil.ranks() {
+            assert_ne!(r.pencil.node_of(rank), 3, "pencil rank on dead node");
+        }
+        for phase in &r.comm.fft_transposes {
+            assert!(phase.iter().all(|&(a, b, _)| a != 3 && b != 3));
+        }
+        assert!(r.validate_capacity(&m.node).is_ok());
+    }
+
+    #[test]
+    fn replan_biases_flows_off_a_hot_link() {
+        let (p, _) = plan_for(8);
+        let m = MachineConfig::anton2(8);
+        let torus = m.torus;
+        let mut h = HealthMap::new(torus.n_links());
+        // Saturate the +x link out of node 0 with retries until it is hot.
+        let hot = torus.link_index(0, anton2_net::Dir::XPlus);
+        for _ in 0..64 {
+            h.observe_crossing(hot, 3);
+        }
+        assert!(h.link(hot).unwrap().hot());
+        let (_, bias, sum) = p.replan_with_health(&h, &m).unwrap();
+        assert!(sum.biased_flows > 0, "some flow should dodge the hot link");
+        assert_eq!(sum.biased_flows, bias.len() as u64);
+        assert_eq!(sum.hot_links, 1);
+        // Every biased flow's chosen order actually avoids the hot link.
+        for (&(src, dst), &order) in &bias {
+            let path = torus.route_with_order(src, dst, order);
+            assert!(path.iter().all(|&(n, d)| torus.link_index(n, d) != hot));
+        }
+    }
+
+    #[test]
+    fn replan_is_deterministic() {
+        let (p, _) = plan_for(8);
+        let m = MachineConfig::anton2(8);
+        let mut h = HealthMap::new(m.torus.n_links());
+        h.mark_node_dead(5);
+        h.observe_crossing(0, 3);
+        let (r1, b1, s1) = p.replan_with_health(&h, &m).unwrap();
+        let (r2, b2, s2) = p.replan_with_health(&h, &m).unwrap();
+        assert_eq!(b1, b2);
+        assert_eq!(s1.moved_atoms, s2.moved_atoms);
+        assert_eq!(
+            serde_json::to_string(&r1).unwrap(),
+            serde_json::to_string(&r2).unwrap()
+        );
+    }
+
+    #[test]
+    fn replan_every_node_dead_is_an_error() {
+        let (p, _) = plan_for(8);
+        let m = MachineConfig::anton2(8);
+        let mut h = HealthMap::new(m.torus.n_links());
+        for n in 0..8 {
+            h.mark_node_dead(n);
+        }
+        assert!(matches!(
+            p.replan_with_health(&h, &m),
+            Err(ReplanError::NoLiveNodes)
+        ));
+    }
+
+    #[test]
+    fn choose_excluding_skips_dead_hosts() {
+        let torus = anton2_net::Torus::for_nodes(8);
+        let mut dead = std::collections::BTreeSet::new();
+        dead.insert(0u32);
+        dead.insert(5u32);
+        let l = PencilLayout::choose_excluding(torus, 32, 32, 32, &dead).unwrap();
+        assert!(l.ranks() >= 1);
+        for r in 0..l.ranks() {
+            assert!(!dead.contains(&l.node_of(r)), "rank {r} on dead node");
+        }
+        assert_eq!(32 % l.px as usize, 0);
+        assert_eq!(32 % l.py as usize, 0);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! in the units the paper uses.
 
 use crate::config::MachineConfig;
-use crate::machine::{Machine, StepResult};
-use crate::plan::StepPlan;
+use crate::machine::{FaultPolicy, Machine, StepResult};
+use crate::plan::{ReplanError, ReplanSummary, StepPlan};
 use anton2_md::telemetry::StepProfile;
 use anton2_md::units::us_per_day;
 use anton2_md::System;
@@ -52,6 +52,8 @@ pub struct FaultColumns {
     pub reroutes: u64,
     /// Links configured dead for the sweep point.
     pub degraded_links: u64,
+    /// Nodes configured dead for the sweep point.
+    pub degraded_nodes: u64,
 }
 
 /// The result of one machine-performance simulation.
@@ -135,6 +137,7 @@ pub fn simulate_performance_with_faults(
     let plan = StepPlan::build(system, &machine_cfg);
     let mut machine = Machine::new(machine_cfg);
     let degraded_links = fault.dead_link_count() as u64;
+    let degraded_nodes = fault.dead_node_count() as u64;
     machine.net.fault = Some(fault);
     machine.net.retry = retry;
     let (avg_step, outer) = machine.simulate_respa_cycle(&plan, respa_interval);
@@ -153,8 +156,126 @@ pub fn simulate_performance_with_faults(
         stalls: observed.link_stalls,
         reroutes: observed.reroutes,
         degraded_links,
+        degraded_nodes,
     };
     report
+}
+
+/// Outcome of one detect → replan → continue drill: the per-step cost of
+/// each phase and what the replan changed. Serialized into
+/// `BENCH_recovery.json` by the fault-drill harness.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Per-step cost on a healthy fabric, µs.
+    pub clean_step_us: f64,
+    /// Per-step cost of the last cycle before the replan fired, µs — the
+    /// fabric is broken but the machine is still running the stale plan.
+    pub degraded_step_us: f64,
+    /// Per-step cost after the health-driven replan, µs.
+    pub recovered_step_us: f64,
+    /// RESPA cycles from fault injection until the health map flagged
+    /// degradation (equals the detection budget if nothing was flagged).
+    pub cycles_to_detect: u32,
+    /// Whether the health map actually flagged the fabric as degraded
+    /// within the detection budget.
+    pub detected: bool,
+    /// Messages abandoned at their source while running the stale plan.
+    pub msg_drops_before_replan: u64,
+    /// Messages abandoned after the replan (zero once dead endpoints are
+    /// evicted from the plan).
+    pub msg_drops_after_replan: u64,
+    /// What the replan changed: evictions, moved work, biased flows.
+    pub replan: ReplanSummary,
+    /// Payload bytes delivered during the clean baseline cycle.
+    pub delivered_bytes_clean: u64,
+    /// Payload bytes delivered during the recovered cycle. Equal to the
+    /// clean figure when no node was evicted (link faults change routes,
+    /// never payloads); evictions merge messages so the figure shifts.
+    pub delivered_bytes_recovered: u64,
+    /// `degraded_step_us / clean_step_us`.
+    pub degraded_overhead: f64,
+    /// `recovered_step_us / clean_step_us` — the steady-state cost of
+    /// running on the broken fabric with the repaired plan.
+    pub recovered_overhead: f64,
+}
+
+/// Run the full graceful-degradation loop on one fault scenario: a clean
+/// baseline cycle, degraded cycles under [`FaultPolicy::Degrade`] until the
+/// health map flags trouble (bounded by `max_detect_cycles`), a
+/// [`StepPlan::replan_with_health`] at the cycle boundary, then one
+/// recovered cycle on the repaired plan with the learned route bias
+/// installed.
+///
+/// Each cycle runs on a fresh [`Machine`] so per-cycle timings are
+/// comparable (link reservations do not leak across cycles); the learned
+/// [`anton2_net::HealthMap`] is the only state carried forward, exactly as
+/// a real controller would carry its fault telemetry across checkpoint
+/// barriers. Everything is a pure function of the fault-plan seed.
+pub fn simulate_recovery(
+    system: &System,
+    machine_cfg: MachineConfig,
+    respa_interval: u32,
+    fault: FaultPlan,
+    retry: RetryConfig,
+    max_detect_cycles: u32,
+) -> Result<RecoveryReport, ReplanError> {
+    assert!(max_detect_cycles >= 1, "need at least one detection cycle");
+    let plan = StepPlan::build(system, &machine_cfg);
+
+    // Healthy baseline.
+    let mut clean = Machine::new(machine_cfg);
+    clean.net.retry = retry;
+    let (clean_avg, _) = clean.simulate_respa_cycle(&plan, respa_interval);
+
+    // Degraded cycles on the stale plan until the health map notices.
+    let mut health = clean.net.health.snapshot();
+    let mut degraded_avg = clean_avg;
+    let mut drops_before = 0u64;
+    let mut cycles_to_detect = max_detect_cycles;
+    let mut detected = false;
+    for cycle in 0..max_detect_cycles {
+        let mut m = Machine::new(machine_cfg).with_fault_policy(FaultPolicy::Degrade);
+        m.net.fault = Some(fault.clone());
+        m.net.retry = retry;
+        m.net.health = health;
+        let (avg, _) = m.simulate_respa_cycle(&plan, respa_interval);
+        degraded_avg = avg;
+        drops_before += m.net.faults.msg_drops;
+        health = m.net.health.snapshot();
+        if health.is_degraded() {
+            cycles_to_detect = cycle + 1;
+            detected = true;
+            break;
+        }
+    }
+
+    // Replan at the deterministic cycle boundary, then run the repaired
+    // plan on the (still broken) fabric.
+    let (new_plan, bias, replan) = plan.replan_with_health(&health, &machine_cfg)?;
+    let mut m = Machine::new(machine_cfg).with_fault_policy(FaultPolicy::Degrade);
+    m.net.fault = Some(fault);
+    m.net.retry = retry;
+    m.net.health = health;
+    m.net.route_bias = bias;
+    let (recovered_avg, _) = m.simulate_respa_cycle(&new_plan, respa_interval);
+    let drops_after = m.net.faults.msg_drops;
+    let delivered_recovered = m.net.delivered_bytes;
+
+    let clean_us = clean_avg.as_us_f64();
+    Ok(RecoveryReport {
+        clean_step_us: clean_us,
+        degraded_step_us: degraded_avg.as_us_f64(),
+        recovered_step_us: recovered_avg.as_us_f64(),
+        cycles_to_detect,
+        detected,
+        msg_drops_before_replan: drops_before,
+        msg_drops_after_replan: drops_after,
+        replan,
+        delivered_bytes_clean: clean.net.delivered_bytes,
+        delivered_bytes_recovered: delivered_recovered,
+        degraded_overhead: degraded_avg.as_us_f64() / clean_us,
+        recovered_overhead: recovered_avg.as_us_f64() / clean_us,
+    })
 }
 
 fn report_from(
@@ -209,8 +330,8 @@ impl PerfReport {
         if f != FaultColumns::default() {
             // anton2-lint: allow(zero-alloc) -- same collision as above.
             row.push_str(&format!(
-                "  retries {:>6}  stalls {:>6}  reroutes {:>4}  dead links {:>3}",
-                f.retries, f.stalls, f.reroutes, f.degraded_links
+                "  retries {:>6}  stalls {:>6}  reroutes {:>4}  dead links {:>3}  dead nodes {:>2}",
+                f.retries, f.stalls, f.reroutes, f.degraded_links, f.degraded_nodes
             ));
         }
         row
@@ -324,6 +445,71 @@ mod tests {
         let again = sweep(7);
         assert_eq!(faulty.step_time_us.to_bits(), again.step_time_us.to_bits());
         assert_eq!(faulty.faults, again.faults);
+    }
+
+    #[test]
+    fn recovery_evicts_a_dead_node_and_stops_the_drops() {
+        let s = water_box(6, 6, 6, 1);
+        let cfg = MachineConfig::anton2(8);
+        let run = || {
+            simulate_recovery(
+                &s,
+                cfg,
+                2,
+                FaultPlan::new(11).kill_node(5),
+                RetryConfig::default(),
+                4,
+            )
+            .expect("replan succeeds")
+        };
+        let r = run();
+        assert!(r.detected, "a dead node must be detected: {r:?}");
+        assert!(r.cycles_to_detect <= 4);
+        assert_eq!(r.replan.evicted_nodes, vec![5]);
+        assert!(
+            r.msg_drops_before_replan > 0,
+            "the stale plan keeps sending into the dead node"
+        );
+        assert_eq!(
+            r.msg_drops_after_replan, 0,
+            "the repaired plan must not touch the dead node: {r:?}"
+        );
+        assert!(r.recovered_step_us > 0.0);
+        // Pure function of the seed.
+        let again = run();
+        assert_eq!(
+            r.recovered_step_us.to_bits(),
+            again.recovered_step_us.to_bits()
+        );
+        assert_eq!(r.msg_drops_before_replan, again.msg_drops_before_replan);
+    }
+
+    #[test]
+    fn recovery_on_a_dead_link_keeps_overhead_bounded() {
+        let s = water_box(6, 6, 6, 1);
+        let cfg = MachineConfig::anton2(8);
+        let r = simulate_recovery(
+            &s,
+            cfg,
+            2,
+            FaultPlan::new(13).kill_link(0),
+            RetryConfig::default(),
+            4,
+        )
+        .expect("replan succeeds");
+        assert!(r.detected, "a dead link must be detected: {r:?}");
+        assert!(r.replan.evicted_nodes.is_empty(), "no node died");
+        assert_eq!(r.msg_drops_after_replan, 0, "detours absorb a dead link");
+        assert_eq!(
+            r.delivered_bytes_clean, r.delivered_bytes_recovered,
+            "link faults change routes, never payloads"
+        );
+        assert!(
+            r.recovered_overhead <= 1.10,
+            "post-replan cost must stay within 10% of clean: {r:?}"
+        );
+        let j = serde_json::to_string(&r).unwrap();
+        assert!(j.contains("recovered_overhead"));
     }
 
     #[test]

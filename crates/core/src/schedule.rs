@@ -22,7 +22,7 @@
 use crate::plan::StepPlan;
 use anton2_asic::{CounterBank, NodeParams};
 use anton2_des::{EventQueue, SimTime};
-use anton2_net::{Network, NodeId};
+use anton2_net::{HealthMap, Network, NodeId};
 
 /// Which node engine executes a task.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -95,6 +95,9 @@ pub struct DagOutcome {
     /// Tasks that actually ran (must equal the graph size if the graph is
     /// well-formed).
     pub executed: usize,
+    /// Counted remote writes abandoned because the health snapshot flagged
+    /// an endpoint dead (only nonzero under [`execute_with_health`]).
+    pub skipped_sends: usize,
 }
 
 /// Execute a task graph on `net`, with per-(node, unit) FIFO engines and
@@ -104,6 +107,21 @@ pub struct DagOutcome {
 /// Panics if the graph deadlocks (some task's counter never reaches its
 /// threshold) — a malformed graph is a bug, not a timing result.
 pub fn execute(graph: &TaskGraph, net: &mut Network, node: &NodeParams) -> DagOutcome {
+    execute_with_health(graph, net, node, None)
+}
+
+/// [`execute`], consulting a [`HealthMap`] snapshot before every counted
+/// remote write: when either endpoint node is flagged dead, dispatch gives
+/// up immediately (raising the counter locally at the current time) instead
+/// of burning the full retry budget into known-dead fabric. A replanned
+/// graph references no dead nodes, so this path only fires in the window
+/// between a node dying and the next replan boundary.
+pub fn execute_with_health(
+    graph: &TaskGraph,
+    net: &mut Network,
+    node: &NodeParams,
+    health: Option<&HealthMap>,
+) -> DagOutcome {
     #[derive(Clone, Copy)]
     enum Ev {
         Fire(TaskId),
@@ -129,6 +147,7 @@ pub fn execute(graph: &TaskGraph, net: &mut Network, node: &NodeParams) -> DagOu
 
     let mut finish = vec![SimTime::ZERO; graph.len()];
     let mut executed = 0usize;
+    let mut skipped_sends = 0usize;
     while let Some((now, ev)) = queue.pop() {
         match ev {
             Ev::Fire(id) => {
@@ -151,7 +170,17 @@ pub fn execute(graph: &TaskGraph, net: &mut Network, node: &NodeParams) -> DagOu
                         None => now,
                         Some(bytes) => {
                             let src = graph.tasks[id as usize].node;
-                            net.transmit(now, src, target.node, bytes)
+                            let known_dead = health
+                                .is_some_and(|h| h.node_dead(src) || h.node_dead(target.node));
+                            if known_dead {
+                                // Don't retry into known-dead fabric: give
+                                // up at once and raise the counter locally
+                                // so the step still completes.
+                                skipped_sends += 1;
+                                now
+                            } else {
+                                net.transmit(now, src, target.node, bytes)
+                            }
                         }
                     };
                     if counters.increment(e.target as usize, at) {
@@ -182,6 +211,7 @@ pub fn execute(graph: &TaskGraph, net: &mut Network, node: &NodeParams) -> DagOu
         finish,
         makespan,
         executed,
+        skipped_sends,
     }
 }
 
@@ -584,6 +614,30 @@ mod tests {
         let c_done = out.finish[2].as_ns_f64();
         assert!(c_done > a_done + 35.0, "c at {c_done}");
         assert_eq!(out.makespan, out.finish[2]);
+    }
+
+    #[test]
+    fn health_dead_endpoint_skips_the_send_but_completes() {
+        let cfg = MachineConfig::anton2(8);
+        let g = tiny_graph();
+
+        let mut net = anton2_net::Network::new(cfg.torus, cfg.link);
+        let clean = execute(&g, &mut net, &cfg.node);
+        assert_eq!(clean.skipped_sends, 0);
+
+        // Node 1 (hosting b and c) is known dead: the a→c remote write is
+        // abandoned immediately instead of being pushed into the fabric.
+        let mut health = anton2_net::HealthMap::new(cfg.torus.n_links());
+        health.mark_node_dead(1);
+        let mut net = anton2_net::Network::new(cfg.torus, cfg.link);
+        let out = execute_with_health(&g, &mut net, &cfg.node, Some(&health));
+        assert_eq!(out.executed, 3, "the graph still completes");
+        assert_eq!(out.skipped_sends, 1);
+        assert!(
+            out.makespan <= clean.makespan,
+            "giving up is never slower than transmitting"
+        );
+        assert_eq!(net.faults, anton2_des::FaultCounters::default());
     }
 
     #[test]

@@ -230,6 +230,11 @@ pub struct FaultCounters {
     pub reroutes: u64,
     /// Sends refused because an endpoint node was down.
     pub node_drops: u64,
+    /// Messages abandoned by a degraded-mode consumer after an
+    /// unrecoverable error (graceful degradation instead of a panic).
+    /// Excluded from [`FaultCounters::total_faults`]: every drop was
+    /// already counted there as the exhaustion or node-drop that caused it.
+    pub msg_drops: u64,
 }
 
 impl FaultCounters {
@@ -249,6 +254,7 @@ impl FaultCounters {
         self.retry_exhausted += other.retry_exhausted;
         self.reroutes += other.reroutes;
         self.node_drops += other.node_drops;
+        self.msg_drops += other.msg_drops;
     }
 }
 
@@ -329,6 +335,7 @@ mod tests {
             retry_exhausted: 0,
             reroutes: 2,
             node_drops: 0,
+            msg_drops: 0,
         };
         let b = FaultCounters {
             link_retransmits: 1,
@@ -336,10 +343,13 @@ mod tests {
             retry_exhausted: 1,
             reroutes: 0,
             node_drops: 2,
+            msg_drops: 3,
         };
         a.merge(&b);
         assert_eq!(a.link_retransmits, 4);
         assert_eq!(a.reroutes, 2);
+        assert_eq!(a.msg_drops, 3);
+        // Drops are consequences of already-counted faults, not new ones.
         assert_eq!(a.total_faults(), 4 + 1 + 1 + 2);
         assert_eq!(FaultCounters::new(), FaultCounters::default());
     }

@@ -104,6 +104,15 @@ pub const ENTRY_POINTS: &[(&str, &str, EntryKind)] = &[
     ("fixedpoint.rs", "add_fixed", EntryKind::Step),
     // Per-crossing network protocol: claim + stall/corrupt/retry.
     ("network.rs", "cross_link", EntryKind::Net),
+    // Fabric-health observers: fed per crossing/outcome by the transport,
+    // read back as the planner's snapshot.
+    ("health.rs", "observe_crossing", EntryKind::Net),
+    ("health.rs", "observe_stall", EntryKind::Net),
+    ("health.rs", "observe_exhausted", EntryKind::Net),
+    // Health-driven re-planning: fires at replan cycle boundaries, so it
+    // is panic-freedom/nondet-checked like any hot path; its plan
+    // construction allocates by design and carries alloc exemptions below.
+    ("plan.rs", "replan_with_health", EntryKind::Step),
 ];
 
 /// Hot-reachable functions exempt from the zero-alloc rule (but from no
@@ -154,6 +163,23 @@ pub const ALLOC_EXEMPT: &[(&str, &str)] = &[
     ("pencil.rs", "fft_lines"),
     ("pencil.rs", "transpose"),
     ("pencil.rs", "forward"),
+    // Health-driven re-planning: fires once per fault-recovery cycle
+    // boundary (never per step) and builds a fresh plan by design; the
+    // whole construction path is exempt, exactly like the shard exchange
+    // planner above. Panic-freedom/nondet/float rules still apply.
+    ("plan.rs", "replan_with_health"),
+    ("plan.rs", "choose"),
+    ("plan.rs", "choose_excluding"),
+    ("plan.rs", "from_hosts"),
+    ("plan.rs", "kspace_messages"),
+    ("plan.rs", "coalesce"),
+    ("plan.rs", "merge_endpoint_lists"),
+    ("plan.rs", "remap_return_lists"),
+    ("plan.rs", "transpose_messages"),
+    ("health.rs", "hot_links"),
+    // Route materialization in the machine model: per-route scratch, not
+    // MD data-path work.
+    ("torus.rs", "route_with_order"),
 ];
 
 /// Functions that only the driver may execute: the canonical-order replay

@@ -169,6 +169,9 @@ impl Index<usize> for Vec3 {
             0 => &self.x,
             1 => &self.y,
             2 => &self.z,
+            // anton2-lint: allow(panic-freedom) -- unreachable for the
+            // compile-time 0..3 indices used in-tree; hot only via the
+            // method-name collision with `Torus::link_index`'s callees.
             _ => panic!("Vec3 index {i} out of range"),
         }
     }

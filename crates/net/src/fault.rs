@@ -16,7 +16,7 @@ use crate::torus::NodeId;
 use anton2_des::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Domain-separation constants so the CRC and stall draws for the same
 /// `(link, msg, attempt)` triple are independent.
@@ -41,6 +41,9 @@ pub struct FaultPlan {
     pub stall: SimTime,
     dead_links: BTreeSet<usize>,
     dead_nodes: BTreeSet<NodeId>,
+    /// Per-link elevated CRC rates (a failing-but-not-dead cable); the
+    /// effective rate on such a link is `max(p_crc, per-link rate)`.
+    degraded_links: BTreeMap<usize, f64>,
 }
 
 impl FaultPlan {
@@ -75,6 +78,16 @@ impl FaultPlan {
         self
     }
 
+    /// Degrade one directed link: crossings on it corrupt with probability
+    /// `p` (at least; a global CRC rate still applies everywhere). Models a
+    /// failing cable that the health machinery must *discover*, unlike
+    /// [`FaultPlan::kill_link`] which routing sees up front.
+    pub fn degrade_link(mut self, link: usize, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.degraded_links.insert(link, p);
+        self
+    }
+
     /// Mark a node permanently down: it neither sends, receives, nor
     /// forwards.
     pub fn kill_node(mut self, node: NodeId) -> Self {
@@ -90,6 +103,7 @@ impl FaultPlan {
             || self.p_stall > 0.0
             || !self.dead_links.is_empty()
             || !self.dead_nodes.is_empty()
+            || !self.degraded_links.is_empty()
     }
 
     /// One uniform draw in `[0, 1)`, a pure function of the decision key.
@@ -106,7 +120,11 @@ impl FaultPlan {
 
     /// Does attempt `attempt` of message `msg` arrive corrupt on `link`?
     pub fn corrupts(&self, link: usize, msg: u64, attempt: u32) -> bool {
-        self.p_crc > 0.0 && self.draw(KIND_CRC, link, msg, attempt) < self.p_crc
+        let p = match self.degraded_links.get(&link) {
+            Some(&per_link) => self.p_crc.max(per_link),
+            None => self.p_crc,
+        };
+        p > 0.0 && self.draw(KIND_CRC, link, msg, attempt) < p
     }
 
     /// Does `link` stall attempt `attempt` of message `msg`?
@@ -132,6 +150,11 @@ impl FaultPlan {
     /// Number of permanently down nodes.
     pub fn dead_node_count(&self) -> usize {
         self.dead_nodes.len()
+    }
+
+    /// Number of links with an elevated per-link CRC rate.
+    pub fn degraded_link_count(&self) -> usize {
+        self.degraded_links.len()
     }
 }
 
@@ -173,7 +196,7 @@ impl RetryConfig {
         let shift = attempt.min(20);
         let grown = self.backoff.as_ps().saturating_mul(1u64 << shift);
         let capped = grown.min(self.backoff_cap.as_ps());
-        self.timeout + SimTime::from_ps(capped)
+        SimTime::from_ps(self.timeout.as_ps().saturating_add(capped))
     }
 }
 
@@ -299,6 +322,68 @@ mod tests {
         // Far past the cap the delay is constant.
         assert_eq!(r.delay(30), r.delay(40));
         assert_eq!(r.delay(30), r.timeout + r.backoff_cap);
+    }
+
+    #[test]
+    fn backoff_attempt_zero_is_timeout_plus_base() {
+        let r = RetryConfig::default();
+        assert_eq!(r.delay(0), r.timeout + r.backoff);
+    }
+
+    #[test]
+    fn backoff_cap_boundary_is_exact() {
+        // backoff 50 ns, cap 400 ns: attempts 0..3 grow 50/100/200/400,
+        // attempt 3 lands exactly on the cap, attempt 4 is clamped to it.
+        let r = RetryConfig {
+            timeout: SimTime::from_ns(100),
+            backoff: SimTime::from_ns(50),
+            backoff_cap: SimTime::from_ns(400),
+            max_retries: 8,
+        };
+        assert_eq!(r.delay(2), r.timeout + SimTime::from_ns(200));
+        assert_eq!(r.delay(3), r.timeout + r.backoff_cap);
+        assert_eq!(r.delay(4), r.delay(3));
+    }
+
+    #[test]
+    fn backoff_growth_saturates_instead_of_overflowing() {
+        // A huge base backoff with an effectively unbounded cap: the
+        // doubling must saturate, not wrap, so delay stays monotone
+        // non-decreasing all the way up.
+        let r = RetryConfig {
+            timeout: SimTime::from_ns(100),
+            backoff: SimTime::from_ps(u64::MAX / 2),
+            backoff_cap: SimTime::from_ps(u64::MAX),
+            max_retries: 8,
+        };
+        let mut prev = r.delay(0);
+        for attempt in 1..64 {
+            let d = r.delay(attempt);
+            assert!(d >= prev, "delay dropped at attempt {attempt}");
+            prev = d;
+        }
+        // The internal shift clamp (20) keeps even absurd attempt counts
+        // well-defined.
+        assert_eq!(r.delay(u32::MAX), r.delay(64));
+    }
+
+    #[test]
+    fn degraded_links_corrupt_at_their_own_rate() {
+        let p = FaultPlan::new(4).degrade_link(7, 1.0);
+        assert!(p.is_active());
+        assert_eq!(p.degraded_link_count(), 1);
+        for msg in 0..50u64 {
+            assert!(p.corrupts(7, msg, 0), "certain corruption on link 7");
+        }
+        // Other links keep the (zero) global rate.
+        let hits = (0..200).filter(|&l| l != 7 && p.corrupts(l, 1, 0)).count();
+        assert_eq!(hits, 0);
+        // The per-link rate never *lowers* the global rate.
+        let both = FaultPlan::new(4).with_crc_rate(1.0).degrade_link(7, 0.0);
+        assert!(both.corrupts(7, 1, 0));
+        // Degraded is not dead: routing still sees the link as usable.
+        assert!(!p.link_dead(7));
+        assert_eq!(p.dead_link_count(), 0);
     }
 
     #[test]

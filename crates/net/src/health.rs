@@ -1,0 +1,314 @@
+//! Deterministic per-link/per-node health tracking.
+//!
+//! The [`HealthMap`] is the observation half of the fault feedback loop:
+//! the network feeds it from the same seeded fault draws that drive the
+//! retry protocol, so its contents are a pure function of
+//! `(fault seed, message sequence)` — never of wall-clock time. Planning
+//! code reads it as a snapshot ([`HealthMap::snapshot`]) and biases routes
+//! or evicts nodes; the network itself consults only the *structural*
+//! dead-link/dead-node flags, so a populated-but-healthy map leaves every
+//! timing bit-identical to the fault-free fast path.
+//!
+//! All statistics are integer: the retry EWMA is 16.16 fixed point with
+//! alpha = 1/8, updated with shifts, so accumulation order and platform
+//! float behavior can never perturb it.
+
+use crate::torus::NodeId;
+use anton2_des::SimTime;
+use std::collections::BTreeSet;
+
+/// Fixed-point fractional bits of the retry EWMA (16.16).
+pub const EWMA_FRAC_BITS: u32 = 16;
+/// EWMA smoothing shift: alpha = 1 / 2^EWMA_ALPHA_SHIFT = 1/8.
+const EWMA_ALPHA_SHIFT: u32 = 3;
+/// Retry-exhaustion events on one link before it is flagged dead.
+pub const EXHAUSTION_DEAD_THRESHOLD: u32 = 2;
+/// EWMA level (mean retransmissions per crossing, 16.16) above which a
+/// link counts as "hot" for replanning: 0.5 retries per crossing.
+pub const HOT_EWMA: u64 = 1 << (EWMA_FRAC_BITS - 1);
+
+/// Observed health of one directed link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkHealth {
+    /// Completed crossings observed on this link.
+    pub crossings: u64,
+    /// CRC retransmissions absorbed across those crossings.
+    pub retransmits: u64,
+    /// Transient stalls observed.
+    pub stalls: u64,
+    /// Total stall time, picoseconds.
+    pub stall_ps: u64,
+    /// Crossings that exhausted the retry budget.
+    pub exhausted: u32,
+    /// 16.16 fixed-point EWMA of retransmissions per crossing.
+    ewma_retries: u64,
+    /// Flagged dead: either the fault plan kills it structurally or the
+    /// exhaustion count crossed [`EXHAUSTION_DEAD_THRESHOLD`].
+    pub dead: bool,
+}
+
+impl LinkHealth {
+    fn observe(&mut self, retransmits: u32) {
+        self.crossings += 1;
+        self.retransmits += retransmits as u64;
+        let sample = (retransmits as u64) << EWMA_FRAC_BITS;
+        // ewma += (sample - ewma) / 8, in integer arithmetic.
+        if sample >= self.ewma_retries {
+            self.ewma_retries += (sample - self.ewma_retries) >> EWMA_ALPHA_SHIFT;
+        } else {
+            self.ewma_retries -= (self.ewma_retries - sample) >> EWMA_ALPHA_SHIFT;
+        }
+    }
+
+    /// EWMA of retransmissions per crossing, as a float for reporting.
+    pub fn ewma_retries(&self) -> f64 {
+        self.ewma_retries as f64 / (1u64 << EWMA_FRAC_BITS) as f64
+    }
+
+    /// Raw 16.16 fixed-point EWMA, for integer route scoring.
+    pub fn ewma_raw(&self) -> u64 {
+        self.ewma_retries
+    }
+
+    /// Is this link hot enough that planning should route around it?
+    pub fn hot(&self) -> bool {
+        self.dead || self.ewma_retries >= HOT_EWMA
+    }
+}
+
+/// Pure-data snapshot of fabric health, fed by the network and read by the
+/// planner. Cloning it *is* taking the snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct HealthMap {
+    links: Vec<LinkHealth>,
+    dead_nodes: BTreeSet<NodeId>,
+    /// Count of links currently flagged dead, so the per-message fast-path
+    /// check is O(1).
+    dead_links: usize,
+}
+
+impl HealthMap {
+    /// An all-healthy map for a fabric of `n_links` directed links.
+    pub fn new(n_links: usize) -> Self {
+        HealthMap {
+            links: vec![LinkHealth::default(); n_links],
+            dead_nodes: BTreeSet::new(),
+            dead_links: 0,
+        }
+    }
+
+    /// Record a *completed* crossing of `link` that needed `retransmits`
+    /// CRC retransmissions before getting through.
+    pub fn observe_crossing(&mut self, link: usize, retransmits: u32) {
+        if let Some(l) = self.links.get_mut(link) {
+            l.observe(retransmits);
+        }
+    }
+
+    /// Record a transient stall of `stall` on `link`.
+    pub fn observe_stall(&mut self, link: usize, stall: SimTime) {
+        if let Some(l) = self.links.get_mut(link) {
+            l.stalls += 1;
+            l.stall_ps += stall.as_ps();
+        }
+    }
+
+    /// Record a crossing of `link` that exhausted its retry budget after
+    /// `attempts` transmissions. Sustained exhaustion flags the link dead.
+    pub fn observe_exhausted(&mut self, link: usize, attempts: u32) {
+        if let Some(l) = self.links.get_mut(link) {
+            l.observe(attempts.saturating_sub(1));
+            l.exhausted += 1;
+            if l.exhausted >= EXHAUSTION_DEAD_THRESHOLD && !l.dead {
+                l.dead = true;
+                self.dead_links += 1;
+            }
+        }
+    }
+
+    /// Flag `link` dead outright (e.g. the fault plan declared it dead and
+    /// routing observed that).
+    pub fn mark_link_dead(&mut self, link: usize) {
+        if let Some(l) = self.links.get_mut(link) {
+            if !l.dead {
+                l.dead = true;
+                self.dead_links += 1;
+            }
+        }
+    }
+
+    /// Flag `node` down (observed `NetError::NodeDown`).
+    pub fn mark_node_dead(&mut self, node: NodeId) {
+        self.dead_nodes.insert(node);
+    }
+
+    /// Is this directed link flagged dead?
+    #[inline]
+    pub fn link_dead(&self, link: usize) -> bool {
+        self.links.get(link).is_some_and(|l| l.dead)
+    }
+
+    /// Is this node flagged down?
+    #[inline]
+    pub fn node_dead(&self, node: NodeId) -> bool {
+        !self.dead_nodes.is_empty() && self.dead_nodes.contains(&node)
+    }
+
+    /// Any structural dead marks at all? O(1); the network's per-message
+    /// route check short-circuits on this.
+    #[inline]
+    pub fn has_dead(&self) -> bool {
+        self.dead_links > 0 || !self.dead_nodes.is_empty()
+    }
+
+    /// Should planning react: any dead fabric or any hot link?
+    pub fn is_degraded(&self) -> bool {
+        self.has_dead() || self.links.iter().any(LinkHealth::hot)
+    }
+
+    /// Links currently flagged dead.
+    pub fn dead_link_count(&self) -> usize {
+        self.dead_links
+    }
+
+    /// Nodes currently flagged down.
+    pub fn dead_node_count(&self) -> usize {
+        self.dead_nodes.len()
+    }
+
+    /// Iterator over down nodes, ascending.
+    pub fn dead_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.dead_nodes.iter().copied()
+    }
+
+    /// Number of directed links tracked.
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Observed health of one link; `None` out of range.
+    pub fn link(&self, link: usize) -> Option<&LinkHealth> {
+        self.links.get(link)
+    }
+
+    /// Links that are hot (dead or EWMA above [`HOT_EWMA`]), ascending.
+    pub fn hot_links(&self) -> Vec<usize> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.hot())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total retry-budget exhaustions observed fabric-wide.
+    pub fn exhausted_total(&self) -> u64 {
+        self.links.iter().map(|l| l.exhausted as u64).sum()
+    }
+
+    /// An owned snapshot for the planner. (`HealthMap` is pure data; this
+    /// is a clone, named for intent at call sites.)
+    pub fn snapshot(&self) -> HealthMap {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_map_is_clean() {
+        let h = HealthMap::new(24);
+        assert!(!h.has_dead());
+        assert!(!h.is_degraded());
+        assert_eq!(h.dead_link_count(), 0);
+        assert_eq!(h.dead_node_count(), 0);
+        assert_eq!(h.n_links(), 24);
+        assert!(h.hot_links().is_empty());
+    }
+
+    #[test]
+    fn ewma_converges_toward_sustained_rate() {
+        let mut h = HealthMap::new(6);
+        // Sustained 2 retries per crossing: EWMA approaches 2.0 from below.
+        for _ in 0..64 {
+            h.observe_crossing(3, 2);
+        }
+        let l = h.link(3).unwrap();
+        assert!(l.ewma_retries() > 1.9 && l.ewma_retries() <= 2.0);
+        assert!(l.hot());
+        assert!(!l.dead, "hot is not dead");
+        assert!(h.is_degraded());
+        assert!(!h.has_dead(), "EWMA alone never flags structural death");
+        // Clean crossings decay it back.
+        for _ in 0..64 {
+            h.observe_crossing(3, 0);
+        }
+        assert!(h.link(3).unwrap().ewma_retries() < 0.1);
+    }
+
+    #[test]
+    fn ewma_is_order_exact_integer_arithmetic() {
+        // Same multiset of updates in the same order always lands on the
+        // same raw value (guards against float drift by construction).
+        let run = || {
+            let mut h = HealthMap::new(1);
+            for r in [0u32, 3, 1, 0, 7, 2, 0, 0, 5] {
+                h.observe_crossing(0, r);
+            }
+            h.link(0).unwrap().ewma_raw()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn exhaustion_threshold_flags_dead() {
+        let mut h = HealthMap::new(12);
+        h.observe_exhausted(5, 9);
+        assert!(!h.link_dead(5), "one exhaustion is not yet death");
+        assert_eq!(h.exhausted_total(), 1);
+        h.observe_exhausted(5, 9);
+        assert!(h.link_dead(5));
+        assert!(h.has_dead());
+        assert_eq!(h.dead_link_count(), 1);
+        // Repeats don't double-count.
+        h.observe_exhausted(5, 9);
+        h.mark_link_dead(5);
+        assert_eq!(h.dead_link_count(), 1);
+        assert_eq!(h.hot_links(), vec![5]);
+    }
+
+    #[test]
+    fn node_marks_register() {
+        let mut h = HealthMap::new(6);
+        h.mark_node_dead(2);
+        h.mark_node_dead(2);
+        assert!(h.node_dead(2));
+        assert!(!h.node_dead(1));
+        assert_eq!(h.dead_node_count(), 1);
+        assert_eq!(h.dead_nodes().collect::<Vec<_>>(), vec![2]);
+        assert!(h.has_dead());
+    }
+
+    #[test]
+    fn stalls_accumulate() {
+        let mut h = HealthMap::new(6);
+        h.observe_stall(1, SimTime::from_ns(20));
+        h.observe_stall(1, SimTime::from_ns(30));
+        let l = h.link(1).unwrap();
+        assert_eq!(l.stalls, 2);
+        assert_eq!(l.stall_ps, 50_000);
+        assert!(!h.is_degraded(), "stalls alone are not degradation");
+    }
+
+    #[test]
+    fn out_of_range_observations_are_ignored() {
+        let mut h = HealthMap::new(2);
+        h.observe_crossing(99, 1);
+        h.observe_exhausted(99, 9);
+        h.mark_link_dead(99);
+        assert!(!h.has_dead());
+        assert!(h.link(99).is_none());
+    }
+}

@@ -11,8 +11,11 @@
 //!   (halo/import exchange, FFT transposes via message batches, reductions,
 //!   broadcasts, barriers);
 //! * [`fault`] — seeded deterministic fault injection (link CRC
-//!   corruption, transient stalls, dead links/nodes) plus the link-level
-//!   retry protocol's configuration and typed errors.
+//!   corruption, transient stalls, dead links/nodes, degraded links) plus
+//!   the link-level retry protocol's configuration and typed errors;
+//! * [`health`] — the observation half of the fault feedback loop: a
+//!   deterministic per-link/per-node [`HealthMap`] the network feeds from
+//!   its retry protocol and the planner reads to re-route or evict.
 //!
 //! The model is deterministic: driven with the same message sequence it
 //! produces bit-identical timings, which the machine-level determinism
@@ -21,11 +24,13 @@
 
 pub mod collectives;
 pub mod fault;
+pub mod health;
 pub mod network;
 pub mod torus;
 
 pub use fault::{FaultPlan, NetError, RetryConfig};
-pub use network::{anton2_class_link, Delivery, LinkConfig, Network};
+pub use health::{HealthMap, LinkHealth};
+pub use network::{anton2_class_link, Delivery, LinkConfig, Network, DIM_ORDERS};
 pub use torus::{Coord, Dir, NodeId, Torus};
 
 #[cfg(test)]
@@ -89,6 +94,40 @@ mod proptests {
             }
             let ideal = net.ideal_latency(t.hops(src, dst), bytes);
             prop_assert_eq!(arrive, ideal);
+        }
+
+        /// A `Network` carrying an inert (`!is_active()`) fault plan *and*
+        /// a populated-but-healthy `HealthMap` stays bitwise identical to
+        /// the fault-free fast path: EWMA/stall observations without dead
+        /// marks must never perturb routing or timing.
+        #[test]
+        fn inert_plan_with_healthy_map_is_bit_identical(
+            seed in 0u64..1000,
+            observations in proptest::collection::vec((0usize..384, 0u32..4), 0..40)
+        ) {
+            use anton2_des::SimTime;
+            let t = Torus::new(4, 4, 4);
+            let msgs: Vec<(SimTime, NodeId, NodeId, u32)> = (0..50u32)
+                .map(|i| (SimTime::from_ns(i as u64 * 7), i % 64, (i * 13 + 5) % 64, 256 + i))
+                .collect();
+            let mut populated = HealthMap::new(t.n_links());
+            for (link, retries) in observations {
+                populated.observe_crossing(link, retries);
+                populated.observe_stall(link, SimTime::from_ns(5));
+            }
+            prop_assert!(!populated.has_dead(), "observations alone never flag dead");
+            let mut plain = Network::new(t, anton2_class_link());
+            let mut fed = Network::new(t, anton2_class_link())
+                .with_faults(FaultPlan::new(seed))
+                .with_health(populated);
+            prop_assert_eq!(plain.run_batch(&msgs), fed.run_batch(&msgs));
+            let a = plain.transmit(SimTime::ZERO, 0, 21, 4096);
+            let b = fed.transmit(SimTime::ZERO, 0, 21, 4096);
+            prop_assert_eq!(a, b);
+            let ma = plain.multicast(SimTime::ZERO, 0, &[1, 5, 21], 2048);
+            let mb = fed.multicast(SimTime::ZERO, 0, &[1, 5, 21], 2048);
+            prop_assert_eq!(ma, mb);
+            prop_assert_eq!(fed.faults, anton2_des::FaultCounters::default());
         }
 
         /// Multicast arrival at each destination is no earlier than a

@@ -10,9 +10,11 @@
 //! cost.
 
 use crate::fault::{FaultPlan, NetError, RetryConfig};
+use crate::health::HealthMap;
 use crate::torus::{Dir, NodeId, Torus};
 use anton2_des::{FaultCounters, LatencyHistogram, SimTime, Summary};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Physical link and router parameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -53,8 +55,27 @@ pub enum RoutingPolicy {
     RandomizedMinimal,
 }
 
-/// The six permutations of the three dimensions.
-const DIM_ORDERS: [[u8; 3]; 6] = [
+impl RoutingPolicy {
+    /// The dimension order this policy picks for a flow — the baseline a
+    /// health-driven route bias is scored against.
+    pub fn order_for(self, src: NodeId, dst: NodeId) -> [u8; 3] {
+        match self {
+            RoutingPolicy::DimensionOrder => DIM_ORDERS[0],
+            RoutingPolicy::RandomizedMinimal => {
+                let h = (src as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(dst as u64)
+                    .wrapping_mul(0xBF58476D1CE4E5B9);
+                DIM_ORDERS[(h >> 32) as usize % 6]
+            }
+        }
+    }
+}
+
+/// The six permutations of the three dimensions — the minimal route
+/// alternatives both the network's dead-fabric avoidance and the planner's
+/// health-driven route biasing choose among.
+pub const DIM_ORDERS: [[u8; 3]; 6] = [
     [0, 1, 2],
     [0, 2, 1],
     [1, 0, 2],
@@ -94,6 +115,13 @@ pub struct Network {
     /// Payload bytes that actually arrived (full deliveries only); equals
     /// `payload_bytes` whenever every injected fault was recovered.
     pub delivered_bytes: u64,
+    /// Observed fabric health, fed deterministically by the fault/retry
+    /// protocol. Only its *structural* dead marks influence routing, so a
+    /// populated-but-healthy map keeps timings bit-identical.
+    pub health: HealthMap,
+    /// Planner-installed per-flow dimension orders (health-driven route
+    /// bias); empty means the routing policy decides alone.
+    pub route_bias: BTreeMap<(NodeId, NodeId), [u8; 3]>,
 }
 
 impl Network {
@@ -112,6 +140,8 @@ impl Network {
             retry: RetryConfig::default(),
             faults: FaultCounters::new(),
             delivered_bytes: 0,
+            health: HealthMap::new(torus.n_links()),
+            route_bias: BTreeMap::new(),
         }
     }
 
@@ -133,22 +163,34 @@ impl Network {
         self
     }
 
-    /// The minimal route this network's policy picks for (src, dst).
+    /// Same network with pre-existing health knowledge (e.g. carried over
+    /// from an earlier run on the same fabric).
+    pub fn with_health(mut self, health: HealthMap) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// Same network with a planner-installed route bias.
+    pub fn with_route_bias(mut self, bias: BTreeMap<(NodeId, NodeId), [u8; 3]>) -> Self {
+        self.route_bias = bias;
+        self
+    }
+
+    /// The minimal route this network's policy picks for (src, dst). A
+    /// planner-installed bias for the flow overrides the policy.
     fn policy_route(&self, src: NodeId, dst: NodeId) -> Vec<(NodeId, crate::torus::Dir)> {
-        match self.policy {
-            RoutingPolicy::DimensionOrder => self.torus.route(src, dst),
-            RoutingPolicy::RandomizedMinimal => {
-                let h = (src as u64)
-                    .wrapping_mul(0x9E3779B97F4A7C15)
-                    .wrapping_add(dst as u64)
-                    .wrapping_mul(0xBF58476D1CE4E5B9);
-                let order = DIM_ORDERS[(h >> 32) as usize % 6];
-                self.torus.route_with_order(src, dst, order)
+        if !self.route_bias.is_empty() {
+            if let Some(&order) = self.route_bias.get(&(src, dst)) {
+                return self.torus.route_with_order(src, dst, order);
             }
         }
+        self.torus
+            .route_with_order(src, dst, self.policy.order_for(src, dst))
     }
 
     /// Reset reservations and statistics (e.g. between benchmark repeats).
+    /// The fault plan, health knowledge, and route bias all survive: they
+    /// are configuration/learned state, not per-run accounting.
     pub fn reset(&mut self) {
         self.link_free.fill(SimTime::ZERO);
         self.link_busy_ps.fill(0);
@@ -165,34 +207,89 @@ impl Network {
         self.fault.as_ref().is_some_and(FaultPlan::is_active)
     }
 
-    /// Does `path` avoid every dead link and dead transit node?
-    fn path_healthy(&self, path: &[(NodeId, Dir)]) -> bool {
-        let Some(p) = self.fault.as_ref() else {
+    /// Does `path` avoid every dead link and dead transit node, per both
+    /// the fault plan's structural faults and the health map's observed
+    /// ones? With neither in play this is a single O(1) check.
+    fn path_clear(&self, path: &[(NodeId, Dir)]) -> bool {
+        let plan = self.fault.as_ref();
+        let observed = self.health.has_dead();
+        if plan.is_none() && !observed {
             return true;
-        };
+        }
         path.iter().all(|&(node, dir)| {
-            !p.link_dead(self.torus.link_index(node, dir))
-                && !p.node_dead(self.torus.neighbor(node, dir))
+            let link = self.torus.link_index(node, dir);
+            let next = self.torus.neighbor(node, dir);
+            plan.is_none_or(|p| !p.link_dead(link) && !p.node_dead(next))
+                && (!observed || (!self.health.link_dead(link) && !self.health.node_dead(next)))
         })
     }
 
+    /// Record the fault plan's structural faults along `path` into the
+    /// health map, so planning learns of dead fabric the moment routing
+    /// first collides with it.
+    fn mark_blocked(&mut self, path: &[(NodeId, Dir)]) {
+        for &(node, dir) in path {
+            let link = self.torus.link_index(node, dir);
+            let next = self.torus.neighbor(node, dir);
+            let (dead_link, dead_node) = match self.fault.as_ref() {
+                Some(p) => (p.link_dead(link), p.node_dead(next)),
+                None => (false, false),
+            };
+            if dead_link {
+                self.health.mark_link_dead(link);
+            }
+            if dead_node {
+                self.health.mark_node_dead(next);
+            }
+        }
+    }
+
     /// Keep `base` if it avoids the dead fabric; otherwise re-route by
-    /// scanning the six minimal dimension orders (counting the reroute),
-    /// and error out if none survives.
+    /// scanning the six minimal dimension orders, then — if every minimal
+    /// path is blocked — by a single non-minimal detour through a live
+    /// neighbor of the source. Each recovery counts one reroute; a fully
+    /// cut-off pair errors out.
     fn healthy_route(
         &mut self,
         base: Vec<(NodeId, Dir)>,
         src: NodeId,
         dst: NodeId,
     ) -> Result<Vec<(NodeId, Dir)>, NetError> {
-        if self.path_healthy(&base) {
+        if self.path_clear(&base) {
             return Ok(base);
         }
+        self.mark_blocked(&base);
         for order in DIM_ORDERS {
             let alt = self.torus.route_with_order(src, dst, order);
-            if self.path_healthy(&alt) {
+            if self.path_clear(&alt) {
                 self.faults.reroutes += 1;
                 return Ok(alt);
+            }
+        }
+        // Non-minimal escape: one hop to a live neighbor, then minimal.
+        // In rings of length 2 this is what lets traffic use the
+        // oppositely-directed link of a dead pair.
+        for dir in Dir::ALL {
+            let w = self.torus.neighbor(src, dir);
+            if w == src {
+                continue; // ring of length 1: the link loops back
+            }
+            let first = [(src, dir)];
+            if !self.path_clear(&first) {
+                continue;
+            }
+            if w == dst {
+                self.faults.reroutes += 1;
+                return Ok(first.to_vec());
+            }
+            for order in DIM_ORDERS {
+                let mut alt = Vec::with_capacity(1 + self.torus.hops(w, dst) as usize);
+                alt.push((src, dir));
+                alt.extend(self.torus.route_with_order(w, dst, order));
+                if self.path_clear(&alt) {
+                    self.faults.reroutes += 1;
+                    return Ok(alt);
+                }
             }
         }
         Err(NetError::Unroutable { src, dst })
@@ -201,9 +298,18 @@ impl Network {
     /// Endpoint liveness check plus policy routing with dead-fabric
     /// avoidance.
     fn route_for(&mut self, src: NodeId, dst: NodeId) -> Result<Vec<(NodeId, Dir)>, NetError> {
-        if let Some(p) = self.fault.as_ref() {
+        let plan_dead = self
+            .fault
+            .as_ref()
+            .and_then(|p| [src, dst].into_iter().find(|&end| p.node_dead(end)));
+        if let Some(end) = plan_dead {
+            self.health.mark_node_dead(end);
+            self.faults.node_drops += 1;
+            return Err(NetError::NodeDown(end));
+        }
+        if self.health.has_dead() {
             for end in [src, dst] {
-                if p.node_dead(end) {
+                if self.health.node_dead(end) {
                     self.faults.node_drops += 1;
                     return Err(NetError::NodeDown(end));
                 }
@@ -248,15 +354,18 @@ impl Network {
             };
             if stall {
                 self.faults.link_stalls += 1;
+                self.health.observe_stall(link, stall_t);
                 ready += stall_t;
             }
             let start = self.claim(link, ready, ser);
             if !corrupt {
+                self.health.observe_crossing(link, attempt);
                 return Ok(start + hop);
             }
             self.faults.link_retransmits += 1;
             if attempt >= self.retry.max_retries {
                 self.faults.retry_exhausted += 1;
+                self.health.observe_exhausted(link, attempt + 1);
                 return Err(NetError::RetryExhausted {
                     src,
                     dst,
@@ -311,11 +420,14 @@ impl Network {
         let msg = self.messages;
         let mut head = now + SimTime::from_ns_f64(self.cfg.injection_ns);
         if src == dst {
-            if let Some(p) = self.fault.as_ref() {
-                if p.node_dead(src) {
-                    self.faults.node_drops += 1;
-                    return Err(NetError::NodeDown(src));
-                }
+            if self.fault.as_ref().is_some_and(|p| p.node_dead(src)) {
+                self.health.mark_node_dead(src);
+                self.faults.node_drops += 1;
+                return Err(NetError::NodeDown(src));
+            }
+            if self.health.has_dead() && self.health.node_dead(src) {
+                self.faults.node_drops += 1;
+                return Err(NetError::NodeDown(src));
             }
             self.record_latency(now, head);
             self.delivered_bytes += bytes as u64;
@@ -364,18 +476,30 @@ impl Network {
         self.messages += 1;
         self.payload_bytes += bytes as u64 * dsts.len().max(1) as u64;
         let msg = self.messages;
-        if let Some(p) = self.fault.as_ref() {
+        let plan_dead = self.fault.as_ref().and_then(|p| {
+            std::iter::once(&src)
+                .chain(dsts)
+                .copied()
+                .find(|&end| p.node_dead(end))
+        });
+        if let Some(end) = plan_dead {
+            self.health.mark_node_dead(end);
+            self.faults.node_drops += 1;
+            return Err(NetError::NodeDown(end));
+        }
+        if self.health.has_dead() {
             for &end in std::iter::once(&src).chain(dsts) {
-                if p.node_dead(end) {
+                if self.health.node_dead(end) {
                     self.faults.node_drops += 1;
                     return Err(NetError::NodeDown(end));
                 }
             }
         }
-        let degraded = self
-            .fault
-            .as_ref()
-            .is_some_and(|p| p.dead_link_count() > 0 || p.dead_node_count() > 0);
+        let degraded = self.health.has_dead()
+            || self
+                .fault
+                .as_ref()
+                .is_some_and(|p| p.dead_link_count() > 0 || p.dead_node_count() > 0);
         let inject = now + SimTime::from_ns_f64(self.cfg.injection_ns);
         let ser = self.cfg.serialize_time(bytes);
         let hop = self.cfg.hop_time();
@@ -519,6 +643,7 @@ impl Network {
                 };
                 if stall {
                     self.faults.link_stalls += 1;
+                    self.health.observe_stall(link, stall_t);
                     queue.schedule(
                         t + stall_t,
                         Hop {
@@ -541,6 +666,7 @@ impl Network {
                     self.faults.link_retransmits += 1;
                     if ev.attempt >= self.retry.max_retries {
                         self.faults.retry_exhausted += 1;
+                        self.health.observe_exhausted(link, ev.attempt + 1);
                         let (_, src, dst, _) = msgs[m];
                         done[m] = Err(NetError::RetryExhausted {
                             src,
@@ -561,6 +687,7 @@ impl Network {
                     );
                     continue;
                 }
+                self.health.observe_crossing(link, ev.attempt);
             }
             let head_next = t + hop_t;
             if ev.hop as usize + 1 == paths[m].len() {
@@ -959,11 +1086,46 @@ mod fault_tests {
     }
 
     #[test]
-    fn unroutable_when_every_minimal_order_is_dead() {
+    fn detours_non_minimally_when_every_minimal_order_is_dead() {
         let t = Torus::new(4, 4, 4);
-        // Pure-x destination: all six dimension orders cross 0 -+x-> 1.
+        // Pure-x destination: all six minimal dimension orders cross
+        // 0 -+x-> 1, so recovery needs the single-detour escape (one hop
+        // off-axis, then minimal from there).
         let dead = t.link_index(0, Dir::XPlus);
         let mut n = net(4).with_faults(FaultPlan::new(0).kill_link(dead));
+        let arrival = n.try_transmit(SimTime::ZERO, 0, 1, 64).unwrap();
+        assert_eq!(arrival, n.ideal_latency(3, 64), "detour adds two hops");
+        assert_eq!(n.faults.reroutes, 1);
+        assert_eq!(n.link_busy_ps[dead], 0, "dead link never claimed");
+        // Colliding with the blockage taught the health map about it.
+        assert!(n.health.link_dead(dead));
+    }
+
+    #[test]
+    fn detour_uses_reverse_link_in_a_length_two_ring() {
+        // 2×2×2 torus: each x-ring has two nodes, so +x and −x from node 0
+        // reach the *same* neighbor over distinct directed links. Killing
+        // the +x link must detour via −x at equal hop count.
+        let t = Torus::new(2, 2, 2);
+        let dead = t.link_index(0, Dir::XPlus);
+        let mut n =
+            Network::new(t, anton2_class_link()).with_faults(FaultPlan::new(0).kill_link(dead));
+        let arrival = n.try_transmit(SimTime::ZERO, 0, 1, 64).unwrap();
+        assert_eq!(arrival, n.ideal_latency(1, 64), "reverse link, same hops");
+        assert_eq!(n.faults.reroutes, 1);
+        assert_eq!(n.link_busy_ps[dead], 0);
+        assert!(n.link_busy_ps[t.link_index(0, Dir::XMinus)] > 0);
+    }
+
+    #[test]
+    fn unroutable_only_when_fully_cut_off() {
+        let t = Torus::new(4, 4, 4);
+        // Kill every outgoing link of node 0: no detour can escape.
+        let mut plan = FaultPlan::new(0);
+        for dir in Dir::ALL {
+            plan = plan.kill_link(t.link_index(0, dir));
+        }
+        let mut n = net(4).with_faults(plan);
         assert_eq!(
             n.try_transmit(SimTime::ZERO, 0, 1, 64),
             Err(NetError::Unroutable { src: 0, dst: 1 })
@@ -1012,6 +1174,67 @@ mod fault_tests {
         assert_eq!(n.faults, anton2_des::FaultCounters::default());
         assert_eq!(n.delivered_bytes, 0);
         assert!(n.fault.is_some(), "plan survives reset");
+        assert_eq!(
+            n.health.exhausted_total(),
+            1,
+            "health knowledge survives reset"
+        );
+    }
+
+    #[test]
+    fn health_learns_a_degraded_link_and_stops_paying_retries() {
+        use crate::health::EXHAUSTION_DEAD_THRESHOLD;
+        let t = Torus::new(4, 4, 4);
+        let bad = t.link_index(0, Dir::XPlus);
+        // Certain corruption on one link, nowhere else: crossings exhaust
+        // the retry budget until the exhaustion threshold flags the link
+        // dead, after which traffic detours and pays no more retries.
+        let mut n = net(4).with_faults(FaultPlan::new(3).degrade_link(bad, 1.0));
+        for i in 0..EXHAUSTION_DEAD_THRESHOLD {
+            assert!(
+                n.try_transmit(SimTime::ZERO, 0, 1, 64).is_err(),
+                "crossing {i} should exhaust on the degraded link"
+            );
+        }
+        assert!(n.health.link_dead(bad), "sustained exhaustion flags dead");
+        let retries_before = n.faults.link_retransmits;
+        let arrival = n.try_transmit(SimTime::ZERO, 0, 1, 64);
+        assert!(arrival.is_ok(), "learned avoidance failed: {arrival:?}");
+        assert_eq!(
+            n.faults.link_retransmits, retries_before,
+            "no retries paid once the link is known dead"
+        );
+        assert!(n.faults.reroutes >= 1);
+    }
+
+    #[test]
+    fn health_ewma_is_a_pure_function_of_the_seed() {
+        let msgs = batch(&Torus::new(4, 4, 4), 80);
+        let run = || {
+            let mut n = net(4).with_faults(FaultPlan::new(7).with_crc_rate(0.2));
+            let _ = n.try_run_batch(&msgs);
+            (0..n.health.n_links())
+                .map(|l| n.health.link(l).unwrap().ewma_raw())
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "health must replay bit-identically");
+        assert!(a.iter().any(|&e| e > 0), "0.2 CRC rate left no EWMA trace");
+    }
+
+    #[test]
+    fn route_bias_overrides_dimension_order() {
+        let t = Torus::new(4, 4, 4);
+        let dst = t.id(Coord { x: 1, y: 1, z: 0 });
+        let mut n = net(4);
+        n.route_bias.insert((0, dst), [1, 0, 2]);
+        n.transmit(SimTime::ZERO, 0, dst, 512);
+        // y-first: the first link out of node 0 is +y, not +x.
+        assert!(n.link_busy_ps[t.link_index(0, Dir::YPlus)] > 0);
+        assert_eq!(n.link_busy_ps[t.link_index(0, Dir::XPlus)], 0);
+        // Unbiased flows keep the policy's order.
+        n.transmit(SimTime::ZERO, 0, 1, 512);
+        assert!(n.link_busy_ps[t.link_index(0, Dir::XPlus)] > 0);
     }
 }
 

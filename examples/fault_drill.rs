@@ -1,0 +1,303 @@
+//! Fault drill: the graceful-degradation loop end to end, per scenario.
+//!
+//! Three seeded scenarios break the fabric mid-run — a failing cable (hot
+//! link), a severed cable (dead link), a dead node — and for each the drill
+//! runs the full detect → replan → continue loop twice:
+//!
+//! 1. **Recovery economics** (`report::simulate_recovery`): clean baseline
+//!    cycle, degraded cycles on the stale plan until the health map flags
+//!    trouble, a health-driven replan at the cycle boundary, one recovered
+//!    cycle. Asserts detection within budget, zero message drops after the
+//!    replan, delivered-byte parity for link faults, and bounded
+//!    steady-state overhead.
+//! 2. **Physics fidelity** (`cosim::timed_trajectory_with_recovery`): a
+//!    real trajectory timed under the same fault, replanned at the
+//!    checkpoint barrier. The final checkpoint digest must be bitwise
+//!    identical to a fault-free run — planning lives entirely on the
+//!    simulation side.
+//!
+//! Everything is a pure function of the scenario seed; each scenario runs
+//! twice and must reproduce bitwise. Results land in `BENCH_recovery.json`
+//! for CI to validate.
+//!
+//! Usage: cargo run --release --example fault_drill [-- --json PATH]
+
+use anton2::core::cosim::{timed_trajectory, timed_trajectory_with_recovery};
+use anton2::core::plan::ReplanSummary;
+use anton2::core::report::{simulate_recovery, RecoveryReport};
+use anton2::core::MachineConfig;
+use anton2::md::builders::water_box;
+use anton2::md::engine::{Engine, EngineConfig};
+use anton2::net::{Dir, FaultPlan, RetryConfig};
+use serde::Serialize;
+
+const SEED: u64 = 77;
+const RESPA_INTERVAL: u32 = 2;
+const DETECT_BUDGET_CYCLES: u32 = 4;
+const TRAJ_CYCLES: u32 = 8;
+const INJECT_AT_CYCLE: u32 = 3;
+
+struct Scenario {
+    name: &'static str,
+    fault: FaultPlan,
+    /// Link faults must recover to within 10% of clean; a node eviction
+    /// leaves fewer nodes doing the same work, so its bound is looser.
+    max_recovered_overhead: f64,
+    /// Link faults never change payloads, so delivered bytes must match
+    /// the clean cycle exactly; evictions merge messages.
+    expect_byte_parity: bool,
+}
+
+fn scenarios(cfg: &MachineConfig) -> Vec<Scenario> {
+    let hot = cfg.torus.link_index(0, Dir::XPlus);
+    let dead = cfg.torus.link_index(2, Dir::YPlus);
+    vec![
+        Scenario {
+            name: "hot-link",
+            fault: FaultPlan::new(SEED).degrade_link(hot, 0.9),
+            max_recovered_overhead: 1.10,
+            expect_byte_parity: true,
+        },
+        Scenario {
+            name: "dead-link",
+            fault: FaultPlan::new(SEED).kill_link(dead),
+            max_recovered_overhead: 1.10,
+            expect_byte_parity: true,
+        },
+        Scenario {
+            name: "dead-node",
+            fault: FaultPlan::new(SEED).kill_node(5),
+            max_recovered_overhead: 1.60,
+            expect_byte_parity: false,
+        },
+    ]
+}
+
+#[derive(Serialize)]
+struct ScenarioRecord {
+    name: String,
+    // Detection and economics, from the recovery loop.
+    detected: bool,
+    cycles_to_detect: u32,
+    steps_to_detect: u32,
+    clean_step_us: f64,
+    degraded_step_us: f64,
+    recovered_step_us: f64,
+    degraded_overhead: f64,
+    recovered_overhead: f64,
+    msg_drops_before_replan: u64,
+    msg_drops_after_replan: u64,
+    delivered_bytes_clean: u64,
+    delivered_bytes_recovered: u64,
+    /// Wall-clock cost of the replan computation itself, µs (host time,
+    /// not simulated time — the controller-side planning cost).
+    replan_wall_us: f64,
+    replan: ReplanSummary,
+    // Physics fidelity, from the co-simulated trajectory.
+    physics_digest_clean: u64,
+    physics_digest_faulty: u64,
+    digests_match: bool,
+    trajectory_msg_drops: u64,
+}
+
+#[derive(Serialize)]
+struct RecoveryBench {
+    seed: u64,
+    machine: String,
+    nodes: u32,
+    respa_interval: u32,
+    detect_budget_cycles: u32,
+    scenarios: Vec<ScenarioRecord>,
+}
+
+fn drill_engine() -> Engine {
+    let mut sys = water_box(4, 4, 4, 3);
+    sys.thermalize(300.0, 4);
+    let mut cfg = EngineConfig::quick();
+    cfg.dt_fs = 2.0;
+    cfg.respa = anton2::md::integrate::RespaSchedule {
+        kspace_interval: RESPA_INTERVAL,
+    };
+    let mut e = Engine::builder()
+        .system(sys)
+        .config(cfg)
+        .build()
+        .expect("engine builds");
+    e.minimize(100, 1.0);
+    e.system.thermalize(300.0, 5);
+    e
+}
+
+fn run_recovery(scn: &Scenario, cfg: MachineConfig) -> RecoveryReport {
+    let system = water_box(6, 6, 6, 1);
+    simulate_recovery(
+        &system,
+        cfg,
+        RESPA_INTERVAL,
+        scn.fault.clone(),
+        RetryConfig::default(),
+        DETECT_BUDGET_CYCLES,
+    )
+    .expect("replan succeeds")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_recovery.json");
+
+    let cfg = MachineConfig::anton2(8);
+
+    // Fault-free reference trajectory: the digest every scenario's physics
+    // must reproduce bitwise.
+    let mut clean_engine = drill_engine();
+    timed_trajectory(&mut clean_engine, cfg, TRAJ_CYCLES, RESPA_INTERVAL);
+    let clean_digest = clean_engine.checkpoint().digest;
+
+    let mut records = Vec::new();
+    for scn in scenarios(&cfg) {
+        println!("scenario {}:", scn.name);
+
+        // ---- Recovery economics, run twice for bitwise repeatability ----
+        let rec = run_recovery(&scn, cfg);
+        let again = run_recovery(&scn, cfg);
+        assert_eq!(
+            rec.recovered_step_us.to_bits(),
+            again.recovered_step_us.to_bits(),
+            "{}: recovery is not a pure function of the seed",
+            scn.name
+        );
+        assert_eq!(rec.msg_drops_before_replan, again.msg_drops_before_replan);
+
+        assert!(
+            rec.detected,
+            "{}: fault never detected within {DETECT_BUDGET_CYCLES} cycles",
+            scn.name
+        );
+        assert_eq!(
+            rec.msg_drops_after_replan, 0,
+            "{}: the repaired plan still loses messages",
+            scn.name
+        );
+        assert!(
+            rec.recovered_overhead <= scn.max_recovered_overhead,
+            "{}: recovered overhead {:.3} exceeds {:.2}",
+            scn.name,
+            rec.recovered_overhead,
+            scn.max_recovered_overhead
+        );
+        if scn.expect_byte_parity {
+            assert_eq!(
+                rec.delivered_bytes_clean, rec.delivered_bytes_recovered,
+                "{}: link faults change routes, never payloads",
+                scn.name
+            );
+        }
+
+        // Replan cost in host wall time (controller-side planning).
+        let system = water_box(6, 6, 6, 1);
+        let plan = anton2::core::StepPlan::build(&system, &cfg);
+        let mut health = anton2::net::HealthMap::default();
+        for n in 0..cfg.n_nodes() {
+            if rec.replan.evicted_nodes.contains(&n) {
+                health.mark_node_dead(n);
+            }
+        }
+        let t0 = std::time::Instant::now();
+        let _ = plan
+            .replan_with_health(&health, &cfg)
+            .expect("replan succeeds");
+        let replan_wall_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        // ---- Physics fidelity on a real trajectory ----------------------
+        let mut engine = drill_engine();
+        let traj = timed_trajectory_with_recovery(
+            &mut engine,
+            cfg,
+            TRAJ_CYCLES,
+            RESPA_INTERVAL,
+            scn.fault.clone(),
+            RetryConfig::default(),
+            INJECT_AT_CYCLE,
+        )
+        .expect("trajectory replan succeeds");
+        assert_eq!(
+            traj.final_digest, clean_digest,
+            "{}: faults leaked into the physics",
+            scn.name
+        );
+        assert_eq!(traj.timing.cycles.len(), TRAJ_CYCLES as usize);
+        assert!(
+            traj.detected_at_cycle.is_some(),
+            "{}: trajectory never detected the fault",
+            scn.name
+        );
+        assert!(traj.checkpoint_digest.is_some());
+
+        println!(
+            "  detected in {} cycle(s); step µs clean {:.3} / degraded {:.3} / recovered {:.3} (overhead {:.3})",
+            rec.cycles_to_detect,
+            rec.clean_step_us,
+            rec.degraded_step_us,
+            rec.recovered_step_us,
+            rec.recovered_overhead
+        );
+        println!(
+            "  drops before/after replan {}/{}; replan moved {} atoms, biased {} flows, evicted {:?}",
+            rec.msg_drops_before_replan,
+            rec.msg_drops_after_replan,
+            rec.replan.moved_atoms,
+            rec.replan.biased_flows,
+            rec.replan.evicted_nodes
+        );
+        println!("  physics digest {:#018x} == clean", traj.final_digest);
+
+        records.push(ScenarioRecord {
+            name: scn.name.to_string(),
+            detected: rec.detected,
+            cycles_to_detect: rec.cycles_to_detect,
+            steps_to_detect: rec.cycles_to_detect * RESPA_INTERVAL,
+            clean_step_us: rec.clean_step_us,
+            degraded_step_us: rec.degraded_step_us,
+            recovered_step_us: rec.recovered_step_us,
+            degraded_overhead: rec.degraded_overhead,
+            recovered_overhead: rec.recovered_overhead,
+            msg_drops_before_replan: rec.msg_drops_before_replan,
+            msg_drops_after_replan: rec.msg_drops_after_replan,
+            delivered_bytes_clean: rec.delivered_bytes_clean,
+            delivered_bytes_recovered: rec.delivered_bytes_recovered,
+            replan_wall_us,
+            replan: rec.replan,
+            physics_digest_clean: clean_digest,
+            physics_digest_faulty: traj.final_digest,
+            digests_match: traj.final_digest == clean_digest,
+            trajectory_msg_drops: traj.msg_drops,
+        });
+    }
+
+    let bench = RecoveryBench {
+        seed: SEED,
+        machine: cfg.name.to_string(),
+        nodes: cfg.n_nodes(),
+        respa_interval: RESPA_INTERVAL,
+        detect_budget_cycles: DETECT_BUDGET_CYCLES,
+        scenarios: records,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("serialize recovery bench");
+    for field in [
+        "scenarios",
+        "steps_to_detect",
+        "recovered_overhead",
+        "replan_wall_us",
+        "digests_match",
+        "evicted_nodes",
+    ] {
+        assert!(json.contains(field), "missing {field} in export");
+    }
+    std::fs::write(json_path, &json).expect("write recovery bench json");
+    println!("\nwrote {json_path}");
+}

@@ -28,12 +28,14 @@ const SEED: u64 = 42;
 struct SweepPoint {
     crc_rate: f64,
     stall_rate: f64,
+    dead_links: u64,
     step_time_us: f64,
     us_per_day: f64,
     retries: u64,
     stalls: u64,
     reroutes: u64,
     degraded_links: u64,
+    degraded_nodes: u64,
 }
 
 #[derive(Serialize)]
@@ -155,26 +157,43 @@ fn main() {
     let cfg = MachineConfig::anton2(8);
     let clean_report = simulate_performance(&system, cfg, 2.5, 2);
 
+    // Sweep axes: CRC/stall rates (retry pressure) crossed with a
+    // dead-link count (reroute pressure). The first point is inert, the
+    // last combines both stressors.
     let mut sweep = Vec::new();
     let mut reports: Vec<PerfReport> = Vec::new();
-    for &(crc, stall) in &[(0.0, 0.0), (0.02, 0.01), (0.05, 0.03)] {
+    for &(crc, stall, dead) in &[
+        (0.0, 0.0, 0u64),
+        (0.02, 0.01, 0),
+        (0.0, 0.0, 1),
+        (0.0, 0.0, 2),
+        (0.05, 0.03, 2),
+    ] {
         let mut plan = FaultPlan::new(SEED);
         if crc > 0.0 {
             plan = plan
                 .with_crc_rate(crc)
                 .with_stall_rate(stall, SimTime::from_ns(20));
         }
+        // Kill links one per node, spread across dimensions, on the
+        // machine's own torus.
+        let kill_dirs = [Dir::XPlus, Dir::YPlus];
+        for (node, &dir) in (0..dead as NodeId).zip(&kill_dirs) {
+            plan = plan.kill_link(cfg.torus.link_index(node, dir));
+        }
         let r =
             simulate_performance_with_faults(&system, cfg, 2.5, 2, plan, RetryConfig::default());
         sweep.push(SweepPoint {
             crc_rate: crc,
             stall_rate: stall,
+            dead_links: dead,
             step_time_us: r.step_time_us,
             us_per_day: r.us_per_day,
             retries: r.faults.retries,
             stalls: r.faults.stalls,
             reroutes: r.faults.reroutes,
             degraded_links: r.faults.degraded_links,
+            degraded_nodes: r.faults.degraded_nodes,
         });
         reports.push(r);
     }
@@ -188,13 +207,26 @@ fn main() {
     let last = reports.last().unwrap();
     assert!(last.faults.retries + last.faults.stalls > 0, "sweep inert");
     assert!(last.step_time_us >= clean_report.step_time_us);
+    // Dead-link points must have actually rerouted around the dead fabric
+    // and reported the configured count.
+    for (pt, r) in sweep.iter().zip(&reports) {
+        assert_eq!(pt.dead_links, r.faults.degraded_links);
+        if pt.dead_links > 0 {
+            assert!(
+                r.faults.reroutes > 0,
+                "{} dead links never rerouted around",
+                pt.dead_links
+            );
+        }
+    }
 
     println!("\nfault sweep (seed {SEED}):");
     for (pt, r) in sweep.iter().zip(&reports) {
         println!(
-            "  crc {:>4.2}  stall {:>4.2}  {}",
+            "  crc {:>4.2}  stall {:>4.2}  dead {}  {}",
             pt.crc_rate,
             pt.stall_rate,
+            pt.dead_links,
             r.row()
         );
     }
